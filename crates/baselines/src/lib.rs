@@ -1,0 +1,44 @@
+//! Baseline ER systems the paper compares against (§II, §VIII).
+//!
+//! All baselines are reimplemented from their published descriptions, as
+//! the paper itself did ("we implement Remp and all competing methods …
+//! as their codes are not available"), and consume the same retained
+//! candidate set `M_rd` as Remp:
+//!
+//! * [`paris`] — PARIS (Suchanek et al., VLDB'12): iterative probabilistic
+//!   alignment via relationship functionality; collective, no crowd.
+//! * [`sigma`] — SiGMa (Lacoste-Julien et al., KDD'13): greedy 1:1
+//!   matching mixing string similarity with neighbourhood votes.
+//! * [`power`] — POWER (Chai et al., VLDB J.'18): partial-order based
+//!   crowdsourced ER on grouped similarity vectors.
+//! * [`hike`] — HIKE (Zhuang et al., CIKM'17): attribute-signature
+//!   partitioning with per-partition monotone (POWER-style) inference.
+//! * [`corleone`] — Corleone (Gokhale et al., SIGMOD'14): random-forest
+//!   active learning with crowd-labeled uncertain pairs.
+//!
+//! The crowdsourced baselines share the [`BaselineOutcome`] shape so the
+//! bench harness can tabulate F1 and #Q uniformly (Tables III, VI;
+//! Fig. 3).
+
+mod corleone;
+mod hike;
+mod paris;
+mod power;
+mod sigma;
+
+pub use corleone::{corleone, CorleoneConfig};
+pub use hike::{hike, HikeConfig};
+pub use paris::{paris, ParisConfig};
+pub use power::{power, PowerConfig};
+pub use sigma::{sigma, SigmaConfig};
+
+use remp_kb::EntityId;
+
+/// Matches plus cost, shared by every baseline.
+#[derive(Clone, Debug)]
+pub struct BaselineOutcome {
+    /// Predicted entity matches.
+    pub matches: Vec<(EntityId, EntityId)>,
+    /// Questions asked (0 for the non-crowd baselines).
+    pub questions: usize,
+}

@@ -1,0 +1,51 @@
+//! End-to-end Criterion benchmarks: ER-graph construction (stage 1) and
+//! the full Remp pipeline per dataset preset, at small scales.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use remp_bench::load_dataset;
+use remp_core::{prepare, Remp, RempConfig};
+use remp_crowd::OracleCrowd;
+
+fn bench_prepare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stage1_prepare");
+    for (name, scale) in [("IIMB", 0.3), ("D-A", 0.15), ("I-Y", 0.1), ("D-Y", 0.1)] {
+        let dataset = load_dataset(name, scale, 1.0);
+        let config = RempConfig::default();
+        group.bench_function(name, |b| {
+            b.iter(|| prepare(black_box(&dataset.kb1), black_box(&dataset.kb2), &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2e_pipeline");
+    group.sample_size(10);
+    for (name, scale) in [("IIMB", 0.3), ("D-A", 0.15)] {
+        let dataset = load_dataset(name, scale, 1.0);
+        let config = RempConfig::default();
+        let prep = prepare(&dataset.kb1, &dataset.kb2, &config);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let remp = Remp::new(config.clone());
+                let mut crowd = OracleCrowd::new();
+                remp.run_prepared(
+                    &dataset.kb1,
+                    &dataset.kb2,
+                    prep.clone(),
+                    &|u1, u2| dataset.is_match(u1, u2),
+                    &mut crowd,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_prepare, bench_full_pipeline
+);
+criterion_main!(benches);

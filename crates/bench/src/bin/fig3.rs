@@ -1,0 +1,32 @@
+//! Figure 3: F1-score and number of questions under simulated workers of
+//! varying error rates (0.05 / 0.15 / 0.25), 4 datasets × 4 methods.
+//!
+//! Expected shape: all methods stay roughly stable (5 redundant labels
+//! absorb the noise); Remp keeps the best F1 with the fewest questions.
+
+use remp_bench::{load_dataset, pct, prepare_default, run_method, scale_multiplier, Method, DATASETS};
+use remp_crowd::FixedErrorCrowd;
+
+fn main() {
+    let mult = scale_multiplier();
+    println!("Figure 3: F1 and #Q vs simulated worker error rate\n");
+    for (name, base) in DATASETS {
+        let dataset = load_dataset(name, base, mult);
+        let prep = prepare_default(&dataset);
+        println!("=== {name} ===");
+        println!(
+            "{:>6} | {:>8} {:>6} | {:>8} {:>6} | {:>8} {:>6} | {:>8} {:>6}",
+            "error", "Remp", "#Q", "HIKE", "#Q", "POWER", "#Q", "Corleone", "#Q"
+        );
+        for error_rate in [0.05, 0.15, 0.25] {
+            print!("{error_rate:>6.2} |");
+            for method in Method::ALL {
+                let mut crowd = FixedErrorCrowd::new(error_rate, 5, 0xF16_3);
+                let (eval, questions) = run_method(method, &dataset, &prep, &mut crowd);
+                print!(" {:>8} {questions:>6} |", pct(eval.f1));
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 5: F1-score of Remp's benefit-driven selection vs the MaxInf
+//! and MaxPr heuristics w.r.t. the number of questions (µ = 1, ground
+//! truths as labels).
+//!
+//! Expected shape: Remp dominates at every question count; MaxPr plateaus
+//! lowest (it ignores inference power), MaxInf wastes questions on likely
+//! non-matches.
+
+use remp_bench::{
+    load_dataset, prepare_default, question_curve, scale_multiplier, Strategy, DATASETS,
+};
+
+fn main() {
+    let mult = scale_multiplier();
+    let checkpoints = [1usize, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+    println!("Figure 5: F1 (%) vs number of questions (µ = 1, oracle labels)\n");
+
+    for (name, base) in DATASETS {
+        let dataset = load_dataset(name, base, mult);
+        let prep = prepare_default(&dataset);
+        println!("=== {name} ===");
+        print!("{:>8} |", "#Q");
+        for c in checkpoints {
+            print!(" {c:>5}");
+        }
+        println!();
+        println!("{}", "-".repeat(10 + 6 * checkpoints.len()));
+        for strategy in Strategy::ALL {
+            let curve = question_curve(&dataset, &prep, strategy, &checkpoints);
+            print!("{:>8} |", strategy.name());
+            for (_, f1) in curve {
+                print!(" {:>5.1}", 100.0 * f1);
+            }
+            println!();
+        }
+        println!();
+    }
+}

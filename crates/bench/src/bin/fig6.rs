@@ -1,0 +1,107 @@
+//! Figure 6: running time of Algorithm 1 (pruning) over 25–100% of the
+//! candidate matches and of Algorithms 2 (inferred-set discovery) and 3
+//! (question selection) over 25–100% of the retained matches, on the D-Y
+//! preset.
+//!
+//! Expected shape: Algorithms 1 and 2 grow roughly linearly in the pair
+//! count; Algorithm 3's growth is sublinear when inferred sets stop
+//! growing.
+
+use std::time::Instant;
+
+use remp_bench::{load_dataset, scale_multiplier};
+use remp_core::RempConfig;
+use remp_ergraph::{
+    build_sim_vectors, generate_candidates, initial_matches, match_attributes, prune,
+    Candidates, ErGraph, PairId,
+};
+use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
+use remp_selection::select_questions;
+
+fn main() {
+    let mult = scale_multiplier();
+    let dataset = load_dataset("D-Y", 0.3, mult);
+    let config = RempConfig::default();
+
+    let candidates =
+        generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
+    let initial = initial_matches(&dataset.kb1, &dataset.kb2, &candidates);
+    let alignment =
+        match_attributes(&dataset.kb1, &dataset.kb2, &candidates, &initial, &config.attr);
+    let vectors = build_sim_vectors(
+        &dataset.kb1,
+        &dataset.kb2,
+        &candidates,
+        &alignment,
+        config.literal_threshold,
+    );
+
+    println!("Figure 6: running time (ms) vs portion of entity pairs (D-Y)\n");
+    println!("{:>8} | {:>12} | {:>12} {:>12}", "portion", "Alg.1 prune", "Alg.2 infer", "Alg.3 select");
+    println!("{}", "-".repeat(55));
+
+    for portion in [0.25, 0.5, 0.75, 1.0] {
+        // --- Algorithm 1 on a portion of the candidate matches. ---
+        let take = (candidates.len() as f64 * portion).round() as usize;
+        let subset_ids: Vec<PairId> = candidates.ids().take(take).collect();
+        let (sub_cands, mapping) = candidates.restrict(&subset_ids);
+        let mut sub_vectors = vec![remp_simil::SimVec::new(Vec::new()); sub_cands.len()];
+        for &old in &subset_ids {
+            sub_vectors[mapping[&old].index()] = vectors[old.index()].clone();
+        }
+        let t1 = Instant::now();
+        let retained = prune(&sub_cands, &sub_vectors, config.knn_k);
+        let alg1_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        // --- Algorithms 2 and 3 on the corresponding retained portion. ---
+        let (ret_cands, ret_map) = sub_cands.restrict(&retained);
+        let mut _ret_vectors = vec![remp_simil::SimVec::new(Vec::new()); ret_cands.len()];
+        for &old in &retained {
+            _ret_vectors[ret_map[&old].index()] = sub_vectors[old.index()].clone();
+        }
+        let graph = ErGraph::build(&dataset.kb1, &dataset.kb2, &ret_cands);
+        let seeds: Vec<PairId> = seeds_of(&dataset, &ret_cands);
+        let cons = ConsistencyTable::estimate(
+            &dataset.kb1,
+            &dataset.kb2,
+            &ret_cands,
+            &graph,
+            &seeds,
+        );
+        let pg = ProbErGraph::build(
+            &dataset.kb1,
+            &dataset.kb2,
+            &ret_cands,
+            &graph,
+            &cons,
+            &config.propagation,
+        );
+        let t2 = Instant::now();
+        let inferred = inferred_sets_dijkstra(&pg, config.tau);
+        let alg2_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+        let priors: Vec<f64> = ret_cands.ids().map(|p| ret_cands.prior(p)).collect();
+        let eligible = vec![true; ret_cands.len()];
+        let all: Vec<PairId> = ret_cands.ids().collect();
+        let t3 = Instant::now();
+        let _q = select_questions(&all, &inferred, &priors, &eligible, config.mu);
+        let alg3_ms = t3.elapsed().as_secs_f64() * 1e3;
+
+        println!(
+            "{:>7.0}% | {:>12.1} | {:>12.1} {:>12.1}",
+            100.0 * portion,
+            alg1_ms,
+            alg2_ms,
+            alg3_ms
+        );
+    }
+}
+
+/// Exact-label seeds within a candidate subset.
+fn seeds_of(dataset: &remp_datasets::GeneratedDataset, cands: &Candidates) -> Vec<PairId> {
+    cands
+        .iter()
+        .filter(|&(_, (u1, u2))| dataset.kb1.label(u1) == dataset.kb2.label(u2))
+        .map(|(id, _)| id)
+        .collect()
+}

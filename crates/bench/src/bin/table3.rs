@@ -1,0 +1,39 @@
+//! Table III: F1-score and number of questions with (simulated) real
+//! workers — Remp vs HIKE vs POWER vs Corleone on all four datasets.
+//!
+//! The paper's MTurk pool is substituted by `SimulatedCrowd` (qualities in
+//! [0.8, 0.99], 5 labels per question; DESIGN.md §2). Expected shape:
+//! Remp has the best F1 with by far the fewest questions; Corleone asks
+//! the most.
+
+use remp_bench::{load_dataset, pct, prepare_default, run_method, scale_multiplier, Method, DATASETS};
+use remp_crowd::SimulatedCrowd;
+
+fn main() {
+    let mult = scale_multiplier();
+    println!("Table III: F1-score and number of questions with real workers");
+    println!("(simulated mixed-quality pool; 5 labels/question)\n");
+    println!(
+        "{:>6} | {:>8} {:>6} | {:>8} {:>6} | {:>8} {:>6} | {:>8} {:>6}",
+        "", "Remp", "#Q", "HIKE", "#Q", "POWER", "#Q", "Corleone", "#Q"
+    );
+    println!("{}", "-".repeat(80));
+
+    for (name, base) in DATASETS {
+        let dataset = load_dataset(name, base, mult);
+        let prep = prepare_default(&dataset);
+        let mut cells = Vec::new();
+        for method in Method::ALL {
+            // Fresh crowd with a shared seed: the same worker pool answers
+            // every method (the paper reuses labels across approaches).
+            let mut crowd = SimulatedCrowd::paper_default(0xC0FFEE);
+            let (eval, questions) = run_method(method, &dataset, &prep, &mut crowd);
+            cells.push((eval.f1, questions));
+        }
+        print!("{name:>6} |");
+        for (f1, q) in cells {
+            print!(" {:>8} {q:>6} |", pct(f1));
+        }
+        println!();
+    }
+}

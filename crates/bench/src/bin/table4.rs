@@ -1,0 +1,63 @@
+//! Table IV: effectiveness of attribute matching on I-Y (4 reference
+//! matches) and D-Y (19 reference matches), with and without the global
+//! 1:1 constraint.
+//!
+//! Expected shape: the 1:1 constraint lifts precision substantially; I-Y
+//! is near-perfect, D-Y recall is limited (rare attributes and divergent
+//! value encodings).
+
+use remp_bench::{load_dataset, pct, scale_multiplier, DATASETS};
+use remp_core::RempConfig;
+use remp_ergraph::{generate_candidates, initial_matches, match_attributes, AttrMatchConfig};
+
+fn main() {
+    let mult = scale_multiplier();
+    println!("Table IV: effectiveness of attribute matching\n");
+    println!(
+        "{:>6} {:>7} | {:>9} {:>7} {:>7} | {:>9} {:>7} {:>7}",
+        "", "#Ref", "P(1:1)", "R", "F1", "P(w/o)", "R", "F1"
+    );
+    println!("{}", "-".repeat(70));
+
+    for (name, base) in DATASETS {
+        // The paper evaluates I-Y and D-Y only ("not necessary to match
+        // attributes for the other two"); we print all four for context.
+        let dataset = load_dataset(name, base, mult);
+        let config = RempConfig::default();
+        let candidates =
+            generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
+        let initial = initial_matches(&dataset.kb1, &dataset.kb2, &candidates);
+
+        let gold: Vec<(String, String)> = dataset.gold_attr_matches.clone();
+        let eval = |attr_config: &AttrMatchConfig| {
+            let alignment =
+                match_attributes(&dataset.kb1, &dataset.kb2, &candidates, &initial, attr_config);
+            let predicted: Vec<(String, String)> = alignment
+                .pairs
+                .iter()
+                .map(|&(a1, a2, _)| {
+                    (dataset.kb1.attr_name(a1).to_owned(), dataset.kb2.attr_name(a2).to_owned())
+                })
+                .collect();
+            let correct = predicted.iter().filter(|p| gold.contains(p)).count();
+            let p = if predicted.is_empty() { 0.0 } else { correct as f64 / predicted.len() as f64 };
+            let r = if gold.is_empty() { 0.0 } else { correct as f64 / gold.len() as f64 };
+            let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+            (p, r, f1)
+        };
+
+        let strict = eval(&AttrMatchConfig::default());
+        let loose = eval(&AttrMatchConfig { one_to_one: false, ..AttrMatchConfig::default() });
+        println!(
+            "{:>6} {:>7} | {:>9} {:>7} {:>7} | {:>9} {:>7} {:>7}",
+            name,
+            gold.len(),
+            pct(strict.0),
+            pct(strict.1),
+            pct(strict.2),
+            pct(loose.0),
+            pct(loose.1),
+            pct(loose.2),
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Table V: effectiveness of partial-order based pruning (k = 4) —
+//! candidate pairs with PC, retained pairs with RR and PC, ER-graph edges
+//! and the error rate of the optimal monotone classifier.
+//!
+//! Expected shape: high PC everywhere except D-Y (missing labels cap it);
+//! large RR on the big datasets; near-zero monotone error rates (the
+//! partial order is only trusted within blocks).
+
+use remp_bench::{load_dataset, pct, scale_multiplier, DATASETS};
+use remp_core::{pair_completeness, reduction_ratio, RempConfig};
+use remp_ergraph::{
+    build_sim_vectors, generate_candidates, initial_matches, match_attributes,
+    monotone_error_rate, prune, ErGraph,
+};
+
+fn main() {
+    let mult = scale_multiplier();
+    println!("Table V: effectiveness of partial-order based pruning (k = 4)\n");
+    println!(
+        "{:>6} | {:>9} {:>7} | {:>9} {:>8} {:>7} | {:>8} {:>10}",
+        "", "#Cand", "PC", "#Retain", "RR", "PC", "#Edges", "error rate"
+    );
+    println!("{}", "-".repeat(80));
+
+    for (name, base) in DATASETS {
+        let dataset = load_dataset(name, base, mult);
+        let config = RempConfig::default();
+        let candidates =
+            generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
+        let initial = initial_matches(&dataset.kb1, &dataset.kb2, &candidates);
+        let alignment =
+            match_attributes(&dataset.kb1, &dataset.kb2, &candidates, &initial, &config.attr);
+        let vectors = build_sim_vectors(
+            &dataset.kb1,
+            &dataset.kb2,
+            &candidates,
+            &alignment,
+            config.literal_threshold,
+        );
+        let retained = prune(&candidates, &vectors, config.knn_k);
+
+        let pc_cand = pair_completeness(
+            candidates.iter().map(|(_, pair)| pair),
+            &dataset.gold,
+        );
+        let pc_ret = pair_completeness(
+            retained.iter().map(|&p| candidates.pair(p)),
+            &dataset.gold,
+        );
+        let rr = reduction_ratio(candidates.len(), retained.len());
+
+        let (sub, mapping) = candidates.restrict(&retained);
+        let mut sub_vectors = vec![remp_simil::SimVec::new(Vec::new()); sub.len()];
+        for &old in &retained {
+            sub_vectors[mapping[&old].index()] = vectors[old.index()].clone();
+        }
+        let graph = ErGraph::build(&dataset.kb1, &dataset.kb2, &sub);
+
+        let pairs: Vec<_> = sub.ids().collect();
+        let labels: Vec<bool> = pairs
+            .iter()
+            .map(|&p| {
+                let (u1, u2) = sub.pair(p);
+                dataset.is_match(u1, u2)
+            })
+            .collect();
+        let err = monotone_error_rate(&sub, &sub_vectors, &pairs, &labels);
+
+        println!(
+            "{:>6} | {:>9} {:>7} | {:>9} {:>8} {:>7} | {:>8} {:>10}",
+            name,
+            candidates.len(),
+            pct(pc_cand),
+            retained.len(),
+            pct(rr),
+            pct(pc_ret),
+            graph.num_edges(),
+            format!("{:.2}%", 100.0 * err),
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Table VII: F1-score, number of questions and number of loops with
+//! different per-round question thresholds µ ∈ {1, 5, 10, 20} (ground
+//! truths as labels).
+//!
+//! Expected shape: F1 stays stable across µ; #Q grows mildly with µ
+//! (batched questions overshoot); #L drops sharply — the latency/cost
+//! trade-off the paper highlights.
+
+use remp_bench::{load_dataset, pct, prepare_default, scale_multiplier, DATASETS};
+use remp_core::{evaluate_matches, Remp, RempConfig};
+use remp_crowd::OracleCrowd;
+
+fn main() {
+    let mult = scale_multiplier();
+    let mus = [1usize, 5, 10, 20];
+    println!("Table VII: F1 / #Q / #L vs question threshold µ (oracle labels)\n");
+    print!("{:>6} |", "");
+    for mu in mus {
+        print!("          µ = {mu:<2}        |");
+    }
+    println!();
+    print!("{:>6} |", "");
+    for _ in mus {
+        print!("  {:>6} {:>5} {:>5}  |", "F1", "#Q", "#L");
+    }
+    println!();
+    println!("{}", "-".repeat(8 + 24 * mus.len()));
+
+    for (name, base) in DATASETS {
+        let dataset = load_dataset(name, base, mult);
+        let prep = prepare_default(&dataset);
+        print!("{name:>6} |");
+        for mu in mus {
+            let remp = Remp::new(RempConfig::default().with_mu(mu));
+            let mut crowd = OracleCrowd::new();
+            let out = remp.run_prepared(
+                &dataset.kb1,
+                &dataset.kb2,
+                prep.clone(),
+                &|u1, u2| dataset.is_match(u1, u2),
+                &mut crowd,
+            );
+            let eval = evaluate_matches(out.matches.iter().copied(), &dataset.gold);
+            print!("  {:>6} {:>5} {:>5}  |", pct(eval.f1), out.questions_asked, out.loops);
+        }
+        println!();
+    }
+}

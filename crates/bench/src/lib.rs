@@ -1,0 +1,299 @@
+//! Shared machinery for the table/figure harness binaries.
+//!
+//! Every binary regenerates one table or figure of the paper (see
+//! DESIGN.md §5 and EXPERIMENTS.md). Datasets are the synthetic presets of
+//! `remp-datasets` at laptop-friendly default scales; pass `--scale X`
+//! (or set `REMP_SCALE`) to multiply them.
+
+use remp_baselines::{
+    corleone, hike, power, CorleoneConfig, HikeConfig, PowerConfig,
+};
+use remp_core::{
+    evaluate_matches, prepare, PrecisionRecall, PreparedEr, Remp, RempConfig,
+};
+use remp_crowd::LabelSource;
+use remp_datasets::{generate, preset_by_name, GeneratedDataset};
+use remp_ergraph::PairId;
+use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
+use remp_selection::{max_inf_questions, max_pr_questions, select_questions};
+
+/// The four datasets in paper order with default harness scales chosen so
+/// the full suite runs in minutes.
+pub const DATASETS: [(&str, f64); 4] =
+    [("IIMB", 1.0), ("D-A", 0.5), ("I-Y", 0.35), ("D-Y", 0.3)];
+
+/// Parses `--scale X` from argv (or `REMP_SCALE`), defaulting to 1.0.
+pub fn scale_multiplier() -> f64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    std::env::var("REMP_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}
+
+/// Generates a preset dataset at `base_scale × multiplier`.
+pub fn load_dataset(name: &str, base_scale: f64, multiplier: f64) -> GeneratedDataset {
+    let spec = preset_by_name(name, base_scale * multiplier)
+        .unwrap_or_else(|| panic!("unknown preset {name}"));
+    generate(&spec)
+}
+
+/// The four crowdsourced competitors of Tables III / Fig. 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// This paper's system.
+    Remp,
+    /// HIKE (Zhuang et al., CIKM'17).
+    Hike,
+    /// POWER (Chai et al., VLDB J.'18).
+    Power,
+    /// Corleone (Gokhale et al., SIGMOD'14).
+    Corleone,
+}
+
+impl Method {
+    /// All methods in the paper's column order.
+    pub const ALL: [Method; 4] = [Method::Remp, Method::Hike, Method::Power, Method::Corleone];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Remp => "Remp",
+            Method::Hike => "HIKE",
+            Method::Power => "POWER",
+            Method::Corleone => "Corleone",
+        }
+    }
+}
+
+/// Runs one crowdsourced method on a prepared dataset, returning
+/// `(quality, questions)`. All methods consume the same retained pairs
+/// (paper §VIII setup).
+pub fn run_method(
+    method: Method,
+    dataset: &GeneratedDataset,
+    prep: &PreparedEr,
+    crowd: &mut dyn LabelSource,
+) -> (PrecisionRecall, usize) {
+    let truth = |u1, u2| dataset.is_match(u1, u2);
+    match method {
+        Method::Remp => {
+            let remp = Remp::new(RempConfig::default());
+            let out = remp.run_prepared(&dataset.kb1, &dataset.kb2, prep.clone(), &truth, crowd);
+            (evaluate_matches(out.matches.iter().copied(), &dataset.gold), out.questions_asked)
+        }
+        Method::Hike => {
+            let out = hike(
+                &dataset.kb1,
+                &dataset.kb2,
+                &prep.candidates,
+                &prep.sim_vectors,
+                &prep.alignment,
+                &truth,
+                crowd,
+                &HikeConfig::default(),
+            );
+            (evaluate_matches(out.matches.iter().copied(), &dataset.gold), out.questions)
+        }
+        Method::Power => {
+            let out =
+                power(&prep.candidates, &prep.sim_vectors, &truth, crowd, &PowerConfig::default());
+            (evaluate_matches(out.matches.iter().copied(), &dataset.gold), out.questions)
+        }
+        Method::Corleone => {
+            let out = corleone(
+                &prep.candidates,
+                &prep.sim_vectors,
+                &truth,
+                crowd,
+                &CorleoneConfig::default(),
+            );
+            (evaluate_matches(out.matches.iter().copied(), &dataset.gold), out.questions)
+        }
+    }
+}
+
+/// Question-selection strategy for the Fig. 5 comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Remp's expected-benefit greedy (Algorithm 3).
+    Benefit,
+    /// Maximal inference power.
+    MaxInf,
+    /// Maximal match probability.
+    MaxPr,
+}
+
+impl Strategy {
+    /// All strategies in Fig. 5 order.
+    pub const ALL: [Strategy; 3] = [Strategy::Benefit, Strategy::MaxInf, Strategy::MaxPr];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Benefit => "Remp",
+            Strategy::MaxInf => "MaxInf",
+            Strategy::MaxPr => "MaxPr",
+        }
+    }
+}
+
+/// The Fig. 5 protocol: µ = 1, ground-truth labels, pluggable selection
+/// strategy; returns the F1 after each checkpoint question count.
+///
+/// Propagation, truth handling and stopping mirror the pipeline; the
+/// isolated-pair classifier is disabled so the curves isolate selection
+/// quality.
+pub fn question_curve(
+    dataset: &GeneratedDataset,
+    prep: &PreparedEr,
+    strategy: Strategy,
+    checkpoints: &[usize],
+) -> Vec<(usize, f64)> {
+    let config = RempConfig::default();
+    let mut candidates = prep.candidates.clone();
+    let graph = &prep.graph;
+    let n = candidates.len();
+    let mut resolved_match = vec![false; n];
+    let mut resolved_non = vec![false; n];
+    let mut seeds = prep.initial.clone();
+    let max_q = checkpoints.iter().copied().max().unwrap_or(0);
+
+    let mut curve = Vec::new();
+    let mut questions = 0usize;
+    let mut next_checkpoint = 0usize;
+
+    let f1_now = |cands: &remp_ergraph::Candidates, resolved_match: &[bool]| -> f64 {
+        let preds =
+            (0..n).filter(|&i| resolved_match[i]).map(|i| candidates_pair(cands, i));
+        evaluate_matches(preds, &dataset.gold).f1
+    };
+
+    'outer: while questions < max_q {
+        let cons =
+            ConsistencyTable::estimate(&dataset.kb1, &dataset.kb2, &candidates, graph, &seeds);
+        let pg = ProbErGraph::build(
+            &dataset.kb1,
+            &dataset.kb2,
+            &candidates,
+            graph,
+            &cons,
+            &config.propagation,
+        );
+        let inferred = inferred_sets_dijkstra(&pg, config.tau);
+        let eligible: Vec<bool> = (0..n)
+            .map(|i| {
+                !resolved_match[i]
+                    && !resolved_non[i]
+                    && !graph.is_isolated_vertex(PairId::from_index(i))
+            })
+            .collect();
+        let cands: Vec<PairId> =
+            (0..n).map(PairId::from_index).filter(|p| eligible[p.index()]).collect();
+        let priors: Vec<f64> = candidates.ids().map(|p| candidates.prior(p)).collect();
+
+        let selected = match strategy {
+            Strategy::Benefit => select_questions(&cands, &inferred, &priors, &eligible, 1),
+            Strategy::MaxInf => max_inf_questions(&cands, &inferred, &eligible, 1),
+            Strategy::MaxPr => max_pr_questions(&cands, &priors, 1),
+        };
+        let Some(&q) = selected.first() else { break };
+
+        // Oracle label.
+        let (u1, u2) = candidates.pair(q);
+        let is_match = dataset.is_match(u1, u2);
+        questions += 1;
+        if is_match {
+            resolved_match[q.index()] = true;
+            candidates.set_prior(q, 1.0);
+            for &(p, _) in inferred.inferred(q) {
+                if !resolved_match[p.index()] && !resolved_non[p.index()] {
+                    resolved_match[p.index()] = true;
+                    candidates.set_prior(p, 1.0);
+                }
+            }
+            seeds.extend((0..n).map(PairId::from_index).filter(|p| resolved_match[p.index()]));
+            seeds.sort_unstable();
+            seeds.dedup();
+        } else {
+            resolved_non[q.index()] = true;
+            candidates.set_prior(q, 0.0);
+        }
+
+        while next_checkpoint < checkpoints.len() && questions >= checkpoints[next_checkpoint] {
+            curve.push((checkpoints[next_checkpoint], f1_now(&candidates, &resolved_match)));
+            next_checkpoint += 1;
+        }
+        if next_checkpoint >= checkpoints.len() {
+            break 'outer;
+        }
+    }
+    // Fill remaining checkpoints with the final F1 (selection exhausted).
+    let final_f1 = f1_now(&candidates, &resolved_match);
+    while next_checkpoint < checkpoints.len() {
+        curve.push((checkpoints[next_checkpoint], final_f1));
+        next_checkpoint += 1;
+    }
+    curve
+}
+
+fn candidates_pair(
+    candidates: &remp_ergraph::Candidates,
+    i: usize,
+) -> (remp_kb::EntityId, remp_kb::EntityId) {
+    candidates.pair(PairId::from_index(i))
+}
+
+/// Prepares a dataset with the default configuration (shared stage 1).
+pub fn prepare_default(dataset: &GeneratedDataset) -> PreparedEr {
+    prepare(&dataset.kb1, &dataset.kb2, &RempConfig::default())
+}
+
+/// Formats a ratio as the paper's percent style.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_one() {
+        assert_eq!(scale_multiplier(), 1.0);
+    }
+
+    #[test]
+    fn load_all_presets_small() {
+        for (name, _) in DATASETS {
+            let d = load_dataset(name, 0.05, 1.0);
+            assert!(d.kb1.num_entities() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn question_curve_is_monotone_under_oracle() {
+        let d = load_dataset("IIMB", 0.2, 1.0);
+        let prep = prepare_default(&d);
+        let curve = question_curve(&d, &prep, Strategy::Benefit, &[1, 2, 4, 8]);
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-9, "oracle F1 must not drop: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn methods_all_run_on_tiny_data() {
+        let d = load_dataset("IIMB", 0.1, 1.0);
+        let prep = prepare_default(&d);
+        for m in Method::ALL {
+            let mut crowd = remp_crowd::OracleCrowd::new();
+            let (eval, _q) = run_method(m, &d, &prep, &mut crowd);
+            assert!(eval.f1 >= 0.0, "{}", m.name());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Pipeline configuration (the paper's §VIII "Setup" defaults).
+
+use remp_crowd::TruthConfig;
+use remp_ergraph::AttrMatchConfig;
+use remp_forest::ForestConfig;
+use remp_propagation::PropagationConfig;
+
+/// All knobs of the Remp pipeline, defaulting to the paper's setup:
+/// label-similarity threshold 0.3, `k = 4`, `τ = 0.9`, `µ = 10`, truth
+/// thresholds 0.8 / 0.2.
+#[derive(Clone, Debug)]
+pub struct RempConfig {
+    /// Label-Jaccard threshold for candidate generation (paper: 0.3).
+    pub label_sim_threshold: f64,
+    /// Internal `simL` literal threshold (paper: 0.9).
+    pub literal_threshold: f64,
+    /// k of the partial-order k-NN pruning (paper: 4).
+    pub knn_k: usize,
+    /// Precision threshold τ for inferring matches (paper: 0.9).
+    pub tau: f64,
+    /// Questions per human-machine loop µ (paper: 10).
+    pub mu: usize,
+    /// Hard budget on total questions (`None` = run to convergence).
+    pub max_questions: Option<usize>,
+    /// Safety cap on loops (the paper's termination is benefit-driven).
+    pub max_loops: usize,
+    /// Attribute-matching options (1:1 constraint etc.).
+    pub attr: AttrMatchConfig,
+    /// Truth-inference thresholds.
+    pub truth: TruthConfig,
+    /// Neighbour-propagation enumeration budget.
+    pub propagation: PropagationConfig,
+    /// Whether to run the isolated-pair classifier after the loop.
+    pub classify_isolated: bool,
+    /// Random-forest settings for the isolated-pair classifier.
+    pub forest: ForestConfig,
+    /// Attribute-signature similarity ψ for the classifier's training
+    /// neighbourhood (paper: 0.9).
+    pub psi: f64,
+    /// Forest vote share required to call an isolated pair a match.
+    /// Isolated targets are massively imbalanced toward non-matches, so
+    /// the default is well above 0.5 (the paper's ψ = 0.9 serves the same
+    /// high-precision goal).
+    pub classifier_threshold: f64,
+}
+
+impl Default for RempConfig {
+    fn default() -> Self {
+        RempConfig {
+            label_sim_threshold: 0.3,
+            literal_threshold: 0.9,
+            knn_k: 4,
+            tau: 0.9,
+            mu: 10,
+            max_questions: None,
+            max_loops: 1000,
+            attr: AttrMatchConfig::default(),
+            truth: TruthConfig::default(),
+            propagation: PropagationConfig::default(),
+            classify_isolated: true,
+            forest: ForestConfig { n_trees: 50, ..ForestConfig::default() },
+            psi: 0.9,
+            classifier_threshold: 0.6,
+        }
+    }
+}
+
+impl RempConfig {
+    /// Overrides µ.
+    pub fn with_mu(mut self, mu: usize) -> Self {
+        self.mu = mu;
+        self
+    }
+
+    /// Overrides τ.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        self.tau = tau;
+        self
+    }
+
+    /// Overrides the question budget.
+    pub fn with_budget(mut self, budget: usize) -> Self {
+        self.max_questions = Some(budget);
+        self
+    }
+
+    /// Disables the isolated-pair classifier (used by the propagation
+    /// ablation, Table VI).
+    pub fn without_classifier(mut self) -> Self {
+        self.classify_isolated = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = RempConfig::default();
+        assert_eq!(c.knn_k, 4);
+        assert_eq!(c.mu, 10);
+        assert!((c.tau - 0.9).abs() < 1e-12);
+        assert!((c.label_sim_threshold - 0.3).abs() < 1e-12);
+        assert!((c.truth.match_threshold - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = RempConfig::default().with_mu(1).with_tau(0.8).with_budget(64);
+        assert_eq!(c.mu, 1);
+        assert!((c.tau - 0.8).abs() < 1e-12);
+        assert_eq!(c.max_questions, Some(64));
+        assert!(!RempConfig::default().without_classifier().classify_isolated);
+    }
+}

@@ -1,0 +1,265 @@
+//! Random-forest inference for isolated entity pairs (paper §VII-B).
+//!
+//! Pairs whose ER-graph vertex has no edges can never be reached by match
+//! propagation; polling them one by one would waste the budget. The paper
+//! instead trains a random forest on the similarity vectors of *resolved*
+//! pairs with attribute signatures similar to the target pair
+//! (`Jaccard(A_p, A_p') ≥ ψ`) and predicts the isolated ones, treating
+//! unresolved pairs as non-matches to balance the classes.
+//!
+//! ## Documented deviation
+//! Training one forest per isolated pair (or per signature group)
+//! fragments the training data badly at reproduction scale. We train one
+//! *global* forest whose features include, besides the similarity vector,
+//! the per-attribute **presence bits** (the signature `A_p` itself) and
+//! the prior label similarity — the forest partitions on signatures
+//! internally, which subsumes the paper's ψ-neighbourhood selection while
+//! seeing all the evidence. Class balance is enforced by capping the
+//! majority class, mirroring the paper's balancing intent.
+
+use remp_ergraph::{AttrAlignment, Candidates, ErGraph, PairId};
+use remp_forest::RandomForest;
+use remp_kb::Kb;
+use remp_simil::SimVec;
+
+use crate::{RempConfig, Resolution};
+
+/// Feature vector for one pair: similarity components plus presence bits
+/// of each aligned attribute (the signature `A_p`). The label-similarity
+/// prior is deliberately *not* a feature — the paper trains on similarity
+/// vectors only, and isolated matches with noisy labels (low prior, strong
+/// attributes) are exactly the cases the classifier must recover.
+fn features(
+    kb1: &Kb,
+    kb2: &Kb,
+    candidates: &Candidates,
+    alignment: &AttrAlignment,
+    sim_vectors: &[SimVec],
+    p: PairId,
+) -> Vec<f64> {
+    let (u1, u2) = candidates.pair(p);
+    let mut out = sim_vectors[p.index()].components().to_vec();
+    for &(a1, a2, _) in &alignment.pairs {
+        let both = kb1.has_attr(u1, a1) && kb2.has_attr(u2, a2);
+        out.push(if both { 1.0 } else { 0.0 });
+    }
+    out
+}
+
+/// Classifies the unresolved isolated pairs, returning those predicted to
+/// be matches.
+///
+/// Positives: resolved matches (crowd + inferred). Negatives: resolved
+/// non-matches and unresolved non-isolated pairs (the paper's balancing
+/// device). The majority class is capped at the minority size by
+/// deterministic striding.
+#[allow(clippy::too_many_arguments)]
+pub fn classify_isolated(
+    kb1: &Kb,
+    kb2: &Kb,
+    candidates: &Candidates,
+    graph: &ErGraph,
+    sim_vectors: &[SimVec],
+    alignment: &AttrAlignment,
+    resolution: &[Resolution],
+    config: &RempConfig,
+) -> Vec<PairId> {
+    let n = candidates.len();
+    if n == 0 || alignment.is_empty() {
+        return Vec::new();
+    }
+
+    // Targets: every pair still unresolved when the loop terminated —
+    // primarily isolated vertices (the paper's case), plus connected pairs
+    // the propagation terminally could not reach with Pr ≥ τ (a small
+    // extension; without it those pairs silently count as non-matches).
+    let targets: Vec<PairId> = (0..n)
+        .map(PairId::from_index)
+        .filter(|&p| resolution[p.index()] == Resolution::Unresolved)
+        .collect();
+    if targets.is_empty() {
+        return Vec::new();
+    }
+
+    // Positives: resolved matches. Negatives, in preference order (the
+    // paper treats unresolved N_p pairs as non-matches to balance):
+    //   1. crowd-confirmed non-matches,
+    //   2. unresolved *non-isolated* pairs with prior < 0.8 (propagation
+    //      had its chance — these are overwhelmingly true non-matches),
+    //   3. unresolved isolated pairs with the lowest priors, only to fill
+    //      the quota (they are partially contaminated with exactly the
+    //      matches we want to predict).
+    let positives: Vec<PairId> = (0..n)
+        .map(PairId::from_index)
+        .filter(|&p| matches!(resolution[p.index()], Resolution::Match(_)))
+        .collect();
+    let mut negatives: Vec<PairId> = (0..n)
+        .map(PairId::from_index)
+        .filter(|&p| {
+            resolution[p.index()] == Resolution::NonMatch
+                || (resolution[p.index()] == Resolution::Unresolved
+                    && !graph.is_isolated_vertex(p)
+                    && candidates.prior(p) < 0.8)
+        })
+        .collect();
+    if negatives.len() < positives.len() {
+        // Fill from unresolved isolated pairs: stratified by prior so the
+        // forest sees the whole junk spectrum, skipping pairs that agree
+        // strongly on ≥ 2 attributes (likely the very matches we want to
+        // predict — training on them as negatives poisons the boundary).
+        let mut fill: Vec<PairId> = (0..n)
+            .map(PairId::from_index)
+            .filter(|&p| {
+                resolution[p.index()] == Resolution::Unresolved
+                    && graph.is_isolated_vertex(p)
+                    && candidates.prior(p) < 0.8
+                    && sim_vectors[p.index()]
+                        .components()
+                        .iter()
+                        .filter(|&&c| c >= 0.9)
+                        .count()
+                        < 2
+            })
+            .collect();
+        fill.sort_by(|&a, &b| {
+            candidates
+                .prior(a)
+                .partial_cmp(&candidates.prior(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(&b))
+        });
+        let need = positives.len() - negatives.len();
+        if fill.len() > need {
+            let stride = fill.len() as f64 / need as f64;
+            fill = (0..need).map(|k| fill[(k as f64 * stride) as usize]).collect();
+        }
+        negatives.extend(fill);
+    }
+    if positives.is_empty() || negatives.is_empty() || positives.len() + negatives.len() < 8 {
+        return Vec::new();
+    }
+
+    // Cap the majority class at the minority count by striding.
+    let cap = |members: &[PairId], quota: usize| -> Vec<PairId> {
+        if members.len() <= quota {
+            return members.to_vec();
+        }
+        let stride = members.len() as f64 / quota as f64;
+        (0..quota).map(|k| members[(k as f64 * stride) as usize]).collect()
+    };
+    let quota = positives.len().min(negatives.len());
+    let mut keep: Vec<(PairId, bool)> =
+        cap(&positives, quota).into_iter().map(|p| (p, true)).collect();
+    keep.extend(cap(&negatives, quota).into_iter().map(|p| (p, false)));
+    keep.sort_unstable_by_key(|&(p, _)| p);
+    let bal_x: Vec<Vec<f64>> = keep
+        .iter()
+        .map(|&(p, _)| features(kb1, kb2, candidates, alignment, sim_vectors, p))
+        .collect();
+    let bal_y: Vec<bool> = keep.iter().map(|&(_, y)| y).collect();
+    let forest = RandomForest::fit(&bal_x, &bal_y, &config.forest);
+
+    let mut predicted: Vec<PairId> = targets
+        .into_iter()
+        .filter(|&t| {
+            forest.predict_proba(&features(kb1, kb2, candidates, alignment, sim_vectors, t))
+                >= config.classifier_threshold
+        })
+        .collect();
+    predicted.sort_unstable();
+    predicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{prepare, Remp, RempConfig};
+    use remp_crowd::OracleCrowd;
+    use remp_datasets::{generate, iimb};
+
+    #[test]
+    fn classifier_targets_only_isolated_unresolved() {
+        let d = generate(&iimb(0.3));
+        let config = RempConfig::default();
+        let prep = prepare(&d.kb1, &d.kb2, &config);
+        let remp = Remp::new(config.clone());
+        let mut crowd = OracleCrowd::new();
+        let outcome = remp.run_prepared(
+            &d.kb1,
+            &d.kb2,
+            prep.clone(),
+            &|u1, u2| d.is_match(u1, u2),
+            &mut crowd,
+        );
+
+        let predicted = classify_isolated(
+            &d.kb1,
+            &d.kb2,
+            &prep.candidates,
+            &prep.graph,
+            &prep.sim_vectors,
+            &prep.alignment,
+            &outcome.resolutions,
+            &config,
+        );
+        for p in predicted {
+            assert!(prep.graph.is_isolated_vertex(p), "classifier only targets isolated pairs");
+        }
+    }
+
+    #[test]
+    fn no_alignment_no_predictions() {
+        let d = generate(&iimb(0.1));
+        let config = RempConfig::default();
+        let prep = prepare(&d.kb1, &d.kb2, &config);
+        let resolution = vec![Resolution::Unresolved; prep.candidates.len()];
+        let out = classify_isolated(
+            &d.kb1,
+            &d.kb2,
+            &prep.candidates,
+            &prep.graph,
+            &prep.sim_vectors,
+            &remp_ergraph::AttrAlignment::default(),
+            &resolution,
+            &config,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_class_training_yields_nothing() {
+        // All pairs unresolved → no positives → no predictions.
+        let d = generate(&iimb(0.1));
+        let config = RempConfig::default();
+        let prep = prepare(&d.kb1, &d.kb2, &config);
+        let resolution = vec![Resolution::Unresolved; prep.candidates.len()];
+        let out = classify_isolated(
+            &d.kb1,
+            &d.kb2,
+            &prep.candidates,
+            &prep.graph,
+            &prep.sim_vectors,
+            &prep.alignment,
+            &resolution,
+            &config,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn feature_vector_has_expected_dimension() {
+        let d = generate(&iimb(0.1));
+        let config = RempConfig::default();
+        let prep = prepare(&d.kb1, &d.kb2, &config);
+        let p = prep.candidates.ids().next().unwrap();
+        let f = features(
+            &d.kb1,
+            &d.kb2,
+            &prep.candidates,
+            &prep.alignment,
+            &prep.sim_vectors,
+            p,
+        );
+        assert_eq!(f.len(), 2 * prep.alignment.len());
+    }
+}

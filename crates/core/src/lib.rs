@@ -1,0 +1,34 @@
+//! The Remp pipeline — crowdsourced collective entity resolution with
+//! relational match propagation (the paper's contribution, §III-B).
+//!
+//! [`Remp::run`] executes the four-stage human-machine loop end to end:
+//!
+//! 1. **ER graph construction** (`remp-ergraph`): candidate generation,
+//!    initial matches, attribute matching, similarity vectors,
+//!    partial-order pruning, graph building.
+//! 2. **Relational match propagation** (`remp-propagation`): consistency
+//!    estimation and the probabilistic ER graph.
+//! 3. **Multiple questions selection** (`remp-selection`): lazy-greedy
+//!    submodular maximisation of the expected inferred matches.
+//! 4. **Truth inference** (`remp-crowd`): Eq. 17 posteriors, thresholds,
+//!    hard-question prior downdating; inferred matches propagate through
+//!    `inferred(q)`.
+//!
+//! The loop stops when no beneficial question remains (or the budget is
+//! hit); isolated pairs are then resolved by a random-forest classifier
+//! (§VII-B). [`metrics`] carries the evaluation machinery shared by the
+//! test suite and the bench harness.
+
+pub mod config;
+pub mod experiment;
+pub mod isolated;
+pub mod metrics;
+pub mod pipeline;
+pub mod prepared;
+
+pub use config::RempConfig;
+pub use experiment::{propagation_only_f1, run_on_dataset, ExperimentResult};
+pub use isolated::classify_isolated;
+pub use metrics::{evaluate_matches, pair_completeness, reduction_ratio, PrecisionRecall};
+pub use pipeline::{MatchSource, Remp, RempOutcome, Resolution};
+pub use prepared::{prepare, PreparedEr};

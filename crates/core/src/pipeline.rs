@@ -1,0 +1,297 @@
+//! The crowdsourced collective ER loop (paper §III-B, Fig. 2).
+
+use remp_crowd::{infer_truth, LabelSource, Verdict};
+use remp_ergraph::PairId;
+use remp_kb::{EntityId, Kb};
+use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
+use remp_selection::select_questions;
+
+use crate::{classify_isolated, prepare, PreparedEr, RempConfig};
+
+/// How a pair came to be resolved as a match.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchSource {
+    /// Labeled a match by the crowd (Eq. 17 verdict).
+    Crowd,
+    /// Inferred through relational match propagation (Eq. 11).
+    Inferred,
+    /// Predicted by the isolated-pair classifier (§VII-B).
+    Classifier,
+}
+
+/// Resolution state of a retained pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Resolution {
+    /// Not yet decided.
+    Unresolved,
+    /// Resolved as a match.
+    Match(MatchSource),
+    /// Resolved as a non-match.
+    NonMatch,
+}
+
+/// Result of a pipeline run.
+#[derive(Clone, Debug)]
+pub struct RempOutcome {
+    /// The final entity matches.
+    pub matches: Vec<(EntityId, EntityId)>,
+    /// Per-retained-pair resolution (parallel to the prepared candidates).
+    pub resolutions: Vec<Resolution>,
+    /// Questions asked (`#Q`).
+    pub questions_asked: usize,
+    /// Human-machine loops executed (`#L`).
+    pub loops: usize,
+    /// `|M_c]` before pruning.
+    pub candidate_count: usize,
+    /// `|M_rd|` after pruning.
+    pub retained_count: usize,
+    /// ER-graph edge count.
+    pub edge_count: usize,
+}
+
+/// The Remp system.
+#[derive(Clone, Debug, Default)]
+pub struct Remp {
+    /// Pipeline configuration.
+    pub config: RempConfig,
+}
+
+impl Remp {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: RempConfig) -> Remp {
+        Remp { config }
+    }
+
+    /// Runs the full pipeline. `truth` supplies the hidden ground truth the
+    /// simulated `crowd` answers from (a real deployment would replace both
+    /// with actual workers).
+    pub fn run(
+        &self,
+        kb1: &Kb,
+        kb2: &Kb,
+        truth: &dyn Fn(EntityId, EntityId) -> bool,
+        crowd: &mut dyn LabelSource,
+    ) -> RempOutcome {
+        let prep = prepare(kb1, kb2, &self.config);
+        self.run_prepared(kb1, kb2, prep, truth, crowd)
+    }
+
+    /// Runs stages 2–4 on an already-constructed ER graph (lets the bench
+    /// harness share stage 1 across methods, as the paper does: "all
+    /// methods take the same retained entity matches M_rd as input").
+    pub fn run_prepared(
+        &self,
+        kb1: &Kb,
+        kb2: &Kb,
+        prep: PreparedEr,
+        truth: &dyn Fn(EntityId, EntityId) -> bool,
+        crowd: &mut dyn LabelSource,
+    ) -> RempOutcome {
+        let config = &self.config;
+        let PreparedEr { mut candidates, graph, sim_vectors, initial, .. } = prep.clone();
+        let n = candidates.len();
+        let mut resolution = vec![Resolution::Unresolved; n];
+        let mut seeds: Vec<PairId> = initial;
+        let mut questions = 0usize;
+        let mut loops = 0usize;
+
+        while loops < config.max_loops {
+            // Stage 2: relational match propagation.
+            let cons = ConsistencyTable::estimate(kb1, kb2, &candidates, &graph, &seeds);
+            let pg = ProbErGraph::build(
+                kb1,
+                kb2,
+                &candidates,
+                &graph,
+                &cons,
+                &config.propagation,
+            );
+            let inferred = inferred_sets_dijkstra(&pg, config.tau);
+
+            // Stage 3: multiple questions selection. Isolated vertices are
+            // excluded — the classifier handles them (§VII-B).
+            let eligible: Vec<bool> = (0..n)
+                .map(|i| {
+                    resolution[i] == Resolution::Unresolved
+                        && !graph.is_isolated_vertex(PairId::from_index(i))
+                })
+                .collect();
+            // The paper stops "when there is no unresolved entity pair that
+            // can be inferred by relational match propagation": as long as
+            // some unresolved pair is reachable from another, the loop
+            // continues (benefit-greedy selection prefers the propagating
+            // questions); once nothing is reachable any more, remaining
+            // pairs go to the classifier instead of the crowd.
+            let any_reachable = (0..n).map(PairId::from_index).any(|q| {
+                eligible[q.index()]
+                    && inferred
+                        .inferred(q)
+                        .iter()
+                        .any(|&(p, _)| p != q && eligible[p.index()])
+            });
+            if !any_reachable {
+                break;
+            }
+            let question_cands: Vec<PairId> = (0..n)
+                .map(PairId::from_index)
+                .filter(|p| eligible[p.index()])
+                .collect();
+            let remaining = config
+                .max_questions
+                .map(|b| b.saturating_sub(questions))
+                .unwrap_or(usize::MAX);
+            let mu = config.mu.min(remaining);
+            if mu == 0 {
+                break;
+            }
+            let priors: Vec<f64> = candidates.ids().map(|p| candidates.prior(p)).collect();
+            let selected = select_questions(&question_cands, &inferred, &priors, &eligible, mu);
+            if selected.is_empty() {
+                break; // no unresolved pair can be inferred any more
+            }
+
+            // Stage 4: crowd labeling + truth inference.
+            let mut newly_matched = Vec::new();
+            for q in selected {
+                let (u1, u2) = candidates.pair(q);
+                let labels = crowd.label(truth(u1, u2));
+                questions += 1;
+                let (verdict, posterior) =
+                    infer_truth(candidates.prior(q), &labels, &config.truth);
+                match verdict {
+                    Verdict::Match => {
+                        resolution[q.index()] = Resolution::Match(MatchSource::Crowd);
+                        candidates.set_prior(q, 1.0);
+                        newly_matched.push(q);
+                    }
+                    Verdict::NonMatch => {
+                        resolution[q.index()] = Resolution::NonMatch;
+                        candidates.set_prior(q, 0.0);
+                    }
+                    Verdict::Inconsistent => {
+                        // Hard question: lower its benefit via the prior.
+                        candidates.set_prior(q, posterior);
+                    }
+                }
+            }
+
+            // Propagate labeled matches to their inferred sets (Eq. 11).
+            for &q in &newly_matched {
+                for &(p, _) in inferred.inferred(q) {
+                    if resolution[p.index()] == Resolution::Unresolved {
+                        resolution[p.index()] = Resolution::Match(MatchSource::Inferred);
+                        candidates.set_prior(p, 1.0);
+                    }
+                }
+            }
+            // Confirmed matches join the seeds for re-estimating
+            // consistencies and edge probabilities next loop.
+            seeds.extend(
+                (0..n)
+                    .map(PairId::from_index)
+                    .filter(|p| matches!(resolution[p.index()], Resolution::Match(_))),
+            );
+            seeds.sort_unstable();
+            seeds.dedup();
+            loops += 1;
+        }
+
+        // Isolated entity pairs: random-forest inference (§VII-B).
+        if config.classify_isolated {
+            let predicted = classify_isolated(
+                kb1,
+                kb2,
+                &candidates,
+                &graph,
+                &sim_vectors,
+                &prep.alignment,
+                &resolution,
+                config,
+            );
+            for p in predicted {
+                if resolution[p.index()] == Resolution::Unresolved {
+                    resolution[p.index()] = Resolution::Match(MatchSource::Classifier);
+                }
+            }
+        }
+
+        let matches: Vec<(EntityId, EntityId)> = (0..n)
+            .filter(|&i| matches!(resolution[i], Resolution::Match(_)))
+            .map(|i| candidates.pair(PairId::from_index(i)))
+            .collect();
+
+        RempOutcome {
+            matches,
+            resolutions: resolution,
+            questions_asked: questions,
+            loops,
+            candidate_count: prep.candidate_count,
+            retained_count: n,
+            edge_count: graph.num_edges(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_matches;
+    use remp_crowd::OracleCrowd;
+    use remp_datasets::{generate, iimb};
+
+    #[test]
+    fn pipeline_resolves_iimb_with_oracle() {
+        let d = generate(&iimb(0.25));
+        let remp = Remp::new(RempConfig::default());
+        let mut crowd = OracleCrowd::new();
+        let outcome = remp.run(&d.kb1, &d.kb2, &|u1, u2| d.is_match(u1, u2), &mut crowd);
+
+        assert!(outcome.questions_asked > 0, "some questions must be asked");
+        assert_eq!(outcome.questions_asked, crowd.questions_asked());
+        assert!(outcome.loops > 0);
+
+        let eval = evaluate_matches(outcome.matches.iter().copied(), &d.gold);
+        assert!(eval.f1 > 0.7, "oracle-driven IIMB run should do well, F1 = {}", eval.f1);
+        // Propagation must contribute: more matches than questions asked.
+        let inferred = outcome
+            .resolutions
+            .iter()
+            .filter(|r| matches!(r, Resolution::Match(MatchSource::Inferred)))
+            .count();
+        assert!(inferred > 0, "relational propagation should infer matches");
+    }
+
+    #[test]
+    fn budget_caps_questions() {
+        let d = generate(&iimb(0.25));
+        let remp = Remp::new(RempConfig::default().with_budget(5));
+        let mut crowd = OracleCrowd::new();
+        let outcome = remp.run(&d.kb1, &d.kb2, &|u1, u2| d.is_match(u1, u2), &mut crowd);
+        assert!(outcome.questions_asked <= 5);
+    }
+
+    #[test]
+    fn mu_one_asks_one_per_loop() {
+        let d = generate(&iimb(0.2));
+        let remp = Remp::new(RempConfig::default().with_mu(1).with_budget(6));
+        let mut crowd = OracleCrowd::new();
+        let outcome = remp.run(&d.kb1, &d.kb2, &|u1, u2| d.is_match(u1, u2), &mut crowd);
+        assert_eq!(outcome.loops, outcome.questions_asked);
+    }
+
+    #[test]
+    fn no_candidates_terminates_cleanly() {
+        // Two KBs with nothing in common.
+        let mut b1 = remp_kb::KbBuilder::new("a");
+        let mut b2 = remp_kb::KbBuilder::new("b");
+        b1.add_entity("aaa bbb");
+        b2.add_entity("zzz yyy");
+        let kb1 = b1.finish();
+        let kb2 = b2.finish();
+        let remp = Remp::default();
+        let mut crowd = OracleCrowd::new();
+        let outcome = remp.run(&kb1, &kb2, &|_, _| false, &mut crowd);
+        assert_eq!(outcome.questions_asked, 0);
+        assert!(outcome.matches.is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! ER graph construction stage (§IV) bundled into one reusable step.
+
+use remp_ergraph::{
+    build_sim_vectors, generate_candidates, initial_matches, match_attributes, prune,
+    AttrAlignment, Candidates, ErGraph, PairId,
+};
+use remp_kb::Kb;
+use remp_simil::SimVec;
+
+use crate::RempConfig;
+
+/// Everything stage 1 produces: the retained candidate set with its
+/// similarity vectors, attribute alignment, seed matches and ER graph.
+#[derive(Clone, Debug)]
+pub struct PreparedEr {
+    /// Retained candidate pairs `M_rd` (densely re-indexed).
+    pub candidates: Candidates,
+    /// `|M_c|` before pruning (Table V's "candidate matches").
+    pub candidate_count: usize,
+    /// The full pre-pruning candidate set (kept for PC evaluation).
+    pub pre_candidates: Candidates,
+    /// Initial exact-label matches `M_in`, in retained ids.
+    pub initial: Vec<PairId>,
+    /// The attribute alignment `M_at`.
+    pub alignment: AttrAlignment,
+    /// One similarity vector per retained pair.
+    pub sim_vectors: Vec<SimVec>,
+    /// The ER graph over the retained pairs.
+    pub graph: ErGraph,
+}
+
+/// Runs ER graph construction (§IV): candidates → initial matches →
+/// attribute matching → similarity vectors → Algorithm 1 pruning → graph.
+pub fn prepare(kb1: &Kb, kb2: &Kb, config: &RempConfig) -> PreparedEr {
+    let pre_candidates = generate_candidates(kb1, kb2, config.label_sim_threshold);
+    let initial_full = initial_matches(kb1, kb2, &pre_candidates);
+    let alignment =
+        match_attributes(kb1, kb2, &pre_candidates, &initial_full, &config.attr);
+    let vectors_full =
+        build_sim_vectors(kb1, kb2, &pre_candidates, &alignment, config.literal_threshold);
+    let retained = prune(&pre_candidates, &vectors_full, config.knn_k);
+    let (candidates, mapping) = pre_candidates.restrict(&retained);
+
+    let mut sim_vectors = vec![SimVec::new(Vec::new()); candidates.len()];
+    for &old in &retained {
+        sim_vectors[mapping[&old].index()] = vectors_full[old.index()].clone();
+    }
+    let initial: Vec<PairId> =
+        initial_full.iter().filter_map(|old| mapping.get(old).copied()).collect();
+    let graph = ErGraph::build(kb1, kb2, &candidates);
+
+    PreparedEr {
+        candidates,
+        candidate_count: pre_candidates.len(),
+        pre_candidates,
+        initial,
+        alignment,
+        sim_vectors,
+        graph,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remp_datasets::{generate, iimb};
+
+    #[test]
+    fn prepare_produces_consistent_stage() {
+        let d = generate(&iimb(0.3));
+        let prep = prepare(&d.kb1, &d.kb2, &RempConfig::default());
+        assert!(prep.candidates.len() <= prep.candidate_count);
+        assert_eq!(prep.sim_vectors.len(), prep.candidates.len());
+        assert_eq!(prep.graph.num_vertices(), prep.candidates.len());
+        assert!(!prep.initial.is_empty(), "IIMB has exact-label seeds");
+        // Initial ids are valid in the retained space.
+        for &s in &prep.initial {
+            assert!(s.index() < prep.candidates.len());
+        }
+        // Attribute alignment found the identical-schema matches.
+        assert!(prep.alignment.len() >= 6, "got {:?}", prep.alignment.pairs);
+    }
+
+    #[test]
+    fn pruning_respects_k() {
+        let d = generate(&iimb(0.3));
+        let mut config = RempConfig::default();
+        config.knn_k = 1;
+        let strict = prepare(&d.kb1, &d.kb2, &config);
+        config.knn_k = 8;
+        let loose = prepare(&d.kb1, &d.kb2, &config);
+        assert!(strict.candidates.len() <= loose.candidates.len());
+    }
+}

@@ -1,0 +1,23 @@
+//! Crowdsourcing substrate (paper §VII-A).
+//!
+//! The paper publishes pairwise questions on Amazon MTurk, assigns each to
+//! five workers, and infers truths with the worker-probability model
+//! (Zheng et al. [41]): each worker `w` answers correctly with probability
+//! `λ_w` (their qualification-test precision). This crate simulates that
+//! pipeline:
+//!
+//! * [`Label`] — one worker's answer together with their quality.
+//! * [`posterior_match_probability`] — the Eq. 17 posterior.
+//! * [`infer_truth`] / [`TruthConfig`] — thresholding posteriors into
+//!   match / non-match / inconsistent verdicts (0.8 / 0.2 in the paper).
+//! * [`LabelSource`] — the question-answering interface, with three
+//!   implementations: [`SimulatedCrowd`] (mixed-quality worker pool, the
+//!   "real workers" substitute), [`FixedErrorCrowd`] (uniform error rate,
+//!   the Fig. 3 protocol) and [`OracleCrowd`] (ground-truth labels, the
+//!   Fig. 5 / Table VII protocol).
+
+mod platform;
+mod truth;
+
+pub use platform::{FixedErrorCrowd, LabelSource, OracleCrowd, SimulatedCrowd};
+pub use truth::{infer_truth, posterior_match_probability, Label, TruthConfig, Verdict};

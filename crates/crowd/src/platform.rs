@@ -1,0 +1,247 @@
+//! Simulated crowdsourcing platforms (the paper's MTurk substitute; see
+//! DESIGN.md §2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Label;
+
+/// A source of human labels for pairwise questions.
+///
+/// The simulation needs the hidden ground truth to decide whether each
+/// worker answers correctly; real deployments would ignore it.
+pub trait LabelSource {
+    /// Collects the labels for one question whose hidden truth is `truth`.
+    fn label(&mut self, truth: bool) -> Vec<Label>;
+
+    /// Number of questions asked so far (the paper's `#Q`).
+    fn questions_asked(&self) -> usize;
+
+    /// Total individual labels collected (5 × questions on MTurk).
+    fn labels_collected(&self) -> usize;
+}
+
+/// A mixed-quality worker pool: the "real workers" substitute.
+///
+/// Worker qualities are drawn uniformly from `[min_quality, max_quality]`
+/// at construction (the paper's qualification filter bounds the pool from
+/// below); each question is answered by `per_question` distinct workers
+/// chosen at random.
+#[derive(Clone, Debug)]
+pub struct SimulatedCrowd {
+    worker_qualities: Vec<f64>,
+    per_question: usize,
+    rng: StdRng,
+    asked: usize,
+    labels: usize,
+}
+
+impl SimulatedCrowd {
+    /// Creates a pool of `num_workers` workers with qualities uniform in
+    /// `[min_quality, max_quality]`, `per_question` labels per question.
+    pub fn new(
+        num_workers: usize,
+        min_quality: f64,
+        max_quality: f64,
+        per_question: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_workers > 0 && per_question > 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let worker_qualities = (0..num_workers)
+            .map(|_| rng.gen_range(min_quality.min(max_quality)..=max_quality.max(min_quality)))
+            .collect();
+        SimulatedCrowd { worker_qualities, per_question, rng, asked: 0, labels: 0 }
+    }
+
+    /// The paper-style default: 5 labels per question from a pool whose
+    /// mean error rate is ≈ 0.1 (qualities in [0.8, 0.99]).
+    pub fn paper_default(seed: u64) -> Self {
+        SimulatedCrowd::new(100, 0.8, 0.99, 5, seed)
+    }
+
+    /// Worker qualities (for inspection/tests).
+    pub fn qualities(&self) -> &[f64] {
+        &self.worker_qualities
+    }
+}
+
+impl LabelSource for SimulatedCrowd {
+    fn label(&mut self, truth: bool) -> Vec<Label> {
+        self.asked += 1;
+        self.labels += self.per_question;
+        (0..self.per_question)
+            .map(|_| {
+                let quality =
+                    self.worker_qualities[self.rng.gen_range(0..self.worker_qualities.len())];
+                let correct = self.rng.gen_bool(quality);
+                Label::new(quality, if correct { truth } else { !truth })
+            })
+            .collect()
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.asked
+    }
+
+    fn labels_collected(&self) -> usize {
+        self.labels
+    }
+}
+
+/// Workers with one fixed error rate — the Fig. 3 simulated-worker
+/// protocol (error ∈ {0.05, 0.15, 0.25} in the paper).
+#[derive(Clone, Debug)]
+pub struct FixedErrorCrowd {
+    error_rate: f64,
+    per_question: usize,
+    rng: StdRng,
+    asked: usize,
+    labels: usize,
+}
+
+impl FixedErrorCrowd {
+    /// Creates a crowd answering wrongly with probability `error_rate`.
+    pub fn new(error_rate: f64, per_question: usize, seed: u64) -> Self {
+        assert!((0.0..=0.5).contains(&error_rate), "error rate above 0.5 is adversarial");
+        assert!(per_question > 0);
+        FixedErrorCrowd {
+            error_rate,
+            per_question,
+            rng: StdRng::seed_from_u64(seed),
+            asked: 0,
+            labels: 0,
+        }
+    }
+}
+
+impl LabelSource for FixedErrorCrowd {
+    fn label(&mut self, truth: bool) -> Vec<Label> {
+        self.asked += 1;
+        self.labels += self.per_question;
+        let quality = 1.0 - self.error_rate;
+        (0..self.per_question)
+            .map(|_| {
+                let correct = self.rng.gen_bool(quality);
+                Label::new(quality, if correct { truth } else { !truth })
+            })
+            .collect()
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.asked
+    }
+
+    fn labels_collected(&self) -> usize {
+        self.labels
+    }
+}
+
+/// Perfect labels — the "ground truths as labels" protocol of Fig. 5 and
+/// Table VII. One high-confidence label per question.
+#[derive(Clone, Debug, Default)]
+pub struct OracleCrowd {
+    asked: usize,
+}
+
+impl OracleCrowd {
+    /// Creates the oracle.
+    pub fn new() -> Self {
+        OracleCrowd::default()
+    }
+}
+
+impl LabelSource for OracleCrowd {
+    fn label(&mut self, truth: bool) -> Vec<Label> {
+        self.asked += 1;
+        vec![Label::new(0.999, truth)]
+    }
+
+    fn questions_asked(&self) -> usize {
+        self.asked
+    }
+
+    fn labels_collected(&self) -> usize {
+        self.asked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{infer_truth, TruthConfig, Verdict};
+
+    #[test]
+    fn simulated_crowd_counts_questions() {
+        let mut crowd = SimulatedCrowd::new(10, 0.8, 0.99, 5, 1);
+        let _ = crowd.label(true);
+        let _ = crowd.label(false);
+        assert_eq!(crowd.questions_asked(), 2);
+        assert_eq!(crowd.labels_collected(), 10);
+    }
+
+    #[test]
+    fn simulated_crowd_is_mostly_correct() {
+        let mut crowd = SimulatedCrowd::new(50, 0.85, 0.99, 5, 42);
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..200 {
+            let truth = i % 2 == 0;
+            for label in crowd.label(truth) {
+                total += 1;
+                if label.says_match == truth {
+                    correct += 1;
+                }
+            }
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(accuracy > 0.8, "accuracy {accuracy}");
+    }
+
+    #[test]
+    fn fixed_error_crowd_hits_target_rate() {
+        let mut crowd = FixedErrorCrowd::new(0.25, 5, 7);
+        let mut wrong = 0;
+        let mut total = 0;
+        for i in 0..400 {
+            let truth = i % 3 == 0;
+            for label in crowd.label(truth) {
+                total += 1;
+                if label.says_match != truth {
+                    wrong += 1;
+                }
+            }
+        }
+        let rate = wrong as f64 / total as f64;
+        assert!((rate - 0.25).abs() < 0.05, "error rate {rate}");
+    }
+
+    #[test]
+    fn oracle_is_always_right() {
+        let mut oracle = OracleCrowd::new();
+        for truth in [true, false, true] {
+            let labels = oracle.label(truth);
+            assert_eq!(labels.len(), 1);
+            assert_eq!(labels[0].says_match, truth);
+            let (verdict, _) = infer_truth(0.5, &labels, &TruthConfig::default());
+            assert_eq!(verdict, if truth { Verdict::Match } else { Verdict::NonMatch });
+        }
+        assert_eq!(oracle.questions_asked(), 3);
+    }
+
+    #[test]
+    fn seeded_crowds_are_deterministic() {
+        let run = |seed| {
+            let mut c = SimulatedCrowd::new(20, 0.8, 0.99, 5, seed);
+            (0..10).flat_map(|i| c.label(i % 2 == 0)).map(|l| l.says_match).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should differ");
+    }
+
+    #[test]
+    #[should_panic(expected = "adversarial")]
+    fn error_rate_above_half_rejected() {
+        let _ = FixedErrorCrowd::new(0.6, 5, 0);
+    }
+}

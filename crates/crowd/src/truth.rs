@@ -1,0 +1,206 @@
+//! Error-tolerant truth inference (paper §VII-A, Eq. 17).
+
+/// One worker's answer to a pairwise question.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Label {
+    /// The worker's quality `λ_w ∈ (0, 1]` — probability of answering
+    /// correctly (the paper reuses MTurk qualification-test precision).
+    pub worker_quality: f64,
+    /// `true` if the worker labeled the pair a match.
+    pub says_match: bool,
+}
+
+impl Label {
+    /// Convenience constructor.
+    pub fn new(worker_quality: f64, says_match: bool) -> Self {
+        Label { worker_quality, says_match }
+    }
+}
+
+/// Posterior probability that the question is a match given the labels
+/// (Eq. 17), computed in log-odds space for numerical robustness.
+///
+/// Workers with `λ = 0.5` contribute nothing; `λ` is clamped away from 0
+/// and 1 to keep odds finite.
+pub fn posterior_match_probability(prior: f64, labels: &[Label]) -> f64 {
+    let prior = prior.clamp(1e-9, 1.0 - 1e-9);
+    let mut log_odds = (prior / (1.0 - prior)).ln();
+    for label in labels {
+        let lambda = label.worker_quality.clamp(1e-6, 1.0 - 1e-6);
+        let delta = (lambda / (1.0 - lambda)).ln();
+        if label.says_match {
+            log_odds += delta;
+        } else {
+            log_odds -= delta;
+        }
+    }
+    1.0 / (1.0 + (-log_odds).exp())
+}
+
+/// Thresholds separating matches, non-matches and inconsistent questions.
+#[derive(Clone, Copy, Debug)]
+pub struct TruthConfig {
+    /// Posterior at or above this is a match (paper: 0.8).
+    pub match_threshold: f64,
+    /// Posterior at or below this is a non-match (paper: 0.2).
+    pub non_match_threshold: f64,
+}
+
+impl Default for TruthConfig {
+    fn default() -> Self {
+        TruthConfig { match_threshold: 0.8, non_match_threshold: 0.2 }
+    }
+}
+
+/// Outcome of truth inference for one question.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Consistently labeled a match.
+    Match,
+    /// Consistently labeled a non-match.
+    NonMatch,
+    /// Labels disagree: the question is *hard*. The pipeline lowers its
+    /// prior to the posterior so it is less likely to be asked again.
+    Inconsistent,
+}
+
+/// Runs Eq. 17 and thresholds the posterior (§VII-A).
+pub fn infer_truth(prior: f64, labels: &[Label], config: &TruthConfig) -> (Verdict, f64) {
+    let posterior = posterior_match_probability(prior, labels);
+    let verdict = if posterior >= config.match_threshold {
+        Verdict::Match
+    } else if posterior <= config.non_match_threshold {
+        Verdict::NonMatch
+    } else {
+        Verdict::Inconsistent
+    };
+    (verdict, posterior)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn labels(quality: f64, answers: &[bool]) -> Vec<Label> {
+        answers.iter().map(|&a| Label::new(quality, a)).collect()
+    }
+
+    #[test]
+    fn unanimous_matches_confirm() {
+        let p = posterior_match_probability(0.5, &labels(0.9, &[true; 5]));
+        assert!(p > 0.99, "got {p}");
+    }
+
+    #[test]
+    fn unanimous_non_matches_reject() {
+        let p = posterior_match_probability(0.5, &labels(0.9, &[false; 5]));
+        assert!(p < 0.01, "got {p}");
+    }
+
+    #[test]
+    fn split_vote_is_inconsistent() {
+        let (verdict, p) = infer_truth(
+            0.5,
+            &labels(0.9, &[true, true, false, false]),
+            &TruthConfig::default(),
+        );
+        assert_eq!(verdict, Verdict::Inconsistent);
+        assert!((p - 0.5).abs() < 1e-9, "balanced labels cancel, got {p}");
+    }
+
+    #[test]
+    fn majority_with_good_workers_wins() {
+        let (verdict, _) = infer_truth(
+            0.5,
+            &labels(0.9, &[true, true, true, false, false]),
+            &TruthConfig::default(),
+        );
+        assert_eq!(verdict, Verdict::Match);
+    }
+
+    #[test]
+    fn prior_shifts_posterior() {
+        let lbls = labels(0.7, &[true]);
+        let low = posterior_match_probability(0.1, &lbls);
+        let high = posterior_match_probability(0.9, &lbls);
+        assert!(low < high);
+    }
+
+    #[test]
+    fn neutral_worker_is_ignored() {
+        let p = posterior_match_probability(0.3, &labels(0.5, &[true, true, true]));
+        assert!((p - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_labels_returns_prior() {
+        let p = posterior_match_probability(0.42, &[]);
+        assert!((p - 0.42).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq17_closed_form_agrees() {
+        // Direct (non-log) evaluation of Eq. 17 for a mixed label set.
+        let prior: f64 = 0.6;
+        let lbls =
+            vec![Label::new(0.8, true), Label::new(0.7, false), Label::new(0.9, true)];
+        let pr_w_match: f64 =
+            lbls.iter().map(|l| if l.says_match { l.worker_quality } else { 1.0 - l.worker_quality }).product();
+        let pr_w_non: f64 =
+            lbls.iter().map(|l| if l.says_match { 1.0 - l.worker_quality } else { l.worker_quality }).product();
+        let expected = prior * pr_w_match / (prior * pr_w_match + (1.0 - prior) * pr_w_non);
+        let got = posterior_match_probability(prior, &lbls);
+        assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");
+    }
+
+    proptest! {
+        /// Posterior is a probability and adding a confirming label from a
+        /// better-than-chance worker never lowers it.
+        #[test]
+        fn posterior_monotone_in_confirming_labels(
+            prior in 0.01f64..0.99,
+            qualities in proptest::collection::vec(0.5f64..0.99, 0..6),
+            extra_quality in 0.51f64..0.99
+        ) {
+            let lbls: Vec<Label> = qualities.iter().map(|&q| Label::new(q, true)).collect();
+            let p0 = posterior_match_probability(prior, &lbls);
+            prop_assert!((0.0..=1.0).contains(&p0));
+            let mut more = lbls.clone();
+            more.push(Label::new(extra_quality, true));
+            let p1 = posterior_match_probability(prior, &more);
+            prop_assert!(p1 >= p0 - 1e-12);
+        }
+
+        /// Symmetry: flipping all answers and the prior mirrors the posterior.
+        #[test]
+        fn posterior_symmetry(
+            prior in 0.01f64..0.99,
+            entries in proptest::collection::vec((0.51f64..0.99, proptest::bool::ANY), 0..6)
+        ) {
+            let lbls: Vec<Label> = entries.iter().map(|&(q, a)| Label::new(q, a)).collect();
+            let flipped: Vec<Label> = entries.iter().map(|&(q, a)| Label::new(q, !a)).collect();
+            let p = posterior_match_probability(prior, &lbls);
+            let q = posterior_match_probability(1.0 - prior, &flipped);
+            prop_assert!((p - (1.0 - q)).abs() < 1e-9);
+        }
+
+        /// Verdicts respect the thresholds.
+        #[test]
+        fn verdict_matches_thresholds(
+            prior in 0.01f64..0.99,
+            entries in proptest::collection::vec((0.51f64..0.99, proptest::bool::ANY), 0..8)
+        ) {
+            let lbls: Vec<Label> = entries.iter().map(|&(q, a)| Label::new(q, a)).collect();
+            let cfg = TruthConfig::default();
+            let (verdict, p) = infer_truth(prior, &lbls, &cfg);
+            match verdict {
+                Verdict::Match => prop_assert!(p >= cfg.match_threshold),
+                Verdict::NonMatch => prop_assert!(p <= cfg.non_match_threshold),
+                Verdict::Inconsistent => {
+                    prop_assert!(p > cfg.non_match_threshold && p < cfg.match_threshold)
+                }
+            }
+        }
+    }
+}

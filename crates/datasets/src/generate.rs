@@ -1,0 +1,530 @@
+//! The two-KB world generator.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use remp_kb::{EntityId, Kb, KbBuilder, Value};
+
+use crate::spec::{AttrKind, DatasetSpec, Side};
+
+/// A generated dataset: two KBs plus the gold standards every experiment
+/// evaluates against.
+#[derive(Clone, Debug)]
+pub struct GeneratedDataset {
+    /// Dataset name.
+    pub name: String,
+    /// The first KB.
+    pub kb1: Kb,
+    /// The second KB.
+    pub kb2: Kb,
+    /// Gold entity matches (reference matches of §III-A).
+    pub gold: HashSet<(EntityId, EntityId)>,
+    /// Gold attribute matches as `(kb1 name, kb2 name)` (Table IV).
+    pub gold_attr_matches: Vec<(String, String)>,
+    /// Gold relationship matches as `(kb1 name, kb2 name)`.
+    pub gold_rel_matches: Vec<(String, String)>,
+}
+
+impl GeneratedDataset {
+    /// Whether `(u1, u2)` is a true match.
+    pub fn is_match(&self, u1: EntityId, u2: EntityId) -> bool {
+        self.gold.contains(&(u1, u2))
+    }
+
+    /// Number of gold matches.
+    pub fn num_gold(&self) -> usize {
+        self.gold.len()
+    }
+}
+
+/// Deterministic pseudo-word for token pools: index → "kelora"-style word.
+fn word(i: usize) -> String {
+    const SYLLABLES: [&str; 16] = [
+        "ba", "ke", "li", "mo", "nu", "ra", "sa", "ti", "vo", "zu", "an", "el", "ir", "or", "ul",
+        "en",
+    ];
+    let mut out = String::new();
+    let mut x = i;
+    // 3 syllables cover 4096 distinct words; longer indexes extend.
+    for _ in 0..3 {
+        out.push_str(SYLLABLES[x % SYLLABLES.len()]);
+        x /= SYLLABLES.len();
+    }
+    if x > 0 {
+        out.push_str(&x.to_string());
+    }
+    out
+}
+
+/// Draws one name token for a type: the *first* slot may come from the
+/// small common pool (given names, frequent title words) with
+/// `common_frac`; later slots always draw from the large rare pool.
+/// Restricting commonality to one slot yields realistic collision
+/// structure: many entities share a token (blocking bloat) but full-name
+/// doppelgängers stay rare.
+fn sample_name_token(ti: usize, slot: usize, t: &crate::spec::TypeSpec, rng: &mut StdRng) -> String {
+    if slot == 0 && t.common_pool > 0 && rng.gen_bool(t.common_frac.clamp(0.0, 1.0)) {
+        word(ti * 10_000 + 5_000 + rng.gen_range(0..t.common_pool))
+    } else {
+        word(ti * 10_000 + rng.gen_range(0..t.name_pool))
+    }
+}
+
+/// One world object.
+struct WorldObject {
+    type_idx: usize,
+    /// Name tokens (pool indexes into the type's pool).
+    name: Vec<String>,
+    /// World attribute values: (type-local attr index, value).
+    attrs: Vec<(usize, Value)>,
+    /// World edges: (type-local rel index, target object id).
+    edges: Vec<(usize, usize)>,
+    isolated: bool,
+    /// Sloppy objects have sparser, noisier attribute values.
+    sloppy: bool,
+}
+
+/// Generates the dataset for `spec` (deterministic under `spec.seed`).
+pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // ---- World objects ------------------------------------------------
+    let mut objects: Vec<WorldObject> = Vec::with_capacity(spec.total_objects());
+    let mut type_ranges: Vec<(usize, usize)> = Vec::new(); // object-id ranges per type
+    for (ti, t) in spec.types.iter().enumerate() {
+        let start = objects.len();
+        for _ in 0..t.count {
+            let n_tokens = rng.gen_range(t.name_tokens.0..=t.name_tokens.1.max(t.name_tokens.0));
+            // Offset pools by type so types have distinct (but overlapping
+            // via small pools) vocabularies. Tokens come from a small
+            // *common* pool (given names, frequent title words) with
+            // probability `common_frac`, else from the large rare pool —
+            // common tokens create the candidate bloat of Table V.
+            let name = (0..n_tokens)
+                .map(|slot| sample_name_token(ti, slot, t, &mut rng))
+                .collect();
+            let isolated = rng.gen_bool(t.isolated_frac.clamp(0.0, 1.0));
+            let sloppy = rng.gen_bool(t.sloppy_frac.clamp(0.0, 1.0));
+            objects.push(WorldObject {
+                type_idx: ti,
+                name,
+                attrs: Vec::new(),
+                edges: Vec::new(),
+                isolated,
+                sloppy,
+            });
+        }
+        type_ranges.push((start, objects.len()));
+    }
+
+    // World attribute values (shared base for both KBs).
+    for oi in 0..objects.len() {
+        let ti = objects[oi].type_idx;
+        let t = &spec.types[ti];
+        for (ai, a) in t.attrs.iter().enumerate() {
+            let v = match a.kind {
+                AttrKind::Text { tokens, pool } => {
+                    let text: Vec<String> = (0..tokens)
+                        .map(|_| word(ti * 10_000 + ai * 971 + rng.gen_range(0..pool.max(1))))
+                        .collect();
+                    Value::text(text.join(" "))
+                }
+                // Dates are stored as text (as real KBs do): token Jaccard
+                // separates different years, while numeric
+                // max-percentage-difference would call 1950 ≈ 1990 (0.98).
+                AttrKind::Year => Value::text(format!(
+                    "{} {:02} {:02}",
+                    1900 + rng.gen_range(0..120),
+                    rng.gen_range(1..13),
+                    rng.gen_range(1..29),
+                )),
+                AttrKind::Number { min, max } => Value::number(rng.gen_range(min..=max)),
+                AttrKind::Name => Value::text(objects[oi].name.join(" ")),
+            };
+            objects[oi].attrs.push((ai, v));
+        }
+    }
+
+    // World edges: only between non-isolated objects.
+    let non_isolated_of_type: Vec<Vec<usize>> = type_ranges
+        .iter()
+        .map(|&(s, e)| (s..e).filter(|&oi| !objects[oi].isolated).collect())
+        .collect();
+    for oi in 0..objects.len() {
+        if objects[oi].isolated {
+            continue;
+        }
+        let ti = objects[oi].type_idx;
+        let t = spec.types[ti].clone();
+        for (ri, r) in t.rels.iter().enumerate() {
+            let pool = &non_isolated_of_type[r.target];
+            if pool.is_empty() {
+                continue;
+            }
+            let fanout = rng.gen_range(r.fanout.0..=r.fanout.1.max(r.fanout.0));
+            for _ in 0..fanout {
+                let target = pool[rng.gen_range(0..pool.len())];
+                if target != oi {
+                    objects[oi].edges.push((ri, target));
+                }
+            }
+        }
+    }
+    for o in &mut objects {
+        o.edges.sort_unstable();
+        o.edges.dedup();
+    }
+
+    // ---- Project into the two KBs --------------------------------------
+    let mut b1 = KbBuilder::new(format!("{}-kb1", spec.name));
+    let mut b2 = KbBuilder::new(format!("{}-kb2", spec.name));
+
+    // Inclusion decisions.
+    let mut included: Vec<(bool, bool)> = objects
+        .iter()
+        .map(|o| {
+            let t = &spec.types[o.type_idx];
+            (rng.gen_bool(t.kb1_keep.clamp(0.0, 1.0)), rng.gen_bool(t.kb2_keep.clamp(0.0, 1.0)))
+        })
+        .collect();
+    // Neighbour closure: KBs are internally complete, so an included
+    // entity pulls in its relationship targets (two rounds bound the
+    // cascade).
+    let closure = spec.closure.clamp(0.0, 1.0);
+    if closure > 0.0 {
+        for _ in 0..2 {
+            for oi in 0..objects.len() {
+                for &(_, target) in &objects[oi].edges {
+                    if included[oi].0 && !included[target].0 && rng.gen_bool(closure) {
+                        included[target].0 = true;
+                    }
+                    if included[oi].1 && !included[target].1 && rng.gen_bool(closure) {
+                        included[target].1 = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Entity creation with per-KB label noise.
+    let mut ids1: Vec<Option<EntityId>> = vec![None; objects.len()];
+    let mut ids2: Vec<Option<EntityId>> = vec![None; objects.len()];
+    for (oi, o) in objects.iter().enumerate() {
+        let t = &spec.types[o.type_idx];
+        for kb in 0..2 {
+            let (inc, missing, noise) = if kb == 0 {
+                (included[oi].0, spec.missing_label1, spec.label_noise1)
+            } else {
+                (included[oi].1, spec.missing_label2, spec.label_noise2)
+            };
+            if !inc {
+                continue;
+            }
+            let label = if rng.gen_bool(missing.clamp(0.0, 1.0)) {
+                // A single unique token: blocking can never pair it.
+                format!("blank{kb}x{oi}")
+            } else {
+                let mut tokens = o.name.clone();
+                for (slot, tok) in tokens.iter_mut().enumerate() {
+                    if rng.gen_bool(noise.clamp(0.0, 1.0)) {
+                        *tok = sample_name_token(o.type_idx, slot, t, &mut rng);
+                    }
+                }
+                // Occasionally drop a token instead (second noise mode).
+                if tokens.len() > 1 && rng.gen_bool(noise.clamp(0.0, 1.0) / 2.0) {
+                    let drop = rng.gen_range(0..tokens.len());
+                    tokens.remove(drop);
+                }
+                tokens.join(" ")
+            };
+            if kb == 0 {
+                ids1[oi] = Some(b1.add_entity(label));
+            } else {
+                ids2[oi] = Some(b2.add_entity(label));
+            }
+        }
+    }
+
+    // Attribute triples.
+    for (oi, o) in objects.iter().enumerate() {
+        let t = &spec.types[o.type_idx];
+        for &(ai, ref base) in &o.attrs {
+            let a = &t.attrs[ai];
+            for kb in 0..2 {
+                let applicable = match a.side {
+                    Side::Both => true,
+                    Side::Kb1Only => kb == 0,
+                    Side::Kb2Only => kb == 1,
+                };
+                let id = if kb == 0 { ids1[oi] } else { ids2[oi] };
+                let (Some(id), true) = (id, applicable) else { continue };
+                // Sloppy objects miss values more often and corrupt the
+                // ones they have.
+                let present =
+                    if o.sloppy { a.present * 0.55 } else { a.present }.clamp(0.0, 1.0);
+                let noise =
+                    if o.sloppy { (a.noise * 3.5).max(0.35) } else { a.noise }.clamp(0.0, 1.0);
+                if !rng.gen_bool(present) {
+                    continue;
+                }
+                let mut value = base.clone();
+                if rng.gen_bool(noise) {
+                    value = perturb_value(&value, o.type_idx, ai, &a.kind, t, &mut rng);
+                }
+                if kb == 0 {
+                    let aid = b1.add_attr(&a.name1);
+                    b1.add_attr_triple(id, aid, value);
+                } else {
+                    let aid = b2.add_attr(&a.name2);
+                    b2.add_attr_triple(id, aid, value);
+                }
+            }
+        }
+    }
+
+    // Relationship triples.
+    for (oi, o) in objects.iter().enumerate() {
+        let t = &spec.types[o.type_idx];
+        for &(ri, target) in &o.edges {
+            let r = &t.rels[ri];
+            for kb in 0..2 {
+                let applicable = match r.side {
+                    Side::Both => true,
+                    Side::Kb1Only => kb == 0,
+                    Side::Kb2Only => kb == 1,
+                };
+                if !applicable || !rng.gen_bool(r.present.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                if kb == 0 {
+                    if let (Some(s), Some(t_)) = (ids1[oi], ids1[target]) {
+                        let rid = b1.add_rel(&r.name1);
+                        b1.add_rel_triple(s, rid, t_);
+                    }
+                } else if let (Some(s), Some(t_)) = (ids2[oi], ids2[target]) {
+                    let rid = b2.add_rel(&r.name2);
+                    b2.add_rel_triple(s, rid, t_);
+                }
+            }
+        }
+    }
+
+    // ---- Gold standards -------------------------------------------------
+    let gold: HashSet<(EntityId, EntityId)> = (0..objects.len())
+        .filter_map(|oi| Some((ids1[oi]?, ids2[oi]?)))
+        .collect();
+
+    let mut gold_attr_matches: Vec<(String, String)> = Vec::new();
+    let mut gold_rel_matches: Vec<(String, String)> = Vec::new();
+    for t in &spec.types {
+        for a in &t.attrs {
+            if a.side == Side::Both {
+                let entry = (a.name1.clone(), a.name2.clone());
+                if !gold_attr_matches.contains(&entry) {
+                    gold_attr_matches.push(entry);
+                }
+            }
+        }
+        for r in &t.rels {
+            if r.side == Side::Both {
+                let entry = (r.name1.clone(), r.name2.clone());
+                if !gold_rel_matches.contains(&entry) {
+                    gold_rel_matches.push(entry);
+                }
+            }
+        }
+    }
+
+    GeneratedDataset {
+        name: spec.name.clone(),
+        kb1: b1.finish(),
+        kb2: b2.finish(),
+        gold,
+        gold_attr_matches,
+        gold_rel_matches,
+    }
+}
+
+/// Perturbs a base value within its domain.
+fn perturb_value(
+    value: &Value,
+    type_idx: usize,
+    attr_idx: usize,
+    kind: &AttrKind,
+    t: &crate::spec::TypeSpec,
+    rng: &mut StdRng,
+) -> Value {
+    match (value, kind) {
+        (Value::Text(text), AttrKind::Text { pool, .. }) => {
+            let mut tokens: Vec<String> = text.split(' ').map(str::to_owned).collect();
+            let i = rng.gen_range(0..tokens.len());
+            let pool = (*pool).max(1);
+            tokens[i] = word(type_idx * 10_000 + attr_idx * 971 + rng.gen_range(0..pool));
+            Value::text(tokens.join(" "))
+        }
+        (Value::Text(t), AttrKind::Year) => {
+            // Perturb the day (and sometimes month), keeping the year.
+            let mut parts: Vec<String> = t.split(' ').map(str::to_owned).collect();
+            if parts.len() == 3 {
+                parts[2] = format!("{:02}", rng.gen_range(1..29));
+                if rng.gen_bool(0.3) {
+                    parts[1] = format!("{:02}", rng.gen_range(1..13));
+                }
+            }
+            Value::text(parts.join(" "))
+        }
+        (Value::Number(n), AttrKind::Number { .. }) => {
+            Value::number(n * (1.0 + rng.gen_range(-0.2f64..0.2)))
+        }
+        (Value::Text(text), AttrKind::Name) => {
+            let mut tokens: Vec<String> = text.split(' ').map(str::to_owned).collect();
+            let i = rng.gen_range(0..tokens.len());
+            tokens[i] = sample_name_token(type_idx, i, t, rng);
+            Value::text(tokens.join(" "))
+        }
+        // Mismatched value/kind should not happen; return unchanged.
+        (v, _) => v.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{AttrSpec, RelSpec, TypeSpec};
+
+    fn tiny_spec() -> DatasetSpec {
+        let mut person = TypeSpec::new("person", 60);
+        person.attrs.push(AttrSpec::text("name", "label", 2, 40));
+        person.attrs.push(AttrSpec::year("born", "birthYear"));
+        person.rels.push(RelSpec::new("livesIn", "residence", 1, (1, 1)));
+        person.isolated_frac = 0.2;
+        let mut city = TypeSpec::new("city", 20);
+        city.attrs.push(AttrSpec::text("cityName", "cityLabel", 1, 15));
+        DatasetSpec {
+            name: "tiny".into(),
+            seed: 11,
+            types: vec![person, city],
+            label_noise1: 0.1,
+            label_noise2: 0.1,
+            missing_label1: 0.0,
+            missing_label2: 0.0,
+            closure: 0.0,
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = generate(&tiny_spec());
+        let b = generate(&tiny_spec());
+        assert_eq!(a.kb1.num_entities(), b.kb1.num_entities());
+        assert_eq!(a.gold, b.gold);
+        for u in a.kb1.entities() {
+            assert_eq!(a.kb1.label(u), b.kb1.label(u));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&tiny_spec());
+        let mut spec = tiny_spec();
+        spec.seed = 12;
+        let b = generate(&spec);
+        let labels_a: Vec<_> = a.kb1.entities().map(|u| a.kb1.label(u).to_owned()).collect();
+        let labels_b: Vec<_> = b.kb1.entities().map(|u| b.kb1.label(u).to_owned()).collect();
+        assert_ne!(labels_a, labels_b);
+    }
+
+    #[test]
+    fn gold_is_one_to_one() {
+        let d = generate(&tiny_spec());
+        let mut lefts = HashSet::new();
+        let mut rights = HashSet::new();
+        for &(u1, u2) in &d.gold {
+            assert!(lefts.insert(u1), "duplicate left entity in gold");
+            assert!(rights.insert(u2), "duplicate right entity in gold");
+        }
+    }
+
+    #[test]
+    fn full_keep_gives_full_gold() {
+        let d = generate(&tiny_spec());
+        // keep = 1.0 on both sides → every object matched.
+        assert_eq!(d.num_gold(), 80);
+        assert_eq!(d.kb1.num_entities(), 80);
+        assert_eq!(d.kb2.num_entities(), 80);
+    }
+
+    #[test]
+    fn partial_keep_shrinks_kbs_and_gold() {
+        let mut spec = tiny_spec();
+        spec.types[0].kb1_keep = 0.5;
+        spec.types[0].kb2_keep = 0.5;
+        let d = generate(&spec);
+        assert!(d.kb1.num_entities() < 80);
+        assert!(d.num_gold() < d.kb1.num_entities().min(d.kb2.num_entities()) + 1);
+        // Every gold pair references valid entities.
+        for &(u1, u2) in &d.gold {
+            assert!(u1.index() < d.kb1.num_entities());
+            assert!(u2.index() < d.kb2.num_entities());
+        }
+    }
+
+    #[test]
+    fn isolated_fraction_materialises() {
+        let d = generate(&tiny_spec());
+        let isolated1 = d.kb1.stats().isolated_entities;
+        // 20% of 60 persons ± randomness; cities are targets so most are
+        // connected. At least a few isolated entities must exist.
+        assert!(isolated1 > 3, "got {isolated1}");
+    }
+
+    #[test]
+    fn schema_gold_reflects_sides() {
+        let mut spec = tiny_spec();
+        spec.types[0].attrs.push(AttrSpec::junk("junk1", Side::Kb1Only));
+        spec.types[0].rels.push(RelSpec::junk("jrel", 1, Side::Kb2Only));
+        let d = generate(&spec);
+        assert_eq!(d.gold_attr_matches.len(), 3, "{:?}", d.gold_attr_matches);
+        assert_eq!(d.gold_rel_matches.len(), 1);
+        // Junk attr exists only in kb1.
+        assert!(d.kb1.attrs().any(|a| d.kb1.attr_name(a) == "junk1"));
+        assert!(!d.kb2.attrs().any(|a| d.kb2.attr_name(a) == "junk1"));
+    }
+
+    #[test]
+    fn missing_labels_are_unique_blanks() {
+        let mut spec = tiny_spec();
+        spec.missing_label1 = 1.0;
+        let d = generate(&spec);
+        let mut seen = HashSet::new();
+        for u in d.kb1.entities() {
+            let l = d.kb1.label(u);
+            assert!(l.starts_with("blank0"), "got {l}");
+            assert!(seen.insert(l.to_owned()), "blank labels must be unique");
+        }
+    }
+
+    #[test]
+    fn word_generator_is_deterministic_and_distinct() {
+        assert_eq!(word(5), word(5));
+        let distinct: HashSet<String> = (0..500).map(word).collect();
+        assert_eq!(distinct.len(), 500);
+    }
+
+    #[test]
+    fn labels_mostly_similar_across_kbs() {
+        // With 10% token noise, most matched pairs keep similar labels.
+        let d = generate(&tiny_spec());
+        let mut exact = 0;
+        for &(u1, u2) in &d.gold {
+            if d.kb1.label(u1) == d.kb2.label(u2) {
+                exact += 1;
+            }
+        }
+        let frac = exact as f64 / d.num_gold() as f64;
+        assert!(frac > 0.4, "exact label fraction {frac}");
+        assert!(frac < 1.0, "noise must perturb something");
+    }
+}

@@ -1,0 +1,401 @@
+//! The four dataset presets replicating Table II's shapes (see crate docs
+//! and DESIGN.md §2 for the substitution argument).
+
+use crate::spec::{AttrSpec, DatasetSpec, RelSpec, Side, TypeSpec};
+
+/// Names of all presets in paper order.
+pub const PRESET_NAMES: [&str; 4] = ["IIMB", "D-A", "I-Y", "D-Y"];
+
+/// Looks up a preset by its Table II abbreviation (case-insensitive).
+pub fn preset_by_name(name: &str, scale: f64) -> Option<DatasetSpec> {
+    match name.to_ascii_uppercase().as_str() {
+        "IIMB" => Some(iimb(scale)),
+        "D-A" | "DBLP-ACM" => Some(dblp_acm(scale)),
+        "I-Y" | "IMDB-YAGO" => Some(imdb_yago(scale)),
+        "D-Y" | "DBPEDIA-YAGO" => Some(dbpedia_yago(scale)),
+        _ => None,
+    }
+}
+
+/// IIMB: a small synthetic OAEI benchmark — two KBs with *identical*
+/// schemas (12 attributes, 15 relationships in the paper), full overlap
+/// (365 entities ↔ 365 matches) and light value noise.
+pub fn iimb(scale: f64) -> DatasetSpec {
+    let mut person = TypeSpec::new("person", 150);
+    person.name_pool = 380;
+    person.common_pool = 40;
+    person.common_frac = 0.3;
+    person.attrs = vec![
+        AttrSpec::name("name", "name"),
+        AttrSpec::year("birthYear", "birthYear").with_present(0.7),
+        AttrSpec::text("nationality", "nationality", 1, 12).with_present(0.6).with_noise(0.15),
+        AttrSpec::text("occupation", "occupation", 1, 20).with_present(0.55).with_noise(0.15),
+    ];
+    person.rels = vec![
+        RelSpec::new("actedIn", "actedIn", 1, (1, 3)),
+        RelSpec::new("bornIn", "bornIn", 2, (1, 1)),
+        RelSpec::new("knows", "knows", 0, (0, 2)),
+    ];
+    person.isolated_frac = 0.02;
+    person.sloppy_frac = 0.05;
+
+    let mut film = TypeSpec::new("film", 120);
+    film.name_pool = 320;
+    film.common_pool = 30;
+    film.common_frac = 0.25;
+    film.attrs = vec![
+        AttrSpec::name("title", "title"),
+        AttrSpec::year("released", "released").with_present(0.7),
+        AttrSpec::text("genre", "genre", 1, 10).with_present(0.6).with_noise(0.15),
+        AttrSpec::text("language", "language", 1, 8).with_present(0.55).with_noise(0.15),
+    ];
+    film.sloppy_frac = 0.08;
+    film.rels = vec![
+        RelSpec::new("directedBy", "directedBy", 0, (1, 1)),
+        RelSpec::new("filmedIn", "filmedIn", 2, (1, 2)),
+    ];
+
+    let mut location = TypeSpec::new("location", 95);
+    location.name_pool = 220;
+    location.common_pool = 25;
+    location.common_frac = 0.2;
+    location.attrs = vec![
+        AttrSpec::name("locName", "locName"),
+        AttrSpec::number("population", "population", 1e3, 1e7).with_present(0.5),
+        AttrSpec::text("country", "country", 1, 15).with_present(0.65).with_noise(0.15),
+        AttrSpec::text("region", "region", 1, 25).with_present(0.5).with_noise(0.15),
+    ];
+    location.rels = vec![RelSpec::new("partOf", "partOf", 2, (0, 1))];
+    location.isolated_frac = 0.03;
+    location.sloppy_frac = 0.08;
+
+    DatasetSpec {
+        name: "IIMB".into(),
+        seed: 0x11_B0,
+        types: vec![person, film, location],
+        label_noise1: 0.04,
+        label_noise2: 0.08,
+        missing_label1: 0.0,
+        missing_label2: 0.0,
+        closure: 0.0,
+    }
+    .scaled(scale)
+}
+
+/// DBLP-ACM: bibliographic data — publications with authorship splits.
+/// Asymmetric KB sizes (≈ 1 : 8 in our scaling of the paper's
+/// 2.61K / 64.3K), 3 attributes, a *single* relationship type, very clean
+/// labels. The single relationship and many isolated components are what
+/// limits Remp's advantage here (paper §VIII-A observation 4).
+pub fn dblp_acm(scale: f64) -> DatasetSpec {
+    let mut publication = TypeSpec::new("pub", 500);
+    publication.name_tokens = (3, 5);
+    publication.name_pool = 900;
+    publication.common_pool = 25;
+    publication.common_frac = 0.3;
+    publication.attrs = vec![
+        AttrSpec::name("title", "title").with_noise(0.04),
+        AttrSpec::text("venue", "booktitle", 1, 12).with_noise(0.1),
+        AttrSpec::year("year", "yr"),
+    ];
+    publication.rels = vec![RelSpec::new("writtenBy", "authoredBy", 1, (1, 3))];
+    publication.sloppy_frac = 0.05;
+    publication.kb1_keep = 0.35;
+    publication.kb2_keep = 0.95;
+
+    let mut author = TypeSpec::new("author", 1500);
+    author.name_tokens = (2, 3);
+    author.name_pool = 1100;
+    // Given names: a small shared pool creates many same-given-name
+    // author candidates, the bulk of D-A's 49% reduction ratio.
+    author.common_pool = 14;
+    author.common_frac = 0.5;
+    author.attrs = vec![AttrSpec::name("authorName", "name").with_noise(0.05)];
+    author.sloppy_frac = 0.05;
+    author.isolated_frac = 0.03;
+    author.kb1_keep = 0.02;
+    author.kb2_keep = 0.95;
+
+    DatasetSpec {
+        name: "D-A".into(),
+        seed: 0xDA,
+        types: vec![publication, author],
+        label_noise1: 0.04,
+        label_noise2: 0.04,
+        missing_label1: 0.0,
+        missing_label2: 0.0,
+        closure: 0.95,
+    }
+    .scaled(scale)
+}
+
+/// IMDB-YAGO: movie domain, heterogeneous schemas — only 4 attribute
+/// pairs truly match (Table IV) among 14 vs 36 attributes; label evidence
+/// is weak (the paper credits Remp's win to relational inference here);
+/// 28% of matches are isolated (Table VIII).
+pub fn imdb_yago(scale: f64) -> DatasetSpec {
+    let mut person = TypeSpec::new("person", 1400);
+    person.name_tokens = (2, 2);
+    person.name_pool = 1000;
+    person.common_pool = 10;
+    person.common_frac = 0.5;
+    person.attrs = vec![
+        AttrSpec::name("name", "label").with_noise(0.1),
+        AttrSpec::year("birthYear", "bornOn"),
+        // KB-specific attributes (no true counterpart).
+        AttrSpec::junk("imdbRank", Side::Kb1Only),
+        AttrSpec::junk("height", Side::Kb1Only),
+        AttrSpec::junk_name("imdbPage", Side::Kb1Only),
+        AttrSpec::junk_name("yagoId", Side::Kb2Only),
+        AttrSpec::junk_name("wikiPage", Side::Kb2Only),
+        AttrSpec::junk("gloss", Side::Kb2Only),
+        AttrSpec::junk("transcription", Side::Kb2Only),
+        AttrSpec::junk("wordnet", Side::Kb2Only),
+    ];
+    person.rels = vec![
+        RelSpec::new("actedIn", "actedIn", 1, (1, 4)),
+        RelSpec::new("directed", "directorOf", 1, (0, 1)),
+        RelSpec::new("bornIn", "wasBornIn", 2, (1, 1)),
+        RelSpec::junk("imdbFavourite", 0, Side::Kb1Only),
+        RelSpec::junk("yagoLink1", 1, Side::Kb2Only),
+        RelSpec::junk("yagoLink2", 2, Side::Kb2Only),
+    ];
+    person.sloppy_frac = 0.12;
+    person.isolated_frac = 0.3;
+    person.kb1_keep = 0.9;
+    person.kb2_keep = 0.3;
+
+    let mut movie = TypeSpec::new("movie", 900);
+    movie.name_tokens = (2, 4);
+    movie.name_pool = 800;
+    movie.common_pool = 10;
+    movie.common_frac = 0.45;
+    movie.attrs = vec![
+        // "name"/"label" is the same attribute id as on persons (interned
+        // by name): real KBs share rdfs:label across all types, which is
+        // why I-Y's gold standard has only 4 attribute matches.
+        AttrSpec::name("name", "label").with_noise(0.1),
+        AttrSpec::year("releaseYear", "publishedOn"),
+        AttrSpec::text("language", "inLanguage", 1, 10).with_noise(0.1),
+        AttrSpec::junk("imdbScore", Side::Kb1Only),
+        AttrSpec::junk("plot", Side::Kb1Only),
+        AttrSpec::junk("yagoCategory", Side::Kb2Only),
+        AttrSpec::junk("infoboxType", Side::Kb2Only),
+    ];
+    movie.rels = vec![
+        RelSpec::new("filmedIn", "locatedIn", 2, (0, 2)),
+        RelSpec::junk("yagoLink3", 0, Side::Kb2Only),
+    ];
+    movie.sloppy_frac = 0.12;
+    movie.isolated_frac = 0.25;
+    movie.kb1_keep = 0.9;
+    movie.kb2_keep = 0.3;
+
+    let mut place = TypeSpec::new("place", 250);
+    place.name_pool = 300;
+    place.common_pool = 8;
+    place.common_frac = 0.4;
+    place.attrs = vec![
+        // Places share the cross-type "name"/"label" attribute; their other
+        // attributes are KB-specific. Total I-Y attribute gold: name/label,
+        // birthYear/bornOn, releaseYear/publishedOn, language/inLanguage
+        // = 4 (Table IV).
+        AttrSpec::name("name", "label").with_noise(0.08),
+        AttrSpec::junk("imdbLocation", Side::Kb1Only),
+        AttrSpec::junk("population", Side::Kb2Only),
+    ];
+    place.rels = vec![RelSpec::new("inCountry", "locatedIn2", 2, (0, 1))];
+    place.sloppy_frac = 0.12;
+    place.isolated_frac = 0.2;
+    place.kb1_keep = 0.9;
+    place.kb2_keep = 0.5;
+
+    DatasetSpec {
+        name: "I-Y".into(),
+        seed: 0x1A60,
+        types: vec![person, movie, place],
+        label_noise1: 0.08,
+        label_noise2: 0.08,
+        missing_label1: 0.005,
+        missing_label2: 0.005,
+        closure: 0.6,
+    }
+    .scaled(scale)
+}
+
+/// DBpedia-YAGO: the hardest shape — many entity types without clear type
+/// information, a large KB1-specific attribute tail (684 vs 36 in the
+/// paper; 19 true matches per its Table IV), 8.4% missing labels capping
+/// pair completeness at ≈ 88%, and a 60% isolated-match fraction
+/// (Table VIII).
+pub fn dbpedia_yago(scale: f64) -> DatasetSpec {
+    let mk_junk1 = |i: usize| AttrSpec::junk(&format!("dbpProp{i}"), Side::Kb1Only);
+
+    let mut person = TypeSpec::new("person", 1200);
+    person.name_pool = 850;
+    person.common_pool = 12;
+    person.common_frac = 0.5;
+    person.attrs = vec![
+        AttrSpec::name("name", "label").with_noise(0.08),
+        AttrSpec::year("birthDate", "wasBornOnDate"),
+        AttrSpec::year("deathDate", "diedOnDate").with_present(0.4),
+        AttrSpec::text("almaMater", "graduatedFrom", 1, 50).with_noise(0.12),
+        AttrSpec::text("nationality", "isCitizenOf", 1, 25).with_noise(0.12),
+        AttrSpec::number("height", "hasHeight", 1.4, 2.1).with_present(0.3),
+    ];
+    person.attrs.push(AttrSpec::junk_name("dbpWikiUrl", Side::Kb1Only));
+    person.attrs.extend((0..5).map(mk_junk1));
+    person.rels = vec![
+        RelSpec::new("birthPlace", "wasBornIn", 3, (1, 1)),
+        RelSpec::new("deathPlace", "diedIn", 3, (0, 1)),
+        RelSpec::new("spouse", "isMarriedTo", 0, (0, 1)),
+        RelSpec::new("employer", "worksAt", 2, (1, 2)),
+        RelSpec::junk("dbpRel1", 0, Side::Kb1Only),
+        RelSpec::junk("dbpRel2", 1, Side::Kb1Only),
+    ];
+    person.sloppy_frac = 0.05;
+    person.isolated_frac = 0.6;
+    person.kb1_keep = 0.8;
+    person.kb2_keep = 0.75;
+
+    let mut work = TypeSpec::new("work", 1000);
+    work.name_tokens = (2, 4);
+    work.name_pool = 750;
+    work.common_pool = 10;
+    work.common_frac = 0.45;
+    work.attrs = vec![
+        AttrSpec::name("workTitle", "workLabel").with_noise(0.08),
+        AttrSpec::year("published", "createdOnDate"),
+        AttrSpec::text("genre", "genreLabel", 1, 15).with_noise(0.1),
+        AttrSpec::text("language", "inLanguage", 1, 10).with_noise(0.1),
+        AttrSpec::number("pages", "hasPages", 50.0, 900.0).with_present(0.3),
+    ];
+    work.attrs.push(AttrSpec::junk_name("dbpWorkUrl", Side::Kb1Only));
+    work.attrs.extend((6..11).map(mk_junk1));
+    work.rels = vec![
+        RelSpec::new("author", "created", 0, (1, 3)),
+        RelSpec::new("publisher", "publishedBy", 2, (1, 1)),
+        RelSpec::new("setIn", "happenedIn", 3, (0, 1)),
+        RelSpec::junk("dbpRel3", 1, Side::Kb1Only),
+    ];
+    work.sloppy_frac = 0.05;
+    work.isolated_frac = 0.55;
+    work.kb1_keep = 0.8;
+    work.kb2_keep = 0.75;
+
+    let mut org = TypeSpec::new("org", 600);
+    org.name_pool = 450;
+    org.common_pool = 8;
+    org.common_frac = 0.4;
+    org.attrs = vec![
+        AttrSpec::name("orgName", "orgLabel").with_noise(0.08),
+        AttrSpec::year("founded", "wasCreatedOnDate"),
+        AttrSpec::text("industry", "inIndustry", 1, 18).with_noise(0.15),
+        AttrSpec::number("employees", "hasEmployees", 10.0, 1e5).with_present(0.4),
+    ];
+    org.attrs.extend((12..17).map(mk_junk1));
+    org.rels = vec![
+        RelSpec::new("headquarter", "isLocatedIn", 3, (1, 1)),
+        RelSpec::junk("dbpRel4", 3, Side::Kb1Only),
+    ];
+    org.sloppy_frac = 0.05;
+    org.isolated_frac = 0.55;
+    org.kb1_keep = 0.8;
+    org.kb2_keep = 0.75;
+
+    let mut place = TypeSpec::new("place", 800);
+    place.name_pool = 550;
+    place.common_pool = 10;
+    place.common_frac = 0.4;
+    place.attrs = vec![
+        AttrSpec::name("placeName", "placeLabel").with_noise(0.1),
+        AttrSpec::number("population", "hasPopulation", 1e3, 1e7),
+        AttrSpec::text("country", "inCountry", 1, 20).with_noise(0.1),
+        AttrSpec::year("established", "wasFoundedOnDate").with_present(0.4),
+    ];
+    place.attrs.extend((17..22).map(mk_junk1));
+    place.rels = vec![
+        RelSpec::new("partOf", "isLocatedIn2", 3, (1, 1)),
+        RelSpec::junk("dbpRel5", 3, Side::Kb1Only),
+    ];
+    place.sloppy_frac = 0.05;
+    place.isolated_frac = 0.5;
+    place.kb1_keep = 0.8;
+    place.kb2_keep = 0.75;
+
+    DatasetSpec {
+        name: "D-Y".into(),
+        seed: 0xD1A6,
+        types: vec![person, work, org, place],
+        label_noise1: 0.08,
+        label_noise2: 0.08,
+        missing_label1: 0.084,
+        missing_label2: 0.04,
+        closure: 0.85,
+    }
+    .scaled(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn all_presets_resolve_by_name() {
+        for name in PRESET_NAMES {
+            assert!(preset_by_name(name, 1.0).is_some(), "{name}");
+        }
+        assert!(preset_by_name("nope", 1.0).is_none());
+    }
+
+    #[test]
+    fn iimb_shape() {
+        let d = generate(&iimb(1.0));
+        // Identical schemas: every attribute/relationship matches.
+        assert_eq!(d.kb1.num_attrs(), d.kb2.num_attrs());
+        assert_eq!(d.kb1.num_rels(), d.kb2.num_rels());
+        // Full overlap.
+        assert_eq!(d.num_gold(), d.kb1.num_entities());
+        assert_eq!(d.kb1.num_entities(), 365);
+    }
+
+    #[test]
+    fn dblp_acm_is_asymmetric() {
+        let d = generate(&dblp_acm(1.0));
+        let (n1, n2) = (d.kb1.num_entities(), d.kb2.num_entities());
+        assert!(n2 > 3 * n1, "expected KB2 ≫ KB1, got {n1} vs {n2}");
+        assert_eq!(d.kb1.num_rels(), 1, "single relationship type");
+    }
+
+    #[test]
+    fn imdb_yago_attr_gold_is_small() {
+        let d = generate(&imdb_yago(1.0));
+        // 4 true attribute matches (Table IV).
+        assert_eq!(d.gold_attr_matches.len(), 4, "{:?}", d.gold_attr_matches);
+        assert!(d.kb2.num_attrs() > d.kb1.num_attrs() - 5, "KB2 has the junk tail");
+    }
+
+    #[test]
+    fn dbpedia_yago_attr_gold_is_19() {
+        let d = generate(&dbpedia_yago(1.0));
+        // 19 true attribute matches (paper Table IV).
+        assert_eq!(d.gold_attr_matches.len(), 19, "{:?}", d.gold_attr_matches);
+        assert!(d.kb1.num_attrs() > d.kb2.num_attrs(), "KB1 carries the dbpProp tail");
+    }
+
+    #[test]
+    fn dbpedia_yago_is_mostly_isolated() {
+        let d = generate(&dbpedia_yago(0.5));
+        let frac = d.kb1.stats().isolated_fraction();
+        assert!(frac > 0.35, "isolated fraction {frac}");
+    }
+
+    #[test]
+    fn scaling_shrinks_datasets() {
+        let full = generate(&imdb_yago(0.5));
+        let small = generate(&imdb_yago(0.25));
+        assert!(small.kb1.num_entities() < full.kb1.num_entities());
+        assert!(small.num_gold() < full.num_gold());
+    }
+}

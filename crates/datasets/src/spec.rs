@@ -1,0 +1,346 @@
+//! Declarative dataset specifications.
+
+/// Which KBs an attribute or relationship exists in.
+///
+/// KB-specific schema elements are what makes attribute matching
+/// non-trivial (paper Table IV: I-Y has 14 vs 36 attributes with only 4
+/// true matches).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Present in both KBs (a true attribute/relationship match).
+    Both,
+    /// Only in KB1.
+    Kb1Only,
+    /// Only in KB2.
+    Kb2Only,
+}
+
+/// Value domain of an attribute.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AttrKind {
+    /// Free text drawn from a per-attribute token pool.
+    Text {
+        /// Tokens per value.
+        tokens: usize,
+        /// Token-pool size (smaller = more confusable values).
+        pool: usize,
+    },
+    /// A date rendered as text `"YYYY MM DD"` (token Jaccard keeps
+    /// years informative; numeric percentage difference would not).
+    Year,
+    /// The entity's own name (rdfs:label-style): the attribute value is
+    /// the world object's name with independent per-KB noise, so vector
+    /// components correlate gradually with label similarity.
+    Name,
+    /// A real number in `[min, max]`.
+    Number {
+        /// Lower bound.
+        min: f64,
+        /// Upper bound.
+        max: f64,
+    },
+}
+
+/// One attribute of a type.
+#[derive(Clone, Debug)]
+pub struct AttrSpec {
+    /// Name in KB1 (used in both if `side == Both` and `name2` is empty).
+    pub name1: String,
+    /// Name in KB2 (heterogeneous schemas rename attributes).
+    pub name2: String,
+    /// Value domain.
+    pub kind: AttrKind,
+    /// Probability an entity carries the attribute, per KB.
+    pub present: f64,
+    /// Probability the value is perturbed in a given KB.
+    pub noise: f64,
+    /// Which KBs the attribute exists in.
+    pub side: Side,
+}
+
+impl AttrSpec {
+    /// A shared text attribute with default presence/noise.
+    pub fn text(name1: &str, name2: &str, tokens: usize, pool: usize) -> AttrSpec {
+        AttrSpec {
+            name1: name1.into(),
+            name2: name2.into(),
+            kind: AttrKind::Text { tokens, pool },
+            present: 0.9,
+            noise: 0.1,
+            side: Side::Both,
+        }
+    }
+
+    /// A shared year attribute.
+    pub fn year(name1: &str, name2: &str) -> AttrSpec {
+        AttrSpec {
+            name1: name1.into(),
+            name2: name2.into(),
+            kind: AttrKind::Year,
+            present: 0.9,
+            noise: 0.05,
+            side: Side::Both,
+        }
+    }
+
+    /// A shared name attribute carrying the entity's own label.
+    pub fn name(name1: &str, name2: &str) -> AttrSpec {
+        AttrSpec {
+            name1: name1.into(),
+            name2: name2.into(),
+            kind: AttrKind::Name,
+            present: 0.95,
+            noise: 0.08,
+            side: Side::Both,
+        }
+    }
+
+    /// A shared numeric attribute.
+    pub fn number(name1: &str, name2: &str, min: f64, max: f64) -> AttrSpec {
+        AttrSpec {
+            name1: name1.into(),
+            name2: name2.into(),
+            kind: AttrKind::Number { min, max },
+            present: 0.8,
+            noise: 0.1,
+            side: Side::Both,
+        }
+    }
+
+    /// A KB-specific *name-derived* attribute (never a true match, but its
+    /// values correlate with the entity name — wiki page URLs, external
+    /// ids). These are what the 1:1 constraint protects against
+    /// (Table IV's "w/o 1:1" precision drop).
+    pub fn junk_name(name: &str, side: Side) -> AttrSpec {
+        AttrSpec {
+            name1: name.into(),
+            name2: name.into(),
+            kind: AttrKind::Name,
+            present: 0.6,
+            noise: 0.15,
+            side,
+        }
+    }
+
+    /// A KB-specific junk attribute (never a true match).
+    pub fn junk(name: &str, side: Side) -> AttrSpec {
+        AttrSpec {
+            name1: name.into(),
+            name2: name.into(),
+            kind: AttrKind::Text { tokens: 2, pool: 500 },
+            present: 0.5,
+            noise: 0.0,
+            side,
+        }
+    }
+
+    /// Overrides presence probability.
+    pub fn with_present(mut self, p: f64) -> AttrSpec {
+        self.present = p;
+        self
+    }
+
+    /// Overrides noise probability.
+    pub fn with_noise(mut self, p: f64) -> AttrSpec {
+        self.noise = p;
+        self
+    }
+}
+
+/// One relationship of a type.
+#[derive(Clone, Debug)]
+pub struct RelSpec {
+    /// Name in KB1.
+    pub name1: String,
+    /// Name in KB2.
+    pub name2: String,
+    /// Index of the target type within [`DatasetSpec::types`].
+    pub target: usize,
+    /// Fan-out range (inclusive): 1..=1 is a functional relationship.
+    pub fanout: (usize, usize),
+    /// Probability a world edge is kept in a given KB.
+    pub present: f64,
+    /// Which KBs the relationship exists in.
+    pub side: Side,
+}
+
+impl RelSpec {
+    /// A shared relationship.
+    pub fn new(name1: &str, name2: &str, target: usize, fanout: (usize, usize)) -> RelSpec {
+        RelSpec {
+            name1: name1.into(),
+            name2: name2.into(),
+            target,
+            fanout,
+            present: 0.9,
+            side: Side::Both,
+        }
+    }
+
+    /// A KB-specific junk relationship.
+    pub fn junk(name: &str, target: usize, side: Side) -> RelSpec {
+        RelSpec {
+            name1: name.into(),
+            name2: name.into(),
+            target,
+            fanout: (1, 2),
+            present: 0.5,
+            side,
+        }
+    }
+
+    /// Overrides presence probability.
+    pub fn with_present(mut self, p: f64) -> RelSpec {
+        self.present = p;
+        self
+    }
+}
+
+/// One entity type of the world.
+#[derive(Clone, Debug)]
+pub struct TypeSpec {
+    /// Type name (used in generated entity names).
+    pub name: String,
+    /// Number of world objects (multiplied by the dataset scale).
+    pub count: usize,
+    /// Name-token pool size; smaller pools create confusable labels.
+    pub name_pool: usize,
+    /// Size of the *common* token pool (given names, stop-words of
+    /// titles). Common tokens are shared by many entities and drive the
+    /// candidate bloat that pruning must remove (paper Table V). 0
+    /// disables.
+    pub common_pool: usize,
+    /// Probability a name token is drawn from the common pool.
+    pub common_frac: f64,
+    /// Tokens per entity name (min, max).
+    pub name_tokens: (usize, usize),
+    /// Attributes of this type.
+    pub attrs: Vec<AttrSpec>,
+    /// Outgoing relationships of this type.
+    pub rels: Vec<RelSpec>,
+    /// Fraction of objects that participate in no relationship at all
+    /// (drives Table VIII).
+    pub isolated_frac: f64,
+    /// Fraction of "sloppy" objects: their attribute values are noisier
+    /// and sparser across the board. Sloppy matches look globally weaker
+    /// than clean non-matches — the cross-entity partial-order violations
+    /// that hurt the monotonicity baselines in the paper (§VIII-A) while
+    /// leaving within-block order (and Remp's relational evidence) intact.
+    pub sloppy_frac: f64,
+    /// Probability a world object is included in KB1 / KB2 (controls KB
+    /// size ratios and the match fraction).
+    pub kb1_keep: f64,
+    /// See `kb1_keep`.
+    pub kb2_keep: f64,
+}
+
+impl TypeSpec {
+    /// A type with sensible defaults (full inclusion, no isolation).
+    pub fn new(name: &str, count: usize) -> TypeSpec {
+        TypeSpec {
+            name: name.into(),
+            count,
+            name_pool: (count / 2).max(8),
+            common_pool: 0,
+            common_frac: 0.0,
+            name_tokens: (2, 3),
+            attrs: Vec::new(),
+            rels: Vec::new(),
+            isolated_frac: 0.0,
+            sloppy_frac: 0.0,
+            kb1_keep: 1.0,
+            kb2_keep: 1.0,
+        }
+    }
+}
+
+/// A full two-KB dataset specification.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Dataset name (e.g. `"IIMB"`).
+    pub name: String,
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// The entity types.
+    pub types: Vec<TypeSpec>,
+    /// Probability each label *token* is perturbed, per KB.
+    pub label_noise1: f64,
+    /// See `label_noise1`.
+    pub label_noise2: f64,
+    /// Probability an entity has no usable label (blocking can never find
+    /// it — caps pair completeness as on D-Y).
+    pub missing_label1: f64,
+    /// See `missing_label1`.
+    pub missing_label2: f64,
+    /// Neighbour-closure probability: if a KB includes an entity, each of
+    /// its relationship targets is additionally included with this
+    /// probability (KBs are internally complete: DBLP contains the
+    /// authors of every paper it contains).
+    pub closure: f64,
+}
+
+impl DatasetSpec {
+    /// Multiplies all type counts by `scale` (minimum 4 objects per type),
+    /// scaling name pools proportionally so label-collision *rates* stay
+    /// constant across scales.
+    pub fn scaled(mut self, scale: f64) -> DatasetSpec {
+        for t in &mut self.types {
+            t.count = ((t.count as f64 * scale).round() as usize).max(4);
+            t.name_pool = ((t.name_pool as f64 * scale).round() as usize).max(8);
+        }
+        self
+    }
+
+    /// Total number of world objects.
+    pub fn total_objects(&self) -> usize {
+        self.types.iter().map(|t| t.count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_multiplies_counts() {
+        let mut spec = DatasetSpec {
+            name: "t".into(),
+            seed: 0,
+            types: vec![TypeSpec::new("a", 100), TypeSpec::new("b", 50)],
+            label_noise1: 0.0,
+            label_noise2: 0.0,
+            missing_label1: 0.0,
+            missing_label2: 0.0,
+            closure: 0.0,
+        };
+        spec = spec.scaled(0.5);
+        assert_eq!(spec.types[0].count, 50);
+        assert_eq!(spec.types[1].count, 25);
+        assert_eq!(spec.total_objects(), 75);
+    }
+
+    #[test]
+    fn scaled_has_floor() {
+        let spec = DatasetSpec {
+            name: "t".into(),
+            seed: 0,
+            types: vec![TypeSpec::new("a", 10)],
+            label_noise1: 0.0,
+            label_noise2: 0.0,
+            missing_label1: 0.0,
+            missing_label2: 0.0,
+            closure: 0.0,
+        }
+        .scaled(0.01);
+        assert_eq!(spec.types[0].count, 4);
+    }
+
+    #[test]
+    fn builders_apply_overrides() {
+        let a = AttrSpec::text("x", "y", 2, 100).with_present(0.3).with_noise(0.7);
+        assert_eq!(a.present, 0.3);
+        assert_eq!(a.noise, 0.7);
+        let r = RelSpec::new("r", "s", 0, (1, 1)).with_present(0.2);
+        assert_eq!(r.present, 0.2);
+    }
+}

@@ -1,0 +1,262 @@
+//! Candidate entity-match generation (paper §IV-B) and initial matches
+//! (§IV-C).
+
+use std::collections::HashMap;
+
+use remp_kb::{EntityId, Kb};
+use remp_simil::{jaccard, normalize_tokens, TokenSet};
+
+use crate::PairId;
+
+/// The candidate entity match set `M_c` with prior match probabilities.
+///
+/// Vertices of the (un-pruned) ER graph. Label similarities double as prior
+/// probabilities `Pr[m_p]` as in the paper ("we use the label similarities
+/// as prior match probabilities").
+#[derive(Clone, Debug)]
+pub struct Candidates {
+    pairs: Vec<(EntityId, EntityId)>,
+    priors: Vec<f64>,
+    index: HashMap<(EntityId, EntityId), PairId>,
+    by_left: HashMap<EntityId, Vec<PairId>>,
+    by_right: HashMap<EntityId, Vec<PairId>>,
+}
+
+impl Candidates {
+    /// Builds a candidate set from explicit `(pair, prior)` entries.
+    ///
+    /// Duplicated pairs keep their first prior.
+    pub fn from_pairs(entries: impl IntoIterator<Item = ((EntityId, EntityId), f64)>) -> Self {
+        let mut c = Candidates {
+            pairs: Vec::new(),
+            priors: Vec::new(),
+            index: HashMap::new(),
+            by_left: HashMap::new(),
+            by_right: HashMap::new(),
+        };
+        for (pair, prior) in entries {
+            c.insert(pair, prior);
+        }
+        c
+    }
+
+    fn insert(&mut self, pair: (EntityId, EntityId), prior: f64) -> PairId {
+        if let Some(&id) = self.index.get(&pair) {
+            return id;
+        }
+        let id = PairId::from_index(self.pairs.len());
+        self.pairs.push(pair);
+        self.priors.push(prior.clamp(0.0, 1.0));
+        self.index.insert(pair, id);
+        self.by_left.entry(pair.0).or_default().push(id);
+        self.by_right.entry(pair.1).or_default().push(id);
+        id
+    }
+
+    /// Number of candidate pairs `|M_c|`.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The entity pair behind `id`.
+    pub fn pair(&self, id: PairId) -> (EntityId, EntityId) {
+        self.pairs[id.index()]
+    }
+
+    /// Prior match probability `Pr[m_p]`.
+    pub fn prior(&self, id: PairId) -> f64 {
+        self.priors[id.index()]
+    }
+
+    /// Overwrites the prior of `id` (used by truth inference to downdate
+    /// hard questions, §VII-A).
+    pub fn set_prior(&mut self, id: PairId, prior: f64) {
+        self.priors[id.index()] = prior.clamp(0.0, 1.0);
+    }
+
+    /// Looks up the id of an entity pair.
+    pub fn id_of(&self, pair: (EntityId, EntityId)) -> Option<PairId> {
+        self.index.get(&pair).copied()
+    }
+
+    /// All candidate ids containing `u1` on the left (KB1) side.
+    pub fn with_left(&self, u1: EntityId) -> &[PairId] {
+        self.by_left.get(&u1).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All candidate ids containing `u2` on the right (KB2) side.
+    pub fn with_right(&self, u2: EntityId) -> &[PairId] {
+        self.by_right.get(&u2).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over all `(id, pair)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (PairId, (EntityId, EntityId))> + '_ {
+        self.pairs.iter().enumerate().map(|(i, &p)| (PairId::from_index(i), p))
+    }
+
+    /// All pair ids.
+    pub fn ids(&self) -> impl Iterator<Item = PairId> {
+        (0..self.pairs.len()).map(PairId::from_index)
+    }
+
+    /// Restricts the candidate set to `keep`, preserving order and priors.
+    /// Returns the new set together with the old→new id mapping.
+    pub fn restrict(&self, keep: &[PairId]) -> (Candidates, HashMap<PairId, PairId>) {
+        let mut mapping = HashMap::with_capacity(keep.len());
+        let mut out = Candidates {
+            pairs: Vec::with_capacity(keep.len()),
+            priors: Vec::with_capacity(keep.len()),
+            index: HashMap::with_capacity(keep.len()),
+            by_left: HashMap::new(),
+            by_right: HashMap::new(),
+        };
+        for &old in keep {
+            let new = out.insert(self.pair(old), self.prior(old));
+            mapping.insert(old, new);
+        }
+        (out, mapping)
+    }
+}
+
+/// Generates the candidate entity match set `M_c` (paper §IV-B).
+///
+/// Labels are normalised ([`normalize_tokens`]); a token-to-entity inverted
+/// index over the smaller KB blocks the comparison space to pairs sharing
+/// at least one token; surviving pairs keep a Jaccard similarity ≥
+/// `threshold` (0.3 in the paper), which becomes the prior `Pr[m_p]`.
+pub fn generate_candidates(kb1: &Kb, kb2: &Kb, threshold: f64) -> Candidates {
+    let tokens1: Vec<TokenSet> = kb1.entities().map(|u| normalize_tokens(kb1.label(u))).collect();
+    let tokens2: Vec<TokenSet> = kb2.entities().map(|u| normalize_tokens(kb2.label(u))).collect();
+
+    // Inverted index over KB2 tokens.
+    let mut inv: HashMap<&str, Vec<EntityId>> = HashMap::new();
+    for u2 in kb2.entities() {
+        for tok in &tokens2[u2.index()] {
+            inv.entry(tok.as_str()).or_default().push(u2);
+        }
+    }
+
+    let mut entries: Vec<((EntityId, EntityId), f64)> = Vec::new();
+    let mut seen: Vec<u32> = vec![u32::MAX; kb2.num_entities()];
+    for u1 in kb1.entities() {
+        let ts1 = &tokens1[u1.index()];
+        for tok in ts1 {
+            let Some(cands) = inv.get(tok.as_str()) else { continue };
+            for &u2 in cands {
+                if seen[u2.index()] == u1.0 {
+                    continue; // already scored for this u1
+                }
+                seen[u2.index()] = u1.0;
+                let sim = jaccard(ts1, &tokens2[u2.index()]);
+                if sim >= threshold {
+                    entries.push(((u1, u2), sim));
+                }
+            }
+        }
+    }
+    Candidates::from_pairs(entries)
+}
+
+/// Extracts the initial entity matches `M_in` (paper §IV-C): candidates
+/// whose entities have *exactly* the same label, used as a priori knowledge
+/// for attribute/relationship matching (never added to final results
+/// directly, as they may contain errors).
+pub fn initial_matches(kb1: &Kb, kb2: &Kb, candidates: &Candidates) -> Vec<PairId> {
+    candidates
+        .iter()
+        .filter(|&(_, (u1, u2))| kb1.label(u1) == kb2.label(u2))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remp_kb::KbBuilder;
+
+    fn kb(name: &str, labels: &[&str]) -> Kb {
+        let mut b = KbBuilder::new(name);
+        for l in labels {
+            b.add_entity(*l);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn generates_pairs_over_threshold() {
+        let kb1 = kb("a", &["The Player", "Cradle Will Rock", "Unrelated Thing"]);
+        let kb2 = kb("b", &["Player", "Cradle Will Rock", "Something Else"]);
+        let c = generate_candidates(&kb1, &kb2, 0.3);
+        assert!(c.id_of((EntityId(0), EntityId(0))).is_some(), "player pair kept");
+        assert!(c.id_of((EntityId(1), EntityId(1))).is_some(), "cradle pair kept");
+        assert!(c.id_of((EntityId(2), EntityId(2))).is_none(), "dissimilar pair dropped");
+    }
+
+    #[test]
+    fn prior_equals_label_jaccard() {
+        let kb1 = kb("a", &["alpha beta"]);
+        let kb2 = kb("b", &["alpha gamma"]);
+        let c = generate_candidates(&kb1, &kb2, 0.1);
+        let id = c.id_of((EntityId(0), EntityId(0))).unwrap();
+        assert!((c.prior(id) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_duplicate_pairs_from_shared_tokens() {
+        // "alpha beta" shares two tokens with "alpha beta": the pair must
+        // appear exactly once.
+        let kb1 = kb("a", &["alpha beta"]);
+        let kb2 = kb("b", &["alpha beta"]);
+        let c = generate_candidates(&kb1, &kb2, 0.1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn initial_matches_require_exact_labels() {
+        let kb1 = kb("a", &["Exact Same", "Close Match"]);
+        let kb2 = kb("b", &["Exact Same", "Close  Match"]);
+        let c = generate_candidates(&kb1, &kb2, 0.3);
+        let init = initial_matches(&kb1, &kb2, &c);
+        assert_eq!(init.len(), 1);
+        assert_eq!(c.pair(init[0]), (EntityId(0), EntityId(0)));
+    }
+
+    #[test]
+    fn blocks_index_both_sides() {
+        let kb1 = kb("a", &["x y", "x z"]);
+        let kb2 = kb("b", &["x y"]);
+        let c = generate_candidates(&kb1, &kb2, 0.1);
+        assert_eq!(c.with_left(EntityId(0)).len(), 1);
+        assert_eq!(c.with_right(EntityId(0)).len(), 2);
+    }
+
+    #[test]
+    fn restrict_preserves_priors() {
+        let kb1 = kb("a", &["a b", "a c"]);
+        let kb2 = kb("b", &["a b", "a c"]);
+        let c = generate_candidates(&kb1, &kb2, 0.1);
+        let keep: Vec<_> = c.ids().take(2).collect();
+        let (r, map) = c.restrict(&keep);
+        assert_eq!(r.len(), 2);
+        for &old in &keep {
+            let new = map[&old];
+            assert_eq!(r.pair(new), c.pair(old));
+            assert_eq!(r.prior(new), c.prior(old));
+        }
+    }
+
+    #[test]
+    fn set_prior_clamps() {
+        let kb1 = kb("a", &["a"]);
+        let kb2 = kb("b", &["a"]);
+        let mut c = generate_candidates(&kb1, &kb2, 0.1);
+        let id = c.ids().next().unwrap();
+        c.set_prior(id, 1.5);
+        assert_eq!(c.prior(id), 1.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! The ER graph (paper Definition 2): a directed, edge-labeled multigraph
+//! whose vertices are entity pairs and whose edges carry relationship
+//! pairs.
+//!
+//! An edge `(u1,u2) → (u'1,u'2)` labeled `(r1, r2)` exists iff
+//! `(u1, r1, u'1) ∈ T1` and `(u2, r2, u'2) ∈ T2`. We additionally
+//! materialise the *reverse* orientation (label direction
+//! [`Direction::Reverse`]) so that propagation can traverse against triple
+//! direction — the paper's Fig. 1 relies on this (a labeled movie pair
+//! infers its directors through an incoming `directedBy` edge). Formally
+//! this equals extending `R` with inverse relationships `r⁻`.
+
+use std::collections::HashMap;
+
+use remp_kb::{Kb, RelId};
+
+use crate::{Candidates, PairId};
+
+/// Traversal orientation of an edge label relative to the original triples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Along triple direction: subject-pair → object-pair.
+    Forward,
+    /// Against triple direction: object-pair → subject-pair (i.e. `r⁻`).
+    Reverse,
+}
+
+impl Direction {
+    /// The opposite orientation.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Reverse,
+            Direction::Reverse => Direction::Forward,
+        }
+    }
+}
+
+/// An edge label: a relationship pair plus its traversal orientation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeLabel {
+    /// Relationship from KB1.
+    pub r1: RelId,
+    /// Relationship from KB2.
+    pub r2: RelId,
+    /// Orientation of traversal.
+    pub dir: Direction,
+}
+
+/// Dense id of an [`EdgeLabel`] within one [`ErGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelPairId(pub u32);
+
+impl RelPairId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The ER graph over a candidate set.
+#[derive(Clone, Debug)]
+pub struct ErGraph {
+    labels: Vec<EdgeLabel>,
+    label_index: HashMap<EdgeLabel, RelPairId>,
+    /// `out[v]` = (label, target) sorted by label id; covers both
+    /// orientations, so every undirected adjacency is walkable from both
+    /// endpoints.
+    out: Vec<Vec<(RelPairId, PairId)>>,
+    num_edges: usize,
+}
+
+impl ErGraph {
+    /// Builds the ER graph over `candidates` from the two KBs
+    /// (Definition 2 plus reverse orientations).
+    pub fn build(kb1: &Kb, kb2: &Kb, candidates: &Candidates) -> ErGraph {
+        let n = candidates.len();
+        let mut g = ErGraph {
+            labels: Vec::new(),
+            label_index: HashMap::new(),
+            out: vec![Vec::new(); n],
+            num_edges: 0,
+        };
+        for (v, (u1, u2)) in candidates.iter() {
+            for &(r1, o1) in kb1.rels_of(u1) {
+                // Candidates containing o1 on the left, joined against u2's
+                // outgoing triples.
+                for &w in candidates.with_left(o1) {
+                    let (_, o2) = candidates.pair(w);
+                    for &(r2, t2) in kb2.rels_of(u2) {
+                        if t2 == o2 {
+                            g.add_edge(v, w, r1, r2);
+                        }
+                    }
+                }
+            }
+        }
+        g.normalise();
+        g
+    }
+
+    fn intern(&mut self, label: EdgeLabel) -> RelPairId {
+        if let Some(&id) = self.label_index.get(&label) {
+            return id;
+        }
+        let id = RelPairId(self.labels.len() as u32);
+        self.labels.push(label);
+        self.label_index.insert(label, id);
+        id
+    }
+
+    /// Adds the forward edge `v → w` labeled `(r1, r2)` and its reverse
+    /// mirror `w → v`.
+    fn add_edge(&mut self, v: PairId, w: PairId, r1: RelId, r2: RelId) {
+        let fwd = self.intern(EdgeLabel { r1, r2, dir: Direction::Forward });
+        let rev = self.intern(EdgeLabel { r1, r2, dir: Direction::Reverse });
+        self.out[v.index()].push((fwd, w));
+        self.out[w.index()].push((rev, v));
+        self.num_edges += 1;
+    }
+
+    /// Number of vertices (= candidate pairs).
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of distinct triple-level edges (each counted once, although
+    /// walkable in both orientations).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of interned edge labels (relationship pairs × orientations).
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label behind an id.
+    pub fn label(&self, id: RelPairId) -> EdgeLabel {
+        self.labels[id.index()]
+    }
+
+    /// All interned labels with their ids.
+    pub fn labels(&self) -> impl Iterator<Item = (RelPairId, EdgeLabel)> + '_ {
+        self.labels.iter().enumerate().map(|(i, &l)| (RelPairId(i as u32), l))
+    }
+
+    /// Outgoing adjacency of `v` (both orientations), sorted by label.
+    pub fn edges_from(&self, v: PairId) -> &[(RelPairId, PairId)] {
+        &self.out[v.index()]
+    }
+
+    /// Sorts adjacency lists and removes duplicate parallel edges with the
+    /// same label (idempotent; called by [`ErGraph::build`]).
+    fn normalise(&mut self) {
+        for list in &mut self.out {
+            list.sort_unstable();
+            list.dedup();
+        }
+    }
+
+    /// True if `v` has no incident edges.
+    pub fn is_isolated_vertex(&self, v: PairId) -> bool {
+        self.out[v.index()].is_empty()
+    }
+
+    /// Connected components over the undirected view: returns a component
+    /// id per vertex and the number of components.
+    pub fn connected_components(&self) -> (Vec<usize>, usize) {
+        let n = self.num_vertices();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(start);
+            while let Some(v) = stack.pop() {
+                for &(_, w) in &self.out[v] {
+                    if comp[w.index()] == usize::MAX {
+                        comp[w.index()] = next;
+                        stack.push(w.index());
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next)
+    }
+}
+
+impl ErGraph {
+    /// Adjacency of `v` grouped by label as owned vectors. Lists are sorted
+    /// by label, targets sorted ascending.
+    pub fn grouped_from(&self, v: PairId) -> Vec<(RelPairId, Vec<PairId>)> {
+        let mut out: Vec<(RelPairId, Vec<PairId>)> = Vec::new();
+        for &(label, target) in &self.out[v.index()] {
+            match out.last_mut() {
+                Some((l, ts)) if *l == label => ts.push(target),
+                _ => out.push((label, vec![target])),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remp_kb::{EntityId, KbBuilder, Value};
+
+    /// Mirrors the paper's Fig. 1 fragment: persons acting in movies,
+    /// movies directed by persons, persons born in cities.
+    fn fig1() -> (Kb, Kb, Candidates) {
+        let mut b1 = KbBuilder::new("yago");
+        let mut b2 = KbBuilder::new("dbpedia");
+        let acted1 = b1.add_rel("actedIn");
+        let directed1 = b1.add_rel("directedBy");
+        let born1 = b1.add_rel("wasBornIn");
+        let acted2 = b2.add_rel("actedIn");
+        let directed2 = b2.add_rel("directedBy");
+        let born2 = b2.add_rel("birthPlace");
+
+        let name1 = b1.add_attr("label");
+        let name2 = b2.add_attr("label");
+
+        let add = |b: &mut KbBuilder, name: &str, a| {
+            let e = b.add_entity(name);
+            b.add_attr_triple(e, a, Value::text(name));
+            e
+        };
+        let joan1 = add(&mut b1, "Joan", name1);
+        let john1 = add(&mut b1, "John", name1);
+        let tim1 = add(&mut b1, "Tim", name1);
+        let cradle1 = add(&mut b1, "Cradle", name1);
+        let player1 = add(&mut b1, "Player", name1);
+        let nyc1 = add(&mut b1, "NYC", name1);
+        let joan2 = add(&mut b2, "Joan", name2);
+        let john2 = add(&mut b2, "John", name2);
+        let tim2 = add(&mut b2, "Tim", name2);
+        let cradle2 = add(&mut b2, "Cradle", name2);
+        let player2 = add(&mut b2, "Player", name2);
+        let nyc2 = add(&mut b2, "NYC", name2);
+
+        for (b, acted, directed, born, joan, john, tim, cradle, player, nyc) in [
+            (&mut b1, acted1, directed1, born1, joan1, john1, tim1, cradle1, player1, nyc1),
+            (&mut b2, acted2, directed2, born2, joan2, john2, tim2, cradle2, player2, nyc2),
+        ] {
+            b.add_rel_triple(joan, acted, cradle);
+            b.add_rel_triple(john, acted, player);
+            b.add_rel_triple(cradle, directed, tim);
+            b.add_rel_triple(player, directed, tim);
+            b.add_rel_triple(joan, born, nyc);
+        }
+
+        let kb1 = b1.finish();
+        let kb2 = b2.finish();
+        let cands = crate::generate_candidates(&kb1, &kb2, 0.3);
+        (kb1, kb2, cands)
+    }
+
+    #[test]
+    fn builds_forward_and_reverse_edges() {
+        let (kb1, kb2, cands) = fig1();
+        let g = ErGraph::build(&kb1, &kb2, &cands);
+        assert!(g.num_edges() >= 5, "expected the 5 mirrored relationship edges");
+
+        let joan = cands.id_of((EntityId(0), EntityId(0))).unwrap();
+        let nyc = cands.id_of((EntityId(5), EntityId(5))).unwrap();
+        // Forward: joan --wasBornIn/birthPlace--> nyc
+        assert!(g
+            .edges_from(joan)
+            .iter()
+            .any(|&(l, t)| t == nyc && g.label(l).dir == Direction::Forward));
+        // Reverse: nyc --(wasBornIn/birthPlace)⁻--> joan
+        assert!(g
+            .edges_from(nyc)
+            .iter()
+            .any(|&(l, t)| t == joan && g.label(l).dir == Direction::Reverse));
+    }
+
+    #[test]
+    fn grouped_adjacency_partitions_edges() {
+        let (kb1, kb2, cands) = fig1();
+        let g = ErGraph::build(&kb1, &kb2, &cands);
+        let tim = cands.id_of((EntityId(2), EntityId(2))).unwrap();
+        let grouped = g.grouped_from(tim);
+        let total: usize = grouped.iter().map(|(_, ts)| ts.len()).sum();
+        assert_eq!(total, g.edges_from(tim).len());
+        // Tim is the directedBy target of both movies → one reverse label
+        // with two targets.
+        let rev_group = grouped
+            .iter()
+            .find(|(l, _)| g.label(*l).dir == Direction::Reverse)
+            .expect("tim has reverse directedBy edges");
+        assert_eq!(rev_group.1.len(), 2);
+    }
+
+    #[test]
+    fn connected_components_cover_graph() {
+        let (kb1, kb2, cands) = fig1();
+        let g = ErGraph::build(&kb1, &kb2, &cands);
+        let (comp, n) = g.connected_components();
+        assert_eq!(comp.len(), g.num_vertices());
+        assert!(n >= 1);
+        // All of Fig. 1's pairs are relationally connected into one component.
+        let joan = cands.id_of((EntityId(0), EntityId(0))).unwrap();
+        let tim = cands.id_of((EntityId(2), EntityId(2))).unwrap();
+        assert_eq!(comp[joan.index()], comp[tim.index()]);
+    }
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::Forward.flip(), Direction::Reverse);
+        assert_eq!(Direction::Reverse.flip(), Direction::Forward);
+    }
+
+    #[test]
+    fn no_edges_for_unrelated_entities() {
+        let mut b1 = KbBuilder::new("a");
+        let mut b2 = KbBuilder::new("b");
+        b1.add_entity("solo");
+        b2.add_entity("solo");
+        let kb1 = b1.finish();
+        let kb2 = b2.finish();
+        let cands = crate::generate_candidates(&kb1, &kb2, 0.3);
+        let g = ErGraph::build(&kb1, &kb2, &cands);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_isolated_vertex(PairId(0)));
+    }
+}

@@ -1,0 +1,207 @@
+//! Hungarian (Kuhn–Munkres) algorithm for maximum-weight 1:1 assignment,
+//! used by the global attribute-matching constraint (paper §IV-C).
+
+/// Solves the maximum-weight assignment on a `n × m` weight matrix.
+///
+/// Returns, for each row, the assigned column (or `None`). Unassigned cells
+/// behave as weight 0, so the optimum never assigns a negative-gain pair —
+/// callers can therefore pass raw similarities and post-filter with a
+/// minimum-similarity threshold.
+///
+/// Runs the O(max(n,m)³) potential-based Jonker–Volgenant variant on the
+/// implicitly padded square matrix.
+pub fn hungarian_max_assignment(weights: &[Vec<f64>]) -> Vec<Option<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = weights[0].len();
+    debug_assert!(weights.iter().all(|row| row.len() == m), "ragged weight matrix");
+    if m == 0 {
+        return vec![None; n];
+    }
+    let size = n.max(m);
+
+    // Minimisation form on cost = max_w − w, padded with cost = max_w
+    // (equivalent to weight 0 after the shift).
+    let max_w = weights
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .fold(0.0f64, f64::max)
+        .max(0.0);
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < n && j < m {
+            max_w - weights[i][j].max(0.0)
+        } else {
+            max_w
+        }
+    };
+
+    // Standard JV: potentials u, v; p[j] = row matched to column j.
+    // 1-based arrays with column 0 as the virtual source.
+    let mut u = vec![0.0f64; size + 1];
+    let mut v = vec![0.0f64; size + 1];
+    let mut p = vec![0usize; size + 1]; // p[j]: row assigned to col j (1-based; 0 = free)
+    let mut way = vec![0usize; size + 1];
+
+    for i in 1..=size {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; size + 1];
+        let mut used = vec![false; size + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=size {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=size {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![None; n];
+    for j in 1..=size {
+        let i = p[j];
+        if i >= 1 && i <= n && j <= m {
+            assignment[i - 1] = Some(j - 1);
+        }
+    }
+    assignment
+}
+
+/// Total weight of an assignment (helper for tests and diagnostics).
+#[cfg(test)]
+pub(crate) fn assignment_weight(weights: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &j)| j.map(|j| weights[i][j]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_matrix() {
+        assert!(hungarian_max_assignment(&[]).is_empty());
+        assert_eq!(hungarian_max_assignment(&[vec![], vec![]]), vec![None, None]);
+    }
+
+    #[test]
+    fn identity_is_optimal() {
+        let w = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        assert_eq!(hungarian_max_assignment(&w), vec![Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn anti_diagonal() {
+        let w = vec![vec![0.1, 0.9], vec![0.8, 0.2]];
+        assert_eq!(hungarian_max_assignment(&w), vec![Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn greedy_suboptimal_case() {
+        // Greedy would take (0,0)=0.9 then (1,1)=0.1 → 1.0; optimal is
+        // (0,1)=0.8 + (1,0)=0.8 → 1.6.
+        let w = vec![vec![0.9, 0.8], vec![0.8, 0.1]];
+        let a = hungarian_max_assignment(&w);
+        assert!((assignment_weight(&w, &a) - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rectangular_more_rows() {
+        let w = vec![vec![0.5], vec![0.9], vec![0.1]];
+        let a = hungarian_max_assignment(&w);
+        assert_eq!(a.iter().flatten().count(), 1);
+        assert_eq!(a[1], Some(0));
+    }
+
+    #[test]
+    fn rectangular_more_cols() {
+        let w = vec![vec![0.1, 0.9, 0.5]];
+        assert_eq!(hungarian_max_assignment(&w), vec![Some(1)]);
+    }
+
+    /// Exhaustive optimal assignment for small matrices.
+    fn brute_force(weights: &[Vec<f64>]) -> f64 {
+        let n = weights.len();
+        let m = weights.first().map_or(0, Vec::len);
+        fn rec(weights: &[Vec<f64>], i: usize, used: &mut Vec<bool>) -> f64 {
+            if i == weights.len() {
+                return 0.0;
+            }
+            // Option 1: leave row i unassigned.
+            let mut best = rec(weights, i + 1, used);
+            for j in 0..used.len() {
+                if !used[j] {
+                    used[j] = true;
+                    best = best.max(weights[i][j] + rec(weights, i + 1, used));
+                    used[j] = false;
+                }
+            }
+            best
+        }
+        let mut used = vec![false; m];
+        let _ = n;
+        rec(weights, 0, &mut used)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn optimal_vs_brute_force(
+            rows in 1usize..5,
+            cols in 1usize..5,
+            seed in proptest::collection::vec(0.0f64..1.0, 25)
+        ) {
+            let w: Vec<Vec<f64>> = (0..rows)
+                .map(|i| (0..cols).map(|j| seed[i * 5 + j]).collect())
+                .collect();
+            let a = hungarian_max_assignment(&w);
+            // 1:1 check
+            let mut cols_used = std::collections::HashSet::new();
+            for j in a.iter().flatten() {
+                prop_assert!(cols_used.insert(*j), "column used twice");
+            }
+            let got = assignment_weight(&w, &a);
+            let best = brute_force(&w);
+            prop_assert!((got - best).abs() < 1e-9, "got {got}, best {best}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! ER-graph construction (paper §IV).
+//!
+//! The first stage of Remp turns two KBs into a small *ER graph* whose
+//! vertices are candidate entity pairs and whose labeled edges mirror
+//! relationship triples on both sides:
+//!
+//! 1. [`generate_candidates`] — token-blocked label-Jaccard candidate
+//!    generation; similarities double as prior match probabilities (§IV-B).
+//! 2. [`initial_matches`] — exact-label seed matches `M_in` used as a priori
+//!    knowledge for attribute and relationship matching (§IV-C).
+//! 3. [`match_attributes`] — value-based attribute similarity (Eq. 1) with a
+//!    global 1:1 constraint solved by the [`hungarian_max_assignment`]
+//!    algorithm.
+//! 4. [`build_sim_vectors`] — per-pair similarity vectors over the attribute
+//!    alignment (§IV-D).
+//! 5. [`prune`] — partial-order based k-NN pruning, Algorithm 1 / Eq. 2.
+//! 6. [`ErGraph::build`] — the directed, edge-labeled multigraph over the
+//!    retained pairs (Definition 2), with reverse orientations materialised
+//!    so match propagation can flow against triple direction (as in the
+//!    paper's Fig. 1, where e.g. `directedBy` evidence flows movie→person
+//!    and person→movie).
+
+mod attr_match;
+mod candidates;
+mod graph;
+mod hungarian;
+mod monotone;
+mod pair;
+mod prune;
+mod simvecs;
+
+pub use attr_match::{match_attributes, AttrAlignment, AttrMatchConfig};
+pub use candidates::{generate_candidates, initial_matches, Candidates};
+pub use graph::{Direction, EdgeLabel, ErGraph, RelPairId};
+pub use hungarian::hungarian_max_assignment;
+pub use monotone::monotone_error_rate;
+pub use pair::PairId;
+pub use prune::{min_rank, prune, prune_one_way, Side};
+pub use simvecs::build_sim_vectors;

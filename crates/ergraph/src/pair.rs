@@ -1,0 +1,48 @@
+//! Identifier of a candidate entity pair.
+
+use std::fmt;
+
+/// Index of an entity pair within a [`crate::Candidates`] set.
+///
+/// Pair ids are dense, so per-pair data (priors, similarity vectors,
+/// resolution state, graph adjacency) lives in plain vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PairId(pub u32);
+
+impl PairId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a `usize` index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "pair id overflow");
+        PairId(index as u32)
+    }
+}
+
+impl fmt::Debug for PairId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PairId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        assert_eq!(PairId::from_index(3).index(), 3);
+        assert_eq!(PairId(3).to_string(), "p3");
+    }
+}

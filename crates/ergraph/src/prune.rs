@@ -1,0 +1,263 @@
+//! Partial-order based pruning — Algorithm 1 and Eq. 2 of the paper.
+//!
+//! For an entity `u`, all candidate pairs containing `u` form a *block*.
+//! Within a block, `min_rank` of a pair is the number of pairs whose
+//! similarity vector strictly dominates it — the minimal rank the pair can
+//! have in any linearisation of the partial order. Pairs with
+//! `min_rank ≥ k` cannot be in the top-k counterparts of `u` and are
+//! pruned. The two [`prune_one_way`] passes (by KB1 entity, then by KB2
+//! entity over the survivors) implement Algorithm 1's sequential structure.
+
+use std::collections::HashMap;
+
+use remp_kb::EntityId;
+use remp_simil::SimVec;
+
+use crate::{Candidates, PairId};
+
+/// Which KB's entities define the blocks of a pruning pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Block by the KB1 (left) entity — `min_rank_1`.
+    Left,
+    /// Block by the KB2 (right) entity — `min_rank_2`.
+    Right,
+}
+
+/// `min_rank_i(u1, u2)` (Eq. 2): the number of candidate pairs sharing the
+/// `side` entity whose vector strictly dominates `s(u1, u2)`, computed
+/// within `members` (the block).
+fn rank_in_block(block: &[PairId], vectors: &[SimVec], target: PairId) -> usize {
+    let t = &vectors[target.index()];
+    block
+        .iter()
+        .filter(|&&other| other != target && vectors[other.index()].strictly_dominates(t))
+        .count()
+}
+
+/// `min_rank(u1, u2) = max(min_rank_1, min_rank_2)` (Eq. 2), evaluated over
+/// the full candidate set.
+pub fn min_rank(candidates: &Candidates, vectors: &[SimVec], pair: PairId) -> usize {
+    let (u1, u2) = candidates.pair(pair);
+    let r1 = rank_in_block(candidates.with_left(u1), vectors, pair);
+    let r2 = rank_in_block(candidates.with_right(u2), vectors, pair);
+    r1.max(r2)
+}
+
+/// One pass of Algorithm 1 (`PruningInOneWay`): blocks the `survivors` by
+/// the `side` entity and keeps pairs with fewer than `k` strict dominators
+/// in their block.
+///
+/// Keeping `min_rank < k` directly is equivalent to the paper's cascade
+/// (pruning a pair and then everything its vector weakly dominates):
+/// if `s(q) ⪰ s(p)` and `q` has ≥ k strict dominators, those dominators
+/// also strictly dominate `p`, so `p`'s rank is ≥ k as well.
+pub fn prune_one_way(
+    candidates: &Candidates,
+    vectors: &[SimVec],
+    survivors: &[PairId],
+    side: Side,
+    k: usize,
+) -> Vec<PairId> {
+    let mut blocks: HashMap<EntityId, Vec<PairId>> = HashMap::new();
+    for &pid in survivors {
+        let (u1, u2) = candidates.pair(pid);
+        let key = match side {
+            Side::Left => u1,
+            Side::Right => u2,
+        };
+        blocks.entry(key).or_default().push(pid);
+    }
+
+    let mut retained = Vec::with_capacity(survivors.len());
+    for &pid in survivors {
+        let (u1, u2) = candidates.pair(pid);
+        let key = match side {
+            Side::Left => u1,
+            Side::Right => u2,
+        };
+        let block = &blocks[&key];
+        if block.len() <= k {
+            retained.push(pid); // |B| ≤ k: no need to prune (Alg. 1 line 9)
+            continue;
+        }
+        if rank_in_block(block, vectors, pid) < k {
+            retained.push(pid);
+        }
+    }
+    retained
+}
+
+/// Algorithm 1: partial-order based pruning. Returns the retained entity
+/// match set `M_rd` (pair ids into `candidates`), pruning first by KB1
+/// entities and then by KB2 entities over the survivors.
+pub fn prune(candidates: &Candidates, vectors: &[SimVec], k: usize) -> Vec<PairId> {
+    assert_eq!(candidates.len(), vectors.len(), "one vector per candidate required");
+    let all: Vec<PairId> = candidates.ids().collect();
+    let pass1 = prune_one_way(candidates, vectors, &all, Side::Left, k);
+    prune_one_way(candidates, vectors, &pass1, Side::Right, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds a candidate set with `left[i]` paired to `right[i]`.
+    fn cands(pairs: &[(u32, u32)]) -> Candidates {
+        Candidates::from_pairs(
+            pairs.iter().map(|&(l, r)| ((EntityId(l), EntityId(r)), 0.5)),
+        )
+    }
+
+    fn vecs(components: &[&[f64]]) -> Vec<SimVec> {
+        components.iter().map(|c| SimVec::new(c.to_vec())).collect()
+    }
+
+    #[test]
+    fn small_blocks_survive_untouched() {
+        // One entity with two counterparts, k = 4 → keep both.
+        let c = cands(&[(0, 0), (0, 1)]);
+        let v = vecs(&[&[0.9], &[0.1]]);
+        assert_eq!(prune(&c, &v, 4).len(), 2);
+    }
+
+    #[test]
+    fn dominated_pairs_beyond_k_are_pruned() {
+        // Entity 0 on the left with 4 counterparts in a chain; k = 2 keeps
+        // the top 2 of the dominance chain.
+        let c = cands(&[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let v = vecs(&[&[0.9], &[0.7], &[0.5], &[0.3]]);
+        let kept = prune(&c, &v, 2);
+        assert_eq!(kept, vec![PairId(0), PairId(1)]);
+    }
+
+    #[test]
+    fn incomparable_vectors_are_all_kept() {
+        // Four incomparable 2-d vectors: nobody dominates anybody → all stay
+        // even with k = 1 (weak ordering keeps "nearly k" per entity).
+        let c = cands(&[(0, 0), (0, 1), (0, 2), (0, 3)]);
+        let v = vecs(&[&[0.9, 0.1], &[0.7, 0.3], &[0.5, 0.5], &[0.1, 0.9]]);
+        assert_eq!(prune(&c, &v, 1).len(), 4);
+    }
+
+    #[test]
+    fn equal_vectors_do_not_prune_each_other() {
+        let c = cands(&[(0, 0), (0, 1), (0, 2)]);
+        let v = vecs(&[&[0.5], &[0.5], &[0.5]]);
+        assert_eq!(prune(&c, &v, 1).len(), 3);
+    }
+
+    #[test]
+    fn second_pass_blocks_by_right_entity() {
+        // Right entity 0 shared by 4 pairs with distinct left entities:
+        // left pass keeps all (blocks of size 1), right pass prunes.
+        let c = cands(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let v = vecs(&[&[0.9], &[0.7], &[0.5], &[0.3]]);
+        let kept = prune(&c, &v, 2);
+        assert_eq!(kept, vec![PairId(0), PairId(1)]);
+    }
+
+    #[test]
+    fn min_rank_matches_eq2() {
+        let c = cands(&[(0, 0), (0, 1), (1, 1)]);
+        let v = vecs(&[&[0.9], &[0.2], &[0.6]]);
+        // (0,1): dominated by (0,0) in left block; by (1,1) in right block.
+        assert_eq!(min_rank(&c, &v, PairId(1)), 1);
+        assert_eq!(min_rank(&c, &v, PairId(0)), 0);
+    }
+
+    /// Reference implementation of one pruning pass straight from Eq. 2.
+    fn reference_one_way(
+        c: &Candidates,
+        v: &[SimVec],
+        survivors: &[PairId],
+        side: Side,
+        k: usize,
+    ) -> Vec<PairId> {
+        survivors
+            .iter()
+            .copied()
+            .filter(|&p| {
+                let (u1, u2) = c.pair(p);
+                let block: Vec<PairId> = survivors
+                    .iter()
+                    .copied()
+                    .filter(|&q| {
+                        let (w1, w2) = c.pair(q);
+                        match side {
+                            Side::Left => w1 == u1,
+                            Side::Right => w2 == u2,
+                        }
+                    })
+                    .collect();
+                if block.len() <= k {
+                    return true;
+                }
+                block
+                    .iter()
+                    .filter(|&&q| q != p && v[q.index()].strictly_dominates(&v[p.index()]))
+                    .count()
+                    < k
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prune_matches_reference(
+            entries in proptest::collection::vec(
+                ((0u32..4, 0u32..4), proptest::collection::vec(0.0f64..1.0, 2)),
+                1..24
+            ),
+            k in 1usize..4
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let mut pairs = Vec::new();
+            let mut vectors = Vec::new();
+            for ((l, r), sv) in entries {
+                if seen.insert((l, r)) {
+                    pairs.push((l, r));
+                    vectors.push(SimVec::new(sv));
+                }
+            }
+            let c = cands(&pairs);
+            let all: Vec<PairId> = c.ids().collect();
+            let fast1 = prune_one_way(&c, &vectors, &all, Side::Left, k);
+            let slow1 = reference_one_way(&c, &vectors, &all, Side::Left, k);
+            prop_assert_eq!(fast1.clone(), slow1);
+            let fast2 = prune_one_way(&c, &vectors, &fast1, Side::Right, k);
+            let slow2 = reference_one_way(&c, &vectors, &fast1, Side::Right, k);
+            prop_assert_eq!(fast2, slow2);
+        }
+
+        /// Pruning is sound: retained pairs always include every pair whose
+        /// full-set min_rank is 0 (undominated pairs are never discarded).
+        #[test]
+        fn undominated_pairs_survive(
+            entries in proptest::collection::vec(
+                ((0u32..4, 0u32..4), proptest::collection::vec(0.0f64..1.0, 2)),
+                1..24
+            ),
+            k in 1usize..4
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let mut pairs = Vec::new();
+            let mut vectors = Vec::new();
+            for ((l, r), sv) in entries {
+                if seen.insert((l, r)) {
+                    pairs.push((l, r));
+                    vectors.push(SimVec::new(sv));
+                }
+            }
+            let c = cands(&pairs);
+            let kept = prune(&c, &vectors, k);
+            for p in c.ids() {
+                if min_rank(&c, &vectors, p) == 0 {
+                    prop_assert!(kept.contains(&p), "undominated pair {p} was pruned");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Similarity-vector construction over the attribute alignment (paper
+//! §IV-D): `s(u1, u2) = (s_1, …, s_|Mat|)` with `s_i = simL` on the i-th
+//! attribute match.
+
+use remp_kb::{Kb, Value};
+use remp_simil::{sim_l_weighted, SimVec};
+
+use crate::{AttrAlignment, Candidates};
+
+/// Builds one similarity vector per candidate pair.
+///
+/// Components use the *weighted* soft `simL` with `min_sim = 0.3` so they
+/// stay graded (see `remp_simil::sim_l_weighted`); `literal_threshold`
+/// only caps the floor of the internal match filter. Component `i`
+/// corresponds to `alignment.pairs[i]`; pairs where neither entity
+/// carries the attribute score 0.0.
+pub fn build_sim_vectors(
+    kb1: &Kb,
+    kb2: &Kb,
+    candidates: &Candidates,
+    alignment: &AttrAlignment,
+    literal_threshold: f64,
+) -> Vec<SimVec> {
+    let mut out = Vec::with_capacity(candidates.len());
+    let mut buf1: Vec<Value> = Vec::new();
+    let mut buf2: Vec<Value> = Vec::new();
+    for (_, (u1, u2)) in candidates.iter() {
+        let mut components = Vec::with_capacity(alignment.len());
+        for &(a1, a2, _) in &alignment.pairs {
+            buf1.clear();
+            buf2.clear();
+            buf1.extend(kb1.attr_values(u1, a1).cloned());
+            buf2.extend(kb2.attr_values(u2, a2).cloned());
+            let _ = literal_threshold;
+            components.push(sim_l_weighted(&buf1, &buf2, 0.3));
+        }
+        out.push(SimVec::new(components));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate_candidates, initial_matches, match_attributes, AttrMatchConfig};
+    use remp_kb::KbBuilder;
+
+    #[test]
+    fn vectors_reflect_value_agreement() {
+        let mut b1 = KbBuilder::new("kb1");
+        let mut b2 = KbBuilder::new("kb2");
+        let a1 = b1.add_attr("name");
+        let a2 = b2.add_attr("title");
+        // Seeds to align name↔title.
+        for i in 0..4 {
+            let label = format!("seed {i}");
+            let e1 = b1.add_entity(label.clone());
+            let e2 = b2.add_entity(label);
+            b1.add_attr_triple(e1, a1, Value::text(format!("same {i}")));
+            b2.add_attr_triple(e2, a2, Value::text(format!("same {i}")));
+        }
+        // One agreeing pair, one disagreeing pair.
+        let good1 = b1.add_entity("good item");
+        let good2 = b2.add_entity("good item thing");
+        b1.add_attr_triple(good1, a1, Value::text("shared value"));
+        b2.add_attr_triple(good2, a2, Value::text("shared value"));
+        let bad1 = b1.add_entity("bad item");
+        let bad2 = b2.add_entity("bad item thing");
+        b1.add_attr_triple(bad1, a1, Value::text("completely different"));
+        b2.add_attr_triple(bad2, a2, Value::text("nothing alike"));
+
+        let kb1 = b1.finish();
+        let kb2 = b2.finish();
+        let cands = generate_candidates(&kb1, &kb2, 0.3);
+        let init = initial_matches(&kb1, &kb2, &cands);
+        let al = match_attributes(&kb1, &kb2, &cands, &init, &AttrMatchConfig::default());
+        assert_eq!(al.len(), 1);
+        let vecs = build_sim_vectors(&kb1, &kb2, &cands, &al, 0.9);
+        assert_eq!(vecs.len(), cands.len());
+
+        let good = cands.id_of((good1, good2)).unwrap();
+        let bad = cands.id_of((bad1, bad2)).unwrap();
+        assert_eq!(vecs[good.index()].components(), &[1.0]);
+        assert_eq!(vecs[bad.index()].components(), &[0.0]);
+        // Graded case: partial token overlap yields a fractional component.
+    }
+
+    #[test]
+    fn missing_attribute_scores_zero() {
+        let mut b1 = KbBuilder::new("kb1");
+        let mut b2 = KbBuilder::new("kb2");
+        let a1 = b1.add_attr("name");
+        let a2 = b2.add_attr("title");
+        for i in 0..3 {
+            let label = format!("seed {i}");
+            let e1 = b1.add_entity(label.clone());
+            let e2 = b2.add_entity(label);
+            b1.add_attr_triple(e1, a1, Value::text(format!("v{i}")));
+            b2.add_attr_triple(e2, a2, Value::text(format!("v{i}")));
+        }
+        let bare1 = b1.add_entity("bare pair");
+        let _bare2 = b2.add_entity("bare pair");
+        let _ = bare1;
+        let kb1 = b1.finish();
+        let kb2 = b2.finish();
+        let cands = generate_candidates(&kb1, &kb2, 0.3);
+        let init = initial_matches(&kb1, &kb2, &cands);
+        let al = match_attributes(&kb1, &kb2, &cands, &init, &AttrMatchConfig::default());
+        let vecs = build_sim_vectors(&kb1, &kb2, &cands, &al, 0.9);
+        let bare = cands.id_of((bare1, remp_kb::EntityId(3))).unwrap();
+        assert_eq!(vecs[bare.index()].components(), &[0.0]);
+    }
+
+    #[test]
+    fn empty_alignment_gives_empty_vectors() {
+        let mut b1 = KbBuilder::new("kb1");
+        let mut b2 = KbBuilder::new("kb2");
+        b1.add_entity("x");
+        b2.add_entity("x");
+        let kb1 = b1.finish();
+        let kb2 = b2.finish();
+        let cands = generate_candidates(&kb1, &kb2, 0.3);
+        let vecs = build_sim_vectors(&kb1, &kb2, &cands, &AttrAlignment::default(), 0.9);
+        assert!(vecs.iter().all(|v| v.is_empty()));
+    }
+}

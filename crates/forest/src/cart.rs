@@ -1,0 +1,276 @@
+//! CART decision trees with Gini impurity.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Tree-growing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    /// Maximum depth; `None` grows to purity (sklearn default).
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to split a node (sklearn default 2).
+    pub min_samples_split: usize,
+    /// Number of features examined per split; `None` uses all (a single
+    /// CART tree), `Some(k)` subsamples `k` (forests use `√d`).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: None, min_samples_split: 2, max_features: None }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// Probability of the positive class among training samples reaching
+    /// this leaf.
+    Leaf(f64),
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A binary CART classifier over dense `f64` feature vectors.
+#[derive(Clone, Debug)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `samples[i]` with boolean `labels[i]`.
+    ///
+    /// `rng` drives feature subsampling (unused when
+    /// [`TreeConfig::max_features`] is `None`).
+    ///
+    /// # Panics
+    /// Panics on empty input or ragged feature matrices.
+    pub fn fit(
+        samples: &[Vec<f64>],
+        labels: &[bool],
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> DecisionTree {
+        assert!(!samples.is_empty(), "cannot fit on empty data");
+        assert_eq!(samples.len(), labels.len(), "one label per sample");
+        let n_features = samples[0].len();
+        assert!(samples.iter().all(|s| s.len() == n_features), "ragged features");
+
+        let mut tree = DecisionTree { nodes: Vec::new(), n_features };
+        let indices: Vec<usize> = (0..samples.len()).collect();
+        tree.grow(samples, labels, &indices, 0, config, rng);
+        tree
+    }
+
+    /// Recursively grows the subtree for `indices`, returning its node id.
+    fn grow(
+        &mut self,
+        samples: &[Vec<f64>],
+        labels: &[bool],
+        indices: &[usize],
+        depth: usize,
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> usize {
+        let positives = indices.iter().filter(|&&i| labels[i]).count();
+        let p = positives as f64 / indices.len() as f64;
+        let pure = positives == 0 || positives == indices.len();
+        let depth_capped = config.max_depth.is_some_and(|d| depth >= d);
+        if pure || depth_capped || indices.len() < config.min_samples_split {
+            self.nodes.push(Node::Leaf(p));
+            return self.nodes.len() - 1;
+        }
+
+        match self.best_split(samples, labels, indices, config, rng) {
+            None => {
+                self.nodes.push(Node::Leaf(p));
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    indices.iter().partition(|&&i| samples[i][feature] <= threshold);
+                debug_assert!(!left_idx.is_empty() && !right_idx.is_empty());
+                // Reserve this node's slot before growing children.
+                let id = self.nodes.len();
+                self.nodes.push(Node::Leaf(p)); // placeholder
+                let left = self.grow(samples, labels, &left_idx, depth + 1, config, rng);
+                let right = self.grow(samples, labels, &right_idx, depth + 1, config, rng);
+                self.nodes[id] = Node::Split { feature, threshold, left, right };
+                id
+            }
+        }
+    }
+
+    /// Finds the Gini-optimal `(feature, threshold)` split, or `None` if no
+    /// split separates the samples.
+    fn best_split(
+        &self,
+        samples: &[Vec<f64>],
+        labels: &[bool],
+        indices: &[usize],
+        config: &TreeConfig,
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let mut features: Vec<usize> = (0..self.n_features).collect();
+        if let Some(k) = config.max_features {
+            features.shuffle(rng);
+            features.truncate(k.max(1));
+        }
+
+        let total_pos = indices.iter().filter(|&&i| labels[i]).count() as f64;
+        let n = indices.len() as f64;
+        let mut best: Option<(f64, usize, f64)> = None; // (score, feature, threshold)
+
+        let mut column: Vec<(f64, bool)> = Vec::with_capacity(indices.len());
+        for &f in &features {
+            column.clear();
+            column.extend(indices.iter().map(|&i| (samples[i][f], labels[i])));
+            column.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+            // Scan split points between distinct consecutive values.
+            let mut left_n = 0.0f64;
+            let mut left_pos = 0.0f64;
+            for w in 0..column.len() - 1 {
+                left_n += 1.0;
+                if column[w].1 {
+                    left_pos += 1.0;
+                }
+                if column[w].0 == column[w + 1].0 {
+                    continue; // same value: not a valid threshold
+                }
+                let right_n = n - left_n;
+                let right_pos = total_pos - left_pos;
+                let gini = |cnt: f64, pos: f64| {
+                    if cnt == 0.0 {
+                        0.0
+                    } else {
+                        let p = pos / cnt;
+                        2.0 * p * (1.0 - p)
+                    }
+                };
+                let score =
+                    (left_n / n) * gini(left_n, left_pos) + (right_n / n) * gini(right_n, right_pos);
+                let threshold = 0.5 * (column[w].0 + column[w + 1].0);
+                if best.is_none_or(|(b, _, _)| score < b - 1e-15) {
+                    best = Some((score, f, threshold));
+                }
+            }
+        }
+        best.map(|(_, f, t)| (f, t))
+    }
+
+    /// Probability of the positive class for `x`.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_features, "feature dimension mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf(p) => return *p,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Hard classification at probability 0.5.
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) > 0.5
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Draws a bootstrap sample of `n` indices (with replacement).
+pub(crate) fn bootstrap_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn separable_data_fits_perfectly() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<bool> = (0..20).map(|i| i >= 10).collect();
+        let tree = DecisionTree::fit(&xs, &ys, &TreeConfig::default(), &mut rng());
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(tree.predict(x), y);
+        }
+    }
+
+    #[test]
+    fn xor_needs_depth_two() {
+        let xs = vec![vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]];
+        let ys = vec![false, true, true, false];
+        let tree = DecisionTree::fit(&xs, &ys, &TreeConfig::default(), &mut rng());
+        for (x, &y) in xs.iter().zip(&ys) {
+            assert_eq!(tree.predict(x), y, "xor point {x:?}");
+        }
+    }
+
+    #[test]
+    fn constant_labels_yield_single_leaf() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![true, true, true];
+        let tree = DecisionTree::fit(&xs, &ys, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.num_nodes(), 1);
+        assert!(tree.predict(&[9.0]));
+    }
+
+    #[test]
+    fn identical_features_cannot_split() {
+        let xs = vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]];
+        let ys = vec![true, false, true, false];
+        let tree = DecisionTree::fit(&xs, &ys, &TreeConfig::default(), &mut rng());
+        assert_eq!(tree.num_nodes(), 1, "no valid threshold exists");
+        assert!((tree.predict_proba(&[1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_depth_caps_growth() {
+        let xs: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64]).collect();
+        let ys: Vec<bool> = (0..32).map(|i| i % 2 == 0).collect();
+        let capped = TreeConfig { max_depth: Some(2), ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&xs, &ys, &capped, &mut rng());
+        // Depth-2 binary tree has at most 7 nodes.
+        assert!(tree.num_nodes() <= 7, "got {} nodes", tree.num_nodes());
+    }
+
+    #[test]
+    fn probabilities_reflect_leaf_composition() {
+        let xs = vec![vec![0.0], vec![0.0], vec![0.0], vec![10.0]];
+        let ys = vec![true, true, false, false];
+        let capped = TreeConfig { max_depth: Some(1), ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&xs, &ys, &capped, &mut rng());
+        let p = tree.predict_proba(&[0.0]);
+        assert!((p - 2.0 / 3.0).abs() < 1e-9, "leaf holds 2/3 positives, got {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_panics() {
+        let _ = DecisionTree::fit(&[], &[], &TreeConfig::default(), &mut rng());
+    }
+
+    #[test]
+    fn bootstrap_is_with_replacement() {
+        let mut r = rng();
+        let idx = bootstrap_indices(50, &mut r);
+        assert_eq!(idx.len(), 50);
+        assert!(idx.iter().all(|&i| i < 50));
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert!(sorted.len() < 50, "a 50-sample bootstrap almost surely repeats");
+    }
+}

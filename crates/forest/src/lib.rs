@@ -1,0 +1,14 @@
+//! Random-forest substrate (paper §VII-B).
+//!
+//! The paper trains a scikit-learn `RandomForestClassifier` with default
+//! parameters to resolve isolated entity pairs (and the Corleone baseline
+//! is built on random forests too). This crate is a from-scratch
+//! implementation of the same default configuration: CART trees with Gini
+//! impurity grown to purity, bootstrap bagging, and `√d` feature
+//! subsampling per split.
+
+mod cart;
+mod rf;
+
+pub use cart::{DecisionTree, TreeConfig};
+pub use rf::{ForestConfig, RandomForest};

@@ -1,0 +1,192 @@
+//! Mutable builder that assembles and freezes a [`Kb`].
+
+use std::collections::HashMap;
+
+use crate::{AttrId, EntityId, Kb, RelId, Value};
+
+/// Incrementally builds a [`Kb`].
+///
+/// Attribute and relationship names are deduplicated on insertion, so
+/// repeated [`KbBuilder::add_attr`] calls with the same name return the same
+/// id. Entities are *not* deduplicated by label (two distinct entities may
+/// share a label, which is exactly the ambiguity ER resolves).
+#[derive(Debug, Default)]
+pub struct KbBuilder {
+    name: String,
+    entity_labels: Vec<String>,
+    attr_names: Vec<String>,
+    attr_lookup: HashMap<String, AttrId>,
+    rel_names: Vec<String>,
+    rel_lookup: HashMap<String, RelId>,
+    attr_triples: Vec<(EntityId, AttrId, Value)>,
+    rel_triples: Vec<(EntityId, RelId, EntityId)>,
+}
+
+impl KbBuilder {
+    /// Starts a new builder for a KB called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), ..Default::default() }
+    }
+
+    /// Adds a new entity with the given label and returns its id.
+    pub fn add_entity(&mut self, label: impl Into<String>) -> EntityId {
+        let id = EntityId::from_index(self.entity_labels.len());
+        self.entity_labels.push(label.into());
+        id
+    }
+
+    /// Number of entities added so far.
+    pub fn num_entities(&self) -> usize {
+        self.entity_labels.len()
+    }
+
+    /// Interns an attribute name, returning its (possibly existing) id.
+    pub fn add_attr(&mut self, name: impl AsRef<str>) -> AttrId {
+        let name = name.as_ref();
+        if let Some(&id) = self.attr_lookup.get(name) {
+            return id;
+        }
+        let id = AttrId::from_index(self.attr_names.len());
+        self.attr_names.push(name.to_owned());
+        self.attr_lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Interns a relationship name, returning its (possibly existing) id.
+    pub fn add_rel(&mut self, name: impl AsRef<str>) -> RelId {
+        let name = name.as_ref();
+        if let Some(&id) = self.rel_lookup.get(name) {
+            return id;
+        }
+        let id = RelId::from_index(self.rel_names.len());
+        self.rel_names.push(name.to_owned());
+        self.rel_lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Records the attribute triple `(u, a, value)`.
+    ///
+    /// # Panics
+    /// Panics if `u` or `a` was not created by this builder.
+    pub fn add_attr_triple(&mut self, u: EntityId, a: AttrId, value: Value) {
+        assert!(u.index() < self.entity_labels.len(), "unknown entity {u}");
+        assert!(a.index() < self.attr_names.len(), "unknown attribute {a}");
+        self.attr_triples.push((u, a, value));
+    }
+
+    /// Records the relationship triple `(subject, r, object)`.
+    ///
+    /// # Panics
+    /// Panics if any id was not created by this builder.
+    pub fn add_rel_triple(&mut self, subject: EntityId, r: RelId, object: EntityId) {
+        assert!(subject.index() < self.entity_labels.len(), "unknown entity {subject}");
+        assert!(object.index() < self.entity_labels.len(), "unknown entity {object}");
+        assert!(r.index() < self.rel_names.len(), "unknown relationship {r}");
+        self.rel_triples.push((subject, r, object));
+    }
+
+    /// Freezes the builder into an immutable, indexed [`Kb`].
+    pub fn finish(self) -> Kb {
+        let n = self.entity_labels.len();
+        let mut attr_values: Vec<Vec<(AttrId, Value)>> = vec![Vec::new(); n];
+        for (u, a, v) in self.attr_triples {
+            attr_values[u.index()].push((a, v));
+        }
+        for list in &mut attr_values {
+            list.sort_by(|(a1, v1), (a2, v2)| a1.cmp(a2).then_with(|| v1.cmp(v2)));
+        }
+
+        let mut rel_out: Vec<Vec<(RelId, EntityId)>> = vec![Vec::new(); n];
+        let mut rel_in: Vec<Vec<(RelId, EntityId)>> = vec![Vec::new(); n];
+        for (s, r, o) in &self.rel_triples {
+            rel_out[s.index()].push((*r, *o));
+            rel_in[o.index()].push((*r, *s));
+        }
+        for list in rel_out.iter_mut().chain(rel_in.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        let n_attr_triples = attr_values.iter().map(Vec::len).sum();
+        let n_rel_triples = rel_out.iter().map(Vec::len).sum();
+
+        let mut label_index: HashMap<String, Vec<EntityId>> = HashMap::new();
+        for (i, label) in self.entity_labels.iter().enumerate() {
+            label_index.entry(label.clone()).or_default().push(EntityId::from_index(i));
+        }
+
+        Kb {
+            name: self.name,
+            entity_labels: self.entity_labels,
+            attr_names: self.attr_names,
+            rel_names: self.rel_names,
+            attr_values,
+            rel_out,
+            rel_in,
+            n_attr_triples,
+            n_rel_triples,
+            label_index,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attrs_and_rels_are_interned() {
+        let mut b = KbBuilder::new("kb");
+        let a1 = b.add_attr("name");
+        let a2 = b.add_attr("name");
+        let a3 = b.add_attr("year");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, a3);
+        let r1 = b.add_rel("actedIn");
+        let r2 = b.add_rel("actedIn");
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn entities_not_deduplicated() {
+        let mut b = KbBuilder::new("kb");
+        let e1 = b.add_entity("John");
+        let e2 = b.add_entity("John");
+        assert_ne!(e1, e2);
+        let kb = b.finish();
+        assert_eq!(kb.entities_with_label("John").len(), 2);
+    }
+
+    #[test]
+    fn duplicate_rel_triples_are_deduped() {
+        let mut b = KbBuilder::new("kb");
+        let e1 = b.add_entity("a");
+        let e2 = b.add_entity("b");
+        let r = b.add_rel("r");
+        b.add_rel_triple(e1, r, e2);
+        b.add_rel_triple(e1, r, e2);
+        let kb = b.finish();
+        assert_eq!(kb.num_rel_triples(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown entity")]
+    fn unknown_entity_panics() {
+        let mut b = KbBuilder::new("kb");
+        let a = b.add_attr("x");
+        b.add_attr_triple(EntityId(9), a, Value::text("v"));
+    }
+
+    #[test]
+    fn finish_sorts_value_sets() {
+        let mut b = KbBuilder::new("kb");
+        let e = b.add_entity("e");
+        let a_z = b.add_attr("z");
+        let a_a = b.add_attr("a");
+        b.add_attr_triple(e, a_z, Value::text("1"));
+        b.add_attr_triple(e, a_a, Value::text("2"));
+        let kb = b.finish();
+        let pairs = kb.attrs_of(e);
+        assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

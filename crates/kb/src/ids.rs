@@ -1,0 +1,98 @@
+//! Compact identifier newtypes.
+//!
+//! All ids are dense `u32` indexes local to one [`crate::Kb`]. Using 4-byte
+//! ids (rather than `usize` or strings) halves the size of the entity-pair
+//! structures that dominate memory in ER-graph construction.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the id as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize, "id overflow");
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(v: u32) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an entity `u ∈ U` within one KB.
+    EntityId,
+    "e"
+);
+define_id!(
+    /// Identifier of an attribute `a ∈ A` within one KB.
+    AttrId,
+    "a"
+);
+define_id!(
+    /// Identifier of a relationship `r ∈ R` within one KB.
+    RelId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let e = EntityId::from_index(42);
+        assert_eq!(e.index(), 42);
+        assert_eq!(e, EntityId(42));
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(EntityId(7).to_string(), "e7");
+        assert_eq!(AttrId(3).to_string(), "a3");
+        assert_eq!(RelId(1).to_string(), "r1");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(EntityId(1) < EntityId(2));
+        assert!(RelId(0) < RelId(10));
+    }
+
+    #[test]
+    fn from_u32() {
+        let a: AttrId = 5u32.into();
+        assert_eq!(a, AttrId(5));
+    }
+}

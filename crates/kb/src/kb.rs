@@ -1,0 +1,239 @@
+//! The immutable knowledge-base store.
+
+use std::collections::HashMap;
+
+use crate::{AttrId, EntityId, KbStats, RelId, Value};
+
+/// An immutable knowledge base `K = (U, L, A, R, T)` (paper §III-A).
+///
+/// Construct with [`crate::KbBuilder`]; once frozen, all lookups — entity
+/// labels, attribute value sets `N_u^a`, relationship value sets `N_u^r`,
+/// and inverse relationship sets — are O(1) slice accesses.
+#[derive(Clone, Debug)]
+pub struct Kb {
+    pub(crate) name: String,
+    pub(crate) entity_labels: Vec<String>,
+    pub(crate) attr_names: Vec<String>,
+    pub(crate) rel_names: Vec<String>,
+    /// Attribute triples grouped per entity: `attr_values[e]` holds
+    /// `(attribute, literal)` pairs sorted by attribute.
+    pub(crate) attr_values: Vec<Vec<(AttrId, Value)>>,
+    /// Outgoing relationship triples grouped per entity, sorted by relation.
+    pub(crate) rel_out: Vec<Vec<(RelId, EntityId)>>,
+    /// Incoming relationship triples grouped per entity, sorted by relation.
+    pub(crate) rel_in: Vec<Vec<(RelId, EntityId)>>,
+    pub(crate) n_attr_triples: usize,
+    pub(crate) n_rel_triples: usize,
+    pub(crate) label_index: HashMap<String, Vec<EntityId>>,
+}
+
+impl Kb {
+    /// The KB's human-readable name (e.g. `"YAGO"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of entities `|U|`.
+    pub fn num_entities(&self) -> usize {
+        self.entity_labels.len()
+    }
+
+    /// Number of attributes `|A|`.
+    pub fn num_attrs(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Number of relationships `|R|`.
+    pub fn num_rels(&self) -> usize {
+        self.rel_names.len()
+    }
+
+    /// Iterates over all entity ids.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.entity_labels.len() as u32).map(EntityId)
+    }
+
+    /// Iterates over all attribute ids.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attr_names.len() as u32).map(AttrId)
+    }
+
+    /// Iterates over all relationship ids.
+    pub fn rels(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.rel_names.len() as u32).map(RelId)
+    }
+
+    /// The label of entity `u` (the value of `rdfs:label` in the paper).
+    pub fn label(&self, u: EntityId) -> &str {
+        &self.entity_labels[u.index()]
+    }
+
+    /// The name of attribute `a`.
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        &self.attr_names[a.index()]
+    }
+
+    /// The name of relationship `r`.
+    pub fn rel_name(&self, r: RelId) -> &str {
+        &self.rel_names[r.index()]
+    }
+
+    /// Entities whose label is exactly `label` (used for initial matches).
+    pub fn entities_with_label(&self, label: &str) -> &[EntityId] {
+        self.label_index.get(label).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All `(attribute, literal)` pairs of entity `u`, sorted by attribute.
+    pub fn attrs_of(&self, u: EntityId) -> &[(AttrId, Value)] {
+        &self.attr_values[u.index()]
+    }
+
+    /// The attribute value set `N_u^a = { l : (u, a, l) ∈ T }`.
+    pub fn attr_values(&self, u: EntityId, a: AttrId) -> impl Iterator<Item = &Value> + '_ {
+        range_of(&self.attr_values[u.index()], a).iter().map(|(_, v)| v)
+    }
+
+    /// Whether `u` has at least one value for attribute `a`.
+    pub fn has_attr(&self, u: EntityId, a: AttrId) -> bool {
+        !range_of(&self.attr_values[u.index()], a).is_empty()
+    }
+
+    /// All outgoing `(relationship, object)` pairs of `u`, sorted by relation.
+    pub fn rels_of(&self, u: EntityId) -> &[(RelId, EntityId)] {
+        &self.rel_out[u.index()]
+    }
+
+    /// All incoming `(relationship, subject)` pairs of `u`, sorted by relation.
+    pub fn rels_into(&self, u: EntityId) -> &[(RelId, EntityId)] {
+        &self.rel_in[u.index()]
+    }
+
+    /// The relationship value set `N_u^r = { u' : (u, r, u') ∈ T }`.
+    pub fn rel_values(&self, u: EntityId, r: RelId) -> &[(RelId, EntityId)] {
+        range_of(&self.rel_out[u.index()], r)
+    }
+
+    /// The inverse value set `{ u' : (u', r, u) ∈ T }`.
+    pub fn rel_subjects(&self, u: EntityId, r: RelId) -> &[(RelId, EntityId)] {
+        range_of(&self.rel_in[u.index()], r)
+    }
+
+    /// Whether `u` participates in any relationship triple (in or out).
+    ///
+    /// Entities that do not are *isolated*: match propagation cannot reach
+    /// them and Remp handles their pairs with a classifier (paper §VII-B).
+    pub fn is_isolated(&self, u: EntityId) -> bool {
+        self.rel_out[u.index()].is_empty() && self.rel_in[u.index()].is_empty()
+    }
+
+    /// Total number of attribute triples `|T_attr|`.
+    pub fn num_attr_triples(&self) -> usize {
+        self.n_attr_triples
+    }
+
+    /// Total number of relationship triples `|T_rel|`.
+    pub fn num_rel_triples(&self) -> usize {
+        self.n_rel_triples
+    }
+
+    /// Summary statistics in the shape of the paper's Table II.
+    pub fn stats(&self) -> KbStats {
+        KbStats {
+            name: self.name.clone(),
+            entities: self.num_entities(),
+            attributes: self.num_attrs(),
+            relationships: self.num_rels(),
+            attr_triples: self.n_attr_triples,
+            rel_triples: self.n_rel_triples,
+            isolated_entities: self.entities().filter(|&u| self.is_isolated(u)).count(),
+        }
+    }
+}
+
+/// Binary-searches the sorted-by-key slice for the contiguous range of `key`.
+fn range_of<K: Copy + Ord, V>(items: &[(K, V)], key: K) -> &[(K, V)] {
+    let start = items.partition_point(|(k, _)| *k < key);
+    let end = items[start..].partition_point(|(k, _)| *k == key) + start;
+    &items[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KbBuilder;
+
+    fn sample() -> Kb {
+        let mut b = KbBuilder::new("test");
+        let leo = b.add_entity("Leonardo da Vinci");
+        let mona = b.add_entity("Mona Lisa");
+        let lonely = b.add_entity("Isolated One");
+        let birth = b.add_attr("birth date");
+        let works = b.add_rel("works");
+        b.add_attr_triple(leo, birth, Value::text("1452-4-15"));
+        b.add_attr_triple(leo, birth, Value::number(1452.0));
+        b.add_rel_triple(leo, works, mona);
+        let _ = lonely;
+        b.finish()
+    }
+
+    #[test]
+    fn counts() {
+        let kb = sample();
+        assert_eq!(kb.num_entities(), 3);
+        assert_eq!(kb.num_attrs(), 1);
+        assert_eq!(kb.num_rels(), 1);
+        assert_eq!(kb.num_attr_triples(), 2);
+        assert_eq!(kb.num_rel_triples(), 1);
+    }
+
+    #[test]
+    fn attr_value_sets() {
+        let kb = sample();
+        let leo = EntityId(0);
+        let birth = AttrId(0);
+        let vals: Vec<_> = kb.attr_values(leo, birth).collect();
+        assert_eq!(vals.len(), 2);
+        assert!(kb.has_attr(leo, birth));
+        assert!(!kb.has_attr(EntityId(1), birth));
+    }
+
+    #[test]
+    fn rel_value_sets_and_inverse() {
+        let kb = sample();
+        let (leo, mona, works) = (EntityId(0), EntityId(1), RelId(0));
+        assert_eq!(kb.rel_values(leo, works), &[(works, mona)]);
+        assert_eq!(kb.rel_subjects(mona, works), &[(works, leo)]);
+        assert!(kb.rel_values(mona, works).is_empty());
+    }
+
+    #[test]
+    fn isolated_detection() {
+        let kb = sample();
+        assert!(!kb.is_isolated(EntityId(0)));
+        assert!(!kb.is_isolated(EntityId(1)));
+        assert!(kb.is_isolated(EntityId(2)));
+    }
+
+    #[test]
+    fn label_index() {
+        let kb = sample();
+        assert_eq!(kb.entities_with_label("Mona Lisa"), &[EntityId(1)]);
+        assert!(kb.entities_with_label("nope").is_empty());
+    }
+
+    #[test]
+    fn stats_shape() {
+        let s = sample().stats();
+        assert_eq!(s.entities, 3);
+        assert_eq!(s.isolated_entities, 1);
+    }
+
+    #[test]
+    fn range_of_finds_runs() {
+        let items = vec![(1u32, 'a'), (2, 'b'), (2, 'c'), (4, 'd')];
+        assert_eq!(range_of(&items, 2).len(), 2);
+        assert_eq!(range_of(&items, 3).len(), 0);
+        assert_eq!(range_of(&items, 1).len(), 1);
+        assert_eq!(range_of(&items, 4).len(), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! Knowledge-base substrate for the Remp entity-resolution system.
+//!
+//! A knowledge base (KB) is a 5-tuple `K = (U, L, A, R, T)` of entities,
+//! literals, attributes, relationships and triples (paper §III-A). Attribute
+//! triples `(entity, attribute, literal)` attach literal values to entities;
+//! relationship triples `(entity, relationship, entity)` link entities.
+//!
+//! This crate provides:
+//! * compact, copyable ids ([`EntityId`], [`AttrId`], [`RelId`]),
+//! * an interning [`Kb`] store with O(1) value-set lookups `N_u^r` / `N_u^a`
+//!   used pervasively by attribute matching and match propagation,
+//! * a mutable [`KbBuilder`] for constructing KBs programmatically,
+//! * summary [`KbStats`] mirroring Table II of the paper.
+
+mod builder;
+mod ids;
+mod kb;
+mod stats;
+mod value;
+
+pub use builder::KbBuilder;
+pub use ids::{AttrId, EntityId, RelId};
+pub use kb::Kb;
+pub use stats::KbStats;
+pub use value::Value;
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,84 @@
+//! Summary statistics mirroring the paper's Table II.
+
+use std::fmt;
+
+/// Per-KB statistics in the shape of the paper's Table II.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KbStats {
+    /// KB name.
+    pub name: String,
+    /// `|U|` — number of entities.
+    pub entities: usize,
+    /// `|A|` — number of attributes.
+    pub attributes: usize,
+    /// `|R|` — number of relationships.
+    pub relationships: usize,
+    /// `|T_attr|` — number of attribute triples.
+    pub attr_triples: usize,
+    /// `|T_rel|` — number of relationship triples.
+    pub rel_triples: usize,
+    /// Entities occurring in no relationship triple (isolated; §VII-B).
+    pub isolated_entities: usize,
+}
+
+impl KbStats {
+    /// Fraction of entities that are isolated, in `[0, 1]`.
+    pub fn isolated_fraction(&self) -> f64 {
+        if self.entities == 0 {
+            0.0
+        } else {
+            self.isolated_entities as f64 / self.entities as f64
+        }
+    }
+}
+
+impl fmt::Display for KbStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} entities, {} attrs, {} rels, {} attr-triples, {} rel-triples, {:.1}% isolated",
+            self.name,
+            self.entities,
+            self.attributes,
+            self.relationships,
+            self.attr_triples,
+            self.rel_triples,
+            100.0 * self.isolated_fraction()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> KbStats {
+        KbStats {
+            name: "kb".into(),
+            entities: 10,
+            attributes: 2,
+            relationships: 3,
+            attr_triples: 20,
+            rel_triples: 15,
+            isolated_entities: 4,
+        }
+    }
+
+    #[test]
+    fn isolated_fraction() {
+        assert!((stats().isolated_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn isolated_fraction_empty_kb() {
+        let s = KbStats { entities: 0, isolated_entities: 0, ..stats() };
+        assert_eq!(s.isolated_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_counts() {
+        let text = stats().to_string();
+        assert!(text.contains("10 entities"));
+        assert!(text.contains("40.0% isolated"));
+    }
+}

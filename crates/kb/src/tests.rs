@@ -1,0 +1,83 @@
+//! Crate-level property tests for the KB substrate.
+
+use proptest::prelude::*;
+
+use crate::{Kb, KbBuilder, Value};
+
+/// Builds a random small KB from generated triples.
+fn arb_kb() -> impl Strategy<Value = Kb> {
+    let n_entities = 1usize..12;
+    n_entities.prop_flat_map(|n| {
+        let rels = proptest::collection::vec((0..n, 0usize..3, 0..n), 0..40);
+        let attrs = proptest::collection::vec((0..n, 0usize..3, "[a-c]{1,3}"), 0..40);
+        (rels, attrs).prop_map(move |(rels, attrs)| {
+            let mut b = KbBuilder::new("prop");
+            let es: Vec<_> = (0..n).map(|i| b.add_entity(format!("entity {i}"))).collect();
+            let rs: Vec<_> = (0..3).map(|i| b.add_rel(format!("r{i}"))).collect();
+            let as_: Vec<_> = (0..3).map(|i| b.add_attr(format!("a{i}"))).collect();
+            for (s, r, o) in rels {
+                b.add_rel_triple(es[s], rs[r], es[o]);
+            }
+            for (e, a, v) in attrs {
+                b.add_attr_triple(es[e], as_[a], Value::text(v));
+            }
+            b.finish()
+        })
+    })
+}
+
+proptest! {
+    /// Every outgoing edge has a mirror incoming edge.
+    #[test]
+    fn rel_in_mirrors_rel_out(kb in arb_kb()) {
+        for u in kb.entities() {
+            for &(r, o) in kb.rels_of(u) {
+                prop_assert!(kb.rels_into(o).contains(&(r, u)));
+            }
+            for &(r, s) in kb.rels_into(u) {
+                prop_assert!(kb.rels_of(s).contains(&(r, u)));
+            }
+        }
+    }
+
+    /// Triple counts agree with per-entity groupings.
+    #[test]
+    fn triple_counts_consistent(kb in arb_kb()) {
+        let out: usize = kb.entities().map(|u| kb.rels_of(u).len()).sum();
+        let inn: usize = kb.entities().map(|u| kb.rels_into(u).len()).sum();
+        prop_assert_eq!(out, kb.num_rel_triples());
+        prop_assert_eq!(inn, kb.num_rel_triples());
+        let attrs: usize = kb.entities().map(|u| kb.attrs_of(u).len()).sum();
+        prop_assert_eq!(attrs, kb.num_attr_triples());
+    }
+
+    /// `rel_values` returns exactly the (r, ·) prefix-grouped slice.
+    #[test]
+    fn rel_values_filters_by_relation(kb in arb_kb()) {
+        for u in kb.entities() {
+            for r in kb.rels() {
+                let via_index: Vec<_> = kb.rel_values(u, r).iter().map(|&(_, o)| o).collect();
+                let via_scan: Vec<_> =
+                    kb.rels_of(u).iter().filter(|&&(r2, _)| r2 == r).map(|&(_, o)| o).collect();
+                prop_assert_eq!(via_index, via_scan);
+            }
+        }
+    }
+
+    /// Label index is complete: every entity is findable by its label.
+    #[test]
+    fn label_index_complete(kb in arb_kb()) {
+        for u in kb.entities() {
+            prop_assert!(kb.entities_with_label(kb.label(u)).contains(&u));
+        }
+    }
+
+    /// An isolated entity has no in- or out-edges, and vice versa.
+    #[test]
+    fn isolated_iff_no_edges(kb in arb_kb()) {
+        for u in kb.entities() {
+            let no_edges = kb.rels_of(u).is_empty() && kb.rels_into(u).is_empty();
+            prop_assert_eq!(kb.is_isolated(u), no_edges);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Literal values of attribute triples.
+
+use std::borrow::Cow;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A literal value `l ∈ L` attached to an entity by an attribute triple.
+///
+/// The paper's similarity machinery distinguishes two literal kinds
+/// (§IV-C): strings are compared with token-set Jaccard, numbers (integers,
+/// floats, dates encoded as days) with the maximum percentage difference.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A free-text literal, e.g. `"Mona Lisa"`.
+    Text(String),
+    /// A numeric literal, e.g. `1452.0` or a date encoded as a day number.
+    Number(f64),
+}
+
+impl Value {
+    /// Builds a text literal from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Builds a numeric literal.
+    pub fn number(n: f64) -> Self {
+        Value::Number(n)
+    }
+
+    /// Returns the text content if this is a [`Value::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            Value::Number(_) => None,
+        }
+    }
+
+    /// Returns the numeric content if this is a [`Value::Number`].
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Text(_) => None,
+            Value::Number(n) => Some(*n),
+        }
+    }
+
+    /// A human-readable rendering (used by examples and debugging output).
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            Value::Text(s) => Cow::Borrowed(s),
+            Value::Number(n) => Cow::Owned(format!("{n}")),
+        }
+    }
+
+    /// Canonical ordering key so values can live in sorted containers.
+    fn order_key(&self) -> (u8, Option<&str>, u64) {
+        match self {
+            Value::Text(s) => (0, Some(s), 0),
+            Value::Number(n) => (1, None, n.to_bits()),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Text(a), Value::Text(b)) => a == b,
+            // Bit-equality keeps Eq/Hash consistent (NaN == NaN here, which is
+            // what deduplicating value sets needs).
+            (Value::Number(a), Value::Number(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Text(s) => {
+                state.write_u8(0);
+                s.hash(state);
+            }
+            Value::Number(n) => {
+                state.write_u8(1);
+                state.write_u64(n.to_bits());
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.order_key().cmp(&other.order_key())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::text(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn text_accessors() {
+        let v = Value::text("hello");
+        assert_eq!(v.as_text(), Some("hello"));
+        assert_eq!(v.as_number(), None);
+        assert_eq!(v.to_string(), "hello");
+    }
+
+    #[test]
+    fn number_accessors() {
+        let v = Value::number(3.5);
+        assert_eq!(v.as_number(), Some(3.5));
+        assert_eq!(v.as_text(), None);
+        assert_eq!(v.to_string(), "3.5");
+    }
+
+    #[test]
+    fn eq_and_hash_agree() {
+        let mut set = HashSet::new();
+        set.insert(Value::text("a"));
+        set.insert(Value::text("a"));
+        set.insert(Value::number(1.0));
+        set.insert(Value::number(1.0));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn nan_is_self_equal_for_dedup() {
+        assert_eq!(Value::number(f64::NAN), Value::number(f64::NAN));
+    }
+
+    #[test]
+    fn ordering_is_total_and_kind_separated() {
+        let mut vals = vec![Value::number(2.0), Value::text("b"), Value::text("a"), Value::number(1.0)];
+        vals.sort();
+        assert_eq!(
+            vals,
+            vec![Value::text("a"), Value::text("b"), Value::number(1.0), Value::number(2.0)]
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x"), Value::text("x"));
+        assert_eq!(Value::from(2i64), Value::number(2.0));
+        assert_eq!(Value::from(2.5f64), Value::number(2.5));
+    }
+}

@@ -1,0 +1,383 @@
+//! Consistency between relationships (paper §V-A, Eqs. 3–5).
+//!
+//! For a relationship pair `(r1, r2)`, `ε1` is the probability that a value
+//! of `r1` on a matched entity has a matched counterpart among the values
+//! of `r2`, and symmetrically for `ε2`. They are estimated from the initial
+//! matches `M_in` via the likelihood of Eq. 4 with latent per-pair match
+//! counts `L_{u1,u2}`.
+//!
+//! ## Optimisation
+//! The paper reduces Eq. 5 to piecewise-continuous optimisation; we use the
+//! statistically identical **hard-EM** (documented in DESIGN.md): given
+//! `(ε1, ε2)`, the inner maximiser over each integer `L` is unimodal with a
+//! closed-form increment test, and given the `L`s the outer maximiser is
+//! the closed form `ε_i = ΣL / Σ|N_i|`. Multi-start protects against local
+//! optima.
+//!
+//! ## Anchoring the latent counts
+//! Maximising Eq. 5 over *unconstrained* latent counts is degenerate: the
+//! corner `ε → 0` with all `L = 0` attains likelihood 1, and for balanced
+//! sizes so does `ε → 1` with `L = n`. The latent variable is defined as
+//! `L_{u1,u2} = |M_{u1,u2}|`, the number of matches between the value
+//! sets — and two parts of `M_{u1,u2}` are observable: the seed matches
+//! between the value sets bound it from *below*, and the candidate pairs
+//! between the value sets bound it from *above* (blocking already ruled
+//! everything else out as non-matches). Constraining `L` to
+//! `[seed_matches, candidate_pairs]` anchors the likelihood, removes both
+//! degenerate corners, and still lets the E-step infer unobserved matches
+//! among the candidates.
+
+use std::collections::{HashMap, HashSet};
+
+use remp_ergraph::{Candidates, Direction, ErGraph, PairId, RelPairId};
+use remp_kb::{EntityId, Kb};
+
+/// Consistency parameters of one relationship pair (Eq. 3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Consistency {
+    /// `Pr[∃u'2 ∈ N_{u2}^{r2} matching u'1 | u1 ≃ u2, u'1 ∈ N_{u1}^{r1}]`.
+    pub eps1: f64,
+    /// Symmetric parameter for KB2 values.
+    pub eps2: f64,
+}
+
+impl Consistency {
+    /// A neutral prior used when no observations exist (0.5, 0.5).
+    pub const UNINFORMED: Consistency = Consistency { eps1: 0.5, eps2: 0.5 };
+}
+
+/// One observation for the estimator: the two value-set sizes and the
+/// observable bounds on the latent match count (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeObservation {
+    /// `|N_{u1}^{r1}|`.
+    pub n1: usize,
+    /// `|N_{u2}^{r2}|`.
+    pub n2: usize,
+    /// Seed matches between the value sets — lower bound on `L_{u1,u2}`.
+    pub lower: usize,
+    /// Candidate pairs between the value sets — upper bound on `L_{u1,u2}`.
+    pub upper: usize,
+}
+
+impl SizeObservation {
+    /// Convenience constructor clamping the bounds into range
+    /// (`lower ≤ upper ≤ min(n1, n2)`).
+    pub fn new(n1: usize, n2: usize, lower: usize, upper: usize) -> Self {
+        let upper = upper.min(n1.min(n2));
+        SizeObservation { n1, n2, lower: lower.min(upper), upper }
+    }
+}
+
+/// Parameter bounds keeping logits finite.
+const EPS_MIN: f64 = 1e-3;
+const EPS_MAX: f64 = 1.0 - 1e-3;
+
+/// `ln C(n, k)` computed incrementally — exact enough for n in the
+/// thousands, no lookup table needed.
+fn ln_choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    (1..=k).map(|i| (((n + 1 - i) as f64) / i as f64).ln()).sum()
+}
+
+/// E-step: `argmax_{l_min ≤ L ≤ l_max} ln C(n1,L) + ln C(n2,L) +
+/// L·logit_sum` with its value.
+///
+/// The increment `f(L+1) − f(L) = ln((n1−L)/(L+1)) + ln((n2−L)/(L+1)) +
+/// logit_sum` strictly decreases in `L`, so the objective is unimodal:
+/// climb from `l_min` while the increment is positive.
+fn best_latent_count(
+    n1: usize,
+    n2: usize,
+    l_min: usize,
+    l_max: usize,
+    logit_sum: f64,
+) -> (usize, f64) {
+    let l_max = l_max.min(n1.min(n2));
+    let l_min = l_min.min(l_max);
+    let mut l = l_min;
+    let mut value = ln_choose(n1, l) + ln_choose(n2, l) + l as f64 * logit_sum;
+    while l < l_max {
+        let delta = (((n1 - l) as f64) / (l + 1) as f64).ln()
+            + (((n2 - l) as f64) / (l + 1) as f64).ln()
+            + logit_sum;
+        if delta <= 0.0 {
+            break;
+        }
+        value += delta;
+        l += 1;
+    }
+    (l, value)
+}
+
+/// Full profile log-likelihood of Eqs. 4–5 for fixed parameters,
+/// maximising each constrained latent count.
+fn profile_log_likelihood(obs: &[SizeObservation], eps1: f64, eps2: f64) -> f64 {
+    let logit = (eps1 / (1.0 - eps1)).ln() + (eps2 / (1.0 - eps2)).ln();
+    obs.iter()
+        .map(|o| {
+            let base =
+                o.n1 as f64 * (1.0 - eps1).ln() + o.n2 as f64 * (1.0 - eps2).ln();
+            base + best_latent_count(o.n1, o.n2, o.lower, o.upper, logit).1
+        })
+        .sum()
+}
+
+/// Estimates `(ε1, ε2)` for one relationship pair from size observations
+/// over seed matches (Eq. 5, hard-EM with anchored latent counts).
+///
+/// Observations where both sides are empty carry no information and are
+/// ignored. Returns [`Consistency::UNINFORMED`] when nothing remains.
+pub fn estimate_consistency(observations: &[SizeObservation]) -> Consistency {
+    let obs: Vec<SizeObservation> = observations
+        .iter()
+        .map(|o| SizeObservation::new(o.n1, o.n2, o.lower, o.upper))
+        .filter(|o| o.n1 + o.n2 > 0)
+        .collect();
+    if obs.is_empty() {
+        return Consistency::UNINFORMED;
+    }
+    let total1: f64 = obs.iter().map(|o| o.n1 as f64).sum();
+    let total2: f64 = obs.iter().map(|o| o.n2 as f64).sum();
+    if total1 == 0.0 || total2 == 0.0 {
+        // One side never has values: no propagation evidence at all.
+        return Consistency { eps1: EPS_MIN, eps2: EPS_MIN };
+    }
+
+    let mut best: Option<(f64, Consistency)> = None;
+    for &(init1, init2) in
+        &[(0.1f64, 0.1f64), (0.5, 0.5), (0.9, 0.9), (0.9, 0.1), (0.1, 0.9)]
+    {
+        let (mut e1, mut e2) = (init1, init2);
+        for _ in 0..60 {
+            let logit = (e1 / (1.0 - e1)).ln() + (e2 / (1.0 - e2)).ln();
+            let sum_l: f64 = obs
+                .iter()
+                .map(|o| best_latent_count(o.n1, o.n2, o.lower, o.upper, logit).0 as f64)
+                .sum();
+            let new1 = (sum_l / total1).clamp(EPS_MIN, EPS_MAX);
+            let new2 = (sum_l / total2).clamp(EPS_MIN, EPS_MAX);
+            let moved = (new1 - e1).abs() + (new2 - e2).abs();
+            e1 = new1;
+            e2 = new2;
+            if moved < 1e-10 {
+                break;
+            }
+        }
+        let ll = profile_log_likelihood(&obs, e1, e2);
+        if best.as_ref().is_none_or(|(b, _)| ll > *b) {
+            best = Some((ll, Consistency { eps1: e1, eps2: e2 }));
+        }
+    }
+    best.expect("at least one start ran").1
+}
+
+/// Per-edge-label consistency parameters for an [`ErGraph`].
+#[derive(Clone, Debug)]
+pub struct ConsistencyTable {
+    by_label: HashMap<RelPairId, Consistency>,
+}
+
+impl ConsistencyTable {
+    /// Estimates consistencies for every edge label in `graph` using the
+    /// seed matches `seeds` (paper: the initial matches `M_in`; the core
+    /// pipeline re-estimates with crowd-confirmed matches).
+    ///
+    /// For a [`Direction::Forward`] label, `|N_{u}^{r}|` counts outgoing
+    /// `r`-values; for [`Direction::Reverse`], incoming subjects (the `r⁻`
+    /// view). Observed latent lower bounds count seed matches between the
+    /// value sets.
+    pub fn estimate(
+        kb1: &Kb,
+        kb2: &Kb,
+        candidates: &Candidates,
+        graph: &ErGraph,
+        seeds: &[PairId],
+    ) -> ConsistencyTable {
+        // Seed matches indexed by the KB1 entity for O(deg) overlap counts.
+        let mut seed_right: HashMap<EntityId, HashSet<EntityId>> = HashMap::new();
+        for &s in seeds {
+            let (u1, u2) = candidates.pair(s);
+            seed_right.entry(u1).or_default().insert(u2);
+        }
+        let count_between = |values1: &[EntityId],
+                             values2: &[EntityId],
+                             contains: &dyn Fn(EntityId, EntityId) -> bool|
+         -> usize {
+            values1
+                .iter()
+                .map(|&o1| values2.iter().filter(|&&o2| contains(o1, o2)).count())
+                .sum()
+        };
+
+        let mut by_label = HashMap::new();
+        for (label_id, label) in graph.labels() {
+            let mut obs = Vec::with_capacity(seeds.len());
+            for &s in seeds {
+                let (u1, u2) = candidates.pair(s);
+                let (values1, values2): (Vec<EntityId>, Vec<EntityId>) = match label.dir {
+                    Direction::Forward => (
+                        kb1.rel_values(u1, label.r1).iter().map(|&(_, o)| o).collect(),
+                        kb2.rel_values(u2, label.r2).iter().map(|&(_, o)| o).collect(),
+                    ),
+                    Direction::Reverse => (
+                        kb1.rel_subjects(u1, label.r1).iter().map(|&(_, o)| o).collect(),
+                        kb2.rel_subjects(u2, label.r2).iter().map(|&(_, o)| o).collect(),
+                    ),
+                };
+                if values1.is_empty() && values2.is_empty() {
+                    continue;
+                }
+                let lower = count_between(&values1, &values2, &|o1, o2| {
+                    seed_right.get(&o1).is_some_and(|rights| rights.contains(&o2))
+                });
+                let upper = count_between(&values1, &values2, &|o1, o2| {
+                    candidates.id_of((o1, o2)).is_some()
+                });
+                obs.push(SizeObservation::new(values1.len(), values2.len(), lower, upper));
+            }
+            by_label.insert(label_id, estimate_consistency(&obs));
+        }
+        ConsistencyTable { by_label }
+    }
+
+    /// Builds a table from explicit entries (tests, synthetic setups).
+    pub fn from_entries(entries: impl IntoIterator<Item = (RelPairId, Consistency)>) -> Self {
+        ConsistencyTable { by_label: entries.into_iter().collect() }
+    }
+
+    /// The consistency of a label, [`Consistency::UNINFORMED`] if unseen.
+    pub fn get(&self, label: RelPairId) -> Consistency {
+        self.by_label.get(&label).copied().unwrap_or(Consistency::UNINFORMED)
+    }
+
+    /// Number of labels with estimates.
+    pub fn len(&self) -> usize {
+        self.by_label.len()
+    }
+
+    /// True when no labels have estimates.
+    pub fn is_empty(&self) -> bool {
+        self.by_label.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn so(n1: usize, n2: usize, lower: usize, upper: usize) -> SizeObservation {
+        SizeObservation::new(n1, n2, lower, upper)
+    }
+
+    #[test]
+    fn ln_choose_basics() {
+        assert!((ln_choose(5, 2) - (10.0f64).ln()).abs() < 1e-9);
+        assert_eq!(ln_choose(3, 5), f64::NEG_INFINITY);
+        assert_eq!(ln_choose(4, 0), 0.0);
+    }
+
+    #[test]
+    fn best_latent_count_monotone_in_logit() {
+        let (l_low, _) = best_latent_count(5, 5, 0, 5, -3.0);
+        let (l_high, _) = best_latent_count(5, 5, 0, 5, 3.0);
+        assert!(l_low <= l_high);
+        assert_eq!(best_latent_count(5, 5, 0, 5, 100.0).0, 5);
+        assert_eq!(best_latent_count(5, 5, 0, 5, -100.0).0, 0);
+    }
+
+    #[test]
+    fn best_latent_count_respects_bounds() {
+        assert_eq!(best_latent_count(5, 5, 3, 5, -100.0).0, 3, "lower bound binds");
+        assert_eq!(best_latent_count(5, 5, 0, 2, 100.0).0, 2, "upper bound binds");
+        assert_eq!(best_latent_count(2, 4, 9, 9, -100.0).0, 2, "bounds clamp to min(n1,n2)");
+    }
+
+    #[test]
+    fn functional_relationship_recovers_high_consistency() {
+        // Every seed has exactly one value on both sides and the seed set
+        // confirms the match: ε ≈ 1.
+        let obs = vec![so(1, 1, 1, 1); 50];
+        let c = estimate_consistency(&obs);
+        assert!(c.eps1 > 0.9, "eps1 = {}", c.eps1);
+        assert!(c.eps2 > 0.9, "eps2 = {}", c.eps2);
+    }
+
+    #[test]
+    fn unobserved_matches_give_low_consistency() {
+        // No candidate pairs between the value sets: L is pinned to 0.
+        let obs = vec![so(3, 3, 0, 0); 30];
+        let c = estimate_consistency(&obs);
+        assert!(c.eps1 < 0.1, "eps1 = {}", c.eps1);
+    }
+
+    #[test]
+    fn one_sided_values_give_low_consistency() {
+        // KB1 has 3 values, KB2 none → nothing can match.
+        let obs = vec![so(3, 0, 0, 0); 30];
+        let c = estimate_consistency(&obs);
+        assert!(c.eps1 < 0.1, "eps1 = {}", c.eps1);
+    }
+
+    #[test]
+    fn empty_observations_are_uninformed() {
+        assert_eq!(estimate_consistency(&[]), Consistency::UNINFORMED);
+        assert_eq!(estimate_consistency(&[so(0, 0, 0, 0)]), Consistency::UNINFORMED);
+    }
+
+    #[test]
+    fn recovers_planted_consistency() {
+        // Planted ε = 0.7: each pair has n values per side, ~70% of the
+        // KB1 values have a matching counterpart that the seeds observe.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut obs = Vec::new();
+        for _ in 0..500 {
+            let n = rng.gen_range(1..6usize);
+            let matched = (0..n).filter(|_| rng.gen_bool(0.7)).count();
+            obs.push(so(n, n, matched, matched));
+        }
+        let c = estimate_consistency(&obs);
+        assert!((c.eps1 - 0.7).abs() < 0.1, "eps1 = {}", c.eps1);
+        assert!((c.eps2 - 0.7).abs() < 0.1, "eps2 = {}", c.eps2);
+    }
+
+    #[test]
+    fn partial_observation_still_pulls_upward() {
+        // True L is 2 per pair but seeds only witness 1 of the 2 candidate
+        // pairs: the E-step may infer the second; the estimate must be at
+        // least the observed rate.
+        let obs = vec![so(2, 2, 1, 2); 40];
+        let c = estimate_consistency(&obs);
+        assert!(c.eps1 >= 0.5 - 1e-9, "eps1 = {}", c.eps1);
+    }
+
+    #[test]
+    fn asymmetric_sizes_give_asymmetric_eps() {
+        // KB1 side: 1 value, always matched; KB2 side: 4 values, 1 matched.
+        let obs = vec![so(1, 4, 1, 1); 40];
+        let c = estimate_consistency(&obs);
+        assert!(c.eps1 > 0.8, "eps1 = {}", c.eps1);
+        assert!(c.eps2 < 0.5, "eps2 = {}", c.eps2);
+    }
+
+    #[test]
+    fn table_uninformed_for_unknown_label() {
+        let t = ConsistencyTable::from_entries([]);
+        assert!(t.is_empty());
+        assert_eq!(t.get(RelPairId(3)), Consistency::UNINFORMED);
+    }
+
+    #[test]
+    fn profile_likelihood_prefers_consistent_fit() {
+        // Data with fully observed matches scores higher at ε = 0.9 than 0.1.
+        let obs = vec![so(1, 1, 1, 1); 40];
+        let high = profile_log_likelihood(&obs, 0.9, 0.9);
+        let low = profile_log_likelihood(&obs, 0.1, 0.1);
+        assert!(high > low);
+    }
+}

@@ -1,0 +1,319 @@
+//! Distant match propagation (paper §V-C, Eq. 10) and inferred-set
+//! discovery (§VI-B, Algorithm 2).
+//!
+//! Under the Markov assumption, `Pr[m_p | m_q] ≥ Π_i Pr[m_{v_i} | m_{v_{i−1}}]`
+//! along any path `q = v_0, …, v_l = p`; the largest lower bound over paths
+//! is used as the estimate. With `length(v, v') = −log Pr[m_{v'} | m_v]`
+//! this is a shortest-path problem, and the threshold `Pr ≥ τ` becomes
+//! `dist ≤ ζ = −log τ`.
+//!
+//! Two implementations:
+//! * [`inferred_sets_floyd_warshall`] — the paper's Algorithm 2: threshold
+//!   Floyd–Warshall over per-vertex ordered maps. Exact for all distances
+//!   ≤ ζ because every subpath of a ≤ ζ path is itself ≤ ζ.
+//! * [`inferred_sets_dijkstra`] — truncated Dijkstra from every vertex;
+//!   identical output (property-tested), asymptotically faster on the
+//!   sparse graphs the pipeline produces. The pipeline uses this one; the
+//!   bench suite compares both (ablation).
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use remp_ergraph::PairId;
+
+use crate::ProbErGraph;
+
+/// The inferred match sets of every candidate question (Eq. 12):
+/// `inferred(q) = { p : Pr[m_p | m_q] ≥ τ }`.
+#[derive(Clone, Debug)]
+pub struct InferredSets {
+    /// `per_source[q]` = (target, `Pr[m_p | m_q]`), sorted by target;
+    /// always contains `(q, 1.0)` itself.
+    per_source: Vec<Vec<(PairId, f64)>>,
+    tau: f64,
+}
+
+impl InferredSets {
+    /// The inferred set of `q` as `(pair, probability)` entries.
+    pub fn inferred(&self, q: PairId) -> &[(PairId, f64)] {
+        &self.per_source[q.index()]
+    }
+
+    /// The probability threshold τ the sets were computed with.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// Number of sources (= vertices).
+    pub fn num_sources(&self) -> usize {
+        self.per_source.len()
+    }
+
+    /// Total size of all inferred sets (diagnostics).
+    pub fn total_size(&self) -> usize {
+        self.per_source.iter().map(Vec::len).sum()
+    }
+}
+
+/// Edge length `−ln p`, or `None` when the edge alone already exceeds ζ
+/// (lengths are non-negative, so such an edge can never lie on a ≤ ζ path).
+fn length_within(p: f64, zeta: f64) -> Option<f64> {
+    if p <= 0.0 {
+        return None; // Pr = 0 edges are removed (log 0), paper §VI-B
+    }
+    let len = -p.min(1.0).ln();
+    (len <= zeta).then_some(len)
+}
+
+/// Truncated multi-source Dijkstra implementation of Algorithm 2's output.
+pub fn inferred_sets_dijkstra(graph: &ProbErGraph, tau: f64) -> InferredSets {
+    let zeta = -tau.clamp(f64::MIN_POSITIVE, 1.0).ln();
+    let n = graph.num_vertices();
+    let mut per_source = Vec::with_capacity(n);
+    // dist buffer reused across sources: u32::MAX sentinel epoch trick.
+    let mut dist = vec![f64::INFINITY; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for q in 0..n {
+        let mut out = Vec::new();
+        let mut heap = BinaryHeap::new();
+        dist[q] = 0.0;
+        touched.push(q);
+        heap.push(MinDist(0.0, PairId(q as u32)));
+        while let Some(MinDist(d, v)) = heap.pop() {
+            if d > dist[v.index()] {
+                continue; // stale entry
+            }
+            out.push((v, (-d).exp()));
+            for &(w, p) in graph.edges_from(v) {
+                let Some(len) = length_within(p, zeta) else { continue };
+                let nd = d + len;
+                if nd <= zeta && nd < dist[w.index()] {
+                    if dist[w.index()] == f64::INFINITY {
+                        touched.push(w.index());
+                    }
+                    dist[w.index()] = nd;
+                    heap.push(MinDist(nd, w));
+                }
+            }
+        }
+        out.sort_by_key(|&(w, _)| w);
+        per_source.push(out);
+        for &t in &touched {
+            dist[t] = f64::INFINITY;
+        }
+        touched.clear();
+    }
+    InferredSets { per_source, tau }
+}
+
+/// Min-heap entry ordered by distance.
+#[derive(PartialEq)]
+struct MinDist(f64, PairId);
+
+impl Eq for MinDist {}
+
+impl PartialOrd for MinDist {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinDist {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; ties broken by vertex for determinism.
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+/// Algorithm 2: threshold Floyd–Warshall with per-vertex ordered maps
+/// (`bt(q)` / `bt⁻¹(q)` in the paper).
+///
+/// The intermediate-vertex loop relaxes `r → k → p` whenever both halves
+/// are within ζ; every subpath of a ≤ ζ shortest path is ≤ ζ (non-negative
+/// lengths), so thresholding loses nothing.
+pub fn inferred_sets_floyd_warshall(graph: &ProbErGraph, tau: f64) -> InferredSets {
+    let zeta = -tau.clamp(f64::MIN_POSITIVE, 1.0).ln();
+    let n = graph.num_vertices();
+    // bt[q]: distances q → p (≤ ζ); bt_inv[q]: distances r → q.
+    let mut bt: Vec<BTreeMap<PairId, f64>> = vec![BTreeMap::new(); n];
+    let mut bt_inv: Vec<BTreeMap<PairId, f64>> = vec![BTreeMap::new(); n];
+    for q in 0..n {
+        for &(w, p) in graph.edges_from(PairId(q as u32)) {
+            if w.index() == q {
+                continue; // self-loops are irrelevant: dist(q,q) = 0
+            }
+            let Some(len) = length_within(p, zeta) else { continue };
+            let cur = bt[q].get(&w).copied().unwrap_or(f64::INFINITY);
+            if len < cur {
+                bt[q].insert(w, len);
+                bt_inv[w.index()].insert(PairId(q as u32), len);
+            }
+        }
+    }
+
+    for k in 0..n {
+        let k_id = PairId(k as u32);
+        // Snapshot to decouple iteration from mutation; the FW invariant
+        // only needs the state at the start of iteration k.
+        let into_k: Vec<(PairId, f64)> = bt_inv[k].iter().map(|(&r, &d)| (r, d)).collect();
+        let from_k: Vec<(PairId, f64)> = bt[k].iter().map(|(&p, &d)| (p, d)).collect();
+        for &(r, d1) in &into_k {
+            if r == k_id {
+                continue;
+            }
+            for &(p, d2) in &from_k {
+                if p == k_id || p == r {
+                    continue;
+                }
+                let d = d1 + d2;
+                if d > zeta {
+                    continue;
+                }
+                let cur = bt[r.index()].get(&p).copied().unwrap_or(f64::INFINITY);
+                if d < cur {
+                    bt[r.index()].insert(p, d);
+                    bt_inv[p.index()].insert(r, d);
+                }
+            }
+        }
+    }
+
+    let per_source = (0..n)
+        .map(|q| {
+            let mut out: Vec<(PairId, f64)> =
+                bt[q].iter().map(|(&p, &d)| (p, (-d).exp())).collect();
+            out.push((PairId(q as u32), 1.0));
+            out.sort_by_key(|&(w, _)| w);
+            out
+        })
+        .collect();
+    InferredSets { per_source, tau }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn graph(n: usize, edges: &[(u32, u32, f64)]) -> ProbErGraph {
+        ProbErGraph::from_edges(n, edges.iter().map(|&(v, w, p)| (PairId(v), PairId(w), p)))
+    }
+
+    #[test]
+    fn self_is_always_inferred() {
+        let g = graph(3, &[]);
+        let s = inferred_sets_dijkstra(&g, 0.9);
+        for q in 0..3 {
+            assert_eq!(s.inferred(PairId(q)), &[(PairId(q), 1.0)]);
+        }
+    }
+
+    #[test]
+    fn chain_multiplies_probabilities() {
+        // 0 →0.95→ 1 →0.95→ 2 : Pr[2|0] = 0.9025 ≥ 0.9
+        let g = graph(3, &[(0, 1, 0.95), (1, 2, 0.95)]);
+        let s = inferred_sets_dijkstra(&g, 0.9);
+        let inf0 = s.inferred(PairId(0));
+        assert_eq!(inf0.len(), 3);
+        let p2 = inf0.iter().find(|&&(w, _)| w == PairId(2)).unwrap().1;
+        assert!((p2 - 0.9025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_cuts_long_chains() {
+        // Pr[2|0] = 0.81 < 0.9 → excluded.
+        let g = graph(3, &[(0, 1, 0.9), (1, 2, 0.9)]);
+        let s = inferred_sets_dijkstra(&g, 0.9);
+        let inf0 = s.inferred(PairId(0));
+        assert!(inf0.iter().any(|&(w, _)| w == PairId(1)));
+        assert!(!inf0.iter().any(|&(w, _)| w == PairId(2)));
+    }
+
+    #[test]
+    fn best_path_wins() {
+        // Direct weak edge 0→2 (0.91) vs 2-hop strong path (0.98² = 0.9604).
+        let g = graph(3, &[(0, 2, 0.91), (0, 1, 0.98), (1, 2, 0.98)]);
+        let s = inferred_sets_dijkstra(&g, 0.9);
+        let p2 = s.inferred(PairId(0)).iter().find(|&&(w, _)| w == PairId(2)).unwrap().1;
+        assert!((p2 - 0.9604).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_probability_edges_removed() {
+        let g = graph(2, &[(0, 1, 0.0)]);
+        let s = inferred_sets_dijkstra(&g, 0.5);
+        assert_eq!(s.inferred(PairId(0)).len(), 1);
+    }
+
+    #[test]
+    fn directedness_respected() {
+        let g = graph(2, &[(0, 1, 0.99)]);
+        let s = inferred_sets_dijkstra(&g, 0.9);
+        assert_eq!(s.inferred(PairId(0)).len(), 2);
+        assert_eq!(s.inferred(PairId(1)).len(), 1, "no reverse edge");
+    }
+
+    #[test]
+    fn floyd_warshall_matches_dijkstra_on_fixture() {
+        let g = graph(
+            5,
+            &[(0, 1, 0.95), (1, 2, 0.97), (2, 3, 0.99), (0, 3, 0.91), (3, 4, 0.5), (4, 0, 0.99)],
+        );
+        let a = inferred_sets_dijkstra(&g, 0.9);
+        let b = inferred_sets_floyd_warshall(&g, 0.9);
+        for q in 0..5 {
+            let xs = a.inferred(PairId(q));
+            let ys = b.inferred(PairId(q));
+            assert_eq!(xs.len(), ys.len(), "q = {q}: {xs:?} vs {ys:?}");
+            for (x, y) in xs.iter().zip(ys) {
+                assert_eq!(x.0, y.0);
+                assert!((x.1 - y.1).abs() < 1e-9);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The two Algorithm 2 implementations agree on random graphs.
+        #[test]
+        fn fw_equals_dijkstra(
+            edges in proptest::collection::vec((0u32..8, 0u32..8, 0.5f64..1.0), 0..40),
+            tau in 0.6f64..0.95
+        ) {
+            let g = graph(8, &edges);
+            let a = inferred_sets_dijkstra(&g, tau);
+            let b = inferred_sets_floyd_warshall(&g, tau);
+            for q in 0..8 {
+                let xs = a.inferred(PairId(q));
+                let ys = b.inferred(PairId(q));
+                prop_assert_eq!(xs.len(), ys.len(), "q={}: {:?} vs {:?}", q, xs, ys);
+                for (x, y) in xs.iter().zip(ys) {
+                    prop_assert_eq!(x.0, y.0);
+                    prop_assert!((x.1 - y.1).abs() < 1e-9);
+                }
+            }
+        }
+
+        /// Every inferred probability is in [τ, 1] and the self-entry is 1.
+        #[test]
+        fn inferred_probabilities_bounded(
+            edges in proptest::collection::vec((0u32..6, 0u32..6, 0.0f64..1.0), 0..30),
+            tau in 0.5f64..0.99
+        ) {
+            let g = graph(6, &edges);
+            let s = inferred_sets_dijkstra(&g, tau);
+            for q in 0..6 {
+                let inf = s.inferred(PairId(q));
+                let me = inf.iter().find(|&&(w, _)| w == PairId(q)).expect("self entry");
+                prop_assert!((me.1 - 1.0).abs() < 1e-12);
+                for &(_, p) in inf {
+                    prop_assert!(p >= tau - 1e-9 && p <= 1.0 + 1e-12);
+                }
+            }
+        }
+    }
+}

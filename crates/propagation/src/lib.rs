@@ -1,0 +1,31 @@
+//! Relational match propagation (paper §V) and inferred-set discovery
+//! (§VI-B).
+//!
+//! Given the ER graph and a labeled match, this crate answers *which other
+//! entity pairs can now be inferred, and with what probability*:
+//!
+//! * [`Consistency`] / [`estimate_consistency`] — the per-relationship-pair
+//!   consistency parameters `(ε1, ε2)` (Eq. 3) fitted by maximum likelihood
+//!   over latent match counts (Eqs. 4–5). We optimise with hard-EM: the
+//!   E-step argmax over the integer latent count is unimodal and closed
+//!   form, the M-step is the closed-form ratio `ε_i = ΣL / Σ|N_i|` (see
+//!   DESIGN.md §6.1).
+//! * [`propagate_to_neighbors`] — the basic case (Eqs. 6–9): posterior
+//!   match probabilities of the value-set pairs of one relationship pair,
+//!   marginalised over all partial matchings `M_{u1,u2}`; exact enumeration
+//!   with a beam-search fallback beyond a configurable budget.
+//! * [`ProbErGraph`] — the probabilistic ER graph: every ER-graph edge
+//!   weighted with `Pr[m_w | m_v]`, plus distant propagation (Eq. 10) as
+//!   shortest paths under `length = −log Pr`, via either the paper's
+//!   threshold Floyd–Warshall (Algorithm 2) or an equivalent truncated
+//!   Dijkstra.
+
+mod consistency;
+mod distant;
+mod neighbor;
+mod probgraph;
+
+pub use consistency::{estimate_consistency, Consistency, ConsistencyTable};
+pub use distant::{inferred_sets_dijkstra, inferred_sets_floyd_warshall, InferredSets};
+pub use neighbor::{propagate_to_neighbors, MatchingCandidate, PropagationConfig};
+pub use probgraph::ProbErGraph;

@@ -1,0 +1,325 @@
+//! Match propagation to neighbours — the basic case (paper §V-B,
+//! Eqs. 6–9).
+//!
+//! Given a match `u1 ≃ u2` and a relationship pair `(r1, r2)` with value
+//! sets `N1 = N_{u1}^{r1}`, `N2 = N_{u2}^{r2}`, the candidate pairs inside
+//! `N1 × N2` are resolved *jointly*: every partial matching `M ⊆ N1 × N2`
+//! (no entity reused — the paper's no-duplicates assumption) is scored by
+//!
+//! `Pr[M | u1≃u2] ∝ f(M) · g(M|N1) · g(M|N2)`
+//!
+//! where `f` multiplies the priors of chosen/unchosen candidate pairs
+//! (Eq. 7) and `g` rewards matchings that cover a consistent fraction of
+//! each value set (Eq. 8). Posteriors of individual pairs are the
+//! marginals over all matchings containing them (Eq. 9).
+//!
+//! Enumeration is exponential in the worst case, so beyond
+//! [`PropagationConfig::enumeration_budget`] partial matchings we switch to
+//! a beam search over the same state space (width
+//! [`PropagationConfig::beam_width`]) — an approximation documented in
+//! DESIGN.md and exercised by `bench_propagation`.
+
+use remp_ergraph::PairId;
+
+use crate::Consistency;
+
+/// One candidate pair inside the value-set product `N1 × N2`.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchingCandidate {
+    /// Index of the KB1 value within `N1` (0-based, dense).
+    pub left: usize,
+    /// Index of the KB2 value within `N2`.
+    pub right: usize,
+    /// The ER-graph vertex this pair corresponds to.
+    pub pair: PairId,
+    /// Prior match probability `Pr[m_p]`.
+    pub prior: f64,
+}
+
+/// Tuning knobs for the matching enumeration.
+#[derive(Clone, Copy, Debug)]
+pub struct PropagationConfig {
+    /// Maximum number of partial matchings to enumerate exactly before
+    /// falling back to beam search.
+    pub enumeration_budget: usize,
+    /// Beam width of the fallback.
+    pub beam_width: usize,
+    /// Hard cap on candidates considered per value-set pair; the
+    /// lowest-prior candidates beyond the cap are dropped (posterior 0).
+    pub max_candidates: usize,
+}
+
+impl Default for PropagationConfig {
+    fn default() -> Self {
+        PropagationConfig { enumeration_budget: 50_000, beam_width: 256, max_candidates: 64 }
+    }
+}
+
+/// A partial matching state during enumeration: which left/right value
+/// indexes are used (bitmasks) and the log-score so far.
+#[derive(Clone, Copy, Debug)]
+struct State {
+    used_left: u64,
+    used_right: u64,
+    members: u64, // bitmask over candidate indexes (≤ 64 by max_candidates)
+    log_score: f64,
+}
+
+/// Computes posterior match probabilities `Pr[u'1 ≃ u'2 | u1 ≃ u2]`
+/// (Eq. 9) for every candidate in `candidates`.
+///
+/// `n1`, `n2` are the *full* value-set sizes `|N1|`, `|N2|` (candidates may
+/// cover only part of them — uncovered values contribute the `(1−ε)`
+/// factors of Eq. 8). Returns `(pair, posterior)` aligned with the input
+/// order. Empty candidate lists yield an empty result.
+pub fn propagate_to_neighbors(
+    n1: usize,
+    n2: usize,
+    candidates: &[MatchingCandidate],
+    consistency: Consistency,
+    config: &PropagationConfig,
+) -> Vec<(PairId, f64)> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    debug_assert!(candidates.iter().all(|c| c.left < n1 && c.right < n2));
+
+    // Cap the candidate list: keep the highest-prior candidates. 64 also
+    // bounds the bitmask width.
+    let mut cands: Vec<MatchingCandidate> = candidates.to_vec();
+    let cap = config.max_candidates.min(64).min(usize::BITS as usize * 2).min(64);
+    if cands.len() > cap {
+        cands.sort_by(|a, b| b.prior.partial_cmp(&a.prior).unwrap_or(std::cmp::Ordering::Equal));
+        cands.truncate(cap);
+    }
+    // Left/right indexes may exceed 64 even when the candidate list is
+    // small; remap to dense local indexes so the bitmasks stay narrow.
+    let mut left_ids: Vec<usize> = cands.iter().map(|c| c.left).collect();
+    left_ids.sort_unstable();
+    left_ids.dedup();
+    let mut right_ids: Vec<usize> = cands.iter().map(|c| c.right).collect();
+    right_ids.sort_unstable();
+    right_ids.dedup();
+    let local: Vec<(usize, usize)> = cands
+        .iter()
+        .map(|c| {
+            (
+                left_ids.binary_search(&c.left).unwrap(),
+                right_ids.binary_search(&c.right).unwrap(),
+            )
+        })
+        .collect();
+
+    let eps1 = consistency.eps1.clamp(1e-6, 1.0 - 1e-6);
+    let eps2 = consistency.eps2.clamp(1e-6, 1.0 - 1e-6);
+    // Taking one more candidate into M multiplies the score by
+    //   prior/(1−prior) · ε1/(1−ε1) · ε2/(1−ε2)
+    // relative to leaving it out; the common factor Π(1−prior)·(1−ε1)^n1·
+    // (1−ε2)^n2 cancels in the normalisation, so states start at 0.
+    let gain: Vec<f64> = cands
+        .iter()
+        .map(|c| {
+            let p = c.prior.clamp(1e-9, 1.0 - 1e-9);
+            (p / (1.0 - p)).ln() + (eps1 / (1.0 - eps1)).ln() + (eps2 / (1.0 - eps2)).ln()
+        })
+        .collect();
+
+    let states = enumerate_states(&local, &gain, config);
+
+    // Marginalise with the log-sum-exp trick.
+    let max_log = states.iter().map(|s| s.log_score).fold(f64::NEG_INFINITY, f64::max);
+    let mut total = 0.0f64;
+    let mut member_mass = vec![0.0f64; cands.len()];
+    for s in &states {
+        let w = (s.log_score - max_log).exp();
+        total += w;
+        let mut bits = s.members;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            member_mass[i] += w;
+            bits &= bits - 1;
+        }
+    }
+
+    cands
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c.pair, (member_mass[i] / total).clamp(0.0, 1.0)))
+        .collect()
+}
+
+/// Enumerates (or beam-searches) all partial-matching states.
+fn enumerate_states(local: &[(usize, usize)], gain: &[f64], config: &PropagationConfig) -> Vec<State> {
+    let n = local.len();
+    let mut states = vec![State { used_left: 0, used_right: 0, members: 0, log_score: 0.0 }];
+    let mut overflowed = false;
+    for i in 0..n {
+        let (l, r) = local[i];
+        let (lbit, rbit) = (1u64 << l, 1u64 << r);
+        let mut next = Vec::with_capacity(states.len() * 2);
+        for s in &states {
+            next.push(*s); // skip candidate i
+            if s.used_left & lbit == 0 && s.used_right & rbit == 0 {
+                next.push(State {
+                    used_left: s.used_left | lbit,
+                    used_right: s.used_right | rbit,
+                    members: s.members | (1u64 << i),
+                    log_score: s.log_score + gain[i],
+                });
+            }
+        }
+        if next.len() > config.enumeration_budget || (overflowed && next.len() > config.beam_width)
+        {
+            // Beam fallback: keep the highest-scoring states. This biases
+            // marginals toward high-probability matchings — acceptable
+            // because posteriors are thresholded at τ anyway.
+            overflowed = true;
+            next.sort_by(|a, b| b.log_score.partial_cmp(&a.log_score).unwrap());
+            next.truncate(config.beam_width);
+        }
+        states = next;
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(left: usize, right: usize, id: u32, prior: f64) -> MatchingCandidate {
+        MatchingCandidate { left, right, pair: PairId(id), prior }
+    }
+
+    /// The paper's worked example (§V-B): Tim's two movies. The Fig. 1 ER
+    /// graph contains three movie-pair vertices — (Cradle,Cradle),
+    /// (Player,Player) and (Cradle,Player); (Player,Cradle) is not a
+    /// candidate. With uniform priors 0.5 and ε = 0.95 the paper reports
+    /// Pr[Cradle ≃ Cradle] ≈ 0.99 and Pr[Cradle ≃ Player] ≈ 0.01.
+    #[test]
+    fn paper_example_tim_movies() {
+        let candidates = vec![
+            cand(0, 0, 0, 0.5), // (Cradle, Cradle)
+            cand(1, 1, 1, 0.5), // (Player, Player)
+            cand(0, 1, 2, 0.5), // (Cradle, Player)
+        ];
+        let cons = Consistency { eps1: 0.95, eps2: 0.95 };
+        let post = propagate_to_neighbors(2, 2, &candidates, cons, &PropagationConfig::default());
+        let get = |id: u32| post.iter().find(|(p, _)| *p == PairId(id)).unwrap().1;
+        assert!((get(0) - 0.99).abs() < 0.01, "Pr[Cradle≃Cradle] ≈ 0.99, got {}", get(0));
+        assert!((get(1) - 0.99).abs() < 0.01, "Pr[Player≃Player] ≈ 0.99, got {}", get(1));
+        assert!(get(2) < 0.02, "Pr[Cradle≃Player] ≈ 0.01, got {}", get(2));
+    }
+
+    #[test]
+    fn posteriors_are_probabilities() {
+        let candidates = vec![cand(0, 0, 0, 0.3), cand(0, 1, 1, 0.7), cand(1, 1, 2, 0.4)];
+        let cons = Consistency { eps1: 0.8, eps2: 0.6 };
+        let post = propagate_to_neighbors(2, 2, &candidates, cons, &PropagationConfig::default());
+        for &(_, p) in &post {
+            assert!((0.0..=1.0).contains(&p), "posterior {p} out of range");
+        }
+    }
+
+    #[test]
+    fn functional_relationship_boosts_single_pair() {
+        // One value on each side, prior 0.5, ε → 0.99: posterior ≈
+        // odds(0.5)·odds(0.99)² normalised ≈ 0.9999.
+        let candidates = vec![cand(0, 0, 0, 0.5)];
+        let cons = Consistency { eps1: 0.99, eps2: 0.99 };
+        let post = propagate_to_neighbors(1, 1, &candidates, cons, &PropagationConfig::default());
+        assert!(post[0].1 > 0.99, "got {}", post[0].1);
+    }
+
+    #[test]
+    fn low_consistency_dampens() {
+        let candidates = vec![cand(0, 0, 0, 0.5)];
+        let cons = Consistency { eps1: 0.05, eps2: 0.05 };
+        let post = propagate_to_neighbors(3, 3, &candidates, cons, &PropagationConfig::default());
+        assert!(post[0].1 < 0.05, "got {}", post[0].1);
+    }
+
+    #[test]
+    fn higher_prior_gives_higher_posterior() {
+        let cons = Consistency { eps1: 0.9, eps2: 0.9 };
+        let low = propagate_to_neighbors(
+            1,
+            1,
+            &[cand(0, 0, 0, 0.2)],
+            cons,
+            &PropagationConfig::default(),
+        )[0]
+        .1;
+        let high = propagate_to_neighbors(
+            1,
+            1,
+            &[cand(0, 0, 0, 0.8)],
+            cons,
+            &PropagationConfig::default(),
+        )[0]
+        .1;
+        assert!(high > low);
+    }
+
+    #[test]
+    fn competing_candidates_split_mass() {
+        // Two KB2 candidates for the same KB1 value: the matching constraint
+        // makes them mutually exclusive; with equal priors they share.
+        let candidates = vec![cand(0, 0, 0, 0.5), cand(0, 1, 1, 0.5)];
+        let cons = Consistency { eps1: 0.9, eps2: 0.9 };
+        let post = propagate_to_neighbors(1, 2, &candidates, cons, &PropagationConfig::default());
+        assert!((post[0].1 - post[1].1).abs() < 1e-9, "symmetric candidates must tie");
+        assert!(post[0].1 < 0.6, "mutual exclusion caps each at ~0.5, got {}", post[0].1);
+    }
+
+    #[test]
+    fn beam_mode_approximates_exact() {
+        // 3×3 full grid (34 partial matchings): run exact and tiny-budget
+        // beam, compare marginals loosely.
+        let mut candidates = Vec::new();
+        let mut id = 0;
+        for l in 0..3 {
+            for r in 0..3 {
+                candidates.push(cand(l, r, id, if l == r { 0.8 } else { 0.2 }));
+                id += 1;
+            }
+        }
+        let cons = Consistency { eps1: 0.9, eps2: 0.9 };
+        let exact =
+            propagate_to_neighbors(3, 3, &candidates, cons, &PropagationConfig::default());
+        let beam = propagate_to_neighbors(
+            3,
+            3,
+            &candidates,
+            cons,
+            &PropagationConfig { enumeration_budget: 8, beam_width: 64, max_candidates: 64 },
+        );
+        for (e, b) in exact.iter().zip(&beam) {
+            assert_eq!(e.0, b.0);
+            assert!((e.1 - b.1).abs() < 0.15, "exact {} vs beam {}", e.1, b.1);
+        }
+        // Diagonal pairs must still dominate in beam mode.
+        assert!(beam[0].1 > beam[1].1);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let cons = Consistency { eps1: 0.9, eps2: 0.9 };
+        assert!(propagate_to_neighbors(2, 2, &[], cons, &PropagationConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn candidate_cap_drops_lowest_priors() {
+        // 70 candidates on distinct value slots; cap 64 keeps the 64 best.
+        let candidates: Vec<MatchingCandidate> =
+            (0..70).map(|i| cand(i, i, i as u32, 0.9 - 0.01 * i as f64)).collect();
+        let cons = Consistency { eps1: 0.9, eps2: 0.9 };
+        let post = propagate_to_neighbors(
+            70,
+            70,
+            &candidates,
+            cons,
+            &PropagationConfig { enumeration_budget: 4, beam_width: 32, max_candidates: 64 },
+        );
+        assert_eq!(post.len(), 64);
+    }
+}

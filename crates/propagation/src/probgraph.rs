@@ -1,0 +1,253 @@
+//! The probabilistic ER graph: ER-graph edges weighted with conditional
+//! match probabilities `Pr[m_w | m_v]` from neighbour propagation.
+
+use std::collections::HashMap;
+
+use remp_ergraph::{Candidates, Direction, ErGraph, PairId};
+use remp_kb::{EntityId, Kb};
+
+use crate::{
+    propagate_to_neighbors, ConsistencyTable, MatchingCandidate, PropagationConfig,
+};
+
+/// A directed graph over candidate pairs where each edge `v → w` carries
+/// `Pr[m_w | m_v]` (paper §IV-A "probabilistic ER graph").
+#[derive(Clone, Debug)]
+pub struct ProbErGraph {
+    /// `edges[v]` = (target, probability), sorted by target, deduplicated
+    /// to the maximum probability (the largest lower bound of Eq. 10).
+    edges: Vec<Vec<(PairId, f64)>>,
+}
+
+impl ProbErGraph {
+    /// Computes edge probabilities for every vertex of `graph` by running
+    /// neighbour propagation (Eqs. 6–9) on each relationship-pair group.
+    ///
+    /// For each vertex `v = (u1, u2)` and each edge label `(r1, r2, dir)`,
+    /// the group's targets are the candidate pairs within
+    /// `N_{u1}^{r1} × N_{u2}^{r2}`; their posteriors given `m_v` become the
+    /// probabilities of the edges `v → target`.
+    pub fn build(
+        kb1: &Kb,
+        kb2: &Kb,
+        candidates: &Candidates,
+        graph: &ErGraph,
+        consistencies: &ConsistencyTable,
+        config: &PropagationConfig,
+    ) -> ProbErGraph {
+        let n = candidates.len();
+        let mut edges: Vec<HashMap<PairId, f64>> = vec![HashMap::new(); n];
+
+        for (v, (u1, u2)) in candidates.iter() {
+            for (label_id, targets) in graph.grouped_from(v) {
+                let label = graph.label(label_id);
+                let (values1, values2): (Vec<EntityId>, Vec<EntityId>) = match label.dir {
+                    Direction::Forward => (
+                        kb1.rel_values(u1, label.r1).iter().map(|&(_, o)| o).collect(),
+                        kb2.rel_values(u2, label.r2).iter().map(|&(_, o)| o).collect(),
+                    ),
+                    Direction::Reverse => (
+                        kb1.rel_subjects(u1, label.r1).iter().map(|&(_, o)| o).collect(),
+                        kb2.rel_subjects(u2, label.r2).iter().map(|&(_, o)| o).collect(),
+                    ),
+                };
+                let index_of = |values: &[EntityId], e: EntityId| -> Option<usize> {
+                    values.iter().position(|&x| x == e)
+                };
+                let mut group = Vec::with_capacity(targets.len());
+                for &w in &targets {
+                    let (o1, o2) = candidates.pair(w);
+                    let (Some(l), Some(r)) = (index_of(&values1, o1), index_of(&values2, o2))
+                    else {
+                        continue;
+                    };
+                    group.push(MatchingCandidate {
+                        left: l,
+                        right: r,
+                        pair: w,
+                        prior: candidates.prior(w),
+                    });
+                }
+                if group.is_empty() {
+                    continue;
+                }
+                let posts = propagate_to_neighbors(
+                    values1.len(),
+                    values2.len(),
+                    &group,
+                    consistencies.get(label_id),
+                    config,
+                );
+                for (w, p) in posts {
+                    if p > 0.0 {
+                        let slot = edges[v.index()].entry(w).or_insert(0.0);
+                        *slot = slot.max(p);
+                    }
+                }
+            }
+        }
+
+        let edges = edges
+            .into_iter()
+            .map(|m| {
+                let mut list: Vec<(PairId, f64)> = m.into_iter().collect();
+                list.sort_by_key(|&(w, _)| w);
+                list
+            })
+            .collect();
+        ProbErGraph { edges }
+    }
+
+    /// Builds a graph directly from explicit edges (tests, ablations).
+    /// Parallel edges keep the maximum probability.
+    pub fn from_edges(
+        num_vertices: usize,
+        edge_list: impl IntoIterator<Item = (PairId, PairId, f64)>,
+    ) -> ProbErGraph {
+        let mut maps: Vec<HashMap<PairId, f64>> = vec![HashMap::new(); num_vertices];
+        for (v, w, p) in edge_list {
+            let slot = maps[v.index()].entry(w).or_insert(0.0);
+            *slot = slot.max(p.clamp(0.0, 1.0));
+        }
+        let edges = maps
+            .into_iter()
+            .map(|m| {
+                let mut list: Vec<(PairId, f64)> = m.into_iter().collect();
+                list.sort_by_key(|&(w, _)| w);
+                list
+            })
+            .collect();
+        ProbErGraph { edges }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Total number of directed probabilistic edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing `(target, probability)` edges of `v`.
+    pub fn edges_from(&self, v: PairId) -> &[(PairId, f64)] {
+        &self.edges[v.index()]
+    }
+
+    /// `Pr[m_w | m_v]`, 0.0 when no edge exists.
+    pub fn edge_prob(&self, v: PairId, w: PairId) -> f64 {
+        match self.edges[v.index()].binary_search_by_key(&w, |&(t, _)| t) {
+            Ok(i) => self.edges[v.index()][i].1,
+            Err(_) => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Consistency;
+    use remp_ergraph::generate_candidates;
+    use remp_kb::{KbBuilder, Value};
+
+    /// Two mirrored KBs: person → born-in → city, person → acted-in →
+    /// movies (2 movies).
+    fn setup() -> (Kb, Kb, Candidates, ErGraph) {
+        let mut b1 = KbBuilder::new("kb1");
+        let mut b2 = KbBuilder::new("kb2");
+        let born1 = b1.add_rel("wasBornIn");
+        let born2 = b2.add_rel("birthPlace");
+        let acted1 = b1.add_rel("actedIn");
+        let acted2 = b2.add_rel("actedIn");
+        let lbl1 = b1.add_attr("label");
+        let lbl2 = b2.add_attr("label");
+
+        for (b, born, acted, lbl) in [(&mut b1, born1, acted1, lbl1), (&mut b2, born2, acted2, lbl2)]
+        {
+            let joan = b.add_entity("Joan");
+            let nyc = b.add_entity("NYC");
+            let cradle = b.add_entity("Cradle");
+            let player = b.add_entity("Player");
+            for e in [joan, nyc, cradle, player] {
+                let label = ["Joan", "NYC", "Cradle", "Player"][e.index()];
+                b.add_attr_triple(e, lbl, Value::text(label));
+            }
+            b.add_rel_triple(joan, born, nyc);
+            b.add_rel_triple(joan, acted, cradle);
+            b.add_rel_triple(joan, acted, player);
+        }
+        let kb1 = b1.finish();
+        let kb2 = b2.finish();
+        let cands = generate_candidates(&kb1, &kb2, 0.3);
+        let graph = ErGraph::build(&kb1, &kb2, &cands);
+        (kb1, kb2, cands, graph)
+    }
+
+    #[test]
+    fn functional_edge_gets_high_probability() {
+        let (kb1, kb2, cands, graph) = setup();
+        let cons = ConsistencyTable::from_entries(
+            graph.labels().map(|(id, _)| (id, Consistency { eps1: 0.95, eps2: 0.95 })),
+        );
+        let pg = ProbErGraph::build(
+            &kb1,
+            &kb2,
+            &cands,
+            &graph,
+            &cons,
+            &PropagationConfig::default(),
+        );
+        let joan = cands.id_of((EntityId(0), EntityId(0))).unwrap();
+        let nyc = cands.id_of((EntityId(1), EntityId(1))).unwrap();
+        assert!(pg.edge_prob(joan, nyc) > 0.8, "got {}", pg.edge_prob(joan, nyc));
+        // Reverse orientation also present.
+        assert!(pg.edge_prob(nyc, joan) > 0.8);
+    }
+
+    #[test]
+    fn no_edge_means_zero_probability() {
+        let (kb1, kb2, cands, graph) = setup();
+        let cons = ConsistencyTable::from_entries(
+            graph.labels().map(|(id, _)| (id, Consistency { eps1: 0.9, eps2: 0.9 })),
+        );
+        let pg = ProbErGraph::build(
+            &kb1,
+            &kb2,
+            &cands,
+            &graph,
+            &cons,
+            &PropagationConfig::default(),
+        );
+        let nyc = cands.id_of((EntityId(1), EntityId(1))).unwrap();
+        let cradle = cands.id_of((EntityId(2), EntityId(2))).unwrap();
+        assert_eq!(pg.edge_prob(nyc, cradle), 0.0);
+    }
+
+    #[test]
+    fn low_consistency_weakens_edges() {
+        let (kb1, kb2, cands, graph) = setup();
+        let strong = ConsistencyTable::from_entries(
+            graph.labels().map(|(id, _)| (id, Consistency { eps1: 0.95, eps2: 0.95 })),
+        );
+        let weak = ConsistencyTable::from_entries(
+            graph.labels().map(|(id, _)| (id, Consistency { eps1: 0.2, eps2: 0.2 })),
+        );
+        let cfg = PropagationConfig::default();
+        let pg_s = ProbErGraph::build(&kb1, &kb2, &cands, &graph, &strong, &cfg);
+        let pg_w = ProbErGraph::build(&kb1, &kb2, &cands, &graph, &weak, &cfg);
+        let joan = cands.id_of((EntityId(0), EntityId(0))).unwrap();
+        let nyc = cands.id_of((EntityId(1), EntityId(1))).unwrap();
+        assert!(pg_w.edge_prob(joan, nyc) < pg_s.edge_prob(joan, nyc));
+    }
+
+    #[test]
+    fn from_edges_keeps_max_parallel() {
+        let pg = ProbErGraph::from_edges(
+            3,
+            [(PairId(0), PairId(1), 0.3), (PairId(0), PairId(1), 0.8)],
+        );
+        assert_eq!(pg.edge_prob(PairId(0), PairId(1)), 0.8);
+        assert_eq!(pg.num_edges(), 1);
+    }
+}

@@ -1,0 +1,377 @@
+//! Multiple questions selection (paper §VI).
+//!
+//! Asking a question `q` and receiving a "match" label lets propagation
+//! infer every pair in `inferred(q)` (Eq. 12). The benefit of a question
+//! set `Q` is the *expected* number of pairs inferred once workers label it
+//! (Eqs. 15–16):
+//!
+//! `benefit(Q) = Σ_{p∈C} (1 − Π_{q∈Q : p∈inferred(q)} (1 − Pr[m_q]))`
+//!
+//! Selecting the best `|Q| ≤ µ` is NP-hard (Theorem 1, set-cover
+//! reduction) but `benefit` is monotone submodular (Theorem 2), so the
+//! [`select_questions`] lazy greedy achieves the (1 − 1/e) guarantee
+//! (Algorithm 3 with the Minoux/lazier-than-lazy-greedy priority queue).
+//!
+//! [`max_inf_questions`] and [`max_pr_questions`] are the two heuristic
+//! baselines of §VIII-B (Fig. 5): maximal inference power and maximal
+//! match probability.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use remp_ergraph::PairId;
+use remp_propagation::InferredSets;
+
+/// Expected number of inferred matches for the question set `Q`
+/// (Eqs. 15–16). `priors[p]` is `Pr[m_p]` indexed by pair id; `eligible`
+/// marks the unresolved pairs `C` that count toward the benefit.
+pub fn benefit(
+    questions: &[PairId],
+    inferred: &InferredSets,
+    priors: &[f64],
+    eligible: &[bool],
+) -> f64 {
+    let n = eligible.len();
+    let mut not_covered = vec![1.0f64; n];
+    for &q in questions {
+        let pq = priors[q.index()];
+        for &(p, _) in inferred.inferred(q) {
+            if eligible[p.index()] {
+                not_covered[p.index()] *= 1.0 - pq;
+            }
+        }
+    }
+    eligible
+        .iter()
+        .enumerate()
+        .filter(|&(_, &e)| e)
+        .map(|(p, _)| 1.0 - not_covered[p])
+        .sum()
+}
+
+/// Max-heap entry: cached marginal gain of a candidate question.
+struct Entry {
+    gain: f64,
+    question: PairId,
+    /// Selection round the gain was computed in (for lazy invalidation).
+    round: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.gain == other.gain && self.question == other.question
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.gain
+            .partial_cmp(&other.gain)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.question.cmp(&self.question))
+    }
+}
+
+/// Algorithm 3: lazy greedy selection of at most `mu` questions from
+/// `candidates`, maximising [`benefit`].
+///
+/// Stops early when no remaining question has positive gain (the paper's
+/// termination condition: nothing more can be inferred). Runs in
+/// `O(µ · |C| · avg|inferred|)` with the lazy evaluation usually far
+/// cheaper.
+pub fn select_questions(
+    candidates: &[PairId],
+    inferred: &InferredSets,
+    priors: &[f64],
+    eligible: &[bool],
+    mu: usize,
+) -> Vec<PairId> {
+    let n = eligible.len();
+    // not_covered[p] = Π_{selected q ∋ p} (1 − Pr[m_q]); gain of adding q is
+    // Pr[m_q] · Σ_{p ∈ inferred(q), eligible} not_covered[p].
+    let mut not_covered = vec![1.0f64; n];
+    let gain_of = |q: PairId, not_covered: &[f64]| -> f64 {
+        let pq = priors[q.index()];
+        pq * inferred
+            .inferred(q)
+            .iter()
+            .filter(|&&(p, _)| eligible[p.index()])
+            .map(|&(p, _)| not_covered[p.index()])
+            .sum::<f64>()
+    };
+
+    let mut heap: BinaryHeap<Entry> = candidates
+        .iter()
+        .map(|&q| Entry { gain: gain_of(q, &not_covered), question: q, round: 0 })
+        .collect();
+
+    let mut selected = Vec::with_capacity(mu.min(candidates.len()));
+    let mut round = 0usize;
+    while selected.len() < mu {
+        let Some(top) = heap.pop() else { break };
+        if top.gain <= 1e-12 {
+            break; // nothing informative left (Alg. 3 line 9)
+        }
+        if top.round < round {
+            // Stale gain: recompute and re-insert. Submodularity guarantees
+            // the fresh gain is ≤ the stale one, so the heap order stays
+            // admissible.
+            let fresh = gain_of(top.question, &not_covered);
+            heap.push(Entry { gain: fresh, question: top.question, round });
+            continue;
+        }
+        // Fresh top entry: select it.
+        let pq = priors[top.question.index()];
+        for &(p, _) in inferred.inferred(top.question) {
+            if eligible[p.index()] {
+                not_covered[p.index()] *= 1.0 - pq;
+            }
+        }
+        selected.push(top.question);
+        round += 1;
+    }
+    selected
+}
+
+/// Reference (non-lazy) greedy — same output as [`select_questions`],
+/// used for property tests and the selection ablation bench.
+pub fn select_questions_naive(
+    candidates: &[PairId],
+    inferred: &InferredSets,
+    priors: &[f64],
+    eligible: &[bool],
+    mu: usize,
+) -> Vec<PairId> {
+    let n = eligible.len();
+    let mut not_covered = vec![1.0f64; n];
+    let mut remaining: Vec<PairId> = candidates.to_vec();
+    let mut selected = Vec::new();
+    while selected.len() < mu && !remaining.is_empty() {
+        let (best_idx, best_gain) = remaining
+            .iter()
+            .enumerate()
+            .map(|(i, &q)| {
+                let pq = priors[q.index()];
+                let g = pq
+                    * inferred
+                        .inferred(q)
+                        .iter()
+                        .filter(|&&(p, _)| eligible[p.index()])
+                        .map(|&(p, _)| not_covered[p.index()])
+                        .sum::<f64>();
+                (i, g)
+            })
+            .max_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .unwrap_or(Ordering::Equal)
+                    // Tie-break identical gains toward the smaller pair id,
+                    // matching the heap's deterministic order.
+                    .then_with(|| remaining[b.0].cmp(&remaining[a.0]))
+            })
+            .expect("non-empty remaining");
+        if best_gain <= 1e-12 {
+            break;
+        }
+        let q = remaining.swap_remove(best_idx);
+        let pq = priors[q.index()];
+        for &(p, _) in inferred.inferred(q) {
+            if eligible[p.index()] {
+                not_covered[p.index()] *= 1.0 - pq;
+            }
+        }
+        selected.push(q);
+    }
+    selected
+}
+
+/// MaxInf baseline (§VIII-B): the `mu` questions with the largest inferred
+/// sets, ignoring match probability.
+pub fn max_inf_questions(
+    candidates: &[PairId],
+    inferred: &InferredSets,
+    eligible: &[bool],
+    mu: usize,
+) -> Vec<PairId> {
+    let mut scored: Vec<(usize, PairId)> = candidates
+        .iter()
+        .map(|&q| {
+            let size =
+                inferred.inferred(q).iter().filter(|&&(p, _)| eligible[p.index()]).count();
+            (size, q)
+        })
+        .collect();
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    scored.into_iter().take(mu).map(|(_, q)| q).collect()
+}
+
+/// MaxPr baseline (§VIII-B): the `mu` questions with the highest prior
+/// match probability, ignoring inference power.
+pub fn max_pr_questions(candidates: &[PairId], priors: &[f64], mu: usize) -> Vec<PairId> {
+    let mut scored: Vec<(f64, PairId)> =
+        candidates.iter().map(|&q| (priors[q.index()], q)).collect();
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then_with(|| a.1.cmp(&b.1))
+    });
+    scored.into_iter().take(mu).map(|(_, q)| q).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use remp_propagation::{inferred_sets_dijkstra, ProbErGraph};
+
+    /// Builds inferred sets from explicit probabilistic edges.
+    fn sets(n: usize, edges: &[(u32, u32, f64)], tau: f64) -> InferredSets {
+        let g =
+            ProbErGraph::from_edges(n, edges.iter().map(|&(v, w, p)| (PairId(v), PairId(w), p)));
+        inferred_sets_dijkstra(&g, tau)
+    }
+
+    #[test]
+    fn benefit_of_empty_set_is_zero() {
+        let inf = sets(3, &[], 0.9);
+        assert_eq!(benefit(&[], &inf, &[0.5; 3], &[true; 3]), 0.0);
+    }
+
+    #[test]
+    fn benefit_counts_expected_inferences() {
+        // q=0 infers {0,1,2} with prior 0.5 → benefit = 3 × 0.5.
+        let inf = sets(3, &[(0, 1, 0.95), (0, 2, 0.95)], 0.9);
+        let b = benefit(&[PairId(0)], &inf, &[0.5; 3], &[true; 3]);
+        assert!((b - 1.5).abs() < 1e-9, "got {b}");
+    }
+
+    #[test]
+    fn overlapping_questions_do_not_double_count() {
+        // Both questions infer pair 2; prior 1.0 → benefit saturates at 3.
+        let inf = sets(3, &[(0, 2, 0.95), (1, 2, 0.95)], 0.9);
+        let b = benefit(&[PairId(0), PairId(1)], &inf, &[1.0; 3], &[true; 3]);
+        assert!((b - 3.0).abs() < 1e-9, "got {b}");
+    }
+
+    #[test]
+    fn resolved_pairs_do_not_count() {
+        let inf = sets(3, &[(0, 1, 0.95), (0, 2, 0.95)], 0.9);
+        let b = benefit(&[PairId(0)], &inf, &[0.5; 3], &[true, false, true]);
+        assert!((b - 1.0).abs() < 1e-9, "only 2 eligible pairs count, got {b}");
+    }
+
+    #[test]
+    fn greedy_prefers_high_coverage_high_probability() {
+        // q0: infers 3 extra pairs, prior 0.9. q4: infers itself, prior 0.95.
+        let inf = sets(5, &[(0, 1, 0.95), (0, 2, 0.95), (0, 3, 0.95)], 0.9);
+        let priors = [0.9, 0.5, 0.5, 0.5, 0.95];
+        let q = select_questions(&[PairId(0), PairId(4)], &inf, &priors, &[true; 5], 1);
+        assert_eq!(q, vec![PairId(0)]);
+    }
+
+    #[test]
+    fn greedy_stops_on_zero_gain() {
+        let inf = sets(2, &[], 0.9);
+        let q = select_questions(&[PairId(0), PairId(1)], &inf, &[0.0, 0.0], &[true; 2], 5);
+        assert!(q.is_empty(), "zero-prior questions have zero gain");
+    }
+
+    #[test]
+    fn greedy_scatters_over_components() {
+        // Two disjoint 2-clusters: µ=2 should pick one question per cluster
+        // rather than two from the same cluster.
+        let inf = sets(4, &[(0, 1, 0.95), (2, 3, 0.95)], 0.9);
+        let all = [PairId(0), PairId(1), PairId(2), PairId(3)];
+        let q = select_questions(&all, &inf, &[0.8; 4], &[true; 4], 2);
+        assert_eq!(q.len(), 2);
+        let comp = |p: PairId| p.index() / 2;
+        assert_ne!(comp(q[0]), comp(q[1]), "questions should scatter: {q:?}");
+    }
+
+    #[test]
+    fn max_inf_picks_biggest_set() {
+        let inf = sets(4, &[(0, 1, 0.95), (0, 2, 0.95)], 0.9);
+        let q = max_inf_questions(&[PairId(0), PairId(3)], &inf, &[true; 4], 1);
+        assert_eq!(q, vec![PairId(0)]);
+    }
+
+    #[test]
+    fn max_pr_picks_highest_prior() {
+        let q = max_pr_questions(&[PairId(0), PairId(1)], &[0.2, 0.9], 1);
+        assert_eq!(q, vec![PairId(1)]);
+    }
+
+    fn arb_instance() -> impl Strategy<Value = (InferredSets, Vec<f64>, Vec<PairId>)> {
+        let edges = proptest::collection::vec((0u32..6, 0u32..6, 0.85f64..1.0), 0..18);
+        let priors = proptest::collection::vec(0.0f64..1.0, 6);
+        (edges, priors).prop_map(|(edges, priors)| {
+            let inf = sets(6, &edges, 0.8);
+            let cands: Vec<PairId> = (0..6).map(PairId).collect();
+            (inf, priors, cands)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Monotonicity: adding a question never lowers the benefit.
+        #[test]
+        fn benefit_is_monotone((inf, priors, cands) in arb_instance(), extra in 0usize..6) {
+            let eligible = vec![true; 6];
+            let some: Vec<PairId> = cands.iter().copied().take(3).collect();
+            let b1 = benefit(&some, &inf, &priors, &eligible);
+            let mut more = some.clone();
+            more.push(cands[extra]);
+            let b2 = benefit(&more, &inf, &priors, &eligible);
+            prop_assert!(b2 >= b1 - 1e-9);
+        }
+
+        /// Submodularity: marginal gains shrink as the set grows.
+        #[test]
+        fn benefit_is_submodular((inf, priors, cands) in arb_instance(), q in 0usize..6) {
+            let eligible = vec![true; 6];
+            let small: Vec<PairId> = cands.iter().copied().take(2).collect();
+            let large: Vec<PairId> = cands.iter().copied().take(4).collect();
+            let q = cands[q];
+            if large.contains(&q) {
+                return Ok(());
+            }
+            let gain_small = benefit(&[small.clone(), vec![q]].concat(), &inf, &priors, &eligible)
+                - benefit(&small, &inf, &priors, &eligible);
+            let gain_large = benefit(&[large.clone(), vec![q]].concat(), &inf, &priors, &eligible)
+                - benefit(&large, &inf, &priors, &eligible);
+            prop_assert!(gain_small >= gain_large - 1e-9);
+        }
+
+        /// The lazy greedy and the naive greedy select identical sets.
+        #[test]
+        fn lazy_equals_naive((inf, priors, cands) in arb_instance(), mu in 1usize..5) {
+            let eligible = vec![true; 6];
+            let lazy = select_questions(&cands, &inf, &priors, &eligible, mu);
+            let naive = select_questions_naive(&cands, &inf, &priors, &eligible, mu);
+            prop_assert_eq!(lazy, naive);
+        }
+
+        /// Greedy achieves ≥ (1 − 1/e) of the brute-force optimum.
+        #[test]
+        fn greedy_approximation_bound((inf, priors, cands) in arb_instance(), mu in 1usize..4) {
+            let eligible = vec![true; 6];
+            let greedy = select_questions(&cands, &inf, &priors, &eligible, mu);
+            let greedy_benefit = benefit(&greedy, &inf, &priors, &eligible);
+            // Brute force over all subsets of size ≤ mu.
+            let mut best = 0.0f64;
+            let m = cands.len();
+            for mask in 0u32..(1 << m) {
+                if (mask.count_ones() as usize) > mu {
+                    continue;
+                }
+                let subset: Vec<PairId> =
+                    (0..m).filter(|i| mask & (1 << i) != 0).map(|i| cands[i]).collect();
+                best = best.max(benefit(&subset, &inf, &priors, &eligible));
+            }
+            prop_assert!(greedy_benefit >= (1.0 - 1.0 / std::f64::consts::E) * best - 1e-9,
+                "greedy {} vs opt {}", greedy_benefit, best);
+        }
+    }
+}

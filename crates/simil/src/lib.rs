@@ -1,0 +1,183 @@
+//! Similarity measures used throughout Remp.
+//!
+//! The paper (§IV-B/C) builds all of its machine evidence from three layers
+//! of similarity:
+//!
+//! 1. **Token-level string similarity** on normalised labels (lower-casing,
+//!    tokenisation, stemming) — [`normalize`], [`string`]. Jaccard is the
+//!    default measure; cosine, dice and edit distance are provided as the
+//!    paper notes any of them can be plugged in.
+//! 2. **Literal similarity** ([`literal_similarity`]): token Jaccard for
+//!    strings and the maximum percentage difference for numbers.
+//! 3. **Extended Jaccard set similarity** `simL` over two *sets* of literals
+//!    ([`sim_l`]): a maximum bipartite matching of literal pairs whose
+//!    internal similarity clears a threshold (0.9 in the paper), normalised
+//!    Jaccard-style.
+//!
+//! [`SimVec`] is the similarity vector over matched attributes together with
+//! the natural partial order `s ⪰ s'` (§IV-D) used by pruning, POWER and
+//! HIKE.
+
+mod literal;
+mod matching;
+mod normalize;
+mod simvec;
+mod string;
+
+pub use literal::{literal_similarity, numeric_similarity};
+pub use matching::max_bipartite_matching;
+pub use normalize::{normalize_tokens, TokenSet};
+pub use simvec::{Dominance, SimVec};
+pub use string::{cosine, dice, jaccard, levenshtein, normalized_edit_similarity, overlap};
+
+use remp_kb::Value;
+
+/// Extended Jaccard similarity `simL` between two sets of literals
+/// (paper Eq. 1 context; [35]).
+///
+/// Two literals "are the same" when [`literal_similarity`] ≥ `threshold`
+/// (the paper uses 0.9). The count `m` of matched pairs is a *maximum*
+/// bipartite matching so each literal participates at most once, and the
+/// result is `m / (|N1| + |N2| − m)`. Both-empty input is undefined in the
+/// paper; we return 0.0 so that attribute averaging (Eq. 1) skips empty
+/// evidence via its denominator filter.
+pub fn sim_l(n1: &[Value], n2: &[Value], threshold: f64) -> f64 {
+    if n1.is_empty() || n2.is_empty() {
+        return 0.0;
+    }
+    let edges: Vec<(usize, usize)> = n1
+        .iter()
+        .enumerate()
+        .flat_map(|(i, v1)| {
+            n2.iter().enumerate().filter_map(move |(j, v2)| {
+                (literal_similarity(v1, v2) >= threshold).then_some((i, j))
+            })
+        })
+        .collect();
+    let m = max_bipartite_matching(n1.len(), n2.len(), &edges);
+    m as f64 / (n1.len() + n2.len() - m) as f64
+}
+
+/// Weighted (soft) variant of [`sim_l`] used for similarity *vectors*
+/// (§IV-D): instead of counting pairs above a high threshold, literal
+/// pairs with similarity ≥ `min_sim` are greedily matched by descending
+/// similarity and the result is `Σ sim / (|N1| + |N2| − |M|)`.
+///
+/// This keeps components *graded* — a pair sharing one of three name
+/// tokens scores 1/3, not 0 — which is what gives the partial order its
+/// dominance chains (Table V's reduction ratios collapse with binary
+/// components). Attribute matching (Eq. 1) keeps the thresholded
+/// [`sim_l`], as §IV-C specifies.
+pub fn sim_l_weighted(n1: &[Value], n2: &[Value], min_sim: f64) -> f64 {
+    if n1.is_empty() || n2.is_empty() {
+        return 0.0;
+    }
+    let mut scored: Vec<(f64, usize, usize)> = n1
+        .iter()
+        .enumerate()
+        .flat_map(|(i, v1)| {
+            n2.iter().enumerate().filter_map(move |(j, v2)| {
+                let sim = literal_similarity(v1, v2);
+                (sim >= min_sim).then_some((sim, i, j))
+            })
+        })
+        .collect();
+    // Greedy maximum-weight matching: descending similarity, deterministic
+    // tie-break by indexes.
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+    });
+    let mut used1 = vec![false; n1.len()];
+    let mut used2 = vec![false; n2.len()];
+    let mut total = 0.0;
+    let mut matched = 0usize;
+    for (sim, i, j) in scored {
+        if !used1[i] && !used2[j] {
+            used1[i] = true;
+            used2[j] = true;
+            total += sim;
+            matched += 1;
+        }
+    }
+    total / (n1.len() + n2.len() - matched) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_l_identical_sets() {
+        let a = vec![Value::text("alpha"), Value::text("beta")];
+        assert!((sim_l(&a, &a, 0.9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_l_disjoint_sets() {
+        let a = vec![Value::text("alpha")];
+        let b = vec![Value::text("zyzzy")];
+        assert_eq!(sim_l(&a, &b, 0.9), 0.0);
+    }
+
+    #[test]
+    fn sim_l_partial_overlap() {
+        let a = vec![Value::text("alpha"), Value::text("beta")];
+        let b = vec![Value::text("alpha"), Value::text("gamma"), Value::text("delta")];
+        // one matched pair: 1 / (2 + 3 - 1) = 0.25
+        assert!((sim_l(&a, &b, 0.9) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_l_empty_sets() {
+        assert_eq!(sim_l(&[], &[], 0.9), 0.0);
+        assert_eq!(sim_l(&[Value::text("x")], &[], 0.9), 0.0);
+    }
+
+    #[test]
+    fn sim_l_uses_matching_not_counting() {
+        // Both left literals are similar to the single right literal, but the
+        // matching can use it only once.
+        let a = vec![Value::text("alpha"), Value::text("alpha")];
+        let b = vec![Value::text("alpha")];
+        assert!((sim_l(&a, &b, 0.9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_sim_l_is_graded() {
+        let a = vec![Value::text("john kelora")];
+        let b = vec![Value::text("john mobari")];
+        // One of three union tokens shared: 1/3, not 0.
+        assert!((sim_l_weighted(&a, &b, 0.1) - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(sim_l(&a, &b, 0.9), 0.0, "thresholded variant is binary");
+    }
+
+    #[test]
+    fn weighted_sim_l_bounds_and_identity() {
+        let a = vec![Value::text("alpha"), Value::text("beta")];
+        assert!((sim_l_weighted(&a, &a, 0.1) - 1.0).abs() < 1e-9);
+        assert_eq!(sim_l_weighted(&a, &[], 0.1), 0.0);
+        let b = vec![Value::text("zzz")];
+        assert_eq!(sim_l_weighted(&a, &b, 0.1), 0.0);
+    }
+
+    #[test]
+    fn weighted_sim_l_matches_greedily() {
+        // Two left values compete for one strong right value; the greedy
+        // matching assigns the best pair and the leftover matches weakly.
+        let a = vec![Value::text("one two three"), Value::text("one two four")];
+        let b = vec![Value::text("one two three")];
+        let got = sim_l_weighted(&a, &b, 0.1);
+        assert!((got - 1.0 / 2.0).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn sim_l_numbers() {
+        let a = vec![Value::number(100.0)];
+        let b = vec![Value::number(99.0)];
+        assert!(sim_l(&a, &b, 0.9) > 0.0);
+        let c = vec![Value::number(5.0)];
+        assert_eq!(sim_l(&a, &c, 0.9), 0.0);
+    }
+}

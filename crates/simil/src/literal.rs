@@ -1,0 +1,118 @@
+//! Similarity between individual literals (paper §IV-C: "we use the Jaccard
+//! coefficient for strings and the maximum percentage difference for
+//! numbers").
+
+use remp_kb::Value;
+
+use crate::{jaccard, normalize_tokens};
+
+/// Maximum-percentage-difference similarity for two numbers:
+/// `1 − |a − b| / max(|a|, |b|)`, clamped to `[0, 1]`.
+///
+/// Equal numbers (including `0 = 0`) score 1.0; opposite signs score 0.0.
+pub fn numeric_similarity(a: f64, b: f64) -> f64 {
+    if !a.is_finite() || !b.is_finite() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (1.0 - (a - b).abs() / denom).clamp(0.0, 1.0)
+}
+
+/// Similarity of two literal values.
+///
+/// * text × text → token-set Jaccard on normalised tokens;
+/// * number × number → [`numeric_similarity`];
+/// * text × number → the text is parsed as a number if possible (KBs
+///   routinely store numbers as strings), otherwise 0.0.
+pub fn literal_similarity(a: &Value, b: &Value) -> f64 {
+    match (a, b) {
+        (Value::Text(x), Value::Text(y)) => {
+            jaccard(&normalize_tokens(x), &normalize_tokens(y))
+        }
+        (Value::Number(x), Value::Number(y)) => numeric_similarity(*x, *y),
+        (Value::Text(x), Value::Number(y)) | (Value::Number(y), Value::Text(x)) => {
+            match x.trim().parse::<f64>() {
+                Ok(parsed) => numeric_similarity(parsed, *y),
+                Err(_) => 0.0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn numeric_equal() {
+        assert_eq!(numeric_similarity(5.0, 5.0), 1.0);
+        assert_eq!(numeric_similarity(0.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn numeric_close() {
+        assert!((numeric_similarity(100.0, 99.0) - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_far_and_signs() {
+        assert_eq!(numeric_similarity(1.0, -1.0), 0.0);
+        assert!((numeric_similarity(1.0, 100.0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_nonfinite() {
+        assert_eq!(numeric_similarity(f64::INFINITY, 1.0), 0.0);
+        assert_eq!(numeric_similarity(f64::NAN, 1.0), 0.0);
+    }
+
+    #[test]
+    fn text_text() {
+        let a = Value::text("The Player");
+        let b = Value::text("Player, The");
+        assert!((literal_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_parseable() {
+        let a = Value::text("1452");
+        let b = Value::number(1452.0);
+        assert_eq!(literal_similarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn mixed_unparseable() {
+        let a = Value::text("fourteen fifty-two");
+        let b = Value::number(1452.0);
+        assert_eq!(literal_similarity(&a, &b), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn numeric_symmetric_bounded(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+            let s1 = numeric_similarity(a, b);
+            let s2 = numeric_similarity(b, a);
+            prop_assert!((s1 - s2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&s1));
+        }
+
+        #[test]
+        fn numeric_self_is_one(a in -1e6f64..1e6) {
+            prop_assert_eq!(numeric_similarity(a, a), 1.0);
+        }
+
+        #[test]
+        fn literal_symmetric(x in "[a-c0-9 ]{0,8}", y in -100f64..100.0) {
+            let a = Value::text(x.clone());
+            let b = Value::number(y);
+            prop_assert!((literal_similarity(&a, &b) - literal_similarity(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Maximum bipartite matching (augmenting paths), used by `simL` to pair up
+//! literals one-to-one.
+
+/// Size of a maximum matching in the bipartite graph with `n_left` /
+/// `n_right` vertices and the given `(left, right)` edges.
+///
+/// Kuhn's augmenting-path algorithm: O(V·E), ample for literal value sets
+/// (typically < 10 per side).
+pub fn max_bipartite_matching(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> usize {
+    if edges.is_empty() {
+        return 0;
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n_left];
+    for &(l, r) in edges {
+        debug_assert!(l < n_left && r < n_right, "edge out of range");
+        adj[l].push(r);
+    }
+    let mut match_right: Vec<Option<usize>> = vec![None; n_right];
+    let mut matched = 0;
+    let mut visited = vec![false; n_right];
+    for l in 0..n_left {
+        visited.iter_mut().for_each(|v| *v = false);
+        if try_augment(l, &adj, &mut match_right, &mut visited) {
+            matched += 1;
+        }
+    }
+    matched
+}
+
+fn try_augment(
+    l: usize,
+    adj: &[Vec<usize>],
+    match_right: &mut [Option<usize>],
+    visited: &mut [bool],
+) -> bool {
+    for &r in &adj[l] {
+        if visited[r] {
+            continue;
+        }
+        visited[r] = true;
+        if match_right[r].is_none()
+            || try_augment(match_right[r].unwrap(), adj, match_right, visited)
+        {
+            match_right[r] = Some(l);
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(max_bipartite_matching(3, 3, &[]), 0);
+    }
+
+    #[test]
+    fn perfect_matching() {
+        let edges = vec![(0, 0), (1, 1), (2, 2)];
+        assert_eq!(max_bipartite_matching(3, 3, &edges), 3);
+    }
+
+    #[test]
+    fn contention_resolved_by_augmenting() {
+        // 0-0, 1-0, 1-1 : greedy could match 1→0 and strand 0; augmenting finds 2.
+        let edges = vec![(1, 0), (1, 1), (0, 0)];
+        assert_eq!(max_bipartite_matching(2, 2, &edges), 2);
+    }
+
+    #[test]
+    fn star_graph_matches_one() {
+        let edges = vec![(0, 0), (1, 0), (2, 0), (3, 0)];
+        assert_eq!(max_bipartite_matching(4, 1, &edges), 1);
+    }
+
+    /// Brute-force maximum matching by trying all edge subsets.
+    fn brute_force(n_left: usize, n_right: usize, edges: &[(usize, usize)]) -> usize {
+        let m = edges.len();
+        let mut best = 0;
+        for mask in 0u32..(1 << m) {
+            let mut used_l = vec![false; n_left];
+            let mut used_r = vec![false; n_right];
+            let mut size = 0;
+            let mut ok = true;
+            for (i, &(l, r)) in edges.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    if used_l[l] || used_r[r] {
+                        ok = false;
+                        break;
+                    }
+                    used_l[l] = true;
+                    used_r[r] = true;
+                    size += 1;
+                }
+            }
+            if ok {
+                best = best.max(size);
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn agrees_with_brute_force(
+            edges in proptest::collection::vec((0usize..5, 0usize..5), 0..10)
+        ) {
+            let mut edges = edges;
+            edges.sort_unstable();
+            edges.dedup();
+            prop_assume!(edges.len() <= 10);
+            let fast = max_bipartite_matching(5, 5, &edges);
+            let slow = brute_force(5, 5, &edges);
+            prop_assert_eq!(fast, slow);
+        }
+    }
+}

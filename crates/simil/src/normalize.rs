@@ -1,0 +1,104 @@
+//! Label normalisation: lower-casing, tokenisation and light stemming
+//! (paper §IV-B: "normalize entity labels via lowercasing, tokenization,
+//! stemming, etc.").
+
+use std::collections::BTreeSet;
+
+/// A normalised, deduplicated token set (the unit the Jaccard coefficient
+/// in candidate generation operates on).
+pub type TokenSet = BTreeSet<String>;
+
+/// Splits `text` into lowercase alphanumeric tokens and stems each one.
+///
+/// Tokens are maximal runs of alphanumeric characters; everything else
+/// (punctuation, whitespace) is a separator. The stemmer is a light
+/// suffix-stripping stemmer (a small subset of Porter's rules) — enough to
+/// conflate plural/verb-form variants without the full Porter machinery.
+pub fn normalize_tokens(text: &str) -> TokenSet {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| stem(&t.to_lowercase()))
+        .collect()
+}
+
+/// Light suffix-stripping stemmer.
+///
+/// Rules (applied once, longest first): `ies`→`y`, `sses`→`ss`, trailing
+/// `s` (but not `ss`/`us`), `ing` and `ed` when the stem stays ≥ 3 chars.
+/// Purely ASCII-oriented; non-ASCII tokens pass through unchanged.
+fn stem(token: &str) -> String {
+    let t = token;
+    if t.len() >= 5 && t.ends_with("ies") {
+        return format!("{}y", &t[..t.len() - 3]);
+    }
+    if t.len() >= 5 && t.ends_with("sses") {
+        return t[..t.len() - 2].to_string();
+    }
+    if t.len() >= 6 && t.ends_with("ing") && t[..t.len() - 3].len() >= 3 {
+        return t[..t.len() - 3].to_string();
+    }
+    if t.len() >= 5 && t.ends_with("ed") && t[..t.len() - 2].len() >= 3 {
+        return t[..t.len() - 2].to_string();
+    }
+    if t.len() >= 3 && t.ends_with('s') && !t.ends_with("ss") && !t.ends_with("us") {
+        return t[..t.len() - 1].to_string();
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        normalize_tokens(s).into_iter().collect()
+    }
+
+    #[test]
+    fn lowercases_and_splits() {
+        assert_eq!(toks("Mona Lisa"), vec!["lisa", "mona"]);
+    }
+
+    #[test]
+    fn punctuation_separates() {
+        assert_eq!(toks("O'Neill, John-Paul"), vec!["john", "neill", "o", "paul"]);
+    }
+
+    #[test]
+    fn plural_stemming() {
+        assert_eq!(toks("movies"), vec!["movy"]); // ies -> y
+        assert_eq!(toks("actors"), vec!["actor"]);
+        assert_eq!(toks("glass"), vec!["glass"]); // ss kept
+    }
+
+    #[test]
+    fn us_suffix_is_kept() {
+        assert_eq!(toks("virus"), vec!["virus"]);
+        assert_eq!(toks("campus"), vec!["campus"]);
+    }
+
+    #[test]
+    fn ing_and_ed() {
+        assert_eq!(toks("directing"), vec!["direct"]);
+        assert_eq!(toks("directed"), vec!["direct"]);
+        // too-short stems are not stripped
+        assert_eq!(toks("ring"), vec!["ring"]);
+        assert_eq!(toks("red"), vec!["red"]);
+    }
+
+    #[test]
+    fn deduplicates() {
+        assert_eq!(toks("the the THE"), vec!["the"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(toks("").is_empty());
+        assert!(toks("  ,;  ").is_empty());
+    }
+
+    #[test]
+    fn digits_are_tokens() {
+        assert_eq!(toks("Blade Runner 2049"), vec!["2049", "blade", "runner"]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Similarity vectors and the natural partial order over them (paper §IV-D).
+//!
+//! For a candidate entity pair `(u1, u2)` and the attribute match set
+//! `M_at`, the similarity vector is `s(u1, u2) = (s_1, …, s_|Mat|)` where
+//! `s_i` is `simL` on the i-th matched attribute. The natural partial order
+//! is `s ⪰ s'  ⟺  ∀i. s_i ≥ s'_i`; it drives both Remp's pruning
+//! (Algorithm 1) and the monotonicity baselines (POWER, HIKE).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Index;
+
+/// Outcome of comparing two [`SimVec`]s under the product partial order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dominance {
+    /// Vectors are component-wise equal.
+    Equal,
+    /// `self` strictly dominates the other (`⪰` and not equal).
+    Dominates,
+    /// The other strictly dominates `self`.
+    DominatedBy,
+    /// Neither dominates: the vectors are incomparable.
+    Incomparable,
+}
+
+/// A similarity vector over the matched attributes.
+#[derive(Clone, PartialEq)]
+pub struct SimVec(Vec<f64>);
+
+impl SimVec {
+    /// Wraps raw components; each must be finite.
+    pub fn new(components: Vec<f64>) -> Self {
+        debug_assert!(components.iter().all(|c| c.is_finite()), "non-finite similarity");
+        SimVec(components)
+    }
+
+    /// Number of components (= number of attribute matches).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the vector has no components.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Raw component slice.
+    pub fn components(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Compares under the product order. Panics if lengths differ (vectors
+    /// from the same ER-graph construction always share the attribute-match
+    /// dimension).
+    pub fn dominance(&self, other: &SimVec) -> Dominance {
+        assert_eq!(self.len(), other.len(), "similarity vectors of different dimension");
+        let mut geq = true;
+        let mut leq = true;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            if a < b {
+                geq = false;
+            }
+            if a > b {
+                leq = false;
+            }
+            if !geq && !leq {
+                return Dominance::Incomparable;
+            }
+        }
+        match (geq, leq) {
+            (true, true) => Dominance::Equal,
+            (true, false) => Dominance::Dominates,
+            (false, true) => Dominance::DominatedBy,
+            (false, false) => Dominance::Incomparable,
+        }
+    }
+
+    /// `self ⪰ other` (component-wise ≥, equality allowed).
+    pub fn weakly_dominates(&self, other: &SimVec) -> bool {
+        matches!(self.dominance(other), Dominance::Dominates | Dominance::Equal)
+    }
+
+    /// `self ≻ other` (component-wise ≥ with at least one strict >).
+    ///
+    /// This is the "strictly larger" relation counted by `min_rank`
+    /// (paper Eq. 2).
+    pub fn strictly_dominates(&self, other: &SimVec) -> bool {
+        self.dominance(other) == Dominance::Dominates
+    }
+
+    /// The arithmetic mean of the components (a scalar summary used as a
+    /// tie-breaking heuristic by baselines; not part of the partial order).
+    pub fn mean(&self) -> f64 {
+        if self.0.is_empty() {
+            0.0
+        } else {
+            self.0.iter().sum::<f64>() / self.0.len() as f64
+        }
+    }
+
+    /// The maximum component, 0.0 if empty.
+    pub fn max_component(&self) -> f64 {
+        self.0.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Lexicographic total-order comparison (used only for deterministic
+    /// sorting, *not* for match inference).
+    pub fn lex_cmp(&self, other: &SimVec) -> Ordering {
+        for (a, b) in self.0.iter().zip(&other.0) {
+            match a.partial_cmp(b) {
+                Some(Ordering::Equal) | None => continue,
+                Some(ord) => return ord,
+            }
+        }
+        self.len().cmp(&other.len())
+    }
+}
+
+impl Index<usize> for SimVec {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl fmt::Debug for SimVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c:.3}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<f64>> for SimVec {
+    fn from(v: Vec<f64>) -> Self {
+        SimVec::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sv(v: &[f64]) -> SimVec {
+        SimVec::new(v.to_vec())
+    }
+
+    #[test]
+    fn dominance_cases() {
+        assert_eq!(sv(&[1.0, 1.0]).dominance(&sv(&[0.5, 0.5])), Dominance::Dominates);
+        assert_eq!(sv(&[0.5, 0.5]).dominance(&sv(&[1.0, 1.0])), Dominance::DominatedBy);
+        assert_eq!(sv(&[1.0, 0.0]).dominance(&sv(&[0.0, 1.0])), Dominance::Incomparable);
+        assert_eq!(sv(&[0.3, 0.3]).dominance(&sv(&[0.3, 0.3])), Dominance::Equal);
+    }
+
+    #[test]
+    fn strict_requires_one_strict_component() {
+        assert!(sv(&[0.5, 0.6]).strictly_dominates(&sv(&[0.5, 0.5])));
+        assert!(!sv(&[0.5, 0.5]).strictly_dominates(&sv(&[0.5, 0.5])));
+    }
+
+    #[test]
+    fn weak_allows_equality() {
+        assert!(sv(&[0.5]).weakly_dominates(&sv(&[0.5])));
+    }
+
+    #[test]
+    #[should_panic(expected = "different dimension")]
+    fn dimension_mismatch_panics() {
+        let _ = sv(&[1.0]).dominance(&sv(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn summaries() {
+        let v = sv(&[0.0, 0.5, 1.0]);
+        assert!((v.mean() - 0.5).abs() < 1e-12);
+        assert_eq!(v.max_component(), 1.0);
+        assert_eq!(SimVec::new(vec![]).mean(), 0.0);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", sv(&[0.25, 1.0])), "s(0.250, 1.000)");
+    }
+
+    fn arb_vec3() -> impl Strategy<Value = SimVec> {
+        proptest::collection::vec(0.0f64..=1.0, 3).prop_map(SimVec::new)
+    }
+
+    proptest! {
+        /// Reflexivity: every vector weakly dominates itself.
+        #[test]
+        fn reflexive(a in arb_vec3()) {
+            prop_assert!(a.weakly_dominates(&a));
+            prop_assert!(!a.strictly_dominates(&a));
+        }
+
+        /// Antisymmetry of the strict relation.
+        #[test]
+        fn antisymmetric(a in arb_vec3(), b in arb_vec3()) {
+            prop_assert!(!(a.strictly_dominates(&b) && b.strictly_dominates(&a)));
+        }
+
+        /// Transitivity of weak dominance.
+        #[test]
+        fn transitive(a in arb_vec3(), b in arb_vec3(), c in arb_vec3()) {
+            if a.weakly_dominates(&b) && b.weakly_dominates(&c) {
+                prop_assert!(a.weakly_dominates(&c));
+            }
+        }
+
+        /// dominance() agrees with its definition component-wise.
+        #[test]
+        fn dominance_matches_definition(a in arb_vec3(), b in arb_vec3()) {
+            let geq = a.components().iter().zip(b.components()).all(|(x, y)| x >= y);
+            let leq = a.components().iter().zip(b.components()).all(|(x, y)| x <= y);
+            let expected = match (geq, leq) {
+                (true, true) => Dominance::Equal,
+                (true, false) => Dominance::Dominates,
+                (false, true) => Dominance::DominatedBy,
+                (false, false) => Dominance::Incomparable,
+            };
+            prop_assert_eq!(a.dominance(&b), expected);
+        }
+    }
+}

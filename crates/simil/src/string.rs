@@ -1,0 +1,166 @@
+//! Set- and character-based string similarity measures (paper §IV-B: the
+//! approach "can work with any of them"; Jaccard is the default).
+
+use crate::TokenSet;
+
+/// Jaccard coefficient `|A ∩ B| / |A ∪ B|`; 0.0 when both sets are empty.
+pub fn jaccard(a: &TokenSet, b: &TokenSet) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+/// Dice coefficient `2|A ∩ B| / (|A| + |B|)`; 0.0 when both sets are empty.
+pub fn dice(a: &TokenSet, b: &TokenSet) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+/// Set cosine `|A ∩ B| / sqrt(|A|·|B|)`; 0.0 when either set is empty.
+pub fn cosine(a: &TokenSet, b: &TokenSet) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / ((a.len() * b.len()) as f64).sqrt()
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)`; 0.0 when either is empty.
+pub fn overlap(a: &TokenSet, b: &TokenSet) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / a.len().min(b.len()) as f64
+}
+
+/// Levenshtein edit distance between two strings, by characters.
+///
+/// Classic two-row dynamic program, O(|a|·|b|) time, O(min) memory.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &cl) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cs) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(cl != cs);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Edit similarity `1 − lev(a, b) / max(|a|, |b|)`; 1.0 for two empty strings.
+pub fn normalized_edit_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize_tokens;
+    use proptest::prelude::*;
+
+    fn ts(s: &str) -> TokenSet {
+        normalize_tokens(s)
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        assert!((jaccard(&ts("a b c"), &ts("b c d")) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&ts(""), &ts("")), 0.0);
+        assert!((jaccard(&ts("x"), &ts("x")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_basic() {
+        assert!((dice(&ts("a b"), &ts("b c")) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_basic() {
+        assert!((cosine(&ts("a b"), &ts("b c")) - 0.5).abs() < 1e-12);
+        assert_eq!(cosine(&ts(""), &ts("x")), 0.0);
+    }
+
+    #[test]
+    fn overlap_basic() {
+        assert!((overlap(&ts("a b c d"), &ts("a")) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levenshtein_basic() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn edit_similarity_basic() {
+        assert_eq!(normalized_edit_similarity("", ""), 1.0);
+        assert!((normalized_edit_similarity("abcd", "abce") - 0.75).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn jaccard_symmetric_and_bounded(a in "[a-d ]{0,12}", b in "[a-d ]{0,12}") {
+            let (sa, sb) = (ts(&a), ts(&b));
+            let j1 = jaccard(&sa, &sb);
+            let j2 = jaccard(&sb, &sa);
+            prop_assert!((j1 - j2).abs() < 1e-12);
+            prop_assert!((0.0..=1.0).contains(&j1));
+        }
+
+        #[test]
+        fn jaccard_self_is_one(a in "[a-d]{1,8}( [a-d]{1,8}){0,3}") {
+            let sa = ts(&a);
+            prop_assume!(!sa.is_empty());
+            prop_assert!((jaccard(&sa, &sa) - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn measures_order(a in "[a-e ]{0,14}", b in "[a-e ]{0,14}") {
+            // jaccard ≤ dice ≤ overlap on non-empty sets (standard inequality chain)
+            let (sa, sb) = (ts(&a), ts(&b));
+            prop_assume!(!sa.is_empty() && !sb.is_empty());
+            let j = jaccard(&sa, &sb);
+            let d = dice(&sa, &sb);
+            let o = overlap(&sa, &sb);
+            prop_assert!(j <= d + 1e-12);
+            prop_assert!(d <= o + 1e-12);
+        }
+
+        #[test]
+        fn levenshtein_triangle(a in "[ab]{0,8}", b in "[ab]{0,8}", c in "[ab]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn levenshtein_symmetric(a in "[a-c]{0,10}", b in "[a-c]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn edit_similarity_bounded(a in ".{0,10}", b in ".{0,10}") {
+            let s = normalized_edit_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Bibliography deduplication: the DBLP-ACM scenario (publications plus
+//! split-out authors, a single `authoredBy` relationship) comparing Remp
+//! against the monotonicity baseline POWER and the collective baseline
+//! SiGMa on the same retained candidates.
+//!
+//! This is the workload where the paper reports Remp's *smallest* edge
+//! (one relationship type, many isolated components) — a useful sanity
+//! check that the reproduction shows the same muted advantage.
+//!
+//! ```sh
+//! cargo run --release --example bibliography_dedup
+//! ```
+
+use remp::baselines::{power, sigma, PowerConfig, SigmaConfig};
+use remp::core::{evaluate_matches, prepare, Remp, RempConfig};
+use remp::crowd::{LabelSource, SimulatedCrowd};
+use remp::datasets::{dblp_acm, generate};
+
+fn main() {
+    let dataset = generate(&dblp_acm(0.5));
+    println!("KB1 (DBLP-like): {}", dataset.kb1.stats());
+    println!("KB2 (ACM-like) : {}", dataset.kb2.stats());
+    println!("gold matches   : {}\n", dataset.num_gold());
+
+    let config = RempConfig::default();
+    // All methods consume the same retained candidate set, as in §VIII.
+    let prep = prepare(&dataset.kb1, &dataset.kb2, &config);
+    println!(
+        "candidates {} → retained {} ({} ER-graph edges)\n",
+        prep.candidate_count,
+        prep.candidates.len(),
+        prep.graph.num_edges()
+    );
+    let truth = |u1, u2| dataset.is_match(u1, u2);
+
+    // --- Remp ---
+    let mut crowd = SimulatedCrowd::paper_default(1);
+    let remp = Remp::new(config.clone());
+    let outcome = remp.run_prepared(&dataset.kb1, &dataset.kb2, prep.clone(), &truth, &mut crowd);
+    let remp_eval = evaluate_matches(outcome.matches.iter().copied(), &dataset.gold);
+    println!(
+        "Remp    : F1 {:>5.1}%  #Q {:>4}  (#loops {})",
+        100.0 * remp_eval.f1,
+        outcome.questions_asked,
+        outcome.loops
+    );
+
+    // --- POWER ---
+    let mut crowd = SimulatedCrowd::paper_default(1);
+    let pow = power(&prep.candidates, &prep.sim_vectors, &truth, &mut crowd, &PowerConfig::default());
+    let pow_eval = evaluate_matches(pow.matches.iter().copied(), &dataset.gold);
+    println!("POWER   : F1 {:>5.1}%  #Q {:>4}", 100.0 * pow_eval.f1, pow.questions);
+
+    // --- SiGMa (no crowd) ---
+    let sig = sigma(&prep.candidates, &prep.graph, &[], &SigmaConfig::default());
+    let sig_eval = evaluate_matches(sig.matches.iter().copied(), &dataset.gold);
+    println!("SiGMa   : F1 {:>5.1}%  #Q    0 (machine-only)", 100.0 * sig_eval.f1);
+
+    println!(
+        "\ncrowd labels collected across runs: {}",
+        crowd.labels_collected()
+    );
+    println!(
+        "Expected shape (paper §VIII-A): Remp's F1 leads but its question\n\
+         advantage is small here — one relationship type limits propagation."
+    );
+}

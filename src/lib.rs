@@ -1,0 +1,61 @@
+//! # Remp — Crowdsourced Collective Entity Resolution with Relational Match Propagation
+//!
+//! A Rust reproduction of Huang, Hu, Bao & Qu (ICDE 2020). Remp resolves
+//! entities across two knowledge bases by asking human workers a small
+//! number of pairwise questions and *propagating* each confirmed match
+//! through the relationship structure to distant entity pairs — including
+//! across entity types, which transitivity- and monotonicity-based
+//! crowdsourced ER cannot do.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use remp::datasets::{generate, iimb};
+//! use remp::core::{Remp, RempConfig, evaluate_matches};
+//! use remp::crowd::SimulatedCrowd;
+//!
+//! // A two-KB world shaped like the paper's IIMB benchmark.
+//! let dataset = generate(&iimb(0.1));
+//!
+//! // A mixed-quality simulated crowd (5 labels per question).
+//! let mut crowd = SimulatedCrowd::paper_default(42);
+//!
+//! // Run the four-stage pipeline to convergence.
+//! let remp = Remp::new(RempConfig::default());
+//! let outcome = remp.run(
+//!     &dataset.kb1,
+//!     &dataset.kb2,
+//!     &|u1, u2| dataset.is_match(u1, u2),
+//!     &mut crowd,
+//! );
+//!
+//! let eval = evaluate_matches(outcome.matches.iter().copied(), &dataset.gold);
+//! println!("F1 = {:.3} with {} questions", eval.f1, outcome.questions_asked);
+//! assert!(outcome.questions_asked > 0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents | paper section |
+//! |---|---|---|
+//! | [`kb`] | knowledge-base substrate | §III-A |
+//! | [`simil`] | similarity measures & vectors | §IV-B/D |
+//! | [`ergraph`] | ER-graph construction & pruning | §IV |
+//! | [`propagation`] | consistency, neighbour & distant propagation | §V, §VI-B |
+//! | [`selection`] | submodular question selection | §VI |
+//! | [`crowd`] | workers, labels, truth inference | §VII-A |
+//! | [`forest`] | random forests (isolated pairs) | §VII-B |
+//! | [`core`] | the Remp pipeline, metrics, experiment drivers | §III-B |
+//! | [`datasets`] | synthetic dataset presets (Table II shapes) | §VIII |
+//! | [`baselines`] | PARIS, SiGMa, HIKE, POWER, Corleone | §II, §VIII |
+
+pub use remp_baselines as baselines;
+pub use remp_core as core;
+pub use remp_crowd as crowd;
+pub use remp_datasets as datasets;
+pub use remp_ergraph as ergraph;
+pub use remp_forest as forest;
+pub use remp_kb as kb;
+pub use remp_propagation as propagation;
+pub use remp_selection as selection;
+pub use remp_simil as simil;

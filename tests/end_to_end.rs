@@ -1,0 +1,124 @@
+//! End-to-end integration tests: the full Remp pipeline against the
+//! dataset presets and the baseline systems, spanning every crate.
+
+use remp::baselines::{power, sigma, PowerConfig, SigmaConfig};
+use remp::core::{evaluate_matches, prepare, Remp, RempConfig};
+use remp::crowd::{FixedErrorCrowd, LabelSource, OracleCrowd, SimulatedCrowd};
+use remp::datasets::{dblp_acm, generate, iimb, imdb_yago};
+
+#[test]
+fn remp_resolves_iimb_with_simulated_crowd() {
+    let d = generate(&iimb(0.5));
+    let remp = Remp::new(RempConfig::default());
+    let mut crowd = SimulatedCrowd::paper_default(7);
+    let out = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+    let eval = evaluate_matches(out.matches.iter().copied(), &d.gold);
+    assert!(eval.f1 > 0.85, "IIMB F1 = {}", eval.f1);
+    assert!(eval.precision > 0.9, "IIMB precision = {}", eval.precision);
+    assert!(
+        out.questions_asked < d.num_gold() / 2,
+        "crowd cost must stay far below one question per match, got {}",
+        out.questions_asked
+    );
+}
+
+#[test]
+fn remp_beats_power_on_question_count_iimb() {
+    let d = generate(&iimb(0.5));
+    let config = RempConfig::default();
+    let prep = prepare(&d.kb1, &d.kb2, &config);
+    let truth = |a, b| d.is_match(a, b);
+
+    let remp = Remp::new(config.clone());
+    let mut crowd = SimulatedCrowd::paper_default(11);
+    let remp_out = remp.run_prepared(&d.kb1, &d.kb2, prep.clone(), &truth, &mut crowd);
+    let remp_eval = evaluate_matches(remp_out.matches.iter().copied(), &d.gold);
+
+    let mut crowd = SimulatedCrowd::paper_default(11);
+    let pow = power(&prep.candidates, &prep.sim_vectors, &truth, &mut crowd, &PowerConfig::default());
+    let pow_eval = evaluate_matches(pow.matches.iter().copied(), &d.gold);
+
+    assert!(
+        remp_out.questions_asked < pow.questions,
+        "Remp {} questions vs POWER {}",
+        remp_out.questions_asked,
+        pow.questions
+    );
+    assert!(
+        remp_eval.f1 >= pow_eval.f1 - 0.02,
+        "Remp F1 {} must not trail POWER {}",
+        remp_eval.f1,
+        pow_eval.f1
+    );
+}
+
+#[test]
+fn error_tolerance_across_crowd_error_rates() {
+    // Fig. 3 invariant: F1 stays roughly stable as worker error grows,
+    // thanks to 5-label redundancy and Eq. 17.
+    let d = generate(&iimb(0.4));
+    let mut f1s = Vec::new();
+    for error in [0.05, 0.15, 0.25] {
+        let remp = Remp::new(RempConfig::default());
+        let mut crowd = FixedErrorCrowd::new(error, 5, 99);
+        let out = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+        let eval = evaluate_matches(out.matches.iter().copied(), &d.gold);
+        f1s.push(eval.f1);
+    }
+    for (i, f1) in f1s.iter().enumerate() {
+        assert!(*f1 > 0.8, "error level {i}: F1 {f1}");
+    }
+    assert!(
+        f1s[0] - f1s[2] < 0.12,
+        "F1 should be robust to error rate: {f1s:?}"
+    );
+}
+
+#[test]
+fn sigma_and_remp_propagation_share_er_graph() {
+    // Stage-1 outputs plug into both Remp and the machine-only baselines.
+    let d = generate(&dblp_acm(0.25));
+    let config = RempConfig::default();
+    let prep = prepare(&d.kb1, &d.kb2, &config);
+    let out = sigma(&prep.candidates, &prep.graph, &[], &SigmaConfig::default());
+    let eval = evaluate_matches(out.matches.iter().copied(), &d.gold);
+    assert!(eval.precision > 0.5, "SiGMa precision {}", eval.precision);
+    // SiGMa emits only retained candidates.
+    for &(u1, u2) in &out.matches {
+        assert!(prep.candidates.id_of((u1, u2)).is_some());
+    }
+}
+
+#[test]
+fn budget_is_respected_on_heterogeneous_dataset() {
+    let d = generate(&imdb_yago(0.15));
+    let remp = Remp::new(RempConfig::default().with_budget(12));
+    let mut crowd = OracleCrowd::new();
+    let out = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+    assert!(out.questions_asked <= 12);
+    assert_eq!(out.questions_asked, crowd.questions_asked());
+}
+
+#[test]
+fn oracle_runs_are_deterministic() {
+    let d = generate(&iimb(0.3));
+    let run = || {
+        let remp = Remp::new(RempConfig::default());
+        let mut crowd = OracleCrowd::new();
+        let out = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+        (out.matches.clone(), out.questions_asked, out.loops)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn matches_reference_valid_entities() {
+    let d = generate(&imdb_yago(0.1));
+    let remp = Remp::new(RempConfig::default());
+    let mut crowd = SimulatedCrowd::paper_default(3);
+    let out = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+    for &(u1, u2) in &out.matches {
+        assert!(u1.index() < d.kb1.num_entities());
+        assert!(u2.index() < d.kb2.num_entities());
+    }
+}

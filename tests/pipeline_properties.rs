@@ -1,0 +1,82 @@
+//! Property-based integration tests: the full pipeline on randomly
+//! generated small worlds never panics, respects budgets, and emits valid,
+//! deduplicated matches.
+
+use proptest::prelude::*;
+
+use remp::core::{Remp, RempConfig};
+use remp::crowd::{FixedErrorCrowd, OracleCrowd};
+use remp::datasets::{generate, AttrSpec, DatasetSpec, RelSpec, TypeSpec};
+
+/// A small random two-type world.
+fn arb_spec() -> impl Strategy<Value = DatasetSpec> {
+    (
+        10usize..40,          // persons
+        5usize..15,           // places
+        0.0f64..0.3,          // label noise
+        0.0f64..0.4,          // isolated fraction
+        0.3f64..1.0,          // kb2 keep
+        any::<u64>(),         // seed
+    )
+        .prop_map(|(n_person, n_place, noise, iso, keep2, seed)| {
+            let mut person = TypeSpec::new("person", n_person);
+            person.attrs = vec![
+                AttrSpec::name("name", "label"),
+                AttrSpec::year("born", "birthDate"),
+            ];
+            person.rels = vec![RelSpec::new("bornIn", "birthPlace", 1, (1, 1))];
+            person.isolated_frac = iso;
+            person.kb2_keep = keep2;
+            let mut place = TypeSpec::new("place", n_place);
+            place.attrs = vec![AttrSpec::name("pname", "plabel")];
+            DatasetSpec {
+                name: "prop".into(),
+                seed,
+                types: vec![person, place],
+                label_noise1: noise,
+                label_noise2: noise,
+                missing_label1: 0.0,
+                missing_label2: 0.05,
+                closure: 0.5,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The pipeline completes on arbitrary worlds and produces valid,
+    /// unique matches within budget.
+    #[test]
+    fn pipeline_is_total_and_well_formed(spec in arb_spec(), budget in 1usize..20) {
+        let d = generate(&spec);
+        let remp = Remp::new(RempConfig::default().with_budget(budget));
+        let mut crowd = OracleCrowd::new();
+        let out = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+
+        prop_assert!(out.questions_asked <= budget);
+        let mut seen = std::collections::HashSet::new();
+        for &(u1, u2) in &out.matches {
+            prop_assert!(u1.index() < d.kb1.num_entities());
+            prop_assert!(u2.index() < d.kb2.num_entities());
+            prop_assert!(seen.insert((u1, u2)), "duplicate match emitted");
+        }
+        prop_assert!(out.retained_count <= out.candidate_count);
+    }
+
+    /// Noisy crowds never crash truth inference and results stay sane.
+    #[test]
+    fn pipeline_handles_noisy_crowds(spec in arb_spec(), error in 0.0f64..0.4) {
+        let d = generate(&spec);
+        let remp = Remp::new(RempConfig::default().with_budget(15));
+        let mut crowd = FixedErrorCrowd::new(error.min(0.45), 5, spec.seed);
+        let out = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+        prop_assert!(out.loops <= 1000);
+        prop_assert_eq!(out.questions_asked, crowd_questions(&crowd));
+    }
+}
+
+fn crowd_questions(crowd: &FixedErrorCrowd) -> usize {
+    use remp::crowd::LabelSource;
+    crowd.questions_asked()
+}
