@@ -70,8 +70,7 @@ pub fn corleone(
     if n == 0 {
         return BaselineOutcome { matches: Vec::new(), questions: 0 };
     }
-    let features: Vec<Vec<f64>> =
-        (0..n).map(|i| sim_vectors[i].components().to_vec()).collect();
+    let features: Vec<Vec<f64>> = (0..n).map(|i| sim_vectors[i].components().to_vec()).collect();
 
     let mut labeled: Vec<Option<bool>> = vec![None; n];
     let mut questions = 0usize;
@@ -118,10 +117,7 @@ pub fn corleone(
             .unzip();
         if train_y.iter().all(|&y| y) || !train_y.iter().any(|&y| y) {
             // Only one class labeled: ask more extremes.
-            let next = by_prior
-                .iter()
-                .find(|&&p| labeled[p.index()].is_none())
-                .copied();
+            let next = by_prior.iter().find(|&&p| labeled[p.index()].is_none()).copied();
             match next {
                 Some(p) => {
                     ask(p, &mut labeled, &mut questions);
@@ -157,8 +153,7 @@ pub fn corleone(
         uncertain.sort_by(|a, b| {
             a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.1.cmp(&b.1))
         });
-        let mut batch: Vec<PairId> =
-            uncertain.iter().take(exploit_n).map(|&(_, p)| p).collect();
+        let mut batch: Vec<PairId> = uncertain.iter().take(exploit_n).map(|&(_, p)| p).collect();
         // Exploration: uniform draws from the unlabeled pool.
         let mut pool: Vec<PairId> = candidates
             .ids()
@@ -182,10 +177,7 @@ pub fn corleone(
     for p in candidates.ids() {
         let is_match = match labeled[p.index()] {
             Some(y) => y,
-            None => forest
-                .as_ref()
-                .map(|rf| rf.predict(&features[p.index()]))
-                .unwrap_or(false),
+            None => forest.as_ref().map(|rf| rf.predict(&features[p.index()])).unwrap_or(false),
         };
         if is_match {
             matches.push(candidates.pair(p));

@@ -37,6 +37,7 @@ impl Default for HikeConfig {
 
 /// Runs HIKE: attribute-signature partitioning + per-partition
 /// partial-order inference.
+#[allow(clippy::too_many_arguments)]
 pub fn hike(
     kb1: &Kb,
     kb2: &Kb,
@@ -72,12 +73,9 @@ pub fn hike(
         if questions >= config.max_questions {
             break;
         }
-        let sub_config = PowerConfig {
-            max_questions: config.max_questions - questions,
-            truth: config.truth,
-        };
-        let out =
-            power_on_subset(candidates, sim_vectors, &members, truth, crowd, &sub_config);
+        let sub_config =
+            PowerConfig { max_questions: config.max_questions - questions, truth: config.truth };
+        let out = power_on_subset(candidates, sim_vectors, &members, truth, crowd, &sub_config);
         questions += out.questions;
         matches.extend(out.matches);
     }

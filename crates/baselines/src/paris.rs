@@ -167,7 +167,8 @@ mod tests {
     #[test]
     fn paris_finds_matches_unseeded() {
         let (d, prep) = setup();
-        let out = paris(&d.kb1, &d.kb2, &prep.candidates, &prep.graph, &[], &ParisConfig::default());
+        let out =
+            paris(&d.kb1, &d.kb2, &prep.candidates, &prep.graph, &[], &ParisConfig::default());
         assert!(!out.matches.is_empty());
         assert_eq!(out.questions, 0);
         let eval = remp_core::evaluate_matches(out.matches.iter().copied(), &d.gold);
@@ -201,7 +202,8 @@ mod tests {
     #[test]
     fn output_is_one_to_one() {
         let (d, prep) = setup();
-        let out = paris(&d.kb1, &d.kb2, &prep.candidates, &prep.graph, &[], &ParisConfig::default());
+        let out =
+            paris(&d.kb1, &d.kb2, &prep.candidates, &prep.graph, &[], &ParisConfig::default());
         let mut lefts = std::collections::HashSet::new();
         let mut rights = std::collections::HashSet::new();
         for &(u1, u2) in &out.matches {

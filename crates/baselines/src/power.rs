@@ -71,15 +71,11 @@ pub(crate) fn power_on_subset(
     {
         let mut sorted: Vec<PairId> = subset.to_vec();
         sorted.sort_by(|&a, &b| {
-            sim_vectors[a.index()]
-                .lex_cmp(&sim_vectors[b.index()])
-                .then_with(|| a.cmp(&b))
+            sim_vectors[a.index()].lex_cmp(&sim_vectors[b.index()]).then_with(|| a.cmp(&b))
         });
         for p in sorted {
             match groups.last_mut() {
-                Some((v, members))
-                    if *v == sim_vectors[p.index()] =>
-                {
+                Some((v, members)) if *v == sim_vectors[p.index()] => {
                     members.push(p);
                 }
                 _ => groups.push((sim_vectors[p.index()].clone(), vec![p])),
@@ -175,8 +171,8 @@ pub(crate) fn power_on_subset(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use remp_crowd::OracleCrowd;
     use remp_core::{evaluate_matches, prepare, RempConfig};
+    use remp_crowd::OracleCrowd;
     use remp_datasets::{generate, iimb};
 
     fn setup() -> (remp_datasets::GeneratedDataset, remp_core::PreparedEr) {

@@ -75,11 +75,11 @@ pub fn sigma(
     };
 
     let accept = |p: PairId,
-                      accepted: &mut Vec<bool>,
-                      votes: &mut Vec<usize>,
-                      left_used: &mut std::collections::HashSet<_>,
-                      right_used: &mut std::collections::HashSet<_>,
-                      heap: &mut BinaryHeap<QueueEntry>| {
+                  accepted: &mut Vec<bool>,
+                  votes: &mut Vec<usize>,
+                  left_used: &mut std::collections::HashSet<_>,
+                  right_used: &mut std::collections::HashSet<_>,
+                  heap: &mut BinaryHeap<QueueEntry>| {
         let (u1, u2) = candidates.pair(p);
         accepted[p.index()] = true;
         left_used.insert(u1);
@@ -109,7 +109,11 @@ pub fn sigma(
     // All candidates enter the queue with their seedless scores.
     for p in candidates.ids() {
         if !accepted[p.index()] {
-            heap.push(QueueEntry { score: score_of(p, votes[p.index()]), pair: p, votes: votes[p.index()] });
+            heap.push(QueueEntry {
+                score: score_of(p, votes[p.index()]),
+                pair: p,
+                votes: votes[p.index()],
+            });
         }
     }
 
@@ -128,11 +132,8 @@ pub fn sigma(
         accept(p, &mut accepted, &mut votes, &mut left_used, &mut right_used, &mut heap);
     }
 
-    let mut matches: Vec<_> = candidates
-        .ids()
-        .filter(|&p| accepted[p.index()])
-        .map(|p| candidates.pair(p))
-        .collect();
+    let mut matches: Vec<_> =
+        candidates.ids().filter(|&p| accepted[p.index()]).map(|p| candidates.pair(p)).collect();
     matches.sort_unstable();
     BaselineOutcome { matches, questions: 0 }
 }

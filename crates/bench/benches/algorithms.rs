@@ -18,8 +18,8 @@ use remp_ergraph::{
     build_sim_vectors, generate_candidates, initial_matches, match_attributes, prune, PairId,
 };
 use remp_propagation::{
-    inferred_sets_dijkstra, inferred_sets_floyd_warshall, propagate_to_neighbors,
-    Consistency, ConsistencyTable, MatchingCandidate, ProbErGraph, PropagationConfig,
+    inferred_sets_dijkstra, inferred_sets_floyd_warshall, propagate_to_neighbors, Consistency,
+    ConsistencyTable, MatchingCandidate, ProbErGraph, PropagationConfig,
 };
 use remp_selection::{select_questions, select_questions_naive};
 use remp_simil::{jaccard, levenshtein, normalize_tokens, sim_l};
@@ -69,9 +69,7 @@ fn prepared_probgraph() -> (ProbErGraph, usize) {
 fn bench_alg2_infer(c: &mut Criterion) {
     let (pg, _) = prepared_probgraph();
     let mut group = c.benchmark_group("alg2_infer");
-    group.bench_function("dijkstra", |b| {
-        b.iter(|| inferred_sets_dijkstra(black_box(&pg), 0.9))
-    });
+    group.bench_function("dijkstra", |b| b.iter(|| inferred_sets_dijkstra(black_box(&pg), 0.9)));
     group.bench_function("floyd_warshall", |b| {
         b.iter(|| inferred_sets_floyd_warshall(black_box(&pg), 0.9))
     });
@@ -133,11 +131,11 @@ fn bench_simil(c: &mut Criterion) {
     let mut group = c.benchmark_group("simil");
     group.bench_function("jaccard", |bch| bch.iter(|| jaccard(black_box(&a), black_box(&b))));
     group.bench_function("levenshtein", |bch| {
-        bch.iter(|| levenshtein(black_box("shawshank redemption"), black_box("shawshak redemptions")))
+        bch.iter(|| {
+            levenshtein(black_box("shawshank redemption"), black_box("shawshak redemptions"))
+        })
     });
-    group.bench_function("sim_l", |bch| {
-        bch.iter(|| sim_l(black_box(&va), black_box(&vb), 0.9))
-    });
+    group.bench_function("sim_l", |bch| bch.iter(|| sim_l(black_box(&va), black_box(&vb), 0.9)));
     group.bench_function("normalize", |bch| {
         bch.iter(|| normalize_tokens(black_box("The Quick Brown Foxes Jumped, Running!")))
     });

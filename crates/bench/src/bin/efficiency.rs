@@ -73,8 +73,7 @@ fn main() {
         }
 
         let inferred = inferred_sets_dijkstra(&pg, config.tau);
-        let priors: Vec<f64> =
-            prep.candidates.ids().map(|p| prep.candidates.prior(p)).collect();
+        let priors: Vec<f64> = prep.candidates.ids().map(|p| prep.candidates.prior(p)).collect();
         let eligible = vec![true; prep.candidates.len()];
         let all: Vec<PairId> = prep.candidates.ids().collect();
         let mut alg3 = 0.0;

@@ -4,7 +4,9 @@
 //! Expected shape: all methods stay roughly stable (5 redundant labels
 //! absorb the noise); Remp keeps the best F1 with the fewest questions.
 
-use remp_bench::{load_dataset, pct, prepare_default, run_method, scale_multiplier, Method, DATASETS};
+use remp_bench::{
+    load_dataset, pct, prepare_default, run_method, scale_multiplier, Method, DATASETS,
+};
 use remp_crowd::FixedErrorCrowd;
 
 fn main() {
@@ -21,7 +23,7 @@ fn main() {
         for error_rate in [0.05, 0.15, 0.25] {
             print!("{error_rate:>6.2} |");
             for method in Method::ALL {
-                let mut crowd = FixedErrorCrowd::new(error_rate, 5, 0xF16_3);
+                let mut crowd = FixedErrorCrowd::new(error_rate, 5, 0xF163);
                 let (eval, questions) = run_method(method, &dataset, &prep, &mut crowd);
                 print!(" {:>8} {questions:>6} |", pct(eval.f1));
             }

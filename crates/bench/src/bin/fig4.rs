@@ -40,10 +40,7 @@ fn main() {
         print!("{name:>6} |");
         for k in ks {
             let retained = prune(&candidates, &vectors, k);
-            let pc = pair_completeness(
-                retained.iter().map(|&p| candidates.pair(p)),
-                &dataset.gold,
-            );
+            let pc = pair_completeness(retained.iter().map(|&p| candidates.pair(p)), &dataset.gold);
             print!(" {:>6.1}", 100.0 * pc);
         }
         println!();

@@ -7,7 +7,8 @@
 //! non-matches.
 
 use remp_bench::{
-    load_dataset, prepare_default, question_curve, scale_multiplier, Strategy, DATASETS,
+    load_dataset, prepare_default, question_curve, scale_multiplier, strategy_label, DATASETS,
+    STRATEGIES,
 };
 
 fn main() {
@@ -25,9 +26,9 @@ fn main() {
         }
         println!();
         println!("{}", "-".repeat(10 + 6 * checkpoints.len()));
-        for strategy in Strategy::ALL {
+        for strategy in STRATEGIES {
             let curve = question_curve(&dataset, &prep, strategy, &checkpoints);
-            print!("{:>8} |", strategy.name());
+            print!("{:>8} |", strategy_label(strategy));
             for (_, f1) in curve {
                 print!(" {:>5.1}", 100.0 * f1);
             }

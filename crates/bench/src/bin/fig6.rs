@@ -12,8 +12,8 @@ use std::time::Instant;
 use remp_bench::{load_dataset, scale_multiplier};
 use remp_core::RempConfig;
 use remp_ergraph::{
-    build_sim_vectors, generate_candidates, initial_matches, match_attributes, prune,
-    Candidates, ErGraph, PairId,
+    build_sim_vectors, generate_candidates, initial_matches, match_attributes, prune, Candidates,
+    ErGraph, PairId,
 };
 use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
 use remp_selection::select_questions;
@@ -23,8 +23,7 @@ fn main() {
     let dataset = load_dataset("D-Y", 0.3, mult);
     let config = RempConfig::default();
 
-    let candidates =
-        generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
+    let candidates = generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
     let initial = initial_matches(&dataset.kb1, &dataset.kb2, &candidates);
     let alignment =
         match_attributes(&dataset.kb1, &dataset.kb2, &candidates, &initial, &config.attr);
@@ -37,7 +36,10 @@ fn main() {
     );
 
     println!("Figure 6: running time (ms) vs portion of entity pairs (D-Y)\n");
-    println!("{:>8} | {:>12} | {:>12} {:>12}", "portion", "Alg.1 prune", "Alg.2 infer", "Alg.3 select");
+    println!(
+        "{:>8} | {:>12} | {:>12} {:>12}",
+        "portion", "Alg.1 prune", "Alg.2 infer", "Alg.3 select"
+    );
     println!("{}", "-".repeat(55));
 
     for portion in [0.25, 0.5, 0.75, 1.0] {
@@ -61,13 +63,8 @@ fn main() {
         }
         let graph = ErGraph::build(&dataset.kb1, &dataset.kb2, &ret_cands);
         let seeds: Vec<PairId> = seeds_of(&dataset, &ret_cands);
-        let cons = ConsistencyTable::estimate(
-            &dataset.kb1,
-            &dataset.kb2,
-            &ret_cands,
-            &graph,
-            &seeds,
-        );
+        let cons =
+            ConsistencyTable::estimate(&dataset.kb1, &dataset.kb2, &ret_cands, &graph, &seeds);
         let pg = ProbErGraph::build(
             &dataset.kb1,
             &dataset.kb2,

@@ -6,7 +6,9 @@
 //! Remp has the best F1 with by far the fewest questions; Corleone asks
 //! the most.
 
-use remp_bench::{load_dataset, pct, prepare_default, run_method, scale_multiplier, Method, DATASETS};
+use remp_bench::{
+    load_dataset, pct, prepare_default, run_method, scale_multiplier, Method, DATASETS,
+};
 use remp_crowd::SimulatedCrowd;
 
 fn main() {

@@ -40,7 +40,8 @@ fn main() {
                 })
                 .collect();
             let correct = predicted.iter().filter(|p| gold.contains(p)).count();
-            let p = if predicted.is_empty() { 0.0 } else { correct as f64 / predicted.len() as f64 };
+            let p =
+                if predicted.is_empty() { 0.0 } else { correct as f64 / predicted.len() as f64 };
             let r = if gold.is_empty() { 0.0 } else { correct as f64 / gold.len() as f64 };
             let f1 = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
             (p, r, f1)

@@ -9,8 +9,8 @@
 use remp_bench::{load_dataset, pct, scale_multiplier, DATASETS};
 use remp_core::{pair_completeness, reduction_ratio, RempConfig};
 use remp_ergraph::{
-    build_sim_vectors, generate_candidates, initial_matches, match_attributes,
-    monotone_error_rate, prune, ErGraph,
+    build_sim_vectors, generate_candidates, initial_matches, match_attributes, monotone_error_rate,
+    prune, ErGraph,
 };
 
 fn main() {
@@ -39,14 +39,8 @@ fn main() {
         );
         let retained = prune(&candidates, &vectors, config.knn_k);
 
-        let pc_cand = pair_completeness(
-            candidates.iter().map(|(_, pair)| pair),
-            &dataset.gold,
-        );
-        let pc_ret = pair_completeness(
-            retained.iter().map(|&p| candidates.pair(p)),
-            &dataset.gold,
-        );
+        let pc_cand = pair_completeness(candidates.iter().map(|(_, pair)| pair), &dataset.gold);
+        let pc_ret = pair_completeness(retained.iter().map(|&p| candidates.pair(p)), &dataset.gold);
         let rr = reduction_ratio(candidates.len(), retained.len());
 
         let (sub, mapping) = candidates.restrict(&retained);

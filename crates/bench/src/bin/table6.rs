@@ -44,9 +44,7 @@ fn main() {
                 let mut total = 0.0;
                 for rep in 0..repeats {
                     let f1 = match method {
-                        "Remp" => {
-                            propagation_only_f1(&dataset, &config, portion, rep as u64).f1
-                        }
+                        "Remp" => propagation_only_f1(&dataset, &config, portion, rep as u64).f1,
                         _ => {
                             let mut pool = gold_retained.clone();
                             let mut rng = StdRng::seed_from_u64(rep as u64);
@@ -63,7 +61,12 @@ fn main() {
                                     &ParisConfig::default(),
                                 )
                             } else {
-                                sigma(&prep.candidates, &prep.graph, &seeds, &SigmaConfig::default())
+                                sigma(
+                                    &prep.candidates,
+                                    &prep.graph,
+                                    &seeds,
+                                    &SigmaConfig::default(),
+                                )
                             };
                             evaluate_matches(out.matches.iter().copied(), &dataset.gold).f1
                         }

@@ -9,19 +9,14 @@
 use std::collections::HashSet;
 
 use remp_bench::{load_dataset, pct, prepare_default, scale_multiplier, DATASETS};
-use remp_core::{
-    classify_isolated, evaluate_matches, Remp, RempConfig,
-};
+use remp_core::{classify_isolated, evaluate_matches, Remp, RempConfig};
 use remp_crowd::SimulatedCrowd;
 use remp_kb::EntityId;
 
 fn main() {
     let mult = scale_multiplier();
     println!("Table VIII: F1 of inference on isolated entity pairs\n");
-    println!(
-        "{:>6} | {:>16} | {:>8} | {:>13}",
-        "", "isolated matches", "Remp", "random forest"
-    );
+    println!("{:>6} | {:>16} | {:>8} | {:>13}", "", "isolated matches", "Remp", "random forest");
     println!("{}", "-".repeat(55));
 
     for (name, base) in DATASETS {

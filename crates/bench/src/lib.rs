@@ -5,22 +5,17 @@
 //! `remp-datasets` at laptop-friendly default scales; pass `--scale X`
 //! (or set `REMP_SCALE`) to multiply them.
 
-use remp_baselines::{
-    corleone, hike, power, CorleoneConfig, HikeConfig, PowerConfig,
-};
-use remp_core::{
-    evaluate_matches, prepare, PrecisionRecall, PreparedEr, Remp, RempConfig,
-};
+use remp_baselines::{corleone, hike, power, CorleoneConfig, HikeConfig, PowerConfig};
+use remp_core::{evaluate_matches, prepare, PrecisionRecall, PreparedEr, Remp, RempConfig};
 use remp_crowd::LabelSource;
 use remp_datasets::{generate, preset_by_name, GeneratedDataset};
 use remp_ergraph::PairId;
 use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
-use remp_selection::{max_inf_questions, max_pr_questions, select_questions};
+use remp_selection::{select_batch, BatchStrategy};
 
 /// The four datasets in paper order with default harness scales chosen so
 /// the full suite runs in minutes.
-pub const DATASETS: [(&str, f64); 4] =
-    [("IIMB", 1.0), ("D-A", 0.5), ("I-Y", 0.35), ("D-Y", 0.3)];
+pub const DATASETS: [(&str, f64); 4] = [("IIMB", 1.0), ("D-A", 0.5), ("I-Y", 0.35), ("D-Y", 0.3)];
 
 /// Parses `--scale X` from argv (or `REMP_SCALE`), defaulting to 1.0.
 pub fn scale_multiplier() -> f64 {
@@ -117,28 +112,17 @@ pub fn run_method(
     }
 }
 
-/// Question-selection strategy for the Fig. 5 comparison.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Strategy {
-    /// Remp's expected-benefit greedy (Algorithm 3).
-    Benefit,
-    /// Maximal inference power.
-    MaxInf,
-    /// Maximal match probability.
-    MaxPr,
-}
+/// All selection policies in Fig. 5 order (the core [`BatchStrategy`]
+/// is used directly — the harness only adds paper-style display names).
+pub const STRATEGIES: [BatchStrategy; 3] =
+    [BatchStrategy::Benefit, BatchStrategy::MaxInf, BatchStrategy::MaxPr];
 
-impl Strategy {
-    /// All strategies in Fig. 5 order.
-    pub const ALL: [Strategy; 3] = [Strategy::Benefit, Strategy::MaxInf, Strategy::MaxPr];
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Strategy::Benefit => "Remp",
-            Strategy::MaxInf => "MaxInf",
-            Strategy::MaxPr => "MaxPr",
-        }
+/// Paper-style display name for a selection policy.
+pub fn strategy_label(strategy: BatchStrategy) -> &'static str {
+    match strategy {
+        BatchStrategy::Benefit => "Remp",
+        BatchStrategy::MaxInf => "MaxInf",
+        BatchStrategy::MaxPr => "MaxPr",
     }
 }
 
@@ -151,7 +135,7 @@ impl Strategy {
 pub fn question_curve(
     dataset: &GeneratedDataset,
     prep: &PreparedEr,
-    strategy: Strategy,
+    strategy: BatchStrategy,
     checkpoints: &[usize],
 ) -> Vec<(usize, f64)> {
     let config = RempConfig::default();
@@ -168,8 +152,7 @@ pub fn question_curve(
     let mut next_checkpoint = 0usize;
 
     let f1_now = |cands: &remp_ergraph::Candidates, resolved_match: &[bool]| -> f64 {
-        let preds =
-            (0..n).filter(|&i| resolved_match[i]).map(|i| candidates_pair(cands, i));
+        let preds = (0..n).filter(|&i| resolved_match[i]).map(|i| candidates_pair(cands, i));
         evaluate_matches(preds, &dataset.gold).f1
     };
 
@@ -196,11 +179,7 @@ pub fn question_curve(
             (0..n).map(PairId::from_index).filter(|p| eligible[p.index()]).collect();
         let priors: Vec<f64> = candidates.ids().map(|p| candidates.prior(p)).collect();
 
-        let selected = match strategy {
-            Strategy::Benefit => select_questions(&cands, &inferred, &priors, &eligible, 1),
-            Strategy::MaxInf => max_inf_questions(&cands, &inferred, &eligible, 1),
-            Strategy::MaxPr => max_pr_questions(&cands, &priors, 1),
-        };
+        let selected = select_batch(strategy, &cands, &inferred, &priors, &eligible, 1);
         let Some(&q) = selected.first() else { break };
 
         // Oracle label.
@@ -279,7 +258,7 @@ mod tests {
     fn question_curve_is_monotone_under_oracle() {
         let d = load_dataset("IIMB", 0.2, 1.0);
         let prep = prepare_default(&d);
-        let curve = question_curve(&d, &prep, Strategy::Benefit, &[1, 2, 4, 8]);
+        let curve = question_curve(&d, &prep, BatchStrategy::Benefit, &[1, 2, 4, 8]);
         assert_eq!(curve.len(), 4);
         for w in curve.windows(2) {
             assert!(w[1].1 >= w[0].1 - 1e-9, "oracle F1 must not drop: {curve:?}");

@@ -2,13 +2,17 @@
 
 use remp_crowd::TruthConfig;
 use remp_ergraph::AttrMatchConfig;
-use remp_forest::ForestConfig;
+use remp_forest::{ForestConfig, TreeConfig};
+use remp_json::Json;
 use remp_propagation::PropagationConfig;
+use remp_selection::BatchStrategy;
+
+use crate::RempError;
 
 /// All knobs of the Remp pipeline, defaulting to the paper's setup:
 /// label-similarity threshold 0.3, `k = 4`, `τ = 0.9`, `µ = 10`, truth
 /// thresholds 0.8 / 0.2.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RempConfig {
     /// Label-Jaccard threshold for candidate generation (paper: 0.3).
     pub label_sim_threshold: f64,
@@ -20,6 +24,9 @@ pub struct RempConfig {
     pub tau: f64,
     /// Questions per human-machine loop µ (paper: 10).
     pub mu: usize,
+    /// Question-selection policy per batch (paper: expected benefit;
+    /// the §VIII-B heuristics are available for ablations).
+    pub strategy: BatchStrategy,
     /// Hard budget on total questions (`None` = run to convergence).
     pub max_questions: Option<usize>,
     /// Safety cap on loops (the paper's termination is benefit-driven).
@@ -52,6 +59,7 @@ impl Default for RempConfig {
             knn_k: 4,
             tau: 0.9,
             mu: 10,
+            strategy: BatchStrategy::Benefit,
             max_questions: None,
             max_loops: 1000,
             attr: AttrMatchConfig::default(),
@@ -90,6 +98,164 @@ impl RempConfig {
         self.classify_isolated = false;
         self
     }
+
+    /// Overrides the question-selection policy.
+    pub fn with_strategy(mut self, strategy: BatchStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Checks every knob for consistency; [`crate::Remp::begin`] and
+    /// checkpoint resume run this before touching any data.
+    pub fn validate(&self) -> Result<(), RempError> {
+        let invalid = |msg: String| Err(RempError::InvalidConfig(msg));
+        let unit = |name: &str, v: f64| {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(RempError::InvalidConfig(format!("{name} = {v} must be within [0, 1]")))
+            }
+        };
+        unit("label_sim_threshold", self.label_sim_threshold)?;
+        unit("literal_threshold", self.literal_threshold)?;
+        unit("psi", self.psi)?;
+        unit("classifier_threshold", self.classifier_threshold)?;
+        unit("truth.match_threshold", self.truth.match_threshold)?;
+        unit("truth.non_match_threshold", self.truth.non_match_threshold)?;
+        if !(self.tau > 0.0 && self.tau <= 1.0) {
+            return invalid(format!("tau = {} must be within (0, 1]", self.tau));
+        }
+        if self.truth.non_match_threshold >= self.truth.match_threshold {
+            return invalid(format!(
+                "truth thresholds must satisfy non_match < match, got {} >= {}",
+                self.truth.non_match_threshold, self.truth.match_threshold
+            ));
+        }
+        if self.mu == 0 {
+            return invalid("mu must be at least 1".into());
+        }
+        if self.knn_k == 0 {
+            return invalid("knn_k must be at least 1".into());
+        }
+        if self.max_loops == 0 {
+            return invalid("max_loops must be at least 1".into());
+        }
+        if self.forest.n_trees == 0 {
+            return invalid("forest.n_trees must be at least 1".into());
+        }
+        if self.propagation.beam_width == 0 {
+            return invalid("propagation.beam_width must be at least 1".into());
+        }
+        if self.propagation.max_candidates == 0 {
+            return invalid("propagation.max_candidates must be at least 1".into());
+        }
+        Ok(())
+    }
+
+    /// Encodes the configuration as a JSON value (checkpoint format).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label_sim_threshold".into(), Json::from(self.label_sim_threshold)),
+            ("literal_threshold".into(), Json::from(self.literal_threshold)),
+            ("knn_k".into(), Json::from(self.knn_k)),
+            ("tau".into(), Json::from(self.tau)),
+            ("mu".into(), Json::from(self.mu)),
+            ("strategy".into(), Json::from(self.strategy.name())),
+            ("max_questions".into(), self.max_questions.map_or(Json::Null, Json::from)),
+            ("max_loops".into(), Json::from(self.max_loops)),
+            (
+                "attr".into(),
+                Json::Obj(vec![
+                    ("literal_threshold".into(), Json::from(self.attr.literal_threshold)),
+                    ("min_similarity".into(), Json::from(self.attr.min_similarity)),
+                    ("one_to_one".into(), Json::from(self.attr.one_to_one)),
+                ]),
+            ),
+            (
+                "truth".into(),
+                Json::Obj(vec![
+                    ("match_threshold".into(), Json::from(self.truth.match_threshold)),
+                    ("non_match_threshold".into(), Json::from(self.truth.non_match_threshold)),
+                ]),
+            ),
+            (
+                "propagation".into(),
+                Json::Obj(vec![
+                    ("enumeration_budget".into(), Json::from(self.propagation.enumeration_budget)),
+                    ("beam_width".into(), Json::from(self.propagation.beam_width)),
+                    ("max_candidates".into(), Json::from(self.propagation.max_candidates)),
+                ]),
+            ),
+            ("classify_isolated".into(), Json::from(self.classify_isolated)),
+            (
+                "forest".into(),
+                Json::Obj(vec![
+                    ("n_trees".into(), Json::from(self.forest.n_trees)),
+                    ("seed".into(), Json::from(self.forest.seed)),
+                    ("max_depth".into(), self.forest.tree.max_depth.map_or(Json::Null, Json::from)),
+                    ("min_samples_split".into(), Json::from(self.forest.tree.min_samples_split)),
+                    (
+                        "max_features".into(),
+                        self.forest.tree.max_features.map_or(Json::Null, Json::from),
+                    ),
+                ]),
+            ),
+            ("psi".into(), Json::from(self.psi)),
+            ("classifier_threshold".into(), Json::from(self.classifier_threshold)),
+        ])
+    }
+
+    /// Decodes a configuration from its JSON encoding.
+    pub fn from_json(doc: &Json) -> Result<RempConfig, RempError> {
+        use crate::jsonio::{get, get_bool, get_f64, get_opt_usize, get_str, get_u64, get_usize};
+
+        let attr = get(doc, "attr")?;
+        let truth = get(doc, "truth")?;
+        let propagation = get(doc, "propagation")?;
+        let forest = get(doc, "forest")?;
+
+        let strategy_name = get_str(doc, "strategy")?;
+        let strategy = BatchStrategy::from_name(strategy_name).ok_or_else(|| {
+            RempError::MalformedCheckpoint(format!("unknown strategy '{strategy_name}'"))
+        })?;
+
+        Ok(RempConfig {
+            label_sim_threshold: get_f64(doc, "label_sim_threshold")?,
+            literal_threshold: get_f64(doc, "literal_threshold")?,
+            knn_k: get_usize(doc, "knn_k")?,
+            tau: get_f64(doc, "tau")?,
+            mu: get_usize(doc, "mu")?,
+            strategy,
+            max_questions: get_opt_usize(doc, "max_questions")?,
+            max_loops: get_usize(doc, "max_loops")?,
+            attr: AttrMatchConfig {
+                literal_threshold: get_f64(attr, "literal_threshold")?,
+                min_similarity: get_f64(attr, "min_similarity")?,
+                one_to_one: get_bool(attr, "one_to_one")?,
+            },
+            truth: TruthConfig {
+                match_threshold: get_f64(truth, "match_threshold")?,
+                non_match_threshold: get_f64(truth, "non_match_threshold")?,
+            },
+            propagation: PropagationConfig {
+                enumeration_budget: get_usize(propagation, "enumeration_budget")?,
+                beam_width: get_usize(propagation, "beam_width")?,
+                max_candidates: get_usize(propagation, "max_candidates")?,
+            },
+            classify_isolated: get_bool(doc, "classify_isolated")?,
+            forest: ForestConfig {
+                n_trees: get_usize(forest, "n_trees")?,
+                seed: get_u64(forest, "seed")?,
+                tree: TreeConfig {
+                    max_depth: get_opt_usize(forest, "max_depth")?,
+                    min_samples_split: get_usize(forest, "min_samples_split")?,
+                    max_features: get_opt_usize(forest, "max_features")?,
+                },
+            },
+            psi: get_f64(doc, "psi")?,
+            classifier_threshold: get_f64(doc, "classifier_threshold")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +279,60 @@ mod tests {
         assert!((c.tau - 0.8).abs() < 1e-12);
         assert_eq!(c.max_questions, Some(64));
         assert!(!RempConfig::default().without_classifier().classify_isolated);
+        let c = RempConfig::default().with_strategy(BatchStrategy::MaxPr);
+        assert_eq!(c.strategy, BatchStrategy::MaxPr);
+    }
+
+    #[test]
+    fn default_config_validates() {
+        RempConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_names_the_broken_knob() {
+        let broken = [
+            (RempConfig { tau: 0.0, ..RempConfig::default() }, "tau"),
+            (RempConfig { tau: 1.5, ..RempConfig::default() }, "tau"),
+            (RempConfig { mu: 0, ..RempConfig::default() }, "mu"),
+            (RempConfig { knn_k: 0, ..RempConfig::default() }, "knn_k"),
+            (RempConfig { max_loops: 0, ..RempConfig::default() }, "max_loops"),
+            (RempConfig { label_sim_threshold: -0.1, ..RempConfig::default() }, "label_sim"),
+            (RempConfig { psi: 7.0, ..RempConfig::default() }, "psi"),
+        ];
+        for (config, field) in broken {
+            match config.validate() {
+                Err(RempError::InvalidConfig(msg)) => {
+                    assert!(msg.contains(field), "message {msg:?} should mention {field}")
+                }
+                other => panic!("{field}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+        // Swapped truth thresholds are rejected too.
+        let mut config = RempConfig::default();
+        config.truth.non_match_threshold = 0.9;
+        assert!(matches!(config.validate(), Err(RempError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn json_round_trips_non_default_config() {
+        let mut config = RempConfig::default()
+            .with_mu(3)
+            .with_tau(0.85)
+            .with_budget(128)
+            .with_strategy(BatchStrategy::MaxInf)
+            .without_classifier();
+        config.forest.tree.max_depth = Some(7);
+        config.attr.one_to_one = false;
+        let decoded = RempConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(decoded, config);
+
+        let defaults = RempConfig::default();
+        assert_eq!(RempConfig::from_json(&defaults.to_json()).unwrap(), defaults);
+    }
+
+    #[test]
+    fn json_rejects_missing_fields() {
+        let err = RempConfig::from_json(&Json::Obj(vec![])).unwrap_err();
+        assert!(matches!(err, RempError::MalformedCheckpoint(_)));
     }
 }

@@ -30,8 +30,7 @@ pub fn run_on_dataset(
     crowd: &mut dyn LabelSource,
 ) -> ExperimentResult {
     let remp = Remp::new(config.clone());
-    let outcome =
-        remp.run(&dataset.kb1, &dataset.kb2, &|u1, u2| dataset.is_match(u1, u2), crowd);
+    let outcome = remp.run(&dataset.kb1, &dataset.kb2, &|u1, u2| dataset.is_match(u1, u2), crowd);
     ExperimentResult {
         eval: evaluate_matches(outcome.matches.iter().copied(), &dataset.gold),
         questions: outcome.questions_asked,

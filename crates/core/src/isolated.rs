@@ -113,12 +113,7 @@ pub fn classify_isolated(
                 resolution[p.index()] == Resolution::Unresolved
                     && graph.is_isolated_vertex(p)
                     && candidates.prior(p) < 0.8
-                    && sim_vectors[p.index()]
-                        .components()
-                        .iter()
-                        .filter(|&&c| c >= 0.9)
-                        .count()
-                        < 2
+                    && sim_vectors[p.index()].components().iter().filter(|&&c| c >= 0.9).count() < 2
             })
             .collect();
         fill.sort_by(|&a, &b| {
@@ -252,14 +247,7 @@ mod tests {
         let config = RempConfig::default();
         let prep = prepare(&d.kb1, &d.kb2, &config);
         let p = prep.candidates.ids().next().unwrap();
-        let f = features(
-            &d.kb1,
-            &d.kb2,
-            &prep.candidates,
-            &prep.alignment,
-            &prep.sim_vectors,
-            p,
-        );
+        let f = features(&d.kb1, &d.kb2, &prep.candidates, &prep.alignment, &prep.sim_vectors, p);
         assert_eq!(f.len(), 2 * prep.alignment.len());
     }
 }

@@ -1,0 +1,48 @@
+//! Shared JSON field accessors for the checkpoint format.
+//!
+//! One place maps "missing field" / "wrong type" onto
+//! [`RempError::MalformedCheckpoint`] for both the session and config
+//! decoders.
+
+use remp_json::Json;
+
+use crate::RempError;
+
+pub(crate) fn malformed(what: impl Into<String>) -> RempError {
+    RempError::MalformedCheckpoint(what.into())
+}
+
+pub(crate) fn get<'j>(doc: &'j Json, key: &str) -> Result<&'j Json, RempError> {
+    doc.get(key).ok_or_else(|| malformed(format!("missing field '{key}'")))
+}
+
+pub(crate) fn get_usize(doc: &Json, key: &str) -> Result<usize, RempError> {
+    get(doc, key)?.as_usize().ok_or_else(|| malformed(format!("field '{key}' is not an integer")))
+}
+
+pub(crate) fn get_u64(doc: &Json, key: &str) -> Result<u64, RempError> {
+    get(doc, key)?.as_u64().ok_or_else(|| malformed(format!("field '{key}' is not an integer")))
+}
+
+pub(crate) fn get_f64(doc: &Json, key: &str) -> Result<f64, RempError> {
+    get(doc, key)?.as_f64().ok_or_else(|| malformed(format!("field '{key}' is not a number")))
+}
+
+pub(crate) fn get_bool(doc: &Json, key: &str) -> Result<bool, RempError> {
+    get(doc, key)?.as_bool().ok_or_else(|| malformed(format!("field '{key}' is not a bool")))
+}
+
+pub(crate) fn get_str<'j>(doc: &'j Json, key: &str) -> Result<&'j str, RempError> {
+    get(doc, key)?.as_str().ok_or_else(|| malformed(format!("field '{key}' is not a string")))
+}
+
+/// `null` → `None`, integer → `Some(n)`, anything else is an error.
+pub(crate) fn get_opt_usize(doc: &Json, key: &str) -> Result<Option<usize>, RempError> {
+    match get(doc, key)? {
+        Json::Null => Ok(None),
+        v => v
+            .as_usize()
+            .map(Some)
+            .ok_or_else(|| malformed(format!("field '{key}' is not an integer or null"))),
+    }
+}

@@ -1,7 +1,12 @@
 //! The Remp pipeline — crowdsourced collective entity resolution with
 //! relational match propagation (the paper's contribution, §III-B).
 //!
-//! [`Remp::run`] executes the four-stage human-machine loop end to end:
+//! The primary interface is the resumable [`RempSession`] state machine
+//! ([`Remp::begin`]): the caller owns the crowd loop, pulling question
+//! [`Batch`]es and submitting worker labels as they arrive, with
+//! checkpoint/resume for long campaigns. [`Remp::run`] is the
+//! convenience wrapper that drains a session against a simulated
+//! [`remp_crowd::LabelSource`]. Either way the four stages are:
 //!
 //! 1. **ER graph construction** (`remp-ergraph`): candidate generation,
 //!    initial matches, attribute matching, similarity vectors,
@@ -20,15 +25,23 @@
 //! test suite and the bench harness.
 
 pub mod config;
+pub mod error;
 pub mod experiment;
 pub mod isolated;
+mod jsonio;
 pub mod metrics;
 pub mod pipeline;
 pub mod prepared;
+pub mod session;
 
 pub use config::RempConfig;
+pub use error::RempError;
 pub use experiment::{propagation_only_f1, run_on_dataset, ExperimentResult};
 pub use isolated::classify_isolated;
 pub use metrics::{evaluate_matches, pair_completeness, reduction_ratio, PrecisionRecall};
 pub use pipeline::{MatchSource, Remp, RempOutcome, Resolution};
 pub use prepared::{prepare, PreparedEr};
+pub use session::{
+    Batch, KbFingerprint, Question, QuestionContext, QuestionId, RempSession, SessionCheckpoint,
+    SubmitOutcome, CHECKPOINT_VERSION,
+};

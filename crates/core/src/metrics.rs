@@ -31,14 +31,22 @@ pub fn evaluate_matches(
 ) -> PrecisionRecall {
     let predicted: HashSet<(EntityId, EntityId)> = predicted.into_iter().collect();
     let correct = predicted.iter().filter(|p| gold.contains(p)).count();
-    let precision = if predicted.is_empty() { 0.0 } else { correct as f64 / predicted.len() as f64 };
+    let precision =
+        if predicted.is_empty() { 0.0 } else { correct as f64 / predicted.len() as f64 };
     let recall = if gold.is_empty() { 0.0 } else { correct as f64 / gold.len() as f64 };
     let f1 = if precision + recall == 0.0 {
         0.0
     } else {
         2.0 * precision * recall / (precision + recall)
     };
-    PrecisionRecall { precision, recall, f1, predicted: predicted.len(), expected: gold.len(), correct }
+    PrecisionRecall {
+        precision,
+        recall,
+        f1,
+        predicted: predicted.len(),
+        expected: gold.len(),
+        correct,
+    }
 }
 
 /// Pair completeness: the fraction of gold matches preserved in a

@@ -1,12 +1,15 @@
-//! The crowdsourced collective ER loop (paper §III-B, Fig. 2).
+//! The crowdsourced collective ER pipeline (paper §III-B, Fig. 2).
+//!
+//! [`Remp`] is the entry point. The loop itself lives in the resumable
+//! [`RempSession`](crate::RempSession) state machine ([`Remp::begin`]);
+//! [`Remp::run`] and [`Remp::run_prepared`] are thin convenience wrappers
+//! that drain a session against a simulated [`LabelSource`].
 
-use remp_crowd::{infer_truth, LabelSource, Verdict};
-use remp_ergraph::PairId;
+use remp_crowd::LabelSource;
 use remp_kb::{EntityId, Kb};
-use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
-use remp_selection::select_questions;
 
-use crate::{classify_isolated, prepare, PreparedEr, RempConfig};
+use crate::session::RempSession;
+use crate::{prepare, PreparedEr, RempConfig, RempError};
 
 /// How a pair came to be resolved as a match.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,7 +34,7 @@ pub enum Resolution {
 }
 
 /// Result of a pipeline run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RempOutcome {
     /// The final entity matches.
     pub matches: Vec<(EntityId, EntityId)>,
@@ -62,9 +65,37 @@ impl Remp {
         Remp { config }
     }
 
-    /// Runs the full pipeline. `truth` supplies the hidden ground truth the
-    /// simulated `crowd` answers from (a real deployment would replace both
-    /// with actual workers).
+    /// Runs ER-graph construction (stage 1) and opens a resumable
+    /// session over the retained pairs. The caller owns the crowd loop:
+    /// see [`RempSession`](crate::RempSession).
+    pub fn begin<'a>(&self, kb1: &'a Kb, kb2: &'a Kb) -> Result<RempSession<'a>, RempError> {
+        self.config.validate()?;
+        let prep = prepare(kb1, kb2, &self.config);
+        Ok(RempSession::new(kb1, kb2, self.config.clone(), prep))
+    }
+
+    /// Opens a session over an already-constructed ER graph (lets the
+    /// bench harness share stage 1 across methods, as the paper does:
+    /// "all methods take the same retained entity matches M_rd as
+    /// input").
+    pub fn begin_prepared<'a>(
+        &self,
+        kb1: &'a Kb,
+        kb2: &'a Kb,
+        prep: PreparedEr,
+    ) -> Result<RempSession<'a>, RempError> {
+        self.config.validate()?;
+        Ok(RempSession::new(kb1, kb2, self.config.clone(), prep))
+    }
+
+    /// Runs the full pipeline to completion. `truth` supplies the hidden
+    /// ground truth the simulated `crowd` answers from (a real deployment
+    /// would own the loop itself via [`Remp::begin`]).
+    ///
+    /// # Panics
+    ///
+    /// If the configuration fails [`RempConfig::validate`]; use
+    /// [`Remp::begin`] for a `Result`-returning entry point.
     pub fn run(
         &self,
         kb1: &Kb,
@@ -76,9 +107,13 @@ impl Remp {
         self.run_prepared(kb1, kb2, prep, truth, crowd)
     }
 
-    /// Runs stages 2–4 on an already-constructed ER graph (lets the bench
-    /// harness share stage 1 across methods, as the paper does: "all
-    /// methods take the same retained entity matches M_rd as input").
+    /// Runs stages 2–4 on an already-constructed ER graph, to
+    /// completion, against a simulated crowd.
+    ///
+    /// # Panics
+    ///
+    /// If the configuration fails [`RempConfig::validate`]; use
+    /// [`Remp::begin_prepared`] for a `Result`-returning entry point.
     pub fn run_prepared(
         &self,
         kb1: &Kb,
@@ -87,148 +122,13 @@ impl Remp {
         truth: &dyn Fn(EntityId, EntityId) -> bool,
         crowd: &mut dyn LabelSource,
     ) -> RempOutcome {
-        let config = &self.config;
-        let PreparedEr { mut candidates, graph, sim_vectors, initial, .. } = prep.clone();
-        let n = candidates.len();
-        let mut resolution = vec![Resolution::Unresolved; n];
-        let mut seeds: Vec<PairId> = initial;
-        let mut questions = 0usize;
-        let mut loops = 0usize;
-
-        while loops < config.max_loops {
-            // Stage 2: relational match propagation.
-            let cons = ConsistencyTable::estimate(kb1, kb2, &candidates, &graph, &seeds);
-            let pg = ProbErGraph::build(
-                kb1,
-                kb2,
-                &candidates,
-                &graph,
-                &cons,
-                &config.propagation,
-            );
-            let inferred = inferred_sets_dijkstra(&pg, config.tau);
-
-            // Stage 3: multiple questions selection. Isolated vertices are
-            // excluded — the classifier handles them (§VII-B).
-            let eligible: Vec<bool> = (0..n)
-                .map(|i| {
-                    resolution[i] == Resolution::Unresolved
-                        && !graph.is_isolated_vertex(PairId::from_index(i))
-                })
-                .collect();
-            // The paper stops "when there is no unresolved entity pair that
-            // can be inferred by relational match propagation": as long as
-            // some unresolved pair is reachable from another, the loop
-            // continues (benefit-greedy selection prefers the propagating
-            // questions); once nothing is reachable any more, remaining
-            // pairs go to the classifier instead of the crowd.
-            let any_reachable = (0..n).map(PairId::from_index).any(|q| {
-                eligible[q.index()]
-                    && inferred
-                        .inferred(q)
-                        .iter()
-                        .any(|&(p, _)| p != q && eligible[p.index()])
-            });
-            if !any_reachable {
-                break;
-            }
-            let question_cands: Vec<PairId> = (0..n)
-                .map(PairId::from_index)
-                .filter(|p| eligible[p.index()])
-                .collect();
-            let remaining = config
-                .max_questions
-                .map(|b| b.saturating_sub(questions))
-                .unwrap_or(usize::MAX);
-            let mu = config.mu.min(remaining);
-            if mu == 0 {
-                break;
-            }
-            let priors: Vec<f64> = candidates.ids().map(|p| candidates.prior(p)).collect();
-            let selected = select_questions(&question_cands, &inferred, &priors, &eligible, mu);
-            if selected.is_empty() {
-                break; // no unresolved pair can be inferred any more
-            }
-
-            // Stage 4: crowd labeling + truth inference.
-            let mut newly_matched = Vec::new();
-            for q in selected {
-                let (u1, u2) = candidates.pair(q);
-                let labels = crowd.label(truth(u1, u2));
-                questions += 1;
-                let (verdict, posterior) =
-                    infer_truth(candidates.prior(q), &labels, &config.truth);
-                match verdict {
-                    Verdict::Match => {
-                        resolution[q.index()] = Resolution::Match(MatchSource::Crowd);
-                        candidates.set_prior(q, 1.0);
-                        newly_matched.push(q);
-                    }
-                    Verdict::NonMatch => {
-                        resolution[q.index()] = Resolution::NonMatch;
-                        candidates.set_prior(q, 0.0);
-                    }
-                    Verdict::Inconsistent => {
-                        // Hard question: lower its benefit via the prior.
-                        candidates.set_prior(q, posterior);
-                    }
-                }
-            }
-
-            // Propagate labeled matches to their inferred sets (Eq. 11).
-            for &q in &newly_matched {
-                for &(p, _) in inferred.inferred(q) {
-                    if resolution[p.index()] == Resolution::Unresolved {
-                        resolution[p.index()] = Resolution::Match(MatchSource::Inferred);
-                        candidates.set_prior(p, 1.0);
-                    }
-                }
-            }
-            // Confirmed matches join the seeds for re-estimating
-            // consistencies and edge probabilities next loop.
-            seeds.extend(
-                (0..n)
-                    .map(PairId::from_index)
-                    .filter(|p| matches!(resolution[p.index()], Resolution::Match(_))),
-            );
-            seeds.sort_unstable();
-            seeds.dedup();
-            loops += 1;
-        }
-
-        // Isolated entity pairs: random-forest inference (§VII-B).
-        if config.classify_isolated {
-            let predicted = classify_isolated(
-                kb1,
-                kb2,
-                &candidates,
-                &graph,
-                &sim_vectors,
-                &prep.alignment,
-                &resolution,
-                config,
-            );
-            for p in predicted {
-                if resolution[p.index()] == Resolution::Unresolved {
-                    resolution[p.index()] = Resolution::Match(MatchSource::Classifier);
-                }
-            }
-        }
-
-        let matches: Vec<(EntityId, EntityId)> = (0..n)
-            .filter(|&i| matches!(resolution[i], Resolution::Match(_)))
-            .map(|i| candidates.pair(PairId::from_index(i)))
-            .collect();
-
-        RempOutcome {
-            matches,
-            resolutions: resolution,
-            questions_asked: questions,
-            loops,
-            candidate_count: prep.candidate_count,
-            retained_count: n,
-            edge_count: graph.num_edges(),
-        }
+        let mut session = self
+            .begin_prepared(kb1, kb2, prep)
+            .unwrap_or_else(|e| panic!("Remp::run_prepared: {e}"));
+        session
+            .drive(truth, crowd)
+            .expect("draining a fresh session cannot hit caller-protocol errors");
+        session.finish()
     }
 }
 
@@ -293,5 +193,21 @@ mod tests {
         let outcome = remp.run(&kb1, &kb2, &|_, _| false, &mut crowd);
         assert_eq!(outcome.questions_asked, 0);
         assert!(outcome.matches.is_empty());
+    }
+
+    #[test]
+    fn begin_rejects_invalid_config() {
+        let d = generate(&iimb(0.1));
+        let remp = Remp::new(RempConfig { mu: 0, ..RempConfig::default() });
+        assert!(matches!(remp.begin(&d.kb1, &d.kb2), Err(crate::RempError::InvalidConfig(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid configuration")]
+    fn run_panics_on_invalid_config() {
+        let d = generate(&iimb(0.1));
+        let remp = Remp::new(RempConfig { tau: 2.0, ..RempConfig::default() });
+        let mut crowd = OracleCrowd::new();
+        let _ = remp.run(&d.kb1, &d.kb2, &|_, _| false, &mut crowd);
     }
 }

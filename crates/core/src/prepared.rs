@@ -34,8 +34,7 @@ pub struct PreparedEr {
 pub fn prepare(kb1: &Kb, kb2: &Kb, config: &RempConfig) -> PreparedEr {
     let pre_candidates = generate_candidates(kb1, kb2, config.label_sim_threshold);
     let initial_full = initial_matches(kb1, kb2, &pre_candidates);
-    let alignment =
-        match_attributes(kb1, kb2, &pre_candidates, &initial_full, &config.attr);
+    let alignment = match_attributes(kb1, kb2, &pre_candidates, &initial_full, &config.attr);
     let vectors_full =
         build_sim_vectors(kb1, kb2, &pre_candidates, &alignment, config.literal_threshold);
     let retained = prune(&pre_candidates, &vectors_full, config.knn_k);
@@ -84,8 +83,7 @@ mod tests {
     #[test]
     fn pruning_respects_k() {
         let d = generate(&iimb(0.3));
-        let mut config = RempConfig::default();
-        config.knn_k = 1;
+        let mut config = RempConfig { knn_k: 1, ..RempConfig::default() };
         let strict = prepare(&d.kb1, &d.kb2, &config);
         config.knn_k = 8;
         let loose = prepare(&d.kb1, &d.kb2, &config);

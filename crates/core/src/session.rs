@@ -1,0 +1,999 @@
+//! The resumable crowd session — the paper's human-machine loop (§III-B,
+//! Fig. 2) with the control flow inverted.
+//!
+//! [`Remp::run`](crate::Remp::run) drives a *simulated* crowd through a
+//! closure, but a real deployment posts questions to a crowd platform and
+//! answers trickle back asynchronously. [`RempSession`] makes the caller
+//! the owner of that loop:
+//!
+//! ```text
+//! let mut session = remp.begin(&kb1, &kb2)?;         // stage 1
+//! while let Some(batch) = session.next_batch()? {    // stages 2–3
+//!     for q in &batch.questions {
+//!         post_to_platform(q);                       // e.g. MTurk HITs
+//!     }
+//!     for (id, labels) in collect_answers() {
+//!         session.submit(id, labels)?;               // stage 4 + Eq. 11
+//!     }
+//! }
+//! let outcome = session.finish();                    // §VII-B classifier
+//! ```
+//!
+//! Truth inference (Eq. 17) and relational propagation (Eq. 11) run
+//! *incrementally* as each answer lands; answers within a batch may be
+//! submitted in any order, and the final state is identical to the
+//! synchronous loop (each question's posterior uses the prior snapshotted
+//! at batch creation, exactly as the synchronous loop computed all
+//! posteriors before propagating).
+//!
+//! Long campaigns can stop and resume: [`RempSession::checkpoint`]
+//! captures the dynamic state (resolutions, priors, seeds, the open
+//! batch) as a small JSON document, and [`RempSession::resume`] rebuilds
+//! the session from the checkpoint plus the original knowledge bases —
+//! stage 1 is deterministic, so the heavyweight prepared structures are
+//! reconstructed rather than stored.
+
+use std::fmt;
+
+use remp_crowd::{infer_truth, Label, LabelSource, Verdict};
+use remp_ergraph::PairId;
+use remp_json::Json;
+use remp_kb::{EntityId, Kb};
+use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
+use remp_selection::select_batch;
+
+use crate::jsonio::{get, get_bool, get_f64, get_str, get_u64, get_usize, malformed};
+use crate::pipeline::{MatchSource, Resolution};
+use crate::{classify_isolated, prepare, PreparedEr, RempConfig, RempError, RempOutcome};
+
+/// Opaque identifier of a posted question, unique within a session.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QuestionId(pub u64);
+
+impl fmt::Display for QuestionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Human-readable context a crowd UI shows alongside a question.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuestionContext {
+    /// Label of the left entity in its knowledge base.
+    pub label1: String,
+    /// Label of the right entity in its knowledge base.
+    pub label2: String,
+    /// Which human-machine loop posted the question (0-based).
+    pub loop_index: usize,
+}
+
+/// One pairwise question to put before workers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Question {
+    /// Handle to pass back to [`RempSession::submit`].
+    pub id: QuestionId,
+    /// The entity pair being asked about.
+    pub pair: (EntityId, EntityId),
+    /// Current match probability estimate (snapshotted at batch
+    /// creation; also the prior of the Eq. 17 posterior).
+    pub prior: f64,
+    /// Display context.
+    pub context: QuestionContext,
+}
+
+/// One loop's worth of questions (at most µ of them).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Batch {
+    /// The loop index that selected this batch (0-based).
+    pub loop_index: usize,
+    /// The selected questions, in selection (benefit) order.
+    pub questions: Vec<Question>,
+}
+
+/// What one submitted answer changed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmitOutcome {
+    /// The Eq. 17 verdict for the question itself.
+    pub verdict: Verdict,
+    /// The Eq. 17 posterior match probability.
+    pub posterior: f64,
+    /// Entity pairs newly resolved through relational propagation
+    /// (Eq. 11) because this answer confirmed a match.
+    pub propagated: Vec<(EntityId, EntityId)>,
+    /// `true` once every question of the open batch is answered — the
+    /// session is ready for [`RempSession::next_batch`] again.
+    pub batch_complete: bool,
+}
+
+/// Bookkeeping for one question of the open batch.
+#[derive(Clone, Debug)]
+struct PendingQuestion {
+    id: u64,
+    pair: PairId,
+    /// Prior at batch creation: the posterior's prior, regardless of
+    /// what same-batch propagation did to the live prior since.
+    prior: f64,
+    /// Snapshot of this question's inferred set at batch creation.
+    inferred: Vec<(PairId, f64)>,
+    answered: bool,
+}
+
+/// A paused, resumable run of the Remp pipeline (stages 2–4).
+///
+/// Create with [`Remp::begin`](crate::Remp::begin) /
+/// [`Remp::begin_prepared`](crate::Remp::begin_prepared), drive with
+/// [`next_batch`](Self::next_batch) / [`submit`](Self::submit), close
+/// with [`finish`](Self::finish). The session borrows the two knowledge
+/// bases; everything else it owns.
+#[derive(Clone, Debug)]
+pub struct RempSession<'a> {
+    kb1: &'a Kb,
+    kb2: &'a Kb,
+    config: RempConfig,
+    prep: PreparedEr,
+    resolution: Vec<Resolution>,
+    seeds: Vec<PairId>,
+    questions_asked: usize,
+    loops: usize,
+    drained: bool,
+    pending: Vec<PendingQuestion>,
+    next_question_id: u64,
+}
+
+impl<'a> RempSession<'a> {
+    pub(crate) fn new(
+        kb1: &'a Kb,
+        kb2: &'a Kb,
+        config: RempConfig,
+        prep: PreparedEr,
+    ) -> RempSession<'a> {
+        let n = prep.candidates.len();
+        let seeds = prep.initial.clone();
+        RempSession {
+            kb1,
+            kb2,
+            config,
+            prep,
+            resolution: vec![Resolution::Unresolved; n],
+            seeds,
+            questions_asked: 0,
+            loops: 0,
+            drained: false,
+            pending: Vec::new(),
+            next_question_id: 0,
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &RempConfig {
+        &self.config
+    }
+
+    /// Questions asked so far (the paper's `#Q`).
+    pub fn questions_asked(&self) -> usize {
+        self.questions_asked
+    }
+
+    /// Completed human-machine loops so far (the paper's `#L`).
+    pub fn loops(&self) -> usize {
+        self.loops
+    }
+
+    /// Per-pair resolution state (parallel to the retained candidates).
+    pub fn resolutions(&self) -> &[Resolution] {
+        &self.resolution
+    }
+
+    /// `true` once no further batch can be produced: the loop converged,
+    /// the budget ran out, or `max_loops` was hit.
+    pub fn is_drained(&self) -> bool {
+        self.drained
+    }
+
+    /// The still-unanswered questions of the open batch.
+    pub fn open_questions(&self) -> Vec<QuestionId> {
+        self.pending.iter().filter(|p| !p.answered).map(|p| QuestionId(p.id)).collect()
+    }
+
+    /// Runs stages 2–3 and selects the next batch of questions.
+    ///
+    /// Returns `Ok(None)` when the loop has terminated (the paper's
+    /// stopping rule: no unresolved pair is propagation-reachable any
+    /// more, the question budget is exhausted, or `max_loops` is hit) —
+    /// call [`finish`](Self::finish) then. Errors with
+    /// [`RempError::BatchOutstanding`] while the previous batch still
+    /// has unanswered questions.
+    pub fn next_batch(&mut self) -> Result<Option<Batch>, RempError> {
+        let unanswered = self.pending.iter().filter(|p| !p.answered).count();
+        if unanswered > 0 {
+            return Err(RempError::BatchOutstanding { unanswered });
+        }
+        debug_assert!(self.pending.is_empty(), "answered batches are finalized eagerly");
+        if self.drained {
+            return Ok(None);
+        }
+        if self.loops >= self.config.max_loops {
+            self.drained = true;
+            return Ok(None);
+        }
+
+        let candidates = &self.prep.candidates;
+        let graph = &self.prep.graph;
+        let n = candidates.len();
+
+        // Stage 2: relational match propagation.
+        let cons = ConsistencyTable::estimate(self.kb1, self.kb2, candidates, graph, &self.seeds);
+        let pg = ProbErGraph::build(
+            self.kb1,
+            self.kb2,
+            candidates,
+            graph,
+            &cons,
+            &self.config.propagation,
+        );
+        let inferred = inferred_sets_dijkstra(&pg, self.config.tau);
+
+        // Stage 3: multiple questions selection. Isolated vertices are
+        // excluded — the classifier handles them (§VII-B).
+        let eligible: Vec<bool> = (0..n)
+            .map(|i| {
+                self.resolution[i] == Resolution::Unresolved
+                    && !graph.is_isolated_vertex(PairId::from_index(i))
+            })
+            .collect();
+        // The paper stops "when there is no unresolved entity pair that
+        // can be inferred by relational match propagation": as long as
+        // some unresolved pair is reachable from another, the loop
+        // continues; once nothing is reachable any more, remaining pairs
+        // go to the classifier instead of the crowd.
+        let any_reachable = (0..n).map(PairId::from_index).any(|q| {
+            eligible[q.index()]
+                && inferred.inferred(q).iter().any(|&(p, _)| p != q && eligible[p.index()])
+        });
+        if !any_reachable {
+            self.drained = true;
+            return Ok(None);
+        }
+        let question_cands: Vec<PairId> =
+            (0..n).map(PairId::from_index).filter(|p| eligible[p.index()]).collect();
+        let remaining = self
+            .config
+            .max_questions
+            .map(|b| b.saturating_sub(self.questions_asked))
+            .unwrap_or(usize::MAX);
+        let mu = self.config.mu.min(remaining);
+        if mu == 0 {
+            self.drained = true;
+            return Ok(None);
+        }
+        let priors: Vec<f64> = candidates.ids().map(|p| candidates.prior(p)).collect();
+        let selected =
+            select_batch(self.config.strategy, &question_cands, &inferred, &priors, &eligible, mu);
+        if selected.is_empty() {
+            // No unresolved pair can be inferred any more.
+            self.drained = true;
+            return Ok(None);
+        }
+
+        let loop_index = self.loops;
+        let questions = selected
+            .into_iter()
+            .map(|q| {
+                let id = self.next_question_id;
+                self.next_question_id += 1;
+                let pair = candidates.pair(q);
+                let prior = candidates.prior(q);
+                self.pending.push(PendingQuestion {
+                    id,
+                    pair: q,
+                    prior,
+                    inferred: inferred.inferred(q).to_vec(),
+                    answered: false,
+                });
+                Question {
+                    id: QuestionId(id),
+                    pair,
+                    prior,
+                    context: QuestionContext {
+                        label1: self.kb1.label(pair.0).to_owned(),
+                        label2: self.kb2.label(pair.1).to_owned(),
+                        loop_index,
+                    },
+                }
+            })
+            .collect();
+        Ok(Some(Batch { loop_index, questions }))
+    }
+
+    /// Ingests the crowd's labels for one question of the open batch.
+    ///
+    /// Runs Eq. 17 truth inference against the prior snapshotted at batch
+    /// creation, updates the pair's resolution, and — on a match verdict —
+    /// immediately propagates to the question's inferred set (Eq. 11).
+    /// Answers may arrive in any order; once the last one lands the batch
+    /// is folded into the seeds and [`next_batch`](Self::next_batch)
+    /// becomes available again.
+    pub fn submit(
+        &mut self,
+        id: QuestionId,
+        labels: Vec<Label>,
+    ) -> Result<SubmitOutcome, RempError> {
+        let idx =
+            self.pending.iter().position(|p| p.id == id.0).ok_or(RempError::UnknownQuestion(id))?;
+        if self.pending[idx].answered {
+            return Err(RempError::AlreadyAnswered(id));
+        }
+        if labels.is_empty() {
+            return Err(RempError::EmptyLabels(id));
+        }
+
+        let q = self.pending[idx].pair;
+        let snapshot_prior = self.pending[idx].prior;
+        self.questions_asked += 1;
+        let (verdict, posterior) = infer_truth(snapshot_prior, &labels, &self.config.truth);
+        let mut propagated = Vec::new();
+        match verdict {
+            Verdict::Match => {
+                // The crowd verdict overrides a same-batch propagation
+                // mark, as in the synchronous loop where all verdicts
+                // land before any propagation.
+                self.resolution[q.index()] = Resolution::Match(MatchSource::Crowd);
+                self.prep.candidates.set_prior(q, 1.0);
+                for i in 0..self.pending[idx].inferred.len() {
+                    let p = self.pending[idx].inferred[i].0;
+                    if self.resolution[p.index()] == Resolution::Unresolved {
+                        self.resolution[p.index()] = Resolution::Match(MatchSource::Inferred);
+                        self.prep.candidates.set_prior(p, 1.0);
+                        propagated.push(self.prep.candidates.pair(p));
+                    }
+                }
+            }
+            Verdict::NonMatch => {
+                self.resolution[q.index()] = Resolution::NonMatch;
+                self.prep.candidates.set_prior(q, 0.0);
+            }
+            Verdict::Inconsistent => {
+                // Hard question: lower its benefit via the prior — unless
+                // same-batch propagation already resolved it (then the
+                // synchronous loop would also have kept that resolution).
+                if self.resolution[q.index()] == Resolution::Unresolved {
+                    self.prep.candidates.set_prior(q, posterior);
+                }
+            }
+        }
+        self.pending[idx].answered = true;
+
+        let batch_complete = self.pending.iter().all(|p| p.answered);
+        if batch_complete {
+            self.finalize_batch();
+        }
+        Ok(SubmitOutcome { verdict, posterior, propagated, batch_complete })
+    }
+
+    /// Folds a fully answered batch into the loop state: confirmed
+    /// matches join the seeds for re-estimating consistencies and edge
+    /// probabilities, and the loop counter advances.
+    fn finalize_batch(&mut self) {
+        let n = self.prep.candidates.len();
+        self.seeds.extend(
+            (0..n)
+                .map(PairId::from_index)
+                .filter(|p| matches!(self.resolution[p.index()], Resolution::Match(_))),
+        );
+        self.seeds.sort_unstable();
+        self.seeds.dedup();
+        self.loops += 1;
+        self.pending.clear();
+    }
+
+    /// Drains the session against a [`LabelSource`]: posts every batch,
+    /// answers each question from `crowd` (whose workers see the hidden
+    /// `truth`), and submits the labels — the adapter that keeps the
+    /// simulated-crowd path [`Remp::run`](crate::Remp::run) alive on top
+    /// of the session API.
+    pub fn drive(
+        &mut self,
+        truth: &dyn Fn(EntityId, EntityId) -> bool,
+        crowd: &mut dyn LabelSource,
+    ) -> Result<(), RempError> {
+        while let Some(batch) = self.next_batch()? {
+            for q in &batch.questions {
+                let labels = crowd.label(truth(q.pair.0, q.pair.1));
+                self.submit(q.id, labels)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the session: classifies the remaining isolated pairs
+    /// (§VII-B, if enabled) and returns the final [`RempOutcome`].
+    ///
+    /// May be called at any point — also before the loop converges, in
+    /// which case still-open questions simply stay unresolved.
+    pub fn finish(mut self) -> RempOutcome {
+        if self.config.classify_isolated {
+            let predicted = classify_isolated(
+                self.kb1,
+                self.kb2,
+                &self.prep.candidates,
+                &self.prep.graph,
+                &self.prep.sim_vectors,
+                &self.prep.alignment,
+                &self.resolution,
+                &self.config,
+            );
+            for p in predicted {
+                if self.resolution[p.index()] == Resolution::Unresolved {
+                    self.resolution[p.index()] = Resolution::Match(MatchSource::Classifier);
+                }
+            }
+        }
+
+        let n = self.prep.candidates.len();
+        let matches: Vec<(EntityId, EntityId)> = (0..n)
+            .filter(|&i| matches!(self.resolution[i], Resolution::Match(_)))
+            .map(|i| self.prep.candidates.pair(PairId::from_index(i)))
+            .collect();
+
+        RempOutcome {
+            matches,
+            resolutions: self.resolution,
+            questions_asked: self.questions_asked,
+            loops: self.loops,
+            candidate_count: self.prep.candidate_count,
+            retained_count: n,
+            edge_count: self.prep.graph.num_edges(),
+        }
+    }
+
+    /// Serializes the session's dynamic state for later
+    /// [`resume`](Self::resume).
+    pub fn checkpoint(&self) -> SessionCheckpoint {
+        SessionCheckpoint {
+            config: self.config.clone(),
+            kb1_fingerprint: KbFingerprint::of(self.kb1),
+            kb2_fingerprint: KbFingerprint::of(self.kb2),
+            resolutions: self.resolution.clone(),
+            priors: self.prep.candidates.ids().map(|p| self.prep.candidates.prior(p)).collect(),
+            seeds: self.seeds.iter().map(|p| p.0).collect(),
+            questions_asked: self.questions_asked,
+            loops: self.loops,
+            drained: self.drained,
+            next_question_id: self.next_question_id,
+            pending: self
+                .pending
+                .iter()
+                .map(|p| PendingCheckpoint {
+                    id: p.id,
+                    pair: p.pair.0,
+                    prior: p.prior,
+                    answered: p.answered,
+                    inferred: p.inferred.iter().map(|&(t, pr)| (t.0, pr)).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a session from a checkpoint and the *original* knowledge
+    /// bases. Stage 1 is re-run deterministically from the checkpointed
+    /// configuration; the checkpoint carries only the dynamic state.
+    pub fn resume(
+        kb1: &'a Kb,
+        kb2: &'a Kb,
+        checkpoint: SessionCheckpoint,
+    ) -> Result<RempSession<'a>, RempError> {
+        checkpoint.config.validate()?;
+        KbFingerprint::of(kb1).check("kb1", &checkpoint.kb1_fingerprint)?;
+        KbFingerprint::of(kb2).check("kb2", &checkpoint.kb2_fingerprint)?;
+        let mut prep = prepare(kb1, kb2, &checkpoint.config);
+        let n = prep.candidates.len();
+        if n != checkpoint.resolutions.len() || n != checkpoint.priors.len() {
+            return Err(RempError::CheckpointMismatch(format!(
+                "stage 1 produced {n} retained pairs but the checkpoint has {} resolutions / {} priors",
+                checkpoint.resolutions.len(),
+                checkpoint.priors.len()
+            )));
+        }
+        let valid_pair = |raw: u32| (raw as usize) < n;
+        if !checkpoint.seeds.iter().copied().all(valid_pair)
+            || !checkpoint
+                .pending
+                .iter()
+                .all(|p| valid_pair(p.pair) && p.inferred.iter().all(|&(t, _)| valid_pair(t)))
+        {
+            return Err(RempError::CheckpointMismatch(
+                "checkpoint references pair ids outside the retained set".into(),
+            ));
+        }
+        let valid_prior = |p: f64| (0.0..=1.0).contains(&p);
+        if !checkpoint.priors.iter().copied().all(valid_prior)
+            || !checkpoint.pending.iter().all(|p| valid_prior(p.prior))
+        {
+            return Err(RempError::CheckpointMismatch(
+                "checkpoint contains priors outside [0, 1]".into(),
+            ));
+        }
+        if !checkpoint.pending.is_empty() && checkpoint.pending.iter().all(|p| p.answered) {
+            // A live session finalizes a batch the moment its last answer
+            // lands, so this state is only reachable through tampering.
+            return Err(RempError::MalformedCheckpoint(
+                "pending batch is fully answered but was never finalized".into(),
+            ));
+        }
+        for (i, &prior) in checkpoint.priors.iter().enumerate() {
+            prep.candidates.set_prior(PairId::from_index(i), prior);
+        }
+        Ok(RempSession {
+            kb1,
+            kb2,
+            config: checkpoint.config,
+            prep,
+            resolution: checkpoint.resolutions,
+            seeds: checkpoint.seeds.into_iter().map(PairId).collect(),
+            questions_asked: checkpoint.questions_asked,
+            loops: checkpoint.loops,
+            drained: checkpoint.drained,
+            pending: checkpoint
+                .pending
+                .into_iter()
+                .map(|p| PendingQuestion {
+                    id: p.id,
+                    pair: PairId(p.pair),
+                    prior: p.prior,
+                    inferred: p.inferred.into_iter().map(|(t, pr)| (PairId(t), pr)).collect(),
+                    answered: p.answered,
+                })
+                .collect(),
+            next_question_id: checkpoint.next_question_id,
+        })
+    }
+}
+
+/// Shape summary guarding against resuming with the wrong KBs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KbFingerprint {
+    /// KB name.
+    pub name: String,
+    /// Entity count.
+    pub entities: usize,
+    /// Attribute-triple count.
+    pub attr_triples: usize,
+    /// Relationship-triple count.
+    pub rel_triples: usize,
+}
+
+impl KbFingerprint {
+    fn of(kb: &Kb) -> KbFingerprint {
+        KbFingerprint {
+            name: kb.name().to_owned(),
+            entities: kb.num_entities(),
+            attr_triples: kb.num_attr_triples(),
+            rel_triples: kb.num_rel_triples(),
+        }
+    }
+
+    fn check(&self, side: &str, expected: &KbFingerprint) -> Result<(), RempError> {
+        if self != expected {
+            return Err(RempError::CheckpointMismatch(format!(
+                "{side} does not match the checkpointed knowledge base: got {self:?}, checkpoint has {expected:?}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One pending question as stored in a checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PendingCheckpoint {
+    /// Question id.
+    pub id: u64,
+    /// Raw retained pair id.
+    pub pair: u32,
+    /// Prior snapshot at batch creation.
+    pub prior: f64,
+    /// Whether the answer already landed.
+    pub answered: bool,
+    /// Snapshot of the inferred set: `(raw pair id, probability)`.
+    pub inferred: Vec<(u32, f64)>,
+}
+
+/// A serialized session: everything [`RempSession::resume`] needs beyond
+/// the knowledge bases themselves.
+///
+/// Serialization is a stable, versioned JSON document produced by
+/// [`to_json_string`](Self::to_json_string) — the environment this
+/// reproduction builds in has no crates.io access, so the format is
+/// implemented on the dependency-free `remp-json` crate rather than
+/// serde, with the same shape a serde derive would emit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionCheckpoint {
+    /// Full pipeline configuration (stage 1 is re-run from it).
+    pub config: RempConfig,
+    /// Shape of the left knowledge base.
+    pub kb1_fingerprint: KbFingerprint,
+    /// Shape of the right knowledge base.
+    pub kb2_fingerprint: KbFingerprint,
+    /// Per-retained-pair resolution state.
+    pub resolutions: Vec<Resolution>,
+    /// Per-retained-pair live match probability.
+    pub priors: Vec<f64>,
+    /// Current propagation seeds (raw pair ids).
+    pub seeds: Vec<u32>,
+    /// Questions asked so far.
+    pub questions_asked: usize,
+    /// Completed loops so far.
+    pub loops: usize,
+    /// Whether the loop already terminated.
+    pub drained: bool,
+    /// Next fresh question id.
+    pub next_question_id: u64,
+    /// The open batch, if any.
+    pub pending: Vec<PendingCheckpoint>,
+}
+
+/// Checkpoint format version written by this build.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+fn resolution_code(r: Resolution) -> char {
+    match r {
+        Resolution::Unresolved => 'U',
+        Resolution::Match(MatchSource::Crowd) => 'C',
+        Resolution::Match(MatchSource::Inferred) => 'I',
+        Resolution::Match(MatchSource::Classifier) => 'F',
+        Resolution::NonMatch => 'N',
+    }
+}
+
+fn resolution_from_code(c: char) -> Option<Resolution> {
+    match c {
+        'U' => Some(Resolution::Unresolved),
+        'C' => Some(Resolution::Match(MatchSource::Crowd)),
+        'I' => Some(Resolution::Match(MatchSource::Inferred)),
+        'F' => Some(Resolution::Match(MatchSource::Classifier)),
+        'N' => Some(Resolution::NonMatch),
+        _ => None,
+    }
+}
+
+fn fingerprint_json(fp: &KbFingerprint) -> Json {
+    Json::Obj(vec![
+        ("name".into(), Json::from(fp.name.as_str())),
+        ("entities".into(), Json::from(fp.entities)),
+        ("attr_triples".into(), Json::from(fp.attr_triples)),
+        ("rel_triples".into(), Json::from(fp.rel_triples)),
+    ])
+}
+
+fn fingerprint_from_json(doc: &Json) -> Result<KbFingerprint, RempError> {
+    Ok(KbFingerprint {
+        name: get_str(doc, "name")?.to_owned(),
+        entities: get_usize(doc, "entities")?,
+        attr_triples: get_usize(doc, "attr_triples")?,
+        rel_triples: get_usize(doc, "rel_triples")?,
+    })
+}
+
+impl SessionCheckpoint {
+    /// Encodes the checkpoint as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let resolutions: String = self.resolutions.iter().map(|&r| resolution_code(r)).collect();
+        Json::Obj(vec![
+            ("version".into(), Json::UInt(CHECKPOINT_VERSION)),
+            ("config".into(), self.config.to_json()),
+            ("kb1".into(), fingerprint_json(&self.kb1_fingerprint)),
+            ("kb2".into(), fingerprint_json(&self.kb2_fingerprint)),
+            ("resolutions".into(), Json::Str(resolutions)),
+            ("priors".into(), self.priors.iter().copied().collect()),
+            ("seeds".into(), self.seeds.iter().copied().collect()),
+            ("questions_asked".into(), Json::from(self.questions_asked)),
+            ("loops".into(), Json::from(self.loops)),
+            ("drained".into(), Json::from(self.drained)),
+            ("next_question_id".into(), Json::from(self.next_question_id)),
+            (
+                "pending".into(),
+                Json::Arr(
+                    self.pending
+                        .iter()
+                        .map(|p| {
+                            Json::Obj(vec![
+                                ("id".into(), Json::from(p.id)),
+                                ("pair".into(), Json::from(p.pair)),
+                                ("prior".into(), Json::from(p.prior)),
+                                ("answered".into(), Json::from(p.answered)),
+                                (
+                                    "inferred".into(),
+                                    Json::Arr(
+                                        p.inferred
+                                            .iter()
+                                            .map(|&(t, pr)| {
+                                                Json::Arr(vec![Json::from(t), Json::from(pr)])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Encodes the checkpoint as a JSON string.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_string()
+    }
+
+    /// Decodes a checkpoint from a JSON value.
+    pub fn from_json(doc: &Json) -> Result<SessionCheckpoint, RempError> {
+        let version = get_u64(doc, "version")?;
+        if version != CHECKPOINT_VERSION {
+            return Err(malformed(format!(
+                "unsupported checkpoint version {version} (this build reads {CHECKPOINT_VERSION})"
+            )));
+        }
+        let resolutions = get_str(doc, "resolutions")?
+            .chars()
+            .map(|c| {
+                resolution_from_code(c)
+                    .ok_or_else(|| malformed(format!("bad resolution code '{c}'")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let priors = get(doc, "priors")?
+            .as_array()
+            .ok_or_else(|| malformed("field 'priors' is not an array"))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| malformed("non-numeric prior")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let seeds = get(doc, "seeds")?
+            .as_array()
+            .ok_or_else(|| malformed("field 'seeds' is not an array"))?
+            .iter()
+            .map(|v| {
+                v.as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .ok_or_else(|| malformed("bad seed id"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let pending = get(doc, "pending")?
+            .as_array()
+            .ok_or_else(|| malformed("field 'pending' is not an array"))?
+            .iter()
+            .map(|p| {
+                let inferred = get(p, "inferred")?
+                    .as_array()
+                    .ok_or_else(|| malformed("field 'inferred' is not an array"))?
+                    .iter()
+                    .map(|entry| {
+                        let parts =
+                            entry.as_array().ok_or_else(|| malformed("bad inferred entry"))?;
+                        match parts {
+                            [t, pr] => Ok((
+                                t.as_u64()
+                                    .and_then(|n| u32::try_from(n).ok())
+                                    .ok_or_else(|| malformed("bad inferred target"))?,
+                                pr.as_f64().ok_or_else(|| malformed("bad inferred probability"))?,
+                            )),
+                            _ => Err(malformed("inferred entry is not a pair")),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(PendingCheckpoint {
+                    id: get_u64(p, "id")?,
+                    pair: u32::try_from(get_u64(p, "pair")?)
+                        .map_err(|_| malformed("bad pending pair id"))?,
+                    prior: get_f64(p, "prior")?,
+                    answered: get_bool(p, "answered")?,
+                    inferred,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SessionCheckpoint {
+            config: RempConfig::from_json(get(doc, "config")?)?,
+            kb1_fingerprint: fingerprint_from_json(get(doc, "kb1")?)?,
+            kb2_fingerprint: fingerprint_from_json(get(doc, "kb2")?)?,
+            resolutions,
+            priors,
+            seeds,
+            questions_asked: get_usize(doc, "questions_asked")?,
+            loops: get_usize(doc, "loops")?,
+            drained: get_bool(doc, "drained")?,
+            next_question_id: get_u64(doc, "next_question_id")?,
+            pending,
+        })
+    }
+
+    /// Decodes a checkpoint from a JSON string.
+    pub fn from_json_str(text: &str) -> Result<SessionCheckpoint, RempError> {
+        let doc = Json::parse(text).map_err(|e| malformed(e.to_string()))?;
+        SessionCheckpoint::from_json(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Remp;
+    use remp_crowd::OracleCrowd;
+    use remp_datasets::{generate, iimb};
+
+    fn oracle_labels(is_match: bool) -> Vec<Label> {
+        vec![Label::new(0.999, is_match)]
+    }
+
+    #[test]
+    fn session_walks_the_loop_by_hand() {
+        let d = generate(&iimb(0.2));
+        let remp = Remp::default();
+        let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+
+        let mut batches = 0usize;
+        let mut questions = 0usize;
+        while let Some(batch) = session.next_batch().unwrap() {
+            assert_eq!(batch.loop_index, batches);
+            assert!(!batch.questions.is_empty());
+            assert!(batch.questions.len() <= session.config().mu);
+            batches += 1;
+            for q in &batch.questions {
+                assert_eq!(q.context.label1, d.kb1.label(q.pair.0));
+                assert_eq!(q.context.loop_index, batch.loop_index);
+                assert!((0.0..=1.0).contains(&q.prior));
+                questions += 1;
+                let outcome =
+                    session.submit(q.id, oracle_labels(d.is_match(q.pair.0, q.pair.1))).unwrap();
+                assert!((0.0..=1.0).contains(&outcome.posterior));
+            }
+        }
+        assert!(session.is_drained());
+        assert_eq!(session.questions_asked(), questions);
+        assert_eq!(session.loops(), batches);
+        let outcome = session.finish();
+        assert_eq!(outcome.questions_asked, questions);
+        assert!(!outcome.matches.is_empty());
+    }
+
+    #[test]
+    fn submit_rejects_bad_input() {
+        let d = generate(&iimb(0.2));
+        let remp = Remp::default();
+        let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let batch = session.next_batch().unwrap().expect("IIMB produces at least one batch");
+        let q = batch.questions[0].id;
+
+        assert_eq!(
+            session.submit(QuestionId(u64::MAX), oracle_labels(true)),
+            Err(RempError::UnknownQuestion(QuestionId(u64::MAX)))
+        );
+        assert_eq!(session.submit(q, Vec::new()), Err(RempError::EmptyLabels(q)));
+        session.submit(q, oracle_labels(true)).unwrap();
+        assert_eq!(session.submit(q, oracle_labels(true)), Err(RempError::AlreadyAnswered(q)));
+    }
+
+    #[test]
+    fn next_batch_requires_all_answers() {
+        let d = generate(&iimb(0.2));
+        let remp = Remp::default();
+        let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let batch = session.next_batch().unwrap().unwrap();
+        assert!(batch.questions.len() > 1, "default µ should select several questions");
+        session.submit(batch.questions[0].id, oracle_labels(true)).unwrap();
+        let err = session.next_batch().unwrap_err();
+        assert_eq!(err, RempError::BatchOutstanding { unanswered: batch.questions.len() - 1 });
+        assert_eq!(session.open_questions().len(), batch.questions.len() - 1);
+    }
+
+    #[test]
+    fn out_of_order_submission_matches_in_order() {
+        let d = generate(&iimb(0.25));
+        let remp = Remp::default();
+        let drive = |reverse: bool| {
+            let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+            while let Some(batch) = session.next_batch().unwrap() {
+                let mut questions = batch.questions;
+                if reverse {
+                    questions.reverse();
+                }
+                for q in &questions {
+                    session.submit(q.id, oracle_labels(d.is_match(q.pair.0, q.pair.1))).unwrap();
+                }
+            }
+            session.finish()
+        };
+        let forward = drive(false);
+        let backward = drive(true);
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn early_finish_is_allowed() {
+        let d = generate(&iimb(0.2));
+        let remp = Remp::default();
+        let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let batch = session.next_batch().unwrap().unwrap();
+        // Answer only the first question, then walk away mid-batch.
+        session.submit(batch.questions[0].id, oracle_labels(true)).unwrap();
+        let outcome = session.finish();
+        assert_eq!(outcome.questions_asked, 1);
+        assert_eq!(outcome.loops, 0, "incomplete batches do not count as loops");
+    }
+
+    #[test]
+    fn drive_equals_run() {
+        let d = generate(&iimb(0.2));
+        let remp = Remp::default();
+        let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut crowd = OracleCrowd::new();
+        session.drive(&|a, b| d.is_match(a, b), &mut crowd).unwrap();
+        let via_session = session.finish();
+        let mut crowd = OracleCrowd::new();
+        let via_run = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+        assert_eq!(via_session, via_run);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_json() {
+        let d = generate(&iimb(0.2));
+        let remp = Remp::default();
+        let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        // Leave a half-answered batch open so the pending state is
+        // exercised too.
+        let batch = session.next_batch().unwrap().unwrap();
+        session.submit(batch.questions[0].id, oracle_labels(true)).unwrap();
+
+        let checkpoint = session.checkpoint();
+        let text = checkpoint.to_json_string();
+        let decoded = SessionCheckpoint::from_json_str(&text).unwrap();
+        assert_eq!(decoded, checkpoint);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_kbs() {
+        let d = generate(&iimb(0.2));
+        let other = generate(&iimb(0.3));
+        let remp = Remp::default();
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let checkpoint = session.checkpoint();
+        let err = RempSession::resume(&other.kb1, &other.kb2, checkpoint).unwrap_err();
+        assert!(matches!(err, RempError::CheckpointMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_out_of_range_priors() {
+        let d = generate(&iimb(0.2));
+        let remp = Remp::default();
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut checkpoint = session.checkpoint();
+        checkpoint.priors[0] = 5.0;
+        let err = RempSession::resume(&d.kb1, &d.kb2, checkpoint).unwrap_err();
+        assert!(matches!(err, RempError::CheckpointMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_rejects_unfinalized_answered_batch() {
+        let d = generate(&iimb(0.2));
+        let remp = Remp::default();
+        let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let batch = session.next_batch().unwrap().unwrap();
+        session.submit(batch.questions[0].id, oracle_labels(true)).unwrap();
+        let mut checkpoint = session.checkpoint();
+        // Forge the state a live session can never write: every pending
+        // question answered but the batch not folded into the seeds.
+        for p in &mut checkpoint.pending {
+            p.answered = true;
+        }
+        let err = RempSession::resume(&d.kb1, &d.kb2, checkpoint).unwrap_err();
+        assert!(matches!(err, RempError::MalformedCheckpoint(_)), "{err}");
+    }
+
+    #[test]
+    fn malformed_checkpoints_are_reported() {
+        assert!(matches!(
+            SessionCheckpoint::from_json_str("not json"),
+            Err(RempError::MalformedCheckpoint(_))
+        ));
+        assert!(matches!(
+            SessionCheckpoint::from_json_str("{\"version\": 99}"),
+            Err(RempError::MalformedCheckpoint(_))
+        ));
+    }
+}

@@ -19,5 +19,5 @@
 mod platform;
 mod truth;
 
-pub use platform::{FixedErrorCrowd, LabelSource, OracleCrowd, SimulatedCrowd};
+pub use platform::{FixedErrorCrowd, LabelSource, OracleCrowd, QualityStats, SimulatedCrowd};
 pub use truth::{infer_truth, posterior_match_probability, Label, TruthConfig, Verdict};

@@ -39,6 +39,15 @@ pub struct SimulatedCrowd {
 impl SimulatedCrowd {
     /// Creates a pool of `num_workers` workers with qualities uniform in
     /// `[min_quality, max_quality]`, `per_question` labels per question.
+    ///
+    /// # Panics
+    ///
+    /// * if `num_workers` or `per_question` is zero,
+    /// * if either quality bound lies outside `[0, 1]`,
+    /// * if `min_quality > max_quality` — earlier versions silently
+    ///   reordered swapped bounds, which masked caller bugs (a crowd
+    ///   configured as `(0.99, 0.8)` is almost certainly a typo, not a
+    ///   request for the `[0.8, 0.99]` pool).
     pub fn new(
         num_workers: usize,
         min_quality: f64,
@@ -46,11 +55,19 @@ impl SimulatedCrowd {
         per_question: usize,
         seed: u64,
     ) -> Self {
-        assert!(num_workers > 0 && per_question > 0);
+        assert!(num_workers > 0, "a crowd needs at least one worker");
+        assert!(per_question > 0, "each question needs at least one label");
+        assert!(
+            (0.0..=1.0).contains(&min_quality) && (0.0..=1.0).contains(&max_quality),
+            "worker qualities are probabilities; got [{min_quality}, {max_quality}]"
+        );
+        assert!(
+            min_quality <= max_quality,
+            "swapped quality bounds: min_quality {min_quality} > max_quality {max_quality}"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
-        let worker_qualities = (0..num_workers)
-            .map(|_| rng.gen_range(min_quality.min(max_quality)..=max_quality.max(min_quality)))
-            .collect();
+        let worker_qualities =
+            (0..num_workers).map(|_| rng.gen_range(min_quality..=max_quality)).collect();
         SimulatedCrowd { worker_qualities, per_question, rng, asked: 0, labels: 0 }
     }
 
@@ -64,6 +81,31 @@ impl SimulatedCrowd {
     pub fn qualities(&self) -> &[f64] {
         &self.worker_qualities
     }
+
+    /// Summary statistics of the drawn worker pool, for inspection
+    /// before launching a campaign.
+    pub fn quality_stats(&self) -> QualityStats {
+        let qs = &self.worker_qualities;
+        let min = qs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = qs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mean = qs.iter().sum::<f64>() / qs.len() as f64;
+        QualityStats { workers: qs.len(), min, max, mean, per_question: self.per_question }
+    }
+}
+
+/// Summary of a [`SimulatedCrowd`]'s worker pool.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityStats {
+    /// Pool size.
+    pub workers: usize,
+    /// Lowest drawn quality.
+    pub min: f64,
+    /// Highest drawn quality.
+    pub max: f64,
+    /// Mean drawn quality (≈ 1 − expected error rate).
+    pub mean: f64,
+    /// Labels collected per question.
+    pub per_question: usize,
 }
 
 impl LabelSource for SimulatedCrowd {
@@ -243,5 +285,35 @@ mod tests {
     #[should_panic(expected = "adversarial")]
     fn error_rate_above_half_rejected() {
         let _ = FixedErrorCrowd::new(0.6, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "swapped quality bounds")]
+    fn swapped_bounds_rejected() {
+        let _ = SimulatedCrowd::new(10, 0.99, 0.8, 5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn out_of_range_quality_rejected() {
+        let _ = SimulatedCrowd::new(10, 0.8, 1.7, 5, 0);
+    }
+
+    #[test]
+    fn quality_stats_describe_the_pool() {
+        let crowd = SimulatedCrowd::new(200, 0.8, 0.99, 5, 11);
+        let stats = crowd.quality_stats();
+        assert_eq!(stats.workers, 200);
+        assert_eq!(stats.per_question, 5);
+        assert!(stats.min >= 0.8 && stats.max <= 0.99, "{stats:?}");
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+        assert!((stats.mean - 0.895).abs() < 0.02, "uniform draw mean, {stats:?}");
+    }
+
+    #[test]
+    fn degenerate_single_quality_pool_works() {
+        let crowd = SimulatedCrowd::new(5, 0.9, 0.9, 3, 0);
+        let stats = crowd.quality_stats();
+        assert_eq!((stats.min, stats.max), (0.9, 0.9));
     }
 }

@@ -38,7 +38,7 @@ pub fn posterior_match_probability(prior: f64, labels: &[Label]) -> f64 {
 }
 
 /// Thresholds separating matches, non-matches and inconsistent questions.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TruthConfig {
     /// Posterior at or above this is a match (paper: 0.8).
     pub match_threshold: f64,
@@ -100,11 +100,8 @@ mod tests {
 
     #[test]
     fn split_vote_is_inconsistent() {
-        let (verdict, p) = infer_truth(
-            0.5,
-            &labels(0.9, &[true, true, false, false]),
-            &TruthConfig::default(),
-        );
+        let (verdict, p) =
+            infer_truth(0.5, &labels(0.9, &[true, true, false, false]), &TruthConfig::default());
         assert_eq!(verdict, Verdict::Inconsistent);
         assert!((p - 0.5).abs() < 1e-9, "balanced labels cancel, got {p}");
     }
@@ -143,12 +140,15 @@ mod tests {
     fn eq17_closed_form_agrees() {
         // Direct (non-log) evaluation of Eq. 17 for a mixed label set.
         let prior: f64 = 0.6;
-        let lbls =
-            vec![Label::new(0.8, true), Label::new(0.7, false), Label::new(0.9, true)];
-        let pr_w_match: f64 =
-            lbls.iter().map(|l| if l.says_match { l.worker_quality } else { 1.0 - l.worker_quality }).product();
-        let pr_w_non: f64 =
-            lbls.iter().map(|l| if l.says_match { 1.0 - l.worker_quality } else { l.worker_quality }).product();
+        let lbls = vec![Label::new(0.8, true), Label::new(0.7, false), Label::new(0.9, true)];
+        let pr_w_match: f64 = lbls
+            .iter()
+            .map(|l| if l.says_match { l.worker_quality } else { 1.0 - l.worker_quality })
+            .product();
+        let pr_w_non: f64 = lbls
+            .iter()
+            .map(|l| if l.says_match { 1.0 - l.worker_quality } else { l.worker_quality })
+            .product();
         let expected = prior * pr_w_match / (prior * pr_w_match + (1.0 - prior) * pr_w_non);
         let got = posterior_match_probability(prior, &lbls);
         assert!((got - expected).abs() < 1e-9, "{got} vs {expected}");

@@ -64,7 +64,12 @@ fn word(i: usize) -> String {
 /// Restricting commonality to one slot yields realistic collision
 /// structure: many entities share a token (blocking bloat) but full-name
 /// doppelgängers stay rare.
-fn sample_name_token(ti: usize, slot: usize, t: &crate::spec::TypeSpec, rng: &mut StdRng) -> String {
+fn sample_name_token(
+    ti: usize,
+    slot: usize,
+    t: &crate::spec::TypeSpec,
+    rng: &mut StdRng,
+) -> String {
     if slot == 0 && t.common_pool > 0 && rng.gen_bool(t.common_frac.clamp(0.0, 1.0)) {
         word(ti * 10_000 + 5_000 + rng.gen_range(0..t.common_pool))
     } else {
@@ -102,9 +107,7 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
             // *common* pool (given names, frequent title words) with
             // probability `common_frac`, else from the large rare pool —
             // common tokens create the candidate bloat of Table V.
-            let name = (0..n_tokens)
-                .map(|slot| sample_name_token(ti, slot, t, &mut rng))
-                .collect();
+            let name = (0..n_tokens).map(|slot| sample_name_token(ti, slot, t, &mut rng)).collect();
             let isolated = rng.gen_bool(t.isolated_frac.clamp(0.0, 1.0));
             let sloppy = rng.gen_bool(t.sloppy_frac.clamp(0.0, 1.0));
             objects.push(WorldObject {
@@ -120,8 +123,8 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     }
 
     // World attribute values (shared base for both KBs).
-    for oi in 0..objects.len() {
-        let ti = objects[oi].type_idx;
+    for obj in objects.iter_mut() {
+        let ti = obj.type_idx;
         let t = &spec.types[ti];
         for (ai, a) in t.attrs.iter().enumerate() {
             let v = match a.kind {
@@ -141,9 +144,9 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
                     rng.gen_range(1..29),
                 )),
                 AttrKind::Number { min, max } => Value::number(rng.gen_range(min..=max)),
-                AttrKind::Name => Value::text(objects[oi].name.join(" ")),
+                AttrKind::Name => Value::text(obj.name.join(" ")),
             };
-            objects[oi].attrs.push((ai, v));
+            obj.attrs.push((ai, v));
         }
     }
 
@@ -152,11 +155,11 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
         .iter()
         .map(|&(s, e)| (s..e).filter(|&oi| !objects[oi].isolated).collect())
         .collect();
-    for oi in 0..objects.len() {
-        if objects[oi].isolated {
+    for (oi, obj) in objects.iter_mut().enumerate() {
+        if obj.isolated {
             continue;
         }
-        let ti = objects[oi].type_idx;
+        let ti = obj.type_idx;
         let t = spec.types[ti].clone();
         for (ri, r) in t.rels.iter().enumerate() {
             let pool = &non_isolated_of_type[r.target];
@@ -167,7 +170,7 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
             for _ in 0..fanout {
                 let target = pool[rng.gen_range(0..pool.len())];
                 if target != oi {
-                    objects[oi].edges.push((ri, target));
+                    obj.edges.push((ri, target));
                 }
             }
         }
@@ -262,8 +265,7 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
                 let (Some(id), true) = (id, applicable) else { continue };
                 // Sloppy objects miss values more often and corrupt the
                 // ones they have.
-                let present =
-                    if o.sloppy { a.present * 0.55 } else { a.present }.clamp(0.0, 1.0);
+                let present = if o.sloppy { a.present * 0.55 } else { a.present }.clamp(0.0, 1.0);
                 let noise =
                     if o.sloppy { (a.noise * 3.5).max(0.35) } else { a.noise }.clamp(0.0, 1.0);
                 if !rng.gen_bool(present) {
@@ -312,9 +314,8 @@ pub fn generate(spec: &DatasetSpec) -> GeneratedDataset {
     }
 
     // ---- Gold standards -------------------------------------------------
-    let gold: HashSet<(EntityId, EntityId)> = (0..objects.len())
-        .filter_map(|oi| Some((ids1[oi]?, ids2[oi]?)))
-        .collect();
+    let gold: HashSet<(EntityId, EntityId)> =
+        (0..objects.len()).filter_map(|oi| Some((ids1[oi]?, ids2[oi]?))).collect();
 
     let mut gold_attr_matches: Vec<(String, String)> = Vec::new();
     let mut gold_rel_matches: Vec<(String, String)> = Vec::new();

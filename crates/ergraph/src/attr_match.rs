@@ -11,7 +11,7 @@ use remp_simil::sim_l;
 use crate::{hungarian_max_assignment, Candidates, PairId};
 
 /// Configuration for [`match_attributes`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AttrMatchConfig {
     /// Internal `simL` literal-similarity threshold (paper: 0.9).
     pub literal_threshold: f64,
@@ -166,7 +166,7 @@ pub fn match_attributes(
         }
     }
 
-    pairs.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    pairs.sort_by_key(|&(a1, a2, _)| (a1, a2));
     AttrAlignment { pairs }
 }
 

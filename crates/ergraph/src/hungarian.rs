@@ -24,11 +24,7 @@ pub fn hungarian_max_assignment(weights: &[Vec<f64>]) -> Vec<Option<usize>> {
 
     // Minimisation form on cost = max_w − w, padded with cost = max_w
     // (equivalent to weight 0 after the shift).
-    let max_w = weights
-        .iter()
-        .flat_map(|r| r.iter().copied())
-        .fold(0.0f64, f64::max)
-        .max(0.0);
+    let max_w = weights.iter().flat_map(|r| r.iter().copied()).fold(0.0f64, f64::max).max(0.0);
     let cost = |i: usize, j: usize| -> f64 {
         if i < n && j < m {
             max_w - weights[i][j].max(0.0)
@@ -93,8 +89,7 @@ pub fn hungarian_max_assignment(weights: &[Vec<f64>]) -> Vec<Option<usize>> {
     }
 
     let mut assignment = vec![None; n];
-    for j in 1..=size {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().take(size + 1).skip(1) {
         if i >= 1 && i <= n && j <= m {
             assignment[i - 1] = Some(j - 1);
         }
@@ -105,11 +100,7 @@ pub fn hungarian_max_assignment(weights: &[Vec<f64>]) -> Vec<Option<usize>> {
 /// Total weight of an assignment (helper for tests and diagnostics).
 #[cfg(test)]
 pub(crate) fn assignment_weight(weights: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
-    assignment
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &j)| j.map(|j| weights[i][j]))
-        .sum()
+    assignment.iter().enumerate().filter_map(|(i, &j)| j.map(|j| weights[i][j])).sum()
 }
 
 #[cfg(test)]

@@ -87,9 +87,8 @@ mod tests {
     use remp_kb::EntityId;
 
     fn setup(pairs: &[(u32, u32)], comps: &[&[f64]]) -> (Candidates, Vec<SimVec>) {
-        let c = Candidates::from_pairs(
-            pairs.iter().map(|&(l, r)| ((EntityId(l), EntityId(r)), 0.5)),
-        );
+        let c =
+            Candidates::from_pairs(pairs.iter().map(|&(l, r)| ((EntityId(l), EntityId(r)), 0.5)));
         let v = comps.iter().map(|s| SimVec::new(s.to_vec())).collect();
         (c, v)
     }
@@ -124,8 +123,7 @@ mod tests {
     #[test]
     fn shared_non_match_covered_once() {
         // One dominating non-match violates two matches → min cover = 1.
-        let (c, v) =
-            setup(&[(0, 0), (0, 1), (0, 2)], &[&[0.2], &[0.3], &[0.9]]);
+        let (c, v) = setup(&[(0, 0), (0, 1), (0, 2)], &[&[0.2], &[0.3], &[0.9]]);
         let pairs: Vec<PairId> = c.ids().collect();
         let e = monotone_error_rate(&c, &v, &pairs, &[true, true, false]);
         assert!((e - 1.0 / 3.0).abs() < 1e-12);

@@ -105,9 +105,7 @@ mod tests {
 
     /// Builds a candidate set with `left[i]` paired to `right[i]`.
     fn cands(pairs: &[(u32, u32)]) -> Candidates {
-        Candidates::from_pairs(
-            pairs.iter().map(|&(l, r)| ((EntityId(l), EntityId(r)), 0.5)),
-        )
+        Candidates::from_pairs(pairs.iter().map(|&(l, r)| ((EntityId(l), EntityId(r)), 0.5)))
     }
 
     fn vecs(components: &[&[f64]]) -> Vec<SimVec> {

@@ -5,7 +5,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 /// Tree-growing parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TreeConfig {
     /// Maximum depth; `None` grows to purity (sklearn default).
     pub max_depth: Option<usize>,
@@ -27,7 +27,12 @@ enum Node {
     /// Probability of the positive class among training samples reaching
     /// this leaf.
     Leaf(f64),
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A binary CART classifier over dense `f64` feature vectors.
@@ -148,8 +153,8 @@ impl DecisionTree {
                         2.0 * p * (1.0 - p)
                     }
                 };
-                let score =
-                    (left_n / n) * gini(left_n, left_pos) + (right_n / n) * gini(right_n, right_pos);
+                let score = (left_n / n) * gini(left_n, left_pos)
+                    + (right_n / n) * gini(right_n, right_pos);
                 let threshold = 0.5 * (column[w].0 + column[w + 1].0);
                 if best.is_none_or(|(b, _, _)| score < b - 1e-15) {
                     best = Some((score, f, threshold));

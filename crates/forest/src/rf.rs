@@ -7,7 +7,7 @@ use crate::cart::bootstrap_indices;
 use crate::{DecisionTree, TreeConfig};
 
 /// Forest parameters mirroring scikit-learn's defaults.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ForestConfig {
     /// Number of trees (sklearn default 100).
     pub n_trees: usize,
@@ -90,15 +90,10 @@ mod tests {
 
     #[test]
     fn separable_data_classified_perfectly() {
-        let xs: Vec<Vec<f64>> =
-            (0..40).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i * 7 % 13) as f64]).collect();
         let ys: Vec<bool> = (0..40).map(|i| i >= 20).collect();
         let rf = RandomForest::fit(&xs, &ys, &small_config());
-        let acc = xs
-            .iter()
-            .zip(&ys)
-            .filter(|(x, &y)| rf.predict(x) == y)
-            .count() as f64
+        let acc = xs.iter().zip(&ys).filter(|(x, &y)| rf.predict(x) == y).count() as f64
             / xs.len() as f64;
         assert!(acc > 0.95, "train accuracy {acc}");
     }

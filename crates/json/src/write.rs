@@ -1,0 +1,70 @@
+//! Canonical JSON writer.
+
+use std::fmt::{self, Write};
+
+use crate::Json;
+
+pub(crate) fn write_value(value: &Json, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match value {
+        Json::Null => f.write_str("null"),
+        Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
+        Json::UInt(n) => write!(f, "{n}"),
+        Json::Int(n) => write!(f, "{n}"),
+        Json::Num(x) => write_f64(*x, f),
+        Json::Str(s) => write_string(s, f),
+        Json::Arr(items) => {
+            f.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(',')?;
+                }
+                write_value(item, f)?;
+            }
+            f.write_char(']')
+        }
+        Json::Obj(members) => {
+            f.write_char('{')?;
+            for (i, (key, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    f.write_char(',')?;
+                }
+                write_string(key, f)?;
+                f.write_char(':')?;
+                write_value(val, f)?;
+            }
+            f.write_char('}')
+        }
+    }
+}
+
+fn write_f64(x: f64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if !x.is_finite() {
+        // JSON has no NaN/Inf; checkpoints never contain them, but fail
+        // loudly rather than emit an unparseable token.
+        panic!("cannot serialise non-finite number {x}");
+    }
+    // `{:?}` is Rust's shortest round-trip float formatting; ensure the
+    // token stays a float (e.g. 1.0 rather than 1) so types survive.
+    let text = format!("{x:?}");
+    if text.contains(['.', 'e', 'E']) {
+        f.write_str(&text)
+    } else {
+        write!(f, "{text}.0")
+    }
+}
+
+fn write_string(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}

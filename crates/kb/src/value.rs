@@ -171,7 +171,8 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_kind_separated() {
-        let mut vals = vec![Value::number(2.0), Value::text("b"), Value::text("a"), Value::number(1.0)];
+        let mut vals =
+            vec![Value::number(2.0), Value::text("b"), Value::text("a"), Value::number(1.0)];
         vals.sort();
         assert_eq!(
             vals,

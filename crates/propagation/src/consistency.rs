@@ -119,8 +119,7 @@ fn profile_log_likelihood(obs: &[SizeObservation], eps1: f64, eps2: f64) -> f64 
     let logit = (eps1 / (1.0 - eps1)).ln() + (eps2 / (1.0 - eps2)).ln();
     obs.iter()
         .map(|o| {
-            let base =
-                o.n1 as f64 * (1.0 - eps1).ln() + o.n2 as f64 * (1.0 - eps2).ln();
+            let base = o.n1 as f64 * (1.0 - eps1).ln() + o.n2 as f64 * (1.0 - eps2).ln();
             base + best_latent_count(o.n1, o.n2, o.lower, o.upper, logit).1
         })
         .sum()
@@ -148,9 +147,7 @@ pub fn estimate_consistency(observations: &[SizeObservation]) -> Consistency {
     }
 
     let mut best: Option<(f64, Consistency)> = None;
-    for &(init1, init2) in
-        &[(0.1f64, 0.1f64), (0.5, 0.5), (0.9, 0.9), (0.9, 0.1), (0.1, 0.9)]
-    {
+    for &(init1, init2) in &[(0.1f64, 0.1f64), (0.5, 0.5), (0.9, 0.9), (0.9, 0.1), (0.1, 0.9)] {
         let (mut e1, mut e2) = (init1, init2);
         for _ in 0..60 {
             let logit = (e1 / (1.0 - e1)).ln() + (e2 / (1.0 - e2)).ln();
@@ -207,10 +204,7 @@ impl ConsistencyTable {
                              values2: &[EntityId],
                              contains: &dyn Fn(EntityId, EntityId) -> bool|
          -> usize {
-            values1
-                .iter()
-                .map(|&o1| values2.iter().filter(|&&o2| contains(o1, o2)).count())
-                .sum()
+            values1.iter().map(|&o1| values2.iter().filter(|&&o2| contains(o1, o2)).count()).sum()
         };
 
         let mut by_label = HashMap::new();

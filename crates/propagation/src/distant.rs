@@ -121,11 +121,7 @@ impl PartialOrd for MinDist {
 impl Ord for MinDist {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse for min-heap; ties broken by vertex for determinism.
-        other
-            .0
-            .partial_cmp(&self.0)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.1.cmp(&self.1))
+        other.0.partial_cmp(&self.0).unwrap_or(Ordering::Equal).then_with(|| other.1.cmp(&self.1))
     }
 }
 
@@ -141,15 +137,15 @@ pub fn inferred_sets_floyd_warshall(graph: &ProbErGraph, tau: f64) -> InferredSe
     // bt[q]: distances q → p (≤ ζ); bt_inv[q]: distances r → q.
     let mut bt: Vec<BTreeMap<PairId, f64>> = vec![BTreeMap::new(); n];
     let mut bt_inv: Vec<BTreeMap<PairId, f64>> = vec![BTreeMap::new(); n];
-    for q in 0..n {
+    for (q, row) in bt.iter_mut().enumerate() {
         for &(w, p) in graph.edges_from(PairId(q as u32)) {
             if w.index() == q {
                 continue; // self-loops are irrelevant: dist(q,q) = 0
             }
             let Some(len) = length_within(p, zeta) else { continue };
-            let cur = bt[q].get(&w).copied().unwrap_or(f64::INFINITY);
+            let cur = row.get(&w).copied().unwrap_or(f64::INFINITY);
             if len < cur {
-                bt[q].insert(w, len);
+                row.insert(w, len);
                 bt_inv[w.index()].insert(PairId(q as u32), len);
             }
         }

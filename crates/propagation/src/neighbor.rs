@@ -37,7 +37,7 @@ pub struct MatchingCandidate {
 }
 
 /// Tuning knobs for the matching enumeration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PropagationConfig {
     /// Maximum number of partial matchings to enumerate exactly before
     /// falling back to beam search.
@@ -103,10 +103,7 @@ pub fn propagate_to_neighbors(
     let local: Vec<(usize, usize)> = cands
         .iter()
         .map(|c| {
-            (
-                left_ids.binary_search(&c.left).unwrap(),
-                right_ids.binary_search(&c.right).unwrap(),
-            )
+            (left_ids.binary_search(&c.left).unwrap(), right_ids.binary_search(&c.right).unwrap())
         })
         .collect();
 
@@ -149,7 +146,11 @@ pub fn propagate_to_neighbors(
 }
 
 /// Enumerates (or beam-searches) all partial-matching states.
-fn enumerate_states(local: &[(usize, usize)], gain: &[f64], config: &PropagationConfig) -> Vec<State> {
+fn enumerate_states(
+    local: &[(usize, usize)],
+    gain: &[f64],
+    config: &PropagationConfig,
+) -> Vec<State> {
     let n = local.len();
     let mut states = vec![State { used_left: 0, used_right: 0, members: 0, log_score: 0.0 }];
     let mut overflowed = false;
@@ -284,8 +285,7 @@ mod tests {
             }
         }
         let cons = Consistency { eps1: 0.9, eps2: 0.9 };
-        let exact =
-            propagate_to_neighbors(3, 3, &candidates, cons, &PropagationConfig::default());
+        let exact = propagate_to_neighbors(3, 3, &candidates, cons, &PropagationConfig::default());
         let beam = propagate_to_neighbors(
             3,
             3,

@@ -6,9 +6,7 @@ use std::collections::HashMap;
 use remp_ergraph::{Candidates, Direction, ErGraph, PairId};
 use remp_kb::{EntityId, Kb};
 
-use crate::{
-    propagate_to_neighbors, ConsistencyTable, MatchingCandidate, PropagationConfig,
-};
+use crate::{propagate_to_neighbors, ConsistencyTable, MatchingCandidate, PropagationConfig};
 
 /// A directed graph over candidate pairs where each edge `v → w` carries
 /// `Pr[m_w | m_v]` (paper §IV-A "probabilistic ER graph").
@@ -163,7 +161,8 @@ mod tests {
         let lbl1 = b1.add_attr("label");
         let lbl2 = b2.add_attr("label");
 
-        for (b, born, acted, lbl) in [(&mut b1, born1, acted1, lbl1), (&mut b2, born2, acted2, lbl2)]
+        for (b, born, acted, lbl) in
+            [(&mut b1, born1, acted1, lbl1), (&mut b2, born2, acted2, lbl2)]
         {
             let joan = b.add_entity("Joan");
             let nyc = b.add_entity("NYC");
@@ -190,14 +189,8 @@ mod tests {
         let cons = ConsistencyTable::from_entries(
             graph.labels().map(|(id, _)| (id, Consistency { eps1: 0.95, eps2: 0.95 })),
         );
-        let pg = ProbErGraph::build(
-            &kb1,
-            &kb2,
-            &cands,
-            &graph,
-            &cons,
-            &PropagationConfig::default(),
-        );
+        let pg =
+            ProbErGraph::build(&kb1, &kb2, &cands, &graph, &cons, &PropagationConfig::default());
         let joan = cands.id_of((EntityId(0), EntityId(0))).unwrap();
         let nyc = cands.id_of((EntityId(1), EntityId(1))).unwrap();
         assert!(pg.edge_prob(joan, nyc) > 0.8, "got {}", pg.edge_prob(joan, nyc));
@@ -211,14 +204,8 @@ mod tests {
         let cons = ConsistencyTable::from_entries(
             graph.labels().map(|(id, _)| (id, Consistency { eps1: 0.9, eps2: 0.9 })),
         );
-        let pg = ProbErGraph::build(
-            &kb1,
-            &kb2,
-            &cands,
-            &graph,
-            &cons,
-            &PropagationConfig::default(),
-        );
+        let pg =
+            ProbErGraph::build(&kb1, &kb2, &cands, &graph, &cons, &PropagationConfig::default());
         let nyc = cands.id_of((EntityId(1), EntityId(1))).unwrap();
         let cradle = cands.id_of((EntityId(2), EntityId(2))).unwrap();
         assert_eq!(pg.edge_prob(nyc, cradle), 0.0);
@@ -243,10 +230,8 @@ mod tests {
 
     #[test]
     fn from_edges_keeps_max_parallel() {
-        let pg = ProbErGraph::from_edges(
-            3,
-            [(PairId(0), PairId(1), 0.3), (PairId(0), PairId(1), 0.8)],
-        );
+        let pg =
+            ProbErGraph::from_edges(3, [(PairId(0), PairId(1), 0.3), (PairId(0), PairId(1), 0.8)]);
         assert_eq!(pg.edge_prob(PairId(0), PairId(1)), 0.8);
         assert_eq!(pg.num_edges(), 1);
     }

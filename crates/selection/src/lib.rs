@@ -22,6 +22,61 @@ use std::collections::BinaryHeap;
 use remp_ergraph::PairId;
 use remp_propagation::InferredSets;
 
+/// Which question-selection policy a session's [`select_batch`] uses.
+///
+/// [`BatchStrategy::Benefit`] is the paper's Algorithm 3 and the default;
+/// the two heuristics are the §VIII-B baselines, exposed so callers (the
+/// session API, the Fig. 5 harness) can swap policies per run without
+/// re-implementing the selection loop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BatchStrategy {
+    /// Lazy-greedy expected-benefit maximisation (Algorithm 3).
+    #[default]
+    Benefit,
+    /// Maximal inference power, ignoring match probability.
+    MaxInf,
+    /// Maximal match probability, ignoring inference power.
+    MaxPr,
+}
+
+impl BatchStrategy {
+    /// Stable identifier, used by checkpoints and display.
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchStrategy::Benefit => "benefit",
+            BatchStrategy::MaxInf => "max_inf",
+            BatchStrategy::MaxPr => "max_pr",
+        }
+    }
+
+    /// Inverse of [`BatchStrategy::name`].
+    pub fn from_name(name: &str) -> Option<BatchStrategy> {
+        match name {
+            "benefit" => Some(BatchStrategy::Benefit),
+            "max_inf" => Some(BatchStrategy::MaxInf),
+            "max_pr" => Some(BatchStrategy::MaxPr),
+            _ => None,
+        }
+    }
+}
+
+/// Selects at most `mu` questions under the given policy — the single
+/// entry point the session state machine calls each loop.
+pub fn select_batch(
+    strategy: BatchStrategy,
+    candidates: &[PairId],
+    inferred: &InferredSets,
+    priors: &[f64],
+    eligible: &[bool],
+    mu: usize,
+) -> Vec<PairId> {
+    match strategy {
+        BatchStrategy::Benefit => select_questions(candidates, inferred, priors, eligible, mu),
+        BatchStrategy::MaxInf => max_inf_questions(candidates, inferred, eligible, mu),
+        BatchStrategy::MaxPr => max_pr_questions(candidates, priors, mu),
+    }
+}
+
 /// Expected number of inferred matches for the question set `Q`
 /// (Eqs. 15–16). `priors[p]` is `Pr[m_p]` indexed by pair id; `eligible`
 /// marks the unresolved pairs `C` that count toward the benefit.
@@ -41,12 +96,7 @@ pub fn benefit(
             }
         }
     }
-    eligible
-        .iter()
-        .enumerate()
-        .filter(|&(_, &e)| e)
-        .map(|(p, _)| 1.0 - not_covered[p])
-        .sum()
+    eligible.iter().enumerate().filter(|&(_, &e)| e).map(|(p, _)| 1.0 - not_covered[p]).sum()
 }
 
 /// Max-heap entry: cached marginal gain of a candidate question.
@@ -200,8 +250,7 @@ pub fn max_inf_questions(
     let mut scored: Vec<(usize, PairId)> = candidates
         .iter()
         .map(|&q| {
-            let size =
-                inferred.inferred(q).iter().filter(|&&(p, _)| eligible[p.index()]).count();
+            let size = inferred.inferred(q).iter().filter(|&&(p, _)| eligible[p.index()]).count();
             (size, q)
         })
         .collect();
@@ -301,6 +350,36 @@ mod tests {
     fn max_pr_picks_highest_prior() {
         let q = max_pr_questions(&[PairId(0), PairId(1)], &[0.2, 0.9], 1);
         assert_eq!(q, vec![PairId(1)]);
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in [BatchStrategy::Benefit, BatchStrategy::MaxInf, BatchStrategy::MaxPr] {
+            assert_eq!(BatchStrategy::from_name(s.name()), Some(s));
+        }
+        assert_eq!(BatchStrategy::from_name("bogus"), None);
+        assert_eq!(BatchStrategy::default(), BatchStrategy::Benefit);
+    }
+
+    #[test]
+    fn select_batch_dispatches_per_strategy() {
+        // q0 has big inference power, q4 the highest prior.
+        let inf = sets(5, &[(0, 1, 0.95), (0, 2, 0.95), (0, 3, 0.95)], 0.9);
+        let priors = [0.6, 0.5, 0.5, 0.5, 0.95];
+        let cands = [PairId(0), PairId(4)];
+        let eligible = [true; 5];
+        assert_eq!(
+            select_batch(BatchStrategy::MaxInf, &cands, &inf, &priors, &eligible, 1),
+            vec![PairId(0)]
+        );
+        assert_eq!(
+            select_batch(BatchStrategy::MaxPr, &cands, &inf, &priors, &eligible, 1),
+            vec![PairId(4)]
+        );
+        assert_eq!(
+            select_batch(BatchStrategy::Benefit, &cands, &inf, &priors, &eligible, 1),
+            select_questions(&cands, &inf, &priors, &eligible, 1)
+        );
     }
 
     fn arb_instance() -> impl Strategy<Value = (InferredSets, Vec<f64>, Vec<PairId>)> {

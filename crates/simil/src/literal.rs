@@ -32,9 +32,7 @@ pub fn numeric_similarity(a: f64, b: f64) -> f64 {
 ///   routinely store numbers as strings), otherwise 0.0.
 pub fn literal_similarity(a: &Value, b: &Value) -> f64 {
     match (a, b) {
-        (Value::Text(x), Value::Text(y)) => {
-            jaccard(&normalize_tokens(x), &normalize_tokens(y))
-        }
+        (Value::Text(x), Value::Text(y)) => jaccard(&normalize_tokens(x), &normalize_tokens(y)),
         (Value::Number(x), Value::Number(y)) => numeric_similarity(*x, *y),
         (Value::Text(x), Value::Number(y)) | (Value::Number(y), Value::Text(x)) => {
             match x.trim().parse::<f64>() {

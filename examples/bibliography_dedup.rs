@@ -33,10 +33,21 @@ fn main() {
     );
     let truth = |u1, u2| dataset.is_match(u1, u2);
 
-    // --- Remp ---
+    // --- Remp, through the session API on the shared stage-1 output ---
+    // (`remp.run_prepared(...)` collapses this loop into one call; the
+    // session form is what a real crowd deployment would drive.)
     let mut crowd = SimulatedCrowd::paper_default(1);
     let remp = Remp::new(config.clone());
-    let outcome = remp.run_prepared(&dataset.kb1, &dataset.kb2, prep.clone(), &truth, &mut crowd);
+    let mut session = remp
+        .begin_prepared(&dataset.kb1, &dataset.kb2, prep.clone())
+        .expect("default config is valid");
+    while let Some(batch) = session.next_batch().expect("fresh session") {
+        for q in &batch.questions {
+            let labels = crowd.label(truth(q.pair.0, q.pair.1));
+            session.submit(q.id, labels).expect("fresh question id");
+        }
+    }
+    let outcome = session.finish();
     let remp_eval = evaluate_matches(outcome.matches.iter().copied(), &dataset.gold);
     println!(
         "Remp    : F1 {:>5.1}%  #Q {:>4}  (#loops {})",
@@ -47,7 +58,8 @@ fn main() {
 
     // --- POWER ---
     let mut crowd = SimulatedCrowd::paper_default(1);
-    let pow = power(&prep.candidates, &prep.sim_vectors, &truth, &mut crowd, &PowerConfig::default());
+    let pow =
+        power(&prep.candidates, &prep.sim_vectors, &truth, &mut crowd, &PowerConfig::default());
     let pow_eval = evaluate_matches(pow.matches.iter().copied(), &dataset.gold);
     println!("POWER   : F1 {:>5.1}%  #Q {:>4}", 100.0 * pow_eval.f1, pow.questions);
 
@@ -56,10 +68,7 @@ fn main() {
     let sig_eval = evaluate_matches(sig.matches.iter().copied(), &dataset.gold);
     println!("SiGMa   : F1 {:>5.1}%  #Q    0 (machine-only)", 100.0 * sig_eval.f1);
 
-    println!(
-        "\ncrowd labels collected across runs: {}",
-        crowd.labels_collected()
-    );
+    println!("\ncrowd labels collected across runs: {}", crowd.labels_collected());
     println!(
         "Expected shape (paper §VIII-A): Remp's F1 leads but its question\n\
          advantage is small here — one relationship type limits propagation."

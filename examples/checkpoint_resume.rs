@@ -1,0 +1,98 @@
+//! Interrupt and resume a crowd campaign across *processes*.
+//!
+//! First run: opens a session, answers one batch, writes a JSON
+//! checkpoint to a temp file and exits — as if the campaign host went
+//! down overnight while HITs were still out.
+//!
+//! Second run: finds the checkpoint, resumes the session, drains it to
+//! completion, and proves the outcome is identical to an uninterrupted
+//! run on the same data.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_resume   # pass 1: checkpoint
+//! cargo run --release --example checkpoint_resume   # pass 2: resume
+//! ```
+
+use std::path::PathBuf;
+
+use remp::core::{Remp, RempConfig, RempSession, SessionCheckpoint};
+use remp::crowd::{LabelSource, OracleCrowd};
+use remp::datasets::{generate, iimb, GeneratedDataset};
+
+fn checkpoint_path() -> PathBuf {
+    std::env::temp_dir().join("remp-checkpoint-demo.json")
+}
+
+fn drain(session: &mut RempSession<'_>, d: &GeneratedDataset, crowd: &mut dyn LabelSource) {
+    while let Some(batch) = session.next_batch().expect("resumed sessions drain cleanly") {
+        for q in &batch.questions {
+            let labels = crowd.label(d.is_match(q.pair.0, q.pair.1));
+            session.submit(q.id, labels).expect("fresh question id");
+        }
+    }
+}
+
+fn main() {
+    // Both processes regenerate the same world: the checkpoint stores
+    // only the dynamic campaign state, stage 1 is deterministic.
+    let dataset = generate(&iimb(0.5));
+    let remp = Remp::new(RempConfig::default());
+    let path = checkpoint_path();
+
+    if !path.exists() {
+        // ---- pass 1: start the campaign, then "crash" mid-way ----
+        let mut session = remp.begin(&dataset.kb1, &dataset.kb2).expect("valid config");
+        let mut crowd = OracleCrowd::new();
+        if let Some(batch) = session.next_batch().expect("fresh session") {
+            println!("loop 0: answering {} questions…", batch.questions.len());
+            for q in &batch.questions {
+                let labels = crowd.label(dataset.is_match(q.pair.0, q.pair.1));
+                session.submit(q.id, labels).expect("fresh question id");
+            }
+        }
+        std::fs::write(&path, session.checkpoint().to_json_string()).expect("temp dir is writable");
+        println!(
+            "campaign interrupted after {} questions / {} loop(s);\ncheckpoint written to {}",
+            session.questions_asked(),
+            session.loops(),
+            path.display()
+        );
+        println!("run this example again to resume.");
+        return;
+    }
+
+    // ---- pass 2: resume from the checkpoint and finish ----
+    let text = std::fs::read_to_string(&path).expect("checkpoint file readable");
+    let checkpoint = SessionCheckpoint::from_json_str(&text).expect("well-formed checkpoint");
+    let mut session =
+        RempSession::resume(&dataset.kb1, &dataset.kb2, checkpoint).expect("matching KBs");
+    println!(
+        "resumed at {} questions / {} loop(s); continuing…",
+        session.questions_asked(),
+        session.loops()
+    );
+    let mut crowd = OracleCrowd::new();
+    drain(&mut session, &dataset, &mut crowd);
+    let resumed = session.finish();
+
+    // Reference: the same campaign uninterrupted (oracle labels are
+    // deterministic, so the comparison is exact).
+    let mut crowd = OracleCrowd::new();
+    let uninterrupted =
+        remp.run(&dataset.kb1, &dataset.kb2, &|a, b| dataset.is_match(a, b), &mut crowd);
+
+    println!(
+        "resumed outcome:       {} matches, #Q {}, #L {}",
+        resumed.matches.len(),
+        resumed.questions_asked,
+        resumed.loops
+    );
+    println!(
+        "uninterrupted outcome: {} matches, #Q {}, #L {}",
+        uninterrupted.matches.len(),
+        uninterrupted.questions_asked,
+        uninterrupted.loops
+    );
+    println!("identical: {}", resumed == uninterrupted);
+    let _ = std::fs::remove_file(&path);
+}

@@ -11,6 +11,8 @@
 //! cargo run --release --example movie_alignment
 //! ```
 
+use remp::core::{Remp, RempConfig};
+use remp::crowd::Label;
 use remp::ergraph::{generate_candidates, ErGraph};
 use remp::kb::{Kb, KbBuilder, Value};
 use remp::propagation::{
@@ -108,5 +110,35 @@ fn main() {
     println!(
         "\ncross-type propagation person→movie→person→city: {}",
         if reaches_city { "reached New York City ✓" } else { "not reached ✗" }
+    );
+
+    // Stage 4, through the public session API: the same scenario driven
+    // end to end. The session hands us the Tim question first (highest
+    // expected benefit) and one truthful answer resolves the whole
+    // component through propagation — no further batch is needed.
+    println!("\n--- the same alignment through the session API ---");
+    let remp = Remp::new(RempConfig::default().with_mu(1));
+    let mut session = remp.begin(&yago, &dbpedia).expect("default config is valid");
+    while let Some(batch) = session.next_batch().expect("fresh session") {
+        for question in &batch.questions {
+            println!(
+                "loop {}: asking workers about (y:{} ≃ d:{})",
+                batch.loop_index, question.context.label1, question.context.label2
+            );
+            // Everything matches by construction in Fig. 1's world.
+            let receipt = session
+                .submit(question.id, vec![Label::new(0.95, true)])
+                .expect("fresh question id");
+            for (u1, u2) in &receipt.propagated {
+                println!("  ⇒ inferred (y:{} ≃ d:{})", yago.label(*u1), dbpedia.label(*u2));
+            }
+        }
+    }
+    let outcome = session.finish();
+    println!(
+        "{} matches from {} question(s) in {} loop(s)",
+        outcome.matches.len(),
+        outcome.questions_asked,
+        outcome.loops
     );
 }

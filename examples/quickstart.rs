@@ -1,15 +1,15 @@
-//! Quickstart: run the full Remp pipeline on a small synthetic benchmark
-//! with a simulated crowd and print quality/cost numbers.
+//! Quickstart: drive the Remp crowd loop yourself through the session
+//! API on a small synthetic benchmark, then print quality/cost numbers.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use remp::core::{evaluate_matches, MatchSource, Remp, RempConfig, Resolution};
+use remp::core::{evaluate_matches, MatchSource, Remp, RempConfig, RempError, Resolution};
 use remp::crowd::{LabelSource, SimulatedCrowd};
 use remp::datasets::{generate, iimb};
 
-fn main() {
+fn main() -> Result<(), RempError> {
     // 1. A two-KB world shaped like the paper's IIMB benchmark (365
     //    entities per KB at scale 1.0).
     let dataset = generate(&iimb(1.0));
@@ -20,14 +20,33 @@ fn main() {
     // 2. A crowd of 100 simulated workers with qualities in [0.8, 0.99];
     //    every question is answered by 5 of them (the paper's MTurk setup).
     let mut crowd = SimulatedCrowd::paper_default(42);
+    println!("crowd: {:?}", crowd.quality_stats());
 
-    // 3. Run the four-stage loop: ER-graph construction → relational match
-    //    propagation → multiple questions selection → truth inference.
+    // 3. Open a session: stage 1 (ER-graph construction) runs here. The
+    //    caller owns the human-machine loop from now on — in production
+    //    the questions would go to a real platform and the answers would
+    //    come back asynchronously; `submit` accepts them in any order.
     let remp = Remp::new(RempConfig::default());
-    let outcome =
-        remp.run(&dataset.kb1, &dataset.kb2, &|u1, u2| dataset.is_match(u1, u2), &mut crowd);
+    let mut session = remp.begin(&dataset.kb1, &dataset.kb2)?;
+    while let Some(batch) = session.next_batch()? {
+        print!("loop {:>3}: {:>2} questions", batch.loop_index, batch.questions.len());
+        let mut propagated = 0usize;
+        for question in &batch.questions {
+            // `question.context` carries the entity labels a crowd UI
+            // would display; the simulation answers from hidden truth.
+            let (u1, u2) = question.pair;
+            let labels = crowd.label(dataset.is_match(u1, u2));
+            let receipt = session.submit(question.id, labels)?;
+            propagated += receipt.propagated.len();
+        }
+        println!(", {propagated:>3} matches propagated (Eq. 11)");
+    }
 
-    // 4. Report.
+    // 4. Close out: the isolated-pair classifier (§VII-B) mops up what
+    //    propagation cannot reach.
+    let outcome = session.finish();
+
+    // 5. Report.
     let eval = evaluate_matches(outcome.matches.iter().copied(), &dataset.gold);
     let by_source = |src: MatchSource| {
         outcome.resolutions.iter().filter(|r| **r == Resolution::Match(src)).count()
@@ -49,4 +68,5 @@ fn main() {
         100.0 * eval.recall,
         100.0 * eval.f1
     );
+    Ok(())
 }

@@ -9,7 +9,11 @@
 //! cargo run --release --example worker_quality
 //! ```
 
-use remp::crowd::{infer_truth, FixedErrorCrowd, LabelSource, TruthConfig, Verdict};
+use remp::core::{Remp, RempConfig};
+use remp::crowd::{
+    infer_truth, FixedErrorCrowd, LabelSource, SimulatedCrowd, TruthConfig, Verdict,
+};
+use remp::datasets::{generate, iimb};
 
 fn main() {
     let config = TruthConfig::default();
@@ -54,5 +58,39 @@ fn main() {
         "\nReading: with 5 labels/question (the paper's setting) even a 25%\n\
          error rate yields mostly-correct verdicts; singleton labels are\n\
          decisive but err at exactly the worker error rate."
+    );
+
+    // The same Eq. 17 machinery in situ: drive a session and tally the
+    // verdicts coming back from `submit` — each receipt carries the
+    // verdict and posterior the pipeline acted on.
+    let dataset = generate(&iimb(0.4));
+    let mut crowd = SimulatedCrowd::paper_default(7);
+    let stats = crowd.quality_stats();
+    println!(
+        "\nlive session with {} workers (quality {:.2}–{:.2}, mean {:.2}, {} labels/question):",
+        stats.workers, stats.min, stats.max, stats.mean, stats.per_question
+    );
+    let remp = Remp::new(RempConfig::default());
+    let mut session = remp.begin(&dataset.kb1, &dataset.kb2).expect("default config is valid");
+    let (mut matches, mut non_matches, mut hard) = (0usize, 0usize, 0usize);
+    while let Some(batch) = session.next_batch().expect("fresh session") {
+        for q in &batch.questions {
+            let labels = crowd.label(dataset.is_match(q.pair.0, q.pair.1));
+            let receipt = session.submit(q.id, labels).expect("fresh question id");
+            match receipt.verdict {
+                Verdict::Match => matches += 1,
+                Verdict::NonMatch => non_matches += 1,
+                Verdict::Inconsistent => hard += 1,
+            }
+        }
+    }
+    let outcome = session.finish();
+    println!(
+        "  {} questions → {} match, {} non-match, {} inconsistent (hard)",
+        outcome.questions_asked, matches, non_matches, hard
+    );
+    println!(
+        "  hard questions stay unresolved with a lowered prior — the loop\n\
+         re-asks them only if their expected benefit climbs back up."
     );
 }

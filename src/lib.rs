@@ -7,20 +7,67 @@
 //! across entity types, which transitivity- and monotonicity-based
 //! crowdsourced ER cannot do.
 //!
-//! ## Quick start
+//! ## Quick start: the session API
+//!
+//! The paper's human-machine loop is asynchronous — questions are posted
+//! to a crowd platform and answers trickle back — so the primary
+//! interface inverts the control flow: *you* own the loop. A
+//! [`core::RempSession`] hands you typed [`core::Question`]s in batches;
+//! you collect worker [`crowd::Label`]s however you like (MTurk, an
+//! internal tool, a simulation) and submit them back; truth inference
+//! (Eq. 17) and relational match propagation (Eq. 11) run incrementally
+//! as each answer lands.
 //!
 //! ```
 //! use remp::datasets::{generate, iimb};
-//! use remp::core::{Remp, RempConfig, evaluate_matches};
-//! use remp::crowd::SimulatedCrowd;
+//! use remp::core::{evaluate_matches, Remp, RempConfig};
+//! use remp::crowd::{LabelSource, SimulatedCrowd};
 //!
-//! // A two-KB world shaped like the paper's IIMB benchmark.
+//! // A two-KB world shaped like the paper's IIMB benchmark, and a
+//! // mixed-quality simulated crowd (5 labels per question).
 //! let dataset = generate(&iimb(0.1));
-//!
-//! // A mixed-quality simulated crowd (5 labels per question).
 //! let mut crowd = SimulatedCrowd::paper_default(42);
 //!
-//! // Run the four-stage pipeline to convergence.
+//! // Stage 1 (ER-graph construction) runs in `begin`; stages 2–4 run
+//! // lazily as the session is driven.
+//! let remp = Remp::new(RempConfig::default());
+//! let mut session = remp.begin(&dataset.kb1, &dataset.kb2)?;
+//! while let Some(batch) = session.next_batch()? {
+//!     for question in &batch.questions {
+//!         // A real deployment posts `question.context` to workers and
+//!         // submits their answers whenever they arrive — even out of
+//!         // order, or after a checkpoint/resume round trip.
+//!         let (u1, u2) = question.pair;
+//!         let labels = crowd.label(dataset.is_match(u1, u2));
+//!         session.submit(question.id, labels)?;
+//!     }
+//! }
+//! let outcome = session.finish(); // isolated-pair classifier + results
+//!
+//! let eval = evaluate_matches(outcome.matches.iter().copied(), &dataset.gold);
+//! println!("F1 = {:.3} with {} questions", eval.f1, outcome.questions_asked);
+//! assert!(outcome.questions_asked > 0);
+//! # Ok::<(), remp::core::RempError>(())
+//! ```
+//!
+//! Long campaigns can pause and resume:
+//! [`core::RempSession::checkpoint`] serializes the dynamic state to a
+//! small JSON document and [`core::RempSession::resume`] picks the
+//! campaign back up from it.
+//!
+//! ## Convenience path: `Remp::run`
+//!
+//! When a simulated crowd is all you need (tests, benches, the paper's
+//! experiments), [`core::Remp::run`] drains a session against a
+//! [`crowd::LabelSource`] in one call:
+//!
+//! ```
+//! use remp::datasets::{generate, iimb};
+//! use remp::core::{Remp, RempConfig};
+//! use remp::crowd::SimulatedCrowd;
+//!
+//! let dataset = generate(&iimb(0.1));
+//! let mut crowd = SimulatedCrowd::paper_default(42);
 //! let remp = Remp::new(RempConfig::default());
 //! let outcome = remp.run(
 //!     &dataset.kb1,
@@ -28,9 +75,6 @@
 //!     &|u1, u2| dataset.is_match(u1, u2),
 //!     &mut crowd,
 //! );
-//!
-//! let eval = evaluate_matches(outcome.matches.iter().copied(), &dataset.gold);
-//! println!("F1 = {:.3} with {} questions", eval.f1, outcome.questions_asked);
 //! assert!(outcome.questions_asked > 0);
 //! ```
 //!

@@ -20,11 +20,7 @@ fn dblp_acm_asymmetry_and_single_relationship() {
     assert!(d.kb2.num_entities() > 3 * d.kb1.num_entities(), "KB2 ≫ KB1");
     assert_eq!(d.kb1.num_rels(), 1, "one relationship type drives §VIII-A obs. 4");
     // Clean labels: high initial-match fraction among gold.
-    let exact = d
-        .gold
-        .iter()
-        .filter(|&&(a, b)| d.kb1.label(a) == d.kb2.label(b))
-        .count();
+    let exact = d.gold.iter().filter(|&&(a, b)| d.kb1.label(a) == d.kb2.label(b)).count();
     assert!(exact * 2 > d.num_gold(), "most D-A labels match exactly");
 }
 
@@ -33,10 +29,7 @@ fn imdb_yago_heterogeneous_schema() {
     let d = generate(&imdb_yago(1.0));
     assert_eq!(d.gold_attr_matches.len(), 4, "Table IV: 4 reference matches");
     assert!(d.kb2.num_attrs() >= d.kb1.num_attrs(), "YAGO side carries the junk tail");
-    assert!(
-        d.kb1.num_rels() != d.kb2.num_rels(),
-        "relationship vocabularies differ across KBs"
-    );
+    assert!(d.kb1.num_rels() != d.kb2.num_rels(), "relationship vocabularies differ across KBs");
 }
 
 #[test]
@@ -45,10 +38,7 @@ fn dbpedia_yago_missing_labels_cap_pc() {
     assert_eq!(d.gold_attr_matches.len(), 19, "Table IV: 19 reference matches");
     let config = RempConfig::default();
     let prep = prepare(&d.kb1, &d.kb2, &config);
-    let pc = pair_completeness(
-        prep.candidates.ids().map(|p| prep.candidates.pair(p)),
-        &d.gold,
-    );
+    let pc = pair_completeness(prep.candidates.ids().map(|p| prep.candidates.pair(p)), &d.gold);
     assert!(pc < 0.95, "missing labels must cap PC, got {pc}");
     assert!(pc > 0.7, "PC should stay usable, got {pc}");
     // D-Y has the largest isolated share.
@@ -61,11 +51,7 @@ fn presets_scale_coherently() {
     for preset in [iimb(0.5), dblp_acm(0.5), imdb_yago(0.5), dbpedia_yago(0.5)] {
         let small = generate(&preset);
         assert!(small.num_gold() > 0, "{}: empty gold at scale 0.5", small.name);
-        assert!(
-            small.kb1.num_rel_triples() > 0,
-            "{}: presets must stay relational",
-            small.name
-        );
+        assert!(small.kb1.num_rel_triples() > 0, "{}: presets must stay relational", small.name);
         // Gold standard is 1:1 and references valid ids.
         for &(u1, u2) in &small.gold {
             assert!(u1.index() < small.kb1.num_entities());

@@ -35,7 +35,8 @@ fn remp_beats_power_on_question_count_iimb() {
     let remp_eval = evaluate_matches(remp_out.matches.iter().copied(), &d.gold);
 
     let mut crowd = SimulatedCrowd::paper_default(11);
-    let pow = power(&prep.candidates, &prep.sim_vectors, &truth, &mut crowd, &PowerConfig::default());
+    let pow =
+        power(&prep.candidates, &prep.sim_vectors, &truth, &mut crowd, &PowerConfig::default());
     let pow_eval = evaluate_matches(pow.matches.iter().copied(), &d.gold);
 
     assert!(
@@ -68,10 +69,7 @@ fn error_tolerance_across_crowd_error_rates() {
     for (i, f1) in f1s.iter().enumerate() {
         assert!(*f1 > 0.8, "error level {i}: F1 {f1}");
     }
-    assert!(
-        f1s[0] - f1s[2] < 0.12,
-        "F1 should be robust to error rate: {f1s:?}"
-    );
+    assert!(f1s[0] - f1s[2] < 0.12, "F1 should be robust to error rate: {f1s:?}");
 }
 
 #[test]

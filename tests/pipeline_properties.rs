@@ -11,19 +11,17 @@ use remp::datasets::{generate, AttrSpec, DatasetSpec, RelSpec, TypeSpec};
 /// A small random two-type world.
 fn arb_spec() -> impl Strategy<Value = DatasetSpec> {
     (
-        10usize..40,          // persons
-        5usize..15,           // places
-        0.0f64..0.3,          // label noise
-        0.0f64..0.4,          // isolated fraction
-        0.3f64..1.0,          // kb2 keep
-        any::<u64>(),         // seed
+        10usize..40,  // persons
+        5usize..15,   // places
+        0.0f64..0.3,  // label noise
+        0.0f64..0.4,  // isolated fraction
+        0.3f64..1.0,  // kb2 keep
+        any::<u64>(), // seed
     )
         .prop_map(|(n_person, n_place, noise, iso, keep2, seed)| {
             let mut person = TypeSpec::new("person", n_person);
-            person.attrs = vec![
-                AttrSpec::name("name", "label"),
-                AttrSpec::year("born", "birthDate"),
-            ];
+            person.attrs =
+                vec![AttrSpec::name("name", "label"), AttrSpec::year("born", "birthDate")];
             person.rels = vec![RelSpec::new("bornIn", "birthPlace", 1, (1, 1))];
             person.isolated_frac = iso;
             person.kb2_keep = keep2;

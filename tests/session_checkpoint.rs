@@ -1,0 +1,149 @@
+//! Checkpoint/resume of long crowd campaigns: a session serialized
+//! mid-campaign, round-tripped through its JSON checkpoint and resumed
+//! must finish with exactly the outcome of an uninterrupted run.
+
+use remp::core::{Remp, RempConfig, RempError, RempSession, SessionCheckpoint};
+use remp::crowd::{LabelSource, OracleCrowd, SimulatedCrowd};
+use remp::datasets::{dblp_acm, generate, iimb, GeneratedDataset};
+
+fn answer_batch(
+    session: &mut RempSession<'_>,
+    d: &GeneratedDataset,
+    crowd: &mut dyn LabelSource,
+    batch: &remp::core::Batch,
+) {
+    for q in &batch.questions {
+        let labels = crowd.label(d.is_match(q.pair.0, q.pair.1));
+        session.submit(q.id, labels).unwrap();
+    }
+}
+
+fn drain(session: &mut RempSession<'_>, d: &GeneratedDataset, crowd: &mut dyn LabelSource) {
+    while let Some(batch) = session.next_batch().unwrap() {
+        answer_batch(session, d, crowd, &batch);
+    }
+}
+
+/// Interrupts after `batches_before` complete batches, round-trips the
+/// session through JSON, and finishes; the outcome must match an
+/// uninterrupted `Remp::run` with the same crowd seed.
+fn interrupted_run_matches(d: &GeneratedDataset, config: RempConfig, batches_before: usize) {
+    let remp = Remp::new(config);
+    let crowd_seed = 99;
+
+    // Uninterrupted reference.
+    let mut crowd = SimulatedCrowd::paper_default(crowd_seed);
+    let reference = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+
+    // Interrupted: same crowd stream, session checkpointed in between.
+    let mut crowd = SimulatedCrowd::paper_default(crowd_seed);
+    let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+    for _ in 0..batches_before {
+        match session.next_batch().unwrap() {
+            Some(batch) => answer_batch(&mut session, d, &mut crowd, &batch),
+            None => break,
+        }
+    }
+    let text = session.checkpoint().to_json_string();
+    drop(session);
+
+    let checkpoint = SessionCheckpoint::from_json_str(&text).unwrap();
+    let mut resumed = RempSession::resume(&d.kb1, &d.kb2, checkpoint).unwrap();
+    drain(&mut resumed, d, &mut crowd);
+    let outcome = resumed.finish();
+
+    assert_eq!(outcome, reference, "resumed campaign must match the uninterrupted one");
+    assert!(outcome.questions_asked > 0);
+}
+
+#[test]
+fn resume_after_two_batches_matches_iimb() {
+    let d = generate(&iimb(0.4));
+    interrupted_run_matches(&d, RempConfig::default(), 2);
+}
+
+#[test]
+fn resume_after_one_batch_matches_dblp_acm() {
+    let d = generate(&dblp_acm(0.3));
+    interrupted_run_matches(&d, RempConfig::default(), 1);
+}
+
+#[test]
+fn resume_mid_batch_preserves_open_questions() {
+    let d = generate(&iimb(0.3));
+    let remp = Remp::default();
+
+    // Reference: uninterrupted oracle-driven session.
+    let mut crowd = OracleCrowd::new();
+    let reference = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+
+    // Interrupted *inside* a batch: half the answers land, then the
+    // campaign stops and resumes from JSON.
+    let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+    let batch = session.next_batch().unwrap().expect("IIMB asks questions");
+    let half = batch.questions.len() / 2;
+    for q in &batch.questions[..half] {
+        session
+            .submit(q.id, vec![remp::crowd::Label::new(0.999, d.is_match(q.pair.0, q.pair.1))])
+            .unwrap();
+    }
+    assert_eq!(session.open_questions().len(), batch.questions.len() - half);
+    let text = session.checkpoint().to_json_string();
+    drop(session);
+
+    let mut resumed =
+        RempSession::resume(&d.kb1, &d.kb2, SessionCheckpoint::from_json_str(&text).unwrap())
+            .unwrap();
+    // The open questions survive the round trip.
+    assert_eq!(resumed.open_questions().len(), batch.questions.len() - half);
+    // Answer the rest of the interrupted batch, then drain normally.
+    for q in &batch.questions[half..] {
+        resumed
+            .submit(q.id, vec![remp::crowd::Label::new(0.999, d.is_match(q.pair.0, q.pair.1))])
+            .unwrap();
+    }
+    let mut crowd = OracleCrowd::new();
+    drain(&mut resumed, &d, &mut crowd);
+    assert_eq!(resumed.finish(), reference);
+}
+
+#[test]
+fn checkpoint_counters_survive_the_round_trip() {
+    let d = generate(&iimb(0.3));
+    let remp = Remp::new(RempConfig::default().with_mu(4));
+    let mut crowd = OracleCrowd::new();
+    let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+    for _ in 0..2 {
+        if let Some(batch) = session.next_batch().unwrap() {
+            answer_batch(&mut session, &d, &mut crowd, &batch);
+        }
+    }
+    let questions = session.questions_asked();
+    let loops = session.loops();
+    let text = session.checkpoint().to_json_string();
+
+    let resumed =
+        RempSession::resume(&d.kb1, &d.kb2, SessionCheckpoint::from_json_str(&text).unwrap())
+            .unwrap();
+    assert_eq!(resumed.questions_asked(), questions);
+    assert_eq!(resumed.loops(), loops);
+    assert_eq!(resumed.config().mu, 4);
+}
+
+#[test]
+fn resume_rejects_mismatched_config_shape() {
+    let d = generate(&iimb(0.2));
+    let remp = Remp::default();
+    let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+    let mut checkpoint = session.checkpoint();
+    // Tampering with stage-1 knobs changes the retained set: resume must
+    // notice the resolutions no longer line up rather than misapply them.
+    checkpoint.config.knn_k = 1;
+    match RempSession::resume(&d.kb1, &d.kb2, checkpoint) {
+        Err(RempError::CheckpointMismatch(_)) => {}
+        // If k = 1 pruning happens to retain the very same pair count the
+        // resume is legitimately accepted — the state still lines up.
+        Ok(_) => {}
+        Err(other) => panic!("unexpected error {other:?}"),
+    }
+}

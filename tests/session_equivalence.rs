@@ -1,0 +1,71 @@
+//! The acceptance bar for the session redesign: hand-driving a
+//! `RempSession` must produce the *identical* `RempOutcome` (matches,
+//! resolutions, `#Q`, `#L`) as the convenience wrapper `Remp::run` on the
+//! same dataset with the same crowd seed — on more than one preset and
+//! more than one crowd model.
+
+use remp::core::{Remp, RempConfig, RempOutcome};
+use remp::crowd::{LabelSource, OracleCrowd, SimulatedCrowd};
+use remp::datasets::{dblp_acm, generate, iimb, GeneratedDataset};
+
+/// Drives a session exactly as `Remp::run` does, but by hand through the
+/// public question/answer API.
+fn run_by_hand(remp: &Remp, d: &GeneratedDataset, crowd: &mut dyn LabelSource) -> RempOutcome {
+    let mut session = remp.begin(&d.kb1, &d.kb2).expect("default config is valid");
+    while let Some(batch) = session.next_batch().expect("no protocol errors when fully draining") {
+        for q in &batch.questions {
+            let labels = crowd.label(d.is_match(q.pair.0, q.pair.1));
+            let receipt = session.submit(q.id, labels).expect("fresh question ids are valid");
+            assert!((0.0..=1.0).contains(&receipt.posterior));
+        }
+    }
+    session.finish()
+}
+
+fn assert_equivalent(d: &GeneratedDataset, config: RempConfig, crowd_seed: u64) {
+    let remp = Remp::new(config);
+
+    let mut crowd = SimulatedCrowd::paper_default(crowd_seed);
+    let by_hand = run_by_hand(&remp, d, &mut crowd);
+    let hand_labels = crowd.labels_collected();
+
+    let mut crowd = SimulatedCrowd::paper_default(crowd_seed);
+    let by_run = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+
+    assert_eq!(by_hand, by_run, "session and run outcomes must be identical");
+    assert_eq!(
+        hand_labels,
+        crowd.labels_collected(),
+        "both drivers must consume the crowd identically"
+    );
+    assert!(by_hand.questions_asked > 0, "the equivalence must be exercised by real questions");
+}
+
+#[test]
+fn session_equals_run_on_iimb() {
+    let d = generate(&iimb(0.4));
+    assert_equivalent(&d, RempConfig::default(), 42);
+}
+
+#[test]
+fn session_equals_run_on_dblp_acm() {
+    let d = generate(&dblp_acm(0.3));
+    assert_equivalent(&d, RempConfig::default(), 7);
+}
+
+#[test]
+fn session_equals_run_under_budget_and_small_mu() {
+    let d = generate(&iimb(0.3));
+    assert_equivalent(&d, RempConfig::default().with_mu(3).with_budget(17), 3);
+}
+
+#[test]
+fn session_equals_run_with_oracle_crowd() {
+    let d = generate(&iimb(0.3));
+    let remp = Remp::default();
+    let mut crowd = OracleCrowd::new();
+    let by_hand = run_by_hand(&remp, &d, &mut crowd);
+    let mut crowd = OracleCrowd::new();
+    let by_run = remp.run(&d.kb1, &d.kb2, &|a, b| d.is_match(a, b), &mut crowd);
+    assert_eq!(by_hand, by_run);
+}

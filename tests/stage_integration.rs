@@ -95,13 +95,8 @@ fn propagation_stack_builds_consistent_probabilistic_graph() {
     let d = generate(&iimb(0.3));
     let config = RempConfig::default();
     let prep = prepare(&d.kb1, &d.kb2, &config);
-    let cons = ConsistencyTable::estimate(
-        &d.kb1,
-        &d.kb2,
-        &prep.candidates,
-        &prep.graph,
-        &prep.initial,
-    );
+    let cons =
+        ConsistencyTable::estimate(&d.kb1, &d.kb2, &prep.candidates, &prep.graph, &prep.initial);
     assert_eq!(cons.len(), prep.graph.num_labels());
     let pg = ProbErGraph::build(
         &d.kb1,
@@ -134,13 +129,8 @@ fn selection_over_real_inferred_sets_is_effective() {
     let d = generate(&iimb(0.3));
     let config = RempConfig::default();
     let prep = prepare(&d.kb1, &d.kb2, &config);
-    let cons = ConsistencyTable::estimate(
-        &d.kb1,
-        &d.kb2,
-        &prep.candidates,
-        &prep.graph,
-        &prep.initial,
-    );
+    let cons =
+        ConsistencyTable::estimate(&d.kb1, &d.kb2, &prep.candidates, &prep.graph, &prep.initial);
     let pg = ProbErGraph::build(
         &d.kb1,
         &d.kb2,

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — measuring plain wall-clock medians with
+//! `std::time::Instant` instead of criterion's statistical machinery.
+//!
+//! When invoked by `cargo test` (criterion harnesses receive `--test`),
+//! each benchmark body runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimiser from deleting benchmark
+/// bodies.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Criterion { sample_size: 20, smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Builder-style default sample size (the `criterion_group!` config
+    /// form uses this: `Criterion::default().sample_size(10)`).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup { parent: self, sample_size: self.sample_size }
+    }
+
+    /// Times one stand-alone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        let mut group = BenchmarkGroup { parent: self, sample_size };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Times one benchmark body.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let samples = if self.parent.smoke_test { 1 } else { self.sample_size };
+        let mut bencher = Bencher { samples, timings: Vec::with_capacity(samples) };
+        f(&mut bencher);
+        let mut timings = bencher.timings;
+        timings.sort_unstable();
+        let median = timings.get(timings.len() / 2).copied().unwrap_or_default();
+        let (lo, hi) = (
+            timings.first().copied().unwrap_or_default(),
+            timings.last().copied().unwrap_or_default(),
+        );
+        println!("{id:<24} median {median:>12?}   [{lo:?} .. {hi:?}]   ({samples} samples)");
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we only print).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark bodies.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `body` once per sample, timing each run.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One untimed warm-up to populate caches and lazy statics.
+        black_box(body());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(body());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+/// Bundles benchmark functions into one callable group. Supports both
+/// the positional form and the `name = ...; config = ...; targets = ...`
+/// form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_times() {
+        let mut c = Criterion { sample_size: 3, smoke_test: false };
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3).bench_function("count", |b| {
+                b.iter(|| {
+                    runs += 1;
+                    black_box(runs)
+                })
+            });
+            group.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}

@@ -1,0 +1,47 @@
+//! Collection strategies (subset of `proptest::collection`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Acceptable length specifications for [`vec`].
+pub trait IntoLenRange {
+    /// Resolves to `[lo, hi)` bounds.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoLenRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+impl IntoLenRange for Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec length range");
+        (self.start, self.end)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `len`.
+pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S> {
+    let (lo, hi) = len.bounds();
+    VecStrategy { element, lo, hi }
+}
+
+/// See [`vec`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    lo: usize,
+    hi: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.index(self.lo, self.hi);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

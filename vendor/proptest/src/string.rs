@@ -1,0 +1,179 @@
+//! Regex-like string generation.
+//!
+//! Proptest treats string literals as regexes and generates matching
+//! strings. This stand-in supports the subset the workspace's tests use:
+//! literal characters, `.` (printable ASCII), character classes
+//! `[a-z0-9 ]`, groups `( ... )`, and counted repetition `{n}` / `{n,m}`
+//! applied to the preceding atom.
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character alternatives, expanded from a class.
+    Class(Vec<char>),
+    /// Any printable ASCII character (`.`).
+    Dot,
+    Group(Vec<(Atom, (usize, usize))>),
+}
+
+/// Expands the inside of `[...]` into explicit alternatives.
+fn parse_class_str(src: &str) -> Vec<char> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "bad class range {lo}-{hi}");
+            for c in lo..=hi {
+                out.push(c);
+            }
+            i += 3;
+        } else {
+            out.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!out.is_empty(), "empty character class");
+    out
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            let (lo, hi) = match spec.split_once(',') {
+                Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+                None => {
+                    let n = spec.trim().parse().unwrap();
+                    (n, n)
+                }
+            };
+            assert!(lo <= hi, "bad repetition {{{spec}}}");
+            return (lo, hi);
+        }
+        spec.push(c);
+    }
+    panic!("unterminated repetition");
+}
+
+fn parse_seq(pattern: &str) -> Vec<(Atom, (usize, usize))> {
+    let mut out = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut inner = String::new();
+                for cc in chars.by_ref() {
+                    if cc == ']' {
+                        break;
+                    }
+                    inner.push(cc);
+                }
+                Atom::Class(parse_class_str(&inner))
+            }
+            '(' => {
+                let mut depth = 1;
+                let mut inner = String::new();
+                for cc in chars.by_ref() {
+                    match cc {
+                        '(' => depth += 1,
+                        ')' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    if depth > 0 {
+                        inner.push(cc);
+                    }
+                }
+                assert_eq!(depth, 0, "unterminated group");
+                Atom::Group(parse_seq(&inner))
+            }
+            '.' => Atom::Dot,
+            '\\' => Atom::Literal(chars.next().expect("dangling escape")),
+            other => Atom::Literal(other),
+        };
+        let reps = parse_repeat(&mut chars);
+        out.push((atom, reps));
+    }
+    out
+}
+
+fn emit(seq: &[(Atom, (usize, usize))], rng: &mut TestRng, out: &mut String) {
+    for (atom, &(lo, hi)) in seq.iter().map(|(a, r)| (a, r)) {
+        let n = if lo == hi { lo } else { rng.index(lo, hi + 1) };
+        for _ in 0..n {
+            match atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(alts) => out.push(alts[rng.index(0, alts.len())]),
+                Atom::Dot => out.push(char::from(rng.index(0x20, 0x7f) as u8)),
+                Atom::Group(inner) => emit(inner, rng, out),
+            }
+        }
+    }
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let seq = parse_seq(pattern);
+    let mut out = String::new();
+    emit(&seq, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string_tests", 1)
+    }
+
+    #[test]
+    fn classes_ranges_and_counts() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-d ]{0,12}", &mut r);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c == ' ' || ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn groups_compose() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-d]{1,8}( [a-d]{1,8}){0,3}", &mut r);
+            assert!(!s.is_empty());
+            for word in s.split(' ') {
+                assert!((1..=8).contains(&word.len()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_is_printable_ascii() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern(".{0,10}", &mut r);
+            assert!(s.len() <= 10);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count_literal() {
+        let mut r = rng();
+        assert_eq!(generate_from_pattern("ab{3}c", &mut r), "abbbc");
+    }
+}

@@ -1,0 +1,57 @@
+//! Case RNG and failure plumbing.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Why a property case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped silently.
+    Reject,
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+/// Deterministic per-case random source.
+///
+/// Seeded from the test's module path, name and case index, so failures
+/// reproduce exactly across runs (print the case index from the panic
+/// message and re-run).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl TestRng {
+    /// RNG for one `(test, case)` combination.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let seed =
+            fnv1a(test_name.as_bytes()) ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from `[lo, hi)` (integer index helper).
+    pub fn index(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi);
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
