@@ -1,0 +1,132 @@
+//! Ingestion-throughput benchmark: text parse vs binary snapshot load.
+//!
+//! Exports a preset as N-Triples, then measures (best of several runs)
+//! how fast the text parser and the `.rkb` snapshot loader bring the
+//! same KBs back into memory. Results go to `BENCH_ingest.json` in the
+//! working directory — the snapshot loader must beat the text parser by
+//! a wide margin, since skipping the re-parse is the point of the
+//! format.
+//!
+//! ```sh
+//! cargo run --release -p remp-bench --bin bench_ingest [-- --scale X]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use remp_bench::scale_multiplier;
+use remp_datasets::{generate, preset_by_name};
+use remp_ingest::{export_dataset, load_kb, write_snapshot, ExportFormat};
+use remp_json::Json;
+
+const PRESET: &str = "D-A";
+const BASE_SCALE: f64 = 1.0;
+const RUNS: usize = 3;
+
+/// One measured loader: total bytes and best-of-`RUNS` wall time.
+struct Measurement {
+    bytes: u64,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn mb_per_s(&self) -> f64 {
+        (self.bytes as f64 / 1e6) / self.seconds
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("bytes".into(), Json::from(self.bytes)),
+            ("seconds".into(), Json::from(self.seconds)),
+            ("mb_per_s".into(), Json::from(self.mb_per_s())),
+        ])
+    }
+}
+
+/// Best-of-N wall time for loading the two KB files.
+fn measure(paths: &[PathBuf]) -> Measurement {
+    let bytes = paths.iter().map(|p| fs::metadata(p).map(|m| m.len()).unwrap_or(0)).sum();
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let started = Instant::now();
+        for path in paths {
+            let loaded = load_kb(path, "bench").expect("benchmark inputs are well-formed");
+            std::hint::black_box(loaded.kb.num_entities());
+        }
+        best = best.min(started.elapsed().as_secs_f64());
+    }
+    Measurement { bytes, seconds: best }
+}
+
+fn main() {
+    let scale = BASE_SCALE * scale_multiplier();
+    let spec = preset_by_name(PRESET, scale).expect("known preset");
+    let dataset = generate(&spec);
+
+    let dir = std::env::temp_dir().join(format!("remp-bench-ingest-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let paths = export_dataset(&dataset, &dir, ExportFormat::NTriples).expect("export");
+    let text_files = vec![paths.kb1.clone(), paths.kb2.clone()];
+
+    let snapshots: Vec<PathBuf> = [(&paths.kb1, "kb1.rkb"), (&paths.kb2, "kb2.rkb")]
+        .into_iter()
+        .map(|(src, name)| {
+            let loaded = load_kb(src, name).expect("parse exported text");
+            let out = dir.join(name);
+            write_snapshot(&loaded.kb, &loaded.external_ids, &out).expect("write snapshot");
+            out
+        })
+        .collect();
+
+    let text = measure(&text_files);
+    let snapshot = measure(&snapshots);
+    let speedup = text.seconds / snapshot.seconds;
+
+    let report = Json::Obj(vec![
+        ("benchmark".into(), Json::from("ingest")),
+        ("dataset".into(), Json::from(PRESET)),
+        ("scale".into(), Json::from(scale)),
+        (
+            "kb".into(),
+            Json::Obj(vec![
+                (
+                    "entities".into(),
+                    Json::from(dataset.kb1.num_entities() + dataset.kb2.num_entities()),
+                ),
+                (
+                    "attr_triples".into(),
+                    Json::from(dataset.kb1.num_attr_triples() + dataset.kb2.num_attr_triples()),
+                ),
+                (
+                    "rel_triples".into(),
+                    Json::from(dataset.kb1.num_rel_triples() + dataset.kb2.num_rel_triples()),
+                ),
+            ]),
+        ),
+        ("text_parse".into(), text.to_json()),
+        ("snapshot_load".into(), snapshot.to_json()),
+        ("snapshot_speedup".into(), Json::from(speedup)),
+    ]);
+    fs::write("BENCH_ingest.json", report.to_string()).expect("write BENCH_ingest.json");
+
+    println!("ingest benchmark ({PRESET} at scale {scale}):");
+    println!(
+        "  text parse    : {:>8.1} MB/s ({:.1} MB in {:.3}s)",
+        text.mb_per_s(),
+        text.bytes as f64 / 1e6,
+        text.seconds
+    );
+    println!(
+        "  snapshot load : {:>8.1} MB/s ({:.1} MB in {:.3}s)",
+        snapshot.mb_per_s(),
+        snapshot.bytes as f64 / 1e6,
+        snapshot.seconds
+    );
+    println!("  speedup       : {speedup:.1}× (wall time, same KBs)");
+    println!("  wrote BENCH_ingest.json");
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -22,5 +22,5 @@ mod presets;
 mod spec;
 
 pub use generate::{generate, GeneratedDataset};
-pub use presets::{dblp_acm, dbpedia_yago, iimb, imdb_yago, preset_by_name, PRESET_NAMES};
+pub use presets::{dblp_acm, dbpedia_yago, iimb, imdb_yago, preset_by_name, tiny, PRESET_NAMES};
 pub use spec::{AttrKind, AttrSpec, DatasetSpec, RelSpec, Side, TypeSpec};

@@ -3,18 +3,65 @@
 
 use crate::spec::{AttrSpec, DatasetSpec, RelSpec, Side, TypeSpec};
 
-/// Names of all presets in paper order.
+/// Names of all presets in paper order (plus the `TINY` fixture preset,
+/// which is not part of Table II).
 pub const PRESET_NAMES: [&str; 4] = ["IIMB", "D-A", "I-Y", "D-Y"];
 
 /// Looks up a preset by its Table II abbreviation (case-insensitive).
+/// `TINY` resolves to the fixture preset [`tiny`].
 pub fn preset_by_name(name: &str, scale: f64) -> Option<DatasetSpec> {
     match name.to_ascii_uppercase().as_str() {
         "IIMB" => Some(iimb(scale)),
         "D-A" | "DBLP-ACM" => Some(dblp_acm(scale)),
         "I-Y" | "IMDB-YAGO" => Some(imdb_yago(scale)),
         "D-Y" | "DBPEDIA-YAGO" => Some(dbpedia_yago(scale)),
+        "TINY" => Some(tiny(scale)),
         _ => None,
     }
+}
+
+/// TINY: a deliberately small two-KB world (≈ 40 entities per KB at
+/// scale 1.0) used for committed fixtures, ingestion round-trip tests
+/// and CI smoke runs. Not a Table II dataset — just big enough that the
+/// pipeline asks questions, propagates matches and finishes in
+/// milliseconds. Fully deterministic under its fixed seed, so the
+/// fixtures under `tests/fixtures/` stay byte-stable.
+pub fn tiny(scale: f64) -> DatasetSpec {
+    let mut person = TypeSpec::new("person", 28);
+    person.name_pool = 60;
+    person.common_pool = 8;
+    person.common_frac = 0.3;
+    person.attrs = vec![
+        AttrSpec::name("name", "label"),
+        AttrSpec::year("born", "birthDate").with_present(0.8),
+        AttrSpec::text("job", "occupation", 1, 10).with_present(0.6).with_noise(0.15),
+    ];
+    person.rels = vec![
+        RelSpec::new("livesIn", "residence", 1, (1, 1)),
+        RelSpec::new("knows", "acquaintedWith", 0, (0, 2)),
+    ];
+    person.isolated_frac = 0.05;
+    person.sloppy_frac = 0.05;
+
+    let mut city = TypeSpec::new("city", 12);
+    city.name_pool = 25;
+    city.attrs = vec![
+        AttrSpec::name("cityName", "cityLabel"),
+        AttrSpec::number("population", "hasPopulation", 1e3, 1e6).with_present(0.7),
+    ];
+    city.rels = vec![RelSpec::new("partOf", "locatedIn", 1, (0, 1))];
+
+    DatasetSpec {
+        name: "tiny".into(),
+        seed: 0x7147,
+        types: vec![person, city],
+        label_noise1: 0.05,
+        label_noise2: 0.08,
+        missing_label1: 0.0,
+        missing_label2: 0.0,
+        closure: 0.9,
+    }
+    .scaled(scale)
 }
 
 /// IIMB: a small synthetic OAEI benchmark — two KBs with *identical*
@@ -346,7 +393,18 @@ mod tests {
         for name in PRESET_NAMES {
             assert!(preset_by_name(name, 1.0).is_some(), "{name}");
         }
+        assert!(preset_by_name("tiny", 1.0).is_some());
         assert!(preset_by_name("nope", 1.0).is_none());
+    }
+
+    #[test]
+    fn tiny_is_small_and_connected() {
+        let d = generate(&tiny(1.0));
+        assert!(d.kb1.num_entities() <= 60, "{}", d.kb1.num_entities());
+        assert!(d.num_gold() > 10, "{}", d.num_gold());
+        assert!(d.kb1.num_rel_triples() > 0);
+        let frac = d.kb1.stats().isolated_fraction();
+        assert!(frac < 0.5, "tiny should be mostly connected: {frac}");
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! `rempctl` — turn knowledge-base files into crowd campaigns.
+//!
+//! ```text
+//! rempctl export --preset TINY --out fixtures/        # synthetic → text
+//! rempctl import fixtures/kb1.nt fixtures/kb1.rkb     # text → snapshot
+//! rempctl inspect fixtures/kb1.rkb                    # Table II stats
+//! rempctl run --kb1 fixtures/kb1.rkb --kb2 fixtures/kb2.rkb \
+//!             --gold fixtures/gold.tsv                # full campaign
+//! ```
+//!
+//! Argument parsing is hand-rolled (the build environment has no
+//! crates.io access, consistent with the rest of the workspace).
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use remp_core::{run_on_dataset, RempConfig};
+use remp_crowd::{LabelSource, OracleCrowd, SimulatedCrowd};
+use remp_datasets::{generate, preset_by_name};
+use remp_ingest::{export_dataset, load_kb, write_snapshot, ExportFormat, FileDataset};
+
+const USAGE: &str = "\
+rempctl — knowledge-base ingestion and file-backed Remp campaigns
+
+USAGE:
+    rempctl export --preset NAME --out DIR [--scale X] [--format nt|csv]
+        Generate a synthetic preset (IIMB, D-A, I-Y, D-Y, TINY) and write
+        it as loadable text files: two KBs plus gold.tsv.
+
+    rempctl import INPUT OUTPUT.rkb [--name NAME]
+        Parse a text KB (a .nt file or a CSV table directory) and write a
+        binary .rkb snapshot that loads back without re-parsing.
+
+    rempctl inspect PATH...
+        Load KBs (.nt, CSV directory, or .rkb) and print Table II-style
+        statistics plus load timings.
+
+    rempctl run --kb1 PATH --kb2 PATH --gold PATH [options]
+        Run a full crowd campaign on file-backed KBs via the session API.
+        Crowd options:
+            --oracle            perfect labels (ground truth)
+            --workers N         simulated worker pool size   [100]
+            --quality MIN,MAX   worker quality bounds        [0.8,0.99]
+            --per-question N    labels per question          [5]
+            --seed N            crowd RNG seed               [42]
+        Campaign options:
+            --budget N          max questions (default: unlimited)
+            --mu N              questions per loop (default: config)
+";
+
+enum CliError {
+    Usage(String),
+    Failed(String),
+}
+
+impl<E: std::error::Error> From<E> for CliError {
+    fn from(e: E) -> CliError {
+        CliError::Failed(e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("rempctl: {msg}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Failed(msg)) => {
+            eprintln!("rempctl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage("no command given".into()));
+    };
+    let opts = Opts::parse(rest)?;
+    match command.as_str() {
+        "export" => cmd_export(&opts),
+        "import" => cmd_import(&opts),
+        "inspect" => cmd_inspect(&opts),
+        "run" => cmd_run(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+// ---- argument parsing -------------------------------------------------
+
+/// Switches that take no value.
+const SWITCHES: [&str; 1] = ["--oracle"];
+
+struct Opts {
+    positional: Vec<String>,
+    named: HashMap<String, String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, CliError> {
+        let mut positional = Vec::new();
+        let mut named = HashMap::new();
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                if SWITCHES.contains(&arg.as_str()) {
+                    named.insert(key.to_owned(), String::new());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| CliError::Usage(format!("option --{key} needs a value")))?;
+                    named.insert(key.to_owned(), value.clone());
+                }
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Opts { positional, named })
+    }
+
+    fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.named
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| CliError::Usage(format!("missing required option --{key}")))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.named.get(key).map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(raw) => {
+                raw.parse().map_err(|_| CliError::Usage(format!("--{key}: cannot parse {raw:?}")))
+            }
+        }
+    }
+}
+
+// ---- commands ---------------------------------------------------------
+
+fn cmd_export(opts: &Opts) -> Result<(), CliError> {
+    let preset = opts.required("preset")?;
+    let out = PathBuf::from(opts.required("out")?);
+    let scale: f64 = opts.parsed("scale", 1.0)?;
+    let format = match opts.get("format").unwrap_or("nt") {
+        "nt" | "ntriples" => ExportFormat::NTriples,
+        "csv" => ExportFormat::Csv,
+        other => return Err(CliError::Usage(format!("unknown format {other:?}"))),
+    };
+    let spec = preset_by_name(preset, scale)
+        .ok_or_else(|| CliError::Usage(format!("unknown preset {preset:?}")))?;
+    let started = Instant::now();
+    let dataset = generate(&spec);
+    let paths = export_dataset(&dataset, &out, format)?;
+    println!("exported {} (scale {scale}) in {:.1?}", dataset.name, started.elapsed());
+    println!("  {}", dataset.kb1.stats());
+    println!("  {}", dataset.kb2.stats());
+    println!("  {} gold matches", dataset.num_gold());
+    println!("  kb1:  {}", paths.kb1.display());
+    println!("  kb2:  {}", paths.kb2.display());
+    println!("  gold: {}", paths.gold.display());
+    Ok(())
+}
+
+fn cmd_import(opts: &Opts) -> Result<(), CliError> {
+    let [input, output] = opts.positional.as_slice() else {
+        return Err(CliError::Usage("import needs exactly INPUT and OUTPUT.rkb".into()));
+    };
+    let input = Path::new(input);
+    let name = match opts.get("name") {
+        Some(n) => n.to_owned(),
+        None => default_name(input),
+    };
+    let started = Instant::now();
+    let loaded = load_kb(input, &name)?;
+    let parsed_in = started.elapsed();
+    let started = Instant::now();
+    write_snapshot(&loaded.kb, &loaded.external_ids, Path::new(output))?;
+    println!(
+        "parsed {} in {parsed_in:.1?}, snapshot written in {:.1?}",
+        input.display(),
+        started.elapsed()
+    );
+    println!("  {}", loaded.kb.stats());
+    println!("  {output}");
+    Ok(())
+}
+
+fn cmd_inspect(opts: &Opts) -> Result<(), CliError> {
+    if opts.positional.is_empty() {
+        return Err(CliError::Usage("inspect needs at least one PATH".into()));
+    }
+    for raw in &opts.positional {
+        let path = Path::new(raw);
+        let started = Instant::now();
+        let loaded = load_kb(path, &default_name(path))?;
+        println!("{} (loaded in {:.1?})", path.display(), started.elapsed());
+        println!("  {}", loaded.kb.stats());
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Opts) -> Result<(), CliError> {
+    let kb1 = Path::new(opts.required("kb1")?);
+    let kb2 = Path::new(opts.required("kb2")?);
+    let gold = Path::new(opts.required("gold")?);
+
+    let started = Instant::now();
+    let dataset = FileDataset::load("file-backed", kb1, kb2, gold)?.into_generated();
+    println!("loaded campaign in {:.1?}", started.elapsed());
+    println!("  {}", dataset.kb1.stats());
+    println!("  {}", dataset.kb2.stats());
+    println!("  {} gold matches", dataset.gold.len());
+
+    let mut config = RempConfig::default();
+    if let Some(budget) = opts.get("budget") {
+        let budget: usize = budget
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--budget: cannot parse {budget:?}")))?;
+        config = config.with_budget(budget);
+    }
+    if let Some(mu) = opts.get("mu") {
+        let mu: usize =
+            mu.parse().map_err(|_| CliError::Usage(format!("--mu: cannot parse {mu:?}")))?;
+        config = config.with_mu(mu);
+    }
+
+    let mut crowd: Box<dyn LabelSource> = if opts.get("oracle").is_some() {
+        Box::new(OracleCrowd::new())
+    } else {
+        let workers: usize = opts.parsed("workers", 100)?;
+        let per_question: usize = opts.parsed("per-question", 5)?;
+        let seed: u64 = opts.parsed("seed", 42)?;
+        let quality = opts.get("quality").unwrap_or("0.8,0.99");
+        let (min_q, max_q): (f64, f64) = quality
+            .split_once(',')
+            .and_then(|(a, b)| Some((a.trim().parse().ok()?, b.trim().parse().ok()?)))
+            .ok_or_else(|| {
+                CliError::Usage(format!("--quality: expected MIN,MAX, got {quality:?}"))
+            })?;
+        // Validate up front: SimulatedCrowd::new asserts on bad bounds,
+        // and a typo should get a usage message, not a panic.
+        if !(0.0..=1.0).contains(&min_q) || !(0.0..=1.0).contains(&max_q) || min_q > max_q {
+            return Err(CliError::Usage(format!(
+                "--quality: bounds must satisfy 0 ≤ MIN ≤ MAX ≤ 1, got {quality:?}"
+            )));
+        }
+        if workers == 0 || per_question == 0 {
+            return Err(CliError::Usage("--workers and --per-question must be at least 1".into()));
+        }
+        Box::new(SimulatedCrowd::new(workers, min_q, max_q, per_question, seed))
+    };
+
+    let started = Instant::now();
+    let result = run_on_dataset(&dataset, &config, crowd.as_mut());
+    println!("campaign finished in {:.1?}", started.elapsed());
+    println!("  questions asked : {} ({} labels)", result.questions, crowd.labels_collected());
+    println!("  loops           : {}", result.loops);
+    println!(
+        "  precision {:.1}%  recall {:.1}%  F1 {:.1}%",
+        100.0 * result.eval.precision,
+        100.0 * result.eval.recall,
+        100.0 * result.eval.f1
+    );
+    Ok(())
+}
+
+fn default_name(path: &Path) -> String {
+    path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_else(|| "kb".to_owned())
+}

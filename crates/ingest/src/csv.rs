@@ -1,0 +1,527 @@
+//! Streaming loader and writer for CSV entity/attribute/relationship
+//! tables.
+//!
+//! A CSV-backed knowledge base is a *directory* holding three files:
+//!
+//! | file | header | rows |
+//! |---|---|---|
+//! | `entities.csv` | `id,label` | one per entity, ids unique |
+//! | `attributes.csv` | `entity,attribute,kind,value` | `kind` ∈ `text` \| `number` |
+//! | `relationships.csv` | `subject,relationship,object` | endpoints must be declared ids |
+//!
+//! Quoting follows RFC 4180: fields containing `,`, `"`, or newlines are
+//! quoted with `"`, embedded quotes doubled; quoted fields may span
+//! lines. Rows referencing an entity id not declared in `entities.csv`
+//! are typed errors citing file and line — the text-format counterpart of
+//! the dangling-endpoint check [`remp_kb::Kb::validate`] performs on
+//! binary snapshots.
+
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use remp_kb::{EntityId, Kb, KbBuilder, Value};
+
+use crate::{IngestError, LoadedKb};
+
+/// File names inside a CSV knowledge-base directory.
+pub const ENTITIES_FILE: &str = "entities.csv";
+/// See [`ENTITIES_FILE`].
+pub const ATTRIBUTES_FILE: &str = "attributes.csv";
+/// See [`ENTITIES_FILE`].
+pub const RELATIONSHIPS_FILE: &str = "relationships.csv";
+
+/// The canonical entity id this crate's CSV exporter writes for `index`.
+pub fn csv_entity_id(index: usize) -> String {
+    format!("e{index}")
+}
+
+// ---- record-level reader ----------------------------------------------
+
+/// A streaming CSV record reader tracking record-start line numbers.
+struct CsvReader<R> {
+    reader: R,
+    path: PathBuf,
+    /// 1-based number of the *next* line to be read.
+    next_line: u64,
+    buf: String,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    fn new(reader: R, path: &Path) -> Self {
+        CsvReader { reader, path: path.to_path_buf(), next_line: 1, buf: String::new() }
+    }
+
+    /// Reads the next record, returning `(start line, fields)`.
+    ///
+    /// Empty lines are skipped. A quoted field may span multiple physical
+    /// lines; errors cite the line the record started on.
+    fn next_record(&mut self) -> Result<Option<(u64, Vec<String>)>, IngestError> {
+        loop {
+            self.buf.clear();
+            let n =
+                self.reader.read_line(&mut self.buf).map_err(|e| IngestError::io(&self.path, e))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            let start = self.next_line;
+            self.next_line += 1;
+            strip_newline(&mut self.buf);
+            if self.buf.is_empty() {
+                continue;
+            }
+            return Ok(Some((start, self.parse_record(start)?)));
+        }
+    }
+
+    /// Parses the record in `self.buf`, pulling more lines while inside
+    /// an open quoted field.
+    fn parse_record(&mut self, start: u64) -> Result<Vec<String>, IngestError> {
+        let mut fields = Vec::new();
+        let mut field = String::new();
+        let mut pos = 0usize; // byte offset into self.buf
+        loop {
+            let rest = &self.buf[pos..];
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => {
+                    fields.push(std::mem::take(&mut field));
+                    return Ok(fields);
+                }
+                Some((_, ',')) => {
+                    fields.push(std::mem::take(&mut field));
+                    pos += 1;
+                }
+                Some((_, '"')) => {
+                    pos += 1;
+                    self.consume_quoted(&mut field, &mut pos, start)?;
+                    // After the closing quote: ',' or end of record.
+                    match self.buf[pos..].chars().next() {
+                        None => {
+                            fields.push(std::mem::take(&mut field));
+                            return Ok(fields);
+                        }
+                        Some(',') => {
+                            fields.push(std::mem::take(&mut field));
+                            pos += 1;
+                        }
+                        Some(c) => {
+                            return Err(IngestError::syntax(
+                                &self.path,
+                                start,
+                                format!("unexpected {c:?} after closing quote"),
+                            ));
+                        }
+                    }
+                }
+                Some(_) => {
+                    // Raw field: up to the next comma; quotes are illegal.
+                    let end = rest.find(',').unwrap_or(rest.len());
+                    let raw = &rest[..end];
+                    if raw.contains('"') {
+                        return Err(IngestError::syntax(
+                            &self.path,
+                            start,
+                            "bare '\"' inside unquoted field (quote the whole field)",
+                        ));
+                    }
+                    field.push_str(raw);
+                    pos += end;
+                }
+            }
+        }
+    }
+
+    /// Consumes a quoted field body starting at `self.buf[*pos]`,
+    /// reading further physical lines as needed.
+    fn consume_quoted(
+        &mut self,
+        field: &mut String,
+        pos: &mut usize,
+        start: u64,
+    ) -> Result<(), IngestError> {
+        loop {
+            let rest = &self.buf[*pos..];
+            match rest.find('"') {
+                Some(q) => {
+                    field.push_str(&rest[..q]);
+                    *pos += q + 1;
+                    if self.buf[*pos..].starts_with('"') {
+                        field.push('"'); // doubled quote
+                        *pos += 1;
+                    } else {
+                        return Ok(()); // closing quote
+                    }
+                }
+                None => {
+                    // The field continues on the next physical line.
+                    field.push_str(rest);
+                    field.push('\n');
+                    *pos = self.buf.len();
+                    let mut next = String::new();
+                    let n = self
+                        .reader
+                        .read_line(&mut next)
+                        .map_err(|e| IngestError::io(&self.path, e))?;
+                    if n == 0 {
+                        return Err(IngestError::syntax(
+                            &self.path,
+                            start,
+                            "unterminated quoted field at end of file",
+                        ));
+                    }
+                    self.next_line += 1;
+                    strip_newline(&mut next);
+                    self.buf.push_str(&next);
+                }
+            }
+        }
+    }
+}
+
+fn strip_newline(s: &mut String) {
+    if s.ends_with('\n') {
+        s.pop();
+    }
+    if s.ends_with('\r') {
+        s.pop();
+    }
+}
+
+/// Writes one CSV record with RFC 4180 quoting.
+fn write_record(out: &mut dyn Write, fields: &[&str]) -> io::Result<()> {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            write!(out, ",")?;
+        }
+        if f.contains(['"', ',', '\n', '\r']) {
+            write!(out, "\"{}\"", f.replace('"', "\"\""))?;
+        } else {
+            write!(out, "{f}")?;
+        }
+    }
+    writeln!(out)
+}
+
+// ---- knowledge-base loader --------------------------------------------
+
+/// Loads a CSV knowledge-base directory into a KB called `kb_name`.
+pub fn load_csv_kb(dir: &Path, kb_name: &str) -> Result<LoadedKb, IngestError> {
+    let mut builder = KbBuilder::new(kb_name);
+    let mut ids: HashMap<String, EntityId> = HashMap::new();
+    let mut external_ids: Vec<String> = Vec::new();
+
+    // entities.csv — declares every entity; ids must be unique.
+    let path = dir.join(ENTITIES_FILE);
+    let mut reader = open(&path)?;
+    expect_header(&mut reader, &path, &["id", "label"])?;
+    while let Some((line, fields)) = reader.next_record()? {
+        let [id, label] = expect_fields::<2>(&path, line, &fields)?;
+        if ids.contains_key(id) {
+            return Err(IngestError::syntax(&path, line, format!("duplicate entity id {id:?}")));
+        }
+        let entity = builder.add_entity(label);
+        ids.insert(id.to_owned(), entity);
+        external_ids.push(id.to_owned());
+    }
+
+    // attributes.csv — values normalized by the `kind` column.
+    let path = dir.join(ATTRIBUTES_FILE);
+    let mut reader = open(&path)?;
+    expect_header(&mut reader, &path, &["entity", "attribute", "kind", "value"])?;
+    while let Some((line, fields)) = reader.next_record()? {
+        let [id, attr, kind, value] = expect_fields::<4>(&path, line, &fields)?;
+        let entity = lookup(&ids, id, &path, line)?;
+        let value = match kind {
+            "text" => Value::text(value),
+            "number" => Value::number(value.parse().map_err(|_| {
+                IngestError::syntax(&path, line, format!("invalid number {value:?}"))
+            })?),
+            other => {
+                return Err(IngestError::syntax(
+                    &path,
+                    line,
+                    format!("unknown value kind {other:?} (expected \"text\" or \"number\")"),
+                ));
+            }
+        };
+        let attr = builder.add_attr(attr);
+        builder.add_attr_triple(entity, attr, value);
+    }
+
+    // relationships.csv — endpoints must be declared entities.
+    let path = dir.join(RELATIONSHIPS_FILE);
+    let mut reader = open(&path)?;
+    expect_header(&mut reader, &path, &["subject", "relationship", "object"])?;
+    while let Some((line, fields)) = reader.next_record()? {
+        let [subject, rel, object] = expect_fields::<3>(&path, line, &fields)?;
+        let subject = lookup(&ids, subject, &path, line)?;
+        let object = lookup(&ids, object, &path, line)?;
+        let rel = builder.add_rel(rel);
+        builder.add_rel_triple(subject, rel, object);
+    }
+
+    Ok(LoadedKb { kb: builder.finish(), external_ids })
+}
+
+fn open(path: &Path) -> Result<CsvReader<BufReader<File>>, IngestError> {
+    let file = File::open(path).map_err(|e| IngestError::io(path, e))?;
+    Ok(CsvReader::new(BufReader::new(file), path))
+}
+
+fn expect_header<R: BufRead>(
+    reader: &mut CsvReader<R>,
+    path: &Path,
+    expected: &[&str],
+) -> Result<(), IngestError> {
+    let Some((line, fields)) = reader.next_record()? else {
+        return Err(IngestError::syntax(path, 1, "missing header row"));
+    };
+    if fields != expected {
+        return Err(IngestError::syntax(
+            path,
+            line,
+            format!("bad header {fields:?}, expected {expected:?}"),
+        ));
+    }
+    Ok(())
+}
+
+fn expect_fields<'a, const N: usize>(
+    path: &Path,
+    line: u64,
+    fields: &'a [String],
+) -> Result<[&'a str; N], IngestError> {
+    if fields.len() != N {
+        return Err(IngestError::syntax(
+            path,
+            line,
+            format!("expected {N} fields, found {}", fields.len()),
+        ));
+    }
+    let mut out = [""; N];
+    for (o, f) in out.iter_mut().zip(fields) {
+        *o = f.as_str();
+    }
+    Ok(out)
+}
+
+fn lookup(
+    ids: &HashMap<String, EntityId>,
+    id: &str,
+    path: &Path,
+    line: u64,
+) -> Result<EntityId, IngestError> {
+    ids.get(id).copied().ok_or_else(|| {
+        IngestError::syntax(
+            path,
+            line,
+            format!("reference to undeclared entity id {id:?} (not in {ENTITIES_FILE})"),
+        )
+    })
+}
+
+// ---- knowledge-base writer --------------------------------------------
+
+/// Writes `kb` as a CSV knowledge-base directory (created if missing).
+///
+/// Row order mirrors the N-Triples writer's contract: entities in id
+/// order, attribute rows grouped by attribute id, relationship rows
+/// grouped by relationship id — so re-importing reproduces the exact
+/// same id assignment.
+pub fn export_csv_kb(kb: &Kb, dir: &Path) -> Result<(), IngestError> {
+    fs::create_dir_all(dir).map_err(|e| IngestError::io(dir, e))?;
+    let create = |name: &str| -> Result<(BufWriter<File>, PathBuf), IngestError> {
+        let path = dir.join(name);
+        let file = File::create(&path).map_err(|e| IngestError::io(&path, e))?;
+        Ok((BufWriter::new(file), path))
+    };
+    let fail = |path: &Path, e: io::Error| IngestError::io(path, e);
+
+    let (mut out, path) = create(ENTITIES_FILE)?;
+    write_record(&mut out, &["id", "label"]).map_err(|e| fail(&path, e))?;
+    for u in kb.entities() {
+        write_record(&mut out, &[&csv_entity_id(u.index()), kb.label(u)])
+            .map_err(|e| fail(&path, e))?;
+    }
+
+    let (mut out, path) = create(ATTRIBUTES_FILE)?;
+    write_record(&mut out, &["entity", "attribute", "kind", "value"])
+        .map_err(|e| fail(&path, e))?;
+    for a in kb.attrs() {
+        for u in kb.entities() {
+            for v in kb.attr_values(u, a) {
+                let (kind, value) = match v {
+                    Value::Text(s) => ("text", s.clone()),
+                    Value::Number(n) => ("number", format!("{n}")),
+                };
+                write_record(&mut out, &[&csv_entity_id(u.index()), kb.attr_name(a), kind, &value])
+                    .map_err(|e| fail(&path, e))?;
+            }
+        }
+    }
+
+    let (mut out, path) = create(RELATIONSHIPS_FILE)?;
+    write_record(&mut out, &["subject", "relationship", "object"]).map_err(|e| fail(&path, e))?;
+    for r in kb.rels() {
+        for u in kb.entities() {
+            for &(_, o) in kb.rel_values(u, r) {
+                write_record(
+                    &mut out,
+                    &[&csv_entity_id(u.index()), kb.rel_name(r), &csv_entity_id(o.index())],
+                )
+                .map_err(|e| fail(&path, e))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(text: &str) -> Result<Vec<(u64, Vec<String>)>, IngestError> {
+        let mut reader = CsvReader::new(text.as_bytes(), Path::new("t.csv"));
+        let mut out = Vec::new();
+        while let Some(rec) = reader.next_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn plain_records() {
+        let recs = records("a,b,c\n\nx,,z\n").unwrap();
+        assert_eq!(
+            recs,
+            vec![
+                (1, vec!["a".into(), "b".into(), "c".into()]),
+                (3, vec!["x".into(), "".into(), "z".into()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_fields_with_embedded_everything() {
+        let recs = records("\"a,b\",\"say \"\"hi\"\"\",\"two\nlines\"\nnext,1,2\n").unwrap();
+        assert_eq!(recs[0].1, vec!["a,b".to_owned(), "say \"hi\"".into(), "two\nlines".into()]);
+        assert_eq!(recs[1], (3, vec!["next".into(), "1".into(), "2".into()]));
+    }
+
+    #[test]
+    fn csv_errors_cite_the_record_start_line() {
+        let err = records("ok,row\nbad,\"unterminated\n").unwrap_err();
+        assert_eq!(err.line(), Some(2), "{err}");
+        let err = records("ok\n\"x\"y\n").unwrap_err();
+        assert_eq!(err.line(), Some(2), "{err}");
+        assert!(err.to_string().contains("closing quote"), "{err}");
+        let err = records("field\"with quote\n").unwrap_err();
+        assert_eq!(err.line(), Some(1), "{err}");
+    }
+
+    fn write_files(dir: &Path, entities: &str, attrs: &str, rels: &str) {
+        fs::create_dir_all(dir).unwrap();
+        fs::write(dir.join(ENTITIES_FILE), entities).unwrap();
+        fs::write(dir.join(ATTRIBUTES_FILE), attrs).unwrap();
+        fs::write(dir.join(RELATIONSHIPS_FILE), rels).unwrap();
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("remp-csv-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn loads_a_tiny_kb() {
+        let dir = tmp("load");
+        write_files(
+            &dir,
+            "id,label\np1,Ada\np2,\"Babbage, Charles\"\n",
+            "entity,attribute,kind,value\np1,born,number,1815\np1,note,text,analyst\n",
+            "subject,relationship,object\np1,knows,p2\n",
+        );
+        let loaded = load_csv_kb(&dir, "t").unwrap();
+        assert_eq!(loaded.kb.num_entities(), 2);
+        assert_eq!(loaded.kb.label(EntityId(1)), "Babbage, Charles");
+        assert_eq!(loaded.kb.num_attr_triples(), 2);
+        assert_eq!(loaded.kb.num_rel_triples(), 1);
+        assert_eq!(loaded.external_ids, vec!["p1".to_owned(), "p2".to_owned()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn undeclared_entity_reference_is_a_typed_error() {
+        let dir = tmp("dangling");
+        write_files(
+            &dir,
+            "id,label\np1,Ada\n",
+            "entity,attribute,kind,value\n",
+            "subject,relationship,object\np1,knows,ghost\n",
+        );
+        let err = load_csv_kb(&dir, "t").unwrap_err();
+        assert_eq!(err.line(), Some(2), "{err}");
+        assert!(err.to_string().contains("ghost"), "{err}");
+        assert!(err.path().ends_with(RELATIONSHIPS_FILE), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_rows_are_typed_errors() {
+        let dir = tmp("bad");
+        write_files(
+            &dir,
+            "id,label\np1,Ada\np1,Again\n",
+            "entity,attribute,kind,value\n",
+            "subject,relationship,object\n",
+        );
+        let err = load_csv_kb(&dir, "t").unwrap_err();
+        assert_eq!(err.line(), Some(3));
+        assert!(err.to_string().contains("duplicate"), "{err}");
+
+        write_files(
+            &dir,
+            "id,label\np1,Ada\n",
+            "entity,attribute,kind,value\np1,born,year,1815\n",
+            "subject,relationship,object\n",
+        );
+        let err = load_csv_kb(&dir, "t").unwrap_err();
+        assert!(err.to_string().contains("unknown value kind"), "{err}");
+
+        write_files(
+            &dir,
+            "id,label\np1,Ada\n",
+            "entity,attribute,kind,value\np1,born,number,unparseable\n",
+            "subject,relationship,object\n",
+        );
+        let err = load_csv_kb(&dir, "t").unwrap_err();
+        assert!(err.to_string().contains("invalid number"), "{err}");
+
+        write_files(&dir, "wrong,header\n", "", "");
+        let err = load_csv_kb(&dir, "t").unwrap_err();
+        assert!(err.to_string().contains("bad header"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn round_trip_preserves_the_kb_exactly() {
+        let mut b = KbBuilder::new("t");
+        let a = b.add_entity("comma, quote \" and\nnewline");
+        let c = b.add_entity("plain");
+        let at = b.add_attr("weird,attr\"name");
+        let r = b.add_rel("rel,name");
+        b.add_attr_triple(a, at, Value::text("v1"));
+        b.add_attr_triple(c, at, Value::number(2.5));
+        b.add_rel_triple(c, r, a);
+        let kb = b.finish();
+
+        let dir = tmp("roundtrip");
+        export_csv_kb(&kb, &dir).unwrap();
+        let reloaded = load_csv_kb(&dir, "t").unwrap();
+        assert_eq!(reloaded.kb, kb);
+        assert_eq!(reloaded.external_ids, vec!["e0".to_owned(), "e1".to_owned()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,202 @@
+//! File-backed datasets: format auto-detection, the [`FileDataset`]
+//! bundle, and the exporter that turns synthetic presets into fixtures.
+//!
+//! A file-backed dataset is two knowledge bases plus a gold alignment —
+//! exactly the shape [`GeneratedDataset`] has in memory — so loading one
+//! plugs straight into the existing `SimulatedCrowd`/truth machinery and
+//! every experiment driver via [`FileDataset::into_generated`].
+
+use std::collections::HashSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use remp_datasets::GeneratedDataset;
+use remp_kb::{EntityId, Kb};
+
+use crate::csv::{csv_entity_id, export_csv_kb, load_csv_kb};
+use crate::gold::{export_gold, load_gold};
+use crate::ntriples::{entity_iri, export_ntriples, load_ntriples};
+use crate::snapshot::{load_snapshot, SNAPSHOT_EXTENSION};
+use crate::{IngestError, LoadedKb};
+
+/// On-disk knowledge-base representations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KbFormat {
+    /// Line-oriented N-Triples subset (`.nt`).
+    NTriples,
+    /// Directory of entity/attribute/relationship CSV tables.
+    Csv,
+    /// Binary `.rkb` snapshot.
+    Snapshot,
+}
+
+impl KbFormat {
+    /// Detects the format of `path`: directories are CSV, `.rkb` files
+    /// are snapshots, everything else is N-Triples.
+    pub fn detect(path: &Path) -> KbFormat {
+        if path.is_dir() {
+            KbFormat::Csv
+        } else if path.extension().is_some_and(|e| e.eq_ignore_ascii_case(SNAPSHOT_EXTENSION)) {
+            KbFormat::Snapshot
+        } else {
+            KbFormat::NTriples
+        }
+    }
+}
+
+/// Loads a knowledge base from `path` in whatever format it is in.
+pub fn load_kb(path: &Path, kb_name: &str) -> Result<LoadedKb, IngestError> {
+    match KbFormat::detect(path) {
+        KbFormat::NTriples => load_ntriples(path, kb_name),
+        KbFormat::Csv => load_csv_kb(path, kb_name),
+        KbFormat::Snapshot => load_snapshot(path),
+    }
+}
+
+/// A dataset loaded from files: two KBs and their gold alignment.
+#[derive(Clone, Debug)]
+pub struct FileDataset {
+    /// Dataset name (for reporting).
+    pub name: String,
+    /// The first KB.
+    pub kb1: Kb,
+    /// The second KB.
+    pub kb2: Kb,
+    /// Gold entity matches (reference matches of paper §III-A).
+    pub gold: HashSet<(EntityId, EntityId)>,
+}
+
+impl FileDataset {
+    /// Loads the two KBs (any format each) and the gold alignment.
+    pub fn load(
+        name: impl Into<String>,
+        kb1_path: &Path,
+        kb2_path: &Path,
+        gold_path: &Path,
+    ) -> Result<FileDataset, IngestError> {
+        let name = name.into();
+        let loaded1 = load_kb(kb1_path, &format!("{name}-kb1"))?;
+        let loaded2 = load_kb(kb2_path, &format!("{name}-kb2"))?;
+        let gold = load_gold(gold_path, &loaded1.id_map(), &loaded2.id_map())?;
+        Ok(FileDataset { name, kb1: loaded1.kb, kb2: loaded2.kb, gold })
+    }
+
+    /// Whether `(u1, u2)` is a true match — the hidden truth a simulated
+    /// crowd answers from.
+    pub fn is_match(&self, u1: EntityId, u2: EntityId) -> bool {
+        self.gold.contains(&(u1, u2))
+    }
+
+    /// Number of gold matches.
+    pub fn num_gold(&self) -> usize {
+        self.gold.len()
+    }
+
+    /// Repackages as a [`GeneratedDataset`] so every existing experiment
+    /// driver (e.g. [`remp_core::run_on_dataset`]) accepts file-backed
+    /// data. Schema-level gold (attribute/relationship matches) is not
+    /// part of the file formats and is left empty.
+    pub fn into_generated(self) -> GeneratedDataset {
+        GeneratedDataset {
+            name: self.name,
+            kb1: self.kb1,
+            kb2: self.kb2,
+            gold: self.gold,
+            gold_attr_matches: Vec::new(),
+            gold_rel_matches: Vec::new(),
+        }
+    }
+}
+
+/// Text formats the exporter can produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// `kb1.nt` / `kb2.nt` files.
+    NTriples,
+    /// `kb1/` / `kb2/` CSV table directories.
+    Csv,
+}
+
+/// Where [`export_dataset`] put everything.
+#[derive(Clone, Debug)]
+pub struct ExportPaths {
+    /// First KB (file or directory).
+    pub kb1: PathBuf,
+    /// Second KB (file or directory).
+    pub kb2: PathBuf,
+    /// Gold alignment TSV.
+    pub gold: PathBuf,
+}
+
+/// Writes a generated dataset into `dir` as loadable text fixtures:
+/// the two KBs plus `gold.tsv` keyed by the exporter's entity ids.
+pub fn export_dataset(
+    dataset: &GeneratedDataset,
+    dir: &Path,
+    format: ExportFormat,
+) -> Result<ExportPaths, IngestError> {
+    fs::create_dir_all(dir).map_err(|e| IngestError::io(dir, e))?;
+    let default_ids = |kb: &Kb| -> Vec<String> {
+        (0..kb.num_entities())
+            .map(|i| match format {
+                ExportFormat::NTriples => entity_iri(i),
+                ExportFormat::Csv => csv_entity_id(i),
+            })
+            .collect()
+    };
+    let (kb1, kb2) = match format {
+        ExportFormat::NTriples => {
+            let kb1 = dir.join("kb1.nt");
+            let kb2 = dir.join("kb2.nt");
+            export_ntriples(&dataset.kb1, &kb1)?;
+            export_ntriples(&dataset.kb2, &kb2)?;
+            (kb1, kb2)
+        }
+        ExportFormat::Csv => {
+            let kb1 = dir.join("kb1");
+            let kb2 = dir.join("kb2");
+            export_csv_kb(&dataset.kb1, &kb1)?;
+            export_csv_kb(&dataset.kb2, &kb2)?;
+            (kb1, kb2)
+        }
+    };
+    let gold = dir.join("gold.tsv");
+    export_gold(&dataset.gold, &default_ids(&dataset.kb1), &default_ids(&dataset.kb2), &gold)?;
+    Ok(ExportPaths { kb1, kb2, gold })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remp_datasets::{generate, tiny};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("remp-dataset-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn format_detection() {
+        assert_eq!(KbFormat::detect(Path::new("x.nt")), KbFormat::NTriples);
+        assert_eq!(KbFormat::detect(Path::new("x.rkb")), KbFormat::Snapshot);
+        assert_eq!(KbFormat::detect(Path::new("x.RKB")), KbFormat::Snapshot);
+        assert_eq!(KbFormat::detect(&std::env::temp_dir()), KbFormat::Csv);
+    }
+
+    #[test]
+    fn export_then_load_preserves_dataset_in_both_formats() {
+        let dataset = generate(&tiny(1.0));
+        for (format, tag) in [(ExportFormat::NTriples, "nt"), (ExportFormat::Csv, "csv")] {
+            let dir = tmp(tag);
+            let paths = export_dataset(&dataset, &dir, format).unwrap();
+            let loaded =
+                FileDataset::load(&dataset.name, &paths.kb1, &paths.kb2, &paths.gold).unwrap();
+            assert_eq!(loaded.kb1, dataset.kb1, "{tag}");
+            assert_eq!(loaded.kb2, dataset.kb2, "{tag}");
+            assert_eq!(loaded.gold, dataset.gold, "{tag}");
+            fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}

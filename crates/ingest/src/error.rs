@@ -1,0 +1,135 @@
+//! Typed ingestion errors carrying file and line context.
+//!
+//! Every loader in this crate reports malformed input as an
+//! [`IngestError`] naming the offending file — and, for the line-oriented
+//! text formats, the 1-based line number — rather than panicking. Tools
+//! ingesting multi-million-line dumps need "kb2.nt:48210: unterminated
+//! IRI", not a backtrace.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use remp_kb::KbError;
+
+/// Everything that can go wrong while turning files into knowledge bases.
+#[derive(Debug)]
+pub enum IngestError {
+    /// The underlying I/O operation failed.
+    Io {
+        /// File (or directory) being accessed.
+        path: PathBuf,
+        /// The operating-system error.
+        error: io::Error,
+    },
+    /// A line of a text format (N-Triples, CSV, gold TSV) is malformed.
+    Syntax {
+        /// File being parsed.
+        path: PathBuf,
+        /// 1-based line number where the record *starts* (a quoted CSV
+        /// field may span lines).
+        line: u64,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// A binary `.rkb` snapshot is corrupt, truncated or incompatible.
+    Snapshot {
+        /// Snapshot file.
+        path: PathBuf,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// The decoded knowledge base fails structural validation
+    /// ([`remp_kb::Kb::validate`]) — e.g. a relationship triple with a
+    /// dangling entity endpoint.
+    Kb {
+        /// File the KB was decoded from.
+        path: PathBuf,
+        /// The structural defect.
+        error: KbError,
+    },
+}
+
+impl IngestError {
+    pub(crate) fn io(path: &Path, error: io::Error) -> IngestError {
+        IngestError::Io { path: path.to_path_buf(), error }
+    }
+
+    pub(crate) fn syntax(path: &Path, line: u64, message: impl Into<String>) -> IngestError {
+        IngestError::Syntax { path: path.to_path_buf(), line, message: message.into() }
+    }
+
+    pub(crate) fn snapshot(path: &Path, message: impl Into<String>) -> IngestError {
+        IngestError::Snapshot { path: path.to_path_buf(), message: message.into() }
+    }
+
+    /// The file the error points at.
+    pub fn path(&self) -> &Path {
+        match self {
+            IngestError::Io { path, .. }
+            | IngestError::Syntax { path, .. }
+            | IngestError::Snapshot { path, .. }
+            | IngestError::Kb { path, .. } => path,
+        }
+    }
+
+    /// The 1-based line number, for the line-oriented text formats.
+    pub fn line(&self) -> Option<u64> {
+        match self {
+            IngestError::Syntax { line, .. } => Some(*line),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io { path, error } => {
+                write!(f, "{}: {error}", path.display())
+            }
+            IngestError::Syntax { path, line, message } => {
+                write!(f, "{}:{line}: {message}", path.display())
+            }
+            IngestError::Snapshot { path, message } => {
+                write!(f, "{}: invalid snapshot: {message}", path.display())
+            }
+            IngestError::Kb { path, error } => {
+                write!(f, "{}: invalid knowledge base: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Io { error, .. } => Some(error),
+            IngestError::Kb { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn syntax_errors_cite_file_and_line() {
+        let err = IngestError::syntax(Path::new("kb1.nt"), 42, "unterminated IRI");
+        assert_eq!(err.to_string(), "kb1.nt:42: unterminated IRI");
+        assert_eq!(err.line(), Some(42));
+        assert_eq!(err.path(), Path::new("kb1.nt"));
+    }
+
+    #[test]
+    fn io_errors_cite_the_file() {
+        let err = IngestError::io(
+            Path::new("missing.rkb"),
+            io::Error::new(io::ErrorKind::NotFound, "no such file"),
+        );
+        assert!(err.to_string().starts_with("missing.rkb:"), "{err}");
+        assert_eq!(err.line(), None);
+    }
+}

@@ -1,0 +1,161 @@
+//! Loader/writer for gold-standard entity alignments (reference matches).
+//!
+//! The format is two-column TSV: each line holds the external identifiers
+//! of one matched pair — the identifiers *as used in the two KB files*
+//! (IRIs for N-Triples, ids for CSV; snapshots preserve them). Blank
+//! lines and `#` comments are skipped. Loading resolves identifiers
+//! through the [`LoadedKb`](crate::LoadedKb) id maps, so a pair naming an
+//! unknown entity is a typed error with file and line.
+
+use std::collections::{HashMap, HashSet};
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use remp_kb::EntityId;
+
+use crate::IngestError;
+
+/// Loads a gold alignment, resolving external ids through the two maps.
+pub fn load_gold(
+    path: &Path,
+    ids1: &HashMap<&str, EntityId>,
+    ids2: &HashMap<&str, EntityId>,
+) -> Result<HashSet<(EntityId, EntityId)>, IngestError> {
+    let file = File::open(path).map_err(|e| IngestError::io(path, e))?;
+    read_gold(BufReader::new(file), path, ids1, ids2)
+}
+
+/// Streams a gold alignment from any reader (`path` is error context).
+pub fn read_gold(
+    reader: impl BufRead,
+    path: &Path,
+    ids1: &HashMap<&str, EntityId>,
+    ids2: &HashMap<&str, EntityId>,
+) -> Result<HashSet<(EntityId, EntityId)>, IngestError> {
+    let mut gold = HashSet::new();
+    for (i, line) in reader.lines().enumerate() {
+        let lineno = i as u64 + 1;
+        let mut line = line.map_err(|e| IngestError::io(path, e))?;
+        if line.ends_with('\r') {
+            line.pop(); // CRLF endings, as the KB loaders tolerate
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let Some((left, right)) = line.split_once('\t') else {
+            return Err(IngestError::syntax(
+                path,
+                lineno,
+                "expected two tab-separated entity identifiers",
+            ));
+        };
+        if right.contains('\t') {
+            return Err(IngestError::syntax(path, lineno, "more than two columns"));
+        }
+        let resolve = |id: &str,
+                       ids: &HashMap<&str, EntityId>,
+                       side: &str|
+         -> Result<EntityId, IngestError> {
+            ids.get(id).copied().ok_or_else(|| {
+                IngestError::syntax(path, lineno, format!("unknown {side} entity id {id:?}"))
+            })
+        };
+        gold.insert((resolve(left, ids1, "KB1")?, resolve(right, ids2, "KB2")?));
+    }
+    Ok(gold)
+}
+
+/// Writes a gold alignment using the supplied external-id tables
+/// (indexed by entity id), sorted for deterministic output.
+pub fn export_gold(
+    gold: &HashSet<(EntityId, EntityId)>,
+    ids1: &[String],
+    ids2: &[String],
+    path: &Path,
+) -> Result<(), IngestError> {
+    let file = File::create(path).map_err(|e| IngestError::io(path, e))?;
+    let mut out = BufWriter::new(file);
+    write_gold(gold, ids1, ids2, &mut out).map_err(|e| IngestError::io(path, e))
+}
+
+/// See [`export_gold`].
+pub fn write_gold(
+    gold: &HashSet<(EntityId, EntityId)>,
+    ids1: &[String],
+    ids2: &[String],
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    let mut pairs: Vec<_> = gold.iter().copied().collect();
+    pairs.sort_unstable();
+    for (u1, u2) in pairs {
+        writeln!(out, "{}\t{}", ids1[u1.index()], ids2[u2.index()])?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn maps() -> (HashMap<&'static str, EntityId>, HashMap<&'static str, EntityId>) {
+        let ids1 = HashMap::from([("urn:a", EntityId(0)), ("urn:b", EntityId(1))]);
+        let ids2 = HashMap::from([("x", EntityId(0)), ("y", EntityId(1))]);
+        (ids1, ids2)
+    }
+
+    #[test]
+    fn loads_pairs_and_skips_comments() {
+        let (ids1, ids2) = maps();
+        let gold = read_gold(
+            "# comment\n\nurn:a\tx\nurn:b\ty\n".as_bytes(),
+            Path::new("gold.tsv"),
+            &ids1,
+            &ids2,
+        )
+        .unwrap();
+        assert_eq!(gold, HashSet::from([(EntityId(0), EntityId(0)), (EntityId(1), EntityId(1))]));
+    }
+
+    #[test]
+    fn crlf_line_endings_are_tolerated() {
+        let (ids1, ids2) = maps();
+        let gold =
+            read_gold("urn:a\tx\r\nurn:b\ty\r\n".as_bytes(), Path::new("gold.tsv"), &ids1, &ids2)
+                .unwrap();
+        assert_eq!(gold.len(), 2);
+    }
+
+    #[test]
+    fn unknown_ids_and_bad_columns_cite_the_line() {
+        let (ids1, ids2) = maps();
+        let err =
+            read_gold("urn:a\tx\nurn:ghost\ty\n".as_bytes(), Path::new("gold.tsv"), &ids1, &ids2)
+                .unwrap_err();
+        assert_eq!(err.line(), Some(2));
+        assert!(err.to_string().contains("urn:ghost"), "{err}");
+
+        let err = read_gold("no-tabs-here\n".as_bytes(), Path::new("gold.tsv"), &ids1, &ids2)
+            .unwrap_err();
+        assert_eq!(err.line(), Some(1));
+
+        let err =
+            read_gold("urn:a\tx\ty\n".as_bytes(), Path::new("gold.tsv"), &ids1, &ids2).unwrap_err();
+        assert!(err.to_string().contains("more than two columns"), "{err}");
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let (ids1, ids2) = maps();
+        let gold = HashSet::from([(EntityId(1), EntityId(0)), (EntityId(0), EntityId(1))]);
+        let table1 = vec!["urn:a".to_owned(), "urn:b".to_owned()];
+        let table2 = vec!["x".to_owned(), "y".to_owned()];
+        let mut buf = Vec::new();
+        write_gold(&gold, &table1, &table2, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, "urn:a\ty\nurn:b\tx\n", "sorted deterministic output");
+        let reloaded = read_gold(text.as_bytes(), Path::new("g"), &ids1, &ids2).unwrap();
+        assert_eq!(reloaded, gold);
+    }
+}

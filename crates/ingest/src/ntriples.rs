@@ -1,0 +1,543 @@
+//! Streaming loader and writer for a line-oriented N-Triples subset.
+//!
+//! The supported grammar is one triple per line:
+//!
+//! ```text
+//! <subject-iri> <predicate-iri> <object-iri> .          # relationship
+//! <subject-iri> <predicate-iri> "literal" .             # attribute
+//! <subject-iri> <predicate-iri> "3.5"^^<…#double> .     # numeric attribute
+//! ```
+//!
+//! Blank lines and `#` comment lines are skipped. Literals support the
+//! standard escapes (`\"`, `\\`, `\n`, `\r`, `\t`, `\uXXXX`, `\UXXXXXXXX`,
+//! surrogate pairs) and an optional language tag (accepted, ignored).
+//! Values are normalized during the scan: literals whose datatype IRI has
+//! a numeric XSD suffix become [`Value::Number`], everything else becomes
+//! [`Value::Text`]. Triples whose predicate is `rdfs:label` set the
+//! subject's entity label; all decisions are made line by line so dumps
+//! stream through a constant-size buffer into [`KbBuilder`].
+//!
+//! Entities are interned on first mention (subject or object position)
+//! with a label derived from the IRI's local name, overwritten when the
+//! label triple arrives. See `crates/ingest/FORMAT.md` for the full
+//! format and round-trip guarantees.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use remp_kb::{EntityId, Kb, KbBuilder, Value};
+
+use crate::{IngestError, LoadedKb};
+
+/// The predicate whose literal object is the entity label (paper §III-A).
+pub const RDFS_LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+
+/// Datatype IRI written for numeric literals.
+pub const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+
+/// Datatype-IRI suffixes normalized to [`Value::Number`] during the scan.
+const NUMERIC_SUFFIXES: [&str; 7] =
+    ["#double", "#float", "#decimal", "#integer", "#int", "#long", "#short"];
+
+const ATTR_IRI_PREFIX: &str = "urn:remp:attr:";
+const REL_IRI_PREFIX: &str = "urn:remp:rel:";
+
+/// The canonical IRI this crate's exporter writes for entity `index`.
+pub fn entity_iri(index: usize) -> String {
+    format!("urn:remp:e{index}")
+}
+
+/// One parsed triple.
+#[derive(Debug, PartialEq)]
+enum Parsed<'a> {
+    /// Blank or comment line.
+    Nothing,
+    /// `(subject, predicate, object-iri)`.
+    Relationship(&'a str, &'a str, &'a str),
+    /// `(subject, predicate, value)`.
+    Attribute(&'a str, &'a str, Value),
+}
+
+/// Loads an N-Triples file into a knowledge base called `kb_name`.
+pub fn load_ntriples(path: &Path, kb_name: &str) -> Result<LoadedKb, IngestError> {
+    let file = File::open(path).map_err(|e| IngestError::io(path, e))?;
+    read_ntriples(BufReader::new(file), path, kb_name)
+}
+
+/// Streams N-Triples from any reader (`path` is used for error context).
+pub fn read_ntriples(
+    mut reader: impl BufRead,
+    path: &Path,
+    kb_name: &str,
+) -> Result<LoadedKb, IngestError> {
+    let mut builder = KbBuilder::new(kb_name);
+    let mut ids: HashMap<String, EntityId> = HashMap::new();
+    let mut external_ids: Vec<String> = Vec::new();
+    let mut intern = |iri: &str, builder: &mut KbBuilder| -> EntityId {
+        if let Some(&id) = ids.get(iri) {
+            return id;
+        }
+        let id = builder.add_entity(local_name(iri));
+        ids.insert(iri.to_owned(), id);
+        external_ids.push(iri.to_owned());
+        id
+    };
+
+    let mut line = String::new();
+    let mut lineno = 0u64;
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| IngestError::io(path, e))?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        match parse_line(&line).map_err(|msg| IngestError::syntax(path, lineno, msg))? {
+            Parsed::Nothing => {}
+            Parsed::Relationship(s, p, o) => {
+                let subject = intern(s, &mut builder);
+                let object = intern(o, &mut builder);
+                let rel = builder
+                    .add_rel(rel_name_of(p).map_err(|msg| IngestError::syntax(path, lineno, msg))?);
+                builder.add_rel_triple(subject, rel, object);
+            }
+            Parsed::Attribute(s, p, value) => {
+                let subject = intern(s, &mut builder);
+                if p == RDFS_LABEL {
+                    match value {
+                        Value::Text(label) => builder.set_label(subject, label),
+                        Value::Number(_) => {
+                            return Err(IngestError::syntax(
+                                path,
+                                lineno,
+                                "rdfs:label object must be a string literal",
+                            ));
+                        }
+                    }
+                } else {
+                    let attr = builder.add_attr(
+                        attr_name_of(p).map_err(|msg| IngestError::syntax(path, lineno, msg))?,
+                    );
+                    builder.add_attr_triple(subject, attr, value);
+                }
+            }
+        }
+    }
+    Ok(LoadedKb { kb: builder.finish(), external_ids })
+}
+
+/// Writes `kb` as N-Triples to `path`.
+pub fn export_ntriples(kb: &Kb, path: &Path) -> Result<(), IngestError> {
+    let file = File::create(path).map_err(|e| IngestError::io(path, e))?;
+    let mut out = BufWriter::new(file);
+    write_ntriples(kb, &mut out).map_err(|e| IngestError::io(path, e))
+}
+
+/// Serializes `kb` as N-Triples.
+///
+/// The emission order is part of the format contract (FORMAT.md): label
+/// triples for every entity in id order, then attribute triples grouped
+/// by attribute id, then relationship triples grouped by relationship id.
+/// Re-importing therefore reproduces the exact same id assignment, making
+/// `Kb → N-Triples → Kb` the identity.
+pub fn write_ntriples(kb: &Kb, out: &mut dyn Write) -> io::Result<()> {
+    for u in kb.entities() {
+        writeln!(
+            out,
+            "<{}> <{RDFS_LABEL}> \"{}\" .",
+            entity_iri(u.index()),
+            escape_literal(kb.label(u))
+        )?;
+    }
+    for a in kb.attrs() {
+        let pred = format!("{ATTR_IRI_PREFIX}{}", encode_component(kb.attr_name(a)));
+        for u in kb.entities() {
+            for v in kb.attr_values(u, a) {
+                match v {
+                    Value::Text(s) => writeln!(
+                        out,
+                        "<{}> <{pred}> \"{}\" .",
+                        entity_iri(u.index()),
+                        escape_literal(s)
+                    )?,
+                    Value::Number(n) => writeln!(
+                        out,
+                        "<{}> <{pred}> \"{n}\"^^<{XSD_DOUBLE}> .",
+                        entity_iri(u.index())
+                    )?,
+                }
+            }
+        }
+    }
+    for r in kb.rels() {
+        let pred = format!("{REL_IRI_PREFIX}{}", encode_component(kb.rel_name(r)));
+        for u in kb.entities() {
+            for &(_, o) in kb.rel_values(u, r) {
+                writeln!(
+                    out,
+                    "<{}> <{pred}> <{}> .",
+                    entity_iri(u.index()),
+                    entity_iri(o.index())
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- line parser ------------------------------------------------------
+
+fn parse_line(line: &str) -> Result<Parsed<'_>, String> {
+    let mut rest = line.trim_start();
+    if rest.is_empty() || rest.starts_with('#') {
+        return Ok(Parsed::Nothing);
+    }
+    let (subject, r) = parse_iri(rest)?;
+    rest = r.trim_start();
+    let (predicate, r) = parse_iri(rest)?;
+    rest = r.trim_start();
+    if rest.starts_with('<') {
+        let (object, r) = parse_iri(rest)?;
+        expect_terminator(r)?;
+        Ok(Parsed::Relationship(subject, predicate, object))
+    } else if rest.starts_with('"') {
+        let (text, datatype, r) = parse_literal(rest)?;
+        expect_terminator(r)?;
+        let value = match datatype {
+            Some(dt) if NUMERIC_SUFFIXES.iter().any(|s| dt.ends_with(s)) => {
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| format!("invalid numeric literal \"{text}\" for <{dt}>"))?;
+                Value::Number(n)
+            }
+            _ => Value::Text(text),
+        };
+        Ok(Parsed::Attribute(subject, predicate, value))
+    } else if rest.is_empty() {
+        Err("expected object term, found end of line".into())
+    } else {
+        Err(format!("expected object term, found {:?}", rest.chars().next().unwrap()))
+    }
+}
+
+/// Parses `<iri>` at the start of `s`, returning the IRI and the rest.
+fn parse_iri(s: &str) -> Result<(&str, &str), String> {
+    let Some(body) = s.strip_prefix('<') else {
+        let found = s.chars().next().map_or("end of line".to_owned(), |c| format!("{c:?}"));
+        return Err(format!("expected IRI, found {found}"));
+    };
+    let Some(end) = body.find('>') else {
+        return Err("unterminated IRI (missing '>')".into());
+    };
+    let iri = &body[..end];
+    if iri.is_empty() {
+        return Err("empty IRI".into());
+    }
+    if iri.chars().any(|c| c.is_whitespace() || c == '<') {
+        return Err(format!("IRI <{iri}> contains whitespace"));
+    }
+    Ok((iri, &body[end + 1..]))
+}
+
+/// Parses a quoted literal (plus optional `@lang` / `^^<datatype>`),
+/// returning `(unescaped text, datatype IRI, rest)`.
+fn parse_literal(s: &str) -> Result<(String, Option<&str>, &str), String> {
+    let body = s.strip_prefix('"').expect("caller checked the opening quote");
+    let mut text = String::new();
+    let mut chars = body.char_indices();
+    let close = loop {
+        let Some((i, c)) = chars.next() else {
+            return Err("unterminated string literal (missing '\"')".into());
+        };
+        match c {
+            '"' => break i,
+            '\\' => {
+                let Some((_, esc)) = chars.next() else {
+                    return Err("dangling '\\' at end of line".into());
+                };
+                match esc {
+                    '"' => text.push('"'),
+                    '\\' => text.push('\\'),
+                    'n' => text.push('\n'),
+                    'r' => text.push('\r'),
+                    't' => text.push('\t'),
+                    'u' => text.push(parse_unicode_escape(&mut chars, 4)?),
+                    'U' => text.push(parse_unicode_escape(&mut chars, 8)?),
+                    other => return Err(format!("unsupported escape '\\{other}'")),
+                }
+            }
+            c => text.push(c),
+        }
+    };
+    let mut rest = &body[close + 1..];
+    if let Some(tagged) = rest.strip_prefix('@') {
+        // Language tags are accepted and ignored.
+        let end =
+            tagged.find(|c: char| !(c.is_ascii_alphanumeric() || c == '-')).unwrap_or(tagged.len());
+        if end == 0 {
+            return Err("empty language tag".into());
+        }
+        rest = &tagged[end..];
+    }
+    let mut datatype = None;
+    if let Some(dt) = rest.strip_prefix("^^") {
+        let (iri, r) = parse_iri(dt)?;
+        datatype = Some(iri);
+        rest = r;
+    }
+    Ok((text, datatype, rest))
+}
+
+/// Reads `digits` hex digits from the char stream.
+fn take_hex(chars: &mut std::str::CharIndices<'_>, digits: usize) -> Result<u32, String> {
+    let mut v: u32 = 0;
+    for _ in 0..digits {
+        let Some((_, c)) = chars.next() else {
+            return Err("truncated unicode escape".into());
+        };
+        let d = c.to_digit(16).ok_or_else(|| format!("bad hex digit {c:?} in escape"))?;
+        v = v * 16 + d;
+    }
+    Ok(v)
+}
+
+/// Decodes `\uXXXX` / `\UXXXXXXXX` (with surrogate-pair handling).
+fn parse_unicode_escape(
+    chars: &mut std::str::CharIndices<'_>,
+    digits: usize,
+) -> Result<char, String> {
+    let mut code = take_hex(chars, digits)?;
+    if (0xD800..0xDC00).contains(&code) {
+        // High surrogate: a `\uDC00`–`\uDFFF` escape must follow.
+        match (chars.next(), chars.next()) {
+            (Some((_, '\\')), Some((_, 'u'))) => {}
+            _ => return Err("lone high surrogate in unicode escape".into()),
+        }
+        let low = take_hex(chars, 4)?;
+        if !(0xDC00..0xE000).contains(&low) {
+            return Err("invalid low surrogate in unicode escape".into());
+        }
+        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    }
+    char::from_u32(code).ok_or_else(|| format!("invalid unicode scalar U+{code:X}"))
+}
+
+/// After the object term: optional whitespace, `.`, optional whitespace.
+fn expect_terminator(s: &str) -> Result<(), String> {
+    let rest = s.trim_start();
+    let Some(after) = rest.strip_prefix('.') else {
+        return Err("missing '.' terminator".into());
+    };
+    if !after.trim_start().is_empty() {
+        return Err(format!("trailing content after '.': {:?}", after.trim()));
+    }
+    Ok(())
+}
+
+// ---- naming -----------------------------------------------------------
+
+/// The local name of an IRI: everything after the last `#`, `/` or `:`.
+fn local_name(iri: &str) -> &str {
+    let cut = iri.rfind(['#', '/', ':']).map(|i| i + 1).unwrap_or(0);
+    if cut >= iri.len() {
+        iri
+    } else {
+        &iri[cut..]
+    }
+}
+
+fn attr_name_of(pred: &str) -> Result<String, String> {
+    decoded_name(pred, ATTR_IRI_PREFIX)
+}
+
+fn rel_name_of(pred: &str) -> Result<String, String> {
+    decoded_name(pred, REL_IRI_PREFIX)
+}
+
+/// The schema-element name for a predicate IRI: our own `urn:remp:…`
+/// IRIs percent-decode back to the exact original name; foreign IRIs use
+/// their local name.
+fn decoded_name(pred: &str, prefix: &str) -> Result<String, String> {
+    match pred.strip_prefix(prefix) {
+        Some(enc) => decode_component(enc)
+            .ok_or_else(|| format!("invalid percent-encoding in predicate <{pred}>")),
+        None => Ok(local_name(pred).to_owned()),
+    }
+}
+
+// ---- escaping ---------------------------------------------------------
+
+/// Escapes a literal for emission between double quotes.
+fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04X}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Percent-encodes a schema-element name into an IRI component.
+fn encode_component(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'.' | b'_' | b'~' => {
+                out.push(b as char)
+            }
+            b => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_component`]; `None` on malformed input.
+fn decode_component(s: &str) -> Option<String> {
+    let mut bytes = Vec::with_capacity(s.len());
+    let mut iter = s.bytes();
+    while let Some(b) = iter.next() {
+        if b == b'%' {
+            let hi = (iter.next()? as char).to_digit(16)?;
+            let lo = (iter.next()? as char).to_digit(16)?;
+            bytes.push((hi * 16 + lo) as u8);
+        } else {
+            bytes.push(b);
+        }
+    }
+    String::from_utf8(bytes).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load_str(text: &str) -> Result<LoadedKb, IngestError> {
+        read_ntriples(text.as_bytes(), Path::new("test.nt"), "t")
+    }
+
+    #[test]
+    fn parses_the_three_triple_kinds() {
+        let loaded = load_str(concat!(
+            "# a comment\n",
+            "\n",
+            "<urn:a> <http://www.w3.org/2000/01/rdf-schema#label> \"Ada\" .\n",
+            "<urn:a> <urn:remp:attr:born> \"1815\"^^<http://www.w3.org/2001/XMLSchema#double> .\n",
+            "<urn:a> <urn:remp:attr:note> \"first \\\"programmer\\\"\" .\n",
+            "<urn:a> <urn:remp:rel:knows> <urn:b> .\n",
+        ))
+        .unwrap();
+        let kb = &loaded.kb;
+        assert_eq!(kb.num_entities(), 2);
+        assert_eq!(kb.label(EntityId(0)), "Ada");
+        assert_eq!(kb.label(EntityId(1)), "b", "object label defaults to the IRI local name");
+        assert_eq!(kb.num_attr_triples(), 2);
+        assert_eq!(kb.num_rel_triples(), 1);
+        assert_eq!(loaded.external_ids, vec!["urn:a".to_owned(), "urn:b".to_owned()]);
+        let born = kb.attrs().find(|&a| kb.attr_name(a) == "born").unwrap();
+        assert_eq!(kb.attr_values(EntityId(0), born).next(), Some(&Value::number(1815.0)));
+    }
+
+    #[test]
+    fn label_may_arrive_after_first_mention() {
+        let loaded = load_str(concat!(
+            "<urn:a> <urn:remp:rel:knows> <urn:b> .\n",
+            "<urn:b> <http://www.w3.org/2000/01/rdf-schema#label> \"Babbage\" .\n",
+        ))
+        .unwrap();
+        assert_eq!(loaded.kb.label(EntityId(1)), "Babbage");
+    }
+
+    #[test]
+    fn language_tags_are_ignored() {
+        let loaded = load_str("<urn:a> <urn:remp:attr:name> \"Wien\"@de .\n").unwrap();
+        assert_eq!(loaded.kb.num_attr_triples(), 1);
+    }
+
+    #[test]
+    fn errors_carry_the_line_number() {
+        let cases: &[(&str, &str)] = &[
+            ("<urn:a> <urn:p> <urn:b>\n", "missing '.'"),
+            ("<urn:a> <urn:p \"x\" .\n", "unterminated IRI"),
+            ("<urn:a <urn:p> <urn:b> .\n", "whitespace"),
+            ("<urn:a> <urn:p> \"x .\n", "unterminated string"),
+            ("<urn:a> <urn:p> \"x\\q\" .\n", "unsupported escape"),
+            ("<urn:a> <urn:p> \"x\" . extra\n", "trailing content"),
+            ("<urn:a> <urn:p> 42 .\n", "expected object term"),
+            (
+                "<urn:a> <urn:p> \"x\"^^<http://www.w3.org/2001/XMLSchema#double> .\n",
+                "invalid numeric literal",
+            ),
+        ];
+        for (bad, needle) in cases {
+            let text = format!("<urn:ok> <urn:remp:attr:a> \"fine\" .\n{bad}");
+            let err = load_str(&text).unwrap_err();
+            assert_eq!(err.line(), Some(2), "{bad:?} → {err}");
+            assert!(err.to_string().contains(needle), "{bad:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let loaded =
+            load_str("<urn:a> <urn:remp:attr:x> \"caf\\u00E9 \\uD83D\\uDE00 \\U0001F680\" .\n")
+                .unwrap();
+        let a = loaded.kb.attrs().next().unwrap();
+        let v: Vec<_> = loaded.kb.attr_values(EntityId(0), a).collect();
+        assert_eq!(v, vec![&Value::text("café 😀 🚀")]);
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        for bad in ["\"\\uD800\"", "\"\\uD800\\u0041\"", "\"\\uDC00x\""] {
+            let text = format!("<urn:a> <urn:remp:attr:x> {bad} .\n");
+            assert!(load_str(&text).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_the_kb_exactly() {
+        let mut b = KbBuilder::new("t");
+        let a = b.add_entity("Ada \"the\" first\nline2");
+        let c = b.add_entity("");
+        let z = b.add_attr("zeta attr");
+        let y = b.add_attr("alpha");
+        let r = b.add_rel("knows / likes");
+        b.add_attr_triple(a, z, Value::text("x\ty"));
+        b.add_attr_triple(a, y, Value::number(-0.0));
+        b.add_attr_triple(c, y, Value::number(f64::INFINITY));
+        b.add_rel_triple(a, r, c);
+        let kb = b.finish();
+
+        let mut buf = Vec::new();
+        write_ntriples(&kb, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let reloaded = read_ntriples(text.as_bytes(), Path::new("rt.nt"), "t").unwrap();
+        assert_eq!(reloaded.kb, kb);
+    }
+
+    #[test]
+    fn component_encoding_round_trips() {
+        for s in ["plain", "with space", "ü%#/:\\\"", ""] {
+            assert_eq!(decode_component(&encode_component(s)).as_deref(), Some(s));
+        }
+        assert_eq!(decode_component("%zz"), None);
+        assert_eq!(decode_component("%e2"), None, "truncated UTF-8 must not decode");
+    }
+
+    #[test]
+    fn local_names() {
+        assert_eq!(local_name("http://x.org/ns#born"), "born");
+        assert_eq!(local_name("urn:remp:e7"), "e7");
+        assert_eq!(local_name("plain"), "plain");
+        assert_eq!(local_name("trailing/"), "trailing/");
+    }
+}

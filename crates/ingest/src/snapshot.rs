@@ -1,0 +1,527 @@
+//! The versioned `.rkb` binary knowledge-base snapshot.
+//!
+//! Multi-million-triple dumps should be parsed once: `rempctl import`
+//! converts text to a snapshot, and every later run loads the snapshot
+//! in milliseconds. The file stores the *frozen* [`Kb`] representation —
+//! adjacency tables already grouped and sorted — so loading is a single
+//! read plus [`Kb::from_parts`]'s linear validation sweep: no tokenizing,
+//! no re-sorting, no re-interning.
+//!
+//! Layout (all integers little-endian; see FORMAT.md for the contract):
+//!
+//! ```text
+//! magic  b"RKB\0"            4 bytes
+//! version u32                this build writes 1, reads exactly 1
+//! payload length u64         integrity: must match the file size
+//! checksum u64               FNV-1a 64 over the payload bytes
+//! payload                    length-prefixed sections
+//! ```
+//!
+//! Each section is `tag: u32, length: u64, body`. All eight section tags
+//! are required in version 1; an unknown tag is an error (format changes
+//! bump the version). Corruption — bad magic, truncation, checksum
+//! mismatch, dangling ids — surfaces as a typed [`IngestError`], never a
+//! panic.
+
+use std::fs::{self, File};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use remp_kb::{AttrId, EntityId, Kb, RelId, Value};
+
+use crate::{IngestError, LoadedKb};
+
+/// Magic bytes opening every snapshot.
+pub const MAGIC: [u8; 4] = *b"RKB\0";
+
+/// Snapshot format version this build writes (and the only one it reads).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The conventional file extension.
+pub const SNAPSHOT_EXTENSION: &str = "rkb";
+
+const TAG_NAME: u32 = 1;
+const TAG_LABELS: u32 = 2;
+const TAG_ATTR_NAMES: u32 = 3;
+const TAG_REL_NAMES: u32 = 4;
+const TAG_ATTR_TRIPLES: u32 = 5;
+const TAG_REL_OUT: u32 = 6;
+const TAG_REL_IN: u32 = 7;
+const TAG_EXTERNAL_IDS: u32 = 8;
+
+const KIND_TEXT: u8 = 0;
+const KIND_NUMBER: u8 = 1;
+
+/// FNV-1a 64 — dependency-free integrity hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ---- writer -----------------------------------------------------------
+
+/// Writes `kb` (with its external identifiers) as a snapshot at `path`.
+///
+/// `external_ids` must hold one identifier per entity — the IRIs/ids the
+/// entity had in its source text files, preserved so gold alignments
+/// keep resolving against snapshots.
+pub fn write_snapshot(kb: &Kb, external_ids: &[String], path: &Path) -> Result<(), IngestError> {
+    assert_eq!(
+        external_ids.len(),
+        kb.num_entities(),
+        "one external identifier per entity required"
+    );
+    let mut payload = Vec::new();
+    section(&mut payload, TAG_NAME, |b| put_str(b, kb.name()));
+    section(&mut payload, TAG_LABELS, |b| {
+        put_u32(b, kb.num_entities() as u32);
+        for u in kb.entities() {
+            put_str(b, kb.label(u));
+        }
+    });
+    section(&mut payload, TAG_ATTR_NAMES, |b| {
+        put_u32(b, kb.num_attrs() as u32);
+        for a in kb.attrs() {
+            put_str(b, kb.attr_name(a));
+        }
+    });
+    section(&mut payload, TAG_REL_NAMES, |b| {
+        put_u32(b, kb.num_rels() as u32);
+        for r in kb.rels() {
+            put_str(b, kb.rel_name(r));
+        }
+    });
+    section(&mut payload, TAG_ATTR_TRIPLES, |b| {
+        put_u32(b, kb.num_entities() as u32);
+        for u in kb.entities() {
+            let pairs = kb.attrs_of(u);
+            put_u32(b, pairs.len() as u32);
+            for (a, v) in pairs {
+                put_u32(b, a.0);
+                match v {
+                    Value::Text(s) => {
+                        b.push(KIND_TEXT);
+                        put_str(b, s);
+                    }
+                    Value::Number(n) => {
+                        b.push(KIND_NUMBER);
+                        b.extend_from_slice(&n.to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+    });
+    for (tag, side) in [(TAG_REL_OUT, false), (TAG_REL_IN, true)] {
+        section(&mut payload, tag, |b| {
+            put_u32(b, kb.num_entities() as u32);
+            for u in kb.entities() {
+                let pairs = if side { kb.rels_into(u) } else { kb.rels_of(u) };
+                put_u32(b, pairs.len() as u32);
+                for &(r, v) in pairs {
+                    put_u32(b, r.0);
+                    put_u32(b, v.0);
+                }
+            }
+        });
+    }
+    section(&mut payload, TAG_EXTERNAL_IDS, |b| {
+        put_u32(b, external_ids.len() as u32);
+        for id in external_ids {
+            put_str(b, id);
+        }
+    });
+
+    let file = File::create(path).map_err(|e| IngestError::io(path, e))?;
+    let mut out = BufWriter::new(file);
+    let emit = |out: &mut BufWriter<File>| -> std::io::Result<()> {
+        out.write_all(&MAGIC)?;
+        out.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
+        out.write_all(&(payload.len() as u64).to_le_bytes())?;
+        out.write_all(&fnv1a64(&payload).to_le_bytes())?;
+        out.write_all(&payload)?;
+        out.flush()
+    };
+    emit(&mut out).map_err(|e| IngestError::io(path, e))
+}
+
+fn section(payload: &mut Vec<u8>, tag: u32, fill: impl FnOnce(&mut Vec<u8>)) {
+    put_u32(payload, tag);
+    let len_at = payload.len();
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    let start = payload.len();
+    fill(payload);
+    let len = (payload.len() - start) as u64;
+    payload[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
+}
+
+fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(b: &mut Vec<u8>, s: &str) {
+    put_u32(b, s.len() as u32);
+    b.extend_from_slice(s.as_bytes());
+}
+
+// ---- reader -----------------------------------------------------------
+
+/// Loads a snapshot written by [`write_snapshot`].
+pub fn load_snapshot(path: &Path) -> Result<LoadedKb, IngestError> {
+    let data = fs::read(path).map_err(|e| IngestError::io(path, e))?;
+    decode_snapshot(&data, path)
+}
+
+/// Decodes a snapshot from bytes (`path` is error context only).
+pub fn decode_snapshot(data: &[u8], path: &Path) -> Result<LoadedKb, IngestError> {
+    let fail = |msg: String| IngestError::snapshot(path, msg);
+    if data.len() < 24 {
+        return Err(fail(format!("file is {} bytes, header needs 24", data.len())));
+    }
+    if data[..4] != MAGIC {
+        return Err(fail("bad magic (not an .rkb snapshot)".into()));
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(fail(format!(
+            "unsupported version {version} (this build reads {SNAPSHOT_VERSION})"
+        )));
+    }
+    let payload_len = u64::from_le_bytes(data[8..16].try_into().unwrap());
+    let checksum = u64::from_le_bytes(data[16..24].try_into().unwrap());
+    let payload = &data[24..];
+    if payload.len() as u64 != payload_len {
+        return Err(fail(format!(
+            "truncated: header promises {payload_len} payload bytes, file has {}",
+            payload.len()
+        )));
+    }
+    let actual = fnv1a64(payload);
+    if actual != checksum {
+        return Err(fail(format!(
+            "checksum mismatch (stored {checksum:#018x}, computed {actual:#018x})"
+        )));
+    }
+
+    let mut name = None;
+    let mut labels = None;
+    let mut attr_names = None;
+    let mut rel_names = None;
+    let mut attr_values = None;
+    let mut rel_out = None;
+    let mut rel_in = None;
+    let mut external_ids = None;
+
+    let mut cur = Cursor { data: payload, pos: 0, path };
+    while !cur.done() {
+        let tag = cur.u32()?;
+        let len = cur.u64()? as usize;
+        let body = cur.bytes(len)?;
+        let mut sec = Cursor { data: body, pos: 0, path };
+        match tag {
+            TAG_NAME => name = Some(sec.string()?),
+            TAG_LABELS => labels = Some(sec.string_table()?),
+            TAG_ATTR_NAMES => attr_names = Some(sec.string_table()?),
+            TAG_REL_NAMES => rel_names = Some(sec.string_table()?),
+            TAG_ATTR_TRIPLES => {
+                let n = sec.u32()? as usize;
+                let mut table = Vec::with_capacity(sec.capped(n, 4));
+                for _ in 0..n {
+                    let count = sec.u32()? as usize;
+                    // Each item is ≥ 9 bytes (attr + kind + shortest value).
+                    let mut row = Vec::with_capacity(sec.capped(count, 9));
+                    for _ in 0..count {
+                        let attr = AttrId(sec.u32()?);
+                        let value = match sec.u8()? {
+                            KIND_TEXT => Value::Text(sec.string()?),
+                            KIND_NUMBER => Value::Number(f64::from_bits(sec.u64()?)),
+                            k => return Err(fail(format!("unknown value kind {k}"))),
+                        };
+                        row.push((attr, value));
+                    }
+                    table.push(row);
+                }
+                sec.expect_end()?;
+                attr_values = Some(table);
+            }
+            TAG_REL_OUT | TAG_REL_IN => {
+                let n = sec.u32()? as usize;
+                let mut table = Vec::with_capacity(sec.capped(n, 4));
+                for _ in 0..n {
+                    let count = sec.u32()? as usize;
+                    let mut row = Vec::with_capacity(sec.capped(count, 8));
+                    for _ in 0..count {
+                        row.push((RelId(sec.u32()?), EntityId(sec.u32()?)));
+                    }
+                    table.push(row);
+                }
+                sec.expect_end()?;
+                if tag == TAG_REL_OUT {
+                    rel_out = Some(table);
+                } else {
+                    rel_in = Some(table);
+                }
+            }
+            TAG_EXTERNAL_IDS => external_ids = Some(sec.string_table()?),
+            other => {
+                return Err(fail(format!(
+                    "unknown section tag {other} (written by a newer build?)"
+                )));
+            }
+        }
+    }
+
+    let missing = |what: &str| fail(format!("missing required section: {what}"));
+    let name = name.ok_or_else(|| missing("name"))?;
+    let labels = labels.ok_or_else(|| missing("labels"))?;
+    let attr_names = attr_names.ok_or_else(|| missing("attribute names"))?;
+    let rel_names = rel_names.ok_or_else(|| missing("relationship names"))?;
+    let attr_values = attr_values.ok_or_else(|| missing("attribute triples"))?;
+    let rel_out = rel_out.ok_or_else(|| missing("outgoing relationships"))?;
+    let rel_in = rel_in.ok_or_else(|| missing("incoming relationships"))?;
+    let external_ids = external_ids.ok_or_else(|| missing("external ids"))?;
+    if external_ids.len() != labels.len() {
+        return Err(fail(format!(
+            "{} external ids for {} entities",
+            external_ids.len(),
+            labels.len()
+        )));
+    }
+
+    let kb = Kb::from_parts(name, labels, attr_names, rel_names, attr_values, rel_out, rel_in)
+        .map_err(|error| IngestError::Kb { path: path.to_path_buf(), error })?;
+    Ok(LoadedKb { kb, external_ids })
+}
+
+/// Bounds-checked little-endian reader over one byte slice; out-of-range
+/// reads become [`IngestError::Snapshot`] citing the file.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> Cursor<'a> {
+    fn done(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    fn truncated(&self) -> IngestError {
+        IngestError::snapshot(self.path, "section truncated or malformed".to_owned())
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], IngestError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.truncated())?;
+        if end > self.data.len() {
+            return Err(self.truncated());
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, IngestError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, IngestError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, IngestError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, IngestError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| IngestError::snapshot(self.path, "string is not UTF-8".to_owned()))
+    }
+
+    /// Caps a pre-allocation count by how many items of `min_size`
+    /// bytes the rest of the section could possibly hold, so a forged
+    /// count cannot trigger a huge allocation — the parse then fails
+    /// with a truncation error instead.
+    fn capped(&self, n: usize, min_size: usize) -> usize {
+        n.min((self.data.len() - self.pos) / min_size + 1)
+    }
+
+    fn string_table(&mut self) -> Result<Vec<String>, IngestError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(self.capped(n, 4));
+        for _ in 0..n {
+            out.push(self.string()?);
+        }
+        self.expect_end()?;
+        Ok(out)
+    }
+
+    fn expect_end(&self) -> Result<(), IngestError> {
+        if self.done() {
+            Ok(())
+        } else {
+            Err(self.truncated()) // trailing garbage inside a section
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remp_kb::KbBuilder;
+    use std::path::PathBuf;
+
+    fn sample_kb() -> Kb {
+        let mut b = KbBuilder::new("snap-test");
+        let a = b.add_entity("Ada");
+        let c = b.add_entity("Babbage");
+        let born = b.add_attr("born");
+        let note = b.add_attr("note");
+        let knows = b.add_rel("knows");
+        b.add_attr_triple(a, born, Value::number(1815.0));
+        b.add_attr_triple(a, note, Value::text("analyst émigré 😀"));
+        b.add_attr_triple(c, born, Value::number(1791.0));
+        b.add_rel_triple(a, knows, c);
+        b.add_rel_triple(c, knows, a);
+        b.finish()
+    }
+
+    fn ext_ids(kb: &Kb) -> Vec<String> {
+        (0..kb.num_entities()).map(|i| format!("urn:x:{i}")).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("remp-snap-test-{name}-{}.rkb", std::process::id()))
+    }
+
+    #[test]
+    fn round_trip_preserves_kb_and_external_ids() {
+        let kb = sample_kb();
+        let ids = ext_ids(&kb);
+        let path = tmp("roundtrip");
+        write_snapshot(&kb, &ids, &path).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(loaded.kb, kb);
+        assert_eq!(loaded.external_ids, ids);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_kb_round_trips() {
+        let kb = KbBuilder::new("empty").finish();
+        let path = tmp("empty");
+        write_snapshot(&kb, &[], &path).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(loaded.kb.num_entities(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn snapshot_bytes() -> Vec<u8> {
+        let kb = sample_kb();
+        let ids = ext_ids(&kb);
+        let path = tmp("bytes");
+        write_snapshot(&kb, &ids, &path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        data
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let good = snapshot_bytes();
+        let p = Path::new("t.rkb");
+
+        let err = decode_snapshot(&[], p).unwrap_err();
+        assert!(err.to_string().contains("header"), "{err}");
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        let err = decode_snapshot(&bad_magic, p).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        let err = decode_snapshot(&bad_version, p).unwrap_err();
+        assert!(err.to_string().contains("unsupported version 99"), "{err}");
+
+        let truncated = &good[..good.len() - 5];
+        let err = decode_snapshot(truncated, p).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        let mut flipped = good.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        let err = decode_snapshot(&flipped, p).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    /// Walks the section headers to find `tag`'s body offset in `data`.
+    fn section_body_offset(data: &[u8], tag: u32) -> usize {
+        let mut pos = 24;
+        loop {
+            let t = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+            let len = u64::from_le_bytes(data[pos + 4..pos + 12].try_into().unwrap()) as usize;
+            if t == tag {
+                return pos + 12;
+            }
+            pos += 12 + len;
+        }
+    }
+
+    #[test]
+    fn dangling_ids_inside_a_valid_envelope_are_rejected() {
+        // Corrupt a rel-triple entity id, then re-seal the checksum so
+        // only Kb::validate can catch it.
+        let kb = sample_kb();
+        let ids = ext_ids(&kb);
+        let path = tmp("dangling");
+        write_snapshot(&kb, &ids, &path).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        // REL_OUT body: n_entities u32, then entity 0's row: count u32,
+        // first pair (rel u32 at +8, entity u32 at +12).
+        let body = section_body_offset(&data, TAG_REL_OUT);
+        data[body + 12..body + 16].copy_from_slice(&999u32.to_le_bytes());
+        let checksum = fnv1a64(&data[24..]);
+        data[16..24].copy_from_slice(&checksum.to_le_bytes());
+
+        let err = decode_snapshot(&data, Path::new("t.rkb")).unwrap_err();
+        assert!(matches!(err, IngestError::Kb { .. }), "{err}");
+        assert!(err.to_string().contains("e999"), "{err}");
+    }
+
+    /// A forged huge count behind a *valid* checksum (FNV is not
+    /// adversarial-resistant, so attackers can re-seal) must fail with a
+    /// typed error, not a giant allocation.
+    #[test]
+    fn forged_counts_with_valid_checksum_fail_cleanly() {
+        let kb = sample_kb();
+        let ids = ext_ids(&kb);
+        let path = tmp("forged");
+        write_snapshot(&kb, &ids, &path).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        for tag in [TAG_ATTR_TRIPLES, TAG_REL_OUT, TAG_LABELS] {
+            let mut forged = data.clone();
+            let body = section_body_offset(&forged, tag);
+            forged[body..body + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            let checksum = fnv1a64(&forged[24..]);
+            forged[16..24].copy_from_slice(&checksum.to_le_bytes());
+            let err = decode_snapshot(&forged, Path::new("t.rkb")).unwrap_err();
+            assert!(matches!(err, IngestError::Snapshot { .. }), "tag {tag}: {err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one external identifier per entity")]
+    fn external_id_count_mismatch_panics_in_the_writer() {
+        let path = tmp("mismatch");
+        let _ = write_snapshot(&sample_kb(), &["only-one".to_owned()], &path);
+    }
+}

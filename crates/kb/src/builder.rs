@@ -40,6 +40,20 @@ impl KbBuilder {
         self.entity_labels.len()
     }
 
+    /// Replaces the label of an already-added entity.
+    ///
+    /// Streaming loaders create an entity the first time its identifier
+    /// is *referenced* — which may be before the triple carrying its
+    /// label arrives — so the placeholder label set at creation can be
+    /// overwritten later in the scan.
+    ///
+    /// # Panics
+    /// Panics if `u` was not created by this builder.
+    pub fn set_label(&mut self, u: EntityId, label: impl Into<String>) {
+        assert!(u.index() < self.entity_labels.len(), "unknown entity {u}");
+        self.entity_labels[u.index()] = label.into();
+    }
+
     /// Interns an attribute name, returning its (possibly existing) id.
     pub fn add_attr(&mut self, name: impl AsRef<str>) -> AttrId {
         let name = name.as_ref();
@@ -155,6 +169,24 @@ mod tests {
         assert_ne!(e1, e2);
         let kb = b.finish();
         assert_eq!(kb.entities_with_label("John").len(), 2);
+    }
+
+    #[test]
+    fn set_label_overwrites() {
+        let mut b = KbBuilder::new("kb");
+        let e = b.add_entity("placeholder");
+        b.set_label(e, "Real Name");
+        let kb = b.finish();
+        assert_eq!(kb.label(e), "Real Name");
+        assert_eq!(kb.entities_with_label("Real Name"), &[e]);
+        assert!(kb.entities_with_label("placeholder").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown entity")]
+    fn set_label_unknown_entity_panics() {
+        let mut b = KbBuilder::new("kb");
+        b.set_label(EntityId(0), "x");
     }
 
     #[test]

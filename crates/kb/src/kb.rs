@@ -9,7 +9,7 @@ use crate::{AttrId, EntityId, KbStats, RelId, Value};
 /// Construct with [`crate::KbBuilder`]; once frozen, all lookups — entity
 /// labels, attribute value sets `N_u^a`, relationship value sets `N_u^r`,
 /// and inverse relationship sets — are O(1) slice accesses.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Kb {
     pub(crate) name: String,
     pub(crate) entity_labels: Vec<String>,

@@ -10,18 +10,22 @@
 //! * an interning [`Kb`] store with O(1) value-set lookups `N_u^r` / `N_u^a`
 //!   used pervasively by attribute matching and match propagation,
 //! * a mutable [`KbBuilder`] for constructing KBs programmatically,
+//! * structural validation ([`Kb::validate`]) and the trusted-parts
+//!   constructor [`Kb::from_parts`] used by binary snapshot loading,
 //! * summary [`KbStats`] mirroring Table II of the paper.
 
 mod builder;
 mod ids;
 mod kb;
 mod stats;
+mod validate;
 mod value;
 
 pub use builder::KbBuilder;
 pub use ids::{AttrId, EntityId, RelId};
 pub use kb::Kb;
 pub use stats::KbStats;
+pub use validate::KbError;
 pub use value::Value;
 
 #[cfg(test)]

@@ -1,0 +1,366 @@
+//! Structural validation and the trusted-parts constructor.
+//!
+//! KBs built through [`KbBuilder`](crate::KbBuilder) are correct by
+//! construction (every id is asserted at insertion time). KBs that arrive
+//! from *outside* — a binary snapshot, a hand-assembled dump — carry no
+//! such guarantee, so [`Kb::from_parts`] re-checks every invariant via
+//! [`Kb::validate`] and surfaces corruption as a typed [`KbError`]
+//! instead of a latent out-of-bounds panic deep inside the pipeline.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{AttrId, EntityId, Kb, RelId, Value};
+
+/// A structural defect found in a [`Kb`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KbError {
+    /// A per-entity adjacency table has the wrong number of rows.
+    WrongLength {
+        /// Which table (`"attr_values"`, `"rel_out"`, `"rel_in"`).
+        table: &'static str,
+        /// Rows present.
+        got: usize,
+        /// Rows required (= number of entities).
+        expected: usize,
+    },
+    /// A relationship triple endpoint is not a known entity.
+    DanglingEntity {
+        /// The out-of-range entity id.
+        entity: EntityId,
+        /// Number of entities in the KB.
+        entities: usize,
+        /// Where the dangling id was found.
+        table: &'static str,
+    },
+    /// An attribute triple references an attribute that does not exist.
+    DanglingAttr {
+        /// The out-of-range attribute id.
+        attr: AttrId,
+        /// Number of attributes in the KB.
+        attrs: usize,
+    },
+    /// A relationship triple references a relationship that does not exist.
+    DanglingRel {
+        /// The out-of-range relationship id.
+        rel: RelId,
+        /// Number of relationships in the KB.
+        rels: usize,
+    },
+    /// An adjacency list is not sorted (value-set lookups binary-search).
+    Unsorted {
+        /// The entity whose list is out of order.
+        entity: EntityId,
+        /// Which table.
+        table: &'static str,
+    },
+    /// `rel_out` and `rel_in` disagree: a triple appears in one direction
+    /// but its mirror is missing from the other.
+    MirrorMismatch {
+        /// Triple subject.
+        subject: EntityId,
+        /// Triple relationship.
+        rel: RelId,
+        /// Triple object.
+        object: EntityId,
+        /// The table the mirror entry is missing from.
+        missing_in: &'static str,
+    },
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::WrongLength { table, got, expected } => {
+                write!(f, "table {table} has {got} rows but the KB has {expected} entities")
+            }
+            KbError::DanglingEntity { entity, entities, table } => {
+                write!(f, "{table} references entity {entity} but only {entities} entities exist")
+            }
+            KbError::DanglingAttr { attr, attrs } => {
+                write!(f, "attribute triple references {attr} but only {attrs} attributes exist")
+            }
+            KbError::DanglingRel { rel, rels } => {
+                write!(
+                    f,
+                    "relationship triple references {rel} but only {rels} relationships exist"
+                )
+            }
+            KbError::Unsorted { entity, table } => {
+                write!(f, "adjacency list of entity {entity} in {table} is not sorted")
+            }
+            KbError::MirrorMismatch { subject, rel, object, missing_in } => {
+                write!(f, "triple ({subject}, {rel}, {object}) has no mirror entry in {missing_in}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+impl Kb {
+    /// Checks every structural invariant of the store.
+    ///
+    /// Verified invariants:
+    /// * the three per-entity tables have exactly one row per entity,
+    /// * attribute triples reference existing attributes and are sorted
+    ///   by `(attribute, value)`,
+    /// * relationship triples reference existing relationships and
+    ///   entities (no dangling endpoints),
+    /// * outgoing/incoming adjacency lists are sorted and mutually
+    ///   consistent (every `(s, r, o)` in `rel_out` has `(r, s)` in
+    ///   `rel_in[o]` and vice versa).
+    ///
+    /// KBs produced by [`KbBuilder`](crate::KbBuilder) always pass;
+    /// ingestion calls this on deserialized snapshots to surface corrupt
+    /// dumps early.
+    pub fn validate(&self) -> Result<(), KbError> {
+        let n = self.entity_labels.len();
+        for (table, got) in [
+            ("attr_values", self.attr_values.len()),
+            ("rel_out", self.rel_out.len()),
+            ("rel_in", self.rel_in.len()),
+        ] {
+            if got != n {
+                return Err(KbError::WrongLength { table, got, expected: n });
+            }
+        }
+
+        let n_attrs = self.attr_names.len();
+        for (u, list) in self.attr_values.iter().enumerate() {
+            for (a, _) in list {
+                if a.index() >= n_attrs {
+                    return Err(KbError::DanglingAttr { attr: *a, attrs: n_attrs });
+                }
+            }
+            if !list.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(KbError::Unsorted {
+                    entity: EntityId::from_index(u),
+                    table: "attr_values",
+                });
+            }
+        }
+
+        let n_rels = self.rel_names.len();
+        let check_side = |lists: &[Vec<(RelId, EntityId)>], table: &'static str| {
+            for (u, list) in lists.iter().enumerate() {
+                for &(r, v) in list {
+                    if r.index() >= n_rels {
+                        return Err(KbError::DanglingRel { rel: r, rels: n_rels });
+                    }
+                    if v.index() >= n {
+                        return Err(KbError::DanglingEntity { entity: v, entities: n, table });
+                    }
+                }
+                if !list.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(KbError::Unsorted { entity: EntityId::from_index(u), table });
+                }
+            }
+            Ok(())
+        };
+        check_side(&self.rel_out, "rel_out")?;
+        check_side(&self.rel_in, "rel_in")?;
+
+        // Mirror consistency (endpoints are in range from here on).
+        for (s, list) in self.rel_out.iter().enumerate() {
+            let s = EntityId::from_index(s);
+            for &(r, o) in list {
+                if self.rel_in[o.index()].binary_search(&(r, s)).is_err() {
+                    return Err(KbError::MirrorMismatch {
+                        subject: s,
+                        rel: r,
+                        object: o,
+                        missing_in: "rel_in",
+                    });
+                }
+            }
+        }
+        for (o, list) in self.rel_in.iter().enumerate() {
+            let o = EntityId::from_index(o);
+            for &(r, s) in list {
+                if self.rel_out[s.index()].binary_search(&(r, o)).is_err() {
+                    return Err(KbError::MirrorMismatch {
+                        subject: s,
+                        rel: r,
+                        object: o,
+                        missing_in: "rel_out",
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Assembles a [`Kb`] directly from its frozen representation,
+    /// validating every invariant.
+    ///
+    /// This is the fast path for binary snapshot loading: the tables are
+    /// stored already grouped and sorted, so construction is a linear
+    /// validation sweep plus the label-index build — no re-sorting, no
+    /// re-interning. Use [`KbBuilder`](crate::KbBuilder) everywhere else.
+    ///
+    /// `attr_values` must be sorted by `(attribute, value)` per entity;
+    /// `rel_out` / `rel_in` must be sorted, deduplicated and mutual
+    /// mirrors, exactly as [`KbBuilder::finish`](crate::KbBuilder::finish)
+    /// lays them out.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        name: String,
+        entity_labels: Vec<String>,
+        attr_names: Vec<String>,
+        rel_names: Vec<String>,
+        attr_values: Vec<Vec<(AttrId, Value)>>,
+        rel_out: Vec<Vec<(RelId, EntityId)>>,
+        rel_in: Vec<Vec<(RelId, EntityId)>>,
+    ) -> Result<Kb, KbError> {
+        let n_attr_triples = attr_values.iter().map(Vec::len).sum();
+        let n_rel_triples = rel_out.iter().map(Vec::len).sum();
+        let mut label_index: HashMap<String, Vec<EntityId>> = HashMap::new();
+        for (i, label) in entity_labels.iter().enumerate() {
+            label_index.entry(label.clone()).or_default().push(EntityId::from_index(i));
+        }
+        let kb = Kb {
+            name,
+            entity_labels,
+            attr_names,
+            rel_names,
+            attr_values,
+            rel_out,
+            rel_in,
+            n_attr_triples,
+            n_rel_triples,
+            label_index,
+        };
+        kb.validate()?;
+        Ok(kb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KbBuilder;
+
+    fn sample() -> Kb {
+        let mut b = KbBuilder::new("v");
+        let a = b.add_entity("a");
+        let c = b.add_entity("c");
+        let name = b.add_attr("name");
+        let knows = b.add_rel("knows");
+        b.add_attr_triple(a, name, Value::text("a"));
+        b.add_rel_triple(a, knows, c);
+        b.finish()
+    }
+
+    type Parts = (
+        String,
+        Vec<String>,
+        Vec<String>,
+        Vec<String>,
+        Vec<Vec<(AttrId, Value)>>,
+        Vec<Vec<(RelId, EntityId)>>,
+        Vec<Vec<(RelId, EntityId)>>,
+    );
+
+    fn parts(kb: &Kb) -> Parts {
+        (
+            kb.name.clone(),
+            kb.entity_labels.clone(),
+            kb.attr_names.clone(),
+            kb.rel_names.clone(),
+            kb.attr_values.clone(),
+            kb.rel_out.clone(),
+            kb.rel_in.clone(),
+        )
+    }
+
+    #[test]
+    fn builder_output_validates() {
+        assert_eq!(sample().validate(), Ok(()));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let kb = sample();
+        let (n, el, an, rn, av, ro, ri) = parts(&kb);
+        let rebuilt = Kb::from_parts(n, el, an, rn, av, ro, ri).unwrap();
+        assert_eq!(rebuilt, kb);
+    }
+
+    #[test]
+    fn dangling_relationship_endpoint_rejected() {
+        let kb = sample();
+        let (n, el, an, rn, av, mut ro, ri) = parts(&kb);
+        ro[0] = vec![(RelId(0), EntityId(99))];
+        let err = Kb::from_parts(n, el, an, rn, av, ro, ri).unwrap_err();
+        assert!(matches!(err, KbError::DanglingEntity { entity: EntityId(99), .. }), "{err}");
+    }
+
+    #[test]
+    fn dangling_relationship_id_rejected() {
+        let kb = sample();
+        let (n, el, an, rn, av, mut ro, ri) = parts(&kb);
+        ro[0] = vec![(RelId(7), EntityId(1))];
+        let err = Kb::from_parts(n, el, an, rn, av, ro, ri).unwrap_err();
+        assert!(matches!(err, KbError::DanglingRel { rel: RelId(7), .. }), "{err}");
+    }
+
+    #[test]
+    fn dangling_attribute_rejected() {
+        let kb = sample();
+        let (n, el, an, rn, mut av, ro, ri) = parts(&kb);
+        av[1] = vec![(AttrId(3), Value::text("x"))];
+        let err = Kb::from_parts(n, el, an, rn, av, ro, ri).unwrap_err();
+        assert!(matches!(err, KbError::DanglingAttr { attr: AttrId(3), .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_mirror_rejected() {
+        let kb = sample();
+        let (n, el, an, rn, av, ro, mut ri) = parts(&kb);
+        ri[1].clear(); // drop the incoming side of (e0, knows, e1)
+        let err = Kb::from_parts(n, el, an, rn, av, ro, ri).unwrap_err();
+        assert!(matches!(err, KbError::MirrorMismatch { missing_in: "rel_in", .. }), "{err}");
+    }
+
+    #[test]
+    fn forged_incoming_edge_rejected() {
+        let kb = sample();
+        let (n, el, an, rn, av, ro, mut ri) = parts(&kb);
+        ri[0] = vec![(RelId(0), EntityId(1))]; // claims (e1, knows, e0) exists
+        let err = Kb::from_parts(n, el, an, rn, av, ro, ri).unwrap_err();
+        assert!(matches!(err, KbError::MirrorMismatch { missing_in: "rel_out", .. }), "{err}");
+    }
+
+    #[test]
+    fn unsorted_adjacency_rejected() {
+        let mut b = KbBuilder::new("v");
+        let a = b.add_entity("a");
+        let c = b.add_entity("c");
+        let d = b.add_entity("d");
+        let r = b.add_rel("r");
+        b.add_rel_triple(a, r, c);
+        b.add_rel_triple(a, r, d);
+        let kb = b.finish();
+        let (n, el, an, rn, av, mut ro, ri) = parts(&kb);
+        ro[0].reverse();
+        let err = Kb::from_parts(n, el, an, rn, av, ro, ri).unwrap_err();
+        assert!(matches!(err, KbError::Unsorted { table: "rel_out", .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_table_length_rejected() {
+        let kb = sample();
+        let (n, el, an, rn, av, ro, mut ri) = parts(&kb);
+        ri.push(Vec::new());
+        let err = Kb::from_parts(n, el, an, rn, av, ro, ri).unwrap_err();
+        assert!(matches!(err, KbError::WrongLength { table: "rel_in", .. }), "{err}");
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let err = KbError::DanglingEntity { entity: EntityId(9), entities: 3, table: "rel_out" };
+        assert!(err.to_string().contains("e9"), "{err}");
+        assert!(err.to_string().contains('3'), "{err}");
+    }
+}

@@ -1,0 +1,76 @@
+//! File-backed campaign: the `rempctl` workflow (export → import →
+//! run) driven from code, ending in a hand-driven session loop.
+//!
+//! ```sh
+//! cargo run --release --example file_campaign
+//! ```
+
+use std::path::Path;
+
+use remp::core::{evaluate_matches, Remp, RempConfig};
+use remp::crowd::{LabelSource, SimulatedCrowd};
+use remp::datasets::{generate, tiny};
+use remp::ingest::{export_dataset, load_kb, write_snapshot, ExportFormat, FileDataset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("remp-file-campaign");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // 1. Put a dataset on disk — in production these files come from
+    //    real KB dumps; here we export the TINY preset as N-Triples.
+    let paths = export_dataset(&generate(&tiny(1.0)), &dir, ExportFormat::NTriples)?;
+    println!("exported: {}", dir.display());
+
+    // 2. `rempctl import`: parse the text once, snapshot as .rkb. Every
+    //    later load skips the parser entirely.
+    let snapshots = [dir.join("kb1.rkb"), dir.join("kb2.rkb")];
+    for (text, snap) in [&paths.kb1, &paths.kb2].into_iter().zip(&snapshots) {
+        let loaded = load_kb(text, &kb_name(text))?;
+        write_snapshot(&loaded.kb, &loaded.external_ids, snap)?;
+        println!("imported: {} → {}", text.display(), snap.display());
+    }
+
+    // 3. Load the campaign from the snapshots. Malformed input would be
+    //    a typed error with file/line context, e.g.:
+    let err = load_kb(Path::new("does-not-exist.nt"), "x").unwrap_err();
+    println!("(error demo: {err})");
+
+    let dataset = FileDataset::load("tiny", &snapshots[0], &snapshots[1], &paths.gold)?;
+    println!(
+        "loaded: {} / {} entities, {} gold matches",
+        dataset.kb1.num_entities(),
+        dataset.kb2.num_entities(),
+        dataset.num_gold()
+    );
+
+    // 4. Drive the session loop exactly as with in-memory data — the
+    //    gold standard plugs into the simulated crowd as hidden truth.
+    let mut crowd = SimulatedCrowd::paper_default(42);
+    let remp = Remp::new(RempConfig::default());
+    let mut session = remp.begin(&dataset.kb1, &dataset.kb2)?;
+    while let Some(batch) = session.next_batch()? {
+        for question in &batch.questions {
+            let (u1, u2) = question.pair;
+            let labels = crowd.label(dataset.is_match(u1, u2));
+            session.submit(question.id, labels)?;
+        }
+    }
+    let outcome = session.finish();
+
+    let eval = evaluate_matches(outcome.matches.iter().copied(), &dataset.gold);
+    println!(
+        "campaign: {} questions, {} loops → precision {:.1}%  recall {:.1}%  F1 {:.1}%",
+        outcome.questions_asked,
+        outcome.loops,
+        100.0 * eval.precision,
+        100.0 * eval.recall,
+        100.0 * eval.f1
+    );
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}
+
+fn kb_name(path: &Path) -> String {
+    format!("tiny-{}", path.file_stem().unwrap().to_string_lossy())
+}

@@ -91,6 +91,7 @@
 //! | [`forest`] | random forests (isolated pairs) | §VII-B |
 //! | [`core`] | the Remp pipeline, metrics, experiment drivers | §III-B |
 //! | [`datasets`] | synthetic dataset presets (Table II shapes) | §VIII |
+//! | [`ingest`] | file loaders, `.rkb` snapshots, `rempctl` CLI | Table II |
 //! | [`baselines`] | PARIS, SiGMa, HIKE, POWER, Corleone | §II, §VIII |
 
 pub use remp_baselines as baselines;
@@ -99,6 +100,7 @@ pub use remp_crowd as crowd;
 pub use remp_datasets as datasets;
 pub use remp_ergraph as ergraph;
 pub use remp_forest as forest;
+pub use remp_ingest as ingest;
 pub use remp_kb as kb;
 pub use remp_propagation as propagation;
 pub use remp_selection as selection;
