@@ -13,7 +13,11 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use remp_bench::load_dataset;
-use remp_core::RempConfig;
+use remp_core::{Parallelism, RempConfig};
+
+/// Microbenchmarks measure the single-threaded kernels; the parallel
+/// speedup is `bench_pipeline`'s job.
+const SEQ: &Parallelism = &Parallelism::Sequential;
 use remp_ergraph::{
     build_sim_vectors, generate_candidates, initial_matches, match_attributes, prune, PairId,
 };
@@ -27,7 +31,8 @@ use remp_simil::{jaccard, levenshtein, normalize_tokens, sim_l};
 fn bench_alg1_prune(c: &mut Criterion) {
     let dataset = load_dataset("IIMB", 0.5, 1.0);
     let config = RempConfig::default();
-    let candidates = generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
+    let candidates =
+        generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold, SEQ);
     let initial = initial_matches(&dataset.kb1, &dataset.kb2, &candidates);
     let alignment =
         match_attributes(&dataset.kb1, &dataset.kb2, &candidates, &initial, &config.attr);
@@ -37,9 +42,10 @@ fn bench_alg1_prune(c: &mut Criterion) {
         &candidates,
         &alignment,
         config.literal_threshold,
+        SEQ,
     );
     c.bench_function("alg1_prune", |b| {
-        b.iter(|| prune(black_box(&candidates), black_box(&vectors), 4))
+        b.iter(|| prune(black_box(&candidates), black_box(&vectors), 4, SEQ))
     });
 }
 
@@ -53,6 +59,7 @@ fn prepared_probgraph() -> (ProbErGraph, usize) {
         &prep.candidates,
         &prep.graph,
         &prep.initial,
+        SEQ,
     );
     let pg = ProbErGraph::build(
         &dataset.kb1,
@@ -61,6 +68,7 @@ fn prepared_probgraph() -> (ProbErGraph, usize) {
         &prep.graph,
         &cons,
         &config.propagation,
+        SEQ,
     );
     let n = prep.candidates.len();
     (pg, n)
@@ -69,7 +77,9 @@ fn prepared_probgraph() -> (ProbErGraph, usize) {
 fn bench_alg2_infer(c: &mut Criterion) {
     let (pg, _) = prepared_probgraph();
     let mut group = c.benchmark_group("alg2_infer");
-    group.bench_function("dijkstra", |b| b.iter(|| inferred_sets_dijkstra(black_box(&pg), 0.9)));
+    group.bench_function("dijkstra", |b| {
+        b.iter(|| inferred_sets_dijkstra(black_box(&pg), 0.9, SEQ))
+    });
     group.bench_function("floyd_warshall", |b| {
         b.iter(|| inferred_sets_floyd_warshall(black_box(&pg), 0.9))
     });
@@ -78,13 +88,13 @@ fn bench_alg2_infer(c: &mut Criterion) {
 
 fn bench_alg3_select(c: &mut Criterion) {
     let (pg, n) = prepared_probgraph();
-    let inferred = inferred_sets_dijkstra(&pg, 0.9);
+    let inferred = inferred_sets_dijkstra(&pg, 0.9, SEQ);
     let priors = vec![0.5f64; n];
     let eligible = vec![true; n];
     let cands: Vec<PairId> = (0..n).map(PairId::from_index).collect();
     let mut group = c.benchmark_group("alg3_select");
     group.bench_function("lazy", |b| {
-        b.iter(|| select_questions(black_box(&cands), &inferred, &priors, &eligible, 10))
+        b.iter(|| select_questions(black_box(&cands), &inferred, &priors, &eligible, 10, SEQ))
     });
     group.bench_function("naive", |b| {
         b.iter(|| select_questions_naive(black_box(&cands), &inferred, &priors, &eligible, 10))

@@ -1,0 +1,78 @@
+//! Pipeline-parallelism benchmark: per-stage wall-clock at several thread
+//! counts, plus a full oracle-driven campaign per count.
+//!
+//! Writes `BENCH_pipeline.json` in the working directory. `rempctl bench`
+//! wraps the same engine (`remp_core::profile`), so CI and local users
+//! invoke the measurement identically.
+//!
+//! ```sh
+//! cargo run --release -p remp-bench --bin bench_pipeline -- \
+//!     [--preset D-A] [--scale 8] [--threads 1,2,4] \
+//!     [--out BENCH_pipeline.json] [--min-speedup 0.8]
+//! ```
+//!
+//! With `--min-speedup X` the process exits non-zero when the end-to-end
+//! speedup of the most-parallel run over the sequential run falls below
+//! `X` — the CI regression gate (use a value below 1.0 to tolerate runner
+//! noise and small hosts). The gate requires a 1-thread run in
+//! `--threads` as the baseline.
+
+use std::process::ExitCode;
+
+use remp_core::profile::{parse_thread_list, run_pipeline_bench, PipelineBenchOptions};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = PipelineBenchOptions::default();
+    let mut out = String::from("BENCH_pipeline.json");
+    let mut min_speedup: Option<f64> = None;
+
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next().map(|v| v.to_owned()).ok_or_else(|| format!("{name} needs a value"))
+        };
+        let result: Result<(), String> = match arg.as_str() {
+            "--preset" => value("--preset").map(|v| opts.preset = v),
+            "--scale" => value("--scale").and_then(|v| {
+                v.parse().map(|s| opts.scale = s).map_err(|e| format!("--scale: {e}"))
+            }),
+            "--threads" => value("--threads")
+                .and_then(|v| parse_thread_list(&v).map(|t| opts.thread_counts = t)),
+            "--out" => value("--out").map(|v| out = v),
+            "--min-speedup" => value("--min-speedup").and_then(|v| {
+                v.parse().map(|s| min_speedup = Some(s)).map_err(|e| format!("--min-speedup: {e}"))
+            }),
+            other => Err(format!("unknown option {other:?}")),
+        };
+        if let Err(message) = result {
+            eprintln!("bench_pipeline: {message}");
+            return ExitCode::from(2);
+        }
+    }
+
+    match run_and_report(&opts, &out, min_speedup) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("bench_pipeline: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_and_report(
+    opts: &PipelineBenchOptions,
+    out: &str,
+    min_speedup: Option<f64>,
+) -> Result<(), String> {
+    let report = run_pipeline_bench(opts)?;
+    std::fs::write(out, report.to_json().to_string()).map_err(|e| format!("writing {out}: {e}"))?;
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+    println!("  wrote {out}");
+    if let Some(floor) = min_speedup {
+        report.check_min_speedup(floor)?;
+    }
+    Ok(())
+}

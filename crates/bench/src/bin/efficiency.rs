@@ -27,8 +27,12 @@ fn main() {
         let config = RempConfig::default();
 
         // Shared inputs.
-        let candidates =
-            generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
+        let candidates = generate_candidates(
+            &dataset.kb1,
+            &dataset.kb2,
+            config.label_sim_threshold,
+            &config.parallelism,
+        );
         let initial = initial_matches(&dataset.kb1, &dataset.kb2, &candidates);
         let alignment =
             match_attributes(&dataset.kb1, &dataset.kb2, &candidates, &initial, &config.attr);
@@ -44,8 +48,9 @@ fn main() {
                 &candidates,
                 &alignment,
                 config.literal_threshold,
+                &config.parallelism,
             );
-            let _ = prune(&candidates, &vectors, config.knn_k);
+            let _ = prune(&candidates, &vectors, config.knn_k, &config.parallelism);
             alg1 += t.elapsed().as_secs_f64() * 1e3;
         }
 
@@ -56,6 +61,7 @@ fn main() {
             &prep.candidates,
             &prep.graph,
             &prep.initial,
+            &config.parallelism,
         );
         let pg = ProbErGraph::build(
             &dataset.kb1,
@@ -64,22 +70,30 @@ fn main() {
             &prep.graph,
             &cons,
             &config.propagation,
+            &config.parallelism,
         );
         let mut alg2 = 0.0;
         for _ in 0..runs {
             let t = Instant::now();
-            let _ = inferred_sets_dijkstra(&pg, config.tau);
+            let _ = inferred_sets_dijkstra(&pg, config.tau, &config.parallelism);
             alg2 += t.elapsed().as_secs_f64() * 1e3;
         }
 
-        let inferred = inferred_sets_dijkstra(&pg, config.tau);
+        let inferred = inferred_sets_dijkstra(&pg, config.tau, &config.parallelism);
         let priors: Vec<f64> = prep.candidates.ids().map(|p| prep.candidates.prior(p)).collect();
         let eligible = vec![true; prep.candidates.len()];
         let all: Vec<PairId> = prep.candidates.ids().collect();
         let mut alg3 = 0.0;
         for _ in 0..runs {
             let t = Instant::now();
-            let _ = select_questions(&all, &inferred, &priors, &eligible, config.mu);
+            let _ = select_questions(
+                &all,
+                &inferred,
+                &priors,
+                &eligible,
+                config.mu,
+                &config.parallelism,
+            );
             alg3 += t.elapsed().as_secs_f64() * 1e3;
         }
 

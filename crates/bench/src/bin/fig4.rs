@@ -24,8 +24,12 @@ fn main() {
     for (name, base) in DATASETS {
         let dataset = load_dataset(name, base, mult);
         let config = RempConfig::default();
-        let candidates =
-            generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
+        let candidates = generate_candidates(
+            &dataset.kb1,
+            &dataset.kb2,
+            config.label_sim_threshold,
+            &config.parallelism,
+        );
         let initial = initial_matches(&dataset.kb1, &dataset.kb2, &candidates);
         let alignment =
             match_attributes(&dataset.kb1, &dataset.kb2, &candidates, &initial, &config.attr);
@@ -35,11 +39,12 @@ fn main() {
             &candidates,
             &alignment,
             config.literal_threshold,
+            &config.parallelism,
         );
 
         print!("{name:>6} |");
         for k in ks {
-            let retained = prune(&candidates, &vectors, k);
+            let retained = prune(&candidates, &vectors, k, &config.parallelism);
             let pc = pair_completeness(retained.iter().map(|&p| candidates.pair(p)), &dataset.gold);
             print!(" {:>6.1}", 100.0 * pc);
         }

@@ -23,7 +23,12 @@ fn main() {
     let dataset = load_dataset("D-Y", 0.3, mult);
     let config = RempConfig::default();
 
-    let candidates = generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
+    let candidates = generate_candidates(
+        &dataset.kb1,
+        &dataset.kb2,
+        config.label_sim_threshold,
+        &config.parallelism,
+    );
     let initial = initial_matches(&dataset.kb1, &dataset.kb2, &candidates);
     let alignment =
         match_attributes(&dataset.kb1, &dataset.kb2, &candidates, &initial, &config.attr);
@@ -33,6 +38,7 @@ fn main() {
         &candidates,
         &alignment,
         config.literal_threshold,
+        &config.parallelism,
     );
 
     println!("Figure 6: running time (ms) vs portion of entity pairs (D-Y)\n");
@@ -52,7 +58,7 @@ fn main() {
             sub_vectors[mapping[&old].index()] = vectors[old.index()].clone();
         }
         let t1 = Instant::now();
-        let retained = prune(&sub_cands, &sub_vectors, config.knn_k);
+        let retained = prune(&sub_cands, &sub_vectors, config.knn_k, &config.parallelism);
         let alg1_ms = t1.elapsed().as_secs_f64() * 1e3;
 
         // --- Algorithms 2 and 3 on the corresponding retained portion. ---
@@ -63,8 +69,14 @@ fn main() {
         }
         let graph = ErGraph::build(&dataset.kb1, &dataset.kb2, &ret_cands);
         let seeds: Vec<PairId> = seeds_of(&dataset, &ret_cands);
-        let cons =
-            ConsistencyTable::estimate(&dataset.kb1, &dataset.kb2, &ret_cands, &graph, &seeds);
+        let cons = ConsistencyTable::estimate(
+            &dataset.kb1,
+            &dataset.kb2,
+            &ret_cands,
+            &graph,
+            &seeds,
+            &config.parallelism,
+        );
         let pg = ProbErGraph::build(
             &dataset.kb1,
             &dataset.kb2,
@@ -72,16 +84,18 @@ fn main() {
             &graph,
             &cons,
             &config.propagation,
+            &config.parallelism,
         );
         let t2 = Instant::now();
-        let inferred = inferred_sets_dijkstra(&pg, config.tau);
+        let inferred = inferred_sets_dijkstra(&pg, config.tau, &config.parallelism);
         let alg2_ms = t2.elapsed().as_secs_f64() * 1e3;
 
         let priors: Vec<f64> = ret_cands.ids().map(|p| ret_cands.prior(p)).collect();
         let eligible = vec![true; ret_cands.len()];
         let all: Vec<PairId> = ret_cands.ids().collect();
         let t3 = Instant::now();
-        let _q = select_questions(&all, &inferred, &priors, &eligible, config.mu);
+        let _q =
+            select_questions(&all, &inferred, &priors, &eligible, config.mu, &config.parallelism);
         let alg3_ms = t3.elapsed().as_secs_f64() * 1e3;
 
         println!(

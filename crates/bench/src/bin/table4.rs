@@ -24,8 +24,12 @@ fn main() {
         // attributes for the other two"); we print all four for context.
         let dataset = load_dataset(name, base, mult);
         let config = RempConfig::default();
-        let candidates =
-            generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
+        let candidates = generate_candidates(
+            &dataset.kb1,
+            &dataset.kb2,
+            config.label_sim_threshold,
+            &config.parallelism,
+        );
         let initial = initial_matches(&dataset.kb1, &dataset.kb2, &candidates);
 
         let gold: Vec<(String, String)> = dataset.gold_attr_matches.clone();

@@ -25,8 +25,12 @@ fn main() {
     for (name, base) in DATASETS {
         let dataset = load_dataset(name, base, mult);
         let config = RempConfig::default();
-        let candidates =
-            generate_candidates(&dataset.kb1, &dataset.kb2, config.label_sim_threshold);
+        let candidates = generate_candidates(
+            &dataset.kb1,
+            &dataset.kb2,
+            config.label_sim_threshold,
+            &config.parallelism,
+        );
         let initial = initial_matches(&dataset.kb1, &dataset.kb2, &candidates);
         let alignment =
             match_attributes(&dataset.kb1, &dataset.kb2, &candidates, &initial, &config.attr);
@@ -36,8 +40,9 @@ fn main() {
             &candidates,
             &alignment,
             config.literal_threshold,
+            &config.parallelism,
         );
-        let retained = prune(&candidates, &vectors, config.knn_k);
+        let retained = prune(&candidates, &vectors, config.knn_k, &config.parallelism);
 
         let pc_cand = pair_completeness(candidates.iter().map(|(_, pair)| pair), &dataset.gold);
         let pc_ret = pair_completeness(retained.iter().map(|&p| candidates.pair(p)), &dataset.gold);

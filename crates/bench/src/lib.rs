@@ -157,8 +157,14 @@ pub fn question_curve(
     };
 
     'outer: while questions < max_q {
-        let cons =
-            ConsistencyTable::estimate(&dataset.kb1, &dataset.kb2, &candidates, graph, &seeds);
+        let cons = ConsistencyTable::estimate(
+            &dataset.kb1,
+            &dataset.kb2,
+            &candidates,
+            graph,
+            &seeds,
+            &config.parallelism,
+        );
         let pg = ProbErGraph::build(
             &dataset.kb1,
             &dataset.kb2,
@@ -166,8 +172,9 @@ pub fn question_curve(
             graph,
             &cons,
             &config.propagation,
+            &config.parallelism,
         );
-        let inferred = inferred_sets_dijkstra(&pg, config.tau);
+        let inferred = inferred_sets_dijkstra(&pg, config.tau, &config.parallelism);
         let eligible: Vec<bool> = (0..n)
             .map(|i| {
                 !resolved_match[i]
@@ -179,7 +186,8 @@ pub fn question_curve(
             (0..n).map(PairId::from_index).filter(|p| eligible[p.index()]).collect();
         let priors: Vec<f64> = candidates.ids().map(|p| candidates.prior(p)).collect();
 
-        let selected = select_batch(strategy, &cands, &inferred, &priors, &eligible, 1);
+        let selected =
+            select_batch(strategy, &cands, &inferred, &priors, &eligible, 1, &config.parallelism);
         let Some(&q) = selected.first() else { break };
 
         // Oracle label.

@@ -4,6 +4,7 @@ use remp_crowd::TruthConfig;
 use remp_ergraph::AttrMatchConfig;
 use remp_forest::{ForestConfig, TreeConfig};
 use remp_json::Json;
+use remp_par::Parallelism;
 use remp_propagation::PropagationConfig;
 use remp_selection::BatchStrategy;
 
@@ -49,6 +50,14 @@ pub struct RempConfig {
     /// the default is well above 0.5 (the paper's ψ = 0.9 serves the same
     /// high-precision goal).
     pub classifier_threshold: f64,
+    /// Worker-pool policy for the data-parallel pipeline stages
+    /// (candidate generation, similarity vectors, pruning, propagation,
+    /// batch scoring). Purely an execution knob: every mode produces
+    /// bit-identical matches, metrics and question order. The default
+    /// [`Parallelism::Auto`] honours the `REMP_THREADS` environment
+    /// variable and otherwise uses every available core; use
+    /// [`Parallelism::Sequential`] for single-threaded runs.
+    pub parallelism: Parallelism,
 }
 
 impl Default for RempConfig {
@@ -69,6 +78,7 @@ impl Default for RempConfig {
             forest: ForestConfig { n_trees: 50, ..ForestConfig::default() },
             psi: 0.9,
             classifier_threshold: 0.6,
+            parallelism: Parallelism::Auto,
         }
     }
 }
@@ -102,6 +112,12 @@ impl RempConfig {
     /// Overrides the question-selection policy.
     pub fn with_strategy(mut self, strategy: BatchStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the worker-pool policy (see [`RempConfig::parallelism`]).
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -148,6 +164,11 @@ impl RempConfig {
         }
         if self.propagation.max_candidates == 0 {
             return invalid("propagation.max_candidates must be at least 1".into());
+        }
+        if self.parallelism == Parallelism::Fixed(0) {
+            return invalid(
+                "parallelism = fixed:0 is meaningless; use `sequential` (or fixed:1)".into(),
+            );
         }
         Ok(())
     }
@@ -202,6 +223,7 @@ impl RempConfig {
             ),
             ("psi".into(), Json::from(self.psi)),
             ("classifier_threshold".into(), Json::from(self.classifier_threshold)),
+            ("parallelism".into(), Json::Str(self.parallelism.label())),
         ])
     }
 
@@ -218,6 +240,20 @@ impl RempConfig {
         let strategy = BatchStrategy::from_name(strategy_name).ok_or_else(|| {
             RempError::MalformedCheckpoint(format!("unknown strategy '{strategy_name}'"))
         })?;
+
+        // Execution-only knob, absent from pre-parallelism checkpoints:
+        // missing means the default policy, present must parse.
+        let parallelism = match doc.get("parallelism") {
+            None => Parallelism::default(),
+            Some(v) => {
+                let raw = v.as_str().ok_or_else(|| {
+                    RempError::MalformedCheckpoint("field 'parallelism' is not a string".into())
+                })?;
+                Parallelism::from_label(raw).ok_or_else(|| {
+                    RempError::MalformedCheckpoint(format!("unknown parallelism '{raw}'"))
+                })?
+            }
+        };
 
         Ok(RempConfig {
             label_sim_threshold: get_f64(doc, "label_sim_threshold")?,
@@ -254,6 +290,7 @@ impl RempConfig {
             },
             psi: get_f64(doc, "psi")?,
             classifier_threshold: get_f64(doc, "classifier_threshold")?,
+            parallelism,
         })
     }
 }
@@ -298,6 +335,10 @@ mod tests {
             (RempConfig { max_loops: 0, ..RempConfig::default() }, "max_loops"),
             (RempConfig { label_sim_threshold: -0.1, ..RempConfig::default() }, "label_sim"),
             (RempConfig { psi: 7.0, ..RempConfig::default() }, "psi"),
+            (
+                RempConfig { parallelism: Parallelism::Fixed(0), ..RempConfig::default() },
+                "parallelism",
+            ),
         ];
         for (config, field) in broken {
             match config.validate() {
@@ -334,5 +375,31 @@ mod tests {
     fn json_rejects_missing_fields() {
         let err = RempConfig::from_json(&Json::Obj(vec![])).unwrap_err();
         assert!(matches!(err, RempError::MalformedCheckpoint(_)));
+    }
+
+    #[test]
+    fn parallelism_round_trips_and_defaults_when_absent() {
+        let config = RempConfig::default().with_parallelism(Parallelism::Fixed(4));
+        let decoded = RempConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(decoded, config);
+
+        // Pre-parallelism checkpoints carry no such field: decode to the
+        // default policy instead of failing.
+        let mut doc = RempConfig::default().to_json();
+        if let Json::Obj(fields) = &mut doc {
+            fields.retain(|(key, _)| key != "parallelism");
+        }
+        assert_eq!(RempConfig::from_json(&doc).unwrap().parallelism, Parallelism::Auto);
+
+        // A present-but-bogus value is still an error.
+        let mut doc = RempConfig::default().to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (key, value) in fields.iter_mut() {
+                if key == "parallelism" {
+                    *value = Json::Str("warp-speed".into());
+                }
+            }
+        }
+        assert!(matches!(RempConfig::from_json(&doc), Err(RempError::MalformedCheckpoint(_))));
     }
 }

@@ -76,12 +76,14 @@ pub fn propagation_only_f1(
             break; // fixpoint reached
         }
         prev_count = matched.len();
+        let par = &config.parallelism;
         let cons = ConsistencyTable::estimate(
             &dataset.kb1,
             &dataset.kb2,
             &candidates,
             &prep.graph,
             &matched,
+            par,
         );
         let pg = ProbErGraph::build(
             &dataset.kb1,
@@ -90,8 +92,9 @@ pub fn propagation_only_f1(
             &prep.graph,
             &cons,
             &config.propagation,
+            par,
         );
-        let inferred = inferred_sets_dijkstra(&pg, config.tau);
+        let inferred = inferred_sets_dijkstra(&pg, config.tau, par);
         let mut new_matches = Vec::new();
         for &s in &matched {
             for &(p, _) in inferred.inferred(s) {

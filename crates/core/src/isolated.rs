@@ -152,15 +152,16 @@ pub fn classify_isolated(
         .map(|&(p, _)| features(kb1, kb2, candidates, alignment, sim_vectors, p))
         .collect();
     let bal_y: Vec<bool> = keep.iter().map(|&(_, y)| y).collect();
-    let forest = RandomForest::fit(&bal_x, &bal_y, &config.forest);
+    // Tree training and per-target scoring are both data-parallel; the
+    // seeded forest (and so every prediction) is identical in every mode.
+    let forest = RandomForest::fit_par(&bal_x, &bal_y, &config.forest, &config.parallelism);
 
-    let mut predicted: Vec<PairId> = targets
-        .into_iter()
-        .filter(|&t| {
-            forest.predict_proba(&features(kb1, kb2, candidates, alignment, sim_vectors, t))
-                >= config.classifier_threshold
-        })
-        .collect();
+    let scores: Vec<bool> = config.parallelism.par_map(&targets, |&t| {
+        forest.predict_proba(&features(kb1, kb2, candidates, alignment, sim_vectors, t))
+            >= config.classifier_threshold
+    });
+    let mut predicted: Vec<PairId> =
+        targets.iter().zip(&scores).filter(|&(_, &hit)| hit).map(|(&t, _)| t).collect();
     predicted.sort_unstable();
     predicted
 }

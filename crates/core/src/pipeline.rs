@@ -1,7 +1,7 @@
 //! The crowdsourced collective ER pipeline (paper §III-B, Fig. 2).
 //!
 //! [`Remp`] is the entry point. The loop itself lives in the resumable
-//! [`RempSession`](crate::RempSession) state machine ([`Remp::begin`]);
+//! [`RempSession`] state machine ([`Remp::begin`]);
 //! [`Remp::run`] and [`Remp::run_prepared`] are thin convenience wrappers
 //! that drain a session against a simulated [`LabelSource`].
 
@@ -67,7 +67,7 @@ impl Remp {
 
     /// Runs ER-graph construction (stage 1) and opens a resumable
     /// session over the retained pairs. The caller owns the crowd loop:
-    /// see [`RempSession`](crate::RempSession).
+    /// see [`RempSession`].
     pub fn begin<'a>(&self, kb1: &'a Kb, kb2: &'a Kb) -> Result<RempSession<'a>, RempError> {
         self.config.validate()?;
         let prep = prepare(kb1, kb2, &self.config);

@@ -31,13 +31,18 @@ pub struct PreparedEr {
 
 /// Runs ER graph construction (§IV): candidates → initial matches →
 /// attribute matching → similarity vectors → Algorithm 1 pruning → graph.
+///
+/// The heavy stages (candidate generation, similarity vectors, pruning)
+/// run on the worker pool selected by `config.parallelism`; the output is
+/// identical in every mode.
 pub fn prepare(kb1: &Kb, kb2: &Kb, config: &RempConfig) -> PreparedEr {
-    let pre_candidates = generate_candidates(kb1, kb2, config.label_sim_threshold);
+    let par = &config.parallelism;
+    let pre_candidates = generate_candidates(kb1, kb2, config.label_sim_threshold, par);
     let initial_full = initial_matches(kb1, kb2, &pre_candidates);
     let alignment = match_attributes(kb1, kb2, &pre_candidates, &initial_full, &config.attr);
     let vectors_full =
-        build_sim_vectors(kb1, kb2, &pre_candidates, &alignment, config.literal_threshold);
-    let retained = prune(&pre_candidates, &vectors_full, config.knn_k);
+        build_sim_vectors(kb1, kb2, &pre_candidates, &alignment, config.literal_threshold, par);
+    let retained = prune(&pre_candidates, &vectors_full, config.knn_k, par);
     let (candidates, mapping) = pre_candidates.restrict(&retained);
 
     let mut sim_vectors = vec![SimVec::new(Vec::new()); candidates.len()];

@@ -1,0 +1,383 @@
+//! Per-stage wall-clock profiling of the pipeline — the shared engine
+//! behind `rempctl bench` and the `bench_pipeline` binary.
+//!
+//! One [`run_pipeline_bench`] call generates a preset dataset, then runs
+//! the hot stages (candidate generation, attribute alignment, similarity
+//! vectors, pruning, graph construction, consistency estimation, neighbour
+//! propagation, inferred-set discovery, batch scoring) plus one full
+//! oracle-driven campaign at each requested thread count, timing each
+//! stage. The report serializes to the `BENCH_pipeline.json` document the
+//! CI bench job uploads and gates on, and doubles as an equivalence smoke
+//! check: a run whose question count or F1 differs across thread counts is
+//! an error, not a report.
+
+use std::time::Instant;
+
+use remp_crowd::OracleCrowd;
+use remp_datasets::{generate, preset_by_name, GeneratedDataset};
+use remp_ergraph::{
+    build_sim_vectors, generate_candidates, initial_matches, match_attributes, prune, ErGraph,
+    PairId,
+};
+use remp_json::Json;
+use remp_par::Parallelism;
+use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
+use remp_selection::select_batch;
+
+use crate::{evaluate_matches, Remp, RempConfig};
+
+/// Parses a `--threads` list like `"1,2,4"` into thread counts — shared
+/// by the `rempctl bench` and `bench_pipeline` front-ends.
+pub fn parse_thread_list(raw: &str) -> Result<Vec<usize>, String> {
+    raw.split(',')
+        .map(|part| {
+            part.trim().parse::<usize>().map_err(|_| format!("--threads: bad count {part:?}"))
+        })
+        .collect()
+}
+
+/// What to measure: which preset, at which scale, at which thread counts.
+#[derive(Clone, Debug)]
+pub struct PipelineBenchOptions {
+    /// Dataset preset name (`IIMB`, `D-A`, `I-Y`, `D-Y`, `TINY`).
+    pub preset: String,
+    /// Preset scale multiplier.
+    pub scale: f64,
+    /// Thread counts to profile, in order; `1` runs the sequential mode.
+    /// The speedup summary compares the sequential (or first) run against
+    /// the run with the most threads.
+    pub thread_counts: Vec<usize>,
+}
+
+impl Default for PipelineBenchOptions {
+    fn default() -> Self {
+        // D-A at 8x scale: the mid-size workload — a couple of seconds of
+        // sequential end-to-end, so stage times dominate thread-pool
+        // overhead, while the whole 1/2/4-thread sweep stays CI-friendly.
+        PipelineBenchOptions { preset: "D-A".to_owned(), scale: 8.0, thread_counts: vec![1, 2, 4] }
+    }
+}
+
+/// Wall-clock numbers for one thread count.
+#[derive(Clone, Debug)]
+pub struct StageProfile {
+    /// Worker threads this run was measured with.
+    pub threads: usize,
+    /// `(stage name, seconds)` in pipeline order.
+    pub stages: Vec<(&'static str, f64)>,
+    /// Sum of the per-stage times (one pass over stages 1–3).
+    pub stage_total: f64,
+    /// Full campaign (stage 1 + crowd loop + classifier) wall time.
+    pub end_to_end: f64,
+    /// Questions the campaign asked (must agree across thread counts).
+    pub questions: usize,
+    /// Campaign F1 against gold (must agree across thread counts).
+    pub f1: f64,
+}
+
+/// The full measurement: one [`StageProfile`] per requested thread count.
+#[derive(Clone, Debug)]
+pub struct PipelineBenchReport {
+    /// Preset that was measured.
+    pub preset: String,
+    /// Scale it was generated at.
+    pub scale: f64,
+    /// `std::thread::available_parallelism` on the measuring host — the
+    /// context needed to read the speedup numbers (a 4-thread run cannot
+    /// beat sequential on a single-core host).
+    pub host_threads: usize,
+    /// One profile per thread count, in the order requested.
+    pub runs: Vec<StageProfile>,
+}
+
+impl PipelineBenchReport {
+    /// The baseline run: the first with one thread, else the first.
+    pub fn sequential(&self) -> &StageProfile {
+        self.runs.iter().find(|r| r.threads <= 1).unwrap_or(&self.runs[0])
+    }
+
+    /// The most-parallel run (largest thread count).
+    pub fn parallel(&self) -> &StageProfile {
+        self.runs.iter().max_by_key(|r| r.threads).expect("at least one run")
+    }
+
+    /// End-to-end speedup of the most-parallel run over the baseline.
+    pub fn speedup(&self) -> f64 {
+        let par = self.parallel().end_to_end;
+        if par <= 0.0 {
+            return 1.0;
+        }
+        self.sequential().end_to_end / par
+    }
+
+    /// The regression gate shared by `rempctl bench` and `bench_pipeline`:
+    /// errors when the end-to-end speedup of the most-parallel run over
+    /// the *sequential* run falls below `floor`.
+    ///
+    /// Requires an actual 1-thread run in the report — without one the
+    /// "baseline" would be some parallel run (in the degenerate single
+    /// thread-count case the most-parallel run itself, speedup ≡ 1.0) and
+    /// the gate could never fail, silently waving regressions through.
+    pub fn check_min_speedup(&self, floor: f64) -> Result<(), String> {
+        if !self.runs.iter().any(|r| r.threads <= 1) {
+            return Err(
+                "the speedup gate needs a sequential baseline: include 1 in --threads".into()
+            );
+        }
+        let speedup = self.speedup();
+        if speedup < floor {
+            return Err(format!(
+                "regression gate failed: end-to-end speedup {speedup:.2}x at {} threads is \
+                 below the required {floor:.2}x",
+                self.parallel().threads
+            ));
+        }
+        Ok(())
+    }
+
+    /// Human-readable per-run summary, one line per entry — shared by the
+    /// two front-end binaries so their output stays identical.
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = vec![format!(
+            "pipeline bench: {} (scale {}) on a host with {} hardware thread(s)",
+            self.preset, self.scale, self.host_threads
+        )];
+        for run in &self.runs {
+            lines.push(format!(
+                "  {} thread(s): stages {:.2}s, end-to-end {:.2}s ({} questions, F1 {:.3})",
+                run.threads, run.stage_total, run.end_to_end, run.questions, run.f1
+            ));
+        }
+        lines.push(format!(
+            "  speedup at {} threads vs sequential: {:.2}x",
+            self.parallel().threads,
+            self.speedup()
+        ));
+        lines
+    }
+
+    /// The `BENCH_pipeline.json` document.
+    pub fn to_json(&self) -> Json {
+        let runs = self
+            .runs
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("threads".into(), Json::from(r.threads)),
+                    (
+                        "stages_s".into(),
+                        Json::Obj(
+                            r.stages
+                                .iter()
+                                .map(|&(name, secs)| (name.to_owned(), Json::from(secs)))
+                                .collect(),
+                        ),
+                    ),
+                    ("stage_total_s".into(), Json::from(r.stage_total)),
+                    ("end_to_end_s".into(), Json::from(r.end_to_end)),
+                    ("questions".into(), Json::from(r.questions)),
+                    ("f1".into(), Json::from(r.f1)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("preset".into(), Json::from(self.preset.as_str())),
+            ("scale".into(), Json::from(self.scale)),
+            ("host_threads".into(), Json::from(self.host_threads)),
+            ("runs".into(), Json::Arr(runs)),
+            ("sequential_end_to_end_s".into(), Json::from(self.sequential().end_to_end)),
+            ("parallel_threads".into(), Json::from(self.parallel().threads)),
+            ("parallel_end_to_end_s".into(), Json::from(self.parallel().end_to_end)),
+            ("speedup_parallel_vs_sequential".into(), Json::from(self.speedup())),
+        ])
+    }
+}
+
+fn timed<T>(stages: &mut Vec<(&'static str, f64)>, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let started = Instant::now();
+    let out = f();
+    stages.push((name, started.elapsed().as_secs_f64()));
+    out
+}
+
+/// Profiles every hot stage plus one full campaign at one thread count.
+fn profile_run(dataset: &GeneratedDataset, threads: usize) -> StageProfile {
+    let par = if threads <= 1 { Parallelism::Sequential } else { Parallelism::Fixed(threads) };
+    let config = RempConfig::default().with_parallelism(par);
+    let (kb1, kb2) = (&dataset.kb1, &dataset.kb2);
+    let mut stages: Vec<(&'static str, f64)> = Vec::new();
+
+    // Stage 1, piece by piece (mirrors `prepare`).
+    let pre = timed(&mut stages, "candidates", || {
+        generate_candidates(kb1, kb2, config.label_sim_threshold, &par)
+    });
+    let (initial_full, alignment) = timed(&mut stages, "attr_alignment", || {
+        let initial = initial_matches(kb1, kb2, &pre);
+        let alignment = match_attributes(kb1, kb2, &pre, &initial, &config.attr);
+        (initial, alignment)
+    });
+    let vectors = timed(&mut stages, "sim_vectors", || {
+        build_sim_vectors(kb1, kb2, &pre, &alignment, config.literal_threshold, &par)
+    });
+    let retained = timed(&mut stages, "prune", || prune(&pre, &vectors, config.knn_k, &par));
+    let (candidates, initial, graph) = timed(&mut stages, "graph", || {
+        let (candidates, mapping) = pre.restrict(&retained);
+        let initial: Vec<PairId> =
+            initial_full.iter().filter_map(|old| mapping.get(old).copied()).collect();
+        let graph = ErGraph::build(kb1, kb2, &candidates);
+        (candidates, initial, graph)
+    });
+
+    // Stages 2–3, one loop's worth over the initial seeds.
+    let cons = timed(&mut stages, "consistency", || {
+        ConsistencyTable::estimate(kb1, kb2, &candidates, &graph, &initial, &par)
+    });
+    let pg = timed(&mut stages, "propagation", || {
+        ProbErGraph::build(kb1, kb2, &candidates, &graph, &cons, &config.propagation, &par)
+    });
+    let inferred =
+        timed(&mut stages, "inferred_sets", || inferred_sets_dijkstra(&pg, config.tau, &par));
+    timed(&mut stages, "selection", || {
+        let eligible: Vec<bool> = candidates.ids().map(|p| !graph.is_isolated_vertex(p)).collect();
+        let question_cands: Vec<PairId> =
+            candidates.ids().filter(|&p| eligible[p.index()]).collect();
+        let priors: Vec<f64> = candidates.ids().map(|p| candidates.prior(p)).collect();
+        select_batch(
+            config.strategy,
+            &question_cands,
+            &inferred,
+            &priors,
+            &eligible,
+            config.mu,
+            &par,
+        )
+    });
+    let stage_total = stages.iter().map(|&(_, s)| s).sum();
+
+    // The full campaign (stage 1 rebuilt + every loop + classifier),
+    // driven by an oracle so the workload is identical per thread count.
+    let started = Instant::now();
+    let remp = Remp::new(config);
+    let mut crowd = OracleCrowd::new();
+    let outcome = remp.run(kb1, kb2, &|u1, u2| dataset.is_match(u1, u2), &mut crowd);
+    let end_to_end = started.elapsed().as_secs_f64();
+    let f1 = evaluate_matches(outcome.matches.iter().copied(), &dataset.gold).f1;
+
+    StageProfile {
+        threads,
+        stages,
+        stage_total,
+        end_to_end,
+        questions: outcome.questions_asked,
+        f1,
+    }
+}
+
+/// Runs the pipeline benchmark: one [`StageProfile`] per thread count on
+/// a freshly generated preset.
+///
+/// Errors on an unknown preset, an empty thread list, or — the built-in
+/// equivalence smoke check — when any run's question count or F1 deviates
+/// from the baseline's.
+pub fn run_pipeline_bench(opts: &PipelineBenchOptions) -> Result<PipelineBenchReport, String> {
+    if opts.thread_counts.is_empty() {
+        return Err("no thread counts requested".into());
+    }
+    let spec = preset_by_name(&opts.preset, opts.scale)
+        .ok_or_else(|| format!("unknown preset {:?}", opts.preset))?;
+    let dataset = generate(&spec);
+
+    let runs: Vec<StageProfile> =
+        opts.thread_counts.iter().map(|&t| profile_run(&dataset, t)).collect();
+    let baseline = &runs[0];
+    for run in &runs[1..] {
+        if run.questions != baseline.questions || (run.f1 - baseline.f1).abs() > 1e-12 {
+            return Err(format!(
+                "thread-count equivalence violated: {} threads asked {} questions (F1 {}), \
+                 {} threads asked {} (F1 {})",
+                baseline.threads,
+                baseline.questions,
+                baseline.f1,
+                run.threads,
+                run.questions,
+                run.f1
+            ));
+        }
+    }
+
+    Ok(PipelineBenchReport {
+        preset: opts.preset.clone(),
+        scale: opts.scale,
+        host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_on_the_tiny_preset() {
+        let opts =
+            PipelineBenchOptions { preset: "TINY".into(), scale: 1.0, thread_counts: vec![1, 2] };
+        let report = run_pipeline_bench(&opts).expect("TINY bench runs");
+        assert_eq!(report.runs.len(), 2);
+        assert_eq!(report.sequential().threads, 1);
+        assert_eq!(report.parallel().threads, 2);
+        assert!(report.speedup() > 0.0);
+        let doc = report.to_json();
+        assert!(doc.get("runs").is_some());
+        assert!(doc.get("speedup_parallel_vs_sequential").is_some());
+        // Stage names are stable — the CI gate and docs key off them.
+        let names: Vec<&str> = report.runs[0].stages.iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            names,
+            [
+                "candidates",
+                "attr_alignment",
+                "sim_vectors",
+                "prune",
+                "graph",
+                "consistency",
+                "propagation",
+                "inferred_sets",
+                "selection"
+            ]
+        );
+    }
+
+    #[test]
+    fn speedup_gate_requires_a_sequential_baseline() {
+        let opts =
+            PipelineBenchOptions { preset: "TINY".into(), scale: 1.0, thread_counts: vec![2, 4] };
+        let report = run_pipeline_bench(&opts).expect("TINY bench runs");
+        // Without a 1-thread run the gate must refuse rather than compare
+        // the most-parallel run against another parallel run.
+        let err = report.check_min_speedup(1.0).unwrap_err();
+        assert!(err.contains("sequential baseline"), "{err}");
+
+        let with_baseline =
+            run_pipeline_bench(&PipelineBenchOptions { thread_counts: vec![1, 2], ..opts })
+                .expect("TINY bench runs");
+        assert!(with_baseline.check_min_speedup(0.0).is_ok());
+        let err = with_baseline.check_min_speedup(f64::INFINITY).unwrap_err();
+        assert!(err.contains("regression gate failed"), "{err}");
+    }
+
+    #[test]
+    fn thread_lists_parse() {
+        assert_eq!(parse_thread_list("1,2,4").unwrap(), vec![1, 2, 4]);
+        assert_eq!(parse_thread_list(" 8 ").unwrap(), vec![8]);
+        assert!(parse_thread_list("1,x").is_err());
+    }
+
+    #[test]
+    fn unknown_preset_is_an_error() {
+        let opts =
+            PipelineBenchOptions { preset: "NOPE".into(), ..PipelineBenchOptions::default() };
+        assert!(run_pipeline_bench(&opts).is_err());
+        let empty = PipelineBenchOptions { thread_counts: vec![], ..Default::default() };
+        assert!(run_pipeline_bench(&empty).is_err());
+    }
+}

@@ -221,8 +221,11 @@ impl<'a> RempSession<'a> {
         let graph = &self.prep.graph;
         let n = candidates.len();
 
-        // Stage 2: relational match propagation.
-        let cons = ConsistencyTable::estimate(self.kb1, self.kb2, candidates, graph, &self.seeds);
+        // Stage 2: relational match propagation, on the configured
+        // worker pool (results are identical in every parallelism mode).
+        let par = &self.config.parallelism;
+        let cons =
+            ConsistencyTable::estimate(self.kb1, self.kb2, candidates, graph, &self.seeds, par);
         let pg = ProbErGraph::build(
             self.kb1,
             self.kb2,
@@ -230,8 +233,9 @@ impl<'a> RempSession<'a> {
             graph,
             &cons,
             &self.config.propagation,
+            par,
         );
-        let inferred = inferred_sets_dijkstra(&pg, self.config.tau);
+        let inferred = inferred_sets_dijkstra(&pg, self.config.tau, par);
 
         // Stage 3: multiple questions selection. Isolated vertices are
         // excluded — the classifier handles them (§VII-B).
@@ -267,8 +271,15 @@ impl<'a> RempSession<'a> {
             return Ok(None);
         }
         let priors: Vec<f64> = candidates.ids().map(|p| candidates.prior(p)).collect();
-        let selected =
-            select_batch(self.config.strategy, &question_cands, &inferred, &priors, &eligible, mu);
+        let selected = select_batch(
+            self.config.strategy,
+            &question_cands,
+            &inferred,
+            &priors,
+            &eligible,
+            mu,
+            par,
+        );
         if selected.is_empty() {
             // No unresolved pair can be inferred any more.
             self.drained = true;

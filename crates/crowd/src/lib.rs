@@ -2,7 +2,7 @@
 //!
 //! The paper publishes pairwise questions on Amazon MTurk, assigns each to
 //! five workers, and infers truths with the worker-probability model
-//! (Zheng et al. [41]): each worker `w` answers correctly with probability
+//! (Zheng et al. \[41\]): each worker `w` answers correctly with probability
 //! `λ_w` (their qualification-test precision). This crate simulates that
 //! pipeline:
 //!

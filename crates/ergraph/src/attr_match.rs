@@ -175,6 +175,7 @@ mod tests {
     use super::*;
     use crate::generate_candidates;
     use remp_kb::KbBuilder;
+    use remp_par::Parallelism;
 
     /// Two KBs with three attributes each; `name↔title`, `year↔released`
     /// share values on the seed matches; `junk` matches nothing.
@@ -200,7 +201,7 @@ mod tests {
         }
         let kb1 = b1.finish();
         let kb2 = b2.finish();
-        let cands = generate_candidates(&kb1, &kb2, 0.3);
+        let cands = generate_candidates(&kb1, &kb2, 0.3, &Parallelism::Sequential);
         let init = crate::initial_matches(&kb1, &kb2, &cands);
         (kb1, kb2, cands, init)
     }
@@ -246,7 +247,7 @@ mod tests {
         }
         let kb1 = b1.finish();
         let kb2 = b2.finish();
-        let cands = generate_candidates(&kb1, &kb2, 0.3);
+        let cands = generate_candidates(&kb1, &kb2, 0.3, &Parallelism::Sequential);
         let init = crate::initial_matches(&kb1, &kb2, &cands);
 
         let strict = match_attributes(&kb1, &kb2, &cands, &init, &AttrMatchConfig::default());

@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use remp_kb::{EntityId, Kb};
+use remp_par::Parallelism;
 use remp_simil::{jaccard, normalize_tokens, TokenSet};
 
 use crate::PairId;
@@ -129,9 +130,15 @@ impl Candidates {
 /// index over the smaller KB blocks the comparison space to pairs sharing
 /// at least one token; surviving pairs keep a Jaccard similarity ≥
 /// `threshold` (0.3 in the paper), which becomes the prior `Pr[m_p]`.
-pub fn generate_candidates(kb1: &Kb, kb2: &Kb, threshold: f64) -> Candidates {
-    let tokens1: Vec<TokenSet> = kb1.entities().map(|u| normalize_tokens(kb1.label(u))).collect();
-    let tokens2: Vec<TokenSet> = kb2.entities().map(|u| normalize_tokens(kb2.label(u))).collect();
+///
+/// Tokenisation and the per-KB1-entity block scans are data-parallel under
+/// `par`; the output is identical for every [`Parallelism`] mode (entries
+/// stay in KB1-entity order).
+pub fn generate_candidates(kb1: &Kb, kb2: &Kb, threshold: f64, par: &Parallelism) -> Candidates {
+    let ids1: Vec<EntityId> = kb1.entities().collect();
+    let ids2: Vec<EntityId> = kb2.entities().collect();
+    let tokens1: Vec<TokenSet> = par.par_map(&ids1, |&u| normalize_tokens(kb1.label(u)));
+    let tokens2: Vec<TokenSet> = par.par_map(&ids2, |&u| normalize_tokens(kb2.label(u)));
 
     // Inverted index over KB2 tokens.
     let mut inv: HashMap<&str, Vec<EntityId>> = HashMap::new();
@@ -141,25 +148,32 @@ pub fn generate_candidates(kb1: &Kb, kb2: &Kb, threshold: f64) -> Candidates {
         }
     }
 
-    let mut entries: Vec<((EntityId, EntityId), f64)> = Vec::new();
-    let mut seen: Vec<u32> = vec![u32::MAX; kb2.num_entities()];
-    for u1 in kb1.entities() {
-        let ts1 = &tokens1[u1.index()];
-        for tok in ts1 {
-            let Some(cands) = inv.get(tok.as_str()) else { continue };
-            for &u2 in cands {
-                if seen[u2.index()] == u1.0 {
-                    continue; // already scored for this u1
-                }
-                seen[u2.index()] = u1.0;
-                let sim = jaccard(ts1, &tokens2[u2.index()]);
-                if sim >= threshold {
-                    entries.push(((u1, u2), sim));
+    // `seen` marks KB2 entities already scored for the current u1 — the
+    // marker is u1's id, so a per-worker buffer never needs resetting
+    // between entities and stale markers from other chunks cannot alias.
+    let per_entity: Vec<Vec<((EntityId, EntityId), f64)>> = par.par_map_with(
+        &ids1,
+        || vec![u32::MAX; kb2.num_entities()],
+        |seen, &u1| {
+            let ts1 = &tokens1[u1.index()];
+            let mut entries: Vec<((EntityId, EntityId), f64)> = Vec::new();
+            for tok in ts1 {
+                let Some(cands) = inv.get(tok.as_str()) else { continue };
+                for &u2 in cands {
+                    if seen[u2.index()] == u1.0 {
+                        continue; // already scored for this u1
+                    }
+                    seen[u2.index()] = u1.0;
+                    let sim = jaccard(ts1, &tokens2[u2.index()]);
+                    if sim >= threshold {
+                        entries.push(((u1, u2), sim));
+                    }
                 }
             }
-        }
-    }
-    Candidates::from_pairs(entries)
+            entries
+        },
+    );
+    Candidates::from_pairs(per_entity.into_iter().flatten())
 }
 
 /// Extracts the initial entity matches `M_in` (paper §IV-C): candidates
@@ -191,7 +205,7 @@ mod tests {
     fn generates_pairs_over_threshold() {
         let kb1 = kb("a", &["The Player", "Cradle Will Rock", "Unrelated Thing"]);
         let kb2 = kb("b", &["Player", "Cradle Will Rock", "Something Else"]);
-        let c = generate_candidates(&kb1, &kb2, 0.3);
+        let c = generate_candidates(&kb1, &kb2, 0.3, &Parallelism::Sequential);
         assert!(c.id_of((EntityId(0), EntityId(0))).is_some(), "player pair kept");
         assert!(c.id_of((EntityId(1), EntityId(1))).is_some(), "cradle pair kept");
         assert!(c.id_of((EntityId(2), EntityId(2))).is_none(), "dissimilar pair dropped");
@@ -201,7 +215,7 @@ mod tests {
     fn prior_equals_label_jaccard() {
         let kb1 = kb("a", &["alpha beta"]);
         let kb2 = kb("b", &["alpha gamma"]);
-        let c = generate_candidates(&kb1, &kb2, 0.1);
+        let c = generate_candidates(&kb1, &kb2, 0.1, &Parallelism::Sequential);
         let id = c.id_of((EntityId(0), EntityId(0))).unwrap();
         assert!((c.prior(id) - 1.0 / 3.0).abs() < 1e-12);
     }
@@ -212,7 +226,7 @@ mod tests {
         // appear exactly once.
         let kb1 = kb("a", &["alpha beta"]);
         let kb2 = kb("b", &["alpha beta"]);
-        let c = generate_candidates(&kb1, &kb2, 0.1);
+        let c = generate_candidates(&kb1, &kb2, 0.1, &Parallelism::Sequential);
         assert_eq!(c.len(), 1);
     }
 
@@ -220,7 +234,7 @@ mod tests {
     fn initial_matches_require_exact_labels() {
         let kb1 = kb("a", &["Exact Same", "Close Match"]);
         let kb2 = kb("b", &["Exact Same", "Close  Match"]);
-        let c = generate_candidates(&kb1, &kb2, 0.3);
+        let c = generate_candidates(&kb1, &kb2, 0.3, &Parallelism::Sequential);
         let init = initial_matches(&kb1, &kb2, &c);
         assert_eq!(init.len(), 1);
         assert_eq!(c.pair(init[0]), (EntityId(0), EntityId(0)));
@@ -230,7 +244,7 @@ mod tests {
     fn blocks_index_both_sides() {
         let kb1 = kb("a", &["x y", "x z"]);
         let kb2 = kb("b", &["x y"]);
-        let c = generate_candidates(&kb1, &kb2, 0.1);
+        let c = generate_candidates(&kb1, &kb2, 0.1, &Parallelism::Sequential);
         assert_eq!(c.with_left(EntityId(0)).len(), 1);
         assert_eq!(c.with_right(EntityId(0)).len(), 2);
     }
@@ -239,7 +253,7 @@ mod tests {
     fn restrict_preserves_priors() {
         let kb1 = kb("a", &["a b", "a c"]);
         let kb2 = kb("b", &["a b", "a c"]);
-        let c = generate_candidates(&kb1, &kb2, 0.1);
+        let c = generate_candidates(&kb1, &kb2, 0.1, &Parallelism::Sequential);
         let keep: Vec<_> = c.ids().take(2).collect();
         let (r, map) = c.restrict(&keep);
         assert_eq!(r.len(), 2);
@@ -254,7 +268,7 @@ mod tests {
     fn set_prior_clamps() {
         let kb1 = kb("a", &["a"]);
         let kb2 = kb("b", &["a"]);
-        let mut c = generate_candidates(&kb1, &kb2, 0.1);
+        let mut c = generate_candidates(&kb1, &kb2, 0.1, &Parallelism::Sequential);
         let id = c.ids().next().unwrap();
         c.set_prior(id, 1.5);
         assert_eq!(c.prior(id), 1.0);

@@ -210,6 +210,7 @@ impl ErGraph {
 mod tests {
     use super::*;
     use remp_kb::{EntityId, KbBuilder, Value};
+    use remp_par::Parallelism;
 
     /// Mirrors the paper's Fig. 1 fragment: persons acting in movies,
     /// movies directed by persons, persons born in cities.
@@ -257,7 +258,7 @@ mod tests {
 
         let kb1 = b1.finish();
         let kb2 = b2.finish();
-        let cands = crate::generate_candidates(&kb1, &kb2, 0.3);
+        let cands = crate::generate_candidates(&kb1, &kb2, 0.3, &Parallelism::Sequential);
         (kb1, kb2, cands)
     }
 
@@ -325,7 +326,7 @@ mod tests {
         b2.add_entity("solo");
         let kb1 = b1.finish();
         let kb2 = b2.finish();
-        let cands = crate::generate_candidates(&kb1, &kb2, 0.3);
+        let cands = crate::generate_candidates(&kb1, &kb2, 0.3, &Parallelism::Sequential);
         let g = ErGraph::build(&kb1, &kb2, &cands);
         assert_eq!(g.num_edges(), 0);
         assert!(g.is_isolated_vertex(PairId(0)));

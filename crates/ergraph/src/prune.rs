@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 
 use remp_kb::EntityId;
+use remp_par::Parallelism;
 use remp_simil::SimVec;
 
 use crate::{Candidates, PairId};
@@ -58,6 +59,7 @@ pub fn prune_one_way(
     survivors: &[PairId],
     side: Side,
     k: usize,
+    par: &Parallelism,
 ) -> Vec<PairId> {
     let mut blocks: HashMap<EntityId, Vec<PairId>> = HashMap::new();
     for &pid in survivors {
@@ -69,39 +71,46 @@ pub fn prune_one_way(
         blocks.entry(key).or_default().push(pid);
     }
 
-    let mut retained = Vec::with_capacity(survivors.len());
-    for &pid in survivors {
+    // The O(|B|²) dominance counts are independent per pair; the filter
+    // below keeps the survivors' order, so the result is identical for
+    // every `par` mode.
+    let keep: Vec<bool> = par.par_map(survivors, |&pid| {
         let (u1, u2) = candidates.pair(pid);
         let key = match side {
             Side::Left => u1,
             Side::Right => u2,
         };
         let block = &blocks[&key];
-        if block.len() <= k {
-            retained.push(pid); // |B| ≤ k: no need to prune (Alg. 1 line 9)
-            continue;
-        }
-        if rank_in_block(block, vectors, pid) < k {
-            retained.push(pid);
-        }
-    }
-    retained
+        // |B| ≤ k: no need to prune (Alg. 1 line 9).
+        block.len() <= k || rank_in_block(block, vectors, pid) < k
+    });
+    survivors.iter().zip(&keep).filter(|&(_, &kept)| kept).map(|(&pid, _)| pid).collect()
 }
 
 /// Algorithm 1: partial-order based pruning. Returns the retained entity
 /// match set `M_rd` (pair ids into `candidates`), pruning first by KB1
 /// entities and then by KB2 entities over the survivors.
-pub fn prune(candidates: &Candidates, vectors: &[SimVec], k: usize) -> Vec<PairId> {
+pub fn prune(
+    candidates: &Candidates,
+    vectors: &[SimVec],
+    k: usize,
+    par: &Parallelism,
+) -> Vec<PairId> {
     assert_eq!(candidates.len(), vectors.len(), "one vector per candidate required");
     let all: Vec<PairId> = candidates.ids().collect();
-    let pass1 = prune_one_way(candidates, vectors, &all, Side::Left, k);
-    prune_one_way(candidates, vectors, &pass1, Side::Right, k)
+    let pass1 = prune_one_way(candidates, vectors, &all, Side::Left, k, par);
+    prune_one_way(candidates, vectors, &pass1, Side::Right, k, par)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// Most unit tests run the sequential reference mode; the proptests
+    /// below drive a real worker pool to cover the parallel path too.
+    const SEQ: &Parallelism = &Parallelism::Sequential;
+    const POOL: &Parallelism = &Parallelism::Fixed(3);
 
     /// Builds a candidate set with `left[i]` paired to `right[i]`.
     fn cands(pairs: &[(u32, u32)]) -> Candidates {
@@ -117,7 +126,7 @@ mod tests {
         // One entity with two counterparts, k = 4 → keep both.
         let c = cands(&[(0, 0), (0, 1)]);
         let v = vecs(&[&[0.9], &[0.1]]);
-        assert_eq!(prune(&c, &v, 4).len(), 2);
+        assert_eq!(prune(&c, &v, 4, SEQ).len(), 2);
     }
 
     #[test]
@@ -126,7 +135,7 @@ mod tests {
         // the top 2 of the dominance chain.
         let c = cands(&[(0, 0), (0, 1), (0, 2), (0, 3)]);
         let v = vecs(&[&[0.9], &[0.7], &[0.5], &[0.3]]);
-        let kept = prune(&c, &v, 2);
+        let kept = prune(&c, &v, 2, SEQ);
         assert_eq!(kept, vec![PairId(0), PairId(1)]);
     }
 
@@ -136,14 +145,14 @@ mod tests {
         // even with k = 1 (weak ordering keeps "nearly k" per entity).
         let c = cands(&[(0, 0), (0, 1), (0, 2), (0, 3)]);
         let v = vecs(&[&[0.9, 0.1], &[0.7, 0.3], &[0.5, 0.5], &[0.1, 0.9]]);
-        assert_eq!(prune(&c, &v, 1).len(), 4);
+        assert_eq!(prune(&c, &v, 1, SEQ).len(), 4);
     }
 
     #[test]
     fn equal_vectors_do_not_prune_each_other() {
         let c = cands(&[(0, 0), (0, 1), (0, 2)]);
         let v = vecs(&[&[0.5], &[0.5], &[0.5]]);
-        assert_eq!(prune(&c, &v, 1).len(), 3);
+        assert_eq!(prune(&c, &v, 1, SEQ).len(), 3);
     }
 
     #[test]
@@ -152,7 +161,7 @@ mod tests {
         // left pass keeps all (blocks of size 1), right pass prunes.
         let c = cands(&[(0, 0), (1, 0), (2, 0), (3, 0)]);
         let v = vecs(&[&[0.9], &[0.7], &[0.5], &[0.3]]);
-        let kept = prune(&c, &v, 2);
+        let kept = prune(&c, &v, 2, SEQ);
         assert_eq!(kept, vec![PairId(0), PairId(1)]);
     }
 
@@ -222,10 +231,10 @@ mod tests {
             }
             let c = cands(&pairs);
             let all: Vec<PairId> = c.ids().collect();
-            let fast1 = prune_one_way(&c, &vectors, &all, Side::Left, k);
+            let fast1 = prune_one_way(&c, &vectors, &all, Side::Left, k, POOL);
             let slow1 = reference_one_way(&c, &vectors, &all, Side::Left, k);
             prop_assert_eq!(fast1.clone(), slow1);
-            let fast2 = prune_one_way(&c, &vectors, &fast1, Side::Right, k);
+            let fast2 = prune_one_way(&c, &vectors, &fast1, Side::Right, k, POOL);
             let slow2 = reference_one_way(&c, &vectors, &fast1, Side::Right, k);
             prop_assert_eq!(fast2, slow2);
         }
@@ -250,7 +259,7 @@ mod tests {
                 }
             }
             let c = cands(&pairs);
-            let kept = prune(&c, &vectors, k);
+            let kept = prune(&c, &vectors, k, POOL);
             for p in c.ids() {
                 if min_rank(&c, &vectors, p) == 0 {
                     prop_assert!(kept.contains(&p), "undominated pair {p} was pruned");

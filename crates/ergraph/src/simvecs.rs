@@ -2,7 +2,8 @@
 //! §IV-D): `s(u1, u2) = (s_1, …, s_|Mat|)` with `s_i = simL` on the i-th
 //! attribute match.
 
-use remp_kb::{Kb, Value};
+use remp_kb::{EntityId, Kb, Value};
+use remp_par::Parallelism;
 use remp_simil::{sim_l_weighted, SimVec};
 
 use crate::{AttrAlignment, Candidates};
@@ -14,29 +15,35 @@ use crate::{AttrAlignment, Candidates};
 /// only caps the floor of the internal match filter. Component `i`
 /// corresponds to `alignment.pairs[i]`; pairs where neither entity
 /// carries the attribute score 0.0.
+///
+/// Every pair's vector is independent, so the computation is data-parallel
+/// under `par` (value buffers are per-worker scratch); the output order is
+/// the candidate order in every mode.
 pub fn build_sim_vectors(
     kb1: &Kb,
     kb2: &Kb,
     candidates: &Candidates,
     alignment: &AttrAlignment,
     literal_threshold: f64,
+    par: &Parallelism,
 ) -> Vec<SimVec> {
-    let mut out = Vec::with_capacity(candidates.len());
-    let mut buf1: Vec<Value> = Vec::new();
-    let mut buf2: Vec<Value> = Vec::new();
-    for (_, (u1, u2)) in candidates.iter() {
-        let mut components = Vec::with_capacity(alignment.len());
-        for &(a1, a2, _) in &alignment.pairs {
-            buf1.clear();
-            buf2.clear();
-            buf1.extend(kb1.attr_values(u1, a1).cloned());
-            buf2.extend(kb2.attr_values(u2, a2).cloned());
-            let _ = literal_threshold;
-            components.push(sim_l_weighted(&buf1, &buf2, 0.3));
-        }
-        out.push(SimVec::new(components));
-    }
-    out
+    let pairs: Vec<(EntityId, EntityId)> = candidates.iter().map(|(_, p)| p).collect();
+    par.par_map_with(
+        &pairs,
+        || (Vec::<Value>::new(), Vec::<Value>::new()),
+        |(buf1, buf2), &(u1, u2)| {
+            let mut components = Vec::with_capacity(alignment.len());
+            for &(a1, a2, _) in &alignment.pairs {
+                buf1.clear();
+                buf2.clear();
+                buf1.extend(kb1.attr_values(u1, a1).cloned());
+                buf2.extend(kb2.attr_values(u2, a2).cloned());
+                let _ = literal_threshold;
+                components.push(sim_l_weighted(buf1, buf2, 0.3));
+            }
+            SimVec::new(components)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -71,11 +78,11 @@ mod tests {
 
         let kb1 = b1.finish();
         let kb2 = b2.finish();
-        let cands = generate_candidates(&kb1, &kb2, 0.3);
+        let cands = generate_candidates(&kb1, &kb2, 0.3, &Parallelism::Sequential);
         let init = initial_matches(&kb1, &kb2, &cands);
         let al = match_attributes(&kb1, &kb2, &cands, &init, &AttrMatchConfig::default());
         assert_eq!(al.len(), 1);
-        let vecs = build_sim_vectors(&kb1, &kb2, &cands, &al, 0.9);
+        let vecs = build_sim_vectors(&kb1, &kb2, &cands, &al, 0.9, &Parallelism::Sequential);
         assert_eq!(vecs.len(), cands.len());
 
         let good = cands.id_of((good1, good2)).unwrap();
@@ -103,10 +110,10 @@ mod tests {
         let _ = bare1;
         let kb1 = b1.finish();
         let kb2 = b2.finish();
-        let cands = generate_candidates(&kb1, &kb2, 0.3);
+        let cands = generate_candidates(&kb1, &kb2, 0.3, &Parallelism::Sequential);
         let init = initial_matches(&kb1, &kb2, &cands);
         let al = match_attributes(&kb1, &kb2, &cands, &init, &AttrMatchConfig::default());
-        let vecs = build_sim_vectors(&kb1, &kb2, &cands, &al, 0.9);
+        let vecs = build_sim_vectors(&kb1, &kb2, &cands, &al, 0.9, &Parallelism::Sequential);
         let bare = cands.id_of((bare1, remp_kb::EntityId(3))).unwrap();
         assert_eq!(vecs[bare.index()].components(), &[0.0]);
     }
@@ -119,8 +126,15 @@ mod tests {
         b2.add_entity("x");
         let kb1 = b1.finish();
         let kb2 = b2.finish();
-        let cands = generate_candidates(&kb1, &kb2, 0.3);
-        let vecs = build_sim_vectors(&kb1, &kb2, &cands, &AttrAlignment::default(), 0.9);
+        let cands = generate_candidates(&kb1, &kb2, 0.3, &Parallelism::Sequential);
+        let vecs = build_sim_vectors(
+            &kb1,
+            &kb2,
+            &cands,
+            &AttrAlignment::default(),
+            0.9,
+            &Parallelism::Sequential,
+        );
         assert!(vecs.iter().all(|v| v.is_empty()));
     }
 }

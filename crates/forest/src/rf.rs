@@ -37,6 +37,23 @@ impl RandomForest {
     /// # Panics
     /// Panics on empty input or ragged feature matrices.
     pub fn fit(samples: &[Vec<f64>], labels: &[bool], config: &ForestConfig) -> RandomForest {
+        RandomForest::fit_par(samples, labels, config, &remp_par::Parallelism::Sequential)
+    }
+
+    /// [`RandomForest::fit`] on a worker pool: the master RNG draws every
+    /// bootstrap and per-tree seed *sequentially* (preserving the exact
+    /// random stream of the sequential fit), then the expensive tree fits
+    /// run data-parallel — the resulting forest is bit-identical in every
+    /// [`remp_par::Parallelism`] mode.
+    ///
+    /// # Panics
+    /// Panics on empty input or ragged feature matrices.
+    pub fn fit_par(
+        samples: &[Vec<f64>],
+        labels: &[bool],
+        config: &ForestConfig,
+        par: &remp_par::Parallelism,
+    ) -> RandomForest {
         assert!(!samples.is_empty(), "cannot fit on empty data");
         assert_eq!(samples.len(), labels.len());
         let d = samples[0].len();
@@ -49,15 +66,18 @@ impl RandomForest {
         };
 
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let trees = (0..config.n_trees.max(1))
+        let draws: Vec<(Vec<usize>, u64)> = (0..config.n_trees.max(1))
             .map(|_| {
                 let idx = bootstrap_indices(samples.len(), &mut rng);
-                let boot_x: Vec<Vec<f64>> = idx.iter().map(|&i| samples[i].clone()).collect();
-                let boot_y: Vec<bool> = idx.iter().map(|&i| labels[i]).collect();
-                let mut tree_rng = StdRng::seed_from_u64(rng.gen());
-                DecisionTree::fit(&boot_x, &boot_y, &tree_config, &mut tree_rng)
+                (idx, rng.gen())
             })
             .collect();
+        let trees = par.par_map(&draws, |(idx, tree_seed)| {
+            let boot_x: Vec<Vec<f64>> = idx.iter().map(|&i| samples[i].clone()).collect();
+            let boot_y: Vec<bool> = idx.iter().map(|&i| labels[i]).collect();
+            let mut tree_rng = StdRng::seed_from_u64(*tree_seed);
+            DecisionTree::fit(&boot_x, &boot_y, &tree_config, &mut tree_rng)
+        });
         RandomForest { trees }
     }
 

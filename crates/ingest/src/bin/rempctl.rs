@@ -16,7 +16,8 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Instant;
 
-use remp_core::{run_on_dataset, RempConfig};
+use remp_core::profile::{parse_thread_list, run_pipeline_bench, PipelineBenchOptions};
+use remp_core::{run_on_dataset, Parallelism, RempConfig};
 use remp_crowd::{LabelSource, OracleCrowd, SimulatedCrowd};
 use remp_datasets::{generate, preset_by_name};
 use remp_ingest::{export_dataset, load_kb, write_snapshot, ExportFormat, FileDataset};
@@ -48,6 +49,17 @@ USAGE:
         Campaign options:
             --budget N          max questions (default: unlimited)
             --mu N              questions per loop (default: config)
+            --threads N         worker threads for the pipeline stages
+                                (default: auto — REMP_THREADS or all cores)
+
+    rempctl bench [--preset NAME] [--scale X] [--threads LIST]
+                  [--out PATH] [--min-speedup X]
+        Profile the hot pipeline stages and a full oracle campaign at each
+        thread count (default 1,2,4 on the D-A preset at scale 8) and
+        write the report (default: BENCH_pipeline.json). With
+        --min-speedup X, exit non-zero when the end-to-end speedup of the
+        most-parallel run over the sequential run is below X (the CI
+        regression gate).
 ";
 
 enum CliError {
@@ -86,6 +98,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "import" => cmd_import(&opts),
         "inspect" => cmd_inspect(&opts),
         "run" => cmd_run(&opts),
+        "bench" => cmd_bench(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -235,6 +248,14 @@ fn cmd_run(opts: &Opts) -> Result<(), CliError> {
             mu.parse().map_err(|_| CliError::Usage(format!("--mu: cannot parse {mu:?}")))?;
         config = config.with_mu(mu);
     }
+    if let Some(threads) = opts.get("threads") {
+        let parallelism = Parallelism::from_label(threads).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--threads: expected a worker count, 'sequential' or 'auto', got {threads:?}"
+            ))
+        })?;
+        config = config.with_parallelism(parallelism);
+    }
 
     let mut crowd: Box<dyn LabelSource> = if opts.get("oracle").is_some() {
         Box::new(OracleCrowd::new())
@@ -273,6 +294,33 @@ fn cmd_run(opts: &Opts) -> Result<(), CliError> {
         100.0 * result.eval.recall,
         100.0 * result.eval.f1
     );
+    Ok(())
+}
+
+fn cmd_bench(opts: &Opts) -> Result<(), CliError> {
+    let mut bench = PipelineBenchOptions::default();
+    if let Some(preset) = opts.get("preset") {
+        bench.preset = preset.to_owned();
+    }
+    bench.scale = opts.parsed("scale", bench.scale)?;
+    if let Some(raw) = opts.get("threads") {
+        bench.thread_counts = parse_thread_list(raw).map_err(CliError::Usage)?;
+    }
+    let out = opts.get("out").unwrap_or("BENCH_pipeline.json");
+
+    let report = run_pipeline_bench(&bench).map_err(CliError::Failed)?;
+    std::fs::write(out, report.to_json().to_string())?;
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+    println!("  wrote {out}");
+
+    if let Some(floor) = opts.get("min-speedup") {
+        let floor: f64 = floor
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--min-speedup: cannot parse {floor:?}")))?;
+        report.check_min_speedup(floor).map_err(CliError::Failed)?;
+    }
     Ok(())
 }
 

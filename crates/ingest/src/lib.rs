@@ -2,7 +2,7 @@
 //! to running crowd campaigns.
 //!
 //! The paper evaluates on real KBs up to 15.1 M entities (Table II);
-//! this crate turns files into the [`Kb`](remp_kb::Kb)s the pipeline
+//! this crate turns files into the [`Kb`]s the pipeline
 //! consumes:
 //!
 //! * [`ntriples`] — streaming loader/writer for a line-oriented

@@ -4,9 +4,9 @@
 //! The build environment has no crates.io access, so `serde`/`serde_json`
 //! cannot be used; this crate provides the minimal machinery checkpointing
 //! needs: a [`Json`] value tree, a strict recursive-descent [`Json::parse`]
-//! and a canonical writer [`Json::to_string`]. Numbers round-trip exactly:
-//! integers are kept as `u64`/`i64` and floats are written with Rust's
-//! shortest-round-trip formatting.
+//! and a canonical writer `Json::to_string` (via the `Display` impl).
+//! Numbers round-trip exactly: integers are kept as `u64`/`i64` and floats
+//! are written with Rust's shortest-round-trip formatting.
 
 mod parse;
 mod write;

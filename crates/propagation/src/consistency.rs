@@ -31,6 +31,7 @@ use std::collections::{HashMap, HashSet};
 
 use remp_ergraph::{Candidates, Direction, ErGraph, PairId, RelPairId};
 use remp_kb::{EntityId, Kb};
+use remp_par::Parallelism;
 
 /// Consistency parameters of one relationship pair (Eq. 3).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -187,12 +188,16 @@ impl ConsistencyTable {
     /// `r`-values; for [`Direction::Reverse`], incoming subjects (the `r⁻`
     /// view). Observed latent lower bounds count seed matches between the
     /// value sets.
+    ///
+    /// Each label's hard-EM fit only reads shared state, so the labels run
+    /// data-parallel under `par` with identical estimates in every mode.
     pub fn estimate(
         kb1: &Kb,
         kb2: &Kb,
         candidates: &Candidates,
         graph: &ErGraph,
         seeds: &[PairId],
+        par: &Parallelism,
     ) -> ConsistencyTable {
         // Seed matches indexed by the KB1 entity for O(deg) overlap counts.
         let mut seed_right: HashMap<EntityId, HashSet<EntityId>> = HashMap::new();
@@ -207,8 +212,8 @@ impl ConsistencyTable {
             values1.iter().map(|&o1| values2.iter().filter(|&&o2| contains(o1, o2)).count()).sum()
         };
 
-        let mut by_label = HashMap::new();
-        for (label_id, label) in graph.labels() {
+        let labels: Vec<(RelPairId, remp_ergraph::EdgeLabel)> = graph.labels().collect();
+        let entries: Vec<(RelPairId, Consistency)> = par.par_map(&labels, |&(label_id, label)| {
             let mut obs = Vec::with_capacity(seeds.len());
             for &s in seeds {
                 let (u1, u2) = candidates.pair(s);
@@ -233,9 +238,9 @@ impl ConsistencyTable {
                 });
                 obs.push(SizeObservation::new(values1.len(), values2.len(), lower, upper));
             }
-            by_label.insert(label_id, estimate_consistency(&obs));
-        }
-        ConsistencyTable { by_label }
+            (label_id, estimate_consistency(&obs))
+        });
+        ConsistencyTable { by_label: entries.into_iter().collect() }
     }
 
     /// Builds a table from explicit entries (tests, synthetic setups).

@@ -20,6 +20,7 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BinaryHeap};
 
 use remp_ergraph::PairId;
+use remp_par::Parallelism;
 
 use crate::ProbErGraph;
 
@@ -66,43 +67,50 @@ fn length_within(p: f64, zeta: f64) -> Option<f64> {
 }
 
 /// Truncated multi-source Dijkstra implementation of Algorithm 2's output.
-pub fn inferred_sets_dijkstra(graph: &ProbErGraph, tau: f64) -> InferredSets {
+///
+/// Every source's search is independent, so the sources run data-parallel
+/// under `par` (distance/touched buffers are per-worker scratch); each
+/// inferred set is sorted by target, so the output is identical in every
+/// [`Parallelism`] mode.
+pub fn inferred_sets_dijkstra(graph: &ProbErGraph, tau: f64, par: &Parallelism) -> InferredSets {
     let zeta = -tau.clamp(f64::MIN_POSITIVE, 1.0).ln();
     let n = graph.num_vertices();
-    let mut per_source = Vec::with_capacity(n);
-    // dist buffer reused across sources: u32::MAX sentinel epoch trick.
-    let mut dist = vec![f64::INFINITY; n];
-    let mut touched: Vec<usize> = Vec::new();
-    for q in 0..n {
-        let mut out = Vec::new();
-        let mut heap = BinaryHeap::new();
-        dist[q] = 0.0;
-        touched.push(q);
-        heap.push(MinDist(0.0, PairId(q as u32)));
-        while let Some(MinDist(d, v)) = heap.pop() {
-            if d > dist[v.index()] {
-                continue; // stale entry
-            }
-            out.push((v, (-d).exp()));
-            for &(w, p) in graph.edges_from(v) {
-                let Some(len) = length_within(p, zeta) else { continue };
-                let nd = d + len;
-                if nd <= zeta && nd < dist[w.index()] {
-                    if dist[w.index()] == f64::INFINITY {
-                        touched.push(w.index());
+    let sources: Vec<u32> = (0..n as u32).collect();
+    // dist buffer reused across a worker's sources: reset via `touched`.
+    let per_source = par.par_map_with(
+        &sources,
+        || (vec![f64::INFINITY; n], Vec::<usize>::new()),
+        |(dist, touched), &q| {
+            let q = q as usize;
+            let mut out = Vec::new();
+            let mut heap = BinaryHeap::new();
+            dist[q] = 0.0;
+            touched.push(q);
+            heap.push(MinDist(0.0, PairId(q as u32)));
+            while let Some(MinDist(d, v)) = heap.pop() {
+                if d > dist[v.index()] {
+                    continue; // stale entry
+                }
+                out.push((v, (-d).exp()));
+                for &(w, p) in graph.edges_from(v) {
+                    let Some(len) = length_within(p, zeta) else { continue };
+                    let nd = d + len;
+                    if nd <= zeta && nd < dist[w.index()] {
+                        if dist[w.index()] == f64::INFINITY {
+                            touched.push(w.index());
+                        }
+                        dist[w.index()] = nd;
+                        heap.push(MinDist(nd, w));
                     }
-                    dist[w.index()] = nd;
-                    heap.push(MinDist(nd, w));
                 }
             }
-        }
-        out.sort_by_key(|&(w, _)| w);
-        per_source.push(out);
-        for &t in &touched {
-            dist[t] = f64::INFINITY;
-        }
-        touched.clear();
-    }
+            out.sort_by_key(|&(w, _)| w);
+            for t in touched.drain(..) {
+                dist[t] = f64::INFINITY;
+            }
+            out
+        },
+    );
     InferredSets { per_source, tau }
 }
 
@@ -195,6 +203,9 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    const SEQ: &Parallelism = &Parallelism::Sequential;
+    const POOL: &Parallelism = &Parallelism::Fixed(3);
+
     fn graph(n: usize, edges: &[(u32, u32, f64)]) -> ProbErGraph {
         ProbErGraph::from_edges(n, edges.iter().map(|&(v, w, p)| (PairId(v), PairId(w), p)))
     }
@@ -202,7 +213,7 @@ mod tests {
     #[test]
     fn self_is_always_inferred() {
         let g = graph(3, &[]);
-        let s = inferred_sets_dijkstra(&g, 0.9);
+        let s = inferred_sets_dijkstra(&g, 0.9, SEQ);
         for q in 0..3 {
             assert_eq!(s.inferred(PairId(q)), &[(PairId(q), 1.0)]);
         }
@@ -212,7 +223,7 @@ mod tests {
     fn chain_multiplies_probabilities() {
         // 0 →0.95→ 1 →0.95→ 2 : Pr[2|0] = 0.9025 ≥ 0.9
         let g = graph(3, &[(0, 1, 0.95), (1, 2, 0.95)]);
-        let s = inferred_sets_dijkstra(&g, 0.9);
+        let s = inferred_sets_dijkstra(&g, 0.9, SEQ);
         let inf0 = s.inferred(PairId(0));
         assert_eq!(inf0.len(), 3);
         let p2 = inf0.iter().find(|&&(w, _)| w == PairId(2)).unwrap().1;
@@ -223,7 +234,7 @@ mod tests {
     fn threshold_cuts_long_chains() {
         // Pr[2|0] = 0.81 < 0.9 → excluded.
         let g = graph(3, &[(0, 1, 0.9), (1, 2, 0.9)]);
-        let s = inferred_sets_dijkstra(&g, 0.9);
+        let s = inferred_sets_dijkstra(&g, 0.9, SEQ);
         let inf0 = s.inferred(PairId(0));
         assert!(inf0.iter().any(|&(w, _)| w == PairId(1)));
         assert!(!inf0.iter().any(|&(w, _)| w == PairId(2)));
@@ -233,7 +244,7 @@ mod tests {
     fn best_path_wins() {
         // Direct weak edge 0→2 (0.91) vs 2-hop strong path (0.98² = 0.9604).
         let g = graph(3, &[(0, 2, 0.91), (0, 1, 0.98), (1, 2, 0.98)]);
-        let s = inferred_sets_dijkstra(&g, 0.9);
+        let s = inferred_sets_dijkstra(&g, 0.9, SEQ);
         let p2 = s.inferred(PairId(0)).iter().find(|&&(w, _)| w == PairId(2)).unwrap().1;
         assert!((p2 - 0.9604).abs() < 1e-9);
     }
@@ -241,14 +252,14 @@ mod tests {
     #[test]
     fn zero_probability_edges_removed() {
         let g = graph(2, &[(0, 1, 0.0)]);
-        let s = inferred_sets_dijkstra(&g, 0.5);
+        let s = inferred_sets_dijkstra(&g, 0.5, SEQ);
         assert_eq!(s.inferred(PairId(0)).len(), 1);
     }
 
     #[test]
     fn directedness_respected() {
         let g = graph(2, &[(0, 1, 0.99)]);
-        let s = inferred_sets_dijkstra(&g, 0.9);
+        let s = inferred_sets_dijkstra(&g, 0.9, SEQ);
         assert_eq!(s.inferred(PairId(0)).len(), 2);
         assert_eq!(s.inferred(PairId(1)).len(), 1, "no reverse edge");
     }
@@ -259,7 +270,7 @@ mod tests {
             5,
             &[(0, 1, 0.95), (1, 2, 0.97), (2, 3, 0.99), (0, 3, 0.91), (3, 4, 0.5), (4, 0, 0.99)],
         );
-        let a = inferred_sets_dijkstra(&g, 0.9);
+        let a = inferred_sets_dijkstra(&g, 0.9, SEQ);
         let b = inferred_sets_floyd_warshall(&g, 0.9);
         for q in 0..5 {
             let xs = a.inferred(PairId(q));
@@ -281,7 +292,7 @@ mod tests {
             tau in 0.6f64..0.95
         ) {
             let g = graph(8, &edges);
-            let a = inferred_sets_dijkstra(&g, tau);
+            let a = inferred_sets_dijkstra(&g, tau, POOL);
             let b = inferred_sets_floyd_warshall(&g, tau);
             for q in 0..8 {
                 let xs = a.inferred(PairId(q));
@@ -301,7 +312,7 @@ mod tests {
             tau in 0.5f64..0.99
         ) {
             let g = graph(6, &edges);
-            let s = inferred_sets_dijkstra(&g, tau);
+            let s = inferred_sets_dijkstra(&g, tau, POOL);
             for q in 0..6 {
                 let inf = s.inferred(PairId(q));
                 let me = inf.iter().find(|&&(w, _)| w == PairId(q)).expect("self entry");

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use remp_ergraph::{Candidates, Direction, ErGraph, PairId};
 use remp_kb::{EntityId, Kb};
+use remp_par::Parallelism;
 
 use crate::{propagate_to_neighbors, ConsistencyTable, MatchingCandidate, PropagationConfig};
 
@@ -25,6 +26,10 @@ impl ProbErGraph {
     /// the group's targets are the candidate pairs within
     /// `N_{u1}^{r1} × N_{u2}^{r2}`; their posteriors given `m_v` become the
     /// probabilities of the edges `v → target`.
+    /// Each vertex's outgoing edges depend only on that vertex's
+    /// relationship groups, so the per-vertex propagation runs
+    /// data-parallel under `par`; edge lists are sorted by target, making
+    /// the result identical in every [`Parallelism`] mode.
     pub fn build(
         kb1: &Kb,
         kb2: &Kb,
@@ -32,11 +37,11 @@ impl ProbErGraph {
         graph: &ErGraph,
         consistencies: &ConsistencyTable,
         config: &PropagationConfig,
+        par: &Parallelism,
     ) -> ProbErGraph {
-        let n = candidates.len();
-        let mut edges: Vec<HashMap<PairId, f64>> = vec![HashMap::new(); n];
-
-        for (v, (u1, u2)) in candidates.iter() {
+        let vertices: Vec<(PairId, (EntityId, EntityId))> = candidates.iter().collect();
+        let edges: Vec<Vec<(PairId, f64)>> = par.par_map(&vertices, |&(v, (u1, u2))| {
+            let mut out: HashMap<PairId, f64> = HashMap::new();
             for (label_id, targets) in graph.grouped_from(v) {
                 let label = graph.label(label_id);
                 let (values1, values2): (Vec<EntityId>, Vec<EntityId>) = match label.dir {
@@ -78,21 +83,15 @@ impl ProbErGraph {
                 );
                 for (w, p) in posts {
                     if p > 0.0 {
-                        let slot = edges[v.index()].entry(w).or_insert(0.0);
+                        let slot = out.entry(w).or_insert(0.0);
                         *slot = slot.max(p);
                     }
                 }
             }
-        }
-
-        let edges = edges
-            .into_iter()
-            .map(|m| {
-                let mut list: Vec<(PairId, f64)> = m.into_iter().collect();
-                list.sort_by_key(|&(w, _)| w);
-                list
-            })
-            .collect();
+            let mut list: Vec<(PairId, f64)> = out.into_iter().collect();
+            list.sort_by_key(|&(w, _)| w);
+            list
+        });
         ProbErGraph { edges }
     }
 
@@ -148,6 +147,7 @@ mod tests {
     use crate::Consistency;
     use remp_ergraph::generate_candidates;
     use remp_kb::{KbBuilder, Value};
+    use remp_par::Parallelism as Par;
 
     /// Two mirrored KBs: person → born-in → city, person → acted-in →
     /// movies (2 movies).
@@ -178,7 +178,7 @@ mod tests {
         }
         let kb1 = b1.finish();
         let kb2 = b2.finish();
-        let cands = generate_candidates(&kb1, &kb2, 0.3);
+        let cands = generate_candidates(&kb1, &kb2, 0.3, &Par::Sequential);
         let graph = ErGraph::build(&kb1, &kb2, &cands);
         (kb1, kb2, cands, graph)
     }
@@ -189,8 +189,15 @@ mod tests {
         let cons = ConsistencyTable::from_entries(
             graph.labels().map(|(id, _)| (id, Consistency { eps1: 0.95, eps2: 0.95 })),
         );
-        let pg =
-            ProbErGraph::build(&kb1, &kb2, &cands, &graph, &cons, &PropagationConfig::default());
+        let pg = ProbErGraph::build(
+            &kb1,
+            &kb2,
+            &cands,
+            &graph,
+            &cons,
+            &PropagationConfig::default(),
+            &Par::Sequential,
+        );
         let joan = cands.id_of((EntityId(0), EntityId(0))).unwrap();
         let nyc = cands.id_of((EntityId(1), EntityId(1))).unwrap();
         assert!(pg.edge_prob(joan, nyc) > 0.8, "got {}", pg.edge_prob(joan, nyc));
@@ -204,8 +211,15 @@ mod tests {
         let cons = ConsistencyTable::from_entries(
             graph.labels().map(|(id, _)| (id, Consistency { eps1: 0.9, eps2: 0.9 })),
         );
-        let pg =
-            ProbErGraph::build(&kb1, &kb2, &cands, &graph, &cons, &PropagationConfig::default());
+        let pg = ProbErGraph::build(
+            &kb1,
+            &kb2,
+            &cands,
+            &graph,
+            &cons,
+            &PropagationConfig::default(),
+            &Par::Sequential,
+        );
         let nyc = cands.id_of((EntityId(1), EntityId(1))).unwrap();
         let cradle = cands.id_of((EntityId(2), EntityId(2))).unwrap();
         assert_eq!(pg.edge_prob(nyc, cradle), 0.0);
@@ -221,8 +235,8 @@ mod tests {
             graph.labels().map(|(id, _)| (id, Consistency { eps1: 0.2, eps2: 0.2 })),
         );
         let cfg = PropagationConfig::default();
-        let pg_s = ProbErGraph::build(&kb1, &kb2, &cands, &graph, &strong, &cfg);
-        let pg_w = ProbErGraph::build(&kb1, &kb2, &cands, &graph, &weak, &cfg);
+        let pg_s = ProbErGraph::build(&kb1, &kb2, &cands, &graph, &strong, &cfg, &Par::Sequential);
+        let pg_w = ProbErGraph::build(&kb1, &kb2, &cands, &graph, &weak, &cfg, &Par::Sequential);
         let joan = cands.id_of((EntityId(0), EntityId(0))).unwrap();
         let nyc = cands.id_of((EntityId(1), EntityId(1))).unwrap();
         assert!(pg_w.edge_prob(joan, nyc) < pg_s.edge_prob(joan, nyc));

@@ -20,6 +20,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use remp_ergraph::PairId;
+use remp_par::Parallelism;
 use remp_propagation::InferredSets;
 
 /// Which question-selection policy a session's [`select_batch`] uses.
@@ -62,6 +63,10 @@ impl BatchStrategy {
 
 /// Selects at most `mu` questions under the given policy — the single
 /// entry point the session state machine calls each loop.
+///
+/// The greedy selection itself is inherently sequential, but the initial
+/// scoring of every candidate question is data-parallel under `par`; the
+/// selected set is identical in every [`Parallelism`] mode.
 pub fn select_batch(
     strategy: BatchStrategy,
     candidates: &[PairId],
@@ -69,10 +74,11 @@ pub fn select_batch(
     priors: &[f64],
     eligible: &[bool],
     mu: usize,
+    par: &Parallelism,
 ) -> Vec<PairId> {
     match strategy {
-        BatchStrategy::Benefit => select_questions(candidates, inferred, priors, eligible, mu),
-        BatchStrategy::MaxInf => max_inf_questions(candidates, inferred, eligible, mu),
+        BatchStrategy::Benefit => select_questions(candidates, inferred, priors, eligible, mu, par),
+        BatchStrategy::MaxInf => max_inf_questions(candidates, inferred, eligible, mu, par),
         BatchStrategy::MaxPr => max_pr_questions(candidates, priors, mu),
     }
 }
@@ -140,6 +146,7 @@ pub fn select_questions(
     priors: &[f64],
     eligible: &[bool],
     mu: usize,
+    par: &Parallelism,
 ) -> Vec<PairId> {
     let n = eligible.len();
     // not_covered[p] = Π_{selected q ∋ p} (1 − Pr[m_q]); gain of adding q is
@@ -155,9 +162,15 @@ pub fn select_questions(
             .sum::<f64>()
     };
 
+    // The initial scoring pass touches every candidate's full inferred
+    // set — by far the dominant cost of a selection round — and is
+    // data-parallel; heap order is total, so the selection that follows
+    // is deterministic regardless of mode.
+    let initial_gains: Vec<f64> = par.par_map(candidates, |&q| gain_of(q, &not_covered));
     let mut heap: BinaryHeap<Entry> = candidates
         .iter()
-        .map(|&q| Entry { gain: gain_of(q, &not_covered), question: q, round: 0 })
+        .zip(initial_gains)
+        .map(|(&q, gain)| Entry { gain, question: q, round: 0 })
         .collect();
 
     let mut selected = Vec::with_capacity(mu.min(candidates.len()));
@@ -246,14 +259,12 @@ pub fn max_inf_questions(
     inferred: &InferredSets,
     eligible: &[bool],
     mu: usize,
+    par: &Parallelism,
 ) -> Vec<PairId> {
-    let mut scored: Vec<(usize, PairId)> = candidates
-        .iter()
-        .map(|&q| {
-            let size = inferred.inferred(q).iter().filter(|&&(p, _)| eligible[p.index()]).count();
-            (size, q)
-        })
-        .collect();
+    let mut scored: Vec<(usize, PairId)> = par.par_map(candidates, |&q| {
+        let size = inferred.inferred(q).iter().filter(|&&(p, _)| eligible[p.index()]).count();
+        (size, q)
+    });
     scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
     scored.into_iter().take(mu).map(|(_, q)| q).collect()
 }
@@ -275,11 +286,14 @@ mod tests {
     use proptest::prelude::*;
     use remp_propagation::{inferred_sets_dijkstra, ProbErGraph};
 
+    const SEQ: &Parallelism = &Parallelism::Sequential;
+    const POOL: &Parallelism = &Parallelism::Fixed(3);
+
     /// Builds inferred sets from explicit probabilistic edges.
     fn sets(n: usize, edges: &[(u32, u32, f64)], tau: f64) -> InferredSets {
         let g =
             ProbErGraph::from_edges(n, edges.iter().map(|&(v, w, p)| (PairId(v), PairId(w), p)));
-        inferred_sets_dijkstra(&g, tau)
+        inferred_sets_dijkstra(&g, tau, SEQ)
     }
 
     #[test]
@@ -316,14 +330,14 @@ mod tests {
         // q0: infers 3 extra pairs, prior 0.9. q4: infers itself, prior 0.95.
         let inf = sets(5, &[(0, 1, 0.95), (0, 2, 0.95), (0, 3, 0.95)], 0.9);
         let priors = [0.9, 0.5, 0.5, 0.5, 0.95];
-        let q = select_questions(&[PairId(0), PairId(4)], &inf, &priors, &[true; 5], 1);
+        let q = select_questions(&[PairId(0), PairId(4)], &inf, &priors, &[true; 5], 1, SEQ);
         assert_eq!(q, vec![PairId(0)]);
     }
 
     #[test]
     fn greedy_stops_on_zero_gain() {
         let inf = sets(2, &[], 0.9);
-        let q = select_questions(&[PairId(0), PairId(1)], &inf, &[0.0, 0.0], &[true; 2], 5);
+        let q = select_questions(&[PairId(0), PairId(1)], &inf, &[0.0, 0.0], &[true; 2], 5, SEQ);
         assert!(q.is_empty(), "zero-prior questions have zero gain");
     }
 
@@ -333,7 +347,7 @@ mod tests {
         // rather than two from the same cluster.
         let inf = sets(4, &[(0, 1, 0.95), (2, 3, 0.95)], 0.9);
         let all = [PairId(0), PairId(1), PairId(2), PairId(3)];
-        let q = select_questions(&all, &inf, &[0.8; 4], &[true; 4], 2);
+        let q = select_questions(&all, &inf, &[0.8; 4], &[true; 4], 2, SEQ);
         assert_eq!(q.len(), 2);
         let comp = |p: PairId| p.index() / 2;
         assert_ne!(comp(q[0]), comp(q[1]), "questions should scatter: {q:?}");
@@ -342,7 +356,7 @@ mod tests {
     #[test]
     fn max_inf_picks_biggest_set() {
         let inf = sets(4, &[(0, 1, 0.95), (0, 2, 0.95)], 0.9);
-        let q = max_inf_questions(&[PairId(0), PairId(3)], &inf, &[true; 4], 1);
+        let q = max_inf_questions(&[PairId(0), PairId(3)], &inf, &[true; 4], 1, SEQ);
         assert_eq!(q, vec![PairId(0)]);
     }
 
@@ -369,16 +383,16 @@ mod tests {
         let cands = [PairId(0), PairId(4)];
         let eligible = [true; 5];
         assert_eq!(
-            select_batch(BatchStrategy::MaxInf, &cands, &inf, &priors, &eligible, 1),
+            select_batch(BatchStrategy::MaxInf, &cands, &inf, &priors, &eligible, 1, SEQ),
             vec![PairId(0)]
         );
         assert_eq!(
-            select_batch(BatchStrategy::MaxPr, &cands, &inf, &priors, &eligible, 1),
+            select_batch(BatchStrategy::MaxPr, &cands, &inf, &priors, &eligible, 1, SEQ),
             vec![PairId(4)]
         );
         assert_eq!(
-            select_batch(BatchStrategy::Benefit, &cands, &inf, &priors, &eligible, 1),
-            select_questions(&cands, &inf, &priors, &eligible, 1)
+            select_batch(BatchStrategy::Benefit, &cands, &inf, &priors, &eligible, 1, SEQ),
+            select_questions(&cands, &inf, &priors, &eligible, 1, SEQ)
         );
     }
 
@@ -427,7 +441,7 @@ mod tests {
         #[test]
         fn lazy_equals_naive((inf, priors, cands) in arb_instance(), mu in 1usize..5) {
             let eligible = vec![true; 6];
-            let lazy = select_questions(&cands, &inf, &priors, &eligible, mu);
+            let lazy = select_questions(&cands, &inf, &priors, &eligible, mu, POOL);
             let naive = select_questions_naive(&cands, &inf, &priors, &eligible, mu);
             prop_assert_eq!(lazy, naive);
         }
@@ -436,7 +450,7 @@ mod tests {
         #[test]
         fn greedy_approximation_bound((inf, priors, cands) in arb_instance(), mu in 1usize..4) {
             let eligible = vec![true; 6];
-            let greedy = select_questions(&cands, &inf, &priors, &eligible, mu);
+            let greedy = select_questions(&cands, &inf, &priors, &eligible, mu, SEQ);
             let greedy_benefit = benefit(&greedy, &inf, &priors, &eligible);
             // Brute force over all subsets of size ≤ mu.
             let mut best = 0.0f64;

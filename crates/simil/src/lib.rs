@@ -4,7 +4,7 @@
 //! of similarity:
 //!
 //! 1. **Token-level string similarity** on normalised labels (lower-casing,
-//!    tokenisation, stemming) — [`normalize`], [`string`]. Jaccard is the
+//!    tokenisation, stemming) — the `normalize` and `string` modules. Jaccard is the
 //!    default measure; cosine, dice and edit distance are provided as the
 //!    paper notes any of them can be plugged in.
 //! 2. **Literal similarity** ([`literal_similarity`]): token Jaccard for
@@ -33,7 +33,7 @@ pub use string::{cosine, dice, jaccard, levenshtein, normalized_edit_similarity,
 use remp_kb::Value;
 
 /// Extended Jaccard similarity `simL` between two sets of literals
-/// (paper Eq. 1 context; [35]).
+/// (paper Eq. 1 context; \[35\]).
 ///
 /// Two literals "are the same" when [`literal_similarity`] ≥ `threshold`
 /// (the paper uses 0.9). The count `m` of matched pairs is a *maximum*

@@ -15,6 +15,7 @@ use remp::core::{Remp, RempConfig};
 use remp::crowd::Label;
 use remp::ergraph::{generate_candidates, ErGraph};
 use remp::kb::{Kb, KbBuilder, Value};
+use remp::par::Parallelism;
 use remp::propagation::{
     inferred_sets_dijkstra, Consistency, ConsistencyTable, ProbErGraph, PropagationConfig,
 };
@@ -57,7 +58,7 @@ fn main() {
     let dbpedia = build_kb("DBpedia", "birthPlace");
 
     // Stage 1: candidate generation (label Jaccard ≥ 0.3).
-    let candidates = generate_candidates(&yago, &dbpedia, 0.3);
+    let candidates = generate_candidates(&yago, &dbpedia, 0.3, &Parallelism::Auto);
     println!("candidate pairs ({}):", candidates.len());
     for (_, (u1, u2)) in candidates.iter() {
         println!("  (y:{} , d:{})", yago.label(u1), dbpedia.label(u2));
@@ -80,10 +81,11 @@ fn main() {
         &graph,
         &cons,
         &PropagationConfig::default(),
+        &Parallelism::Auto,
     );
 
     // Stage 3: what would one labeled match infer? (τ = 0.9)
-    let inferred = inferred_sets_dijkstra(&pg, 0.9);
+    let inferred = inferred_sets_dijkstra(&pg, 0.9, &Parallelism::Auto);
     let tim = candidates
         .iter()
         .find(|&(_, (u1, _))| yago.label(u1) == "Tim Robbins")

@@ -7,15 +7,23 @@ use remp::ergraph::{
     build_sim_vectors, generate_candidates, initial_matches, match_attributes, prune,
     AttrMatchConfig,
 };
+use remp::par::Parallelism;
 use remp::propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
 use remp::selection::{benefit, select_questions};
+
+/// Stage tests run under the config's policy (`Auto`), so the CI
+/// thread-matrix (`REMP_THREADS=1` / `REMP_THREADS=4`) exercises both the
+/// sequential and the pooled code paths here.
+fn par() -> Parallelism {
+    Parallelism::Auto
+}
 
 #[test]
 fn attribute_matching_one_to_one_beats_unconstrained_precision() {
     // Table IV invariant on the heterogeneous presets.
     for spec in [imdb_yago(0.2), dbpedia_yago(0.2)] {
         let d = generate(&spec);
-        let cands = generate_candidates(&d.kb1, &d.kb2, 0.3);
+        let cands = generate_candidates(&d.kb1, &d.kb2, 0.3, &par());
         let init = initial_matches(&d.kb1, &d.kb2, &cands);
         let gold = &d.gold_attr_matches;
         let precision_of = |one_to_one: bool| {
@@ -58,11 +66,11 @@ fn pruning_preserves_most_gold_while_reducing() {
     // Table V invariant: meaningful RR with bounded PC loss.
     let d = generate(&imdb_yago(0.25));
     let config = RempConfig::default();
-    let cands = generate_candidates(&d.kb1, &d.kb2, config.label_sim_threshold);
+    let cands = generate_candidates(&d.kb1, &d.kb2, config.label_sim_threshold, &par());
     let init = initial_matches(&d.kb1, &d.kb2, &cands);
     let al = match_attributes(&d.kb1, &d.kb2, &cands, &init, &config.attr);
-    let vecs = build_sim_vectors(&d.kb1, &d.kb2, &cands, &al, config.literal_threshold);
-    let retained = prune(&cands, &vecs, config.knn_k);
+    let vecs = build_sim_vectors(&d.kb1, &d.kb2, &cands, &al, config.literal_threshold, &par());
+    let retained = prune(&cands, &vecs, config.knn_k, &par());
 
     let pc_before = pair_completeness(cands.iter().map(|(_, p)| p), &d.gold);
     let pc_after = pair_completeness(retained.iter().map(|&p| cands.pair(p)), &d.gold);
@@ -77,13 +85,13 @@ fn pair_completeness_grows_with_k() {
     // Fig. 4 invariant: larger k retains at least as many gold pairs.
     let d = generate(&iimb(0.4));
     let config = RempConfig::default();
-    let cands = generate_candidates(&d.kb1, &d.kb2, config.label_sim_threshold);
+    let cands = generate_candidates(&d.kb1, &d.kb2, config.label_sim_threshold, &par());
     let init = initial_matches(&d.kb1, &d.kb2, &cands);
     let al = match_attributes(&d.kb1, &d.kb2, &cands, &init, &config.attr);
-    let vecs = build_sim_vectors(&d.kb1, &d.kb2, &cands, &al, config.literal_threshold);
+    let vecs = build_sim_vectors(&d.kb1, &d.kb2, &cands, &al, config.literal_threshold, &par());
     let mut last = 0.0;
     for k in [1usize, 4, 7, 10, 13] {
-        let retained = prune(&cands, &vecs, k);
+        let retained = prune(&cands, &vecs, k, &par());
         let pc = pair_completeness(retained.iter().map(|&p| cands.pair(p)), &d.gold);
         assert!(pc >= last - 1e-9, "PC must be non-decreasing in k");
         last = pc;
@@ -95,8 +103,14 @@ fn propagation_stack_builds_consistent_probabilistic_graph() {
     let d = generate(&iimb(0.3));
     let config = RempConfig::default();
     let prep = prepare(&d.kb1, &d.kb2, &config);
-    let cons =
-        ConsistencyTable::estimate(&d.kb1, &d.kb2, &prep.candidates, &prep.graph, &prep.initial);
+    let cons = ConsistencyTable::estimate(
+        &d.kb1,
+        &d.kb2,
+        &prep.candidates,
+        &prep.graph,
+        &prep.initial,
+        &par(),
+    );
     assert_eq!(cons.len(), prep.graph.num_labels());
     let pg = ProbErGraph::build(
         &d.kb1,
@@ -105,6 +119,7 @@ fn propagation_stack_builds_consistent_probabilistic_graph() {
         &prep.graph,
         &cons,
         &config.propagation,
+        &par(),
     );
     assert_eq!(pg.num_vertices(), prep.candidates.len());
     // Edge probabilities are probabilities.
@@ -114,7 +129,7 @@ fn propagation_stack_builds_consistent_probabilistic_graph() {
         }
     }
     // Inferred sets respect τ and include self.
-    let inf = inferred_sets_dijkstra(&pg, config.tau);
+    let inf = inferred_sets_dijkstra(&pg, config.tau, &par());
     for v in prep.candidates.ids() {
         let set = inf.inferred(v);
         assert!(set.iter().any(|&(p, pr)| p == v && (pr - 1.0).abs() < 1e-12));
@@ -129,8 +144,14 @@ fn selection_over_real_inferred_sets_is_effective() {
     let d = generate(&iimb(0.3));
     let config = RempConfig::default();
     let prep = prepare(&d.kb1, &d.kb2, &config);
-    let cons =
-        ConsistencyTable::estimate(&d.kb1, &d.kb2, &prep.candidates, &prep.graph, &prep.initial);
+    let cons = ConsistencyTable::estimate(
+        &d.kb1,
+        &d.kb2,
+        &prep.candidates,
+        &prep.graph,
+        &prep.initial,
+        &par(),
+    );
     let pg = ProbErGraph::build(
         &d.kb1,
         &d.kb2,
@@ -138,14 +159,15 @@ fn selection_over_real_inferred_sets_is_effective() {
         &prep.graph,
         &cons,
         &config.propagation,
+        &par(),
     );
-    let inf = inferred_sets_dijkstra(&pg, config.tau);
+    let inf = inferred_sets_dijkstra(&pg, config.tau, &par());
     let priors: Vec<f64> = prep.candidates.ids().map(|p| prep.candidates.prior(p)).collect();
     let eligible = vec![true; prep.candidates.len()];
     let all: Vec<_> = prep.candidates.ids().collect();
 
-    let q1 = select_questions(&all, &inf, &priors, &eligible, 1);
-    let q10 = select_questions(&all, &inf, &priors, &eligible, 10);
+    let q1 = select_questions(&all, &inf, &priors, &eligible, 1, &par());
+    let q10 = select_questions(&all, &inf, &priors, &eligible, 10, &par());
     assert_eq!(q1.len(), 1);
     assert!(q10.len() >= q1.len());
     assert_eq!(q10[0], q1[0], "greedy prefix property");

@@ -5,7 +5,7 @@ use std::ops::Range;
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 
-/// Acceptable length specifications for [`vec`].
+/// Acceptable length specifications for [`vec()`].
 pub trait IntoLenRange {
     /// Resolves to `[lo, hi)` bounds.
     fn bounds(self) -> (usize, usize);
@@ -30,7 +30,7 @@ pub fn vec<S: Strategy, L: IntoLenRange>(element: S, len: L) -> VecStrategy<S> {
     VecStrategy { element, lo, hi }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Clone, Debug)]
 pub struct VecStrategy<S> {
     element: S,
