@@ -45,6 +45,6 @@ pub use prepared::{prepare, PreparedEr};
 pub use profile::{run_pipeline_bench, PipelineBenchOptions, PipelineBenchReport, StageProfile};
 pub use remp_par::Parallelism;
 pub use session::{
-    Batch, KbFingerprint, Question, QuestionContext, QuestionId, RempSession, SessionCheckpoint,
-    SubmitOutcome, CHECKPOINT_VERSION,
+    Batch, KbFingerprint, ParseQuestionIdError, Question, QuestionContext, QuestionId, RempSession,
+    SessionCheckpoint, SubmitOutcome, CHECKPOINT_VERSION,
 };

@@ -33,6 +33,33 @@ pub enum Resolution {
     NonMatch,
 }
 
+impl Resolution {
+    /// One-character code used by the checkpoint format and the serve
+    /// wire protocol: `U`nresolved, `C`rowd match, `I`nferred match,
+    /// classi`F`ier match, `N`on-match.
+    pub fn code(self) -> char {
+        match self {
+            Resolution::Unresolved => 'U',
+            Resolution::Match(MatchSource::Crowd) => 'C',
+            Resolution::Match(MatchSource::Inferred) => 'I',
+            Resolution::Match(MatchSource::Classifier) => 'F',
+            Resolution::NonMatch => 'N',
+        }
+    }
+
+    /// Inverse of [`Resolution::code`].
+    pub fn from_code(c: char) -> Option<Resolution> {
+        match c {
+            'U' => Some(Resolution::Unresolved),
+            'C' => Some(Resolution::Match(MatchSource::Crowd)),
+            'I' => Some(Resolution::Match(MatchSource::Inferred)),
+            'F' => Some(Resolution::Match(MatchSource::Classifier)),
+            'N' => Some(Resolution::NonMatch),
+            _ => None,
+        }
+    }
+}
+
 /// Result of a pipeline run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RempOutcome {

@@ -56,6 +56,41 @@ impl fmt::Display for QuestionId {
     }
 }
 
+/// Error returned when a string is not a `q{n}` question id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseQuestionIdError {
+    raw: String,
+}
+
+impl fmt::Display for ParseQuestionIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid question id {:?} (expected the form \"q0\", \"q17\", ...)", self.raw)
+    }
+}
+
+impl std::error::Error for ParseQuestionIdError {}
+
+/// Round-trips the [`Display`](fmt::Display) form `q{n}`, so wire
+/// protocols can reuse the id format humans already see in logs and
+/// error messages instead of inventing a second encoding.
+impl std::str::FromStr for QuestionId {
+    type Err = ParseQuestionIdError;
+
+    fn from_str(s: &str) -> Result<QuestionId, ParseQuestionIdError> {
+        let err = || ParseQuestionIdError { raw: s.to_owned() };
+        let digits = s.strip_prefix('q').ok_or_else(err)?;
+        // Reject forms Display never produces: empty, signs, leading
+        // zeros ("q007" must not alias "q7" on the wire).
+        if digits.is_empty() || (digits.len() > 1 && digits.starts_with('0')) {
+            return Err(err());
+        }
+        if !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(err());
+        }
+        digits.parse::<u64>().map(QuestionId).map_err(|_| err())
+    }
+}
+
 /// Human-readable context a crowd UI shows alongside a question.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuestionContext {
@@ -195,6 +230,41 @@ impl<'a> RempSession<'a> {
         self.pending.iter().filter(|p| !p.answered).map(|p| QuestionId(p.id)).collect()
     }
 
+    /// Total questions issued over the session's lifetime; ids `0..n`
+    /// have all been handed out (and all but the open batch answered).
+    /// External drivers use this to tell "never existed" from "already
+    /// answered" without mutating the session.
+    pub fn issued_questions(&self) -> u64 {
+        self.next_question_id
+    }
+
+    /// Full [`Question`] payloads for the still-unanswered questions of
+    /// the open batch, in batch order.
+    ///
+    /// This is what a crowd-serving frontend needs to re-post questions
+    /// after [`resume`](Self::resume): the checkpoint stores only raw
+    /// pair ids, and this accessor rebuilds the display context from the
+    /// knowledge bases.
+    pub fn open_question_details(&self) -> Vec<Question> {
+        self.pending
+            .iter()
+            .filter(|p| !p.answered)
+            .map(|p| {
+                let pair = self.prep.candidates.pair(p.pair);
+                Question {
+                    id: QuestionId(p.id),
+                    pair,
+                    prior: p.prior,
+                    context: QuestionContext {
+                        label1: self.kb1.label(pair.0).to_owned(),
+                        label2: self.kb2.label(pair.1).to_owned(),
+                        loop_index: self.loops,
+                    },
+                }
+            })
+            .collect()
+    }
+
     /// Runs stages 2–3 and selects the next batch of questions.
     ///
     /// Returns `Ok(None)` when the loop has terminated (the paper's
@@ -329,8 +399,17 @@ impl<'a> RempSession<'a> {
         id: QuestionId,
         labels: Vec<Label>,
     ) -> Result<SubmitOutcome, RempError> {
-        let idx =
-            self.pending.iter().position(|p| p.id == id.0).ok_or(RempError::UnknownQuestion(id))?;
+        let Some(idx) = self.pending.iter().position(|p| p.id == id.0) else {
+            // Ids are issued densely, so anything below the counter was a
+            // real question whose batch has been finalized — a duplicate
+            // submit, not an unknown id. External drivers (e.g. an HTTP
+            // server mapping this to 409 vs 404) rely on the distinction.
+            return Err(if id.0 < self.next_question_id {
+                RempError::AlreadyAnswered(id)
+            } else {
+                RempError::UnknownQuestion(id)
+            });
+        };
         if self.pending[idx].answered {
             return Err(RempError::AlreadyAnswered(id));
         }
@@ -645,27 +724,6 @@ pub struct SessionCheckpoint {
 /// Checkpoint format version written by this build.
 pub const CHECKPOINT_VERSION: u64 = 1;
 
-fn resolution_code(r: Resolution) -> char {
-    match r {
-        Resolution::Unresolved => 'U',
-        Resolution::Match(MatchSource::Crowd) => 'C',
-        Resolution::Match(MatchSource::Inferred) => 'I',
-        Resolution::Match(MatchSource::Classifier) => 'F',
-        Resolution::NonMatch => 'N',
-    }
-}
-
-fn resolution_from_code(c: char) -> Option<Resolution> {
-    match c {
-        'U' => Some(Resolution::Unresolved),
-        'C' => Some(Resolution::Match(MatchSource::Crowd)),
-        'I' => Some(Resolution::Match(MatchSource::Inferred)),
-        'F' => Some(Resolution::Match(MatchSource::Classifier)),
-        'N' => Some(Resolution::NonMatch),
-        _ => None,
-    }
-}
-
 fn fingerprint_json(fp: &KbFingerprint) -> Json {
     Json::Obj(vec![
         ("name".into(), Json::from(fp.name.as_str())),
@@ -687,7 +745,7 @@ fn fingerprint_from_json(doc: &Json) -> Result<KbFingerprint, RempError> {
 impl SessionCheckpoint {
     /// Encodes the checkpoint as a JSON value.
     pub fn to_json(&self) -> Json {
-        let resolutions: String = self.resolutions.iter().map(|&r| resolution_code(r)).collect();
+        let resolutions: String = self.resolutions.iter().map(|r| r.code()).collect();
         Json::Obj(vec![
             ("version".into(), Json::UInt(CHECKPOINT_VERSION)),
             ("config".into(), self.config.to_json()),
@@ -735,6 +793,13 @@ impl SessionCheckpoint {
         self.to_json().to_string()
     }
 
+    /// Encodes the checkpoint as indented JSON — the form to use for
+    /// files an operator may need to inspect; decodes identically to
+    /// [`to_json_string`](Self::to_json_string).
+    pub fn to_json_string_pretty(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
     /// Decodes a checkpoint from a JSON value.
     pub fn from_json(doc: &Json) -> Result<SessionCheckpoint, RempError> {
         let version = get_u64(doc, "version")?;
@@ -746,7 +811,7 @@ impl SessionCheckpoint {
         let resolutions = get_str(doc, "resolutions")?
             .chars()
             .map(|c| {
-                resolution_from_code(c)
+                Resolution::from_code(c)
                     .ok_or_else(|| malformed(format!("bad resolution code '{c}'")))
             })
             .collect::<Result<Vec<_>, _>>()?;
@@ -878,6 +943,56 @@ mod tests {
         assert_eq!(session.submit(q, Vec::new()), Err(RempError::EmptyLabels(q)));
         session.submit(q, oracle_labels(true)).unwrap();
         assert_eq!(session.submit(q, oracle_labels(true)), Err(RempError::AlreadyAnswered(q)));
+    }
+
+    #[test]
+    fn question_id_round_trips_display_form() {
+        for id in [QuestionId(0), QuestionId(7), QuestionId(u64::MAX)] {
+            let text = id.to_string();
+            assert_eq!(text.parse::<QuestionId>(), Ok(id), "{text}");
+        }
+        for bad in ["", "q", "7", "q-1", "q07", "q1x", "x1", "q18446744073709551616"] {
+            assert!(bad.parse::<QuestionId>().is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn resubmitting_a_finalized_question_is_already_answered() {
+        // Regression: a duplicate submit for a question whose batch was
+        // already finalized used to surface as UnknownQuestion, which an
+        // HTTP frontend would wrongly map to 404 instead of 409.
+        let d = generate(&iimb(0.2));
+        let remp = Remp::default();
+        let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let first = session.next_batch().unwrap().unwrap();
+        for q in &first.questions {
+            session.submit(q.id, oracle_labels(d.is_match(q.pair.0, q.pair.1))).unwrap();
+        }
+        // The batch is finalized; its ids are gone from the pending set.
+        let old = first.questions[0].id;
+        assert_eq!(
+            session.submit(old, oracle_labels(true)),
+            Err(RempError::AlreadyAnswered(old)),
+            "finalized questions are duplicates, not unknowns"
+        );
+        // Ids never handed out stay unknown.
+        let fresh = QuestionId(session.issued_questions());
+        assert_eq!(
+            session.submit(fresh, oracle_labels(true)),
+            Err(RempError::UnknownQuestion(fresh))
+        );
+    }
+
+    #[test]
+    fn open_question_details_mirror_the_batch() {
+        let d = generate(&iimb(0.2));
+        let remp = Remp::default();
+        let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let batch = session.next_batch().unwrap().unwrap();
+        assert_eq!(session.open_question_details(), batch.questions);
+        session.submit(batch.questions[0].id, oracle_labels(true)).unwrap();
+        assert_eq!(session.open_question_details(), batch.questions[1..].to_vec());
+        assert_eq!(session.issued_questions(), batch.questions.len() as u64);
     }
 
     #[test]

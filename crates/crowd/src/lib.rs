@@ -16,8 +16,17 @@
 //!   the Fig. 3 protocol) and [`OracleCrowd`] (ground-truth labels, the
 //!   Fig. 5 / Table VII protocol).
 
+//!
+//! Live deployments replace the oracle qualities baked into
+//! [`SimulatedCrowd`] with [`WorkerQualityEstimator`] — online per-worker
+//! quality refinement from agreement with inferred verdicts, seeded by a
+//! qualification quality (the `remp-serve` campaign server is the
+//! consumer).
+
 mod platform;
+mod quality;
 mod truth;
 
 pub use platform::{FixedErrorCrowd, LabelSource, OracleCrowd, QualityStats, SimulatedCrowd};
+pub use quality::{WorkerQualityEstimator, WorkerRecord, MAX_ESTIMATE, MIN_ESTIMATE};
 pub use truth::{infer_truth, posterior_match_probability, Label, TruthConfig, Verdict};

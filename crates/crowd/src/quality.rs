@@ -1,0 +1,246 @@
+//! Online worker-quality estimation for live crowd deployments.
+//!
+//! The paper's MTurk deployment takes each worker's *qualification-test*
+//! precision as their quality `λ_w` and plugs it into Eq. 17. A live
+//! serving system can do better: once a question's truth has been
+//! inferred, every worker who answered it either agreed or disagreed
+//! with the inferred verdict, and that agreement record sharpens the
+//! quality estimate question by question — the standard online
+//! refinement of the worker-probability model (Zheng et al. \[41\]).
+//!
+//! [`WorkerQualityEstimator`] holds one [`WorkerRecord`] per registered
+//! worker and produces the smoothed point estimate
+//!
+//! ```text
+//! λ̂_w = (q0 · w + agreed) / (w + scored)
+//! ```
+//!
+//! where `q0` is the worker's qualification quality (the MTurk analogue:
+//! what the qualification test said before any real answers landed) and
+//! `w` is its pseudo-count weight. With no scored answers the estimate
+//! *is* the qualification; as agreement evidence accumulates it
+//! dominates. Estimates are clamped away from 0 and 1 so a worker can
+//! neither become an oracle nor have their labels inverted by Eq. 17's
+//! log-odds (a `λ < 0.5` worker's answers count *against* what they
+//! said, which is correct — persistent disagreement is signal).
+
+use std::collections::BTreeMap;
+
+/// Lowest estimate the smoothing will produce.
+pub const MIN_ESTIMATE: f64 = 0.05;
+/// Highest estimate the smoothing will produce.
+pub const MAX_ESTIMATE: f64 = 0.99;
+
+/// One worker's qualification and agreement history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerRecord {
+    /// Qualification quality `q0` — the prior point estimate.
+    pub qualification: f64,
+    /// Questions with an inferred match/non-match verdict this worker
+    /// answered (inconsistent questions are never scored).
+    pub scored: u64,
+    /// How many of those answers agreed with the inferred verdict.
+    pub agreed: u64,
+}
+
+impl WorkerRecord {
+    /// The smoothed quality estimate given the qualification weight.
+    pub fn estimate(&self, weight: f64) -> f64 {
+        let raw =
+            (self.qualification * weight + self.agreed as f64) / (weight + self.scored as f64);
+        raw.clamp(MIN_ESTIMATE, MAX_ESTIMATE)
+    }
+}
+
+/// Online per-worker quality estimation, seeded by a qualification
+/// quality and refined by agreement with inferred verdicts.
+///
+/// Workers are keyed by name; iteration order is lexicographic (a
+/// `BTreeMap`), so snapshots and status listings are deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerQualityEstimator {
+    qualification: f64,
+    weight: f64,
+    workers: BTreeMap<String, WorkerRecord>,
+}
+
+impl WorkerQualityEstimator {
+    /// Creates an estimator whose workers start at `qualification`,
+    /// weighted as `weight` pseudo-answers of agreement evidence.
+    ///
+    /// # Panics
+    ///
+    /// If `qualification` lies outside `(0, 1)` or `weight` is not a
+    /// positive finite number.
+    pub fn new(qualification: f64, weight: f64) -> WorkerQualityEstimator {
+        assert!(
+            qualification > 0.0 && qualification < 1.0,
+            "qualification quality must lie in (0, 1); got {qualification}"
+        );
+        assert!(
+            weight.is_finite() && weight > 0.0,
+            "qualification weight must be positive and finite; got {weight}"
+        );
+        WorkerQualityEstimator { qualification, weight, workers: BTreeMap::new() }
+    }
+
+    /// The seed quality new workers start with.
+    pub fn qualification(&self) -> f64 {
+        self.qualification
+    }
+
+    /// Ensures `worker` has a record; returns `true` if it was created.
+    pub fn register(&mut self, worker: &str) -> bool {
+        if self.workers.contains_key(worker) {
+            return false;
+        }
+        self.workers.insert(
+            worker.to_owned(),
+            WorkerRecord { qualification: self.qualification, scored: 0, agreed: 0 },
+        );
+        true
+    }
+
+    /// Whether `worker` has a record.
+    pub fn is_registered(&self, worker: &str) -> bool {
+        self.workers.contains_key(worker)
+    }
+
+    /// The current quality estimate for `worker`. Unregistered workers
+    /// estimate at the qualification quality (what registering them
+    /// would produce).
+    pub fn estimate(&self, worker: &str) -> f64 {
+        match self.workers.get(worker) {
+            Some(record) => record.estimate(self.weight),
+            None => self.qualification.clamp(MIN_ESTIMATE, MAX_ESTIMATE),
+        }
+    }
+
+    /// Records that `worker` agreed (or not) with an inferred verdict,
+    /// registering them first if needed.
+    pub fn score(&mut self, worker: &str, agreed: bool) {
+        self.register(worker);
+        let record = self.workers.get_mut(worker).expect("registered above");
+        record.scored += 1;
+        if agreed {
+            record.agreed += 1;
+        }
+    }
+
+    /// Number of registered workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether no worker has registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The records, in worker-name order (for status listings and
+    /// checkpoints).
+    pub fn records(&self) -> impl Iterator<Item = (&str, &WorkerRecord)> {
+        self.workers.iter().map(|(name, record)| (name.as_str(), record))
+    }
+
+    /// Restores a record captured by [`records`](Self::records) — the
+    /// checkpoint-resume path. Replaces any existing record.
+    pub fn restore(&mut self, worker: &str, record: WorkerRecord) {
+        self.workers.insert(worker.to_owned(), record);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_workers_estimate_at_qualification() {
+        let mut est = WorkerQualityEstimator::new(0.85, 5.0);
+        assert!((est.estimate("alice") - 0.85).abs() < 1e-12, "unregistered");
+        assert!(est.register("alice"));
+        assert!(!est.register("alice"), "double registration is a no-op");
+        assert!((est.estimate("alice") - 0.85).abs() < 1e-12, "registered, unscored");
+        assert!(est.is_registered("alice"));
+        assert_eq!(est.len(), 1);
+    }
+
+    #[test]
+    fn agreement_raises_and_disagreement_lowers() {
+        let mut est = WorkerQualityEstimator::new(0.85, 5.0);
+        let q0 = est.estimate("w");
+        est.score("w", true);
+        let up = est.estimate("w");
+        assert!(up > q0, "{up} should exceed {q0}");
+        let mut est = WorkerQualityEstimator::new(0.85, 5.0);
+        est.score("w", false);
+        let down = est.estimate("w");
+        assert!(down < q0, "{down} should undercut {q0}");
+    }
+
+    #[test]
+    fn evidence_dominates_the_qualification() {
+        let mut est = WorkerQualityEstimator::new(0.5, 2.0);
+        for _ in 0..200 {
+            est.score("sharp", true);
+        }
+        assert!(est.estimate("sharp") > 0.97, "{}", est.estimate("sharp"));
+        for _ in 0..200 {
+            est.score("dull", false);
+        }
+        assert!(est.estimate("dull") < 0.05 + 1e-12, "{}", est.estimate("dull"));
+    }
+
+    #[test]
+    fn estimates_stay_clamped() {
+        let mut est = WorkerQualityEstimator::new(0.9, 1.0);
+        for _ in 0..10_000 {
+            est.score("w", true);
+        }
+        assert!(est.estimate("w") <= MAX_ESTIMATE);
+        for _ in 0..100_000 {
+            est.score("w", false);
+        }
+        assert!(est.estimate("w") >= MIN_ESTIMATE);
+    }
+
+    #[test]
+    fn smoothing_formula_is_exact() {
+        let mut est = WorkerQualityEstimator::new(0.8, 4.0);
+        est.score("w", true);
+        est.score("w", true);
+        est.score("w", false);
+        // (0.8 * 4 + 2) / (4 + 3) = 5.2 / 7
+        assert!((est.estimate("w") - 5.2 / 7.0).abs() < 1e-12, "{}", est.estimate("w"));
+    }
+
+    #[test]
+    fn records_round_trip_through_restore() {
+        let mut est = WorkerQualityEstimator::new(0.85, 5.0);
+        est.score("b", true);
+        est.score("a", false);
+        est.score("b", true);
+        let saved: Vec<(String, WorkerRecord)> =
+            est.records().map(|(n, r)| (n.to_owned(), r.clone())).collect();
+        assert_eq!(saved.len(), 2);
+        assert_eq!(saved[0].0, "a", "records iterate in name order");
+
+        let mut fresh = WorkerQualityEstimator::new(0.85, 5.0);
+        for (name, record) in &saved {
+            fresh.restore(name, record.clone());
+        }
+        assert_eq!(fresh, est);
+    }
+
+    #[test]
+    #[should_panic(expected = "qualification quality")]
+    fn rejects_degenerate_qualification() {
+        let _ = WorkerQualityEstimator::new(1.0, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight")]
+    fn rejects_non_positive_weight() {
+        let _ = WorkerQualityEstimator::new(0.8, 0.0);
+    }
+}

@@ -19,8 +19,9 @@
 //!
 //! All parsing and encoding is dependency-free, and every malformed
 //! input is a typed [`IngestError`] carrying file and line context —
-//! never a panic. The `rempctl` binary (this crate's CLI) chains the
-//! pieces: `export` → `import` → `inspect` → `run`.
+//! never a panic. The `rempctl` binary (in the root `remp` package, so
+//! it can also reach the `remp-serve` campaign server) chains the
+//! pieces: `export` → `import` → `inspect` → `run` | `serve` | `drive`.
 
 pub mod csv;
 pub mod dataset;

@@ -42,6 +42,16 @@ impl Json {
         parse::parse(src)
     }
 
+    /// Renders the value with 2-space indentation, one member per line —
+    /// the operator-friendly form used for checkpoint files on disk and
+    /// `?pretty=1` HTTP responses. Parses back to the same value as the
+    /// canonical single-line `to_string` form.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        write::write_pretty(self, &mut out, 0).expect("writing to a String cannot fail");
+        out
+    }
+
     /// Member lookup on objects.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -227,6 +237,33 @@ mod tests {
         }
         // A valid pair still decodes.
         assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn pretty_form_round_trips_and_indents() {
+        let doc = Json::Obj(vec![
+            ("version".into(), Json::UInt(1)),
+            ("items".into(), Json::Arr(vec![Json::UInt(1), Json::Str("two".into())])),
+            ("empty_arr".into(), Json::Arr(vec![])),
+            ("empty_obj".into(), Json::Obj(vec![])),
+            ("nested".into(), Json::Obj(vec![("pi".into(), Json::Num(3.5))])),
+        ]);
+        let pretty = doc.to_pretty_string();
+        // Same value back, different surface form.
+        assert_eq!(Json::parse(&pretty).unwrap(), doc);
+        assert_ne!(pretty, doc.to_string());
+        // Operators get one member per line and visible indentation.
+        assert!(pretty.contains("\n  \"version\": 1,\n"), "{pretty}");
+        assert!(pretty.contains("\"empty_arr\": []"), "empty containers stay inline: {pretty}");
+        assert!(pretty.contains("\n    \"pi\": 3.5\n"), "{pretty}");
+        assert!(pretty.ends_with('}'), "{pretty}");
+    }
+
+    #[test]
+    fn pretty_scalars_match_canonical() {
+        for doc in [Json::Null, Json::Bool(true), Json::UInt(7), Json::Str("s".into())] {
+            assert_eq!(doc.to_pretty_string(), doc.to_string());
+        }
     }
 
     #[test]

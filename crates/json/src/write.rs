@@ -1,10 +1,10 @@
-//! Canonical JSON writer.
+//! Canonical and pretty JSON writers.
 
 use std::fmt::{self, Write};
 
 use crate::Json;
 
-pub(crate) fn write_value(value: &Json, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+pub(crate) fn write_value<W: Write>(value: &Json, f: &mut W) -> fmt::Result {
     match value {
         Json::Null => f.write_str("null"),
         Json::Bool(b) => f.write_str(if *b { "true" } else { "false" }),
@@ -37,7 +37,51 @@ pub(crate) fn write_value(value: &Json, f: &mut fmt::Formatter<'_>) -> fmt::Resu
     }
 }
 
-fn write_f64(x: f64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+/// Indented writer behind [`Json::to_pretty_string`]: 2-space indent,
+/// one member per line, `": "` after keys. Parses back to the same value
+/// as the canonical form — only inter-token whitespace differs.
+pub(crate) fn write_pretty<W: Write>(value: &Json, f: &mut W, depth: usize) -> fmt::Result {
+    match value {
+        Json::Arr(items) if !items.is_empty() => {
+            f.write_str("[\n")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",\n")?;
+                }
+                write_indent(f, depth + 1)?;
+                write_pretty(item, f, depth + 1)?;
+            }
+            f.write_char('\n')?;
+            write_indent(f, depth)?;
+            f.write_char(']')
+        }
+        Json::Obj(members) if !members.is_empty() => {
+            f.write_str("{\n")?;
+            for (i, (key, val)) in members.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",\n")?;
+                }
+                write_indent(f, depth + 1)?;
+                write_string(key, f)?;
+                f.write_str(": ")?;
+                write_pretty(val, f, depth + 1)?;
+            }
+            f.write_char('\n')?;
+            write_indent(f, depth)?;
+            f.write_char('}')
+        }
+        other => write_value(other, f),
+    }
+}
+
+fn write_indent<W: Write>(f: &mut W, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        f.write_str("  ")?;
+    }
+    Ok(())
+}
+
+fn write_f64<W: Write>(x: f64, f: &mut W) -> fmt::Result {
     if !x.is_finite() {
         // JSON has no NaN/Inf; checkpoints never contain them, but fail
         // loudly rather than emit an unparseable token.
@@ -53,7 +97,7 @@ fn write_f64(x: f64, f: &mut fmt::Formatter<'_>) -> fmt::Result {
     }
 }
 
-fn write_string(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+fn write_string<W: Write>(s: &str, f: &mut W) -> fmt::Result {
     f.write_char('"')?;
     for c in s.chars() {
         match c {

@@ -1,0 +1,204 @@
+//! A minimal HTTP client for the campaign API — what `rempctl drive`,
+//! the tests and remote tooling use to talk to `rempd`.
+//!
+//! One TCP connection per request (the server answers
+//! `Connection: close`), JSON in and out, with API errors surfaced as
+//! typed [`ClientError::Api`] values carrying the server's status and
+//! error code.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use remp_json::Json;
+
+/// Why a client call failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientError {
+    /// Could not reach the server or the connection broke.
+    Io(String),
+    /// The response violated the protocol (not HTTP, not JSON, ...).
+    Protocol(String),
+    /// The server answered with a non-2xx API error.
+    Api {
+        /// HTTP status.
+        status: u16,
+        /// Machine-readable error code.
+        code: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(msg) => write!(f, "connection error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Api { status, code, message } => {
+                write!(f, "server error {status} ({code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// The API error code, if this is an API error.
+    pub fn code(&self) -> Option<&str> {
+        match self {
+            ClientError::Api { code, .. } => Some(code),
+            _ => None,
+        }
+    }
+
+    /// The HTTP status, if this is an API error.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ClientError::Api { status, .. } => Some(*status),
+            _ => None,
+        }
+    }
+}
+
+/// A campaign-API client bound to one server address.
+#[derive(Clone, Debug)]
+pub struct ServeClient {
+    addr: String,
+}
+
+impl ServeClient {
+    /// Accepts `host:port` or `http://host:port`.
+    pub fn new(addr: impl Into<String>) -> ServeClient {
+        let addr = addr.into();
+        let addr = addr.strip_prefix("http://").unwrap_or(&addr).trim_end_matches('/').to_owned();
+        ServeClient { addr }
+    }
+
+    /// The `host:port` this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// `GET path`, expecting a 2xx JSON response.
+    pub fn get(&self, path: &str) -> Result<Json, ClientError> {
+        self.request("GET", path, None).and_then(expect_ok)
+    }
+
+    /// `POST path` with a JSON body, expecting a 2xx JSON response.
+    pub fn post(&self, path: &str, body: &Json) -> Result<Json, ClientError> {
+        self.request("POST", path, Some(body)).and_then(expect_ok)
+    }
+
+    /// Raw request: returns `(status, parsed body)` without turning
+    /// non-2xx into an error (the malformed-input tests need this).
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> Result<(u16, Json), ClientError> {
+        let body = body.map(|b| b.to_string());
+        self.request_raw(method, path, body.as_deref().map(str::as_bytes))
+    }
+
+    /// Like [`request`](Self::request) but with an arbitrary byte body —
+    /// lets tests send deliberately broken JSON.
+    pub fn request_raw(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(u16, Json), ClientError> {
+        let mut stream =
+            TcpStream::connect(&self.addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+        // The request goes out in small writes; without nodelay, Nagle +
+        // delayed ACKs add tens of milliseconds per round trip.
+        let _ = stream.set_nodelay(true);
+        let body = body.unwrap_or(b"");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.addr,
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).map_err(|e| ClientError::Io(e.to_string()))?;
+        stream.write_all(body).map_err(|e| ClientError::Io(e.to_string()))?;
+        stream.flush().map_err(|e| ClientError::Io(e.to_string()))?;
+
+        let mut reader = BufReader::new(stream);
+        let mut raw = Vec::new();
+        reader.read_to_end(&mut raw).map_err(|e| ClientError::Io(e.to_string()))?;
+        parse_response(&raw)
+    }
+}
+
+fn expect_ok((status, doc): (u16, Json)) -> Result<Json, ClientError> {
+    if (200..300).contains(&status) {
+        return Ok(doc);
+    }
+    let error = doc.get("error");
+    Err(ClientError::Api {
+        status,
+        code: error
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .unwrap_or("unknown")
+            .to_owned(),
+        message: error
+            .and_then(|e| e.get("message"))
+            .and_then(Json::as_str)
+            .unwrap_or("(no message)")
+            .to_owned(),
+    })
+}
+
+fn parse_response(raw: &[u8]) -> Result<(u16, Json), ClientError> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| ClientError::Protocol("response without header terminator".into()))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| ClientError::Protocol("non-UTF-8 response head".into()))?;
+    let status_line = head.lines().next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+    let body = &raw[header_end + 4..];
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ClientError::Protocol("non-UTF-8 response body".into()))?;
+    let doc = if text.trim().is_empty() {
+        Json::Null
+    } else {
+        Json::parse(text)
+            .map_err(|e| ClientError::Protocol(format!("response body is not JSON: {e}")))?
+    };
+    Ok((status, doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_normalisation() {
+        assert_eq!(ServeClient::new("http://127.0.0.1:80/").addr(), "127.0.0.1:80");
+        assert_eq!(ServeClient::new("127.0.0.1:80").addr(), "127.0.0.1:80");
+    }
+
+    #[test]
+    fn responses_parse_and_api_errors_are_typed() {
+        let raw = b"HTTP/1.1 409 Conflict\r\ncontent-type: application/json\r\n\r\n{\"error\":{\"code\":\"dup\",\"message\":\"no\"}}";
+        let (status, doc) = parse_response(raw).unwrap();
+        assert_eq!(status, 409);
+        let err = expect_ok((status, doc)).unwrap_err();
+        assert_eq!(err.code(), Some("dup"));
+        assert_eq!(err.status(), Some(409));
+
+        assert!(parse_response(b"garbage").is_err());
+        assert!(parse_response(b"HTTP/1.1 ??\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,701 @@
+//! The campaign engine: leases, answer aggregation and online worker
+//! quality, wrapped around one [`RempSession`].
+//!
+//! This is the HIT-management layer of crowdsourced ER (CrowdER's and
+//! Wang et al.'s operational core) rebuilt on the session API:
+//!
+//! * **Assignment.** Every open question is leased to up to
+//!   `per_question` *distinct* workers at a time. A lease expires after
+//!   `lease_ms`; expired leases re-enter the pool, so a vanished worker
+//!   can never stall a campaign — the question is simply re-issued to
+//!   the next worker who asks.
+//! * **Aggregation.** Answers accumulate per question; the moment the
+//!   `per_question`-th distinct worker answers, the labels are built
+//!   from the workers' *current estimated qualities* and submitted to
+//!   the session (Eq. 17 + Eq. 11 run inside `submit`).
+//! * **Quality.** Workers start at the campaign's qualification quality
+//!   and are re-scored online against each inferred verdict
+//!   ([`WorkerQualityEstimator`]) — the live replacement for
+//!   `SimulatedCrowd`'s oracle qualities.
+//!
+//! The engine is deliberately free of I/O and clocks: `now_ms` is an
+//! argument, which makes lease expiry exactly testable and keeps every
+//! outcome-visible decision deterministic given the request sequence.
+
+use remp_core::{Question, QuestionId, RempOutcome, RempSession};
+use remp_crowd::{Label, Verdict, WorkerQualityEstimator, WorkerRecord};
+
+use crate::wire::{ServeError, SubmittedRecord};
+
+/// Crowd-facing policy of one campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CrowdPolicy {
+    /// Distinct workers (and labels) required per question — the
+    /// paper's 5 MTurk assignments per HIT.
+    pub per_question: usize,
+    /// Qualification quality new workers start at.
+    pub qualification: f64,
+    /// Pseudo-count weight of the qualification in the online estimate.
+    pub quality_weight: f64,
+    /// Lease lifetime in milliseconds; an unanswered lease expires and
+    /// the slot is re-issued.
+    pub lease_ms: u64,
+}
+
+impl Default for CrowdPolicy {
+    fn default() -> CrowdPolicy {
+        CrowdPolicy { per_question: 5, qualification: 0.85, quality_weight: 5.0, lease_ms: 60_000 }
+    }
+}
+
+impl CrowdPolicy {
+    /// Validates the policy at campaign creation.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.per_question == 0 {
+            return Err(ServeError::bad_request("bad_policy", "per_question must be at least 1"));
+        }
+        if !(self.qualification > 0.0 && self.qualification < 1.0) {
+            return Err(ServeError::bad_request(
+                "bad_policy",
+                format!("qualification {} must lie in (0, 1)", self.qualification),
+            ));
+        }
+        if !(self.quality_weight.is_finite() && self.quality_weight > 0.0) {
+            return Err(ServeError::bad_request(
+                "bad_policy",
+                format!("quality_weight {} must be positive", self.quality_weight),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A question handed to a worker, with its lease deadline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assignment {
+    /// The question to put before the worker.
+    pub question: Question,
+    /// Absolute lease expiry (same clock as `now_ms`).
+    pub deadline_ms: u64,
+}
+
+/// What an accepted answer did.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnswerAck {
+    /// Answers collected for the question so far (including this one).
+    pub collected: usize,
+    /// Required answers.
+    pub required: usize,
+    /// Present once this answer completed the redundancy and the
+    /// question was submitted to the session.
+    pub submitted: Option<SubmittedAnswer>,
+}
+
+/// Details of a completed submission.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmittedAnswer {
+    /// The Eq. 17 verdict.
+    pub verdict: Verdict,
+    /// The Eq. 17 posterior.
+    pub posterior: f64,
+    /// Pairs resolved through relational propagation by this verdict.
+    pub propagated: usize,
+    /// Whether this closed the whole batch.
+    pub batch_complete: bool,
+}
+
+/// One open question: collected answers plus outstanding leases.
+#[derive(Clone, Debug)]
+struct OpenSlot {
+    question: Question,
+    /// `(worker, says_match)` in arrival order.
+    answers: Vec<(String, bool)>,
+    /// `(worker, expiry_ms)` of live leases.
+    leases: Vec<(String, u64)>,
+}
+
+impl OpenSlot {
+    fn new(question: Question) -> OpenSlot {
+        OpenSlot { question, answers: Vec::new(), leases: Vec::new() }
+    }
+}
+
+/// Aggregate progress snapshot (see [`CampaignEngine::progress`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Progress {
+    /// Whether the campaign accepts work right now.
+    pub paused: bool,
+    /// Whether the loop has terminated and every question is submitted.
+    pub complete: bool,
+    /// Completed loops.
+    pub loops: usize,
+    /// Questions submitted to the session.
+    pub questions_asked: usize,
+    /// Question ids issued so far.
+    pub issued: u64,
+    /// Per open question: `(id, collected answers, live leases)`.
+    pub open: Vec<(QuestionId, usize, usize)>,
+    /// Registered workers.
+    pub workers: usize,
+}
+
+/// Lease-based assignment + aggregation around one session.
+///
+/// All methods take `&mut self`; the registry serializes access by
+/// running one engine per campaign actor thread.
+pub struct CampaignEngine<'a> {
+    session: RempSession<'a>,
+    policy: CrowdPolicy,
+    estimator: WorkerQualityEstimator,
+    open: Vec<OpenSlot>,
+    log: Vec<SubmittedRecord>,
+    paused: bool,
+    /// Memoized [`outcome`](Self::outcome); invalidated by each
+    /// submitted answer so polling `/outcome` between answers is free.
+    outcome_cache: Option<RempOutcome>,
+}
+
+impl<'a> CampaignEngine<'a> {
+    /// Wraps a fresh session.
+    pub fn new(session: RempSession<'a>, policy: CrowdPolicy) -> CampaignEngine<'a> {
+        let estimator = WorkerQualityEstimator::new(policy.qualification, policy.quality_weight);
+        CampaignEngine {
+            session,
+            policy,
+            estimator,
+            open: Vec::new(),
+            log: Vec::new(),
+            paused: false,
+            outcome_cache: None,
+        }
+    }
+
+    /// Rebuilds an engine around a resumed session: the open batch comes
+    /// back from the session itself, saved answers are re-applied (their
+    /// leases are gone — the questions simply re-enter the pool for the
+    /// missing slots), and worker records are restored.
+    pub fn resume(
+        session: RempSession<'a>,
+        policy: CrowdPolicy,
+        workers: Vec<(String, WorkerRecord)>,
+        answers: Vec<(u64, String, bool)>,
+        log: Vec<SubmittedRecord>,
+        paused: bool,
+    ) -> Result<CampaignEngine<'a>, ServeError> {
+        let mut engine = CampaignEngine::new(session, policy);
+        engine.paused = paused;
+        engine.log = log;
+        for (name, record) in workers {
+            engine.estimator.restore(&name, record);
+        }
+        engine.open =
+            engine.session.open_question_details().into_iter().map(OpenSlot::new).collect();
+        for (question, worker, says_match) in answers {
+            let Some(slot) = engine.open.iter_mut().find(|s| s.question.id.0 == question) else {
+                return Err(ServeError::internal(
+                    "bad_state",
+                    format!("saved answer references unknown open question q{question}"),
+                ));
+            };
+            if slot.answers.iter().any(|(w, _)| *w == worker) {
+                return Err(ServeError::internal(
+                    "bad_state",
+                    format!("saved answers contain a duplicate for q{question} by {worker:?}"),
+                ));
+            }
+            if slot.answers.len() + 1 >= engine.policy.per_question {
+                // A full answer set would have been submitted before the
+                // checkpoint was written; reaching it here means the
+                // state file was tampered with.
+                return Err(ServeError::internal(
+                    "bad_state",
+                    format!("saved answers over-fill open question q{question}"),
+                ));
+            }
+            slot.answers.push((worker, says_match));
+        }
+        Ok(engine)
+    }
+
+    /// The crowd policy.
+    pub fn policy(&self) -> &CrowdPolicy {
+        &self.policy
+    }
+
+    /// Whether the campaign is paused.
+    pub fn paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Pauses assignment and answering (existing leases keep expiring).
+    pub fn pause(&mut self) {
+        self.paused = true;
+    }
+
+    /// Resumes a paused campaign.
+    pub fn unpause(&mut self) {
+        self.paused = false;
+    }
+
+    fn ensure_active(&self) -> Result<(), ServeError> {
+        if self.paused {
+            return Err(ServeError::conflict("paused", "the campaign is paused"));
+        }
+        Ok(())
+    }
+
+    /// Pulls the next batch out of the session when the open pool is
+    /// exhausted. Cheap when there is nothing to do.
+    fn refill(&mut self) -> Result<(), ServeError> {
+        if !self.open.is_empty() || self.paused {
+            return Ok(());
+        }
+        if !self.session.open_questions().is_empty() {
+            // Only reachable right after resume: the session still holds
+            // an open batch the engine has not mirrored yet.
+            self.open =
+                self.session.open_question_details().into_iter().map(OpenSlot::new).collect();
+            return Ok(());
+        }
+        if self.session.is_drained() {
+            return Ok(());
+        }
+        if let Some(batch) = self.session.next_batch().map_err(ServeError::from)? {
+            self.open = batch.questions.into_iter().map(OpenSlot::new).collect();
+        }
+        Ok(())
+    }
+
+    fn prune_leases(&mut self, now_ms: u64) {
+        for slot in &mut self.open {
+            slot.leases.retain(|&(_, expiry)| expiry > now_ms);
+        }
+    }
+
+    /// Leases the next question to `worker`, registering them on first
+    /// contact. `Ok(None)` means nothing is available for this worker
+    /// right now (everything leased out, already answered by them, or
+    /// the campaign is complete).
+    pub fn next_for(
+        &mut self,
+        worker: &str,
+        now_ms: u64,
+    ) -> Result<Option<Assignment>, ServeError> {
+        self.ensure_active()?;
+        if worker.is_empty() {
+            return Err(ServeError::bad_request("bad_worker", "worker name must be non-empty"));
+        }
+        self.refill()?;
+        self.prune_leases(now_ms);
+        self.estimator.register(worker);
+        let per_question = self.policy.per_question;
+        let Some(slot) = self.open.iter_mut().find(|slot| {
+            slot.answers.len() + slot.leases.len() < per_question
+                && !slot.answers.iter().any(|(w, _)| w == worker)
+                && !slot.leases.iter().any(|(w, _)| w == worker)
+        }) else {
+            return Ok(None);
+        };
+        let deadline_ms = now_ms.saturating_add(self.policy.lease_ms);
+        slot.leases.push((worker.to_owned(), deadline_ms));
+        Ok(Some(Assignment { question: slot.question.clone(), deadline_ms }))
+    }
+
+    /// Ingests one worker's answer.
+    ///
+    /// The worker must hold a live lease on the question; when this
+    /// answer completes the redundancy, labels are built from the
+    /// current quality estimates and submitted to the session, and the
+    /// workers who answered are re-scored against the verdict.
+    pub fn answer(
+        &mut self,
+        worker: &str,
+        id: QuestionId,
+        says_match: bool,
+        now_ms: u64,
+    ) -> Result<AnswerAck, ServeError> {
+        self.ensure_active()?;
+        self.prune_leases(now_ms);
+        let Some(idx) = self.open.iter().position(|s| s.question.id == id) else {
+            // Not open: either already submitted (a duplicate — 409) or
+            // never issued (404). The session draws the same line.
+            return Err(if id.0 < self.session.issued_questions() {
+                ServeError::conflict(
+                    "already_answered",
+                    format!(
+                        "question {id} already received its {} answers",
+                        self.policy.per_question
+                    ),
+                )
+            } else {
+                ServeError::not_found("unknown_question", format!("no question {id}"))
+            });
+        };
+        let slot = &mut self.open[idx];
+        if slot.answers.iter().any(|(w, _)| w == worker) {
+            return Err(ServeError::conflict(
+                "duplicate_answer",
+                format!("worker {worker:?} already answered question {id}"),
+            ));
+        }
+        let Some(lease_idx) = slot.leases.iter().position(|(w, _)| w == worker) else {
+            return Err(ServeError::conflict(
+                "no_lease",
+                format!(
+                    "worker {worker:?} holds no live lease on question {id} (expired or never issued)"
+                ),
+            ));
+        };
+        slot.leases.remove(lease_idx);
+        slot.answers.push((worker.to_owned(), says_match));
+        let collected = slot.answers.len();
+        let required = self.policy.per_question;
+        if collected < required {
+            return Ok(AnswerAck { collected, required, submitted: None });
+        }
+
+        // Redundancy met: build labels from the current estimates, in
+        // answer-arrival order, and fold them into the session.
+        let slot = self.open.remove(idx);
+        let labels: Vec<Label> = slot
+            .answers
+            .iter()
+            .map(|(w, says)| Label::new(self.estimator.estimate(w), *says))
+            .collect();
+        let outcome = self.session.submit(id, labels).map_err(ServeError::from)?;
+        self.outcome_cache = None;
+        if outcome.verdict != Verdict::Inconsistent {
+            let truth = outcome.verdict == Verdict::Match;
+            for (w, says) in &slot.answers {
+                self.estimator.score(w, *says == truth);
+            }
+        }
+        self.log.push(SubmittedRecord {
+            question: id.0,
+            pair: slot.question.pair,
+            verdict: outcome.verdict,
+        });
+        Ok(AnswerAck {
+            collected,
+            required,
+            submitted: Some(SubmittedAnswer {
+                verdict: outcome.verdict,
+                posterior: outcome.posterior,
+                propagated: outcome.propagated.len(),
+                batch_complete: outcome.batch_complete,
+            }),
+        })
+    }
+
+    /// Current open questions (refilling from the session if needed),
+    /// with collected-answer and live-lease counts.
+    pub fn open_questions(
+        &mut self,
+        now_ms: u64,
+    ) -> Result<Vec<(Question, usize, usize)>, ServeError> {
+        if !self.paused {
+            self.refill()?;
+        }
+        self.prune_leases(now_ms);
+        Ok(self
+            .open
+            .iter()
+            .map(|s| (s.question.clone(), s.answers.len(), s.leases.len()))
+            .collect())
+    }
+
+    /// Aggregate progress.
+    pub fn progress(&mut self, now_ms: u64) -> Result<Progress, ServeError> {
+        if !self.paused {
+            self.refill()?;
+        }
+        self.prune_leases(now_ms);
+        let complete = !self.paused && self.open.is_empty() && self.session.is_drained();
+        Ok(Progress {
+            paused: self.paused,
+            complete,
+            loops: self.session.loops(),
+            questions_asked: self.session.questions_asked(),
+            issued: self.session.issued_questions(),
+            open: self
+                .open
+                .iter()
+                .map(|s| (s.question.id, s.answers.len(), s.leases.len()))
+                .collect(),
+            workers: self.estimator.len(),
+        })
+    }
+
+    /// The final (or provisional) outcome. Works at any point: the
+    /// session is cloned (and, when enabled, the isolated-pair
+    /// classifier runs), so an operator can inspect a mid-flight
+    /// campaign without consuming it. The result is memoized until the
+    /// next answer is submitted, so polling a quiet or completed
+    /// campaign costs one clone total, not one per request.
+    pub fn outcome(&mut self) -> RempOutcome {
+        if self.outcome_cache.is_none() {
+            self.outcome_cache = Some(self.session.clone().finish());
+        }
+        self.outcome_cache.clone().expect("filled above")
+    }
+
+    /// Submission log in submit order.
+    pub fn log(&self) -> &[SubmittedRecord] {
+        &self.log
+    }
+
+    /// Worker quality records, in worker-name order.
+    pub fn worker_records(&self) -> Vec<(String, WorkerRecord)> {
+        self.estimator.records().map(|(n, r)| (n.to_owned(), r.clone())).collect()
+    }
+
+    /// Current quality estimate for one worker.
+    pub fn worker_estimate(&self, worker: &str) -> f64 {
+        self.estimator.estimate(worker)
+    }
+
+    /// The collected-but-unsubmitted answers, for checkpointing.
+    pub fn open_answers(&self) -> Vec<(u64, String, bool)> {
+        self.open
+            .iter()
+            .flat_map(|s| s.answers.iter().map(|(w, says)| (s.question.id.0, w.clone(), *says)))
+            .collect()
+    }
+
+    /// The session checkpoint for durable storage.
+    pub fn session_checkpoint(&self) -> remp_core::SessionCheckpoint {
+        self.session.checkpoint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remp_core::{Remp, RempConfig};
+    use remp_datasets::{generate, tiny, GeneratedDataset};
+
+    fn world() -> GeneratedDataset {
+        generate(&tiny(1.0))
+    }
+
+    fn policy(per_question: usize, lease_ms: u64) -> CrowdPolicy {
+        CrowdPolicy { per_question, lease_ms, ..CrowdPolicy::default() }
+    }
+
+    /// Drains an engine with always-correct workers named `w0..wk`.
+    fn drain(engine: &mut CampaignEngine<'_>, d: &GeneratedDataset, k: usize) {
+        let mut now = 0u64;
+        loop {
+            let progress = engine.progress(now).unwrap();
+            if progress.complete {
+                break;
+            }
+            let mut advanced = false;
+            for i in 0..k {
+                let worker = format!("w{i}");
+                if let Some(a) = engine.next_for(&worker, now).unwrap() {
+                    let truth = d.is_match(a.question.pair.0, a.question.pair.1);
+                    engine.answer(&worker, a.question.id, truth, now).unwrap();
+                    advanced = true;
+                }
+            }
+            assert!(advanced, "no worker made progress; campaign would stall");
+            now += 1;
+        }
+    }
+
+    #[test]
+    fn campaign_completes_with_redundant_workers() {
+        let d = world();
+        let remp = Remp::new(RempConfig::default());
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut engine = CampaignEngine::new(session, policy(3, 1000));
+        drain(&mut engine, &d, 4);
+        let outcome = engine.outcome();
+        assert!(outcome.questions_asked > 0);
+        assert_eq!(engine.log().len(), outcome.questions_asked);
+        let progress = engine.progress(0).unwrap();
+        assert!(progress.complete);
+        assert_eq!(progress.workers, 4);
+    }
+
+    #[test]
+    fn distinct_workers_are_enforced_per_question() {
+        let d = world();
+        let remp = Remp::new(RempConfig::default());
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut engine = CampaignEngine::new(session, policy(2, 1000));
+        let a = engine.next_for("w0", 0).unwrap().unwrap();
+        // Same worker asking again is routed to a different question (or
+        // none), never the one they already hold.
+        if let Some(b) = engine.next_for("w0", 0).unwrap() {
+            assert_ne!(a.question.id, b.question.id);
+        }
+        engine.answer("w0", a.question.id, true, 0).unwrap();
+        // And having answered, they can neither lease nor answer it again.
+        let err = engine.answer("w0", a.question.id, true, 0).unwrap_err();
+        assert_eq!(err.code, "duplicate_answer");
+        assert_eq!(err.status, 409);
+    }
+
+    #[test]
+    fn answers_require_a_live_lease() {
+        let d = world();
+        let remp = Remp::new(RempConfig::default());
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut engine = CampaignEngine::new(session, policy(2, 100));
+        let a = engine.next_for("w0", 0).unwrap().unwrap();
+        // A worker who never leased gets a typed conflict.
+        let err = engine.answer("w1", a.question.id, true, 0).unwrap_err();
+        assert_eq!((err.status, err.code), (409, "no_lease"));
+        // The lease expires at deadline; a late answer is the same conflict.
+        let err = engine.answer("w0", a.question.id, true, a.deadline_ms).unwrap_err();
+        assert_eq!((err.status, err.code), (409, "no_lease"));
+    }
+
+    #[test]
+    fn expired_leases_reissue_and_the_outcome_is_unchanged() {
+        let d = world();
+        let remp = Remp::new(RempConfig::default());
+
+        // Reference: no losses, workers w0/w1 answer everything.
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut reference = CampaignEngine::new(session, policy(2, 1000));
+        drain(&mut reference, &d, 2);
+
+        // Lossy run: a ghost worker takes the very first lease of every
+        // batch and vanishes; after expiry the question re-enters the
+        // pool and the same two reliable workers finish the campaign.
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut lossy = CampaignEngine::new(session, policy(2, 50));
+        let mut now = 0u64;
+        let first = lossy.next_for("ghost", now).unwrap().expect("campaign opens with questions");
+        now = first.deadline_ms; // ghost's lease is now expired
+        loop {
+            if lossy.progress(now).unwrap().complete {
+                break;
+            }
+            let mut advanced = false;
+            for worker in ["w0", "w1"] {
+                if let Some(a) = lossy.next_for(worker, now).unwrap() {
+                    let truth = d.is_match(a.question.pair.0, a.question.pair.1);
+                    lossy.answer(worker, a.question.id, truth, now).unwrap();
+                    advanced = true;
+                }
+            }
+            assert!(advanced, "expired lease failed to re-enter the pool");
+            now += 1;
+        }
+        // The ghost never answered: resolutions, matches and question
+        // order are identical to the lossless run.
+        assert_eq!(lossy.outcome(), reference.outcome());
+        assert_eq!(lossy.log(), reference.log());
+    }
+
+    #[test]
+    fn closed_questions_conflict_and_fresh_ids_are_unknown() {
+        let d = world();
+        let remp = Remp::new(RempConfig::default());
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut engine = CampaignEngine::new(session, policy(1, 1000));
+        let a = engine.next_for("w0", 0).unwrap().unwrap();
+        engine.answer("w0", a.question.id, true, 0).unwrap();
+        // per_question = 1, so the question is closed: 409 for anyone.
+        let err = engine.answer("w1", a.question.id, true, 0).unwrap_err();
+        assert_eq!((err.status, err.code), (409, "already_answered"));
+        // An id that was never issued is 404.
+        let err = engine.answer("w1", QuestionId(u64::MAX), true, 0).unwrap_err();
+        assert_eq!((err.status, err.code), (404, "unknown_question"));
+    }
+
+    #[test]
+    fn pause_blocks_work_and_resume_restores_it() {
+        let d = world();
+        let remp = Remp::new(RempConfig::default());
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut engine = CampaignEngine::new(session, policy(2, 1000));
+        let a = engine.next_for("w0", 0).unwrap().unwrap();
+        engine.pause();
+        assert_eq!(engine.next_for("w1", 0).unwrap_err().code, "paused");
+        assert_eq!(engine.answer("w0", a.question.id, true, 0).unwrap_err().code, "paused");
+        assert!(engine.progress(0).unwrap().paused);
+        engine.unpause();
+        engine.answer("w0", a.question.id, true, 0).unwrap();
+    }
+
+    #[test]
+    fn quality_estimates_move_with_agreement() {
+        let d = world();
+        let remp = Remp::new(RempConfig::default());
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut engine = CampaignEngine::new(session, policy(3, 1000));
+        let q0 = engine.policy().qualification;
+        // w0 and w1 answer truthfully, `liar` always inverts; after a few
+        // questions the estimator separates them.
+        let mut submitted = 0;
+        let mut now = 0;
+        while submitted < 3 {
+            let mut advanced = false;
+            for worker in ["w0", "w1", "liar"] {
+                if let Some(a) = engine.next_for(worker, now).unwrap() {
+                    let truth = d.is_match(a.question.pair.0, a.question.pair.1);
+                    let says = if worker == "liar" { !truth } else { truth };
+                    let ack = engine.answer(worker, a.question.id, says, now).unwrap();
+                    if ack.submitted.is_some() {
+                        submitted += 1;
+                    }
+                    advanced = true;
+                }
+            }
+            assert!(advanced);
+            now += 1;
+        }
+        assert!(engine.worker_estimate("w0") > q0, "{}", engine.worker_estimate("w0"));
+        assert!(engine.worker_estimate("liar") < q0, "{}", engine.worker_estimate("liar"));
+    }
+
+    #[test]
+    fn checkpoint_resume_mid_question_preserves_the_campaign() {
+        let d = world();
+        let remp = Remp::new(RempConfig::default());
+
+        // Reference run, uninterrupted.
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut reference = CampaignEngine::new(session, policy(2, 1000));
+        drain(&mut reference, &d, 2);
+
+        // Interrupted run: stop mid-question (one of two answers in).
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut engine = CampaignEngine::new(session, policy(2, 1000));
+        let a = engine.next_for("w0", 0).unwrap().unwrap();
+        let truth = d.is_match(a.question.pair.0, a.question.pair.1);
+        engine.answer("w0", a.question.id, truth, 0).unwrap();
+
+        let checkpoint = engine.session_checkpoint();
+        let workers = engine.worker_records();
+        let answers = engine.open_answers();
+        let log = engine.log().to_vec();
+        drop(engine);
+
+        let session = RempSession::resume(&d.kb1, &d.kb2, checkpoint).unwrap();
+        let mut resumed =
+            CampaignEngine::resume(session, policy(2, 1000), workers, answers, log, false).unwrap();
+        // w0's answer survived: w0 cannot answer again, w1 completes it.
+        let err = engine_answer_via_lease(&mut resumed, "w0", 1);
+        assert_eq!(err.unwrap_err().code, "duplicate_answer");
+        drain(&mut resumed, &d, 2);
+        assert_eq!(resumed.outcome(), reference.outcome());
+        assert_eq!(resumed.log(), reference.log());
+    }
+
+    /// Tries to lease + answer the first open question as `worker`.
+    fn engine_answer_via_lease(
+        engine: &mut CampaignEngine<'_>,
+        worker: &str,
+        now: u64,
+    ) -> Result<AnswerAck, ServeError> {
+        let open = engine.open_questions(now).unwrap();
+        let id = open.first().expect("an open question").0.id;
+        engine.answer(worker, id, true, now)
+    }
+}

@@ -1,0 +1,59 @@
+//! `remp-serve` — the dependency-free crowd-labeling HTTP server.
+//!
+//! The paper's deployment posts pairwise questions to MTurk and folds
+//! the answers back through truth inference (Eq. 17) and relational
+//! match propagation (Eq. 11). [`RempSession`](remp_core::RempSession)
+//! already inverts the loop for exactly this; `remp-serve` puts a
+//! network in the middle: the `rempd` binary hosts **multiple
+//! concurrent campaigns**, hands questions to registered workers under
+//! expiring leases, aggregates redundant labels, estimates worker
+//! quality online, and survives restarts through durable per-campaign
+//! state files — the HIT-management layer of crowdsourced ER (CrowdER,
+//! Wang et al. 2012/2013), rebuilt on the session API.
+//!
+//! Layers, bottom to top:
+//!
+//! * [`http`] — a strict, panic-free HTTP/1.1 subset on `std` sockets.
+//! * [`wire`] — the JSON protocol: typed [`wire::ServeError`]s (every
+//!   malformed input is a 4xx, duplicate submits are 409), request
+//!   accessors and response encoders. Documented in `PROTOCOL.md`.
+//! * [`engine`] — per-campaign assignment/aggregation:
+//!   [`engine::CampaignEngine`] leases each open question to
+//!   `per_question` distinct workers, expires and re-issues abandoned
+//!   leases, and submits to the session with online quality estimates
+//!   ([`remp_crowd::WorkerQualityEstimator`]).
+//! * [`registry`] — one actor thread per campaign (the session borrows
+//!   its KBs, so the actor owns both), plus durable
+//!   `{id}.campaign.json` state files.
+//! * [`server`] — the accept loop and router; handler pool sized by
+//!   [`remp_par::Parallelism`].
+//! * [`client`] / [`sim`] — the HTTP client, the named-worker
+//!   [`sim::WireCrowd`], the in-process [`sim::reference_outcome`] and
+//!   the [`sim::drive`] loop that proves an HTTP campaign bit-identical
+//!   to the in-process session run.
+//!
+//! ```no_run
+//! use std::sync::atomic::AtomicBool;
+//! use remp_serve::{Server, ServerConfig};
+//!
+//! let server = Server::bind(&ServerConfig::default())?;
+//! println!("rempd listening on {}", server.local_addr());
+//! static STOP: AtomicBool = AtomicBool::new(false);
+//! server.run(&STOP)?; // blocks; checkpoints campaigns on stop
+//! # Ok::<(), remp_serve::ServeError>(())
+//! ```
+
+pub mod client;
+pub mod engine;
+pub mod http;
+pub mod registry;
+pub mod server;
+pub mod sim;
+pub mod wire;
+
+pub use client::{ClientError, ServeClient};
+pub use engine::{Assignment, CampaignEngine, CrowdPolicy};
+pub use registry::{CampaignRequest, CampaignSource, CampaignSpec, Registry};
+pub use server::{install_signal_handlers, signal_stop_flag, Server, ServerConfig};
+pub use sim::{drive, drive_n, reference_outcome, CrowdParams, WireCrowd};
+pub use wire::{outcome_matches, ServeError, SubmittedRecord};

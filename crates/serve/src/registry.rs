@@ -1,0 +1,836 @@
+//! The campaign registry: one actor thread per campaign, durable state
+//! files, and the request fan-in the HTTP layer talks to.
+//!
+//! [`RempSession`] borrows its knowledge bases, so each campaign runs on
+//! a dedicated **actor thread** that owns the KBs, the session and the
+//! [`CampaignEngine`] outright — no self-referential structs, no locks
+//! around `&mut` session state. The HTTP handlers send typed
+//! [`CampaignRequest`]s over a channel and block on the reply; the actor
+//! processes them strictly in arrival order, which is also what makes
+//! campaign behaviour deterministic for a deterministic client.
+//!
+//! Durability: [`Registry::checkpoint_all`] writes one pretty-printed
+//! JSON state file per campaign (`{id}.campaign.json`) into the state
+//! directory — the session checkpoint plus the crowd-side state the
+//! session does not know about (collected answers, worker records, the
+//! submission log). A new `rempd` process pointed at the same directory
+//! resumes every campaign, mid-batch and even mid-question.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use remp_core::{QuestionId, Remp, RempConfig, RempSession, SessionCheckpoint};
+use remp_crowd::WorkerRecord;
+use remp_datasets::{generate, preset_by_name};
+use remp_ingest::load_kb;
+use remp_json::Json;
+use remp_kb::Kb;
+
+use crate::engine::{CampaignEngine, CrowdPolicy};
+use crate::wire::{question_json, verdict_code, ServeError, SubmittedRecord};
+
+/// Version tag of the campaign state-file format.
+pub const STATE_VERSION: u64 = 1;
+
+/// Where a campaign's knowledge bases come from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CampaignSource {
+    /// A named synthetic preset (deterministic: the same preset+scale
+    /// regenerates the same KBs on every host).
+    Preset {
+        /// Preset name (e.g. `TINY`, `IIMB`).
+        preset: String,
+        /// World-size multiplier.
+        scale: f64,
+    },
+    /// Two server-side KB files (`.nt`, CSV directory, or `.rkb`).
+    Files {
+        /// First KB path.
+        kb1: PathBuf,
+        /// Second KB path.
+        kb2: PathBuf,
+    },
+}
+
+impl CampaignSource {
+    fn to_json(&self) -> Json {
+        match self {
+            CampaignSource::Preset { preset, scale } => Json::Obj(vec![
+                ("kind".into(), Json::from("preset")),
+                ("preset".into(), Json::from(preset.as_str())),
+                ("scale".into(), Json::from(*scale)),
+            ]),
+            CampaignSource::Files { kb1, kb2 } => Json::Obj(vec![
+                ("kind".into(), Json::from("files")),
+                ("kb1".into(), Json::from(kb1.display().to_string())),
+                ("kb2".into(), Json::from(kb2.display().to_string())),
+            ]),
+        }
+    }
+
+    fn from_json(doc: &Json) -> Result<CampaignSource, ServeError> {
+        let bad = |msg: &str| ServeError::internal("bad_state", format!("campaign source: {msg}"));
+        match doc.get("kind").and_then(Json::as_str) {
+            Some("preset") => Ok(CampaignSource::Preset {
+                preset: doc
+                    .get("preset")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("missing preset"))?
+                    .to_owned(),
+                scale: doc
+                    .get("scale")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| bad("missing scale"))?,
+            }),
+            Some("files") => Ok(CampaignSource::Files {
+                kb1: PathBuf::from(
+                    doc.get("kb1").and_then(Json::as_str).ok_or_else(|| bad("missing kb1"))?,
+                ),
+                kb2: PathBuf::from(
+                    doc.get("kb2").and_then(Json::as_str).ok_or_else(|| bad("missing kb2"))?,
+                ),
+            }),
+            _ => Err(bad("unknown kind")),
+        }
+    }
+
+    fn load(&self) -> Result<(Kb, Kb), ServeError> {
+        match self {
+            CampaignSource::Preset { preset, scale } => {
+                let spec = preset_by_name(preset, *scale).ok_or_else(|| {
+                    ServeError::bad_request("unknown_preset", format!("no preset {preset:?}"))
+                })?;
+                let d = generate(&spec);
+                Ok((d.kb1, d.kb2))
+            }
+            CampaignSource::Files { kb1, kb2 } => {
+                let load = |path: &Path, name: &str| {
+                    load_kb(path, name).map_err(|e| {
+                        ServeError::bad_request("bad_kb", format!("{}: {e}", path.display()))
+                    })
+                };
+                Ok((load(kb1, "kb1")?.kb, load(kb2, "kb2")?.kb))
+            }
+        }
+    }
+}
+
+/// Everything needed to (re)start a campaign actor.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Operator-chosen display name.
+    pub name: String,
+    /// KB source.
+    pub source: CampaignSource,
+    /// Pipeline configuration.
+    pub config: RempConfig,
+    /// Crowd policy.
+    pub policy: CrowdPolicy,
+}
+
+/// Saved crowd-side state restored on resume.
+struct ResumeState {
+    session: SessionCheckpoint,
+    workers: Vec<(String, WorkerRecord)>,
+    answers: Vec<(u64, String, bool)>,
+    log: Vec<SubmittedRecord>,
+    paused: bool,
+}
+
+/// Operations the HTTP layer can ask of a campaign actor.
+pub enum CampaignRequest {
+    /// Lease the next question for a worker.
+    Next {
+        /// Requesting worker.
+        worker: String,
+        /// Clock reading in milliseconds.
+        now_ms: u64,
+    },
+    /// Record one worker's answer.
+    Answer {
+        /// Answering worker.
+        worker: String,
+        /// The question being answered.
+        question: QuestionId,
+        /// The worker's label.
+        says_match: bool,
+        /// Clock reading in milliseconds.
+        now_ms: u64,
+    },
+    /// Aggregate status.
+    Status {
+        /// Clock reading in milliseconds.
+        now_ms: u64,
+    },
+    /// The open questions with progress counts.
+    Questions {
+        /// Clock reading in milliseconds.
+        now_ms: u64,
+    },
+    /// The (provisional) outcome plus submission log.
+    Outcome,
+    /// Stop handing out or accepting work.
+    Pause,
+    /// Resume a paused campaign.
+    Resume,
+    /// Serialize the full campaign state (state-file body).
+    Checkpoint,
+    /// Terminate the actor thread.
+    Stop,
+}
+
+struct Call {
+    request: CampaignRequest,
+    reply: Sender<Result<Json, ServeError>>,
+}
+
+/// Client handle to one campaign actor.
+struct CampaignHandle {
+    name: String,
+    tx: Sender<Call>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// The set of live campaigns plus the durable state directory.
+pub struct Registry {
+    state_dir: Option<PathBuf>,
+    inner: Mutex<RegistryInner>,
+}
+
+struct RegistryInner {
+    campaigns: BTreeMap<String, CampaignHandle>,
+    next_id: u64,
+}
+
+/// Milliseconds since the Unix epoch — the lease clock.
+pub fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+impl Registry {
+    /// Creates a registry; with a state directory, campaigns checkpointed
+    /// by a previous process are resumed immediately.
+    pub fn open(state_dir: Option<PathBuf>) -> Result<Registry, ServeError> {
+        let registry = Registry {
+            state_dir,
+            inner: Mutex::new(RegistryInner { campaigns: BTreeMap::new(), next_id: 0 }),
+        };
+        if let Some(dir) = registry.state_dir.clone() {
+            fs::create_dir_all(&dir).map_err(|e| {
+                ServeError::internal("state_dir", format!("{}: {e}", dir.display()))
+            })?;
+            let mut entries: Vec<PathBuf> = fs::read_dir(&dir)
+                .map_err(|e| ServeError::internal("state_dir", format!("{}: {e}", dir.display())))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name().is_some_and(|n| n.to_string_lossy().ends_with(".campaign.json"))
+                })
+                .collect();
+            entries.sort();
+            for path in entries {
+                // One unresumable file (moved KB source, truncated JSON
+                // from a hard kill) must not take the healthy campaigns
+                // down with it: skip it, leave it on disk for forensics,
+                // and keep serving.
+                if let Err(e) = registry.resume_from_file(&path) {
+                    eprintln!("rempd: skipping unresumable state file {}: {e}", path.display());
+                }
+            }
+        }
+        Ok(registry)
+    }
+
+    /// Ids of the live campaigns, with their display names.
+    pub fn list(&self) -> Vec<(String, String)> {
+        let inner = self.inner.lock().expect("registry poisoned");
+        inner.campaigns.iter().map(|(id, h)| (id.clone(), h.name.clone())).collect()
+    }
+
+    /// Creates a campaign and waits until its actor loaded the KBs and
+    /// opened the session (so creation errors surface synchronously).
+    pub fn create(&self, spec: CampaignSpec) -> Result<String, ServeError> {
+        spec.policy.validate()?;
+        spec.config.validate().map_err(|e| ServeError::bad_request("bad_config", e.to_string()))?;
+        let id = {
+            let mut inner = self.inner.lock().expect("registry poisoned");
+            let id = format!("c{}", inner.next_id);
+            inner.next_id += 1;
+            id
+        };
+        self.spawn(id.clone(), spec, None)?;
+        Ok(id)
+    }
+
+    fn resume_from_file(&self, path: &Path) -> Result<(), ServeError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| ServeError::internal("state_file", format!("{}: {e}", path.display())))?;
+        let (id, spec, resume) = decode_state_file(&text).map_err(|mut e| {
+            e.message = format!("{}: {}", path.display(), e.message);
+            e
+        })?;
+        {
+            let mut inner = self.inner.lock().expect("registry poisoned");
+            if inner.campaigns.contains_key(&id) {
+                return Err(ServeError::internal(
+                    "state_file",
+                    format!("duplicate campaign id {id:?} in state directory"),
+                ));
+            }
+            // Keep fresh ids clear of resumed ones.
+            if let Some(n) = id.strip_prefix('c').and_then(|n| n.parse::<u64>().ok()) {
+                inner.next_id = inner.next_id.max(n + 1);
+            }
+        }
+        self.spawn(id, spec, Some(resume))
+    }
+
+    fn spawn(
+        &self,
+        id: String,
+        spec: CampaignSpec,
+        resume: Option<ResumeState>,
+    ) -> Result<(), ServeError> {
+        let (tx, rx) = mpsc::channel::<Call>();
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServeError>>();
+        let actor_spec = spec.clone();
+        let join = std::thread::Builder::new()
+            .name(format!("campaign-{id}"))
+            .spawn(move || campaign_actor(actor_spec, resume, ready_tx, rx))
+            .map_err(|e| ServeError::internal("spawn", e.to_string()))?;
+        match ready_rx.recv() {
+            Ok(Ok(())) => {
+                let mut inner = self.inner.lock().expect("registry poisoned");
+                inner
+                    .campaigns
+                    .insert(id, CampaignHandle { name: spec.name, tx, join: Some(join) });
+                Ok(())
+            }
+            Ok(Err(e)) => {
+                let _ = join.join();
+                Err(e)
+            }
+            Err(_) => {
+                let _ = join.join();
+                Err(ServeError::internal("spawn", "campaign actor died during startup"))
+            }
+        }
+    }
+
+    /// Sends one request to a campaign actor and waits for the reply.
+    pub fn call(&self, id: &str, request: CampaignRequest) -> Result<Json, ServeError> {
+        let tx = {
+            let inner = self.inner.lock().expect("registry poisoned");
+            let handle = inner.campaigns.get(id).ok_or_else(|| {
+                ServeError::not_found("unknown_campaign", format!("no campaign {id:?}"))
+            })?;
+            handle.tx.clone()
+        };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        tx.send(Call { request, reply: reply_tx })
+            .map_err(|_| ServeError::internal("campaign_dead", format!("campaign {id} stopped")))?;
+        reply_rx
+            .recv()
+            .map_err(|_| ServeError::internal("campaign_dead", format!("campaign {id} stopped")))?
+    }
+
+    /// Writes every campaign's state file; returns how many were saved.
+    /// A no-op without a state directory.
+    ///
+    /// Best-effort per campaign: one failing write (full disk,
+    /// permissions) does not stop the others from being saved — the
+    /// error reported is the first one encountered, after every
+    /// campaign has been attempted. Each file lands atomically (temp
+    /// file + rename), so a crash mid-write can never leave a truncated
+    /// state file behind.
+    pub fn checkpoint_all(&self) -> Result<usize, ServeError> {
+        let Some(dir) = self.state_dir.clone() else {
+            return Ok(0);
+        };
+        let ids: Vec<String> = self.list().into_iter().map(|(id, _)| id).collect();
+        let mut saved = 0;
+        let mut first_error: Option<ServeError> = None;
+        for id in ids {
+            match self.checkpoint_one(&dir, &id) {
+                Ok(()) => saved += 1,
+                Err(e) => {
+                    eprintln!("rempd: failed to checkpoint campaign {id}: {e}");
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            None => Ok(saved),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn checkpoint_one(&self, dir: &Path, id: &str) -> Result<(), ServeError> {
+        let mut body = self.call(id, CampaignRequest::Checkpoint)?;
+        // The actor does not know its registry id; stamp it here so
+        // the file is self-describing.
+        if let Json::Obj(fields) = &mut body {
+            fields.insert(1, ("id".into(), Json::from(id)));
+        }
+        let path = dir.join(format!("{id}.campaign.json"));
+        let staging = dir.join(format!(".{id}.campaign.json.tmp"));
+        let io_err = |p: &Path, e: std::io::Error| {
+            ServeError::internal("state_file", format!("{}: {e}", p.display()))
+        };
+        fs::write(&staging, body.to_pretty_string()).map_err(|e| io_err(&staging, e))?;
+        fs::rename(&staging, &path).map_err(|e| io_err(&path, e))
+    }
+
+    /// Checkpoints (when durable) and stops every campaign actor.
+    ///
+    /// The actors are always stopped and joined, even when some
+    /// checkpoints could not be written — a shutdown must not leave
+    /// threads behind because a disk filled up.
+    pub fn shutdown(&self) -> Result<usize, ServeError> {
+        let checkpointed = self.checkpoint_all();
+        let handles: Vec<CampaignHandle> = {
+            let mut inner = self.inner.lock().expect("registry poisoned");
+            std::mem::take(&mut inner.campaigns).into_values().collect()
+        };
+        for mut handle in handles {
+            let (reply_tx, _reply_rx) = mpsc::channel();
+            let _ = handle.tx.send(Call { request: CampaignRequest::Stop, reply: reply_tx });
+            if let Some(join) = handle.join.take() {
+                let _ = join.join();
+            }
+        }
+        checkpointed
+    }
+}
+
+// ---- the actor --------------------------------------------------------
+
+fn campaign_actor(
+    spec: CampaignSpec,
+    resume: Option<ResumeState>,
+    ready: Sender<Result<(), ServeError>>,
+    rx: Receiver<Call>,
+) {
+    // Load/own the KBs, then borrow them for the session — the entire
+    // reason this runs on its own thread.
+    let loaded = spec.source.load();
+    let (kb1, kb2) = match loaded {
+        Ok(kbs) => kbs,
+        Err(e) => {
+            let _ = ready.send(Err(e));
+            return;
+        }
+    };
+    let engine = match resume {
+        None => Remp::new(spec.config.clone())
+            .begin(&kb1, &kb2)
+            .map_err(|e| ServeError::bad_request("bad_config", e.to_string()))
+            .map(|session| CampaignEngine::new(session, spec.policy.clone())),
+        Some(state) => RempSession::resume(&kb1, &kb2, state.session)
+            .map_err(|e| ServeError::internal("bad_state", e.to_string()))
+            .and_then(|session| {
+                CampaignEngine::resume(
+                    session,
+                    spec.policy.clone(),
+                    state.workers,
+                    state.answers,
+                    state.log,
+                    state.paused,
+                )
+            }),
+    };
+    let mut engine = match engine {
+        Ok(engine) => engine,
+        Err(e) => {
+            let _ = ready.send(Err(e));
+            return;
+        }
+    };
+    if ready.send(Ok(())).is_err() {
+        return;
+    }
+
+    while let Ok(Call { request, reply }) = rx.recv() {
+        if matches!(request, CampaignRequest::Stop) {
+            let _ = reply.send(Ok(Json::Null));
+            return;
+        }
+        let _ = reply.send(handle_request(&spec, &mut engine, request));
+    }
+}
+
+fn handle_request(
+    spec: &CampaignSpec,
+    engine: &mut CampaignEngine<'_>,
+    request: CampaignRequest,
+) -> Result<Json, ServeError> {
+    match request {
+        CampaignRequest::Next { worker, now_ms } => {
+            let assignment = engine.next_for(&worker, now_ms)?;
+            let complete = engine.progress(now_ms)?.complete;
+            Ok(Json::Obj(vec![
+                (
+                    "assignment".into(),
+                    match &assignment {
+                        None => Json::Null,
+                        Some(a) => question_json(&a.question),
+                    },
+                ),
+                (
+                    "deadline_ms".into(),
+                    assignment.as_ref().map_or(Json::Null, |a| Json::from(a.deadline_ms)),
+                ),
+                ("complete".into(), Json::from(complete)),
+            ]))
+        }
+        CampaignRequest::Answer { worker, question, says_match, now_ms } => {
+            let ack = engine.answer(&worker, question, says_match, now_ms)?;
+            Ok(Json::Obj(vec![
+                ("question".into(), Json::from(question.to_string())),
+                ("collected".into(), Json::from(ack.collected)),
+                ("required".into(), Json::from(ack.required)),
+                (
+                    "submitted".into(),
+                    match ack.submitted {
+                        None => Json::Null,
+                        Some(s) => Json::Obj(vec![
+                            ("verdict".into(), Json::from(verdict_code(s.verdict))),
+                            ("posterior".into(), Json::from(s.posterior)),
+                            ("propagated".into(), Json::from(s.propagated)),
+                            ("batch_complete".into(), Json::from(s.batch_complete)),
+                        ]),
+                    },
+                ),
+            ]))
+        }
+        CampaignRequest::Status { now_ms } => {
+            let p = engine.progress(now_ms)?;
+            Ok(Json::Obj(vec![
+                ("name".into(), Json::from(spec.name.as_str())),
+                ("paused".into(), Json::from(p.paused)),
+                ("complete".into(), Json::from(p.complete)),
+                ("loops".into(), Json::from(p.loops)),
+                ("questions_asked".into(), Json::from(p.questions_asked)),
+                ("issued".into(), Json::from(p.issued)),
+                ("open".into(), Json::from(p.open.len())),
+                ("workers".into(), Json::from(p.workers)),
+                ("per_question".into(), Json::from(engine.policy().per_question)),
+            ]))
+        }
+        CampaignRequest::Questions { now_ms } => {
+            let open = engine.open_questions(now_ms)?;
+            Ok(Json::Obj(vec![(
+                "questions".into(),
+                Json::Arr(
+                    open.into_iter()
+                        .map(|(q, collected, leases)| {
+                            let mut doc = question_json(&q);
+                            if let Json::Obj(fields) = &mut doc {
+                                fields.push(("collected".into(), Json::from(collected)));
+                                fields.push(("leases".into(), Json::from(leases)));
+                            }
+                            doc
+                        })
+                        .collect(),
+                ),
+            )]))
+        }
+        CampaignRequest::Outcome => {
+            let outcome = engine.outcome();
+            Ok(crate::wire::outcome_json(&outcome, engine.log()))
+        }
+        CampaignRequest::Pause => {
+            engine.pause();
+            Ok(Json::Obj(vec![("paused".into(), Json::from(true))]))
+        }
+        CampaignRequest::Resume => {
+            engine.unpause();
+            Ok(Json::Obj(vec![("paused".into(), Json::from(false))]))
+        }
+        CampaignRequest::Checkpoint => Ok(encode_state(spec, engine)),
+        CampaignRequest::Stop => unreachable!("handled by the actor loop"),
+    }
+}
+
+// ---- state files ------------------------------------------------------
+
+fn encode_state(spec: &CampaignSpec, engine: &CampaignEngine<'_>) -> Json {
+    Json::Obj(vec![
+        ("version".into(), Json::UInt(STATE_VERSION)),
+        ("name".into(), Json::from(spec.name.as_str())),
+        ("source".into(), spec.source.to_json()),
+        (
+            "policy".into(),
+            Json::Obj(vec![
+                ("per_question".into(), Json::from(spec.policy.per_question)),
+                ("qualification".into(), Json::from(spec.policy.qualification)),
+                ("quality_weight".into(), Json::from(spec.policy.quality_weight)),
+                ("lease_ms".into(), Json::from(spec.policy.lease_ms)),
+            ]),
+        ),
+        ("paused".into(), Json::from(engine.paused())),
+        (
+            "workers".into(),
+            Json::Arr(
+                engine
+                    .worker_records()
+                    .into_iter()
+                    .map(|(name, r)| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::from(name)),
+                            ("qualification".into(), Json::from(r.qualification)),
+                            ("scored".into(), Json::from(r.scored)),
+                            ("agreed".into(), Json::from(r.agreed)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "answers".into(),
+            Json::Arr(
+                engine
+                    .open_answers()
+                    .into_iter()
+                    .map(|(q, w, says)| {
+                        Json::Arr(vec![Json::from(q), Json::from(w), Json::from(says)])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("log".into(), Json::Arr(engine.log().iter().map(SubmittedRecord::to_json).collect())),
+        ("session".into(), engine.session_checkpoint().to_json()),
+    ])
+}
+
+/// Decodes a state file written next to an `{id}.campaign.json` name.
+fn decode_state_file(text: &str) -> Result<(String, CampaignSpec, ResumeState), ServeError> {
+    let bad = |msg: String| ServeError::internal("state_file", msg);
+    let doc = Json::parse(text).map_err(|e| bad(format!("not JSON: {e}")))?;
+    let version = doc.get("version").and_then(Json::as_u64);
+    if version != Some(STATE_VERSION) {
+        return Err(bad(format!("unsupported state version {version:?}")));
+    }
+    let id =
+        doc.get("id").and_then(Json::as_str).ok_or_else(|| bad("missing id".into()))?.to_owned();
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("missing name".into()))?
+        .to_owned();
+    let source =
+        CampaignSource::from_json(doc.get("source").ok_or_else(|| bad("missing source".into()))?)?;
+    let policy_doc = doc.get("policy").ok_or_else(|| bad("missing policy".into()))?;
+    let policy = CrowdPolicy {
+        per_question: policy_doc
+            .get("per_question")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| bad("missing per_question".into()))?,
+        qualification: policy_doc
+            .get("qualification")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad("missing qualification".into()))?,
+        quality_weight: policy_doc
+            .get("quality_weight")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad("missing quality_weight".into()))?,
+        lease_ms: policy_doc
+            .get("lease_ms")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad("missing lease_ms".into()))?,
+    };
+    policy.validate()?;
+    let paused = doc.get("paused").and_then(Json::as_bool).unwrap_or(false);
+    let workers = doc
+        .get("workers")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("missing workers".into()))?
+        .iter()
+        .map(|w| {
+            Ok((
+                w.get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("worker without name".into()))?
+                    .to_owned(),
+                WorkerRecord {
+                    qualification: w
+                        .get("qualification")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| bad("worker without qualification".into()))?,
+                    scored: w
+                        .get("scored")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("worker without scored".into()))?,
+                    agreed: w
+                        .get("agreed")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| bad("worker without agreed".into()))?,
+                },
+            ))
+        })
+        .collect::<Result<Vec<_>, ServeError>>()?;
+    let answers = doc
+        .get("answers")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("missing answers".into()))?
+        .iter()
+        .map(|entry| {
+            let parts = entry.as_array().ok_or_else(|| bad("malformed answer entry".into()))?;
+            match parts {
+                [q, w, says] => Ok((
+                    q.as_u64().ok_or_else(|| bad("bad answer question".into()))?,
+                    w.as_str().ok_or_else(|| bad("bad answer worker".into()))?.to_owned(),
+                    says.as_bool().ok_or_else(|| bad("bad answer label".into()))?,
+                )),
+                _ => Err(bad("answer entry is not a triple".into())),
+            }
+        })
+        .collect::<Result<Vec<_>, ServeError>>()?;
+    let log = doc
+        .get("log")
+        .and_then(Json::as_array)
+        .ok_or_else(|| bad("missing log".into()))?
+        .iter()
+        .map(SubmittedRecord::from_json)
+        .collect::<Result<Vec<_>, ServeError>>()?;
+    let session = SessionCheckpoint::from_json(
+        doc.get("session").ok_or_else(|| bad("missing session".into()))?,
+    )
+    .map_err(|e| bad(e.to_string()))?;
+    let spec = CampaignSpec { name, source, config: session.config.clone(), policy };
+    Ok((id, spec, ResumeState { session, workers, answers, log, paused }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remp_datasets::{generate, tiny};
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "tiny".into(),
+            source: CampaignSource::Preset { preset: "TINY".into(), scale: 1.0 },
+            config: RempConfig::default(),
+            policy: CrowdPolicy { per_question: 2, ..CrowdPolicy::default() },
+        }
+    }
+
+    #[test]
+    fn create_call_and_stop_round_trip() {
+        let registry = Registry::open(None).unwrap();
+        let id = registry.create(tiny_spec()).unwrap();
+        assert_eq!(registry.list(), vec![(id.clone(), "tiny".to_owned())]);
+
+        let status = registry.call(&id, CampaignRequest::Status { now_ms: 0 }).unwrap();
+        assert_eq!(status.get("complete").and_then(Json::as_bool), Some(false));
+        assert_eq!(status.get("per_question").and_then(Json::as_usize), Some(2));
+
+        let next =
+            registry.call(&id, CampaignRequest::Next { worker: "w0".into(), now_ms: 0 }).unwrap();
+        assert!(next.get("assignment").unwrap().get("id").is_some());
+
+        assert_eq!(
+            registry.call("nope", CampaignRequest::Status { now_ms: 0 }).unwrap_err().status,
+            404
+        );
+        registry.shutdown().unwrap();
+    }
+
+    #[test]
+    fn bad_sources_fail_synchronously() {
+        let registry = Registry::open(None).unwrap();
+        let mut spec = tiny_spec();
+        spec.source = CampaignSource::Preset { preset: "NOPE".into(), scale: 1.0 };
+        assert_eq!(registry.create(spec).unwrap_err().code, "unknown_preset");
+        let mut spec = tiny_spec();
+        spec.source = CampaignSource::Files {
+            kb1: PathBuf::from("/definitely/not/here.nt"),
+            kb2: PathBuf::from("/definitely/not/here.nt"),
+        };
+        assert_eq!(registry.create(spec).unwrap_err().code, "bad_kb");
+        registry.shutdown().unwrap();
+    }
+
+    #[test]
+    fn state_files_survive_a_registry_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("remp-serve-registry-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let d = generate(&tiny(1.0));
+        let registry = Registry::open(Some(dir.clone())).unwrap();
+        let id = registry.create(tiny_spec()).unwrap();
+        // Take a lease and answer once so there is mid-question state.
+        let next =
+            registry.call(&id, CampaignRequest::Next { worker: "w0".into(), now_ms: 0 }).unwrap();
+        let qid: QuestionId = next
+            .get("assignment")
+            .and_then(|a| a.get("id"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let u1 = next.get("assignment").and_then(|a| a.get("u1")).and_then(Json::as_usize).unwrap();
+        let u2 = next.get("assignment").and_then(|a| a.get("u2")).and_then(Json::as_usize).unwrap();
+        let truth =
+            d.is_match(remp_kb::EntityId::from_index(u1), remp_kb::EntityId::from_index(u2));
+        registry
+            .call(
+                &id,
+                CampaignRequest::Answer {
+                    worker: "w0".into(),
+                    question: qid,
+                    says_match: truth,
+                    now_ms: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(registry.shutdown().unwrap(), 1);
+
+        // A fresh registry on the same directory resumes the campaign,
+        // including the half-answered question.
+        let registry = Registry::open(Some(dir.clone())).unwrap();
+        assert_eq!(registry.list().len(), 1, "campaign resumed from its state file");
+        let err = registry
+            .call(
+                &id,
+                CampaignRequest::Answer {
+                    worker: "w0".into(),
+                    question: qid,
+                    says_match: truth,
+                    now_ms: 0,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.code, "duplicate_answer", "w0's pre-restart answer was restored");
+        registry.shutdown().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unresumable_state_files_are_skipped_not_fatal() {
+        let dir =
+            std::env::temp_dir().join(format!("remp-serve-badstate-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        // One healthy campaign checkpointed…
+        let registry = Registry::open(Some(dir.clone())).unwrap();
+        let id = registry.create(tiny_spec()).unwrap();
+        registry.shutdown().unwrap();
+        // …plus a file truncated by a hard kill and one that is not JSON.
+        fs::write(dir.join("c9.campaign.json"), "{\"version\": 1, \"id\": \"c9\"").unwrap();
+        fs::write(dir.join("c8.campaign.json"), "not json at all").unwrap();
+
+        // The healthy campaign must come back; the wrecked ones are
+        // skipped (left on disk for forensics), not fatal.
+        let registry = Registry::open(Some(dir.clone())).unwrap();
+        assert_eq!(registry.list().len(), 1);
+        assert_eq!(registry.list()[0].0, id);
+        registry.shutdown().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

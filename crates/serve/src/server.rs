@@ -1,0 +1,402 @@
+//! The `rempd` HTTP server: a `TcpListener` accept loop feeding a fixed
+//! handler pool (sized by [`Parallelism`]), routing onto the campaign
+//! [`Registry`].
+//!
+//! Every handler is panic-isolated per connection by construction: all
+//! wire input flows through the typed parsers in [`crate::http`] and
+//! [`crate::wire`], so a malformed request becomes a 4xx response, and
+//! campaign work happens on actor threads that only ever see typed
+//! requests. Shutdown is cooperative — flip the stop flag (SIGTERM does
+//! this in `rempd`), and [`Server::run`] drains the pool, checkpoints
+//! every campaign to the state directory and joins the actors before
+//! returning.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use remp_core::RempConfig;
+use remp_json::Json;
+use remp_par::Parallelism;
+
+use crate::engine::CrowdPolicy;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::registry::{now_ms, CampaignRequest, CampaignSource, CampaignSpec, Registry};
+use crate::wire::{
+    body_bool, body_opt_f64, body_opt_str, body_opt_u64, body_str, parse_body, parse_question_id,
+    ServeError,
+};
+
+/// Server construction options.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8787` (`:0` picks a free port).
+    pub addr: String,
+    /// Durable campaign state directory; `None` disables durability.
+    pub state_dir: Option<PathBuf>,
+    /// Handler-pool sizing policy.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8787".into(),
+            state_dir: None,
+            parallelism: Parallelism::Auto,
+        }
+    }
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    pool_size: usize,
+}
+
+impl Server {
+    /// Binds the listener and opens the registry (resuming any
+    /// campaigns checkpointed in the state directory).
+    pub fn bind(config: &ServerConfig) -> Result<Server, ServeError> {
+        let registry = Arc::new(Registry::open(config.state_dir.clone())?);
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| ServeError::internal("bind", format!("{}: {e}", config.addr)))?;
+        // At least two handlers so one slow campaign request can never
+        // starve /healthz.
+        let pool_size = config.parallelism.threads().max(2);
+        Ok(Server { listener, registry, pool_size })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// The campaign registry (for in-process setup in tests/examples).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Serves until `stop` becomes true, then drains the pool,
+    /// checkpoints every campaign and joins the actors. Returns the
+    /// number of campaigns checkpointed.
+    pub fn run(self, stop: &AtomicBool) -> Result<usize, ServeError> {
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| ServeError::internal("bind", e.to_string()))?;
+        let queue: Arc<(Mutex<VecDeque<TcpStream>>, Condvar)> =
+            Arc::new((Mutex::new(VecDeque::new()), Condvar::new()));
+        let done = Arc::new(AtomicBool::new(false));
+
+        let mut workers = Vec::with_capacity(self.pool_size);
+        for i in 0..self.pool_size {
+            let queue = Arc::clone(&queue);
+            let done = Arc::clone(&done);
+            let registry = Arc::clone(&self.registry);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("rempd-handler-{i}"))
+                    .spawn(move || handler_worker(&queue, &done, &registry))
+                    .map_err(|e| ServeError::internal("spawn", e.to_string()))?,
+            );
+        }
+
+        while !stop.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let (lock, cvar) = &*queue;
+                    lock.lock().expect("queue poisoned").push_back(stream);
+                    cvar.notify_one();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ServeError::internal("accept", e.to_string())),
+            }
+        }
+
+        // Graceful drain: no new connections, finish the queued ones,
+        // then persist and stop every campaign.
+        done.store(true, Ordering::SeqCst);
+        queue.1.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        self.registry.shutdown()
+    }
+}
+
+/// Process-wide stop flag used by [`install_signal_handlers`].
+static SIGNAL_STOP: AtomicBool = AtomicBool::new(false);
+
+/// The stop flag [`install_signal_handlers`] trips — pass it to
+/// [`Server::run`] for a daemon that shuts down cleanly on SIGTERM.
+pub fn signal_stop_flag() -> &'static AtomicBool {
+    &SIGNAL_STOP
+}
+
+/// Installs SIGTERM/SIGINT handlers that trip [`signal_stop_flag`]
+/// (no-op off Unix). Both `rempd` and `rempctl serve` use this.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" fn request_stop(_signum: i32) {
+        SIGNAL_STOP.store(true, Ordering::SeqCst);
+    }
+    // libc is already linked by std; SIGTERM = 15, SIGINT = 2 on every
+    // Unix this builds for.
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(15, request_stop);
+        signal(2, request_stop);
+    }
+}
+
+/// No-op off Unix.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+fn handler_worker(
+    queue: &(Mutex<VecDeque<TcpStream>>, Condvar),
+    done: &AtomicBool,
+    registry: &Registry,
+) {
+    let (lock, cvar) = queue;
+    loop {
+        let stream = {
+            let mut q = lock.lock().expect("queue poisoned");
+            loop {
+                if let Some(stream) = q.pop_front() {
+                    break Some(stream);
+                }
+                if done.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _timeout) =
+                    cvar.wait_timeout(q, Duration::from_millis(100)).expect("queue poisoned");
+                q = guard;
+            }
+        };
+        let Some(stream) = stream else {
+            return;
+        };
+        handle_connection(stream, registry);
+    }
+}
+
+fn handle_connection(stream: TcpStream, registry: &Registry) {
+    // A peer that stalls mid-request should not pin a handler forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    // Responses are written in two small chunks; don't let Nagle hold
+    // the second one hostage to a delayed ACK.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let (status, body) = match read_request(&mut reader) {
+        Ok(None) => return, // peer connected and left
+        Ok(Some(request)) => {
+            let pretty = request.wants_pretty();
+            let (status, doc) = match route(&request, registry) {
+                Ok((status, doc)) => (status, doc),
+                Err(e) => (e.status, e.to_json()),
+            };
+            (status, if pretty { doc.to_pretty_string() } else { doc.to_string() })
+        }
+        Err(e) => {
+            let status = match e {
+                HttpError::TooLarge(_) => 413,
+                _ => 400,
+            };
+            let err = ServeError { status, code: "bad_request", message: e.to_string() };
+            (status, err.to_json().to_string())
+        }
+    };
+    let _ = write_response(&mut writer, status, &body);
+}
+
+// ---- routing ----------------------------------------------------------
+
+fn route(request: &Request, registry: &Registry) -> Result<(u16, Json), ServeError> {
+    let segments: Vec<&str> =
+        request.path.split('/').filter(|segment| !segment.is_empty()).collect();
+    let method = request.method.as_str();
+    match (method, segments.as_slice()) {
+        ("GET", ["healthz"]) => Ok((
+            200,
+            Json::Obj(vec![
+                ("status".into(), Json::from("ok")),
+                ("campaigns".into(), Json::from(registry.list().len())),
+            ]),
+        )),
+        ("GET", ["campaigns"]) => {
+            let mut items = Vec::new();
+            for (id, _name) in registry.list() {
+                let mut status =
+                    registry.call(&id, CampaignRequest::Status { now_ms: now_ms() })?;
+                if let Json::Obj(fields) = &mut status {
+                    fields.insert(0, ("id".into(), Json::from(id.as_str())));
+                }
+                items.push(status);
+            }
+            Ok((200, Json::Obj(vec![("campaigns".into(), Json::Arr(items))])))
+        }
+        ("POST", ["campaigns"]) => {
+            let spec = campaign_spec_from_body(&request.body)?;
+            let id = registry.create(spec)?;
+            let mut status = registry.call(&id, CampaignRequest::Status { now_ms: now_ms() })?;
+            if let Json::Obj(fields) = &mut status {
+                fields.insert(0, ("id".into(), Json::from(id.as_str())));
+            }
+            Ok((201, status))
+        }
+        ("GET", ["campaigns", id]) => {
+            Ok((200, registry.call(id, CampaignRequest::Status { now_ms: now_ms() })?))
+        }
+        ("GET", ["campaigns", id, "questions"]) => {
+            Ok((200, registry.call(id, CampaignRequest::Questions { now_ms: now_ms() })?))
+        }
+        ("GET", ["campaigns", id, "next"]) => {
+            let worker = request
+                .query_value("worker")
+                .ok_or_else(|| {
+                    ServeError::bad_request(
+                        "missing_worker",
+                        "query parameter 'worker' is required",
+                    )
+                })?
+                .to_owned();
+            Ok((200, registry.call(id, CampaignRequest::Next { worker, now_ms: now_ms() })?))
+        }
+        ("POST", ["campaigns", id, "answers"]) => {
+            let doc = parse_body(&request.body)?;
+            let worker = body_str(&doc, "worker")?.to_owned();
+            let question = parse_question_id(body_str(&doc, "question")?)?;
+            let says_match = body_bool(&doc, "says_match")?;
+            Ok((
+                200,
+                registry.call(
+                    id,
+                    CampaignRequest::Answer { worker, question, says_match, now_ms: now_ms() },
+                )?,
+            ))
+        }
+        ("GET", ["campaigns", id, "outcome"]) => {
+            Ok((200, registry.call(id, CampaignRequest::Outcome)?))
+        }
+        ("POST", ["campaigns", id, "pause"]) => {
+            Ok((200, registry.call(id, CampaignRequest::Pause)?))
+        }
+        ("POST", ["campaigns", id, "resume"]) => {
+            Ok((200, registry.call(id, CampaignRequest::Resume)?))
+        }
+        ("GET" | "POST", _) => {
+            Err(ServeError::not_found("unknown_route", format!("no route for {}", request.path)))
+        }
+        _ => Err(ServeError {
+            status: 405,
+            code: "method_not_allowed",
+            message: format!("method {method} is not supported"),
+        }),
+    }
+}
+
+/// Decodes a `POST /campaigns` body into a spec.
+///
+/// ```json
+/// {"name": "movies", "kb1": "a.rkb", "kb2": "b.rkb",
+///  "mu": 10, "budget": 500, "threads": "auto",
+///  "per_question": 5, "qualification": 0.85, "quality_weight": 5.0,
+///  "lease_ms": 60000}
+/// ```
+///
+/// Either `kb1`+`kb2` (server-side paths) or `preset` (+ optional
+/// `scale`) selects the source.
+fn campaign_spec_from_body(body: &[u8]) -> Result<CampaignSpec, ServeError> {
+    let doc = parse_body(body)?;
+    let source = match (body_opt_str(&doc, "preset")?, body_opt_str(&doc, "kb1")?) {
+        (Some(preset), None) => CampaignSource::Preset {
+            preset: preset.to_owned(),
+            scale: body_opt_f64(&doc, "scale")?.unwrap_or(1.0),
+        },
+        (None, Some(kb1)) => CampaignSource::Files {
+            kb1: PathBuf::from(kb1),
+            kb2: PathBuf::from(body_str(&doc, "kb2")?),
+        },
+        (Some(_), Some(_)) => {
+            return Err(ServeError::bad_request(
+                "bad_source",
+                "give either 'preset' or 'kb1'/'kb2', not both",
+            ))
+        }
+        (None, None) => {
+            return Err(ServeError::bad_request(
+                "bad_source",
+                "a campaign needs a 'preset' or a 'kb1'/'kb2' pair",
+            ))
+        }
+    };
+    let mut config = RempConfig::default();
+    if let Some(mu) = body_opt_u64(&doc, "mu")? {
+        config = config.with_mu(mu as usize);
+    }
+    if let Some(budget) = body_opt_u64(&doc, "budget")? {
+        config = config.with_budget(budget as usize);
+    }
+    if let Some(threads) = body_opt_str(&doc, "threads")? {
+        let parallelism = Parallelism::from_label(threads).ok_or_else(|| {
+            ServeError::bad_request("bad_field", format!("unknown threads policy {threads:?}"))
+        })?;
+        config = config.with_parallelism(parallelism);
+    }
+    let default_policy = CrowdPolicy::default();
+    let policy = CrowdPolicy {
+        per_question: body_opt_u64(&doc, "per_question")?
+            .map_or(default_policy.per_question, |n| n as usize),
+        qualification: body_opt_f64(&doc, "qualification")?.unwrap_or(default_policy.qualification),
+        quality_weight: body_opt_f64(&doc, "quality_weight")?
+            .unwrap_or(default_policy.quality_weight),
+        lease_ms: body_opt_u64(&doc, "lease_ms")?.unwrap_or(default_policy.lease_ms),
+    };
+    let name = body_opt_str(&doc, "name")?.unwrap_or("campaign").to_owned();
+    Ok(CampaignSpec { name, source, config, policy })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_bodies_decode_and_reject() {
+        let spec = campaign_spec_from_body(
+            br#"{"preset":"TINY","per_question":3,"budget":40,"name":"t"}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "t");
+        assert_eq!(spec.policy.per_question, 3);
+        assert_eq!(spec.config.max_questions, Some(40));
+        assert!(matches!(spec.source, CampaignSource::Preset { .. }));
+
+        let spec = campaign_spec_from_body(br#"{"kb1":"a.rkb","kb2":"b.rkb"}"#).unwrap();
+        assert!(matches!(spec.source, CampaignSource::Files { .. }));
+
+        for bad in [
+            &br#"{}"#[..],
+            br#"{"preset":"TINY","kb1":"a"}"#,
+            br#"{"kb1":"a.rkb"}"#,
+            br#"{"preset":"TINY","threads":"warp"}"#,
+            br#"not json"#,
+        ] {
+            assert_eq!(campaign_spec_from_body(bad).unwrap_err().status, 400, "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The JSON wire protocol: typed API errors, request-body accessors and
+//! the encoders for every response shape (documented end-to-end in
+//! `PROTOCOL.md`).
+//!
+//! Everything here is total: malformed bodies become a 400
+//! [`ServeError`], session errors map onto the HTTP status that matches
+//! their meaning (duplicate submits are 409, unknown ids 404), and no
+//! wire input can panic the encoder or decoder.
+
+use remp_core::{Question, QuestionId, RempError, RempOutcome};
+use remp_crowd::Verdict;
+use remp_json::Json;
+use remp_kb::EntityId;
+
+/// A typed API error: HTTP status, stable machine-readable code, and a
+/// human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    /// HTTP status the server responds with.
+    pub status: u16,
+    /// Stable error code clients can switch on.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServeError {
+    /// 400 with the given code.
+    pub fn bad_request(code: &'static str, message: impl Into<String>) -> ServeError {
+        ServeError { status: 400, code, message: message.into() }
+    }
+
+    /// 404 with the given code.
+    pub fn not_found(code: &'static str, message: impl Into<String>) -> ServeError {
+        ServeError { status: 404, code, message: message.into() }
+    }
+
+    /// 409 with the given code.
+    pub fn conflict(code: &'static str, message: impl Into<String>) -> ServeError {
+        ServeError { status: 409, code, message: message.into() }
+    }
+
+    /// 500 with the given code.
+    pub fn internal(code: &'static str, message: impl Into<String>) -> ServeError {
+        ServeError { status: 500, code, message: message.into() }
+    }
+
+    /// The response body for this error.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![(
+            "error".into(),
+            Json::Obj(vec![
+                ("code".into(), Json::from(self.code)),
+                ("message".into(), Json::from(self.message.as_str())),
+            ]),
+        )])
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}: {}", self.status, self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Maps a session error onto the HTTP semantics it carries: a duplicate
+/// submit is a client-visible conflict, an unknown id is a missing
+/// resource, everything else is a server-side invariant breach.
+impl From<RempError> for ServeError {
+    fn from(e: RempError) -> ServeError {
+        match e {
+            RempError::AlreadyAnswered(id) => {
+                ServeError::conflict("already_answered", format!("question {id} is closed"))
+            }
+            RempError::UnknownQuestion(id) => {
+                ServeError::not_found("unknown_question", format!("no question {id}"))
+            }
+            RempError::EmptyLabels(id) => {
+                ServeError::bad_request("empty_labels", format!("no labels for question {id}"))
+            }
+            other => ServeError::internal("session_error", other.to_string()),
+        }
+    }
+}
+
+// ---- request-body accessors ------------------------------------------
+
+/// Parses a request body as a JSON object.
+pub fn parse_body(body: &[u8]) -> Result<Json, ServeError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ServeError::bad_request("bad_body", "body is not UTF-8"))?;
+    let doc = Json::parse(text)
+        .map_err(|e| ServeError::bad_request("bad_json", format!("body is not JSON: {e}")))?;
+    if doc.as_object().is_none() {
+        return Err(ServeError::bad_request("bad_json", "body must be a JSON object"));
+    }
+    Ok(doc)
+}
+
+/// Required string field.
+pub fn body_str<'j>(doc: &'j Json, key: &str) -> Result<&'j str, ServeError> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::bad_request("missing_field", format!("field '{key}' (string)")))
+}
+
+/// Required bool field.
+pub fn body_bool(doc: &Json, key: &str) -> Result<bool, ServeError> {
+    doc.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| ServeError::bad_request("missing_field", format!("field '{key}' (bool)")))
+}
+
+/// Optional numeric field.
+pub fn body_opt_f64(doc: &Json, key: &str) -> Result<Option<f64>, ServeError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_f64().map(Some).ok_or_else(|| {
+            ServeError::bad_request("bad_field", format!("field '{key}' is not a number"))
+        }),
+    }
+}
+
+/// Optional non-negative integer field.
+pub fn body_opt_u64(doc: &Json, key: &str) -> Result<Option<u64>, ServeError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+            ServeError::bad_request("bad_field", format!("field '{key}' is not an integer"))
+        }),
+    }
+}
+
+/// Optional string field.
+pub fn body_opt_str<'j>(doc: &'j Json, key: &str) -> Result<Option<&'j str>, ServeError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v.as_str().map(Some).ok_or_else(|| {
+            ServeError::bad_request("bad_field", format!("field '{key}' is not a string"))
+        }),
+    }
+}
+
+/// Parses the wire form of a question id (`"q17"`).
+pub fn parse_question_id(raw: &str) -> Result<QuestionId, ServeError> {
+    raw.parse().map_err(|_| {
+        ServeError::bad_request("bad_question_id", format!("{raw:?} is not a question id"))
+    })
+}
+
+// ---- response encoders -----------------------------------------------
+
+/// Encodes a question as handed to workers.
+pub fn question_json(q: &Question) -> Json {
+    Json::Obj(vec![
+        ("id".into(), Json::from(q.id.to_string())),
+        ("u1".into(), Json::from(q.pair.0 .0)),
+        ("u2".into(), Json::from(q.pair.1 .0)),
+        ("prior".into(), Json::from(q.prior)),
+        ("label1".into(), Json::from(q.context.label1.as_str())),
+        ("label2".into(), Json::from(q.context.label2.as_str())),
+        ("loop".into(), Json::from(q.context.loop_index)),
+    ])
+}
+
+/// Wire code for a verdict.
+pub fn verdict_code(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Match => "match",
+        Verdict::NonMatch => "non_match",
+        Verdict::Inconsistent => "inconsistent",
+    }
+}
+
+/// One submitted question in the campaign's submission log.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubmittedRecord {
+    /// The question id.
+    pub question: u64,
+    /// The entity pair asked about.
+    pub pair: (EntityId, EntityId),
+    /// The inferred verdict.
+    pub verdict: Verdict,
+}
+
+impl SubmittedRecord {
+    /// Compact array form `[id, u1, u2, verdict]`.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(vec![
+            Json::from(self.question),
+            Json::from(self.pair.0 .0),
+            Json::from(self.pair.1 .0),
+            Json::from(verdict_code(self.verdict)),
+        ])
+    }
+
+    /// Decodes the array form.
+    pub fn from_json(doc: &Json) -> Result<SubmittedRecord, ServeError> {
+        let bad = || ServeError::bad_request("bad_log", "malformed submission-log entry");
+        let parts = doc.as_array().ok_or_else(bad)?;
+        let [question, u1, u2, verdict] = parts else {
+            return Err(bad());
+        };
+        let verdict = match verdict.as_str().ok_or_else(bad)? {
+            "match" => Verdict::Match,
+            "non_match" => Verdict::NonMatch,
+            "inconsistent" => Verdict::Inconsistent,
+            _ => return Err(bad()),
+        };
+        let entity = |v: &Json| v.as_u64().and_then(|n| u32::try_from(n).ok()).ok_or_else(bad);
+        Ok(SubmittedRecord {
+            question: question.as_u64().ok_or_else(bad)?,
+            pair: (EntityId(entity(u1)?), EntityId(entity(u2)?)),
+            verdict,
+        })
+    }
+}
+
+/// Encodes a final outcome plus the submission log — everything a
+/// client needs to reproduce and verify the campaign bit-for-bit.
+pub fn outcome_json(outcome: &RempOutcome, log: &[SubmittedRecord]) -> Json {
+    let resolutions: String = outcome.resolutions.iter().map(|r| r.code()).collect();
+    Json::Obj(vec![
+        (
+            "matches".into(),
+            Json::Arr(
+                outcome
+                    .matches
+                    .iter()
+                    .map(|&(a, b)| Json::Arr(vec![Json::from(a.0), Json::from(b.0)]))
+                    .collect(),
+            ),
+        ),
+        ("resolutions".into(), Json::Str(resolutions)),
+        ("questions_asked".into(), Json::from(outcome.questions_asked)),
+        ("loops".into(), Json::from(outcome.loops)),
+        ("candidate_count".into(), Json::from(outcome.candidate_count)),
+        ("retained_count".into(), Json::from(outcome.retained_count)),
+        ("edge_count".into(), Json::from(outcome.edge_count)),
+        ("log".into(), Json::Arr(log.iter().map(SubmittedRecord::to_json).collect())),
+    ])
+}
+
+/// Checks a wire outcome document against a locally computed outcome
+/// and submission log; any divergence is described in the error.
+pub fn outcome_matches(
+    doc: &Json,
+    expected: &RempOutcome,
+    expected_log: &[SubmittedRecord],
+) -> Result<(), String> {
+    let reference = outcome_json(expected, expected_log);
+    let (Json::Obj(got), Json::Obj(want)) = (doc, &reference) else {
+        return Err("outcome documents must be objects".into());
+    };
+    for (key, want_value) in want {
+        match got.iter().find(|(k, _)| k == key) {
+            None => return Err(format!("wire outcome is missing field '{key}'")),
+            Some((_, got_value)) if got_value != want_value => {
+                return Err(format!(
+                    "outcome field '{key}' diverges:\n  wire     = {got_value}\n  expected = {want_value}"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remp_core::{MatchSource, Resolution};
+
+    #[test]
+    fn remp_errors_map_to_their_status() {
+        let e: ServeError = RempError::AlreadyAnswered(QuestionId(3)).into();
+        assert_eq!((e.status, e.code), (409, "already_answered"));
+        let e: ServeError = RempError::UnknownQuestion(QuestionId(3)).into();
+        assert_eq!((e.status, e.code), (404, "unknown_question"));
+        let e: ServeError = RempError::EmptyLabels(QuestionId(3)).into();
+        assert_eq!(e.status, 400);
+        let e: ServeError = RempError::BatchOutstanding { unanswered: 2 }.into();
+        assert_eq!(e.status, 500);
+    }
+
+    #[test]
+    fn error_bodies_carry_code_and_message() {
+        let doc = ServeError::conflict("nope", "because").to_json();
+        let err = doc.get("error").unwrap();
+        assert_eq!(err.get("code").unwrap().as_str(), Some("nope"));
+        assert_eq!(err.get("message").unwrap().as_str(), Some("because"));
+    }
+
+    #[test]
+    fn body_accessors_reject_wrong_types() {
+        let doc = parse_body(br#"{"s":"x","b":true,"n":3}"#).unwrap();
+        assert_eq!(body_str(&doc, "s").unwrap(), "x");
+        assert!(body_bool(&doc, "b").unwrap());
+        assert_eq!(body_opt_u64(&doc, "n").unwrap(), Some(3));
+        assert_eq!(body_opt_u64(&doc, "missing").unwrap(), None);
+        assert!(body_str(&doc, "n").is_err());
+        assert!(body_bool(&doc, "s").is_err());
+        assert!(body_opt_f64(&doc, "s").is_err());
+        assert!(parse_body(b"[1,2]").is_err(), "non-object body");
+        assert!(parse_body(b"{oops").is_err(), "broken JSON");
+        assert!(parse_body(&[0xff, 0xfe]).is_err(), "non-UTF-8");
+    }
+
+    #[test]
+    fn submitted_records_round_trip() {
+        let r = SubmittedRecord {
+            question: 7,
+            pair: (EntityId(1), EntityId(2)),
+            verdict: Verdict::NonMatch,
+        };
+        assert_eq!(SubmittedRecord::from_json(&r.to_json()).unwrap(), r);
+        assert!(SubmittedRecord::from_json(&Json::Arr(vec![])).is_err());
+    }
+
+    fn outcome_fixture() -> RempOutcome {
+        RempOutcome {
+            matches: vec![(EntityId(0), EntityId(1))],
+            resolutions: vec![Resolution::Match(MatchSource::Crowd), Resolution::NonMatch],
+            questions_asked: 2,
+            loops: 1,
+            candidate_count: 5,
+            retained_count: 2,
+            edge_count: 1,
+        }
+    }
+
+    #[test]
+    fn outcome_comparison_accepts_itself_and_flags_divergence() {
+        let outcome = outcome_fixture();
+        let log = vec![SubmittedRecord {
+            question: 0,
+            pair: (EntityId(0), EntityId(1)),
+            verdict: Verdict::Match,
+        }];
+        let doc = outcome_json(&outcome, &log);
+        outcome_matches(&doc, &outcome, &log).unwrap();
+
+        let mut other = outcome.clone();
+        other.questions_asked = 3;
+        let err = outcome_matches(&doc, &other, &log).unwrap_err();
+        assert!(err.contains("questions_asked"), "{err}");
+    }
+}

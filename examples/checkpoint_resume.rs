@@ -50,7 +50,10 @@ fn main() {
                 session.submit(q.id, labels).expect("fresh question id");
             }
         }
-        std::fs::write(&path, session.checkpoint().to_json_string()).expect("temp dir is writable");
+        // The pretty form costs a few bytes of whitespace and buys an
+        // operator-inspectable file; it decodes identically.
+        std::fs::write(&path, session.checkpoint().to_json_string_pretty())
+            .expect("temp dir is writable");
         println!(
             "campaign interrupted after {} questions / {} loop(s);\ncheckpoint written to {}",
             session.questions_asked(),

@@ -17,10 +17,16 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use remp_core::profile::{parse_thread_list, run_pipeline_bench, PipelineBenchOptions};
-use remp_core::{run_on_dataset, Parallelism, RempConfig};
+use remp_core::{evaluate_matches, run_on_dataset, Parallelism, RempConfig};
 use remp_crowd::{LabelSource, OracleCrowd, SimulatedCrowd};
 use remp_datasets::{generate, preset_by_name};
 use remp_ingest::{export_dataset, load_kb, write_snapshot, ExportFormat, FileDataset};
+use remp_json::Json;
+use remp_kb::EntityId;
+use remp_serve::{
+    drive, install_signal_handlers, outcome_matches, reference_outcome, signal_stop_flag,
+    CrowdParams, CrowdPolicy, ServeClient, Server, ServerConfig, WireCrowd,
+};
 
 const USAGE: &str = "\
 rempctl — knowledge-base ingestion and file-backed Remp campaigns
@@ -51,6 +57,24 @@ USAGE:
             --mu N              questions per loop (default: config)
             --threads N         worker threads for the pipeline stages
                                 (default: auto — REMP_THREADS or all cores)
+
+    rempctl serve [--addr HOST:PORT] [--state-dir DIR] [--threads POLICY]
+        Run the campaign server (same daemon as the rempd binary):
+        hosts concurrent crowd campaigns over HTTP, checkpoints them
+        to --state-dir on SIGTERM/SIGINT and resumes them on restart.
+        See crates/serve/PROTOCOL.md for the wire protocol.
+
+    rempctl drive --url HOST:PORT --kb1 PATH --kb2 PATH --gold PATH
+                  [--campaign ID] [--name NAME] [--verify]
+                  [--workers N] [--quality MIN,MAX] [--per-question N]
+                  [--seed N] [--budget N] [--mu N]
+        Drive a campaign on a running server with a seeded simulated
+        crowd *over the wire*: create the campaign (or attach with
+        --campaign), lease questions worker by worker, answer from the
+        local gold standard, and print the final metrics. With
+        --verify, also run the identical campaign in process and fail
+        unless the server's resolutions, question order and submission
+        log are bit-identical.
 
     rempctl bench [--preset NAME] [--scale X] [--threads LIST]
                   [--out PATH] [--min-speedup X]
@@ -98,6 +122,8 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "import" => cmd_import(&opts),
         "inspect" => cmd_inspect(&opts),
         "run" => cmd_run(&opts),
+        "serve" => cmd_serve(&opts),
+        "drive" => cmd_drive(&opts),
         "bench" => cmd_bench(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -110,7 +136,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
 // ---- argument parsing -------------------------------------------------
 
 /// Switches that take no value.
-const SWITCHES: [&str; 1] = ["--oracle"];
+const SWITCHES: [&str; 2] = ["--oracle", "--verify"];
 
 struct Opts {
     positional: Vec<String>,
@@ -295,6 +321,185 @@ fn cmd_run(opts: &Opts) -> Result<(), CliError> {
         100.0 * result.eval.f1
     );
     Ok(())
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
+    let mut config = ServerConfig::default();
+    if let Some(addr) = opts.get("addr") {
+        config.addr = addr.to_owned();
+    }
+    if let Some(dir) = opts.get("state-dir") {
+        config.state_dir = Some(PathBuf::from(dir));
+    }
+    if let Some(threads) = opts.get("threads") {
+        config.parallelism = Parallelism::from_label(threads)
+            .ok_or_else(|| CliError::Usage(format!("--threads: unknown policy {threads:?}")))?;
+    }
+    install_signal_handlers();
+    let server = Server::bind(&config).map_err(|e| CliError::Failed(e.to_string()))?;
+    let resumed = server.registry().list();
+    println!("rempctl serve: listening on http://{}", server.local_addr());
+    match &config.state_dir {
+        Some(dir) => println!("  state directory: {}", dir.display()),
+        None => println!("  no durable state (--state-dir to enable)"),
+    }
+    for (id, name) in resumed {
+        println!("  resumed campaign {id} ({name})");
+    }
+    let saved = server.run(signal_stop_flag()).map_err(|e| CliError::Failed(e.to_string()))?;
+    println!("rempctl serve: shut down cleanly; {saved} campaign(s) checkpointed");
+    Ok(())
+}
+
+fn cmd_drive(opts: &Opts) -> Result<(), CliError> {
+    let url = opts.required("url")?;
+    let kb1 = opts.required("kb1")?.to_owned();
+    let kb2 = opts.required("kb2")?.to_owned();
+    let gold = Path::new(opts.required("gold")?);
+    let params = CrowdParams {
+        workers: opts.parsed("workers", 100)?,
+        per_question: opts.parsed("per-question", 5)?,
+        seed: opts.parsed("seed", 42)?,
+        ..parse_quality_bounds(opts)?
+    };
+    if params.workers < params.per_question || params.per_question == 0 {
+        return Err(CliError::Usage(
+            "--workers must be at least --per-question (and both at least 1)".into(),
+        ));
+    }
+
+    // The client side of the campaign: the gold standard is the hidden
+    // truth the simulated workers answer from.
+    let started = Instant::now();
+    let dataset = FileDataset::load("drive", Path::new(&kb1), Path::new(&kb2), gold)?;
+    println!(
+        "loaded local gold standard in {:.1?} ({} matches)",
+        started.elapsed(),
+        dataset.num_gold()
+    );
+
+    if opts.get("verify").is_some() && opts.get("campaign").is_some() {
+        // The in-process reference replays the campaign from scratch with
+        // this invocation's config and crowd seed; attaching to an
+        // existing campaign (created who-knows-how, possibly mid-flight)
+        // would make the comparison diverge spuriously.
+        return Err(CliError::Usage(
+            "--verify only works for campaigns this invocation creates; drop --campaign".into(),
+        ));
+    }
+
+    let client = ServeClient::new(url);
+    let campaign = match opts.get("campaign") {
+        Some(id) => id.to_owned(),
+        None => {
+            let mut body = vec![
+                ("name".to_owned(), Json::from(opts.get("name").unwrap_or("drive"))),
+                ("kb1".to_owned(), Json::from(kb1.as_str())),
+                ("kb2".to_owned(), Json::from(kb2.as_str())),
+                ("per_question".to_owned(), Json::from(params.per_question)),
+            ];
+            if let Some(budget) = opts.get("budget") {
+                let budget: u64 = budget
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--budget: cannot parse {budget:?}")))?;
+                body.push(("budget".to_owned(), Json::from(budget)));
+            }
+            if let Some(mu) = opts.get("mu") {
+                let mu: u64 = mu
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("--mu: cannot parse {mu:?}")))?;
+                body.push(("mu".to_owned(), Json::from(mu)));
+            }
+            let created = client
+                .post("/campaigns", &Json::Obj(body))
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+            created
+                .get("id")
+                .and_then(Json::as_str)
+                .ok_or_else(|| CliError::Failed("server did not return a campaign id".into()))?
+                .to_owned()
+        }
+    };
+    println!("driving campaign {campaign} on http://{}", client.addr());
+
+    let started = Instant::now();
+    let mut crowd = WireCrowd::new(&params);
+    let truth = |a: EntityId, b: EntityId| dataset.is_match(a, b);
+    let driven = drive(&client, &campaign, &mut crowd, &truth)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    let outcome_doc = client
+        .get(&format!("/campaigns/{campaign}/outcome"))
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    println!("campaign completed over the wire in {:.1?}", started.elapsed());
+    println!("  questions answered : {}", driven.len());
+
+    let matches = decode_matches(&outcome_doc)?;
+    let eval = evaluate_matches(matches.iter().copied(), &dataset.gold);
+    println!(
+        "  precision {:.1}%  recall {:.1}%  F1 {:.1}%",
+        100.0 * eval.precision,
+        100.0 * eval.recall,
+        100.0 * eval.f1
+    );
+
+    if opts.get("verify").is_some() {
+        let started = Instant::now();
+        let mut config = RempConfig::default();
+        if opts.get("budget").is_some() {
+            config = config.with_budget(opts.parsed("budget", 0usize)?);
+        }
+        if opts.get("mu").is_some() {
+            let mu = opts.parsed("mu", config.mu)?;
+            config = config.with_mu(mu);
+        }
+        let policy = CrowdPolicy { per_question: params.per_question, ..CrowdPolicy::default() };
+        let (reference, log) =
+            reference_outcome(&dataset.kb1, &dataset.kb2, &config, &policy, &params, &truth)
+                .map_err(|e| CliError::Failed(e.to_string()))?;
+        outcome_matches(&outcome_doc, &reference, &log).map_err(|divergence| {
+            CliError::Failed(format!(
+                "HTTP campaign diverged from the in-process run: {divergence}"
+            ))
+        })?;
+        println!(
+            "  VERIFIED in {:.1?}: wire outcome is bit-identical to the in-process session run",
+            started.elapsed()
+        );
+    }
+    Ok(())
+}
+
+fn parse_quality_bounds(opts: &Opts) -> Result<CrowdParams, CliError> {
+    let quality = opts.get("quality").unwrap_or("0.8,0.99");
+    let (min_q, max_q): (f64, f64) = quality
+        .split_once(',')
+        .and_then(|(a, b)| Some((a.trim().parse().ok()?, b.trim().parse().ok()?)))
+        .ok_or_else(|| CliError::Usage(format!("--quality: expected MIN,MAX, got {quality:?}")))?;
+    if !(0.0..=1.0).contains(&min_q) || !(0.0..=1.0).contains(&max_q) || min_q > max_q {
+        return Err(CliError::Usage(format!(
+            "--quality: bounds must satisfy 0 ≤ MIN ≤ MAX ≤ 1, got {quality:?}"
+        )));
+    }
+    Ok(CrowdParams { min_quality: min_q, max_quality: max_q, ..CrowdParams::paper_default(0) })
+}
+
+fn decode_matches(outcome_doc: &Json) -> Result<Vec<(EntityId, EntityId)>, CliError> {
+    outcome_doc
+        .get("matches")
+        .and_then(Json::as_array)
+        .ok_or_else(|| CliError::Failed("outcome without a matches array".into()))?
+        .iter()
+        .map(|pair| {
+            let entity = |v: &Json| v.as_u64().and_then(|n| u32::try_from(n).ok());
+            match pair.as_array() {
+                Some([a, b]) => entity(a)
+                    .zip(entity(b))
+                    .map(|(a, b)| (EntityId(a), EntityId(b)))
+                    .ok_or_else(|| CliError::Failed("non-numeric match entry".into())),
+                _ => Err(CliError::Failed("malformed match entry".into())),
+            }
+        })
+        .collect()
 }
 
 fn cmd_bench(opts: &Opts) -> Result<(), CliError> {

@@ -92,8 +92,12 @@
 //! | [`forest`] | random forests (isolated pairs) | §VII-B |
 //! | [`core`] | the Remp pipeline, metrics, experiment drivers | §III-B |
 //! | [`datasets`] | synthetic dataset presets (Table II shapes) | §VIII |
-//! | [`ingest`] | file loaders, `.rkb` snapshots, `rempctl` CLI | Table II |
+//! | [`ingest`] | file loaders, `.rkb` snapshots | Table II |
+//! | [`serve`] | the `rempd` campaign server, client, wire crowd | §VII-A |
 //! | [`baselines`] | PARIS, SiGMa, HIKE, POWER, Corleone | §II, §VIII |
+//!
+//! The `rempctl` CLI (this package's binary) chains the layers:
+//! `export` → `import` → `inspect` → `run` | `serve` | `drive` | `bench`.
 
 pub use remp_baselines as baselines;
 pub use remp_core as core;
@@ -106,4 +110,5 @@ pub use remp_kb as kb;
 pub use remp_par as par;
 pub use remp_propagation as propagation;
 pub use remp_selection as selection;
+pub use remp_serve as serve;
 pub use remp_simil as simil;

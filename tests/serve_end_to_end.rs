@@ -1,0 +1,430 @@
+//! End-to-end tests of the `rempd` campaign server: an HTTP campaign
+//! must be **bit-identical** to the same campaign run through
+//! `RempSession` in process — including across a mid-campaign server
+//! restart — and the server must answer malformed traffic with typed
+//! errors, never a panic.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use remp::core::RempConfig;
+use remp::datasets::{generate, tiny};
+use remp::ingest::FileDataset;
+use remp::kb::EntityId;
+use remp::serve::{
+    drive, drive_n, outcome_matches, reference_outcome, CrowdParams, CrowdPolicy, ServeClient,
+    Server, ServerConfig, WireCrowd,
+};
+use remp_json::Json;
+
+/// A test server: bound on a free port, stopped and joined on drop.
+struct TestServer {
+    client: ServeClient,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start(state_dir: Option<PathBuf>) -> TestServer {
+        let config =
+            ServerConfig { addr: "127.0.0.1:0".into(), state_dir, ..ServerConfig::default() };
+        let server = Server::bind(&config).expect("bind test server");
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let join = std::thread::spawn(move || {
+            server.run(&stop_flag).expect("server run");
+        });
+        TestServer { client: ServeClient::new(addr.to_string()), stop, join: Some(join) }
+    }
+
+    /// Graceful stop: drains handlers, checkpoints campaigns, joins.
+    fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            join.join().expect("server thread");
+        }
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("remp-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/tiny")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn create_preset_campaign(client: &ServeClient, per_question: usize, name: &str) -> String {
+    let created = client
+        .post(
+            "/campaigns",
+            &Json::Obj(vec![
+                ("name".into(), Json::from(name)),
+                ("preset".into(), Json::from("TINY")),
+                ("per_question".into(), Json::from(per_question)),
+            ]),
+        )
+        .expect("create campaign");
+    created.get("id").and_then(Json::as_str).expect("campaign id").to_owned()
+}
+
+#[test]
+fn http_campaign_from_files_is_bit_identical_to_in_process() {
+    // The campaign runs on the committed fixture files: the server loads
+    // them through POST /campaigns, the client loads the same files for
+    // the gold standard — exactly the `rempctl drive` deployment shape.
+    let dataset = FileDataset::load(
+        "tiny",
+        Path::new(&fixture("kb1.nt")),
+        Path::new(&fixture("kb2.nt")),
+        Path::new(&fixture("gold.tsv")),
+    )
+    .expect("fixture dataset");
+    let params = CrowdParams { per_question: 3, ..CrowdParams::paper_default(11) };
+
+    let server = TestServer::start(None);
+    let created = server
+        .client
+        .post(
+            "/campaigns",
+            &Json::Obj(vec![
+                ("name".into(), Json::from("files")),
+                ("kb1".into(), Json::from(fixture("kb1.nt"))),
+                ("kb2".into(), Json::from(fixture("kb2.nt"))),
+                ("per_question".into(), Json::from(3usize)),
+            ]),
+        )
+        .expect("create campaign");
+    let id = created.get("id").and_then(Json::as_str).unwrap().to_owned();
+
+    let mut crowd = WireCrowd::new(&params);
+    let truth = |a: EntityId, b: EntityId| dataset.is_match(a, b);
+    let driven = drive(&server.client, &id, &mut crowd, &truth).expect("drive to completion");
+    assert!(!driven.is_empty());
+    let wire_outcome = server.client.get(&format!("/campaigns/{id}/outcome")).unwrap();
+    server.shutdown();
+
+    // The in-process ground truth: same KBs, same config, same seeded
+    // crowd stream, same online quality estimation — no server.
+    let policy = CrowdPolicy { per_question: 3, ..CrowdPolicy::default() };
+    let (reference, log) = reference_outcome(
+        &dataset.kb1,
+        &dataset.kb2,
+        &RempConfig::default(),
+        &policy,
+        &params,
+        &truth,
+    )
+    .expect("reference run");
+    assert_eq!(driven.len(), reference.questions_asked, "same question count");
+    outcome_matches(&wire_outcome, &reference, &log)
+        .expect("wire outcome must be bit-identical to the in-process run");
+}
+
+#[test]
+fn restart_mid_campaign_preserves_bit_identical_outcome() {
+    let d = generate(&tiny(1.0));
+    let truth = |a: EntityId, b: EntityId| d.is_match(a, b);
+    let params = CrowdParams { per_question: 3, ..CrowdParams::paper_default(23) };
+    let state_dir = tmp_dir("restart");
+
+    // Phase 1: drive four questions, then SIGTERM-equivalent shutdown
+    // (the run loop checkpoints every campaign into the state dir).
+    let server = TestServer::start(Some(state_dir.clone()));
+    let id = create_preset_campaign(&server.client, 3, "restartable");
+    let mut crowd = WireCrowd::new(&params);
+    let first = drive_n(&server.client, &id, &mut crowd, &truth, Some(4)).expect("partial drive");
+    assert_eq!(first.len(), 4);
+    server.shutdown();
+    assert!(
+        state_dir.join(format!("{id}.campaign.json")).exists(),
+        "shutdown must write the campaign state file"
+    );
+
+    // Phase 2: a new server process (new port) resumes the campaign from
+    // its state file; the same crowd — whose RNG state carried across the
+    // restart — finishes it.
+    let server = TestServer::start(Some(state_dir.clone()));
+    let status = server.client.get(&format!("/campaigns/{id}")).expect("resumed campaign status");
+    assert_eq!(status.get("questions_asked").and_then(Json::as_usize), Some(4));
+    let rest = drive(&server.client, &id, &mut crowd, &truth).expect("drive to completion");
+    let wire_outcome = server.client.get(&format!("/campaigns/{id}/outcome")).unwrap();
+    server.shutdown();
+
+    let policy = CrowdPolicy { per_question: 3, ..CrowdPolicy::default() };
+    let (reference, log) =
+        reference_outcome(&d.kb1, &d.kb2, &RempConfig::default(), &policy, &params, &truth)
+            .expect("reference run");
+    assert_eq!(first.len() + rest.len(), reference.questions_asked);
+    outcome_matches(&wire_outcome, &reference, &log)
+        .expect("restarted campaign must stay bit-identical to the uninterrupted in-process run");
+    std::fs::remove_dir_all(&state_dir).unwrap();
+}
+
+#[test]
+fn concurrent_campaigns_complete_independently() {
+    // Two campaigns on one server, driven from two threads at once with
+    // interleaved workers; each must match its own in-process reference.
+    let d = generate(&tiny(1.0));
+    let server = TestServer::start(None);
+    let ids = [
+        create_preset_campaign(&server.client, 2, "alpha"),
+        create_preset_campaign(&server.client, 2, "beta"),
+    ];
+    let seeds = [5u64, 6u64];
+
+    let outcomes: Vec<(Json, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .iter()
+            .zip(seeds)
+            .map(|(id, seed)| {
+                let client = server.client.clone();
+                let d = &d;
+                scope.spawn(move || {
+                    let params =
+                        CrowdParams { per_question: 2, ..CrowdParams::paper_default(seed) };
+                    let mut crowd = WireCrowd::new(&params);
+                    let truth = |a: EntityId, b: EntityId| d.is_match(a, b);
+                    let driven = drive(&client, id, &mut crowd, &truth).expect("drive");
+                    let outcome = client.get(&format!("/campaigns/{id}/outcome")).unwrap();
+                    (outcome, driven.len())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("drive thread")).collect()
+    });
+
+    let listing = server.client.get("/campaigns").unwrap();
+    assert_eq!(
+        listing.get("campaigns").and_then(Json::as_array).map(<[Json]>::len),
+        Some(2),
+        "both campaigns listed"
+    );
+    server.shutdown();
+
+    let policy = CrowdPolicy { per_question: 2, ..CrowdPolicy::default() };
+    let truth = |a: EntityId, b: EntityId| d.is_match(a, b);
+    for ((wire, driven), seed) in outcomes.iter().zip(seeds) {
+        let params = CrowdParams { per_question: 2, ..CrowdParams::paper_default(seed) };
+        let (reference, log) =
+            reference_outcome(&d.kb1, &d.kb2, &RempConfig::default(), &policy, &params, &truth)
+                .expect("reference");
+        assert_eq!(*driven, reference.questions_asked, "seed {seed}");
+        outcome_matches(wire, &reference, &log)
+            .unwrap_or_else(|e| panic!("campaign with seed {seed} diverged: {e}"));
+    }
+}
+
+#[test]
+fn malformed_requests_get_typed_errors_and_never_kill_the_server() {
+    let server = TestServer::start(None);
+    let id = create_preset_campaign(&server.client, 2, "hardened");
+
+    // Lease one real question so the conflict cases are reachable.
+    let next = server.client.get(&format!("/campaigns/{id}/next?worker=w0")).unwrap();
+    let qid = next
+        .get("assignment")
+        .and_then(|a| a.get("id"))
+        .and_then(Json::as_str)
+        .expect("an assignment")
+        .to_owned();
+    let answer = |worker: &str, question: &str, says: bool| {
+        server.client.post(
+            &format!("/campaigns/{id}/answers"),
+            &Json::Obj(vec![
+                ("worker".into(), Json::from(worker)),
+                ("question".into(), Json::from(question)),
+                ("says_match".into(), Json::from(says)),
+            ]),
+        )
+    };
+    answer("w0", &qid, true).expect("legitimate answer");
+
+    // Each abuse gets the documented status + code, not a dead socket.
+    let cases: Vec<(&str, u16, Option<&str>)> = vec![
+        ("double answer", 409, Some("duplicate_answer")),
+        ("wrong worker", 409, Some("no_lease")),
+        ("unknown campaign", 404, Some("unknown_campaign")),
+        ("unknown question", 404, Some("unknown_question")),
+        ("bad question id", 400, Some("bad_question_id")),
+        ("bad json body", 400, Some("bad_json")),
+        ("missing worker", 400, Some("missing_worker")),
+        ("unknown route", 404, Some("unknown_route")),
+        ("bad method", 405, Some("method_not_allowed")),
+        ("broken request line", 400, None),
+    ];
+    for (what, want_status, want_code) in cases {
+        let err = match what {
+            "double answer" => answer("w0", &qid, true).unwrap_err(),
+            "wrong worker" => answer("never-leased", &qid, true).unwrap_err(),
+            "unknown campaign" => server.client.get("/campaigns/zzz").unwrap_err(),
+            "unknown question" => answer("w0", "q999999", true).unwrap_err(),
+            "bad question id" => answer("w0", "seventeen", true).unwrap_err(),
+            "bad json body" => {
+                let (status, doc) = server
+                    .client
+                    .request_raw("POST", &format!("/campaigns/{id}/answers"), Some(b"{nope"))
+                    .unwrap();
+                assert_eq!(status, 400, "{what}");
+                assert_eq!(
+                    doc.get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+                    Some("bad_json"),
+                    "{what}"
+                );
+                continue;
+            }
+            "missing worker" => server.client.get(&format!("/campaigns/{id}/next")).unwrap_err(),
+            "unknown route" => server.client.get("/campaigns/c0/teapot").unwrap_err(),
+            "bad method" => {
+                let (status, _) =
+                    server.client.request("PUT", &format!("/campaigns/{id}"), None).unwrap();
+                assert_eq!(status, 405, "{what}");
+                continue;
+            }
+            "broken request line" => {
+                // Raw garbage straight onto the socket.
+                use std::io::{Read, Write};
+                let mut stream = std::net::TcpStream::connect(server.client.addr()).unwrap();
+                stream.write_all(b"NOT-HTTP\r\n\r\n").unwrap();
+                let mut out = String::new();
+                stream.read_to_string(&mut out).unwrap();
+                assert!(out.starts_with("HTTP/1.1 400"), "{what}: {out}");
+                continue;
+            }
+            _ => unreachable!(),
+        };
+        assert_eq!(err.status(), Some(want_status), "{what}: {err}");
+        if let Some(code) = want_code {
+            assert_eq!(err.code(), Some(code), "{what}: {err}");
+        }
+    }
+
+    // After all of that the server is still healthy and the campaign
+    // still makes progress.
+    let health = server.client.get("/healthz").unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    let next = server.client.get(&format!("/campaigns/{id}/next?worker=w1")).unwrap();
+    assert!(next.get("assignment").is_some());
+    server.shutdown();
+}
+
+#[test]
+fn lease_expiry_reissues_questions_over_http() {
+    let server = TestServer::start(None);
+    let campaign = |lease_ms: u64| {
+        let created = server
+            .client
+            .post(
+                "/campaigns",
+                &Json::Obj(vec![
+                    ("preset".into(), Json::from("TINY")),
+                    ("per_question".into(), Json::from(1usize)),
+                    ("lease_ms".into(), Json::from(lease_ms)),
+                ]),
+            )
+            .unwrap();
+        created.get("id").and_then(Json::as_str).unwrap().to_owned()
+    };
+    let lease_of = |id: &str, worker: &str| {
+        server
+            .client
+            .get(&format!("/campaigns/{id}/next?worker={worker}"))
+            .unwrap()
+            .get("assignment")
+            .and_then(|a| a.get("id"))
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+    };
+
+    // Part 1 — a *live* lease is exclusive. The lease is generous (60 s,
+    // unlosable even on a crawling CI runner), per_question = 1: while
+    // the ghost holds the first question, nobody else may get it.
+    let id = campaign(60_000);
+    let held = lease_of(&id, "ghost").expect("ghost gets the first question");
+    assert_ne!(lease_of(&id, "w0"), Some(held), "a live lease must not be double-issued");
+
+    // Part 2 — an *expired* lease re-enters the pool. A fresh campaign
+    // with a 60 ms lease: the ghost takes the first question, vanishes,
+    // and after the deadline the question goes to the next worker.
+    let id = campaign(60);
+    let qid = lease_of(&id, "ghost").expect("ghost gets the first question");
+    std::thread::sleep(std::time::Duration::from_millis(90));
+
+    // Expired: the question re-enters the pool and w1 can take it...
+    let retry = server.client.get(&format!("/campaigns/{id}/next?worker=w1")).unwrap();
+    assert_eq!(
+        retry.get("assignment").and_then(|a| a.get("id")).and_then(Json::as_str),
+        Some(qid.as_str()),
+        "expired lease must be re-issued"
+    );
+    // ...while the ghost's late answer is a typed conflict.
+    let late = server
+        .client
+        .post(
+            &format!("/campaigns/{id}/answers"),
+            &Json::Obj(vec![
+                ("worker".into(), Json::from("ghost")),
+                ("question".into(), Json::from(qid.as_str())),
+                ("says_match".into(), Json::from(true)),
+            ]),
+        )
+        .unwrap_err();
+    assert_eq!((late.status(), late.code()), (Some(409), Some("no_lease")));
+    // The replacement worker's answer lands.
+    let ack = server
+        .client
+        .post(
+            &format!("/campaigns/{id}/answers"),
+            &Json::Obj(vec![
+                ("worker".into(), Json::from("w1")),
+                ("question".into(), Json::from(qid.as_str())),
+                ("says_match".into(), Json::from(true)),
+            ]),
+        )
+        .unwrap();
+    assert!(ack.get("submitted").is_some_and(|s| !matches!(s, Json::Null)));
+    server.shutdown();
+}
+
+#[test]
+fn pause_and_resume_gate_work_over_http() {
+    let server = TestServer::start(None);
+    let id = create_preset_campaign(&server.client, 2, "pausable");
+    server.client.post(&format!("/campaigns/{id}/pause"), &Json::Obj(vec![])).unwrap();
+    let err = server.client.get(&format!("/campaigns/{id}/next?worker=w0")).unwrap_err();
+    assert_eq!((err.status(), err.code()), (Some(409), Some("paused")));
+    let status = server.client.get(&format!("/campaigns/{id}")).unwrap();
+    assert_eq!(status.get("paused").and_then(Json::as_bool), Some(true));
+    server.client.post(&format!("/campaigns/{id}/resume"), &Json::Obj(vec![])).unwrap();
+    let next = server.client.get(&format!("/campaigns/{id}/next?worker=w0")).unwrap();
+    assert!(next.get("assignment").is_some_and(|a| !matches!(a, Json::Null)));
+    server.shutdown();
+}
+
+#[test]
+fn pretty_responses_parse_identically() {
+    let server = TestServer::start(None);
+    let id = create_preset_campaign(&server.client, 2, "pretty");
+    let plain = server.client.get(&format!("/campaigns/{id}")).unwrap();
+    let pretty = server.client.get(&format!("/campaigns/{id}?pretty=1")).unwrap();
+    assert_eq!(plain, pretty, "?pretty=1 changes whitespace, not content");
+    server.shutdown();
+}
