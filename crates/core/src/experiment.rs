@@ -10,7 +10,7 @@ use remp_datasets::GeneratedDataset;
 use remp_ergraph::PairId;
 use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
 
-use crate::{evaluate_matches, prepare, PrecisionRecall, Remp, RempConfig};
+use crate::{evaluate_matches, prepare, LoopStat, PrecisionRecall, Remp, RempConfig};
 
 /// One experiment's outcome: quality plus cost.
 #[derive(Clone, Debug)]
@@ -21,6 +21,9 @@ pub struct ExperimentResult {
     pub questions: usize,
     /// Human-machine loops (`#L`).
     pub loops: usize,
+    /// Per-loop stage-2/3 timings and dirty-region counters from the
+    /// incremental engine (one entry per propagation pass).
+    pub loop_stats: Vec<LoopStat>,
 }
 
 /// Runs the full Remp pipeline on a generated dataset with the given crowd.
@@ -30,11 +33,18 @@ pub fn run_on_dataset(
     crowd: &mut dyn LabelSource,
 ) -> ExperimentResult {
     let remp = Remp::new(config.clone());
-    let outcome = remp.run(&dataset.kb1, &dataset.kb2, &|u1, u2| dataset.is_match(u1, u2), crowd);
+    let mut session =
+        remp.begin(&dataset.kb1, &dataset.kb2).unwrap_or_else(|e| panic!("run_on_dataset: {e}"));
+    session
+        .drive(&|u1, u2| dataset.is_match(u1, u2), crowd)
+        .expect("draining a fresh session cannot hit caller-protocol errors");
+    let loop_stats = session.loop_stats().to_vec();
+    let outcome = session.finish();
     ExperimentResult {
         eval: evaluate_matches(outcome.matches.iter().copied(), &dataset.gold),
         questions: outcome.questions_asked,
         loops: outcome.loops,
+        loop_stats,
     }
 }
 

@@ -44,7 +44,8 @@ pub use pipeline::{MatchSource, Remp, RempOutcome, Resolution};
 pub use prepared::{prepare, PreparedEr};
 pub use profile::{run_pipeline_bench, PipelineBenchOptions, PipelineBenchReport, StageProfile};
 pub use remp_par::Parallelism;
+pub use remp_propagation::{LoopState, PropagationContext, RefreshStats};
 pub use session::{
-    Batch, KbFingerprint, ParseQuestionIdError, Question, QuestionContext, QuestionId, RempSession,
-    SessionCheckpoint, SubmitOutcome, CHECKPOINT_VERSION,
+    Batch, KbFingerprint, LoopStat, ParseQuestionIdError, Question, QuestionContext, QuestionId,
+    RempSession, SessionCheckpoint, SubmitOutcome, CHECKPOINT_VERSION, CHECK_INCREMENTAL_ENV,
 };

@@ -2,7 +2,7 @@
 
 use remp_ergraph::{
     build_sim_vectors, generate_candidates, initial_matches, match_attributes, prune,
-    AttrAlignment, Candidates, ErGraph, PairId,
+    AttrAlignment, Candidates, ComponentIndex, ErGraph, PairId,
 };
 use remp_kb::Kb;
 use remp_simil::SimVec;
@@ -27,6 +27,9 @@ pub struct PreparedEr {
     pub sim_vectors: Vec<SimVec>,
     /// The ER graph over the retained pairs.
     pub graph: ErGraph,
+    /// Connected components of the ER graph — the propagation shards the
+    /// incremental loop engine schedules and retires independently.
+    pub components: ComponentIndex,
 }
 
 /// Runs ER graph construction (§IV): candidates → initial matches →
@@ -52,6 +55,7 @@ pub fn prepare(kb1: &Kb, kb2: &Kb, config: &RempConfig) -> PreparedEr {
     let initial: Vec<PairId> =
         initial_full.iter().filter_map(|old| mapping.get(old).copied()).collect();
     let graph = ErGraph::build(kb1, kb2, &candidates);
+    let components = ComponentIndex::build(&graph);
 
     PreparedEr {
         candidates,
@@ -61,6 +65,7 @@ pub fn prepare(kb1: &Kb, kb2: &Kb, config: &RempConfig) -> PreparedEr {
         alignment,
         sim_vectors,
         graph,
+        components,
     }
 }
 

@@ -24,7 +24,7 @@ use remp_par::Parallelism;
 use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
 use remp_selection::select_batch;
 
-use crate::{evaluate_matches, Remp, RempConfig};
+use crate::{evaluate_matches, LoopStat, Remp, RempConfig};
 
 /// Parses a `--threads` list like `"1,2,4"` into thread counts — shared
 /// by the `rempctl bench` and `bench_pipeline` front-ends.
@@ -75,7 +75,98 @@ pub struct StageProfile {
     pub f1: f64,
 }
 
-/// The full measurement: one [`StageProfile`] per requested thread count.
+/// One human-machine loop of the `loops` scenario: stage-2/3 wall-clock
+/// under the incremental engine vs a from-scratch rebuild.
+#[derive(Clone, Copy, Debug)]
+pub struct LoopBenchRow {
+    /// Loop index (0 = the initial full build).
+    pub loop_index: usize,
+    /// Stage-2 + selection seconds with the incremental engine.
+    pub incremental_s: f64,
+    /// Stage-2 + selection seconds rebuilding from scratch.
+    pub full_s: f64,
+    /// Vertices the incremental engine recomputed edges for.
+    pub dirty_vertices: usize,
+    /// Dijkstra sources the incremental engine re-ran.
+    pub recomputed_sources: usize,
+}
+
+/// The `loops` scenario: the same oracle campaign driven twice — once on
+/// the incremental engine, once forcing a from-scratch stage-2 rebuild
+/// every loop — with per-loop wall-clock side by side. The campaigns are
+/// bit-identical (question counts are verified); only the time to produce
+/// each batch differs.
+#[derive(Clone, Debug)]
+pub struct LoopsBench {
+    /// Worker threads the scenario ran with.
+    pub threads: usize,
+    /// Questions both campaigns asked (must agree — equivalence check).
+    pub questions: usize,
+    /// One row per propagation pass.
+    pub rows: Vec<LoopBenchRow>,
+    /// Full per-loop stats of the incremental campaign.
+    pub incremental_stats: Vec<LoopStat>,
+}
+
+impl LoopsBench {
+    /// Mean per-loop seconds after the first loop, `(incremental, full)` —
+    /// the headline of the scenario: from loop 1 on, the incremental
+    /// engine pays for the changed region only.
+    pub fn steady_state_means(&self) -> Option<(f64, f64)> {
+        let tail = self.rows.get(1..)?;
+        if tail.is_empty() {
+            return None;
+        }
+        let n = tail.len() as f64;
+        Some((
+            tail.iter().map(|r| r.incremental_s).sum::<f64>() / n,
+            tail.iter().map(|r| r.full_s).sum::<f64>() / n,
+        ))
+    }
+
+    /// The scenario's JSON section in `BENCH_pipeline.json`.
+    pub fn to_json(&self) -> Json {
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("loop".into(), Json::from(r.loop_index)),
+                    ("incremental_s".into(), Json::from(r.incremental_s)),
+                    ("full_s".into(), Json::from(r.full_s)),
+                    ("dirty_vertices".into(), Json::from(r.dirty_vertices)),
+                    ("recomputed_sources".into(), Json::from(r.recomputed_sources)),
+                ])
+            })
+            .collect();
+        let mut fields = vec![
+            ("threads".into(), Json::from(self.threads)),
+            ("questions".into(), Json::from(self.questions)),
+            ("rows".into(), Json::Arr(rows)),
+            (
+                "incremental_total_s".into(),
+                Json::from(self.rows.iter().map(|r| r.incremental_s).sum::<f64>()),
+            ),
+            ("full_total_s".into(), Json::from(self.rows.iter().map(|r| r.full_s).sum::<f64>())),
+            (
+                "incremental_detail".into(),
+                Json::Arr(self.incremental_stats.iter().map(LoopStat::to_json).collect()),
+            ),
+        ];
+        if let Some((inc, full)) = self.steady_state_means() {
+            fields.push(("steady_state_incremental_s".into(), Json::from(inc)));
+            fields.push(("steady_state_full_s".into(), Json::from(full)));
+            fields.push((
+                "steady_state_speedup".into(),
+                Json::from(if inc > 0.0 { full / inc } else { 1.0 }),
+            ));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// The full measurement: one [`StageProfile`] per requested thread count,
+/// plus the `loops` scenario (incremental vs from-scratch per-loop cost).
 #[derive(Clone, Debug)]
 pub struct PipelineBenchReport {
     /// Preset that was measured.
@@ -88,6 +179,8 @@ pub struct PipelineBenchReport {
     pub host_threads: usize,
     /// One profile per thread count, in the order requested.
     pub runs: Vec<StageProfile>,
+    /// The `loops` scenario, run at the first requested thread count.
+    pub loops: LoopsBench,
 }
 
 impl PipelineBenchReport {
@@ -153,6 +246,21 @@ impl PipelineBenchReport {
             self.parallel().threads,
             self.speedup()
         ));
+        lines.push(format!(
+            "  loops scenario ({} loops, {} questions): first loop {:.3}s",
+            self.loops.rows.len(),
+            self.loops.questions,
+            self.loops.rows.first().map(|r| r.incremental_s).unwrap_or(0.0),
+        ));
+        if let Some((inc, full)) = self.loops.steady_state_means() {
+            lines.push(format!(
+                "  per-loop stage 2+3 after the first loop: incremental {:.4}s vs \
+                 from-scratch {:.4}s ({:.1}x)",
+                inc,
+                full,
+                if inc > 0.0 { full / inc } else { 1.0 }
+            ));
+        }
         lines
     }
 
@@ -189,6 +297,7 @@ impl PipelineBenchReport {
             ("parallel_threads".into(), Json::from(self.parallel().threads)),
             ("parallel_end_to_end_s".into(), Json::from(self.parallel().end_to_end)),
             ("speedup_parallel_vs_sequential".into(), Json::from(self.speedup())),
+            ("loops".into(), self.loops.to_json()),
         ])
     }
 }
@@ -273,8 +382,56 @@ fn profile_run(dataset: &GeneratedDataset, threads: usize) -> StageProfile {
     }
 }
 
+/// Drives one oracle campaign through the session API and returns its
+/// per-loop stats and question count.
+fn campaign_loop_stats(
+    dataset: &GeneratedDataset,
+    threads: usize,
+    incremental: bool,
+) -> (Vec<LoopStat>, usize) {
+    let par = if threads <= 1 { Parallelism::Sequential } else { Parallelism::Fixed(threads) };
+    let config = RempConfig::default().with_parallelism(par);
+    let remp = Remp::new(config);
+    let mut session = remp.begin(&dataset.kb1, &dataset.kb2).expect("default config is valid");
+    session.set_incremental(incremental);
+    let mut crowd = OracleCrowd::new();
+    session
+        .drive(&|u1, u2| dataset.is_match(u1, u2), &mut crowd)
+        .expect("draining a fresh session cannot hit caller-protocol errors");
+    (session.loop_stats().to_vec(), session.questions_asked())
+}
+
+/// The `loops` scenario: the campaign once incremental, once from
+/// scratch, rows zipped per loop. Errors when the two campaigns disagree
+/// on questions or loop count (they must be bit-identical).
+fn profile_loops(dataset: &GeneratedDataset, threads: usize) -> Result<LoopsBench, String> {
+    let (incremental_stats, incremental_questions) = campaign_loop_stats(dataset, threads, true);
+    let (full_stats, full_questions) = campaign_loop_stats(dataset, threads, false);
+    if incremental_questions != full_questions || incremental_stats.len() != full_stats.len() {
+        return Err(format!(
+            "loops scenario equivalence violated: incremental asked {incremental_questions} \
+             questions over {} loops, from-scratch {full_questions} over {}",
+            incremental_stats.len(),
+            full_stats.len()
+        ));
+    }
+    let rows = incremental_stats
+        .iter()
+        .zip(&full_stats)
+        .map(|(inc, full)| LoopBenchRow {
+            loop_index: inc.loop_index,
+            incremental_s: inc.total_s(),
+            full_s: full.total_s(),
+            dirty_vertices: inc.refresh.dirty_vertices,
+            recomputed_sources: inc.refresh.recomputed_sources,
+        })
+        .collect();
+    Ok(LoopsBench { threads, questions: incremental_questions, rows, incremental_stats })
+}
+
 /// Runs the pipeline benchmark: one [`StageProfile`] per thread count on
-/// a freshly generated preset.
+/// a freshly generated preset, plus the `loops` scenario at the first
+/// requested thread count.
 ///
 /// Errors on an unknown preset, an empty thread list, or — the built-in
 /// equivalence smoke check — when any run's question count or F1 deviates
@@ -289,6 +446,7 @@ pub fn run_pipeline_bench(opts: &PipelineBenchOptions) -> Result<PipelineBenchRe
 
     let runs: Vec<StageProfile> =
         opts.thread_counts.iter().map(|&t| profile_run(&dataset, t)).collect();
+    let loops = profile_loops(&dataset, opts.thread_counts[0])?;
     let baseline = &runs[0];
     for run in &runs[1..] {
         if run.questions != baseline.questions || (run.f1 - baseline.f1).abs() > 1e-12 {
@@ -310,6 +468,7 @@ pub fn run_pipeline_bench(opts: &PipelineBenchOptions) -> Result<PipelineBenchRe
         scale: opts.scale,
         host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         runs,
+        loops,
     })
 }
 
@@ -329,6 +488,11 @@ mod tests {
         let doc = report.to_json();
         assert!(doc.get("runs").is_some());
         assert!(doc.get("speedup_parallel_vs_sequential").is_some());
+        // The loops scenario is part of every report: both campaigns ran,
+        // agreed on the question count, and produced per-loop rows.
+        let loops = doc.get("loops").expect("loops scenario in the report");
+        assert!(loops.get("rows").and_then(Json::as_array).is_some_and(|r| !r.is_empty()));
+        assert_eq!(loops.get("questions").and_then(Json::as_usize), Some(report.runs[0].questions));
         // Stage names are stable — the CI gate and docs key off them.
         let names: Vec<&str> = report.runs[0].stages.iter().map(|&(n, _)| n).collect();
         assert_eq!(

@@ -34,17 +34,24 @@
 //! reconstructed rather than stored.
 
 use std::fmt;
+use std::time::Instant;
 
 use remp_crowd::{infer_truth, Label, LabelSource, Verdict};
 use remp_ergraph::PairId;
 use remp_json::Json;
 use remp_kb::{EntityId, Kb};
-use remp_propagation::{inferred_sets_dijkstra, ConsistencyTable, ProbErGraph};
-use remp_selection::select_batch;
+use remp_propagation::{LoopState, PropagationContext, RefreshStats};
+use remp_selection::ComponentSelector;
 
 use crate::jsonio::{get, get_bool, get_f64, get_str, get_u64, get_usize, malformed};
 use crate::pipeline::{MatchSource, Resolution};
 use crate::{classify_isolated, prepare, PreparedEr, RempConfig, RempError, RempOutcome};
+
+/// Environment variable enabling the incremental-equivalence debug mode:
+/// when set to `1`, every [`RempSession::next_batch`] asserts the
+/// incremental stage-2 state is bit-identical to a from-scratch rebuild
+/// ([`LoopState::check_reference`]) and panics on the first divergence.
+pub const CHECK_INCREMENTAL_ENV: &str = "REMP_CHECK_INCREMENTAL";
 
 /// Opaque identifier of a posted question, unique within a session.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -140,6 +147,48 @@ pub struct SubmitOutcome {
     pub batch_complete: bool,
 }
 
+/// Where one human-machine loop's stage-2/3 time went, and how much of
+/// the graph it actually had to touch — the observability counterpart of
+/// the incremental engine ([`RempSession::loop_stats`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LoopStat {
+    /// The loop whose batch this refresh prepared (0-based; equals the
+    /// batch's `loop_index` when one was produced).
+    pub loop_index: usize,
+    /// Stage-2 counters and timings from the incremental engine.
+    pub refresh: RefreshStats,
+    /// Wall-clock of question scoring + selection for this loop.
+    pub selection_s: f64,
+}
+
+impl LoopStat {
+    /// Total stage-2 + selection wall-clock of this loop.
+    pub fn total_s(&self) -> f64 {
+        self.refresh.stage_total_s() + self.selection_s
+    }
+
+    /// Encodes the stat for reports (`rempd` status, `bench_pipeline`).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("loop".into(), Json::from(self.loop_index)),
+            ("full_rebuild".into(), Json::from(self.refresh.full_rebuild)),
+            ("new_seeds".into(), Json::from(self.refresh.new_seeds)),
+            ("dirty_labels".into(), Json::from(self.refresh.dirty_labels)),
+            ("changed_labels".into(), Json::from(self.refresh.changed_labels)),
+            ("dirty_vertices".into(), Json::from(self.refresh.dirty_vertices)),
+            ("changed_vertices".into(), Json::from(self.refresh.changed_vertices)),
+            ("dirty_components".into(), Json::from(self.refresh.dirty_components)),
+            ("retired_components".into(), Json::from(self.refresh.retired_components)),
+            ("recomputed_sources".into(), Json::from(self.refresh.recomputed_sources)),
+            ("consistency_s".into(), Json::from(self.refresh.consistency_s)),
+            ("propagation_s".into(), Json::from(self.refresh.propagation_s)),
+            ("inferred_s".into(), Json::from(self.refresh.inferred_s)),
+            ("selection_s".into(), Json::from(self.selection_s)),
+            ("total_s".into(), Json::from(self.total_s())),
+        ])
+    }
+}
+
 /// Bookkeeping for one question of the open batch.
 #[derive(Clone, Debug)]
 struct PendingQuestion {
@@ -167,12 +216,40 @@ pub struct RempSession<'a> {
     config: RempConfig,
     prep: PreparedEr,
     resolution: Vec<Resolution>,
-    seeds: Vec<PairId>,
+    /// The incremental stage-2 engine; also owns the seed set.
+    state: LoopState,
+    /// Per-component question-selection cache.
+    selector: ComponentSelector,
+    /// Matches confirmed in the open batch, merged into the seeds at
+    /// finalization (instead of rescanning all resolutions).
+    batch_matches: Vec<PairId>,
+    /// `false` forces a from-scratch stage-2 rebuild every loop — the
+    /// benchmark baseline and a debugging escape hatch.
+    incremental: bool,
+    /// Assert incremental ≡ from-scratch every loop (see
+    /// [`CHECK_INCREMENTAL_ENV`]).
+    check_incremental: bool,
+    loop_stats: Vec<LoopStat>,
     questions_asked: usize,
     loops: usize,
     drained: bool,
     pending: Vec<PendingQuestion>,
     next_question_id: u64,
+}
+
+/// Builds the read-only context the loop engine works against. A macro
+/// instead of a method so the borrow stays field-precise: the session
+/// mutates `state` and `selector` while the context borrows `prep`.
+macro_rules! propagation_ctx {
+    ($session:expr) => {
+        PropagationContext {
+            kb1: $session.kb1,
+            kb2: $session.kb2,
+            candidates: &$session.prep.candidates,
+            graph: &$session.prep.graph,
+            components: &$session.prep.components,
+        }
+    };
 }
 
 impl<'a> RempSession<'a> {
@@ -183,14 +260,50 @@ impl<'a> RempSession<'a> {
         prep: PreparedEr,
     ) -> RempSession<'a> {
         let n = prep.candidates.len();
-        let seeds = prep.initial.clone();
+        RempSession::with_state(kb1, kb2, config, prep, vec![Resolution::Unresolved; n], None)
+    }
+
+    /// Shared constructor behind [`new`](Self::new) and
+    /// [`resume`](Self::resume): builds the incremental engine over the
+    /// given resolutions, seeding from `seeds` (the stage-1 initial
+    /// matches when `None`).
+    fn with_state(
+        kb1: &'a Kb,
+        kb2: &'a Kb,
+        config: RempConfig,
+        prep: PreparedEr,
+        resolution: Vec<Resolution>,
+        seeds: Option<Vec<PairId>>,
+    ) -> RempSession<'a> {
+        let eligible: Vec<bool> = resolution
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                r == Resolution::Unresolved && !prep.graph.is_isolated_vertex(PairId::from_index(i))
+            })
+            .collect();
+        let seeds = seeds.unwrap_or_else(|| prep.initial.clone());
+        let ctx = PropagationContext {
+            kb1,
+            kb2,
+            candidates: &prep.candidates,
+            graph: &prep.graph,
+            components: &prep.components,
+        };
+        let state = LoopState::new(&ctx, config.tau, config.propagation, &seeds, eligible);
+        let selector = ComponentSelector::new(prep.components.len(), config.mu);
         RempSession {
             kb1,
             kb2,
             config,
             prep,
-            resolution: vec![Resolution::Unresolved; n],
-            seeds,
+            resolution,
+            state,
+            selector,
+            batch_matches: Vec::new(),
+            incremental: true,
+            check_incremental: false,
+            loop_stats: Vec::new(),
             questions_asked: 0,
             loops: 0,
             drained: false,
@@ -223,6 +336,30 @@ impl<'a> RempSession<'a> {
     /// the budget ran out, or `max_loops` was hit.
     pub fn is_drained(&self) -> bool {
         self.drained
+    }
+
+    /// Per-loop stage-2/3 timings and dirty-region counters, one entry
+    /// per [`next_batch`](Self::next_batch) call that ran propagation
+    /// (including the terminating call). This is how `rempctl run` and
+    /// `rempd` report where a campaign's compute time goes.
+    pub fn loop_stats(&self) -> &[LoopStat] {
+        &self.loop_stats
+    }
+
+    /// Switches between the incremental engine (default) and a
+    /// from-scratch stage-2 rebuild every loop. The two produce
+    /// bit-identical campaigns; the full mode exists as the benchmark
+    /// baseline (`bench_pipeline`'s `loops` scenario) and a debugging
+    /// escape hatch.
+    pub fn set_incremental(&mut self, incremental: bool) {
+        self.incremental = incremental;
+    }
+
+    /// Makes every loop assert incremental ≡ from-scratch
+    /// ([`LoopState::check_reference`]), like running under
+    /// [`CHECK_INCREMENTAL_ENV`]`=1`. Expensive: for tests and debugging.
+    pub fn set_check_incremental(&mut self, check: bool) {
+        self.check_incremental = check;
     }
 
     /// The still-unanswered questions of the open batch.
@@ -267,6 +404,15 @@ impl<'a> RempSession<'a> {
 
     /// Runs stages 2–3 and selects the next batch of questions.
     ///
+    /// Stage 2 is *incremental*: the [`LoopState`] engine re-estimates
+    /// only the labels whose seed support changed, rebuilds probabilistic
+    /// edges only around changed consistencies and priors, and re-runs
+    /// truncated Dijkstra only inside dirty components — with results
+    /// bit-identical to a from-scratch rebuild
+    /// ([`LoopState::rebuild_reference`]; set [`CHECK_INCREMENTAL_ENV`]
+    /// to `1` to assert it every loop). Question selection is likewise
+    /// cached per component and rescored only where a batch landed.
+    ///
     /// Returns `Ok(None)` when the loop has terminated (the paper's
     /// stopping rule: no unresolved pair is propagation-reachable any
     /// more, the question budget is exhausted, or `max_loops` is hit) —
@@ -287,49 +433,39 @@ impl<'a> RempSession<'a> {
             return Ok(None);
         }
 
-        let candidates = &self.prep.candidates;
-        let graph = &self.prep.graph;
-        let n = candidates.len();
-
-        // Stage 2: relational match propagation, on the configured
-        // worker pool (results are identical in every parallelism mode).
-        let par = &self.config.parallelism;
-        let cons =
-            ConsistencyTable::estimate(self.kb1, self.kb2, candidates, graph, &self.seeds, par);
-        let pg = ProbErGraph::build(
-            self.kb1,
-            self.kb2,
-            candidates,
-            graph,
-            &cons,
-            &self.config.propagation,
-            par,
-        );
-        let inferred = inferred_sets_dijkstra(&pg, self.config.tau, par);
-
-        // Stage 3: multiple questions selection. Isolated vertices are
-        // excluded — the classifier handles them (§VII-B).
-        let eligible: Vec<bool> = (0..n)
-            .map(|i| {
-                self.resolution[i] == Resolution::Unresolved
-                    && !graph.is_isolated_vertex(PairId::from_index(i))
-            })
-            .collect();
-        // The paper stops "when there is no unresolved entity pair that
-        // can be inferred by relational match propagation": as long as
-        // some unresolved pair is reachable from another, the loop
-        // continues; once nothing is reachable any more, remaining pairs
-        // go to the classifier instead of the crowd.
-        let any_reachable = (0..n).map(PairId::from_index).any(|q| {
-            eligible[q.index()]
-                && inferred.inferred(q).iter().any(|&(p, _)| p != q && eligible[p.index()])
-        });
-        if !any_reachable {
-            self.drained = true;
-            return Ok(None);
+        // Stage 2: relational match propagation over the changed region,
+        // scheduled across the configured worker pool (results are
+        // identical in every parallelism mode).
+        let par = self.config.parallelism;
+        let ctx = propagation_ctx!(self);
+        let outcome = if self.incremental {
+            self.state.refresh(&ctx, &par)
+        } else {
+            self.state.refresh_full(&ctx, &par)
+        };
+        if self.check_incremental
+            || std::env::var(CHECK_INCREMENTAL_ENV).is_ok_and(|v| v.trim() == "1")
+        {
+            if let Err(divergence) = self.state.check_reference(&ctx, &par) {
+                panic!(
+                    "incremental propagation diverged from the from-scratch reference \
+                     at loop {}: {divergence}",
+                    self.loops
+                );
+            }
         }
-        let question_cands: Vec<PairId> =
-            (0..n).map(PairId::from_index).filter(|p| eligible[p.index()]).collect();
+
+        // Stage 3: multiple questions selection, rescored only in the
+        // components the last batch touched. Isolated vertices are never
+        // eligible — the classifier handles them (§VII-B).
+        let selection_started = Instant::now();
+        let record = |selection_s: f64| LoopStat {
+            loop_index: self.loops,
+            refresh: outcome.stats,
+            selection_s,
+        };
+        // An exhausted question budget drains the session no matter what
+        // is still reachable — check it before paying for a scoring pass.
         let remaining = self
             .config
             .max_questions
@@ -337,19 +473,40 @@ impl<'a> RempSession<'a> {
             .unwrap_or(usize::MAX);
         let mu = self.config.mu.min(remaining);
         if mu == 0 {
+            let stat = record(selection_started.elapsed().as_secs_f64());
+            self.loop_stats.push(stat);
             self.drained = true;
             return Ok(None);
         }
-        let priors: Vec<f64> = candidates.ids().map(|p| candidates.prior(p)).collect();
-        let selected = select_batch(
+        if outcome.stats.full_rebuild {
+            self.selector.invalidate_all();
+        }
+        for &c in &outcome.selection_dirty {
+            self.selector.invalidate(c);
+        }
+        self.selector.refresh(
             self.config.strategy,
-            &question_cands,
-            &inferred,
-            &priors,
-            &eligible,
-            mu,
-            par,
+            &self.prep.components,
+            self.state.inferred(),
+            self.prep.candidates.priors(),
+            self.state.eligible(),
+            self.state.retired(),
+            &par,
         );
+        // The paper stops "when there is no unresolved entity pair that
+        // can be inferred by relational match propagation": as long as
+        // some unresolved pair is reachable from another, the loop
+        // continues; once nothing is reachable any more, remaining pairs
+        // go to the classifier instead of the crowd.
+        if !self.selector.any_reachable() {
+            let stat = record(selection_started.elapsed().as_secs_f64());
+            self.loop_stats.push(stat);
+            self.drained = true;
+            return Ok(None);
+        }
+        let selected = self.selector.select(mu);
+        let stat = record(selection_started.elapsed().as_secs_f64());
+        self.loop_stats.push(stat);
         if selected.is_empty() {
             // No unresolved pair can be inferred any more.
             self.drained = true;
@@ -357,6 +514,8 @@ impl<'a> RempSession<'a> {
         }
 
         let loop_index = self.loops;
+        let candidates = &self.prep.candidates;
+        let inferred = self.state.inferred();
         let questions = selected
             .into_iter()
             .map(|q| {
@@ -429,11 +588,17 @@ impl<'a> RempSession<'a> {
                 // land before any propagation.
                 self.resolution[q.index()] = Resolution::Match(MatchSource::Crowd);
                 self.prep.candidates.set_prior(q, 1.0);
+                self.state.note_prior_changed(q);
+                self.state.note_resolved(q);
+                self.batch_matches.push(q);
                 for i in 0..self.pending[idx].inferred.len() {
                     let p = self.pending[idx].inferred[i].0;
                     if self.resolution[p.index()] == Resolution::Unresolved {
                         self.resolution[p.index()] = Resolution::Match(MatchSource::Inferred);
                         self.prep.candidates.set_prior(p, 1.0);
+                        self.state.note_prior_changed(p);
+                        self.state.note_resolved(p);
+                        self.batch_matches.push(p);
                         propagated.push(self.prep.candidates.pair(p));
                     }
                 }
@@ -441,6 +606,8 @@ impl<'a> RempSession<'a> {
             Verdict::NonMatch => {
                 self.resolution[q.index()] = Resolution::NonMatch;
                 self.prep.candidates.set_prior(q, 0.0);
+                self.state.note_prior_changed(q);
+                self.state.note_resolved(q);
             }
             Verdict::Inconsistent => {
                 // Hard question: lower its benefit via the prior — unless
@@ -448,6 +615,7 @@ impl<'a> RempSession<'a> {
                 // synchronous loop would also have kept that resolution).
                 if self.resolution[q.index()] == Resolution::Unresolved {
                     self.prep.candidates.set_prior(q, posterior);
+                    self.state.note_prior_changed(q);
                 }
             }
         }
@@ -460,18 +628,17 @@ impl<'a> RempSession<'a> {
         Ok(SubmitOutcome { verdict, posterior, propagated, batch_complete })
     }
 
-    /// Folds a fully answered batch into the loop state: confirmed
-    /// matches join the seeds for re-estimating consistencies and edge
-    /// probabilities, and the loop counter advances.
+    /// Folds a fully answered batch into the loop state: the matches this
+    /// batch confirmed (tracked as they landed — no rescan of all n
+    /// pairs) are merged into the already-sorted seed set, and the loop
+    /// counter advances.
     fn finalize_batch(&mut self) {
-        let n = self.prep.candidates.len();
-        self.seeds.extend(
-            (0..n)
-                .map(PairId::from_index)
-                .filter(|p| matches!(self.resolution[p.index()], Resolution::Match(_))),
-        );
-        self.seeds.sort_unstable();
-        self.seeds.dedup();
+        let mut fresh = std::mem::take(&mut self.batch_matches);
+        // A same-batch crowd NonMatch overrides an earlier propagation
+        // mark (as in the synchronous loop); only pairs still resolved
+        // as matches may seed future propagation.
+        fresh.retain(|&p| matches!(self.resolution[p.index()], Resolution::Match(_)));
+        self.state.apply_seeds(&fresh);
         self.loops += 1;
         self.pending.clear();
     }
@@ -544,8 +711,8 @@ impl<'a> RempSession<'a> {
             kb1_fingerprint: KbFingerprint::of(self.kb1),
             kb2_fingerprint: KbFingerprint::of(self.kb2),
             resolutions: self.resolution.clone(),
-            priors: self.prep.candidates.ids().map(|p| self.prep.candidates.prior(p)).collect(),
-            seeds: self.seeds.iter().map(|p| p.0).collect(),
+            priors: self.prep.candidates.priors().to_vec(),
+            seeds: self.state.seeds().iter().map(|p| p.0).collect(),
             questions_asked: self.questions_asked,
             loops: self.loops,
             drained: self.drained,
@@ -613,29 +780,42 @@ impl<'a> RempSession<'a> {
         for (i, &prior) in checkpoint.priors.iter().enumerate() {
             prep.candidates.set_prior(PairId::from_index(i), prior);
         }
-        Ok(RempSession {
+        let mut session = RempSession::with_state(
             kb1,
             kb2,
-            config: checkpoint.config,
+            checkpoint.config,
             prep,
-            resolution: checkpoint.resolutions,
-            seeds: checkpoint.seeds.into_iter().map(PairId).collect(),
-            questions_asked: checkpoint.questions_asked,
-            loops: checkpoint.loops,
-            drained: checkpoint.drained,
-            pending: checkpoint
-                .pending
-                .into_iter()
-                .map(|p| PendingQuestion {
-                    id: p.id,
-                    pair: PairId(p.pair),
-                    prior: p.prior,
-                    inferred: p.inferred.into_iter().map(|(t, pr)| (PairId(t), pr)).collect(),
-                    answered: p.answered,
-                })
-                .collect(),
-            next_question_id: checkpoint.next_question_id,
-        })
+            checkpoint.resolutions,
+            Some(checkpoint.seeds.into_iter().map(PairId).collect()),
+        );
+        session.questions_asked = checkpoint.questions_asked;
+        session.loops = checkpoint.loops;
+        session.drained = checkpoint.drained;
+        session.pending = checkpoint
+            .pending
+            .into_iter()
+            .map(|p| PendingQuestion {
+                id: p.id,
+                pair: PairId(p.pair),
+                prior: p.prior,
+                inferred: p.inferred.into_iter().map(|(t, pr)| (PairId(t), pr)).collect(),
+                answered: p.answered,
+            })
+            .collect();
+        session.next_question_id = checkpoint.next_question_id;
+        // Matches confirmed by already-answered questions of the open
+        // batch are not folded into the seeds until the batch finalizes;
+        // reconstruct them so finalization after resume merges exactly
+        // what an uninterrupted session would have (pairs already seeded
+        // are filtered out by the merge).
+        session.batch_matches = session
+            .resolution
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| matches!(r, Resolution::Match(_)))
+            .map(|(i, _)| PairId::from_index(i))
+            .collect();
+        Ok(session)
     }
 }
 
@@ -1006,6 +1186,48 @@ mod tests {
         let err = session.next_batch().unwrap_err();
         assert_eq!(err, RempError::BatchOutstanding { unanswered: batch.questions.len() - 1 });
         assert_eq!(session.open_questions().len(), batch.questions.len() - 1);
+    }
+
+    #[test]
+    fn same_batch_non_match_override_never_seeds() {
+        // Regression: a pair propagated to Match(Inferred) early in a
+        // batch whose own later answer comes back NonMatch is overridden
+        // (the crowd wins) — and must NOT be folded into the propagation
+        // seeds at finalization, exactly as the old rescan-by-resolution
+        // finalize behaved.
+        use std::collections::HashSet;
+        let d = generate(&iimb(0.25));
+        // MaxPr packs same-component questions into one batch (Benefit
+        // deliberately scatters), making the override scenario routine.
+        let config =
+            RempConfig::default().with_strategy(remp_selection::BatchStrategy::MaxPr).with_mu(20);
+        let remp = Remp::new(config);
+        let mut session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut overridden = 0usize;
+        while let Some(batch) = session.next_batch().unwrap() {
+            let mut propagated: HashSet<(remp_kb::EntityId, remp_kb::EntityId)> = HashSet::new();
+            for (i, q) in batch.questions.iter().enumerate() {
+                // First question of each batch: match; the rest: non-match.
+                let says_match = i == 0;
+                if !says_match && propagated.contains(&q.pair) {
+                    overridden += 1;
+                }
+                let outcome = session.submit(q.id, oracle_labels(says_match)).unwrap();
+                propagated.extend(outcome.propagated.iter().copied());
+            }
+        }
+        assert!(overridden > 0, "scenario must trigger at least one same-batch override");
+
+        let checkpoint = session.checkpoint();
+        let initial: HashSet<u32> =
+            prepare(&d.kb1, &d.kb2, session.config()).initial.iter().map(|p| p.0).collect();
+        for &s in &checkpoint.seeds {
+            let still_match = matches!(checkpoint.resolutions[s as usize], Resolution::Match(_));
+            assert!(
+                still_match || initial.contains(&s),
+                "pair p{s} is a seed but is neither an initial match nor resolved as a match"
+            );
+        }
     }
 
     #[test]

@@ -74,6 +74,13 @@ impl Candidates {
         self.priors[id.index()]
     }
 
+    /// All priors, indexed by pair id — the live slice, so per-loop
+    /// consumers (question selection, the incremental engine) never need
+    /// to materialise their own copy.
+    pub fn priors(&self) -> &[f64] {
+        &self.priors
+    }
+
     /// Overwrites the prior of `id` (used by truth inference to downdate
     /// hard questions, §VII-A).
     pub fn set_prior(&mut self, id: PairId, prior: f64) {

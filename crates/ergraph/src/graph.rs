@@ -140,6 +140,13 @@ impl ErGraph {
         self.labels[id.index()]
     }
 
+    /// Looks up the id of an interned label. Both orientations of a
+    /// relationship pair are always interned together, so flipping a
+    /// label's [`Direction`] never leaves the interned set.
+    pub fn label_id(&self, label: EdgeLabel) -> Option<RelPairId> {
+        self.label_index.get(&label).copied()
+    }
+
     /// All interned labels with their ids.
     pub fn labels(&self) -> impl Iterator<Item = (RelPairId, EdgeLabel)> + '_ {
         self.labels.iter().enumerate().map(|(i, &l)| (RelPairId(i as u32), l))

@@ -22,6 +22,7 @@
 
 mod attr_match;
 mod candidates;
+mod component;
 mod graph;
 mod hungarian;
 mod monotone;
@@ -31,6 +32,7 @@ mod simvecs;
 
 pub use attr_match::{match_attributes, AttrAlignment, AttrMatchConfig};
 pub use candidates::{generate_candidates, initial_matches, Candidates};
+pub use component::ComponentIndex;
 pub use graph::{Direction, EdgeLabel, ErGraph, RelPairId};
 pub use hungarian::hungarian_max_assignment;
 pub use monotone::monotone_error_rate;

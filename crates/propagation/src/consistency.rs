@@ -29,9 +29,74 @@
 
 use std::collections::{HashMap, HashSet};
 
-use remp_ergraph::{Candidates, Direction, ErGraph, PairId, RelPairId};
+use remp_ergraph::{Candidates, Direction, EdgeLabel, ErGraph, PairId, RelPairId};
 use remp_kb::{EntityId, Kb};
 use remp_par::Parallelism;
+
+/// Seed matches indexed by the KB1 entity, for O(deg) overlap counts.
+///
+/// Shared between the from-scratch estimator and the incremental
+/// [`LoopState`](crate::LoopState), which maintains one across loops
+/// instead of rebuilding it from the full seed set.
+pub(crate) type SeedIndex = HashMap<EntityId, HashSet<EntityId>>;
+
+/// Builds the [`SeedIndex`] of a seed set.
+pub(crate) fn index_seeds(candidates: &Candidates, seeds: &[PairId]) -> SeedIndex {
+    let mut seed_right: SeedIndex = HashMap::new();
+    for &s in seeds {
+        let (u1, u2) = candidates.pair(s);
+        seed_right.entry(u1).or_default().insert(u2);
+    }
+    seed_right
+}
+
+/// The value sets of one seed pair under one edge label: outgoing
+/// `r`-values for [`Direction::Forward`], incoming subjects (the `r⁻`
+/// view) for [`Direction::Reverse`].
+fn label_values(
+    kb1: &Kb,
+    kb2: &Kb,
+    (u1, u2): (EntityId, EntityId),
+    label: EdgeLabel,
+) -> (Vec<EntityId>, Vec<EntityId>) {
+    match label.dir {
+        Direction::Forward => (
+            kb1.rel_values(u1, label.r1).iter().map(|&(_, o)| o).collect(),
+            kb2.rel_values(u2, label.r2).iter().map(|&(_, o)| o).collect(),
+        ),
+        Direction::Reverse => (
+            kb1.rel_subjects(u1, label.r1).iter().map(|&(_, o)| o).collect(),
+            kb2.rel_subjects(u2, label.r2).iter().map(|&(_, o)| o).collect(),
+        ),
+    }
+}
+
+/// The [`SizeObservation`] one seed contributes to one label's estimate,
+/// or `None` when both value sets are empty (no information).
+///
+/// This is the single code path behind both [`ConsistencyTable::estimate`]
+/// and the incremental per-seed cache, so the two produce bit-identical
+/// observations by construction.
+pub(crate) fn seed_observation(
+    kb1: &Kb,
+    kb2: &Kb,
+    candidates: &Candidates,
+    seed_right: &SeedIndex,
+    seed: PairId,
+    label: EdgeLabel,
+) -> Option<SizeObservation> {
+    let (values1, values2) = label_values(kb1, kb2, candidates.pair(seed), label);
+    if values1.is_empty() && values2.is_empty() {
+        return None;
+    }
+    let count_between = |contains: &dyn Fn(EntityId, EntityId) -> bool| -> usize {
+        values1.iter().map(|&o1| values2.iter().filter(|&&o2| contains(o1, o2)).count()).sum()
+    };
+    let lower =
+        count_between(&|o1, o2| seed_right.get(&o1).is_some_and(|rights| rights.contains(&o2)));
+    let upper = count_between(&|o1, o2| candidates.id_of((o1, o2)).is_some());
+    Some(SizeObservation::new(values1.len(), values2.len(), lower, upper))
+}
 
 /// Consistency parameters of one relationship pair (Eq. 3).
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -199,45 +264,13 @@ impl ConsistencyTable {
         seeds: &[PairId],
         par: &Parallelism,
     ) -> ConsistencyTable {
-        // Seed matches indexed by the KB1 entity for O(deg) overlap counts.
-        let mut seed_right: HashMap<EntityId, HashSet<EntityId>> = HashMap::new();
-        for &s in seeds {
-            let (u1, u2) = candidates.pair(s);
-            seed_right.entry(u1).or_default().insert(u2);
-        }
-        let count_between = |values1: &[EntityId],
-                             values2: &[EntityId],
-                             contains: &dyn Fn(EntityId, EntityId) -> bool|
-         -> usize {
-            values1.iter().map(|&o1| values2.iter().filter(|&&o2| contains(o1, o2)).count()).sum()
-        };
-
-        let labels: Vec<(RelPairId, remp_ergraph::EdgeLabel)> = graph.labels().collect();
+        let seed_right = index_seeds(candidates, seeds);
+        let labels: Vec<(RelPairId, EdgeLabel)> = graph.labels().collect();
         let entries: Vec<(RelPairId, Consistency)> = par.par_map(&labels, |&(label_id, label)| {
-            let mut obs = Vec::with_capacity(seeds.len());
-            for &s in seeds {
-                let (u1, u2) = candidates.pair(s);
-                let (values1, values2): (Vec<EntityId>, Vec<EntityId>) = match label.dir {
-                    Direction::Forward => (
-                        kb1.rel_values(u1, label.r1).iter().map(|&(_, o)| o).collect(),
-                        kb2.rel_values(u2, label.r2).iter().map(|&(_, o)| o).collect(),
-                    ),
-                    Direction::Reverse => (
-                        kb1.rel_subjects(u1, label.r1).iter().map(|&(_, o)| o).collect(),
-                        kb2.rel_subjects(u2, label.r2).iter().map(|&(_, o)| o).collect(),
-                    ),
-                };
-                if values1.is_empty() && values2.is_empty() {
-                    continue;
-                }
-                let lower = count_between(&values1, &values2, &|o1, o2| {
-                    seed_right.get(&o1).is_some_and(|rights| rights.contains(&o2))
-                });
-                let upper = count_between(&values1, &values2, &|o1, o2| {
-                    candidates.id_of((o1, o2)).is_some()
-                });
-                obs.push(SizeObservation::new(values1.len(), values2.len(), lower, upper));
-            }
+            let obs: Vec<SizeObservation> = seeds
+                .iter()
+                .filter_map(|&s| seed_observation(kb1, kb2, candidates, &seed_right, s, label))
+                .collect();
             (label_id, estimate_consistency(&obs))
         });
         ConsistencyTable { by_label: entries.into_iter().collect() }
@@ -251,6 +284,14 @@ impl ConsistencyTable {
     /// The consistency of a label, [`Consistency::UNINFORMED`] if unseen.
     pub fn get(&self, label: RelPairId) -> Consistency {
         self.by_label.get(&label).copied().unwrap_or(Consistency::UNINFORMED)
+    }
+
+    /// Installs (or replaces) one label's estimate, returning `true`
+    /// when the stored value actually changed — the incremental engine's
+    /// cutoff: a re-estimated label whose parameters come out bit-equal
+    /// dirties nothing downstream.
+    pub(crate) fn set(&mut self, label: RelPairId, value: Consistency) -> bool {
+        self.by_label.insert(label, value) != Some(value)
     }
 
     /// Number of labels with estimates.

@@ -54,6 +54,67 @@ impl InferredSets {
     pub fn total_size(&self) -> usize {
         self.per_source.iter().map(Vec::len).sum()
     }
+
+    /// All-empty sets over `n` sources — the starting point for
+    /// incremental construction via [`set_row`](Self::set_row). Rows of
+    /// retired components legitimately stay empty: nothing reads the
+    /// inferred set of a resolved pair.
+    pub(crate) fn empty(n: usize, tau: f64) -> InferredSets {
+        InferredSets { per_source: vec![Vec::new(); n], tau }
+    }
+
+    /// Replaces one source's inferred set.
+    pub(crate) fn set_row(&mut self, q: PairId, row: Vec<(PairId, f64)>) {
+        self.per_source[q.index()] = row;
+    }
+}
+
+/// One source's truncated Dijkstra (Algorithm 2's output for one row).
+///
+/// `dist`/`touched` are caller-provided scratch (distances all `∞` on
+/// entry, restored on exit) so a worker can sweep many sources without
+/// reallocating. Shared by [`inferred_sets_dijkstra`] and the incremental
+/// per-component recomputation in [`crate::LoopState`], so the two are
+/// bit-identical by construction.
+pub(crate) fn dijkstra_row(
+    graph: &ProbErGraph,
+    zeta: f64,
+    q: PairId,
+    dist: &mut [f64],
+    touched: &mut Vec<usize>,
+) -> Vec<(PairId, f64)> {
+    let mut out = Vec::new();
+    let mut heap = BinaryHeap::new();
+    dist[q.index()] = 0.0;
+    touched.push(q.index());
+    heap.push(MinDist(0.0, q));
+    while let Some(MinDist(d, v)) = heap.pop() {
+        if d > dist[v.index()] {
+            continue; // stale entry
+        }
+        out.push((v, (-d).exp()));
+        for &(w, p) in graph.edges_from(v) {
+            let Some(len) = length_within(p, zeta) else { continue };
+            let nd = d + len;
+            if nd <= zeta && nd < dist[w.index()] {
+                if dist[w.index()] == f64::INFINITY {
+                    touched.push(w.index());
+                }
+                dist[w.index()] = nd;
+                heap.push(MinDist(nd, w));
+            }
+        }
+    }
+    out.sort_by_key(|&(w, _)| w);
+    for t in touched.drain(..) {
+        dist[t] = f64::INFINITY;
+    }
+    out
+}
+
+/// The `ζ = −log τ` path-length budget for threshold `tau`.
+pub(crate) fn zeta_of(tau: f64) -> f64 {
+    -tau.clamp(f64::MIN_POSITIVE, 1.0).ln()
 }
 
 /// Edge length `−ln p`, or `None` when the edge alone already exceeds ζ
@@ -73,43 +134,14 @@ fn length_within(p: f64, zeta: f64) -> Option<f64> {
 /// inferred set is sorted by target, so the output is identical in every
 /// [`Parallelism`] mode.
 pub fn inferred_sets_dijkstra(graph: &ProbErGraph, tau: f64, par: &Parallelism) -> InferredSets {
-    let zeta = -tau.clamp(f64::MIN_POSITIVE, 1.0).ln();
+    let zeta = zeta_of(tau);
     let n = graph.num_vertices();
-    let sources: Vec<u32> = (0..n as u32).collect();
+    let sources: Vec<PairId> = (0..n as u32).map(PairId).collect();
     // dist buffer reused across a worker's sources: reset via `touched`.
     let per_source = par.par_map_with(
         &sources,
         || (vec![f64::INFINITY; n], Vec::<usize>::new()),
-        |(dist, touched), &q| {
-            let q = q as usize;
-            let mut out = Vec::new();
-            let mut heap = BinaryHeap::new();
-            dist[q] = 0.0;
-            touched.push(q);
-            heap.push(MinDist(0.0, PairId(q as u32)));
-            while let Some(MinDist(d, v)) = heap.pop() {
-                if d > dist[v.index()] {
-                    continue; // stale entry
-                }
-                out.push((v, (-d).exp()));
-                for &(w, p) in graph.edges_from(v) {
-                    let Some(len) = length_within(p, zeta) else { continue };
-                    let nd = d + len;
-                    if nd <= zeta && nd < dist[w.index()] {
-                        if dist[w.index()] == f64::INFINITY {
-                            touched.push(w.index());
-                        }
-                        dist[w.index()] = nd;
-                        heap.push(MinDist(nd, w));
-                    }
-                }
-            }
-            out.sort_by_key(|&(w, _)| w);
-            for t in touched.drain(..) {
-                dist[t] = f64::INFINITY;
-            }
-            out
-        },
+        |(dist, touched), &q| dijkstra_row(graph, zeta, q, dist, touched),
     );
     InferredSets { per_source, tau }
 }
@@ -285,16 +317,30 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
-        /// The two Algorithm 2 implementations agree on random graphs.
+        /// The two Algorithm 2 implementations agree on random graphs, and
+        /// the Dijkstra side agrees with itself *bit for bit* at every
+        /// thread count. This pins the oracle the incremental loop engine
+        /// is verified against: `LoopState` recomputes per-source rows via
+        /// the same truncated Dijkstra, so FW ≡ Dijkstra (within float
+        /// tolerance) plus Dijkstra ≡ Dijkstra across pools (exactly)
+        /// grounds the whole equivalence chain.
         #[test]
-        fn fw_equals_dijkstra(
+        fn fw_equals_dijkstra_across_thread_counts(
             edges in proptest::collection::vec((0u32..8, 0u32..8, 0.5f64..1.0), 0..40),
             tau in 0.6f64..0.95
         ) {
             let g = graph(8, &edges);
-            let a = inferred_sets_dijkstra(&g, tau, POOL);
+            let a = inferred_sets_dijkstra(&g, tau, SEQ);
             let b = inferred_sets_floyd_warshall(&g, tau);
+            for par in [POOL, &Parallelism::Fixed(7)] {
+                let pooled = inferred_sets_dijkstra(&g, tau, par);
+                for q in 0..8 {
+                    // Pool runs are bit-identical to the sequential run…
+                    prop_assert_eq!(pooled.inferred(PairId(q)), a.inferred(PairId(q)));
+                }
+            }
             for q in 0..8 {
+                // …and the sequential run matches the paper's Algorithm 2.
                 let xs = a.inferred(PairId(q));
                 let ys = b.inferred(PairId(q));
                 prop_assert_eq!(xs.len(), ys.len(), "q={}: {:?} vs {:?}", q, xs, ys);

@@ -39,60 +39,29 @@ impl ProbErGraph {
         config: &PropagationConfig,
         par: &Parallelism,
     ) -> ProbErGraph {
-        let vertices: Vec<(PairId, (EntityId, EntityId))> = candidates.iter().collect();
-        let edges: Vec<Vec<(PairId, f64)>> = par.par_map(&vertices, |&(v, (u1, u2))| {
-            let mut out: HashMap<PairId, f64> = HashMap::new();
-            for (label_id, targets) in graph.grouped_from(v) {
-                let label = graph.label(label_id);
-                let (values1, values2): (Vec<EntityId>, Vec<EntityId>) = match label.dir {
-                    Direction::Forward => (
-                        kb1.rel_values(u1, label.r1).iter().map(|&(_, o)| o).collect(),
-                        kb2.rel_values(u2, label.r2).iter().map(|&(_, o)| o).collect(),
-                    ),
-                    Direction::Reverse => (
-                        kb1.rel_subjects(u1, label.r1).iter().map(|&(_, o)| o).collect(),
-                        kb2.rel_subjects(u2, label.r2).iter().map(|&(_, o)| o).collect(),
-                    ),
-                };
-                let index_of = |values: &[EntityId], e: EntityId| -> Option<usize> {
-                    values.iter().position(|&x| x == e)
-                };
-                let mut group = Vec::with_capacity(targets.len());
-                for &w in &targets {
-                    let (o1, o2) = candidates.pair(w);
-                    let (Some(l), Some(r)) = (index_of(&values1, o1), index_of(&values2, o2))
-                    else {
-                        continue;
-                    };
-                    group.push(MatchingCandidate {
-                        left: l,
-                        right: r,
-                        pair: w,
-                        prior: candidates.prior(w),
-                    });
-                }
-                if group.is_empty() {
-                    continue;
-                }
-                let posts = propagate_to_neighbors(
-                    values1.len(),
-                    values2.len(),
-                    &group,
-                    consistencies.get(label_id),
-                    config,
-                );
-                for (w, p) in posts {
-                    if p > 0.0 {
-                        let slot = out.entry(w).or_insert(0.0);
-                        *slot = slot.max(p);
-                    }
-                }
-            }
-            let mut list: Vec<(PairId, f64)> = out.into_iter().collect();
-            list.sort_by_key(|&(w, _)| w);
-            list
+        let vertices: Vec<PairId> = candidates.ids().collect();
+        let edges: Vec<Vec<(PairId, f64)>> = par.par_map(&vertices, |&v| {
+            vertex_edges(kb1, kb2, candidates, graph, consistencies, config, v)
         });
         ProbErGraph { edges }
+    }
+
+    /// An all-empty graph over `num_vertices` vertices — the starting
+    /// point for incremental construction via
+    /// [`replace_edges`](Self::replace_edges).
+    pub(crate) fn empty(num_vertices: usize) -> ProbErGraph {
+        ProbErGraph { edges: vec![Vec::new(); num_vertices] }
+    }
+
+    /// Replaces the outgoing edges of `v`, returning `true` when the new
+    /// list differs from the stored one — the incremental engine's
+    /// cutoff for re-running shortest paths in `v`'s component.
+    pub(crate) fn replace_edges(&mut self, v: PairId, edges: Vec<(PairId, f64)>) -> bool {
+        if self.edges[v.index()] == edges {
+            return false;
+        }
+        self.edges[v.index()] = edges;
+        true
     }
 
     /// Builds a graph directly from explicit edges (tests, ablations).
@@ -139,6 +108,77 @@ impl ProbErGraph {
             Err(_) => 0.0,
         }
     }
+}
+
+/// The outgoing probabilistic edges of one vertex: neighbour propagation
+/// (Eqs. 6–9) over each of `v`'s relationship-pair groups, keeping the
+/// maximum probability per target, sorted by target.
+///
+/// The single code path behind both [`ProbErGraph::build`] and the
+/// incremental per-vertex recomputation in [`crate::LoopState`], so the
+/// two are bit-identical by construction. A vertex's edges depend only on
+/// static graph structure, the consistencies of its incident labels, and
+/// the priors of its ER-graph neighbours — the facts the incremental
+/// engine's dirty tracking is built on.
+pub(crate) fn vertex_edges(
+    kb1: &Kb,
+    kb2: &Kb,
+    candidates: &Candidates,
+    graph: &ErGraph,
+    consistencies: &ConsistencyTable,
+    config: &PropagationConfig,
+    v: PairId,
+) -> Vec<(PairId, f64)> {
+    let (u1, u2) = candidates.pair(v);
+    let mut out: HashMap<PairId, f64> = HashMap::new();
+    for (label_id, targets) in graph.grouped_from(v) {
+        let label = graph.label(label_id);
+        let (values1, values2): (Vec<EntityId>, Vec<EntityId>) = match label.dir {
+            Direction::Forward => (
+                kb1.rel_values(u1, label.r1).iter().map(|&(_, o)| o).collect(),
+                kb2.rel_values(u2, label.r2).iter().map(|&(_, o)| o).collect(),
+            ),
+            Direction::Reverse => (
+                kb1.rel_subjects(u1, label.r1).iter().map(|&(_, o)| o).collect(),
+                kb2.rel_subjects(u2, label.r2).iter().map(|&(_, o)| o).collect(),
+            ),
+        };
+        let index_of = |values: &[EntityId], e: EntityId| -> Option<usize> {
+            values.iter().position(|&x| x == e)
+        };
+        let mut group = Vec::with_capacity(targets.len());
+        for &w in &targets {
+            let (o1, o2) = candidates.pair(w);
+            let (Some(l), Some(r)) = (index_of(&values1, o1), index_of(&values2, o2)) else {
+                continue;
+            };
+            group.push(MatchingCandidate {
+                left: l,
+                right: r,
+                pair: w,
+                prior: candidates.prior(w),
+            });
+        }
+        if group.is_empty() {
+            continue;
+        }
+        let posts = propagate_to_neighbors(
+            values1.len(),
+            values2.len(),
+            &group,
+            consistencies.get(label_id),
+            config,
+        );
+        for (w, p) in posts {
+            if p > 0.0 {
+                let slot = out.entry(w).or_insert(0.0);
+                *slot = slot.max(p);
+            }
+        }
+    }
+    let mut list: Vec<(PairId, f64)> = out.into_iter().collect();
+    list.sort_by_key(|&(w, _)| w);
+    list
 }
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use remp_ergraph::PairId;
+use remp_ergraph::{ComponentIndex, PairId};
 use remp_par::Parallelism;
 use remp_propagation::InferredSets;
 
@@ -280,6 +280,273 @@ pub fn max_pr_questions(candidates: &[PairId], priors: &[f64], mu: usize) -> Vec
     scored.into_iter().take(mu).map(|(_, q)| q).collect()
 }
 
+// ---- component-sharded selection --------------------------------------
+//
+// Inferred sets never leave a connected component of the ER graph, so
+// the benefit function decomposes: the marginal gain of a question only
+// depends on the questions already selected *in its own component*. Each
+// component can therefore be scored independently — its greedy sequence
+// (with pick-time scores) is exactly the restriction of the global greedy
+// to that component — and the global batch is a k-way merge of the
+// sequences by (score, id). The incremental pipeline leans on this to
+// rescore only the components an answered batch actually touched, instead
+// of materialising global `eligible` / `priors` / `question_cands`
+// vectors every loop.
+
+/// One entry of a component's selection sequence: a question with its
+/// pick-time score (the marginal gain for [`BatchStrategy::Benefit`], the
+/// static score for the two heuristics). Scores are non-increasing along
+/// a sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredQuestion {
+    /// The candidate question.
+    pub question: PairId,
+    /// Its score at pick time.
+    pub score: f64,
+}
+
+/// Scores one component's eligible members under `strategy`, producing at
+/// most `cap` entries — the component's share of the global selection.
+///
+/// `scratch` must hold one `1.0` per retained pair (global indexing); it
+/// is restored before returning, so one buffer serves many components.
+/// Merging the per-component sequences with [`merge_sequences`] yields
+/// output bit-identical to [`select_batch`] over the union of members.
+pub fn component_sequence(
+    strategy: BatchStrategy,
+    members: &[PairId],
+    inferred: &InferredSets,
+    priors: &[f64],
+    eligible: &[bool],
+    cap: usize,
+    scratch: &mut [f64],
+) -> Vec<ScoredQuestion> {
+    let cands: Vec<PairId> = members.iter().copied().filter(|&q| eligible[q.index()]).collect();
+    match strategy {
+        BatchStrategy::Benefit => {
+            let gain_of = |q: PairId, not_covered: &[f64]| -> f64 {
+                let pq = priors[q.index()];
+                pq * inferred
+                    .inferred(q)
+                    .iter()
+                    .filter(|&&(p, _)| eligible[p.index()])
+                    .map(|&(p, _)| not_covered[p.index()])
+                    .sum::<f64>()
+            };
+            let mut heap: BinaryHeap<Entry> = cands
+                .iter()
+                .map(|&q| Entry { gain: gain_of(q, scratch), question: q, round: 0 })
+                .collect();
+            let mut touched: Vec<usize> = Vec::new();
+            let mut sequence = Vec::with_capacity(cap.min(cands.len()));
+            let mut round = 0usize;
+            while sequence.len() < cap {
+                let Some(top) = heap.pop() else { break };
+                if top.gain <= 1e-12 {
+                    break; // mirrors `select_questions` (Alg. 3 line 9)
+                }
+                if top.round < round {
+                    let fresh = gain_of(top.question, scratch);
+                    heap.push(Entry { gain: fresh, question: top.question, round });
+                    continue;
+                }
+                let pq = priors[top.question.index()];
+                for &(p, _) in inferred.inferred(top.question) {
+                    if eligible[p.index()] {
+                        scratch[p.index()] *= 1.0 - pq;
+                        touched.push(p.index());
+                    }
+                }
+                sequence.push(ScoredQuestion { question: top.question, score: top.gain });
+                round += 1;
+            }
+            for t in touched {
+                scratch[t] = 1.0;
+            }
+            sequence
+        }
+        BatchStrategy::MaxInf => {
+            let mut scored: Vec<(usize, PairId)> = cands
+                .iter()
+                .map(|&q| {
+                    let size =
+                        inferred.inferred(q).iter().filter(|&&(p, _)| eligible[p.index()]).count();
+                    (size, q)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+            scored
+                .into_iter()
+                .take(cap)
+                .map(|(size, q)| ScoredQuestion { question: q, score: size as f64 })
+                .collect()
+        }
+        BatchStrategy::MaxPr => {
+            let mut scored: Vec<(f64, PairId)> =
+                cands.iter().map(|&q| (priors[q.index()], q)).collect();
+            scored.sort_by(|a, b| {
+                b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then_with(|| a.1.cmp(&b.1))
+            });
+            scored
+                .into_iter()
+                .take(cap)
+                .map(|(score, q)| ScoredQuestion { question: q, score })
+                .collect()
+        }
+    }
+}
+
+/// Head of one sequence during the k-way merge, ordered like the greedy
+/// heap: larger score first, ties toward the smaller question id.
+struct MergeHead {
+    score: f64,
+    question: PairId,
+    sequence: usize,
+    next: usize,
+}
+
+impl PartialEq for MergeHead {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.question == other.question
+    }
+}
+impl Eq for MergeHead {}
+impl PartialOrd for MergeHead {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MergeHead {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.question.cmp(&self.question))
+    }
+}
+
+/// Merges per-component selection sequences into the global batch of at
+/// most `mu` questions — the same order [`select_batch`] produces over
+/// the union of the components' members.
+pub fn merge_sequences<'a>(
+    sequences: impl IntoIterator<Item = &'a [ScoredQuestion]>,
+    mu: usize,
+) -> Vec<PairId> {
+    let mut heap: BinaryHeap<MergeHead> = BinaryHeap::new();
+    let sequences: Vec<&[ScoredQuestion]> = sequences.into_iter().collect();
+    for (i, seq) in sequences.iter().enumerate() {
+        if let Some(head) = seq.first() {
+            heap.push(MergeHead {
+                score: head.score,
+                question: head.question,
+                sequence: i,
+                next: 1,
+            });
+        }
+    }
+    let mut selected = Vec::with_capacity(mu.min(sequences.iter().map(|s| s.len()).sum()));
+    while selected.len() < mu {
+        let Some(top) = heap.pop() else { break };
+        selected.push(top.question);
+        if let Some(entry) = sequences[top.sequence].get(top.next) {
+            heap.push(MergeHead {
+                score: entry.score,
+                question: entry.question,
+                sequence: top.sequence,
+                next: top.next + 1,
+            });
+        }
+    }
+    selected
+}
+
+/// Per-component selection cache: sequences and reachability flags are
+/// recomputed only for components explicitly invalidated (because an
+/// answered batch touched them), everything else is reused loop to loop.
+#[derive(Clone, Debug)]
+pub struct ComponentSelector {
+    cap: usize,
+    sequences: Vec<Vec<ScoredQuestion>>,
+    reachable: Vec<bool>,
+    valid: Vec<bool>,
+}
+
+impl ComponentSelector {
+    /// A selector over `num_components` components caching sequences of
+    /// up to `cap` questions (the configured µ — a batch can never take
+    /// more than µ questions from one component).
+    pub fn new(num_components: usize, cap: usize) -> ComponentSelector {
+        ComponentSelector {
+            cap,
+            sequences: vec![Vec::new(); num_components],
+            reachable: vec![false; num_components],
+            valid: vec![false; num_components],
+        }
+    }
+
+    /// Marks one component's cache stale.
+    pub fn invalidate(&mut self, component: usize) {
+        self.valid[component] = false;
+    }
+
+    /// Marks every component stale (full rebuilds, strategy changes).
+    pub fn invalidate_all(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+    }
+
+    /// Rescores every stale component (in parallel under `par`; retired
+    /// components get empty sequences without being scanned).
+    #[allow(clippy::too_many_arguments)]
+    pub fn refresh(
+        &mut self,
+        strategy: BatchStrategy,
+        components: &ComponentIndex,
+        inferred: &InferredSets,
+        priors: &[f64],
+        eligible: &[bool],
+        retired: &[bool],
+        par: &Parallelism,
+    ) {
+        let stale: Vec<usize> = (0..self.valid.len()).filter(|&c| !self.valid[c]).collect();
+        let results: Vec<(Vec<ScoredQuestion>, bool)> = par.par_map_with(
+            &stale,
+            || vec![1.0f64; eligible.len()],
+            |scratch, &c| {
+                if retired[c] {
+                    return (Vec::new(), false);
+                }
+                let members = components.members(c);
+                let reachable = members.iter().any(|&q| {
+                    eligible[q.index()]
+                        && inferred.inferred(q).iter().any(|&(p, _)| p != q && eligible[p.index()])
+                });
+                let sequence = component_sequence(
+                    strategy, members, inferred, priors, eligible, self.cap, scratch,
+                );
+                (sequence, reachable)
+            },
+        );
+        for (&c, (sequence, reachable)) in stale.iter().zip(results) {
+            self.sequences[c] = sequence;
+            self.reachable[c] = reachable;
+            self.valid[c] = true;
+        }
+    }
+
+    /// The paper's stopping rule, component-sharded: `true` while some
+    /// unresolved pair is propagation-reachable from another.
+    pub fn any_reachable(&self) -> bool {
+        debug_assert!(self.valid.iter().all(|&v| v), "refresh before querying");
+        self.reachable.iter().any(|&r| r)
+    }
+
+    /// The next batch: the k-way merge of all cached sequences.
+    pub fn select(&self, mu: usize) -> Vec<PairId> {
+        debug_assert!(self.valid.iter().all(|&v| v), "refresh before selecting");
+        merge_sequences(self.sequences.iter().map(Vec::as_slice), mu)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +663,113 @@ mod tests {
         );
     }
 
+    /// Union-find components of an undirected edge list — the coarsest
+    /// partition inferred sets can interact across.
+    fn components_of(n: usize, edges: &[(u32, u32, f64)]) -> ComponentIndex {
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn root(parent: &mut [usize], mut v: usize) -> usize {
+            while parent[v] != v {
+                parent[v] = parent[parent[v]];
+                v = parent[v];
+            }
+            v
+        }
+        for &(a, b, _) in edges {
+            let (ra, rb) = (root(&mut parent, a as usize), root(&mut parent, b as usize));
+            parent[ra.max(rb)] = ra.min(rb);
+        }
+        let assignments: Vec<usize> = (0..n).map(|v| root(&mut parent, v)).collect();
+        ComponentIndex::from_assignments(&assignments)
+    }
+
+    #[test]
+    fn component_selection_matches_global_on_fixture() {
+        // Two disjoint clusters plus a loner; every strategy must merge
+        // back to exactly the global selection.
+        let edges = [(0, 1, 0.95), (1, 2, 0.92), (3, 4, 0.97)];
+        let inf = sets(6, &edges, 0.9);
+        let index = components_of(6, &edges);
+        let priors = [0.8, 0.3, 0.55, 0.9, 0.2, 0.7];
+        let eligible = [true, true, false, true, true, true];
+        let cands: Vec<PairId> = (0..6).map(PairId).filter(|&p| eligible[p.index()]).collect();
+        for strategy in [BatchStrategy::Benefit, BatchStrategy::MaxInf, BatchStrategy::MaxPr] {
+            for mu in 1..=4 {
+                let global = select_batch(strategy, &cands, &inf, &priors, &eligible, mu, SEQ);
+                let mut selector = ComponentSelector::new(index.len(), 4);
+                selector.refresh(
+                    strategy,
+                    &index,
+                    &inf,
+                    &priors,
+                    &eligible,
+                    &vec![false; index.len()],
+                    POOL,
+                );
+                assert_eq!(selector.select(mu), global, "{strategy:?} µ={mu}");
+            }
+        }
+    }
+
+    #[test]
+    fn selector_caches_survive_unrelated_invalidation() {
+        let edges = [(0, 1, 0.95), (2, 3, 0.95)];
+        let inf = sets(4, &edges, 0.9);
+        let index = components_of(4, &edges);
+        let priors = [0.8; 4];
+        let mut eligible = vec![true; 4];
+        let retired = vec![false; index.len()];
+        let mut selector = ComponentSelector::new(index.len(), 2);
+        selector.refresh(BatchStrategy::Benefit, &index, &inf, &priors, &eligible, &retired, SEQ);
+        assert!(selector.any_reachable());
+        let before = selector.select(4);
+
+        // Resolving pair 2 only invalidates its own component; the other
+        // component's cached sequence must still be used and the merged
+        // batch must equal a fully recomputed selection.
+        eligible[2] = false;
+        selector.invalidate(index.component_of(PairId(2)));
+        selector.refresh(BatchStrategy::Benefit, &index, &inf, &priors, &eligible, &retired, SEQ);
+        let after = selector.select(4);
+        let cands: Vec<PairId> = (0..4).map(PairId).filter(|&p| eligible[p.index()]).collect();
+        assert_eq!(
+            after,
+            select_batch(BatchStrategy::Benefit, &cands, &inf, &priors, &eligible, 4, SEQ)
+        );
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn retired_components_are_skipped() {
+        let edges = [(0, 1, 0.95), (2, 3, 0.95)];
+        let inf = sets(4, &edges, 0.9);
+        let index = components_of(4, &edges);
+        let eligible = [true, true, false, false];
+        let mut retired = vec![false; index.len()];
+        retired[index.component_of(PairId(2))] = true;
+        let mut selector = ComponentSelector::new(index.len(), 2);
+        selector.refresh(BatchStrategy::Benefit, &index, &inf, &[0.8; 4], &eligible, &retired, SEQ);
+        let selected = selector.select(4);
+        assert!(
+            selected.iter().all(|&q| q.index() < 2),
+            "retired pairs never selected: {selected:?}"
+        );
+        assert!(selector.any_reachable());
+    }
+
+    #[test]
+    fn merge_sequences_respects_order_and_ties() {
+        let seq = |entries: &[(u32, f64)]| -> Vec<ScoredQuestion> {
+            entries.iter().map(|&(q, s)| ScoredQuestion { question: PairId(q), score: s }).collect()
+        };
+        let a = seq(&[(4, 3.0), (0, 1.0)]);
+        let b = seq(&[(2, 3.0), (5, 2.0)]);
+        // Equal top scores: the smaller question id goes first.
+        let merged = merge_sequences([a.as_slice(), b.as_slice()], 10);
+        assert_eq!(merged, vec![PairId(2), PairId(4), PairId(5), PairId(0)]);
+        assert_eq!(merge_sequences([a.as_slice(), b.as_slice()], 2).len(), 2);
+        assert!(merge_sequences(std::iter::empty(), 3).is_empty());
+    }
+
     fn arb_instance() -> impl Strategy<Value = (InferredSets, Vec<f64>, Vec<PairId>)> {
         let edges = proptest::collection::vec((0u32..6, 0u32..6, 0.85f64..1.0), 0..18);
         let priors = proptest::collection::vec(0.0f64..1.0, 6);
@@ -444,6 +818,29 @@ mod tests {
             let lazy = select_questions(&cands, &inf, &priors, &eligible, mu, POOL);
             let naive = select_questions_naive(&cands, &inf, &priors, &eligible, mu);
             prop_assert_eq!(lazy, naive);
+        }
+
+        /// Component-sharded selection merges back to exactly the global
+        /// selection — order included — for every strategy, any µ, any
+        /// eligibility pattern. This is the decomposition the incremental
+        /// pipeline rests on.
+        #[test]
+        fn component_merge_equals_global(
+            edges in proptest::collection::vec((0u32..8, 0u32..8, 0.82f64..1.0), 0..24),
+            priors in proptest::collection::vec(0.0f64..1.0, 8),
+            eligible in proptest::collection::vec(proptest::bool::ANY, 8),
+            mu in 1usize..6,
+            strategy_pick in 0usize..3,
+        ) {
+            let strategy =
+                [BatchStrategy::Benefit, BatchStrategy::MaxInf, BatchStrategy::MaxPr][strategy_pick];
+            let inf = sets(8, &edges, 0.8);
+            let index = components_of(8, &edges);
+            let cands: Vec<PairId> = (0..8).map(PairId).filter(|&p| eligible[p.index()]).collect();
+            let global = select_batch(strategy, &cands, &inf, &priors, &eligible, mu, SEQ);
+            let mut selector = ComponentSelector::new(index.len(), mu);
+            selector.refresh(strategy, &index, &inf, &priors, &eligible, &vec![false; index.len()], POOL);
+            prop_assert_eq!(selector.select(mu), global);
         }
 
         /// Greedy achieves ≥ (1 − 1/e) of the brute-force optimum.

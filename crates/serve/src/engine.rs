@@ -466,6 +466,38 @@ impl<'a> CampaignEngine<'a> {
     pub fn session_checkpoint(&self) -> remp_core::SessionCheckpoint {
         self.session.checkpoint()
     }
+
+    /// Per-loop stage-2/3 timings and dirty-region counters of the
+    /// underlying session — how `rempd` reports where a campaign's
+    /// compute time goes.
+    pub fn loop_stats(&self) -> &[remp_core::LoopStat] {
+        self.session.loop_stats()
+    }
+}
+
+/// Compact JSON summary of a campaign's loop stats for the status
+/// endpoint: totals plus the last loop's dirty-region counters.
+pub fn loop_stats_json(stats: &[remp_core::LoopStat]) -> remp_json::Json {
+    use remp_json::Json;
+    let total: f64 = stats.iter().map(|s| s.total_s()).sum();
+    let mut fields = vec![
+        ("propagation_passes".into(), Json::from(stats.len())),
+        ("stage_total_s".into(), Json::from(total)),
+        (
+            "consistency_s".into(),
+            Json::from(stats.iter().map(|s| s.refresh.consistency_s).sum::<f64>()),
+        ),
+        (
+            "propagation_s".into(),
+            Json::from(stats.iter().map(|s| s.refresh.propagation_s).sum::<f64>()),
+        ),
+        ("inferred_s".into(), Json::from(stats.iter().map(|s| s.refresh.inferred_s).sum::<f64>())),
+        ("selection_s".into(), Json::from(stats.iter().map(|s| s.selection_s).sum::<f64>())),
+    ];
+    if let Some(last) = stats.last() {
+        fields.push(("last".into(), last.to_json()));
+    }
+    Json::Obj(fields)
 }
 
 #[cfg(test)]

@@ -519,6 +519,7 @@ fn handle_request(
                 ("open".into(), Json::from(p.open.len())),
                 ("workers".into(), Json::from(p.workers)),
                 ("per_question".into(), Json::from(engine.policy().per_question)),
+                ("loop_stats".into(), crate::engine::loop_stats_json(engine.loop_stats())),
             ]))
         }
         CampaignRequest::Questions { now_ms } => {
@@ -732,6 +733,13 @@ mod tests {
         let next =
             registry.call(&id, CampaignRequest::Next { worker: "w0".into(), now_ms: 0 }).unwrap();
         assert!(next.get("assignment").unwrap().get("id").is_some());
+
+        // Leasing the first question forced the first propagation pass;
+        // the status now reports where that time went.
+        let status = registry.call(&id, CampaignRequest::Status { now_ms: 0 }).unwrap();
+        let stats = status.get("loop_stats").expect("loop stats in status");
+        assert_eq!(stats.get("propagation_passes").and_then(Json::as_usize), Some(1));
+        assert!(stats.get("last").and_then(|l| l.get("full_rebuild")).is_some());
 
         assert_eq!(
             registry.call("nope", CampaignRequest::Status { now_ms: 0 }).unwrap_err().status,

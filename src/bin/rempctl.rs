@@ -320,7 +320,42 @@ fn cmd_run(opts: &Opts) -> Result<(), CliError> {
         100.0 * result.eval.recall,
         100.0 * result.eval.f1
     );
+    print_loop_stats(&result.loop_stats);
     Ok(())
+}
+
+/// Where the campaign's compute time went: stage-2/3 totals plus how much
+/// of the graph the incremental engine actually touched per loop.
+fn print_loop_stats(stats: &[remp_core::LoopStat]) {
+    let Some(first) = stats.first() else { return };
+    let total: f64 = stats.iter().map(|s| s.total_s()).sum();
+    let consistency: f64 = stats.iter().map(|s| s.refresh.consistency_s).sum();
+    let propagation: f64 = stats.iter().map(|s| s.refresh.propagation_s).sum();
+    let inferred: f64 = stats.iter().map(|s| s.refresh.inferred_s).sum();
+    let selection: f64 = stats.iter().map(|s| s.selection_s).sum();
+    println!(
+        "  stage 2+3       : {total:.2}s total (consistency {consistency:.2}s, \
+         propagation {propagation:.2}s, inferred sets {inferred:.2}s, selection {selection:.2}s)"
+    );
+    println!(
+        "  first loop      : {:.3}s full build ({} vertices, {} sources)",
+        first.total_s(),
+        first.refresh.dirty_vertices,
+        first.refresh.recomputed_sources
+    );
+    if stats.len() > 1 {
+        let tail = &stats[1..];
+        let mean_s = tail.iter().map(|s| s.total_s()).sum::<f64>() / tail.len() as f64;
+        let mean_vertices =
+            tail.iter().map(|s| s.refresh.dirty_vertices).sum::<usize>() / tail.len();
+        let mean_sources =
+            tail.iter().map(|s| s.refresh.recomputed_sources).sum::<usize>() / tail.len();
+        let retired = stats.last().map(|s| s.refresh.retired_components).unwrap_or(0);
+        println!(
+            "  later loops     : {mean_s:.3}s avg incremental (avg {mean_vertices} dirty \
+             vertices, {mean_sources} sources; {retired} components retired at the end)"
+        );
+    }
 }
 
 fn cmd_serve(opts: &Opts) -> Result<(), CliError> {
