@@ -23,6 +23,22 @@ pub struct PrecisionRecall {
     pub correct: usize,
 }
 
+impl PrecisionRecall {
+    /// JSON form, as reported by `rempctl run` and the `remp-sim`
+    /// robustness reports.
+    pub fn to_json(&self) -> remp_json::Json {
+        use remp_json::Json;
+        Json::Obj(vec![
+            ("precision".into(), Json::from(self.precision)),
+            ("recall".into(), Json::from(self.recall)),
+            ("f1".into(), Json::from(self.f1)),
+            ("predicted".into(), Json::from(self.predicted)),
+            ("expected".into(), Json::from(self.expected)),
+            ("correct".into(), Json::from(self.correct)),
+        ])
+    }
+}
+
 /// Evaluates predicted entity matches against the gold standard.
 /// Duplicate predictions are counted once.
 pub fn evaluate_matches(

@@ -1,0 +1,97 @@
+//! Injectable time for the lease engine.
+//!
+//! [`CampaignEngine`](crate::engine::CampaignEngine) is clock-free by
+//! design — every method takes `now_ms` — but something has to produce
+//! those readings. The HTTP layer used to call [`SystemTime`] directly,
+//! which forced every lease-expiry test to actually sleep. [`Clock`]
+//! breaks that dependency: the [`Registry`](crate::registry::Registry)
+//! owns one `Arc<dyn Clock>` and stamps every request with it, so a
+//! server under test (or the `remp-sim` simulator) can run a campaign
+//! on purely virtual time with [`ManualClock`], while production
+//! `rempd` keeps [`SystemClock`].
+//!
+//! Readings are milliseconds on an arbitrary but fixed origin; leases
+//! only ever compare readings from the same clock, never across
+//! processes, so the origin does not matter — monotonicity does.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// A source of millisecond readings for lease deadlines.
+///
+/// Implementations must be monotone non-decreasing: leases never
+/// persist across processes, but a clock that jumps backwards would
+/// resurrect expired leases mid-run.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current reading, in milliseconds.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock time (milliseconds since the Unix epoch) — the production
+/// clock.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+    }
+}
+
+/// A hand-cranked clock for tests and simulation: time only moves when
+/// [`advance`](ManualClock::advance) or [`set`](ManualClock::set) is
+/// called. Readings are shared through the `Arc` the registry holds, so
+/// a test can advance time from outside while the server routes requests
+/// against it.
+#[derive(Debug, Default)]
+pub struct ManualClock(AtomicU64);
+
+impl ManualClock {
+    /// A manual clock starting at `start_ms`.
+    pub fn new(start_ms: u64) -> ManualClock {
+        ManualClock(AtomicU64::new(start_ms))
+    }
+
+    /// Moves time forward by `ms`; returns the new reading.
+    pub fn advance(&self, ms: u64) -> u64 {
+        self.0.fetch_add(ms, Ordering::SeqCst) + ms
+    }
+
+    /// Jumps to an absolute reading. Clamped to never move backwards —
+    /// the [`Clock`] contract is monotone.
+    pub fn set(&self, ms: u64) {
+        self.0.fetch_max(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_only_moves_forward() {
+        let clock = ManualClock::new(100);
+        assert_eq!(clock.now_ms(), 100);
+        assert_eq!(clock.advance(50), 150);
+        clock.set(120); // backwards jump is ignored
+        assert_eq!(clock.now_ms(), 150);
+        clock.set(400);
+        assert_eq!(clock.now_ms(), 400);
+    }
+
+    #[test]
+    fn system_clock_is_monotone_enough() {
+        let clock = SystemClock;
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
+        assert!(a > 1_500_000_000_000, "epoch-based reading should be in the 21st century");
+    }
+}

@@ -112,12 +112,31 @@ struct OpenSlot {
     answers: Vec<(String, bool)>,
     /// `(worker, expiry_ms)` of live leases.
     leases: Vec<(String, u64)>,
+    /// Leases on this question that expired unanswered.
+    expired: u64,
+    /// Expired leases already covered by a replacement lease.
+    reissued: u64,
 }
 
 impl OpenSlot {
     fn new(question: Question) -> OpenSlot {
-        OpenSlot { question, answers: Vec::new(), leases: Vec::new() }
+        OpenSlot { question, answers: Vec::new(), leases: Vec::new(), expired: 0, reissued: 0 }
     }
+}
+
+/// Process-lifetime lease counters (see [`CampaignEngine::lease_stats`]).
+///
+/// Deliberately **not** persisted in campaign state files: they are
+/// observability for the running process, and the state-file format
+/// stays closed under the strict decoder.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Leases granted, including re-issues.
+    pub issued: u64,
+    /// Leases that expired unanswered.
+    pub expired: u64,
+    /// Grants that replaced an expired lease on the same question.
+    pub reissued: u64,
 }
 
 /// Aggregate progress snapshot (see [`CampaignEngine::progress`]).
@@ -137,6 +156,8 @@ pub struct Progress {
     pub open: Vec<(QuestionId, usize, usize)>,
     /// Registered workers.
     pub workers: usize,
+    /// Lease counters since the engine was constructed.
+    pub leases: LeaseStats,
 }
 
 /// Lease-based assignment + aggregation around one session.
@@ -149,6 +170,7 @@ pub struct CampaignEngine<'a> {
     estimator: WorkerQualityEstimator,
     open: Vec<OpenSlot>,
     log: Vec<SubmittedRecord>,
+    lease_stats: LeaseStats,
     paused: bool,
     /// Memoized [`outcome`](Self::outcome); invalidated by each
     /// submitted answer so polling `/outcome` between answers is free.
@@ -165,6 +187,7 @@ impl<'a> CampaignEngine<'a> {
             estimator,
             open: Vec::new(),
             log: Vec::new(),
+            lease_stats: LeaseStats::default(),
             paused: false,
             outcome_cache: None,
         }
@@ -268,7 +291,11 @@ impl<'a> CampaignEngine<'a> {
 
     fn prune_leases(&mut self, now_ms: u64) {
         for slot in &mut self.open {
+            let before = slot.leases.len();
             slot.leases.retain(|&(_, expiry)| expiry > now_ms);
+            let dropped = (before - slot.leases.len()) as u64;
+            slot.expired += dropped;
+            self.lease_stats.expired += dropped;
         }
     }
 
@@ -298,6 +325,12 @@ impl<'a> CampaignEngine<'a> {
         };
         let deadline_ms = now_ms.saturating_add(self.policy.lease_ms);
         slot.leases.push((worker.to_owned(), deadline_ms));
+        self.lease_stats.issued += 1;
+        if slot.reissued < slot.expired {
+            // This grant covers one of the slot's expired leases.
+            slot.reissued += 1;
+            self.lease_stats.reissued += 1;
+        }
         Ok(Some(Assignment { question: slot.question.clone(), deadline_ms }))
     }
 
@@ -423,7 +456,14 @@ impl<'a> CampaignEngine<'a> {
                 .map(|s| (s.question.id, s.answers.len(), s.leases.len()))
                 .collect(),
             workers: self.estimator.len(),
+            leases: self.lease_stats,
         })
+    }
+
+    /// Lease counters since this engine was constructed (issued,
+    /// expired, re-issued). Not persisted across restarts.
+    pub fn lease_stats(&self) -> LeaseStats {
+        self.lease_stats
     }
 
     /// The final (or provisional) outcome. Works at any point: the
@@ -447,6 +487,15 @@ impl<'a> CampaignEngine<'a> {
     /// Worker quality records, in worker-name order.
     pub fn worker_records(&self) -> Vec<(String, WorkerRecord)> {
         self.estimator.records().map(|(n, r)| (n.to_owned(), r.clone())).collect()
+    }
+
+    /// `(name, current estimate, record)` per registered worker, in
+    /// worker-name order — the status/workers view of the estimator.
+    pub fn worker_estimates(&self) -> Vec<(String, f64, WorkerRecord)> {
+        self.estimator
+            .records()
+            .map(|(n, r)| (n.to_owned(), self.estimator.estimate(n), r.clone()))
+            .collect()
     }
 
     /// Current quality estimate for one worker.
@@ -498,6 +547,36 @@ pub fn loop_stats_json(stats: &[remp_core::LoopStat]) -> remp_json::Json {
         fields.push(("last".into(), last.to_json()));
     }
     Json::Obj(fields)
+}
+
+/// JSON form of [`LeaseStats`] for the status endpoint.
+pub fn lease_stats_json(stats: LeaseStats) -> remp_json::Json {
+    use remp_json::Json;
+    Json::Obj(vec![
+        ("issued".into(), Json::from(stats.issued)),
+        ("expired".into(), Json::from(stats.expired)),
+        ("reissued".into(), Json::from(stats.reissued)),
+    ])
+}
+
+/// Compact worker-quality summary for the status endpoint: worker
+/// count plus min/mean/max of the current estimates (nulls when no
+/// worker has registered yet).
+pub fn worker_quality_json(workers: &[(String, f64, WorkerRecord)]) -> remp_json::Json {
+    use remp_json::Json;
+    let n = workers.len();
+    let (min, max, sum) = workers
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY, 0.0f64), |(lo, hi, sum), (_, est, _)| {
+            (lo.min(*est), hi.max(*est), sum + est)
+        });
+    let field = |v: f64| if n == 0 { Json::Null } else { Json::from(v) };
+    Json::Obj(vec![
+        ("count".into(), Json::from(n)),
+        ("min".into(), field(min)),
+        ("mean".into(), field(sum / (n.max(1)) as f64)),
+        ("max".into(), field(max)),
+    ])
 }
 
 #[cfg(test)]
@@ -622,6 +701,16 @@ mod tests {
         // order are identical to the lossless run.
         assert_eq!(lossy.outcome(), reference.outcome());
         assert_eq!(lossy.log(), reference.log());
+
+        // The counters tell the loss story: the ghost's lease expired
+        // and its question was re-issued; the clean run saw neither.
+        let stats = lossy.lease_stats();
+        assert_eq!(stats.expired, 1, "exactly the ghost's lease expired");
+        assert_eq!(stats.reissued, 1, "the ghost's question was re-issued once");
+        assert_eq!(stats.issued, reference.lease_stats().issued + 1);
+        let clean = reference.lease_stats();
+        assert_eq!((clean.expired, clean.reissued), (0, 0));
+        assert_eq!(clean.issued as usize, reference.log().len() * 2, "2 leases per question");
     }
 
     #[test]

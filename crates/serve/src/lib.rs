@@ -13,6 +13,9 @@
 //!
 //! Layers, bottom to top:
 //!
+//! * [`clock`] — injectable lease time: [`clock::SystemClock`] in
+//!   production, [`clock::ManualClock`] for tests and the `remp-sim`
+//!   simulator.
 //! * [`http`] — a strict, panic-free HTTP/1.1 subset on `std` sockets.
 //! * [`wire`] — the JSON protocol: typed [`wire::ServeError`]s (every
 //!   malformed input is a 4xx, duplicate submits are 409), request
@@ -44,6 +47,7 @@
 //! ```
 
 pub mod client;
+pub mod clock;
 pub mod engine;
 pub mod http;
 pub mod registry;
@@ -52,7 +56,8 @@ pub mod sim;
 pub mod wire;
 
 pub use client::{ClientError, ServeClient};
-pub use engine::{Assignment, CampaignEngine, CrowdPolicy};
+pub use clock::{Clock, ManualClock, SystemClock};
+pub use engine::{Assignment, CampaignEngine, CrowdPolicy, LeaseStats};
 pub use registry::{CampaignRequest, CampaignSource, CampaignSpec, Registry};
 pub use server::{install_signal_handlers, signal_stop_flag, Server, ServerConfig};
 pub use sim::{drive, drive_n, reference_outcome, CrowdParams, WireCrowd};

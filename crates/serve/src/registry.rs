@@ -20,9 +20,8 @@ use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{SystemTime, UNIX_EPOCH};
 
 use remp_core::{QuestionId, Remp, RempConfig, RempSession, SessionCheckpoint};
 use remp_crowd::WorkerRecord;
@@ -31,6 +30,7 @@ use remp_ingest::load_kb;
 use remp_json::Json;
 use remp_kb::Kb;
 
+use crate::clock::{Clock, SystemClock};
 use crate::engine::{CampaignEngine, CrowdPolicy};
 use crate::wire::{question_json, verdict_code, ServeError, SubmittedRecord};
 
@@ -172,6 +172,8 @@ pub enum CampaignRequest {
         /// Clock reading in milliseconds.
         now_ms: u64,
     },
+    /// Per-worker quality estimates and score records.
+    Workers,
     /// The (provisional) outcome plus submission log.
     Outcome,
     /// Stop handing out or accepting work.
@@ -199,6 +201,7 @@ struct CampaignHandle {
 /// The set of live campaigns plus the durable state directory.
 pub struct Registry {
     state_dir: Option<PathBuf>,
+    clock: Arc<dyn Clock>,
     inner: Mutex<RegistryInner>,
 }
 
@@ -207,17 +210,33 @@ struct RegistryInner {
     next_id: u64,
 }
 
-/// Milliseconds since the Unix epoch — the lease clock.
+/// Milliseconds since the Unix epoch — the default lease clock.
+///
+/// Kept as a free function for callers that stamp requests themselves;
+/// a registry reads its own injected [`Clock`] via
+/// [`Registry::now_ms`].
 pub fn now_ms() -> u64 {
-    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+    SystemClock.now_ms()
 }
 
 impl Registry {
-    /// Creates a registry; with a state directory, campaigns checkpointed
-    /// by a previous process are resumed immediately.
+    /// Creates a registry on the wall clock; with a state directory,
+    /// campaigns checkpointed by a previous process are resumed
+    /// immediately.
     pub fn open(state_dir: Option<PathBuf>) -> Result<Registry, ServeError> {
+        Registry::open_with_clock(state_dir, Arc::new(SystemClock))
+    }
+
+    /// [`Registry::open`] with an injected lease clock — the hook the
+    /// mock-clock tests and the `remp-sim` simulator use to run lease
+    /// expiry on virtual time.
+    pub fn open_with_clock(
+        state_dir: Option<PathBuf>,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Registry, ServeError> {
         let registry = Registry {
             state_dir,
+            clock,
             inner: Mutex::new(RegistryInner { campaigns: BTreeMap::new(), next_id: 0 }),
         };
         if let Some(dir) = registry.state_dir.clone() {
@@ -243,6 +262,11 @@ impl Registry {
             }
         }
         Ok(registry)
+    }
+
+    /// The current reading of this registry's lease clock.
+    pub fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
     }
 
     /// Ids of the live campaigns, with their display names.
@@ -519,6 +543,11 @@ fn handle_request(
                 ("open".into(), Json::from(p.open.len())),
                 ("workers".into(), Json::from(p.workers)),
                 ("per_question".into(), Json::from(engine.policy().per_question)),
+                ("leases".into(), crate::engine::lease_stats_json(p.leases)),
+                (
+                    "worker_quality".into(),
+                    crate::engine::worker_quality_json(&engine.worker_estimates()),
+                ),
                 ("loop_stats".into(), crate::engine::loop_stats_json(engine.loop_stats())),
             ]))
         }
@@ -539,6 +568,29 @@ fn handle_request(
                         .collect(),
                 ),
             )]))
+        }
+        CampaignRequest::Workers => {
+            let workers = engine.worker_estimates();
+            Ok(Json::Obj(vec![
+                ("count".into(), Json::from(workers.len())),
+                (
+                    "workers".into(),
+                    Json::Arr(
+                        workers
+                            .into_iter()
+                            .map(|(name, estimate, r)| {
+                                Json::Obj(vec![
+                                    ("name".into(), Json::from(name)),
+                                    ("estimate".into(), Json::from(estimate)),
+                                    ("qualification".into(), Json::from(r.qualification)),
+                                    ("scored".into(), Json::from(r.scored)),
+                                    ("agreed".into(), Json::from(r.agreed)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]))
         }
         CampaignRequest::Outcome => {
             let outcome = engine.outcome();

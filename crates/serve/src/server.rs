@@ -23,9 +23,10 @@ use remp_core::RempConfig;
 use remp_json::Json;
 use remp_par::Parallelism;
 
+use crate::clock::{Clock, SystemClock};
 use crate::engine::CrowdPolicy;
 use crate::http::{read_request, write_response, HttpError, Request};
-use crate::registry::{now_ms, CampaignRequest, CampaignSource, CampaignSpec, Registry};
+use crate::registry::{CampaignRequest, CampaignSource, CampaignSpec, Registry};
 use crate::wire::{
     body_bool, body_opt_f64, body_opt_str, body_opt_u64, body_str, parse_body, parse_question_id,
     ServeError,
@@ -40,6 +41,10 @@ pub struct ServerConfig {
     pub state_dir: Option<PathBuf>,
     /// Handler-pool sizing policy.
     pub parallelism: Parallelism,
+    /// Lease clock; the default [`SystemClock`] is right for production,
+    /// a [`crate::clock::ManualClock`] lets tests and the simulator
+    /// drive lease expiry on virtual time.
+    pub clock: Arc<dyn Clock>,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +53,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:8787".into(),
             state_dir: None,
             parallelism: Parallelism::Auto,
+            clock: Arc::new(SystemClock),
         }
     }
 }
@@ -63,7 +69,10 @@ impl Server {
     /// Binds the listener and opens the registry (resuming any
     /// campaigns checkpointed in the state directory).
     pub fn bind(config: &ServerConfig) -> Result<Server, ServeError> {
-        let registry = Arc::new(Registry::open(config.state_dir.clone())?);
+        let registry = Arc::new(Registry::open_with_clock(
+            config.state_dir.clone(),
+            Arc::clone(&config.clock),
+        )?);
         let listener = TcpListener::bind(&config.addr)
             .map_err(|e| ServeError::internal("bind", format!("{}: {e}", config.addr)))?;
         // At least two handlers so one slow campaign request can never
@@ -230,6 +239,9 @@ fn route(request: &Request, registry: &Registry) -> Result<(u16, Json), ServeErr
     let segments: Vec<&str> =
         request.path.split('/').filter(|segment| !segment.is_empty()).collect();
     let method = request.method.as_str();
+    // All lease arithmetic in one request uses a single reading of the
+    // registry's injected clock.
+    let now_ms = || registry.now_ms();
     match (method, segments.as_slice()) {
         ("GET", ["healthz"]) => Ok((
             200,
@@ -264,6 +276,9 @@ fn route(request: &Request, registry: &Registry) -> Result<(u16, Json), ServeErr
         }
         ("GET", ["campaigns", id, "questions"]) => {
             Ok((200, registry.call(id, CampaignRequest::Questions { now_ms: now_ms() })?))
+        }
+        ("GET", ["campaigns", id, "workers"]) => {
+            Ok((200, registry.call(id, CampaignRequest::Workers)?))
         }
         ("GET", ["campaigns", id, "next"]) => {
             let worker = request

@@ -1,0 +1,350 @@
+//! Run reports and the robustness curves.
+//!
+//! [`SimReport`] is everything one run produced: outcome quality
+//! against the generator's gold standard, crowd cost, lease churn,
+//! estimator accuracy, per-worker detail and the full event trace.
+//! [`robustness_report`] runs the two sweeps the paper's robustness
+//! story needs — F1 vs spam rate and crowd cost vs churn — and returns
+//! them as one JSON document (committed as `ROBUSTNESS.json`).
+
+use remp_core::{PrecisionRecall, RempOutcome};
+use remp_json::Json;
+use remp_serve::LeaseStats;
+
+use crate::scenario::{Behavior, Cohort, Scenario};
+use crate::trace::TraceEvent;
+use crate::world::run_scenario;
+use crate::SimError;
+
+/// One worker's final standing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerReport {
+    /// Worker name.
+    pub name: String,
+    /// Cohort the worker came from.
+    pub cohort: String,
+    /// Behavior wire code.
+    pub behavior: &'static str,
+    /// The hidden true quality at end of run (honest behaviors only).
+    pub true_quality: Option<f64>,
+    /// The engine's final quality estimate.
+    pub estimate: f64,
+    /// Verdict-scored answers.
+    pub scored: u64,
+    /// Scored answers that agreed with the verdict.
+    pub agreed: u64,
+}
+
+impl WorkerReport {
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::from(self.name.as_str())),
+            ("cohort".into(), Json::from(self.cohort.as_str())),
+            ("behavior".into(), Json::from(self.behavior)),
+            ("true_quality".into(), self.true_quality.map_or(Json::Null, Json::from)),
+            ("estimate".into(), Json::from(self.estimate)),
+            ("scored".into(), Json::from(self.scored)),
+            ("agreed".into(), Json::from(self.agreed)),
+        ])
+    }
+}
+
+/// How well the quality estimator did against the hidden truth.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EstimatorReport {
+    /// Mean `|estimate − true quality|` over scored honest workers;
+    /// `None` when no honest worker was scored.
+    pub honest_mean_abs_error: Option<f64>,
+    /// Highest estimate any scored adversarial worker walked away
+    /// with — the number that must sit below the qualification floor
+    /// for spam to be screened out.
+    pub adversary_max_estimate: Option<f64>,
+}
+
+impl EstimatorReport {
+    /// Aggregates over the final per-worker reports.
+    pub fn from_workers(workers: &[WorkerReport]) -> EstimatorReport {
+        let mut err_sum = 0.0;
+        let mut err_n = 0usize;
+        let mut adversary_max: Option<f64> = None;
+        for w in workers {
+            if w.scored == 0 {
+                continue;
+            }
+            match w.true_quality {
+                Some(truth) => {
+                    err_sum += (w.estimate - truth).abs();
+                    err_n += 1;
+                }
+                None => {
+                    adversary_max =
+                        Some(adversary_max.map_or(w.estimate, |m: f64| m.max(w.estimate)));
+                }
+            }
+        }
+        EstimatorReport {
+            honest_mean_abs_error: (err_n > 0).then(|| err_sum / err_n as f64),
+            adversary_max_estimate: adversary_max,
+        }
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        let opt = |v: Option<f64>| v.map_or(Json::Null, Json::from);
+        Json::Obj(vec![
+            ("honest_mean_abs_error".into(), opt(self.honest_mean_abs_error)),
+            ("adversary_max_estimate".into(), opt(self.adversary_max_estimate)),
+        ])
+    }
+}
+
+/// Everything one simulation run produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Dataset preset the campaign ran on.
+    pub dataset: String,
+    /// The seed.
+    pub seed: u64,
+    /// Ticks consumed (the tick the run stopped on).
+    pub ticks: u64,
+    /// Whether the campaign finished.
+    pub complete: bool,
+    /// Whether the stall detector fired.
+    pub stalled: bool,
+    /// Questions submitted to the session (`#Q`).
+    pub questions_asked: usize,
+    /// Human-machine loops executed (`#L`).
+    pub loops: usize,
+    /// Answers the engine accepted.
+    pub answers_delivered: u64,
+    /// Answers the engine rejected (late, duplicate, stale).
+    pub answers_rejected: u64,
+    /// Answers dropped because their worker left first.
+    pub answers_dropped: u64,
+    /// Lease counters (issued / expired / re-issued).
+    pub leases: LeaseStats,
+    /// Pool size.
+    pub workers_total: usize,
+    /// Workers that ever arrived.
+    pub workers_arrived: usize,
+    /// Workers that left mid-run.
+    pub workers_left: usize,
+    /// The campaign's final outcome — matches, resolutions, counters.
+    /// Carried whole so reference-equivalence tests can compare it
+    /// field for field; `to_json` only summarizes it.
+    pub outcome: RempOutcome,
+    /// Outcome quality against the generator's gold standard.
+    pub eval: PrecisionRecall,
+    /// Estimator accuracy against the hidden qualities.
+    pub estimator: EstimatorReport,
+    /// Per-worker detail.
+    pub workers: Vec<WorkerReport>,
+    /// The full event trace.
+    pub trace: Vec<TraceEvent>,
+    /// FNV-1a over the trace — the replay fingerprint.
+    pub trace_hash: u64,
+}
+
+impl SimReport {
+    /// JSON form; the trace is large, so its inclusion is opt-in (the
+    /// `trace_hash` fingerprint is always present).
+    pub fn to_json(&self, include_trace: bool) -> Json {
+        let mut fields = vec![
+            ("scenario".into(), Json::from(self.scenario.as_str())),
+            ("dataset".into(), Json::from(self.dataset.as_str())),
+            ("seed".into(), Json::from(self.seed)),
+            ("ticks".into(), Json::from(self.ticks)),
+            ("complete".into(), Json::from(self.complete)),
+            ("stalled".into(), Json::from(self.stalled)),
+            ("questions_asked".into(), Json::from(self.questions_asked)),
+            ("loops".into(), Json::from(self.loops)),
+            (
+                "answers".into(),
+                Json::Obj(vec![
+                    ("delivered".into(), Json::from(self.answers_delivered)),
+                    ("rejected".into(), Json::from(self.answers_rejected)),
+                    ("dropped".into(), Json::from(self.answers_dropped)),
+                ]),
+            ),
+            (
+                "leases".into(),
+                Json::Obj(vec![
+                    ("issued".into(), Json::from(self.leases.issued)),
+                    ("expired".into(), Json::from(self.leases.expired)),
+                    ("reissued".into(), Json::from(self.leases.reissued)),
+                ]),
+            ),
+            (
+                "workers".into(),
+                Json::Obj(vec![
+                    ("total".into(), Json::from(self.workers_total)),
+                    ("arrived".into(), Json::from(self.workers_arrived)),
+                    ("left".into(), Json::from(self.workers_left)),
+                ]),
+            ),
+            ("eval".into(), self.eval.to_json()),
+            ("estimator".into(), self.estimator.to_json()),
+            (
+                "worker_detail".into(),
+                Json::Arr(self.workers.iter().map(WorkerReport::to_json).collect()),
+            ),
+            ("trace_hash".into(), Json::from(format!("{:016x}", self.trace_hash).as_str())),
+        ];
+        if include_trace {
+            fields.push((
+                "trace".into(),
+                Json::Arr(self.trace.iter().map(TraceEvent::to_json).collect()),
+            ));
+        }
+        Json::Obj(fields)
+    }
+}
+
+// ---- robustness curves ------------------------------------------------
+
+/// Spam fractions swept by the robustness report.
+const SPAM_FRACTIONS: [f64; 4] = [0.0, 0.2, 0.4, 0.6];
+/// Churn fractions swept by the robustness report.
+const CHURN_FRACTIONS: [f64; 4] = [0.0, 0.25, 0.5, 0.75];
+/// Pool size for the spam sweep.
+const SPAM_POOL: usize = 25;
+/// Pool size for the churn sweep — small on purpose, so the campaign
+/// is still mid-flight when the leavers walk out.
+const CHURN_POOL: usize = 8;
+
+fn sweep_base(name: String, seed: u64) -> Scenario {
+    Scenario {
+        name,
+        dataset: "TINY".into(),
+        scale: 1.0,
+        seed,
+        budget: None,
+        mu: None,
+        per_question: 5,
+        qualification: 0.85,
+        quality_weight: 5.0,
+        lease_ticks: 50,
+        max_ticks: 20_000,
+        cohorts: Vec::new(),
+    }
+}
+
+fn honest_behavior() -> Behavior {
+    Behavior::Honest { min_quality: 0.8, max_quality: 0.99, drift_per_tick: 0.0 }
+}
+
+/// F1 vs spam rate: a fixed pool where a growing fraction answers by
+/// coin flip.
+fn spam_point(fraction: f64, seed: u64) -> Result<Json, SimError> {
+    let spam = (SPAM_POOL as f64 * fraction).round() as usize;
+    let honest = SPAM_POOL - spam;
+    let mut scenario = sweep_base(format!("spam-{:.0}pct", fraction * 100.0), seed);
+    scenario.cohorts.push(Cohort::instant("w", honest, honest_behavior()));
+    if spam > 0 {
+        scenario.cohorts.push(Cohort::instant("spam", spam, Behavior::Coin));
+    }
+    let report = run_scenario(&scenario)?;
+    Ok(Json::Obj(vec![
+        ("spam_fraction".into(), Json::from(fraction)),
+        ("f1".into(), Json::from(report.eval.f1)),
+        ("precision".into(), Json::from(report.eval.precision)),
+        ("recall".into(), Json::from(report.eval.recall)),
+        ("questions".into(), Json::from(report.questions_asked)),
+        ("answers".into(), Json::from(report.answers_delivered)),
+        ("adversary_max_estimate".into(), {
+            report.estimator.adversary_max_estimate.map_or(Json::Null, Json::from)
+        }),
+        ("complete".into(), Json::from(report.complete)),
+    ]))
+}
+
+/// Crowd cost vs churn: a growing fraction of the pool walks out
+/// mid-campaign with answers in flight, replaced by staggered late
+/// arrivals — short leases make the abandoned slots expire and
+/// re-issue, which is the cost the curve measures.
+fn churn_point(fraction: f64, seed: u64) -> Result<Json, SimError> {
+    let leavers = (CHURN_POOL as f64 * fraction).round() as usize;
+    let stayers = CHURN_POOL - leavers;
+    let mut scenario = sweep_base(format!("churn-{:.0}pct", fraction * 100.0), seed);
+    scenario.lease_ticks = 8;
+    scenario.cohorts.push(Cohort {
+        name: "stay".into(),
+        count: stayers,
+        behavior: honest_behavior(),
+        arrive_tick: 0,
+        arrive_stagger: 0,
+        leave_tick: None,
+        latency: (1, 4),
+    });
+    if leavers > 0 {
+        scenario.cohorts.push(Cohort {
+            name: "quit".into(),
+            count: leavers,
+            behavior: honest_behavior(),
+            arrive_tick: 0,
+            arrive_stagger: 0,
+            leave_tick: Some(12),
+            latency: (1, 4),
+        });
+        // Late replacements keep the pool from starving at high churn.
+        scenario.cohorts.push(Cohort {
+            name: "relief".into(),
+            count: leavers,
+            behavior: honest_behavior(),
+            arrive_tick: 10,
+            arrive_stagger: 2,
+            leave_tick: None,
+            latency: (1, 4),
+        });
+    }
+    let report = run_scenario(&scenario)?;
+    Ok(Json::Obj(vec![
+        ("churn_fraction".into(), Json::from(fraction)),
+        ("answers".into(), Json::from(report.answers_delivered)),
+        (
+            "leases".into(),
+            Json::Obj(vec![
+                ("issued".into(), Json::from(report.leases.issued)),
+                ("expired".into(), Json::from(report.leases.expired)),
+                ("reissued".into(), Json::from(report.leases.reissued)),
+            ]),
+        ),
+        ("dropped".into(), Json::from(report.answers_dropped)),
+        ("ticks".into(), Json::from(report.ticks)),
+        ("f1".into(), Json::from(report.eval.f1)),
+        ("complete".into(), Json::from(report.complete)),
+    ]))
+}
+
+/// F1 vs spam rate, one point per swept fraction.
+pub fn spam_curve(seed: u64) -> Result<Json, SimError> {
+    let mut points = Vec::new();
+    for f in SPAM_FRACTIONS {
+        points.push(spam_point(f, seed)?);
+    }
+    Ok(Json::Arr(points))
+}
+
+/// Crowd cost vs churn, one point per swept fraction.
+pub fn churn_curve(seed: u64) -> Result<Json, SimError> {
+    let mut points = Vec::new();
+    for f in CHURN_FRACTIONS {
+        points.push(churn_point(f, seed)?);
+    }
+    Ok(Json::Arr(points))
+}
+
+/// The full robustness document: F1 vs spam rate and crowd cost vs
+/// churn, all runs deterministic in `seed`.
+pub fn robustness_report(seed: u64) -> Result<Json, SimError> {
+    Ok(Json::Obj(vec![
+        ("version".into(), Json::from(1u64)),
+        ("seed".into(), Json::from(seed)),
+        ("dataset".into(), Json::from("TINY")),
+        ("spam_curve".into(), spam_curve(seed)?),
+        ("churn_curve".into(), churn_curve(seed)?),
+    ]))
+}

@@ -1,0 +1,175 @@
+//! The event trace: everything observable the simulation did, in
+//! order, plus a stable hash for cheap replay comparison.
+//!
+//! Determinism is the contract (`SCENARIOS.md`): same scenario + seed
+//! ⇒ the same `Vec<TraceEvent>`, bit for bit. [`trace_hash`] is FNV-1a
+//! over the canonical JSON encoding, so two runs can be compared with
+//! one `u64` without shipping the whole trace around.
+
+use remp_json::Json;
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// A worker entered the pool.
+    Arrive {
+        /// Worker name.
+        worker: String,
+    },
+    /// A worker left; any answers they still owed were dropped.
+    Leave {
+        /// Worker name.
+        worker: String,
+        /// In-flight answers dropped with them.
+        dropped: usize,
+    },
+    /// A question was leased to a worker.
+    Lease {
+        /// Worker name.
+        worker: String,
+        /// Question id.
+        question: u64,
+    },
+    /// An answer was delivered and accepted.
+    Answer {
+        /// Worker name.
+        worker: String,
+        /// Question id.
+        question: u64,
+        /// The label.
+        says: bool,
+    },
+    /// An answer was delivered but rejected (typically `no_lease`
+    /// after expiry, or `already_answered` after a re-issued copy
+    /// closed the question first).
+    Reject {
+        /// Worker name.
+        worker: String,
+        /// Question id.
+        question: u64,
+        /// The engine's error code.
+        code: String,
+    },
+    /// A question reached redundancy and was submitted to the session.
+    Submit {
+        /// Question id.
+        question: u64,
+        /// Verdict wire code.
+        verdict: String,
+        /// Pairs resolved by propagation from this verdict.
+        propagated: usize,
+    },
+    /// The run stopped early: nothing in flight, nobody arriving, no
+    /// way to make progress.
+    Stalled,
+}
+
+/// One trace entry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub tick: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Canonical JSON form (also the hashing input).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("tick".into(), Json::from(self.tick))];
+        let (kind, rest): (&str, Vec<(String, Json)>) = match &self.kind {
+            EventKind::Arrive { worker } => {
+                ("arrive", vec![("worker".into(), Json::from(worker.as_str()))])
+            }
+            EventKind::Leave { worker, dropped } => (
+                "leave",
+                vec![
+                    ("worker".into(), Json::from(worker.as_str())),
+                    ("dropped".into(), Json::from(*dropped)),
+                ],
+            ),
+            EventKind::Lease { worker, question } => (
+                "lease",
+                vec![
+                    ("worker".into(), Json::from(worker.as_str())),
+                    ("question".into(), Json::from(*question)),
+                ],
+            ),
+            EventKind::Answer { worker, question, says } => (
+                "answer",
+                vec![
+                    ("worker".into(), Json::from(worker.as_str())),
+                    ("question".into(), Json::from(*question)),
+                    ("says".into(), Json::from(*says)),
+                ],
+            ),
+            EventKind::Reject { worker, question, code } => (
+                "reject",
+                vec![
+                    ("worker".into(), Json::from(worker.as_str())),
+                    ("question".into(), Json::from(*question)),
+                    ("code".into(), Json::from(code.as_str())),
+                ],
+            ),
+            EventKind::Submit { question, verdict, propagated } => (
+                "submit",
+                vec![
+                    ("question".into(), Json::from(*question)),
+                    ("verdict".into(), Json::from(verdict.as_str())),
+                    ("propagated".into(), Json::from(*propagated)),
+                ],
+            ),
+            EventKind::Stalled => ("stalled", Vec::new()),
+        };
+        fields.push(("event".into(), Json::from(kind)));
+        fields.extend(rest);
+        Json::Obj(fields)
+    }
+}
+
+/// FNV-1a (64-bit) over the canonical JSON lines of the trace.
+pub fn trace_hash(events: &[TraceEvent]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for event in events {
+        for byte in event.to_json().to_string().bytes().chain(std::iter::once(b'\n')) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_order_sensitive() {
+        let a = TraceEvent { tick: 0, kind: EventKind::Arrive { worker: "w0".into() } };
+        let b = TraceEvent {
+            tick: 3,
+            kind: EventKind::Submit { question: 0, verdict: "match".into(), propagated: 2 },
+        };
+        assert_eq!(trace_hash(&[a.clone(), b.clone()]), trace_hash(&[a.clone(), b.clone()]));
+        assert_ne!(trace_hash(&[a.clone(), b.clone()]), trace_hash(&[b, a]));
+        assert_ne!(trace_hash(&[]), 0, "FNV offset basis for the empty trace");
+    }
+
+    #[test]
+    fn events_encode_their_payloads() {
+        let e = TraceEvent {
+            tick: 7,
+            kind: EventKind::Reject {
+                worker: "spam3".into(),
+                question: 12,
+                code: "no_lease".into(),
+            },
+        };
+        let doc = e.to_json();
+        assert_eq!(doc.get("tick").and_then(Json::as_u64), Some(7));
+        assert_eq!(doc.get("event").and_then(Json::as_str), Some("reject"));
+        assert_eq!(doc.get("code").and_then(Json::as_str), Some("no_lease"));
+    }
+}

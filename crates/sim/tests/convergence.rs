@@ -1,0 +1,108 @@
+//! Property tests: the online `WorkerQualityEstimator`, observed
+//! through full simulated campaigns, converges toward the hidden
+//! truth — honest workers are estimated near their true quality, and
+//! spam sinks below the qualification floor.
+
+use proptest::prelude::*;
+
+use remp_sim::{preset, run_scenario, Behavior, Cohort, Scenario};
+
+/// A small always-on pool so every worker gets scored many times
+/// within a TINY campaign.
+fn convergence_scenario(name: &str, seed: u64, cohorts: Vec<Cohort>) -> Scenario {
+    Scenario { name: name.to_owned(), seed, cohorts, ..preset("honest", seed).unwrap() }
+}
+
+fn honest(min: f64, max: f64) -> Behavior {
+    Behavior::Honest { min_quality: min, max_quality: max, drift_per_tick: 0.0 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Honest crowd: estimates approach the hidden true qualities.
+    /// The prior (weight 5 at 0.85) caps how far an estimate can move,
+    /// so the bounds are generous — the property is convergence
+    /// *toward* the truth, not arrival.
+    #[test]
+    fn honest_estimates_converge_toward_true_quality(seed in 0u64..10_000) {
+        let scenario = convergence_scenario(
+            "convergence-honest",
+            seed,
+            vec![Cohort::instant("w", 6, honest(0.75, 0.99))],
+        );
+        let report = run_scenario(&scenario).unwrap();
+        prop_assert!(report.complete);
+        let mut err_sum = 0.0;
+        let mut n = 0usize;
+        for w in report.workers.iter().filter(|w| w.scored >= 4) {
+            let err = (w.estimate - w.true_quality.unwrap()).abs();
+            prop_assert!(err < 0.35, "{}: estimate {} vs truth {:?}", w.name, w.estimate, w.true_quality);
+            err_sum += err;
+            n += 1;
+        }
+        prop_assert!(n > 0, "a 6-worker pool must score most workers");
+        let mean_err = err_sum / n as f64;
+        prop_assert!(mean_err < 0.2, "mean error {mean_err} too high");
+    }
+
+    /// A coordinated wrong-answer clique ends below the qualification
+    /// floor: its members agree with the inferred verdict only when the
+    /// honest majority was itself overruled, which the majority makes
+    /// rare — so scoring starves their estimates.
+    #[test]
+    fn colluders_end_below_the_qualification_floor(seed in 0u64..10_000) {
+        let scenario = convergence_scenario(
+            "convergence-colluders",
+            seed,
+            vec![
+                Cohort::instant("w", 5, honest(0.85, 0.99)),
+                Cohort::instant("clique", 3, Behavior::Colluder),
+            ],
+        );
+        let report = run_scenario(&scenario).unwrap();
+        prop_assert!(report.complete);
+        let mut scored_colluders = 0usize;
+        for w in report.workers.iter().filter(|w| w.behavior == "colluder" && w.scored > 0) {
+            prop_assert!(
+                w.estimate < scenario.qualification,
+                "{}: colluder estimate {} at/above the floor {}",
+                w.name, w.estimate, scenario.qualification
+            );
+            scored_colluders += 1;
+        }
+        prop_assert!(scored_colluders > 0, "the clique must get scored");
+    }
+
+    /// Coin-flip spammers are separated from the honest crowd: the spam
+    /// cohort's mean estimate lands strictly below the honest cohort's.
+    /// Two spammers in a pool of seven keep an honest majority on every
+    /// question (5 distinct answerers), so verdicts stay anchored and
+    /// the coins agree with them at chance rate; a doubled dataset
+    /// gives the estimator enough scored answers to separate cleanly.
+    #[test]
+    fn coin_spam_is_ranked_below_the_honest_crowd(seed in 0u64..10_000) {
+        let mut scenario = convergence_scenario(
+            "convergence-coin",
+            seed,
+            vec![
+                Cohort::instant("w", 5, honest(0.85, 0.99)),
+                Cohort::instant("spam", 2, Behavior::Coin),
+            ],
+        );
+        scenario.scale = 2.0;
+        let report = run_scenario(&scenario).unwrap();
+        prop_assert!(report.complete);
+        let mean = |behavior: &str| {
+            let est: Vec<f64> = report
+                .workers
+                .iter()
+                .filter(|w| w.behavior == behavior && w.scored > 0)
+                .map(|w| w.estimate)
+                .collect();
+            prop_assert!(!est.is_empty(), "no scored {behavior} workers");
+            Ok(est.iter().sum::<f64>() / est.len() as f64)
+        };
+        prop_assert!(mean("coin")? < mean("honest")?);
+    }
+}

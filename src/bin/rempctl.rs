@@ -27,6 +27,7 @@ use remp_serve::{
     drive, install_signal_handlers, outcome_matches, reference_outcome, signal_stop_flag,
     CrowdParams, CrowdPolicy, ServeClient, Server, ServerConfig, WireCrowd,
 };
+use remp_sim::{preset, preset_names, Scenario, SimReport};
 
 const USAGE: &str = "\
 rempctl — knowledge-base ingestion and file-backed Remp campaigns
@@ -76,6 +77,23 @@ USAGE:
         unless the server's resolutions, question order and submission
         log are bit-identical.
 
+    rempctl simulate SCENARIO [--seed N] [--threads POLICY] [--out PATH]
+                     [--trace PATH] [--min-f1 X] [--max-questions N]
+                     [--require-complete]
+    rempctl simulate --sweep spam|churn|all [--seed N] [--out PATH]
+    rempctl simulate --list
+        Run a discrete-tick campaign simulation with a virtual crowd —
+        worker churn, latency, drifting quality, spammers and colluding
+        cliques — entirely on virtual time (no sleeps, no server).
+        SCENARIO is a built-in preset name (--list) or a scenario JSON
+        file (see crates/sim/SCENARIOS.md). Same scenario + same seed
+        reproduce a bit-identical event trace; --trace writes it as
+        JSONL. --out writes the run report as JSON. --min-f1,
+        --max-questions and --require-complete turn the run into a CI
+        gate. --sweep instead runs the robustness curves (F1 vs spam
+        rate, crowd cost vs churn) and writes them to --out
+        [ROBUSTNESS.json].
+
     rempctl bench [--preset NAME] [--scale X] [--threads LIST]
                   [--out PATH] [--min-speedup X]
         Profile the hot pipeline stages and a full oracle campaign at each
@@ -124,6 +142,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "run" => cmd_run(&opts),
         "serve" => cmd_serve(&opts),
         "drive" => cmd_drive(&opts),
+        "simulate" => cmd_simulate(&opts),
         "bench" => cmd_bench(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -136,7 +155,7 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
 // ---- argument parsing -------------------------------------------------
 
 /// Switches that take no value.
-const SWITCHES: [&str; 2] = ["--oracle", "--verify"];
+const SWITCHES: [&str; 4] = ["--oracle", "--verify", "--require-complete", "--list"];
 
 struct Opts {
     positional: Vec<String>,
@@ -477,6 +496,30 @@ fn cmd_drive(opts: &Opts) -> Result<(), CliError> {
         100.0 * eval.f1
     );
 
+    // The server-side crowd health counters the campaign accumulated.
+    let status = client
+        .get(&format!("/campaigns/{campaign}"))
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    if let Some(leases) = status.get("leases") {
+        let n = |key: &str| leases.get(key).and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "  leases          : {} issued, {} expired, {} re-issued",
+            n("issued"),
+            n("expired"),
+            n("reissued")
+        );
+    }
+    if let Some(quality) = status.get("worker_quality") {
+        let f = |key: &str| quality.get(key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+        println!(
+            "  worker quality  : {} workers, estimates {:.3} min / {:.3} mean / {:.3} max",
+            quality.get("count").and_then(Json::as_u64).unwrap_or(0),
+            f("min"),
+            f("mean"),
+            f("max")
+        );
+    }
+
     if opts.get("verify").is_some() {
         let started = Instant::now();
         let mut config = RempConfig::default();
@@ -502,6 +545,192 @@ fn cmd_drive(opts: &Opts) -> Result<(), CliError> {
         );
     }
     Ok(())
+}
+
+fn cmd_simulate(opts: &Opts) -> Result<(), CliError> {
+    if opts.get("list").is_some() {
+        println!("built-in scenario presets (rempctl simulate NAME):");
+        for name in preset_names() {
+            println!("  {name}");
+        }
+        return Ok(());
+    }
+    let seed: u64 = opts.parsed("seed", 42)?;
+    if let Some(sweep) = opts.get("sweep") {
+        return cmd_simulate_sweep(sweep, seed, opts);
+    }
+    let Some(spec) = opts.positional.first() else {
+        return Err(CliError::Usage(
+            "simulate needs a SCENARIO (a preset name or a scenario file), --sweep, or --list"
+                .into(),
+        ));
+    };
+
+    // Preset names win; anything else is a scenario file.
+    let scenario = match preset(spec, seed) {
+        Some(scenario) => scenario,
+        None => {
+            let text = std::fs::read_to_string(spec)
+                .map_err(|e| CliError::Failed(format!("cannot read scenario {spec:?}: {e}")))?;
+            let mut scenario =
+                Scenario::parse(&text).map_err(|e| CliError::Failed(e.to_string()))?;
+            if opts.get("seed").is_some() {
+                scenario.seed = seed;
+            }
+            scenario
+        }
+    };
+    let parallelism = match opts.get("threads") {
+        None => None,
+        Some(raw) => Some(Parallelism::from_label(raw).ok_or_else(|| {
+            CliError::Usage(format!(
+                "--threads: expected a worker count, 'sequential' or 'auto', got {raw:?}"
+            ))
+        })?),
+    };
+
+    let started = Instant::now();
+    let report = remp_sim::run_scenario_with(&scenario, parallelism)
+        .map_err(|e| CliError::Failed(e.to_string()))?;
+    println!(
+        "simulated scenario {:?} (seed {}) in {:.1?}",
+        report.scenario,
+        report.seed,
+        started.elapsed()
+    );
+    print_sim_report(&report);
+
+    if let Some(path) = opts.get("trace") {
+        let mut lines = String::new();
+        for event in &report.trace {
+            lines.push_str(&event.to_json().to_string());
+            lines.push('\n');
+        }
+        std::fs::write(path, lines)?;
+        println!("  wrote trace to {path} ({} events)", report.trace.len());
+    }
+    if let Some(out) = opts.get("out") {
+        std::fs::write(out, report.to_json(false).to_pretty_string())?;
+        println!("  wrote report to {out}");
+    }
+
+    // CI gates: turn robustness expectations into exit codes.
+    if opts.get("require-complete").is_some() && !report.complete {
+        return Err(CliError::Failed(format!(
+            "campaign did not complete within {} ticks (stalled: {})",
+            scenario.max_ticks, report.stalled
+        )));
+    }
+    if let Some(floor) = opts.get("min-f1") {
+        let floor: f64 = floor
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--min-f1: cannot parse {floor:?}")))?;
+        if report.eval.f1 < floor {
+            return Err(CliError::Failed(format!(
+                "F1 {:.3} is below the required floor {floor}",
+                report.eval.f1
+            )));
+        }
+    }
+    if let Some(cap) = opts.get("max-questions") {
+        let cap: usize = cap
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--max-questions: cannot parse {cap:?}")))?;
+        if report.questions_asked > cap {
+            return Err(CliError::Failed(format!(
+                "{} questions asked, over the cap of {cap}",
+                report.questions_asked
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn print_sim_report(report: &SimReport) {
+    println!(
+        "  outcome         : {} ({} ticks, {} loops, {} questions)",
+        if report.complete {
+            "complete"
+        } else if report.stalled {
+            "STALLED"
+        } else {
+            "tick cap reached"
+        },
+        report.ticks,
+        report.loops,
+        report.questions_asked
+    );
+    println!(
+        "  crowd           : {} workers ({} arrived, {} left); answers {} delivered, \
+         {} rejected, {} dropped",
+        report.workers_total,
+        report.workers_arrived,
+        report.workers_left,
+        report.answers_delivered,
+        report.answers_rejected,
+        report.answers_dropped
+    );
+    println!(
+        "  leases          : {} issued, {} expired, {} re-issued",
+        report.leases.issued, report.leases.expired, report.leases.reissued
+    );
+    println!(
+        "  precision {:.1}%  recall {:.1}%  F1 {:.1}%",
+        100.0 * report.eval.precision,
+        100.0 * report.eval.recall,
+        100.0 * report.eval.f1
+    );
+    if let Some(err) = report.estimator.honest_mean_abs_error {
+        println!("  estimator       : mean |estimate - truth| = {err:.3} over honest workers");
+    }
+    if let Some(max) = report.estimator.adversary_max_estimate {
+        println!("  estimator       : highest adversary estimate {max:.3}");
+    }
+    println!("  trace           : {} events, hash {:016x}", report.trace.len(), report.trace_hash);
+}
+
+fn cmd_simulate_sweep(sweep: &str, seed: u64, opts: &Opts) -> Result<(), CliError> {
+    let started = Instant::now();
+    let doc = match sweep {
+        "spam" => Json::Obj(vec![
+            ("version".to_owned(), Json::from(1u64)),
+            ("seed".to_owned(), Json::from(seed)),
+            ("spam_curve".to_owned(), remp_sim::spam_curve(seed).map_err(fail)?),
+        ]),
+        "churn" => Json::Obj(vec![
+            ("version".to_owned(), Json::from(1u64)),
+            ("seed".to_owned(), Json::from(seed)),
+            ("churn_curve".to_owned(), remp_sim::churn_curve(seed).map_err(fail)?),
+        ]),
+        "all" => remp_sim::robustness_report(seed).map_err(fail)?,
+        other => {
+            return Err(CliError::Usage(format!(
+                "--sweep: expected spam, churn or all, got {other:?}"
+            )))
+        }
+    };
+    println!("robustness sweep {sweep:?} (seed {seed}) finished in {:.1?}", started.elapsed());
+    for (key, label, x_key) in [
+        ("spam_curve", "F1 vs spam rate", "spam_fraction"),
+        ("churn_curve", "cost vs churn", "churn_fraction"),
+    ] {
+        let Some(points) = doc.get(key).and_then(Json::as_array) else { continue };
+        println!("  {label}:");
+        for point in points {
+            let x = point.get(x_key).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            let f1 = point.get("f1").and_then(Json::as_f64).unwrap_or(f64::NAN);
+            let answers = point.get("answers").and_then(Json::as_u64).unwrap_or(0);
+            println!("    {x:>5.2}  F1 {:>5.1}%  {answers} answers", 100.0 * f1);
+        }
+    }
+    let out = opts.get("out").unwrap_or("ROBUSTNESS.json");
+    std::fs::write(out, doc.to_pretty_string())?;
+    println!("  wrote {out}");
+    Ok(())
+}
+
+fn fail(e: remp_sim::SimError) -> CliError {
+    CliError::Failed(e.to_string())
 }
 
 fn parse_quality_bounds(opts: &Opts) -> Result<CrowdParams, CliError> {

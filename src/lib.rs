@@ -94,6 +94,7 @@
 //! | [`datasets`] | synthetic dataset presets (Table II shapes) | §VIII |
 //! | [`ingest`] | file loaders, `.rkb` snapshots | Table II |
 //! | [`serve`] | the `rempd` campaign server, client, wire crowd | §VII-A |
+//! | [`sim`] | discrete-tick campaign simulator, adversarial crowds | §VIII |
 //! | [`baselines`] | PARIS, SiGMa, HIKE, POWER, Corleone | §II, §VIII |
 //!
 //! The `rempctl` CLI (this package's binary) chains the layers:
@@ -111,4 +112,5 @@ pub use remp_par as par;
 pub use remp_propagation as propagation;
 pub use remp_selection as selection;
 pub use remp_serve as serve;
+pub use remp_sim as sim;
 pub use remp_simil as simil;

@@ -14,8 +14,8 @@ use remp::datasets::{generate, tiny};
 use remp::ingest::FileDataset;
 use remp::kb::EntityId;
 use remp::serve::{
-    drive, drive_n, outcome_matches, reference_outcome, CrowdParams, CrowdPolicy, ServeClient,
-    Server, ServerConfig, WireCrowd,
+    drive, drive_n, outcome_matches, reference_outcome, CrowdParams, CrowdPolicy, ManualClock,
+    ServeClient, Server, ServerConfig, WireCrowd,
 };
 use remp_json::Json;
 
@@ -28,8 +28,17 @@ struct TestServer {
 
 impl TestServer {
     fn start(state_dir: Option<PathBuf>) -> TestServer {
-        let config =
-            ServerConfig { addr: "127.0.0.1:0".into(), state_dir, ..ServerConfig::default() };
+        TestServer::start_config(ServerConfig { state_dir, ..ServerConfig::default() })
+    }
+
+    /// A server whose lease clock is the given [`ManualClock`] — tests
+    /// advance time by hand instead of sleeping.
+    fn start_on_clock(clock: Arc<ManualClock>) -> TestServer {
+        TestServer::start_config(ServerConfig { clock, ..ServerConfig::default() })
+    }
+
+    fn start_config(mut config: ServerConfig) -> TestServer {
+        config.addr = "127.0.0.1:0".into();
         let server = Server::bind(&config).expect("bind test server");
         let addr = server.local_addr();
         let stop = Arc::new(AtomicBool::new(false));
@@ -328,7 +337,11 @@ fn malformed_requests_get_typed_errors_and_never_kill_the_server() {
 
 #[test]
 fn lease_expiry_reissues_questions_over_http() {
-    let server = TestServer::start(None);
+    // The server runs on an injected manual clock: lease expiry is
+    // driven by `clock.advance`, not by real sleeps — zero flake risk
+    // on a slow runner, and the test is instant.
+    let clock = Arc::new(ManualClock::new(0));
+    let server = TestServer::start_on_clock(Arc::clone(&clock));
     let campaign = |lease_ms: u64| {
         let created = server
             .client
@@ -363,10 +376,11 @@ fn lease_expiry_reissues_questions_over_http() {
 
     // Part 2 — an *expired* lease re-enters the pool. A fresh campaign
     // with a 60 ms lease: the ghost takes the first question, vanishes,
-    // and after the deadline the question goes to the next worker.
+    // and once the (virtual) clock passes the deadline the question
+    // goes to the next worker.
     let id = campaign(60);
     let qid = lease_of(&id, "ghost").expect("ghost gets the first question");
-    std::thread::sleep(std::time::Duration::from_millis(90));
+    clock.advance(90);
 
     // Expired: the question re-enters the pool and w1 can take it...
     let retry = server.client.get(&format!("/campaigns/{id}/next?worker=w1")).unwrap();
@@ -401,6 +415,29 @@ fn lease_expiry_reissues_questions_over_http() {
         )
         .unwrap();
     assert!(ack.get("submitted").is_some_and(|s| !matches!(s, Json::Null)));
+
+    // The status reports the lease story: ghost + w1 issued, the
+    // ghost's lease expired, and the question was re-issued once.
+    let status = server.client.get(&format!("/campaigns/{id}")).unwrap();
+    let leases = status.get("leases").expect("lease counters in status");
+    assert_eq!(leases.get("issued").and_then(Json::as_u64), Some(2));
+    assert_eq!(leases.get("expired").and_then(Json::as_u64), Some(1));
+    assert_eq!(leases.get("reissued").and_then(Json::as_u64), Some(1));
+    let quality = status.get("worker_quality").expect("worker quality summary in status");
+    assert_eq!(quality.get("count").and_then(Json::as_usize), Some(2));
+    assert!(quality.get("mean").and_then(Json::as_f64).is_some());
+
+    // The workers endpoint lists both, with their estimator records.
+    let workers = server.client.get(&format!("/campaigns/{id}/workers")).unwrap();
+    assert_eq!(workers.get("count").and_then(Json::as_usize), Some(2));
+    let names: Vec<&str> = workers
+        .get("workers")
+        .and_then(Json::as_array)
+        .expect("workers array")
+        .iter()
+        .filter_map(|w| w.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names, vec!["ghost", "w1"]);
     server.shutdown();
 }
 
