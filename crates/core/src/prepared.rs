@@ -5,6 +5,7 @@ use remp_ergraph::{
     AttrAlignment, Candidates, ComponentIndex, ErGraph, PairId,
 };
 use remp_kb::Kb;
+use remp_obs::time_stage;
 use remp_simil::SimVec;
 
 use crate::RempConfig;
@@ -40,22 +41,33 @@ pub struct PreparedEr {
 /// identical in every mode.
 pub fn prepare(kb1: &Kb, kb2: &Kb, config: &RempConfig) -> PreparedEr {
     let par = &config.parallelism;
-    let pre_candidates = generate_candidates(kb1, kb2, config.label_sim_threshold, par);
-    let initial_full = initial_matches(kb1, kb2, &pre_candidates);
-    let alignment = match_attributes(kb1, kb2, &pre_candidates, &initial_full, &config.attr);
-    let vectors_full =
-        build_sim_vectors(kb1, kb2, &pre_candidates, &alignment, config.literal_threshold, par);
-    let retained = prune(&pre_candidates, &vectors_full, config.knn_k, par);
-    let (candidates, mapping) = pre_candidates.restrict(&retained);
-
-    let mut sim_vectors = vec![SimVec::new(Vec::new()); candidates.len()];
-    for &old in &retained {
-        sim_vectors[mapping[&old].index()] = vectors_full[old.index()].clone();
-    }
-    let initial: Vec<PairId> =
-        initial_full.iter().filter_map(|old| mapping.get(old).copied()).collect();
-    let graph = ErGraph::build(kb1, kb2, &candidates);
-    let components = ComponentIndex::build(&graph);
+    // Each stage runs under `time_stage`, feeding the `remp_stage_seconds`
+    // histogram (and the active trace, if any) — observation only, the
+    // computation is byte-identical with instrumentation on or off.
+    let (pre_candidates, _) =
+        time_stage("candidates", || generate_candidates(kb1, kb2, config.label_sim_threshold, par));
+    let ((initial_full, alignment), _) = time_stage("attr_alignment", || {
+        let initial = initial_matches(kb1, kb2, &pre_candidates);
+        let alignment = match_attributes(kb1, kb2, &pre_candidates, &initial, &config.attr);
+        (initial, alignment)
+    });
+    let (vectors_full, _) = time_stage("sim_vectors", || {
+        build_sim_vectors(kb1, kb2, &pre_candidates, &alignment, config.literal_threshold, par)
+    });
+    let (retained, _) =
+        time_stage("prune", || prune(&pre_candidates, &vectors_full, config.knn_k, par));
+    let ((candidates, sim_vectors, initial, graph, components), _) = time_stage("graph", || {
+        let (candidates, mapping) = pre_candidates.restrict(&retained);
+        let mut sim_vectors = vec![SimVec::new(Vec::new()); candidates.len()];
+        for &old in &retained {
+            sim_vectors[mapping[&old].index()] = vectors_full[old.index()].clone();
+        }
+        let initial: Vec<PairId> =
+            initial_full.iter().filter_map(|old| mapping.get(old).copied()).collect();
+        let graph = ErGraph::build(kb1, kb2, &candidates);
+        let components = ComponentIndex::build(&graph);
+        (candidates, sim_vectors, initial, graph, components)
+    });
 
     PreparedEr {
         candidates,

@@ -165,6 +165,38 @@ impl LoopsBench {
     }
 }
 
+/// The `observability` scenario: the same oracle campaign end-to-end
+/// with instrumentation enabled vs disabled (best of
+/// [`OBS_OVERHEAD_ATTEMPTS`] runs each) — the guard on the tracing
+/// layer's "negligible when on, free when off" claim.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsOverheadBench {
+    /// Best end-to-end campaign seconds with metrics/spans recording on.
+    pub instrumented_s: f64,
+    /// Best end-to-end campaign seconds with the global switch off.
+    pub disabled_s: f64,
+}
+
+impl ObsOverheadBench {
+    /// Instrumentation overhead in percent (negative when the
+    /// instrumented run happened to be faster — measurement noise).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.disabled_s <= 0.0 {
+            return 0.0;
+        }
+        (self.instrumented_s / self.disabled_s - 1.0) * 100.0
+    }
+
+    /// The scenario's JSON section in `BENCH_pipeline.json`.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("instrumented_s".into(), Json::from(self.instrumented_s)),
+            ("disabled_s".into(), Json::from(self.disabled_s)),
+            ("overhead_pct".into(), Json::from(self.overhead_pct())),
+        ])
+    }
+}
+
 /// The full measurement: one [`StageProfile`] per requested thread count,
 /// plus the `loops` scenario (incremental vs from-scratch per-loop cost).
 #[derive(Clone, Debug)]
@@ -181,6 +213,9 @@ pub struct PipelineBenchReport {
     pub runs: Vec<StageProfile>,
     /// The `loops` scenario, run at the first requested thread count.
     pub loops: LoopsBench,
+    /// The `observability` scenario: instrumented vs disabled overhead,
+    /// run at the first requested thread count.
+    pub observability: ObsOverheadBench,
 }
 
 impl PipelineBenchReport {
@@ -228,6 +263,21 @@ impl PipelineBenchReport {
         Ok(())
     }
 
+    /// The observability-overhead gate: errors when the instrumented
+    /// campaign is more than `max_pct` percent slower than the same
+    /// campaign with instrumentation disabled.
+    pub fn check_max_obs_overhead(&self, max_pct: f64) -> Result<(), String> {
+        let pct = self.observability.overhead_pct();
+        if pct > max_pct {
+            return Err(format!(
+                "observability overhead gate failed: instrumented campaign is {pct:.1}% slower \
+                 than disabled ({:.3}s vs {:.3}s), above the allowed {max_pct:.1}%",
+                self.observability.instrumented_s, self.observability.disabled_s
+            ));
+        }
+        Ok(())
+    }
+
     /// Human-readable per-run summary, one line per entry — shared by the
     /// two front-end binaries so their output stays identical.
     pub fn summary_lines(&self) -> Vec<String> {
@@ -261,6 +311,12 @@ impl PipelineBenchReport {
                 if inc > 0.0 { full / inc } else { 1.0 }
             ));
         }
+        lines.push(format!(
+            "  observability overhead: instrumented {:.3}s vs disabled {:.3}s ({:+.1}%)",
+            self.observability.instrumented_s,
+            self.observability.disabled_s,
+            self.observability.overhead_pct()
+        ));
         lines
     }
 
@@ -298,14 +354,18 @@ impl PipelineBenchReport {
             ("parallel_end_to_end_s".into(), Json::from(self.parallel().end_to_end)),
             ("speedup_parallel_vs_sequential".into(), Json::from(self.speedup())),
             ("loops".into(), self.loops.to_json()),
+            ("observability".into(), self.observability.to_json()),
         ])
     }
 }
 
+/// Times one stage through [`remp_obs::time_stage`], so a bench run feeds
+/// the same `remp_stage_seconds` histogram (and any active trace) as a
+/// production campaign, while the report keeps its own copy of the
+/// measurement.
 fn timed<T>(stages: &mut Vec<(&'static str, f64)>, name: &'static str, f: impl FnOnce() -> T) -> T {
-    let started = Instant::now();
-    let out = f();
-    stages.push((name, started.elapsed().as_secs_f64()));
+    let (out, secs) = remp_obs::time_stage(name, f);
+    stages.push((name, secs));
     out
 }
 
@@ -401,6 +461,54 @@ fn campaign_loop_stats(
     (session.loop_stats().to_vec(), session.questions_asked())
 }
 
+/// Runs each overhead mode this many times and keeps the fastest run —
+/// the standard way to cut scheduler noise out of a small timing delta.
+pub const OBS_OVERHEAD_ATTEMPTS: usize = 3;
+
+/// One full oracle campaign, returning its wall-clock and question count.
+fn campaign_seconds(dataset: &GeneratedDataset, threads: usize) -> (f64, usize) {
+    let par = if threads <= 1 { Parallelism::Sequential } else { Parallelism::Fixed(threads) };
+    let remp = Remp::new(RempConfig::default().with_parallelism(par));
+    let mut crowd = OracleCrowd::new();
+    let started = Instant::now();
+    let outcome =
+        remp.run(&dataset.kb1, &dataset.kb2, &|u1, u2| dataset.is_match(u1, u2), &mut crowd);
+    (started.elapsed().as_secs_f64(), outcome.questions_asked)
+}
+
+/// The `observability` scenario: the same campaign, best of
+/// [`OBS_OVERHEAD_ATTEMPTS`] runs with instrumentation on, then off.
+/// Restores the global instrumentation switch it found. Errors when the
+/// two modes disagree on the question count — instrumentation must be
+/// observation-only.
+fn profile_obs_overhead(
+    dataset: &GeneratedDataset,
+    threads: usize,
+) -> Result<ObsOverheadBench, String> {
+    let previous = remp_obs::enabled();
+    let best_of = |enabled: bool| {
+        remp_obs::set_enabled(enabled);
+        let mut best = f64::INFINITY;
+        let mut questions = 0usize;
+        for _ in 0..OBS_OVERHEAD_ATTEMPTS {
+            let (secs, q) = campaign_seconds(dataset, threads);
+            best = best.min(secs);
+            questions = q;
+        }
+        (best, questions)
+    };
+    let (instrumented_s, instrumented_q) = best_of(true);
+    let (disabled_s, disabled_q) = best_of(false);
+    remp_obs::set_enabled(previous);
+    if instrumented_q != disabled_q {
+        return Err(format!(
+            "observability equivalence violated: instrumented campaign asked {instrumented_q} \
+             questions, disabled asked {disabled_q}"
+        ));
+    }
+    Ok(ObsOverheadBench { instrumented_s, disabled_s })
+}
+
 /// The `loops` scenario: the campaign once incremental, once from
 /// scratch, rows zipped per loop. Errors when the two campaigns disagree
 /// on questions or loop count (they must be bit-identical).
@@ -447,6 +555,7 @@ pub fn run_pipeline_bench(opts: &PipelineBenchOptions) -> Result<PipelineBenchRe
     let runs: Vec<StageProfile> =
         opts.thread_counts.iter().map(|&t| profile_run(&dataset, t)).collect();
     let loops = profile_loops(&dataset, opts.thread_counts[0])?;
+    let observability = profile_obs_overhead(&dataset, opts.thread_counts[0])?;
     let baseline = &runs[0];
     for run in &runs[1..] {
         if run.questions != baseline.questions || (run.f1 - baseline.f1).abs() > 1e-12 {
@@ -469,6 +578,7 @@ pub fn run_pipeline_bench(opts: &PipelineBenchOptions) -> Result<PipelineBenchRe
         host_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         runs,
         loops,
+        observability,
     })
 }
 
@@ -493,6 +603,15 @@ mod tests {
         let loops = doc.get("loops").expect("loops scenario in the report");
         assert!(loops.get("rows").and_then(Json::as_array).is_some_and(|r| !r.is_empty()));
         assert_eq!(loops.get("questions").and_then(Json::as_usize), Some(report.runs[0].questions));
+        // The observability scenario is part of every report: both modes
+        // ran and the overhead row is serialized.
+        let obs = doc.get("observability").expect("observability scenario in the report");
+        assert!(obs.get("instrumented_s").and_then(Json::as_f64).is_some_and(|s| s > 0.0));
+        assert!(obs.get("disabled_s").and_then(Json::as_f64).is_some_and(|s| s > 0.0));
+        assert!(obs.get("overhead_pct").and_then(Json::as_f64).is_some());
+        // A generous gate always passes; an impossible one always fails.
+        assert!(report.check_max_obs_overhead(f64::INFINITY).is_ok());
+        assert!(report.check_max_obs_overhead(f64::NEG_INFINITY).is_err());
         // Stage names are stable — the CI gate and docs key off them.
         let names: Vec<&str> = report.runs[0].stages.iter().map(|&(n, _)| n).collect();
         assert_eq!(

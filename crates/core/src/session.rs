@@ -459,10 +459,13 @@ impl<'a> RempSession<'a> {
         // components the last batch touched. Isolated vertices are never
         // eligible — the classifier handles them (§VII-B).
         let selection_started = Instant::now();
-        let record = |selection_s: f64| LoopStat {
-            loop_index: self.loops,
-            refresh: outcome.stats,
-            selection_s,
+        // One Instant feeds both the `loop_stats` JSON and the
+        // `remp_stage_seconds{stage="selection"}` histogram — the two
+        // surfaces can never drift apart.
+        let record = |started: Instant| {
+            let selection_s = started.elapsed().as_secs_f64();
+            remp_obs::record_stage("selection", started, selection_s);
+            LoopStat { loop_index: self.loops, refresh: outcome.stats, selection_s }
         };
         // An exhausted question budget drains the session no matter what
         // is still reachable — check it before paying for a scoring pass.
@@ -473,7 +476,7 @@ impl<'a> RempSession<'a> {
             .unwrap_or(usize::MAX);
         let mu = self.config.mu.min(remaining);
         if mu == 0 {
-            let stat = record(selection_started.elapsed().as_secs_f64());
+            let stat = record(selection_started);
             self.loop_stats.push(stat);
             self.drained = true;
             return Ok(None);
@@ -499,13 +502,13 @@ impl<'a> RempSession<'a> {
         // continues; once nothing is reachable any more, remaining pairs
         // go to the classifier instead of the crowd.
         if !self.selector.any_reachable() {
-            let stat = record(selection_started.elapsed().as_secs_f64());
+            let stat = record(selection_started);
             self.loop_stats.push(stat);
             self.drained = true;
             return Ok(None);
         }
         let selected = self.selector.select(mu);
-        let stat = record(selection_started.elapsed().as_secs_f64());
+        let stat = record(selection_started);
         self.loop_stats.push(stat);
         if selected.is_empty() {
             // No unresolved pair can be inferred any more.
@@ -541,7 +544,25 @@ impl<'a> RempSession<'a> {
                     },
                 }
             })
-            .collect();
+            .collect::<Vec<Question>>();
+        if remp_obs::enabled() {
+            remp_obs::global()
+                .counter(
+                    remp_obs::names::QUESTIONS_ASKED_TOTAL,
+                    "Questions issued to the crowd.",
+                    &[],
+                )
+                .add(questions.len() as u64);
+            remp_obs::event(remp_obs::Level::Info, "session", None, || {
+                (
+                    "batch selected".to_owned(),
+                    vec![
+                        ("loop", Json::from(loop_index)),
+                        ("questions", Json::from(questions.len())),
+                    ],
+                )
+            });
+        }
         Ok(Some(Batch { loop_index, questions }))
     }
 
@@ -574,6 +595,18 @@ impl<'a> RempSession<'a> {
         }
         if labels.is_empty() {
             return Err(RempError::EmptyLabels(id));
+        }
+        // Truth inference + same-batch propagation, under the "submit"
+        // stage label of the shared stage histogram.
+        let _span = remp_obs::Span::enter("submit");
+        if remp_obs::enabled() {
+            remp_obs::global()
+                .counter(
+                    remp_obs::names::ANSWERS_SUBMITTED_TOTAL,
+                    "Crowd answers ingested by sessions.",
+                    &[],
+                )
+                .inc();
         }
 
         let q = self.pending[idx].pair;
@@ -633,6 +666,7 @@ impl<'a> RempSession<'a> {
     /// pairs) are merged into the already-sorted seed set, and the loop
     /// counter advances.
     fn finalize_batch(&mut self) {
+        let _span = remp_obs::Span::enter("finalize");
         let mut fresh = std::mem::take(&mut self.batch_matches);
         // A same-batch crowd NonMatch overrides an earlier propagation
         // mark (as in the synchronous loop); only pairs still resolved

@@ -1,0 +1,190 @@
+//! The structured event log: a bounded in-memory ring plus JSONL to
+//! stderr above a `REMP_LOG` threshold.
+//!
+//! Events are emitted through [`event`], which takes a *closure* so the
+//! message and key/value strings are only built when some sink will
+//! accept the event — with observability disabled (or the level below
+//! every threshold) an emit is two atomic loads and no allocation.
+//! The ring keeps the most recent [`RING_CAPACITY`] events at
+//! [`Level::Info`] and above; `rempd` serves it at
+//! `GET /campaigns/{id}/events`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use remp_json::Json;
+
+/// Environment variable selecting the stderr threshold
+/// (`debug|info|warn|error|off`, default `warn`).
+pub const LOG_ENV: &str = "REMP_LOG";
+
+/// Events kept in the in-memory ring.
+pub const RING_CAPACITY: usize = 4096;
+
+/// Event severity, ascending.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Development detail; never enters the ring.
+    Debug,
+    /// Normal operational events (requests, submits, checkpoints).
+    Info,
+    /// Something unexpected but survivable.
+    Warn,
+    /// A failed operation.
+    Error,
+}
+
+impl Level {
+    /// The wire/display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses a level name (`off` parses to `None`).
+    pub fn parse(raw: &str) -> Option<Option<Level>> {
+        match raw.to_ascii_lowercase().as_str() {
+            "debug" => Some(Some(Level::Debug)),
+            "info" => Some(Some(Level::Info)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "error" => Some(Some(Level::Error)),
+            "off" | "none" => Some(None),
+            _ => None,
+        }
+    }
+}
+
+/// One structured event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Unix milliseconds at emit time.
+    pub ts_ms: u64,
+    /// Severity.
+    pub level: Level,
+    /// The emitting subsystem (`serve.http`, `core.session`, …).
+    pub target: &'static str,
+    /// Campaign id, when the event belongs to one.
+    pub campaign: Option<String>,
+    /// Human-readable message.
+    pub message: String,
+    /// Structured fields.
+    pub kv: Vec<(&'static str, Json)>,
+}
+
+impl Event {
+    /// The JSON form used both for the stderr JSONL stream and the
+    /// `/campaigns/{id}/events` response.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("ts_ms".to_owned(), Json::from(self.ts_ms)),
+            ("level".to_owned(), Json::from(self.level.as_str())),
+            ("target".to_owned(), Json::from(self.target)),
+        ];
+        if let Some(c) = &self.campaign {
+            fields.push(("campaign".to_owned(), Json::from(c.as_str())));
+        }
+        fields.push(("msg".to_owned(), Json::from(self.message.as_str())));
+        for (k, v) in &self.kv {
+            fields.push(((*k).to_owned(), v.clone()));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Stderr threshold encoded for the atomic: 0..=3 = level, 4 = off.
+fn encode(level: Option<Level>) -> u8 {
+    level.map_or(4, |l| l as u8)
+}
+
+fn stderr_threshold_cell() -> &'static AtomicU8 {
+    static CELL: OnceLock<AtomicU8> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let from_env = std::env::var(LOG_ENV).ok().and_then(|raw| Level::parse(&raw));
+        AtomicU8::new(encode(from_env.unwrap_or(Some(Level::Warn))))
+    })
+}
+
+/// The current stderr threshold (`None` = silent).
+pub fn stderr_level() -> Option<Level> {
+    match stderr_threshold_cell().load(Ordering::Relaxed) {
+        0 => Some(Level::Debug),
+        1 => Some(Level::Info),
+        2 => Some(Level::Warn),
+        3 => Some(Level::Error),
+        _ => None,
+    }
+}
+
+/// Overrides the stderr threshold (normally set once via `REMP_LOG`).
+pub fn set_stderr_level(level: Option<Level>) {
+    stderr_threshold_cell().store(encode(level), Ordering::Relaxed);
+}
+
+fn ring() -> &'static Mutex<VecDeque<Event>> {
+    static RING: OnceLock<Mutex<VecDeque<Event>>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(VecDeque::with_capacity(RING_CAPACITY)))
+}
+
+fn now_ms() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0)
+}
+
+/// Emits a structured event. The closure builds `(message, fields)` and
+/// runs only when observability is enabled *and* the level clears the
+/// ring floor ([`Level::Info`]) or the stderr threshold — otherwise the
+/// call allocates nothing.
+pub fn event<F>(level: Level, target: &'static str, campaign: Option<&str>, build: F)
+where
+    F: FnOnce() -> (String, Vec<(&'static str, Json)>),
+{
+    if !crate::enabled() {
+        return;
+    }
+    let to_stderr = stderr_level().is_some_and(|min| level >= min);
+    let to_ring = level >= Level::Info;
+    if !to_stderr && !to_ring {
+        return;
+    }
+    let (message, kv) = build();
+    let ev = Event {
+        ts_ms: now_ms(),
+        level,
+        target,
+        campaign: campaign.map(str::to_owned),
+        message,
+        kv,
+    };
+    crate::global()
+        .counter(
+            crate::names::EVENTS_TOTAL,
+            "Structured events emitted, by level.",
+            &[("level", level.as_str())],
+        )
+        .inc();
+    if to_stderr {
+        eprintln!("{}", ev.to_json());
+    }
+    if to_ring {
+        let mut ring = ring().lock().expect("event ring poisoned");
+        if ring.len() == RING_CAPACITY {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+}
+
+/// A snapshot of the ring, oldest first, optionally filtered to one
+/// campaign and truncated to the most recent `limit` entries.
+pub fn events_snapshot(campaign: Option<&str>, limit: usize) -> Vec<Event> {
+    let ring = ring().lock().expect("event ring poisoned");
+    let matching =
+        ring.iter().filter(|e| campaign.is_none_or(|c| e.campaign.as_deref() == Some(c)));
+    let total = matching.clone().count();
+    matching.skip(total.saturating_sub(limit)).cloned().collect()
+}

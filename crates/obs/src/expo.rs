@@ -1,0 +1,242 @@
+//! A small parser for the Prometheus text-exposition format — the
+//! inverse of [`crate::MetricsRegistry::render`].
+//!
+//! `rempctl top` scrapes `/metrics` and reads its table cells out of the
+//! parsed [`Exposition`]; `rempctl metrics` uses the same parser as a
+//! well-formedness gate in CI; the crate's round-trip tests feed
+//! rendered registries back through it.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::quantile_from_buckets;
+
+/// One sample line: `name{labels} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name (for histograms this is the expanded name, e.g.
+    /// `remp_http_request_seconds_bucket`).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether every pair in `subset` appears among this sample's labels.
+    pub fn matches(&self, subset: &[(&str, &str)]) -> bool {
+        subset.iter().all(|&(k, v)| self.label(k) == Some(v))
+    }
+}
+
+/// A parsed scrape: `# TYPE` / `# HELP` headers plus every sample.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    /// `name → type` from `# TYPE` lines.
+    pub types: BTreeMap<String, String>,
+    /// `name → help` from `# HELP` lines (escapes undone).
+    pub helps: BTreeMap<String, String>,
+    /// All samples in source order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// Parses an exposition document, failing with a line-numbered
+    /// message on the first malformed line.
+    pub fn parse(text: &str) -> Result<Exposition, String> {
+        let mut out = Exposition::default();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.strip_suffix('\r').unwrap_or(raw);
+            if line.trim().is_empty() {
+                continue;
+            }
+            let lineno = idx + 1;
+            if let Some(rest) = line.strip_prefix('#') {
+                let rest = rest.trim_start();
+                if let Some(body) = rest.strip_prefix("HELP ") {
+                    let (name, help) = body
+                        .split_once(' ')
+                        .map(|(n, h)| (n, h.to_owned()))
+                        .unwrap_or((body, String::new()));
+                    check_name(name, lineno)?;
+                    out.helps.insert(name.to_owned(), unescape_help(&help));
+                } else if let Some(body) = rest.strip_prefix("TYPE ") {
+                    let (name, kind) = body
+                        .split_once(' ')
+                        .ok_or_else(|| format!("line {lineno}: TYPE needs a kind"))?;
+                    check_name(name, lineno)?;
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+                    }
+                    out.types.insert(name.to_owned(), kind.to_owned());
+                }
+                // Any other comment line is legal and ignored.
+                continue;
+            }
+            out.samples.push(parse_sample(line, lineno)?);
+        }
+        Ok(out)
+    }
+
+    /// The value of `name{labels ⊇ subset}` — the first matching sample.
+    pub fn value(&self, name: &str, subset: &[(&str, &str)]) -> Option<f64> {
+        self.samples.iter().find(|s| s.name == name && s.matches(subset)).map(|s| s.value)
+    }
+
+    /// The sum of `name` over every label set.
+    pub fn total(&self, name: &str) -> f64 {
+        self.samples.iter().filter(|s| s.name == name).map(|s| s.value).sum()
+    }
+
+    /// Whether the family `name` has at least one sample — for
+    /// histograms, a `name_count` sample.
+    pub fn has_family(&self, name: &str) -> bool {
+        let count = format!("{name}_count");
+        self.samples.iter().any(|s| s.name == name || s.name == count)
+    }
+
+    /// Estimates the `q`-quantile of the histogram family `name`,
+    /// aggregating `name_bucket` samples (matching `subset`) across all
+    /// label sets, exactly like the PromQL idiom
+    /// `histogram_quantile(q, sum by (le) (name_bucket))`.
+    pub fn histogram_quantile(&self, name: &str, subset: &[(&str, &str)], q: f64) -> Option<f64> {
+        let bucket_name = format!("{name}_bucket");
+        let mut by_le: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+        for s in self.samples.iter().filter(|s| s.name == bucket_name && s.matches(subset)) {
+            let le = parse_value(s.label("le")?).ok()?;
+            // Order by the bit pattern shifted so +Inf sorts last.
+            let key = ordered_bits(le);
+            let entry = by_le.entry(key).or_insert((le, 0));
+            entry.1 += s.value as u64;
+        }
+        let cumulative: Vec<(f64, u64)> = by_le.into_values().collect();
+        quantile_from_buckets(&cumulative, q)
+    }
+}
+
+/// Maps an `le` bound to a sort key ascending in value (`+Inf` last).
+/// Bounds are non-negative in practice, so the IEEE bit pattern orders.
+fn ordered_bits(v: f64) -> u64 {
+    v.max(0.0).to_bits()
+}
+
+/// Undoes [`crate::escape_help`] left to right (`\\` then `\n`; a
+/// naive double-`replace` would corrupt a literal backslash-`n`).
+fn unescape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn check_name(name: &str, lineno: usize) -> Result<(), String> {
+    let mut chars = name.chars();
+    let head_ok = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+    if head_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        Ok(())
+    } else {
+        Err(format!("line {lineno}: invalid metric name {name:?}"))
+    }
+}
+
+fn parse_value(raw: &str) -> Result<f64, String> {
+    match raw {
+        "+Inf" | "Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other.parse::<f64>().map_err(|_| format!("bad sample value {other:?}")),
+    }
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let bad = |what: &str| format!("line {lineno}: {what}");
+    let (name, mut rest) = match line.find(['{', ' ', '\t']) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => return Err(bad("sample line has no value")),
+    };
+    check_name(name, lineno)?;
+    let mut labels = Vec::new();
+    if let Some(body) = rest.strip_prefix('{') {
+        let bytes = body.as_bytes();
+        let mut i = 0usize;
+        loop {
+            while i < bytes.len() && (bytes[i] == b',' || bytes[i].is_ascii_whitespace()) {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(bad("unterminated label set"));
+            }
+            if bytes[i] == b'}' {
+                i += 1;
+                break;
+            }
+            let key_start = i;
+            while i < bytes.len() && bytes[i] != b'=' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(bad("label without '='"));
+            }
+            let key = body[key_start..i].trim().to_owned();
+            if key.is_empty() {
+                return Err(bad("empty label name"));
+            }
+            i += 1; // consume '='
+            if i >= bytes.len() || bytes[i] != b'"' {
+                return Err(bad("label value must be quoted"));
+            }
+            i += 1; // consume opening quote
+            let mut value = String::new();
+            let mut closed = false;
+            let mut chars = body[i..].char_indices();
+            while let Some((off, c)) = chars.next() {
+                match c {
+                    '"' => {
+                        i += off + 1;
+                        closed = true;
+                        break;
+                    }
+                    '\\' => match chars.next() {
+                        Some((_, 'n')) => value.push('\n'),
+                        Some((_, '\\')) => value.push('\\'),
+                        Some((_, '"')) => value.push('"'),
+                        _ => return Err(bad("bad escape in label value")),
+                    },
+                    other => value.push(other),
+                }
+            }
+            if !closed {
+                return Err(bad("unterminated label value"));
+            }
+            labels.push((key, value));
+        }
+        rest = &body[i..];
+    }
+    let mut fields = rest.split_whitespace();
+    let value = parse_value(fields.next().ok_or_else(|| bad("sample line has no value"))?)
+        .map_err(|e| bad(&e))?;
+    // An optional trailing timestamp is legal; anything further is not.
+    if fields.next().is_some() && fields.next().is_some() {
+        return Err(bad("trailing garbage after sample value"));
+    }
+    Ok(Sample { name: name.to_owned(), labels, value })
+}

@@ -1,0 +1,441 @@
+//! Atomic metric primitives and the registry that renders them.
+//!
+//! Three instrument kinds, all cheap `Arc`-backed handles safe to clone
+//! into hot loops: [`Counter`] (monotone `u64`), [`Gauge`] (an `f64`
+//! cell) and [`Histogram`] (fixed upper-bound buckets with a CAS-summed
+//! `f64` total, quantiles estimated by linear interpolation within the
+//! bucket). A [`MetricsRegistry`] maps `(name, labels)` to instruments
+//! and renders the whole collection in Prometheus text-exposition
+//! format (version 0.0.4).
+//!
+//! Two registration flavours cover the two ownership patterns in the
+//! workspace: [`MetricsRegistry::counter`] *gets or creates* a shared
+//! process-wide series (two callers asking for the same name and labels
+//! increment the same cell), while [`MetricsRegistry::register_counter`]
+//! *replaces* the series with a caller-owned handle — the campaign
+//! engine owns its lease counters (its tests assert exact values) and
+//! the registry merely exposes them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable `f64` cell (stored as bits in an atomic).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Latency buckets (seconds) shared by every duration histogram in the
+/// workspace: 100 µs up to 10 s, roughly ×2.5 apart. The `+Inf` bucket
+/// is implicit.
+pub const SECONDS_BUCKETS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+];
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Finite upper bounds, strictly ascending.
+    uppers: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; one extra slot
+    /// at the end for values above the last finite bound (`+Inf`).
+    buckets: Vec<AtomicU64>,
+    /// Sum of all observed values, stored as `f64` bits.
+    sum_bits: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket histogram with cumulative Prometheus rendering and
+/// interpolated quantile estimates.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// A histogram over the given finite upper bounds (ascending,
+    /// deduplicated; non-finite entries are dropped). The `+Inf` bucket
+    /// is always added.
+    pub fn new(uppers: &[f64]) -> Histogram {
+        let mut bounds: Vec<f64> = uppers.iter().copied().filter(|u| u.is_finite()).collect();
+        bounds.sort_by(|a, b| a.total_cmp(b));
+        bounds.dedup();
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramInner {
+            uppers: bounds,
+            buckets,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records one value.
+    pub fn observe(&self, v: f64) {
+        let inner = &self.0;
+        let idx = inner.uppers.partition_point(|&u| u < v);
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs, ending with the
+    /// `(+Inf, total)` bucket — the exposition form.
+    pub fn cumulative(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.0.uppers.len() + 1);
+        let mut cum = 0u64;
+        for (i, &upper) in self.0.uppers.iter().enumerate() {
+            cum += self.0.buckets[i].load(Ordering::Relaxed);
+            out.push((upper, cum));
+        }
+        cum += self.0.buckets[self.0.uppers.len()].load(Ordering::Relaxed);
+        out.push((f64::INFINITY, cum));
+        out
+    }
+
+    /// Estimates the `q`-quantile (`0 < q ≤ 1`) the way Prometheus'
+    /// `histogram_quantile` does: find the bucket holding rank
+    /// `q × count`, then interpolate linearly inside it. Observations
+    /// landing in the `+Inf` bucket clamp to the largest finite bound.
+    /// Returns `None` while the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.cumulative(), q)
+    }
+}
+
+/// Quantile estimation over cumulative `(le, count)` buckets (the last
+/// entry being `+Inf`); shared by live [`Histogram`]s and the scraped
+/// form ([`crate::Exposition::histogram_quantile`]).
+pub fn quantile_from_buckets(cumulative: &[(f64, u64)], q: f64) -> Option<f64> {
+    let (_, total) = *cumulative.last()?;
+    if total == 0 || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let rank = q * total as f64;
+    let mut lower = 0.0;
+    let mut prev_cum = 0u64;
+    for &(upper, cum) in cumulative {
+        if (cum as f64) >= rank && cum > prev_cum {
+            if upper.is_infinite() {
+                // Everything above the largest finite bound is clamped
+                // to it (with no finite bucket at all, fall back to 0).
+                return Some(lower);
+            }
+            let in_bucket = (cum - prev_cum) as f64;
+            let into = (rank - prev_cum as f64).max(0.0);
+            return Some(lower + (upper - lower) * (into / in_bucket).min(1.0));
+        }
+        if !upper.is_infinite() {
+            lower = upper;
+        }
+        prev_cum = cum;
+    }
+    None
+}
+
+/// One registered instrument.
+#[derive(Clone, Debug)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Series {
+    fn kind(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// `name → (help, kind)`; one family per metric name.
+    families: BTreeMap<String, (String, &'static str)>,
+    /// `name → label set → instrument`. The outer map keeps families
+    /// sorted; the inner map keeps label sets deterministic.
+    series: BTreeMap<String, BTreeMap<Vec<(String, String)>, Series>>,
+}
+
+/// A collection of named, labelled instruments renderable as Prometheus
+/// text exposition. Usually used through [`crate::global`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn upsert(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+        replace: bool,
+    ) -> Series {
+        let key: Vec<(String, String)> =
+            labels.iter().map(|&(k, v)| (k.to_owned(), v.to_owned())).collect();
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        let slot = inner.series.entry(name.to_owned()).or_default().entry(key);
+        let series = match slot {
+            std::collections::btree_map::Entry::Occupied(mut e) if replace => {
+                let fresh = make();
+                e.insert(fresh.clone());
+                fresh
+            }
+            std::collections::btree_map::Entry::Occupied(e) => e.get().clone(),
+            std::collections::btree_map::Entry::Vacant(e) => e.insert(make()).clone(),
+        };
+        inner.families.insert(name.to_owned(), (help.to_owned(), series.kind()));
+        series
+    }
+
+    /// Gets or creates the counter `name{labels}`.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.upsert(name, help, labels, || Series::Counter(Counter::new()), false) {
+            Series::Counter(c) => c,
+            _ => Counter::new(), // kind clash: hand back a detached instrument
+        }
+    }
+
+    /// Gets or creates the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.upsert(name, help, labels, || Series::Gauge(Gauge::new()), false) {
+            Series::Gauge(g) => g,
+            _ => Gauge::new(),
+        }
+    }
+
+    /// Gets or creates the histogram `name{labels}` over `buckets`.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        buckets: &[f64],
+    ) -> Histogram {
+        match self.upsert(name, help, labels, || Series::Histogram(Histogram::new(buckets)), false)
+        {
+            Series::Histogram(h) => h,
+            _ => Histogram::new(buckets),
+        }
+    }
+
+    /// Exposes a caller-owned counter as `name{labels}`, replacing any
+    /// previous series under that key (a restarted campaign re-registers
+    /// its fresh counters under the same id).
+    pub fn register_counter(&self, name: &str, help: &str, labels: &[(&str, &str)], c: &Counter) {
+        let handle = c.clone();
+        self.upsert(name, help, labels, move || Series::Counter(handle), true);
+    }
+
+    /// Exposes a caller-owned gauge as `name{labels}`, replacing any
+    /// previous series under that key.
+    pub fn register_gauge(&self, name: &str, help: &str, labels: &[(&str, &str)], g: &Gauge) {
+        let handle = g.clone();
+        self.upsert(name, help, labels, move || Series::Gauge(handle), true);
+    }
+
+    /// Drops every series carrying the label `key="value"` — campaign
+    /// teardown removes the campaign's gauges and counters.
+    pub fn remove_label_value(&self, key: &str, value: &str) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        for by_labels in inner.series.values_mut() {
+            by_labels.retain(|labels, _| !labels.iter().any(|(k, v)| k == key && v == value));
+        }
+        inner.series.retain(|_, by_labels| !by_labels.is_empty());
+    }
+
+    /// Number of registered series (label sets, not families).
+    pub fn series_count(&self) -> usize {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.series.values().map(BTreeMap::len).sum()
+    }
+
+    /// Renders the whole registry as Prometheus text exposition
+    /// (`text/plain; version=0.0.4`): families sorted by name, each with
+    /// its `# HELP` / `# TYPE` header, histograms expanded into
+    /// cumulative `_bucket{le=…}` plus `_sum` / `_count`.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, by_labels) in &inner.series {
+            if by_labels.is_empty() {
+                continue;
+            }
+            if let Some((help, kind)) = inner.families.get(name) {
+                out.push_str("# HELP ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(&escape_help(help));
+                out.push('\n');
+                out.push_str("# TYPE ");
+                out.push_str(name);
+                out.push(' ');
+                out.push_str(kind);
+                out.push('\n');
+            }
+            for (labels, series) in by_labels {
+                match series {
+                    Series::Counter(c) => {
+                        render_sample(&mut out, name, labels, &[], &format_value(c.get() as f64));
+                    }
+                    Series::Gauge(g) => {
+                        render_sample(&mut out, name, labels, &[], &format_value(g.get()));
+                    }
+                    Series::Histogram(h) => {
+                        for (upper, cum) in h.cumulative() {
+                            let le = if upper.is_infinite() {
+                                "+Inf".to_owned()
+                            } else {
+                                format_value(upper)
+                            };
+                            render_sample(
+                                &mut out,
+                                &format!("{name}_bucket"),
+                                labels,
+                                &[("le", &le)],
+                                &format_value(cum as f64),
+                            );
+                        }
+                        render_sample(
+                            &mut out,
+                            &format!("{name}_sum"),
+                            labels,
+                            &[],
+                            &format_value(h.sum()),
+                        );
+                        render_sample(
+                            &mut out,
+                            &format!("{name}_count"),
+                            labels,
+                            &[],
+                            &format_value(h.count() as f64),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Writes one `name{labels,extra} value` line.
+fn render_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: &[(&str, &str)],
+    value: &str,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in
+            labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// Escapes a `# HELP` text: backslash and newline.
+pub fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double quote and newline.
+pub fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Formats a sample value the way Prometheus expects: shortest
+/// round-trip `f64`, with `+Inf`/`-Inf` spelled out.
+pub fn format_value(v: f64) -> String {
+    if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_owned()
+    } else {
+        format!("{v}")
+    }
+}

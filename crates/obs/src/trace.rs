@@ -1,0 +1,142 @@
+//! Stage spans: one `Instant` per measurement feeding every sink.
+//!
+//! [`time_stage`] (and the RAII [`Span`]) is how the pipeline, session
+//! and server record durations. A single measurement lands in up to
+//! three places — the caller (who usually stores the seconds in its own
+//! stats struct, e.g. `RefreshStats`), the global
+//! `remp_stage_seconds{stage}` histogram, and, when a trace collection
+//! is active, the in-memory span list that `rempctl run --trace-out`
+//! writes as `spans.jsonl`. One clock read means the numbers can never
+//! drift apart.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use remp_json::Json;
+
+use crate::metrics::SECONDS_BUCKETS;
+
+/// One completed span of a trace collection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SpanRecord {
+    /// Stage name (`prune`, `consistency`, `submit`, …).
+    pub name: &'static str,
+    /// Seconds from the start of the collection to span start.
+    pub start_s: f64,
+    /// Span duration in seconds.
+    pub dur_s: f64,
+}
+
+impl SpanRecord {
+    /// One `spans.jsonl` line (without the trailing newline).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".to_owned(), Json::from(self.name)),
+            ("start_s".to_owned(), Json::from(self.start_s)),
+            ("dur_s".to_owned(), Json::from(self.dur_s)),
+        ])
+    }
+}
+
+struct TraceState {
+    epoch: Instant,
+    records: Vec<SpanRecord>,
+}
+
+static TRACE_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn trace_cell() -> &'static Mutex<Option<TraceState>> {
+    static CELL: OnceLock<Mutex<Option<TraceState>>> = OnceLock::new();
+    CELL.get_or_init(|| Mutex::new(None))
+}
+
+/// Starts (or restarts) collecting spans; timestamps are relative to
+/// this call.
+pub fn trace_begin() {
+    let mut cell = trace_cell().lock().expect("trace collector poisoned");
+    *cell = Some(TraceState { epoch: Instant::now(), records: Vec::new() });
+    TRACE_ACTIVE.store(true, Ordering::Release);
+}
+
+/// Whether a trace collection is active.
+pub fn trace_active() -> bool {
+    TRACE_ACTIVE.load(Ordering::Acquire)
+}
+
+/// Stops collecting and returns everything recorded since
+/// [`trace_begin`] (empty if no collection was active).
+pub fn trace_take() -> Vec<SpanRecord> {
+    TRACE_ACTIVE.store(false, Ordering::Release);
+    let mut cell = trace_cell().lock().expect("trace collector poisoned");
+    cell.take().map(|state| state.records).unwrap_or_default()
+}
+
+/// Renders spans as JSONL, one object per line — the `spans.jsonl`
+/// artifact consumed by offline flamegraph-style tooling.
+pub fn spans_to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        out.push_str(&span.to_json().to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Records one finished span into the histogram and (if active) the
+/// trace collection. No-op while observability is disabled.
+pub fn record_stage(name: &'static str, started: Instant, dur_s: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    crate::global()
+        .histogram(
+            crate::names::STAGE_SECONDS,
+            "Wall-clock seconds of pipeline/session stages, by stage.",
+            &[("stage", name)],
+            SECONDS_BUCKETS,
+        )
+        .observe(dur_s);
+    if trace_active() {
+        let mut cell = trace_cell().lock().expect("trace collector poisoned");
+        if let Some(state) = cell.as_mut() {
+            let start_s =
+                started.checked_duration_since(state.epoch).map_or(0.0, |d| d.as_secs_f64());
+            state.records.push(SpanRecord { name, start_s, dur_s });
+        }
+    }
+}
+
+/// Runs `f`, returning its output and the measured seconds after
+/// feeding the span through [`record_stage`]. The measurement happens
+/// unconditionally (callers store the seconds in their own stats);
+/// only the metric/trace recording is gated on [`crate::enabled`].
+pub fn time_stage<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let started = Instant::now();
+    let out = f();
+    let dur_s = started.elapsed().as_secs_f64();
+    record_stage(name, started, dur_s);
+    (out, dur_s)
+}
+
+/// An RAII span: records `name` from construction to drop — for code
+/// paths with early returns where [`time_stage`]'s closure shape does
+/// not fit.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    started: Instant,
+}
+
+impl Span {
+    /// Opens a span; it records when dropped.
+    pub fn enter(name: &'static str) -> Span {
+        Span { name, started: Instant::now() }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        record_stage(self.name, self.started, self.started.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the two pieces of `remp-obs` with real math in
+//! them: histogram quantile estimation (estimates must stay within the
+//! bucket width of the exact sample quantile) and Prometheus text
+//! exposition (whatever label values and help texts go in must come
+//! back out of the parser unchanged).
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use remp_obs::{Exposition, Histogram, MetricsRegistry};
+
+/// The finite bucket bounds every quantile property runs against.
+const BOUNDS: [f64; 6] = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0];
+
+/// The bucket `(lower, upper]` of `v` under [`BOUNDS`] (`le` semantics,
+/// values above the last bound clamp to it — mirroring the estimator).
+fn bucket_of(v: f64) -> (f64, f64) {
+    let mut lower = 0.0;
+    for &upper in &BOUNDS {
+        if v <= upper {
+            return (lower, upper);
+        }
+        lower = upper;
+    }
+    let last = BOUNDS[BOUNDS.len() - 1];
+    (BOUNDS[BOUNDS.len() - 2], last)
+}
+
+/// Alphabet for adversarial label values/help texts: everything the
+/// exposition format must escape, plus multi-byte characters.
+const ALPHABET: [char; 9] = ['a', 'B', 'n', '"', '\\', '\n', ' ', 'é', '∞'];
+
+fn string_from(indices: &[usize]) -> String {
+    indices.iter().map(|&i| ALPHABET[i % ALPHABET.len()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// The interpolated quantile estimate is never further from the
+    /// exact sample quantile than the widths of the buckets involved —
+    /// the resolution bound fixed-bucket histograms promise.
+    #[test]
+    fn quantile_estimates_stay_within_bucket_width(
+        values in collection::vec(0.0f64..16.0, 1..80),
+        q_raw in 0.0f64..=1.0,
+    ) {
+        let hist = Histogram::new(&BOUNDS);
+        for &v in &values {
+            hist.observe(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let n = sorted.len();
+        let rank = ((q_raw * n as f64).ceil() as usize).clamp(1, n);
+        let exact = sorted[rank - 1];
+        let est = hist.quantile(q_raw).expect("non-empty histogram has quantiles");
+
+        let (exact_lo, exact_hi) = bucket_of(exact);
+        let (est_lo, est_hi) = bucket_of(est);
+        let allowed = (exact_hi - exact_lo) + (est_hi - est_lo) + 1e-9;
+        prop_assert!(
+            (est - exact).abs() <= allowed,
+            "q={q_raw}: estimate {est} vs exact {exact} (allowed {allowed}, n={n})"
+        );
+        // The estimate is always inside the observed value range's hull
+        // extended to bucket resolution.
+        prop_assert!(est >= 0.0 && est <= BOUNDS[BOUNDS.len() - 1]);
+    }
+
+    /// Cumulative bucket counts are monotone, end at the total count,
+    /// and the sum matches the observations.
+    #[test]
+    fn cumulative_counts_are_consistent(
+        values in collection::vec(0.0f64..40.0, 0..60),
+    ) {
+        let hist = Histogram::new(&BOUNDS);
+        for &v in &values {
+            hist.observe(v);
+        }
+        let cum = hist.cumulative();
+        prop_assert_eq!(cum.len(), BOUNDS.len() + 1);
+        let mut prev = 0u64;
+        for &(_, c) in &cum {
+            prop_assert!(c >= prev);
+            prev = c;
+        }
+        prop_assert_eq!(prev, values.len() as u64);
+        prop_assert_eq!(hist.count(), values.len() as u64);
+        let exact_sum: f64 = values.iter().sum();
+        prop_assert!((hist.sum() - exact_sum).abs() <= 1e-9 * (1.0 + exact_sum.abs()));
+    }
+
+    /// Label values and help texts survive render → parse, no matter
+    /// which quotes, backslashes or newlines they contain; the rendered
+    /// form carries HELP/TYPE lines and exactly one sample.
+    #[test]
+    fn exposition_escaping_round_trips(
+        label_raw in collection::vec(0usize..ALPHABET.len(), 0..10),
+        help_raw in collection::vec(0usize..ALPHABET.len(), 0..12),
+        count in 0u64..1_000_000,
+    ) {
+        let label = string_from(&label_raw);
+        let help = string_from(&help_raw);
+        let reg = MetricsRegistry::new();
+        reg.counter("prop_round_trip_total", &help, &[("value", &label)]).add(count);
+        let text = reg.render();
+
+        let expo = Exposition::parse(&text);
+        prop_assert!(expo.is_ok(), "rendered exposition must parse: {:?}\n{text}", expo.err());
+        let expo = expo.unwrap();
+        prop_assert_eq!(
+            expo.types.get("prop_round_trip_total").map(String::as_str),
+            Some("counter"),
+            "TYPE line present"
+        );
+        // HELP round-trips when non-empty (an empty help renders as an
+        // empty suffix, which the parser reads back as empty).
+        prop_assert_eq!(
+            expo.helps.get("prop_round_trip_total").cloned().unwrap_or_default(),
+            help
+        );
+        prop_assert_eq!(
+            expo.value("prop_round_trip_total", &[("value", &label)]),
+            Some(count as f64)
+        );
+        prop_assert_eq!(expo.samples.len(), 1);
+    }
+}

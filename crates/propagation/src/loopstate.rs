@@ -42,10 +42,10 @@
 //! component's eligible count is monotonically non-increasing.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 use remp_ergraph::{Candidates, ComponentIndex, ErGraph, PairId, RelPairId};
 use remp_kb::Kb;
+use remp_obs::time_stage;
 use remp_par::Parallelism;
 
 use crate::consistency::{index_seeds, seed_observation, SeedIndex};
@@ -109,6 +109,31 @@ impl RefreshStats {
     pub fn stage_total_s(&self) -> f64 {
         self.consistency_s + self.propagation_s + self.inferred_s
     }
+}
+
+/// Publishes one refresh's counters to the global metrics registry.
+/// Stage timings are already recorded inside `time_stage`; this adds the
+/// loop-level dirty-region counters the incremental machinery reports.
+fn record_refresh_metrics(stats: &RefreshStats) {
+    if !remp_obs::enabled() {
+        return;
+    }
+    let reg = remp_obs::global();
+    let mode = if stats.full_rebuild { "full" } else { "incremental" };
+    reg.counter(remp_obs::names::LOOPS_TOTAL, "Propagation refreshes run.", &[("mode", mode)])
+        .inc();
+    reg.counter(
+        remp_obs::names::LOOP_DIRTY_VERTICES_TOTAL,
+        "Vertices whose probabilistic edges were recomputed across refreshes.",
+        &[],
+    )
+    .add(stats.dirty_vertices as u64);
+    reg.counter(
+        remp_obs::names::LOOP_RECOMPUTED_SOURCES_TOTAL,
+        "Dijkstra sources re-run across refreshes.",
+        &[],
+    )
+    .add(stats.recomputed_sources as u64);
 }
 
 /// What one refresh changed, for the caller's own caches.
@@ -332,178 +357,207 @@ impl LoopState {
         let retired_components = self.retired.iter().filter(|&&r| r).count();
 
         // -- Stage 2a: consistency estimation over dirty labels. --------
-        let started = Instant::now();
-        let new_seeds = if rebuild {
-            self.pending_seeds.clear();
-            self.obs = vec![BTreeMap::new(); ctx.graph.num_labels()];
-            self.cons = ConsistencyTable::from_entries([]);
-            self.pg = ProbErGraph::empty(ctx.candidates.len());
-            self.inferred = InferredSets::empty(ctx.candidates.len(), self.tau);
-            self.seed_index = index_seeds(ctx.candidates, &self.seeds);
-            self.seeds.clone()
-        } else {
-            let mut pending = std::mem::take(&mut self.pending_seeds);
-            pending.sort_unstable();
-            pending.dedup();
-            for &s in &pending {
-                let (u1, u2) = ctx.candidates.pair(s);
-                self.seed_index.entry(u1).or_default().insert(u2);
-            }
-            pending
-        };
+        // Each stage runs under `time_stage`: the same single
+        // measurement lands in `RefreshStats` (→ `loop_stats` JSON) and
+        // in the `remp_stage_seconds{stage}` histogram (→ `/metrics`),
+        // so the two surfaces cannot drift apart.
+        let ((new_seeds, dirty_labels, changed_labels), consistency_s) =
+            time_stage("consistency", || {
+                let new_seeds = if rebuild {
+                    self.pending_seeds.clear();
+                    self.obs = vec![BTreeMap::new(); ctx.graph.num_labels()];
+                    self.cons = ConsistencyTable::from_entries([]);
+                    self.pg = ProbErGraph::empty(ctx.candidates.len());
+                    self.inferred = InferredSets::empty(ctx.candidates.len(), self.tau);
+                    self.seed_index = index_seeds(ctx.candidates, &self.seeds);
+                    self.seeds.clone()
+                } else {
+                    let mut pending = std::mem::take(&mut self.pending_seeds);
+                    pending.sort_unstable();
+                    pending.dedup();
+                    for &s in &pending {
+                        let (u1, u2) = ctx.candidates.pair(s);
+                        self.seed_index.entry(u1).or_default().insert(u2);
+                    }
+                    pending
+                };
 
-        // Which (label, seed) observations must be recomputed: every new
-        // seed contributes to every label it has values for, and every
-        // existing seed with an ER-graph edge into a new seed gains a
-        // latent lower bound under the flipped edge label.
-        let num_labels = ctx.graph.num_labels();
-        let mut to_update: Vec<Vec<PairId>> = vec![new_seeds.clone(); num_labels];
-        if !rebuild {
-            for &s in &new_seeds {
-                for &(label, t) in ctx.graph.edges_from(s) {
-                    if self.seed_set[t.index()] {
-                        let mut flipped = ctx.graph.label(label);
-                        flipped.dir = flipped.dir.flip();
-                        let id = ctx
-                            .graph
-                            .label_id(flipped)
-                            .expect("both orientations of a label are interned together");
-                        to_update[id.index()].push(t);
+                // Which (label, seed) observations must be recomputed: every new
+                // seed contributes to every label it has values for, and every
+                // existing seed with an ER-graph edge into a new seed gains a
+                // latent lower bound under the flipped edge label.
+                let num_labels = ctx.graph.num_labels();
+                let mut to_update: Vec<Vec<PairId>> = vec![new_seeds.clone(); num_labels];
+                if !rebuild {
+                    for &s in &new_seeds {
+                        for &(label, t) in ctx.graph.edges_from(s) {
+                            if self.seed_set[t.index()] {
+                                let mut flipped = ctx.graph.label(label);
+                                flipped.dir = flipped.dir.flip();
+                                let id = ctx
+                                    .graph
+                                    .label_id(flipped)
+                                    .expect("both orientations of a label are interned together");
+                                to_update[id.index()].push(t);
+                            }
+                        }
                     }
                 }
-            }
-        }
-        struct LabelJob {
-            label: RelPairId,
-            seeds: Vec<PairId>,
-        }
-        let jobs: Vec<LabelJob> = to_update
-            .into_iter()
-            .enumerate()
-            .filter(|(_, seeds)| !seeds.is_empty())
-            .map(|(l, mut seeds)| {
-                seeds.sort_unstable();
-                seeds.dedup();
-                LabelJob { label: RelPairId(l as u32), seeds }
-            })
-            .collect();
-        type LabelUpdate = Option<(Vec<(u32, SizeObservation)>, crate::Consistency)>;
-        let updates: Vec<LabelUpdate> = par.par_map(&jobs, |job| {
-            let label = ctx.graph.label(job.label);
-            let cache = &self.obs[job.label.index()];
-            let mut changed: Vec<(u32, SizeObservation)> = Vec::new();
-            for &s in &job.seeds {
-                let fresh =
-                    seed_observation(ctx.kb1, ctx.kb2, ctx.candidates, &self.seed_index, s, label);
-                // `None` is static (empty value sets stay empty), so a
-                // cached entry can only be replaced, never removed.
-                if let Some(o) = fresh {
-                    if cache.get(&s.0) != Some(&o) {
-                        changed.push((s.0, o));
+                struct LabelJob {
+                    label: RelPairId,
+                    seeds: Vec<PairId>,
+                }
+                let jobs: Vec<LabelJob> = to_update
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, seeds)| !seeds.is_empty())
+                    .map(|(l, mut seeds)| {
+                        seeds.sort_unstable();
+                        seeds.dedup();
+                        LabelJob { label: RelPairId(l as u32), seeds }
+                    })
+                    .collect();
+                type LabelUpdate = Option<(Vec<(u32, SizeObservation)>, crate::Consistency)>;
+                let updates: Vec<LabelUpdate> = par.par_map(&jobs, |job| {
+                    let label = ctx.graph.label(job.label);
+                    let cache = &self.obs[job.label.index()];
+                    let mut changed: Vec<(u32, SizeObservation)> = Vec::new();
+                    for &s in &job.seeds {
+                        let fresh = seed_observation(
+                            ctx.kb1,
+                            ctx.kb2,
+                            ctx.candidates,
+                            &self.seed_index,
+                            s,
+                            label,
+                        );
+                        // `None` is static (empty value sets stay empty), so a
+                        // cached entry can only be replaced, never removed.
+                        if let Some(o) = fresh {
+                            if cache.get(&s.0) != Some(&o) {
+                                changed.push((s.0, o));
+                            }
+                        }
+                    }
+                    if changed.is_empty() {
+                        return None;
+                    }
+                    let merged = merged_observations(cache, &changed);
+                    Some((changed, estimate_consistency(&merged)))
+                });
+                let mut dirty_labels = 0usize;
+                let mut changed_labels: Vec<RelPairId> = Vec::new();
+                for (job, update) in jobs.iter().zip(updates) {
+                    let Some((entries, value)) = update else { continue };
+                    dirty_labels += 1;
+                    let cache = &mut self.obs[job.label.index()];
+                    for (seed, o) in entries {
+                        cache.insert(seed, o);
+                    }
+                    if self.cons.set(job.label, value) {
+                        changed_labels.push(job.label);
                     }
                 }
-            }
-            if changed.is_empty() {
-                return None;
-            }
-            let merged = merged_observations(cache, &changed);
-            Some((changed, estimate_consistency(&merged)))
-        });
-        let mut dirty_labels = 0usize;
-        let mut changed_labels: Vec<RelPairId> = Vec::new();
-        for (job, update) in jobs.iter().zip(updates) {
-            let Some((entries, value)) = update else { continue };
-            dirty_labels += 1;
-            let cache = &mut self.obs[job.label.index()];
-            for (seed, o) in entries {
-                cache.insert(seed, o);
-            }
-            if self.cons.set(job.label, value) {
-                changed_labels.push(job.label);
-            }
-        }
-        let consistency_s = started.elapsed().as_secs_f64();
+                (new_seeds, dirty_labels, changed_labels)
+            });
 
         // -- Stage 2b: probabilistic edges of dirty vertices. -----------
-        let started = Instant::now();
-        let changed_priors = {
-            let mut priors = std::mem::take(&mut self.pending_priors);
-            priors.sort_unstable();
-            priors.dedup();
-            priors
-        };
-        let n = ctx.candidates.len();
-        let mut vertex_dirty = vec![false; n];
-        if rebuild {
-            for v in ctx.candidates.ids() {
-                if !self.retired[ctx.components.component_of(v)] {
-                    vertex_dirty[v.index()] = true;
-                }
-            }
-        } else {
-            for &label in &changed_labels {
-                for &v in &self.label_vertices[label.index()] {
-                    if !self.retired[ctx.components.component_of(v)] {
-                        vertex_dirty[v.index()] = true;
+        let ((component_dirty, dirty_vertices, changed_vertices), propagation_s) =
+            time_stage("propagation", || {
+                let changed_priors = {
+                    let mut priors = std::mem::take(&mut self.pending_priors);
+                    priors.sort_unstable();
+                    priors.dedup();
+                    priors
+                };
+                let n = ctx.candidates.len();
+                let mut vertex_dirty = vec![false; n];
+                if rebuild {
+                    for v in ctx.candidates.ids() {
+                        if !self.retired[ctx.components.component_of(v)] {
+                            vertex_dirty[v.index()] = true;
+                        }
+                    }
+                } else {
+                    for &label in &changed_labels {
+                        for &v in &self.label_vertices[label.index()] {
+                            if !self.retired[ctx.components.component_of(v)] {
+                                vertex_dirty[v.index()] = true;
+                            }
+                        }
+                    }
+                    // A changed prior dirties the pairs it propagates to: the
+                    // pair's ER-graph neighbours (adjacency is symmetric).
+                    for &w in &changed_priors {
+                        for &(_, t) in ctx.graph.edges_from(w) {
+                            if !self.retired[ctx.components.component_of(t)] {
+                                vertex_dirty[t.index()] = true;
+                            }
+                        }
                     }
                 }
-            }
-            // A changed prior dirties the pairs it propagates to: the
-            // pair's ER-graph neighbours (adjacency is symmetric).
-            for &w in &changed_priors {
-                for &(_, t) in ctx.graph.edges_from(w) {
-                    if !self.retired[ctx.components.component_of(t)] {
-                        vertex_dirty[t.index()] = true;
+                let dirty_vertices: Vec<PairId> = vertex_dirty
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &d)| d)
+                    .map(|(i, _)| PairId::from_index(i))
+                    .collect();
+                let edge_lists: Vec<Vec<(PairId, f64)>> = par.par_map(&dirty_vertices, |&v| {
+                    vertex_edges(
+                        ctx.kb1,
+                        ctx.kb2,
+                        ctx.candidates,
+                        ctx.graph,
+                        &self.cons,
+                        &self.config,
+                        v,
+                    )
+                });
+                let mut component_dirty = vec![false; ctx.components.len()];
+                let mut changed_vertices = 0usize;
+                for (&v, list) in dirty_vertices.iter().zip(edge_lists) {
+                    if self.pg.replace_edges(v, list) {
+                        changed_vertices += 1;
+                        component_dirty[ctx.components.component_of(v)] = true;
                     }
                 }
-            }
-        }
-        let dirty_vertices: Vec<PairId> = vertex_dirty
-            .iter()
-            .enumerate()
-            .filter(|&(_, &d)| d)
-            .map(|(i, _)| PairId::from_index(i))
-            .collect();
-        let edge_lists: Vec<Vec<(PairId, f64)>> = par.par_map(&dirty_vertices, |&v| {
-            vertex_edges(ctx.kb1, ctx.kb2, ctx.candidates, ctx.graph, &self.cons, &self.config, v)
-        });
-        let mut component_dirty = vec![false; ctx.components.len()];
-        let mut changed_vertices = 0usize;
-        for (&v, list) in dirty_vertices.iter().zip(edge_lists) {
-            if self.pg.replace_edges(v, list) {
-                changed_vertices += 1;
-                component_dirty[ctx.components.component_of(v)] = true;
-            }
-        }
-        if rebuild {
-            // Even unchanged (empty-edge) components need their initial
-            // Dijkstra pass: every source's set contains itself.
-            for (c, dirty) in component_dirty.iter_mut().enumerate() {
-                *dirty = !self.retired[c];
-            }
-        }
-        let propagation_s = started.elapsed().as_secs_f64();
+                if rebuild {
+                    // Even unchanged (empty-edge) components need their initial
+                    // Dijkstra pass: every source's set contains itself.
+                    for (c, dirty) in component_dirty.iter_mut().enumerate() {
+                        *dirty = !self.retired[c];
+                    }
+                }
+                (component_dirty, dirty_vertices.len(), changed_vertices)
+            });
 
         // -- Stage 2c: inferred sets of dirty components. ---------------
-        let started = Instant::now();
-        let dirty_components: Vec<usize> =
-            component_dirty.iter().enumerate().filter(|&(_, &d)| d).map(|(c, _)| c).collect();
-        let sources: Vec<PairId> = dirty_components
-            .iter()
-            .flat_map(|&c| ctx.components.members(c))
-            .copied()
-            .filter(|&q| self.eligible[q.index()])
-            .collect();
-        let zeta = zeta_of(self.tau);
-        let rows: Vec<Vec<(PairId, f64)>> = par.par_map_with(
-            &sources,
-            || (vec![f64::INFINITY; n], Vec::<usize>::new()),
-            |(dist, touched), &q| dijkstra_row(&self.pg, zeta, q, dist, touched),
-        );
-        for (&q, row) in sources.iter().zip(rows) {
-            self.inferred.set_row(q, row);
-        }
-        let inferred_s = started.elapsed().as_secs_f64();
+        let ((dirty_components, recomputed_sources), inferred_s) =
+            time_stage("inferred_sets", || {
+                let dirty_components: Vec<usize> = component_dirty
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &d)| d)
+                    .map(|(c, _)| c)
+                    .collect();
+                let sources: Vec<PairId> = dirty_components
+                    .iter()
+                    .flat_map(|&c| ctx.components.members(c))
+                    .copied()
+                    .filter(|&q| self.eligible[q.index()])
+                    .collect();
+                let zeta = zeta_of(self.tau);
+                let n = ctx.candidates.len();
+                let rows: Vec<Vec<(PairId, f64)>> = par.par_map_with(
+                    &sources,
+                    || (vec![f64::INFINITY; n], Vec::<usize>::new()),
+                    |(dist, touched), &q| dijkstra_row(&self.pg, zeta, q, dist, touched),
+                );
+                for (&q, row) in sources.iter().zip(rows) {
+                    self.inferred.set_row(q, row);
+                }
+                (dirty_components, sources.len())
+            });
 
         // Note: components that just retired stay in this list — the
         // caller's selection cache must still observe the retirement
@@ -520,23 +574,22 @@ impl LoopState {
         };
         self.caches_valid = true;
 
-        RefreshOutcome {
-            stats: RefreshStats {
-                full_rebuild: rebuild,
-                new_seeds: new_seeds.len(),
-                dirty_labels,
-                changed_labels: changed_labels.len(),
-                dirty_vertices: dirty_vertices.len(),
-                changed_vertices,
-                dirty_components: dirty_components.len(),
-                retired_components,
-                recomputed_sources: sources.len(),
-                consistency_s,
-                propagation_s,
-                inferred_s,
-            },
-            selection_dirty,
-        }
+        let stats = RefreshStats {
+            full_rebuild: rebuild,
+            new_seeds: new_seeds.len(),
+            dirty_labels,
+            changed_labels: changed_labels.len(),
+            dirty_vertices,
+            changed_vertices,
+            dirty_components: dirty_components.len(),
+            retired_components,
+            recomputed_sources,
+            consistency_s,
+            propagation_s,
+            inferred_s,
+        };
+        record_refresh_metrics(&stats);
+        RefreshOutcome { stats, selection_dirty }
     }
 
     /// The from-scratch baseline: recomputes every artifact exactly like
@@ -550,30 +603,32 @@ impl LoopState {
         par: &Parallelism,
     ) -> RefreshOutcome {
         self.retired = self.eligible_count.iter().map(|&c| c == 0).collect();
-        let started = Instant::now();
-        self.cons = ConsistencyTable::estimate(
-            ctx.kb1,
-            ctx.kb2,
-            ctx.candidates,
-            ctx.graph,
-            &self.seeds,
-            par,
-        );
-        let consistency_s = started.elapsed().as_secs_f64();
-        let started = Instant::now();
-        self.pg = ProbErGraph::build(
-            ctx.kb1,
-            ctx.kb2,
-            ctx.candidates,
-            ctx.graph,
-            &self.cons,
-            &self.config,
-            par,
-        );
-        let propagation_s = started.elapsed().as_secs_f64();
-        let started = Instant::now();
-        self.inferred = inferred_sets_dijkstra(&self.pg, self.tau, par);
-        let inferred_s = started.elapsed().as_secs_f64();
+        let (cons, consistency_s) = time_stage("consistency", || {
+            ConsistencyTable::estimate(
+                ctx.kb1,
+                ctx.kb2,
+                ctx.candidates,
+                ctx.graph,
+                &self.seeds,
+                par,
+            )
+        });
+        self.cons = cons;
+        let (pg, propagation_s) = time_stage("propagation", || {
+            ProbErGraph::build(
+                ctx.kb1,
+                ctx.kb2,
+                ctx.candidates,
+                ctx.graph,
+                &self.cons,
+                &self.config,
+                par,
+            )
+        });
+        self.pg = pg;
+        let (inferred, inferred_s) =
+            time_stage("inferred_sets", || inferred_sets_dijkstra(&self.pg, self.tau, par));
+        self.inferred = inferred;
         // The incremental caches no longer mirror the artifacts; force
         // the next incremental refresh (if any) to rebuild.
         self.caches_valid = false;
@@ -581,23 +636,22 @@ impl LoopState {
         self.pending_priors.clear();
         self.pending_components.clear();
         let n = ctx.candidates.len();
-        RefreshOutcome {
-            stats: RefreshStats {
-                full_rebuild: true,
-                new_seeds: 0,
-                dirty_labels: ctx.graph.num_labels(),
-                changed_labels: ctx.graph.num_labels(),
-                dirty_vertices: n,
-                changed_vertices: n,
-                dirty_components: ctx.components.len(),
-                retired_components: self.retired.iter().filter(|&&r| r).count(),
-                recomputed_sources: n,
-                consistency_s,
-                propagation_s,
-                inferred_s,
-            },
-            selection_dirty: (0..ctx.components.len()).collect(),
-        }
+        let stats = RefreshStats {
+            full_rebuild: true,
+            new_seeds: 0,
+            dirty_labels: ctx.graph.num_labels(),
+            changed_labels: ctx.graph.num_labels(),
+            dirty_vertices: n,
+            changed_vertices: n,
+            dirty_components: ctx.components.len(),
+            retired_components: self.retired.iter().filter(|&&r| r).count(),
+            recomputed_sources: n,
+            consistency_s,
+            propagation_s,
+            inferred_s,
+        };
+        record_refresh_metrics(&stats);
+        RefreshOutcome { stats, selection_dirty: (0..ctx.components.len()).collect() }
     }
 
     /// Runs the from-scratch stage-2 pipeline on the current seed set and

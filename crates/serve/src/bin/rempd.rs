@@ -27,6 +27,11 @@ OPTIONS:
     --state-dir DIR     durable campaign state; campaigns checkpointed
                         there on shutdown are resumed on the next start
     --threads POLICY    HTTP handler pool size      [auto]
+
+Observability: GET /metrics serves Prometheus text exposition and
+GET /campaigns/ID/events the recent structured events; REMP_OBS=0
+disables instrumentation, REMP_LOG=debug|info|warn|error sets the
+stderr event-log level (default: warn; debug includes an access log).
 ";
 
 fn main() -> ExitCode {

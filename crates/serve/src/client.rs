@@ -103,6 +103,17 @@ impl ServeClient {
         self.request_raw(method, path, body.as_deref().map(str::as_bytes))
     }
 
+    /// `GET path` returning `(status, raw body text)` with no JSON
+    /// parsing — `/metrics` answers Prometheus text exposition, not
+    /// JSON.
+    pub fn get_text(&self, path: &str) -> Result<(u16, String), ClientError> {
+        let raw = self.exchange("GET", path, b"")?;
+        let (status, body) = split_response(&raw)?;
+        let text = std::str::from_utf8(body)
+            .map_err(|_| ClientError::Protocol("non-UTF-8 response body".into()))?;
+        Ok((status, text.to_owned()))
+    }
+
     /// Like [`request`](Self::request) but with an arbitrary byte body —
     /// lets tests send deliberately broken JSON.
     pub fn request_raw(
@@ -111,13 +122,19 @@ impl ServeClient {
         path: &str,
         body: Option<&[u8]>,
     ) -> Result<(u16, Json), ClientError> {
+        let raw = self.exchange(method, path, body.unwrap_or(b""))?;
+        parse_response(&raw)
+    }
+
+    /// One full request/response cycle, returning the raw response
+    /// bytes.
+    fn exchange(&self, method: &str, path: &str, body: &[u8]) -> Result<Vec<u8>, ClientError> {
         let mut stream =
             TcpStream::connect(&self.addr).map_err(|e| ClientError::Io(e.to_string()))?;
         let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
         // The request goes out in small writes; without nodelay, Nagle +
         // delayed ACKs add tens of milliseconds per round trip.
         let _ = stream.set_nodelay(true);
-        let body = body.unwrap_or(b"");
         let head = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
             self.addr,
@@ -130,7 +147,7 @@ impl ServeClient {
         let mut reader = BufReader::new(stream);
         let mut raw = Vec::new();
         reader.read_to_end(&mut raw).map_err(|e| ClientError::Io(e.to_string()))?;
-        parse_response(&raw)
+        Ok(raw)
     }
 }
 
@@ -154,7 +171,8 @@ fn expect_ok((status, doc): (u16, Json)) -> Result<Json, ClientError> {
     })
 }
 
-fn parse_response(raw: &[u8]) -> Result<(u16, Json), ClientError> {
+/// Splits a raw response into `(status, body bytes)`.
+fn split_response(raw: &[u8]) -> Result<(u16, &[u8]), ClientError> {
     let header_end = raw
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
@@ -167,7 +185,11 @@ fn parse_response(raw: &[u8]) -> Result<(u16, Json), ClientError> {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
-    let body = &raw[header_end + 4..];
+    Ok((status, &raw[header_end + 4..]))
+}
+
+fn parse_response(raw: &[u8]) -> Result<(u16, Json), ClientError> {
+    let (status, body) = split_response(raw)?;
     let text = std::str::from_utf8(body)
         .map_err(|_| ClientError::Protocol("non-UTF-8 response body".into()))?;
     let doc = if text.trim().is_empty() {

@@ -24,6 +24,7 @@
 
 use remp_core::{Question, QuestionId, RempOutcome, RempSession};
 use remp_crowd::{Label, Verdict, WorkerQualityEstimator, WorkerRecord};
+use remp_obs::Counter;
 
 use crate::wire::{ServeError, SubmittedRecord};
 
@@ -139,6 +140,32 @@ pub struct LeaseStats {
     pub reissued: u64,
 }
 
+/// The engine's live lease instruments: the *same cells* back both the
+/// `leases` block of `/campaigns/{id}` status JSON (via
+/// [`CampaignEngine::lease_stats`]) and the `remp_leases_*_total` series
+/// on `/metrics` (the campaign actor registers clones of these handles
+/// under its `campaign` label). One source of truth, two read paths.
+#[derive(Clone, Debug, Default)]
+pub struct LeaseCounters {
+    /// Leases granted, including re-issues.
+    pub issued: Counter,
+    /// Leases that expired unanswered.
+    pub expired: Counter,
+    /// Grants that replaced an expired lease on the same question.
+    pub reissued: Counter,
+}
+
+impl LeaseCounters {
+    /// Point-in-time copy of the three counters.
+    pub fn snapshot(&self) -> LeaseStats {
+        LeaseStats {
+            issued: self.issued.get(),
+            expired: self.expired.get(),
+            reissued: self.reissued.get(),
+        }
+    }
+}
+
 /// Aggregate progress snapshot (see [`CampaignEngine::progress`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Progress {
@@ -170,7 +197,7 @@ pub struct CampaignEngine<'a> {
     estimator: WorkerQualityEstimator,
     open: Vec<OpenSlot>,
     log: Vec<SubmittedRecord>,
-    lease_stats: LeaseStats,
+    leases: LeaseCounters,
     paused: bool,
     /// Memoized [`outcome`](Self::outcome); invalidated by each
     /// submitted answer so polling `/outcome` between answers is free.
@@ -187,7 +214,7 @@ impl<'a> CampaignEngine<'a> {
             estimator,
             open: Vec::new(),
             log: Vec::new(),
-            lease_stats: LeaseStats::default(),
+            leases: LeaseCounters::default(),
             paused: false,
             outcome_cache: None,
         }
@@ -295,7 +322,7 @@ impl<'a> CampaignEngine<'a> {
             slot.leases.retain(|&(_, expiry)| expiry > now_ms);
             let dropped = (before - slot.leases.len()) as u64;
             slot.expired += dropped;
-            self.lease_stats.expired += dropped;
+            self.leases.expired.add(dropped);
         }
     }
 
@@ -325,11 +352,11 @@ impl<'a> CampaignEngine<'a> {
         };
         let deadline_ms = now_ms.saturating_add(self.policy.lease_ms);
         slot.leases.push((worker.to_owned(), deadline_ms));
-        self.lease_stats.issued += 1;
+        self.leases.issued.inc();
         if slot.reissued < slot.expired {
             // This grant covers one of the slot's expired leases.
             slot.reissued += 1;
-            self.lease_stats.reissued += 1;
+            self.leases.reissued.inc();
         }
         Ok(Some(Assignment { question: slot.question.clone(), deadline_ms }))
     }
@@ -456,14 +483,32 @@ impl<'a> CampaignEngine<'a> {
                 .map(|s| (s.question.id, s.answers.len(), s.leases.len()))
                 .collect(),
             workers: self.estimator.len(),
-            leases: self.lease_stats,
+            leases: self.leases.snapshot(),
         })
     }
 
     /// Lease counters since this engine was constructed (issued,
     /// expired, re-issued). Not persisted across restarts.
     pub fn lease_stats(&self) -> LeaseStats {
-        self.lease_stats
+        self.leases.snapshot()
+    }
+
+    /// Clonable handles to the live lease instruments — what the
+    /// campaign actor registers on the global metrics registry so
+    /// `/metrics` exports exactly the numbers the status endpoint
+    /// reports.
+    pub fn lease_counters(&self) -> LeaseCounters {
+        self.leases.clone()
+    }
+
+    /// Cheap observability snapshot for the campaign gauges: `(open
+    /// questions, questions asked, registered workers, complete)`.
+    /// Unlike [`progress`](Self::progress) this neither refills the
+    /// pool nor needs a clock, so the actor can refresh gauges after
+    /// every message for free.
+    pub fn gauge_snapshot(&self) -> (usize, usize, usize, bool) {
+        let complete = !self.paused && self.open.is_empty() && self.session.is_drained();
+        (self.open.len(), self.session.questions_asked(), self.estimator.len(), complete)
     }
 
     /// The final (or provisional) outcome. Works at any point: the

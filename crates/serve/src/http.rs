@@ -223,14 +223,26 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete response and flushes. The connection always closes
-/// afterwards (`Connection: close`).
+/// Writes a complete JSON response and flushes. The connection always
+/// closes afterwards (`Connection: close`).
 pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) -> io::Result<()> {
+    write_response_typed(stream, status, "application/json", body)
+}
+
+/// [`write_response`] with an explicit `Content-Type` — `/metrics`
+/// answers Prometheus text exposition, not JSON.
+pub fn write_response_typed<W: Write>(
+    stream: &mut W,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
         status,
         reason_phrase(status),
+        content_type,
         body.len()
     )?;
     stream.write_all(body.as_bytes())?;

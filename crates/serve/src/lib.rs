@@ -57,7 +57,7 @@ pub mod wire;
 
 pub use client::{ClientError, ServeClient};
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use engine::{Assignment, CampaignEngine, CrowdPolicy, LeaseStats};
+pub use engine::{Assignment, CampaignEngine, CrowdPolicy, LeaseCounters, LeaseStats};
 pub use registry::{CampaignRequest, CampaignSource, CampaignSpec, Registry};
 pub use server::{install_signal_handlers, signal_stop_flag, Server, ServerConfig};
 pub use sim::{drive, drive_n, reference_outcome, CrowdParams, WireCrowd};

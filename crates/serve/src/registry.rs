@@ -34,6 +34,78 @@ use crate::clock::{Clock, SystemClock};
 use crate::engine::{CampaignEngine, CrowdPolicy};
 use crate::wire::{question_json, verdict_code, ServeError, SubmittedRecord};
 
+/// The campaign's footprint on the global metrics registry: the
+/// engine-owned lease counters exposed under a `campaign` label, plus
+/// four gauges the actor refreshes after every message. Dropped (all
+/// series removed) when the actor stops, so a dead campaign does not
+/// linger on `/metrics`.
+struct CampaignObs {
+    id: String,
+    open: remp_obs::Gauge,
+    asked: remp_obs::Gauge,
+    workers: remp_obs::Gauge,
+    complete: remp_obs::Gauge,
+}
+
+impl CampaignObs {
+    fn register(id: &str, engine: &CampaignEngine<'_>) -> CampaignObs {
+        use remp_obs::names;
+        let reg = remp_obs::global();
+        let labels: &[(&str, &str)] = &[("campaign", id)];
+        let lc = engine.lease_counters();
+        reg.register_counter(
+            names::LEASES_ISSUED_TOTAL,
+            "Leases granted, including re-issues.",
+            labels,
+            &lc.issued,
+        );
+        reg.register_counter(
+            names::LEASES_EXPIRED_TOTAL,
+            "Leases that expired unanswered.",
+            labels,
+            &lc.expired,
+        );
+        reg.register_counter(
+            names::LEASES_REISSUED_TOTAL,
+            "Grants that replaced an expired lease on the same question.",
+            labels,
+            &lc.reissued,
+        );
+        let gauge = |name: &str, help: &str| {
+            let g = remp_obs::Gauge::new();
+            reg.register_gauge(name, help, labels, &g);
+            g
+        };
+        let obs = CampaignObs {
+            id: id.to_owned(),
+            open: gauge(
+                names::CAMPAIGN_OPEN_QUESTIONS,
+                "Questions currently open (leasable or collecting answers).",
+            ),
+            asked: gauge(
+                names::CAMPAIGN_QUESTIONS_ASKED,
+                "Questions submitted to the session so far.",
+            ),
+            workers: gauge(names::CAMPAIGN_WORKERS, "Workers registered with the campaign."),
+            complete: gauge(names::CAMPAIGN_COMPLETE, "1 once the campaign has drained, else 0."),
+        };
+        obs.refresh(engine);
+        obs
+    }
+
+    fn refresh(&self, engine: &CampaignEngine<'_>) {
+        let (open, asked, workers, complete) = engine.gauge_snapshot();
+        self.open.set(open as f64);
+        self.asked.set(asked as f64);
+        self.workers.set(workers as f64);
+        self.complete.set(if complete { 1.0 } else { 0.0 });
+    }
+
+    fn deregister(self) {
+        remp_obs::global().remove_label_value("campaign", &self.id);
+    }
+}
+
 /// Version tag of the campaign state-file format.
 pub const STATE_VERSION: u64 = 1;
 
@@ -202,13 +274,20 @@ struct CampaignHandle {
 pub struct Registry {
     state_dir: Option<PathBuf>,
     clock: Arc<dyn Clock>,
+    started: std::time::Instant,
     inner: Mutex<RegistryInner>,
 }
 
 struct RegistryInner {
     campaigns: BTreeMap<String, CampaignHandle>,
-    next_id: u64,
 }
+
+/// Fresh campaign ids (`c0`, `c1`, …) come from a process-global
+/// counter: the metrics registry and event ring are process-global and
+/// keyed by campaign id, so two registries in one process (test
+/// binaries open many) must never host two live campaigns with the
+/// same id.
+static NEXT_CAMPAIGN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 /// Milliseconds since the Unix epoch — the default lease clock.
 ///
@@ -237,7 +316,8 @@ impl Registry {
         let registry = Registry {
             state_dir,
             clock,
-            inner: Mutex::new(RegistryInner { campaigns: BTreeMap::new(), next_id: 0 }),
+            started: std::time::Instant::now(),
+            inner: Mutex::new(RegistryInner { campaigns: BTreeMap::new() }),
         };
         if let Some(dir) = registry.state_dir.clone() {
             fs::create_dir_all(&dir).map_err(|e| {
@@ -269,6 +349,12 @@ impl Registry {
         self.clock.now_ms()
     }
 
+    /// Wall-clock seconds since this registry was opened — the
+    /// `/healthz` uptime.
+    pub fn uptime_s(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
     /// Ids of the live campaigns, with their display names.
     pub fn list(&self) -> Vec<(String, String)> {
         let inner = self.inner.lock().expect("registry poisoned");
@@ -280,12 +366,8 @@ impl Registry {
     pub fn create(&self, spec: CampaignSpec) -> Result<String, ServeError> {
         spec.policy.validate()?;
         spec.config.validate().map_err(|e| ServeError::bad_request("bad_config", e.to_string()))?;
-        let id = {
-            let mut inner = self.inner.lock().expect("registry poisoned");
-            let id = format!("c{}", inner.next_id);
-            inner.next_id += 1;
-            id
-        };
+        let id =
+            format!("c{}", NEXT_CAMPAIGN_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
         self.spawn(id.clone(), spec, None)?;
         Ok(id)
     }
@@ -298,7 +380,7 @@ impl Registry {
             e
         })?;
         {
-            let mut inner = self.inner.lock().expect("registry poisoned");
+            let inner = self.inner.lock().expect("registry poisoned");
             if inner.campaigns.contains_key(&id) {
                 return Err(ServeError::internal(
                     "state_file",
@@ -307,7 +389,7 @@ impl Registry {
             }
             // Keep fresh ids clear of resumed ones.
             if let Some(n) = id.strip_prefix('c').and_then(|n| n.parse::<u64>().ok()) {
-                inner.next_id = inner.next_id.max(n + 1);
+                NEXT_CAMPAIGN_ID.fetch_max(n + 1, std::sync::atomic::Ordering::Relaxed);
             }
         }
         self.spawn(id, spec, Some(resume))
@@ -322,9 +404,10 @@ impl Registry {
         let (tx, rx) = mpsc::channel::<Call>();
         let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServeError>>();
         let actor_spec = spec.clone();
+        let actor_id = id.clone();
         let join = std::thread::Builder::new()
             .name(format!("campaign-{id}"))
-            .spawn(move || campaign_actor(actor_spec, resume, ready_tx, rx))
+            .spawn(move || campaign_actor(&actor_id, actor_spec, resume, ready_tx, rx))
             .map_err(|e| ServeError::internal("spawn", e.to_string()))?;
         match ready_rx.recv() {
             Ok(Ok(())) => {
@@ -434,6 +517,7 @@ impl Registry {
 // ---- the actor --------------------------------------------------------
 
 fn campaign_actor(
+    id: &str,
     spec: CampaignSpec,
     resume: Option<ResumeState>,
     ready: Sender<Result<(), ServeError>>,
@@ -449,6 +533,7 @@ fn campaign_actor(
             return;
         }
     };
+    let resumed = resume.is_some();
     let engine = match resume {
         None => Remp::new(spec.config.clone())
             .begin(&kb1, &kb2)
@@ -477,17 +562,43 @@ fn campaign_actor(
     if ready.send(Ok(())).is_err() {
         return;
     }
+    // Observability is observation-only: registration and the per-message
+    // gauge refresh never influence engine decisions.
+    let obs = remp_obs::enabled().then(|| CampaignObs::register(id, &engine));
+    remp_obs::event(remp_obs::Level::Info, "campaign", Some(id), || {
+        (
+            if resumed {
+                "campaign resumed from checkpoint".to_owned()
+            } else {
+                "campaign started".to_owned()
+            },
+            vec![("name", Json::from(spec.name.as_str()))],
+        )
+    });
 
     while let Ok(Call { request, reply }) = rx.recv() {
         if matches!(request, CampaignRequest::Stop) {
             let _ = reply.send(Ok(Json::Null));
+            remp_obs::event(remp_obs::Level::Info, "campaign", Some(id), || {
+                ("campaign stopped".to_owned(), Vec::new())
+            });
+            if let Some(obs) = obs {
+                obs.deregister();
+            }
             return;
         }
-        let _ = reply.send(handle_request(&spec, &mut engine, request));
+        let _ = reply.send(handle_request(id, &spec, &mut engine, request));
+        if let Some(obs) = &obs {
+            obs.refresh(&engine);
+        }
+    }
+    if let Some(obs) = obs {
+        obs.deregister();
     }
 }
 
 fn handle_request(
+    id: &str,
     spec: &CampaignSpec,
     engine: &mut CampaignEngine<'_>,
     request: CampaignRequest,
@@ -513,6 +624,20 @@ fn handle_request(
         }
         CampaignRequest::Answer { worker, question, says_match, now_ms } => {
             let ack = engine.answer(&worker, question, says_match, now_ms)?;
+            if let Some(s) = &ack.submitted {
+                remp_obs::event(remp_obs::Level::Info, "campaign", Some(id), || {
+                    (
+                        "question submitted".to_owned(),
+                        vec![
+                            ("question", Json::from(question.to_string())),
+                            ("verdict", Json::from(verdict_code(s.verdict))),
+                            ("posterior", Json::from(s.posterior)),
+                            ("propagated", Json::from(s.propagated)),
+                            ("batch_complete", Json::from(s.batch_complete)),
+                        ],
+                    )
+                });
+            }
             Ok(Json::Obj(vec![
                 ("question".into(), Json::from(question.to_string())),
                 ("collected".into(), Json::from(ack.collected)),
@@ -598,10 +723,16 @@ fn handle_request(
         }
         CampaignRequest::Pause => {
             engine.pause();
+            remp_obs::event(remp_obs::Level::Info, "campaign", Some(id), || {
+                ("campaign paused".to_owned(), Vec::new())
+            });
             Ok(Json::Obj(vec![("paused".into(), Json::from(true))]))
         }
         CampaignRequest::Resume => {
             engine.unpause();
+            remp_obs::event(remp_obs::Level::Info, "campaign", Some(id), || {
+                ("campaign resumed".to_owned(), Vec::new())
+            });
             Ok(Json::Obj(vec![("paused".into(), Json::from(false))]))
         }
         CampaignRequest::Checkpoint => Ok(encode_state(spec, engine)),

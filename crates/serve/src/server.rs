@@ -17,7 +17,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use remp_core::RempConfig;
 use remp_json::Json;
@@ -25,7 +25,7 @@ use remp_par::Parallelism;
 
 use crate::clock::{Clock, SystemClock};
 use crate::engine::CrowdPolicy;
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{read_request, write_response_typed, HttpError, Request};
 use crate::registry::{CampaignRequest, CampaignSource, CampaignSpec, Registry};
 use crate::wire::{
     body_bool, body_opt_f64, body_opt_str, body_opt_u64, body_str, parse_body, parse_question_id,
@@ -200,6 +200,10 @@ fn handler_worker(
     }
 }
 
+/// `Content-Type` of the Prometheus text exposition format `/metrics`
+/// answers with.
+pub const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 fn handle_connection(stream: TcpStream, registry: &Registry) {
     // A peer that stalls mid-request should not pin a handler forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
@@ -211,15 +215,28 @@ fn handle_connection(stream: TcpStream, registry: &Registry) {
         Err(_) => return,
     });
     let mut writer = stream;
-    let (status, body) = match read_request(&mut reader) {
+    let started = Instant::now();
+    let (status, content_type, body, method, route_tpl, campaign) = match read_request(&mut reader)
+    {
         Ok(None) => return, // peer connected and left
         Ok(Some(request)) => {
-            let pretty = request.wants_pretty();
-            let (status, doc) = match route(&request, registry) {
-                Ok((status, doc)) => (status, doc),
-                Err(e) => (e.status, e.to_json()),
-            };
-            (status, if pretty { doc.to_pretty_string() } else { doc.to_string() })
+            let method = request.method.clone();
+            let route_tpl = route_label(&request.path);
+            let campaign = campaign_in_path(&request.path).map(str::to_owned);
+            if method == "GET" && request.path == "/metrics" {
+                // Text, not JSON — rendered outside `route` so the
+                // JSON writer never touches it.
+                let text = remp_obs::global().render();
+                (200, METRICS_CONTENT_TYPE, text, method, route_tpl, campaign)
+            } else {
+                let pretty = request.wants_pretty();
+                let (status, doc) = match route(&request, registry) {
+                    Ok((status, doc)) => (status, doc),
+                    Err(e) => (e.status, e.to_json()),
+                };
+                let body = if pretty { doc.to_pretty_string() } else { doc.to_string() };
+                (status, "application/json", body, method, route_tpl, campaign)
+            }
         }
         Err(e) => {
             let status = match e {
@@ -227,10 +244,88 @@ fn handle_connection(stream: TcpStream, registry: &Registry) {
                 _ => 400,
             };
             let err = ServeError { status, code: "bad_request", message: e.to_string() };
-            (status, err.to_json().to_string())
+            let body = err.to_json().to_string();
+            (status, "application/json", body, String::new(), "malformed", None)
         }
     };
-    let _ = write_response(&mut writer, status, &body);
+    let _ = write_response_typed(&mut writer, status, content_type, &body);
+    record_request(&method, route_tpl, status, campaign.as_deref(), started);
+}
+
+/// Feeds one finished request into the metrics registry and the access
+/// log: `remp_http_requests_total{method,route,status}`, the
+/// `remp_http_request_seconds{route}` latency histogram, and a
+/// debug-level event per request (visible on stderr with
+/// `REMP_LOG=debug`, never crowding the event ring).
+fn record_request(
+    method: &str,
+    route: &'static str,
+    status: u16,
+    campaign: Option<&str>,
+    started: Instant,
+) {
+    if !remp_obs::enabled() {
+        return;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let reg = remp_obs::global();
+    let status_str = status.to_string();
+    reg.counter(
+        remp_obs::names::HTTP_REQUESTS_TOTAL,
+        "HTTP requests served, by method, route template and status.",
+        &[("method", method), ("route", route), ("status", &status_str)],
+    )
+    .inc();
+    reg.histogram(
+        remp_obs::names::HTTP_REQUEST_SECONDS,
+        "HTTP request latency in seconds, by route template.",
+        &[("route", route)],
+        remp_obs::SECONDS_BUCKETS,
+    )
+    .observe(elapsed);
+    remp_obs::event(remp_obs::Level::Debug, "http", campaign, || {
+        (
+            format!("{method} {route} -> {status}"),
+            vec![
+                ("method", Json::from(method)),
+                ("route", Json::from(route)),
+                ("status", Json::from(u64::from(status))),
+                ("seconds", Json::from(elapsed)),
+            ],
+        )
+    });
+}
+
+/// The static route template a request path falls under — the low-
+/// cardinality `route` label value (campaign ids never leak into label
+/// values).
+fn route_label(path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|segment| !segment.is_empty()).collect();
+    match segments.as_slice() {
+        ["healthz"] => "/healthz",
+        ["metrics"] => "/metrics",
+        ["campaigns"] => "/campaigns",
+        ["campaigns", _] => "/campaigns/{id}",
+        ["campaigns", _, "questions"] => "/campaigns/{id}/questions",
+        ["campaigns", _, "workers"] => "/campaigns/{id}/workers",
+        ["campaigns", _, "events"] => "/campaigns/{id}/events",
+        ["campaigns", _, "next"] => "/campaigns/{id}/next",
+        ["campaigns", _, "answers"] => "/campaigns/{id}/answers",
+        ["campaigns", _, "outcome"] => "/campaigns/{id}/outcome",
+        ["campaigns", _, "pause"] => "/campaigns/{id}/pause",
+        ["campaigns", _, "resume"] => "/campaigns/{id}/resume",
+        _ => "other",
+    }
+}
+
+/// The campaign id a path addresses, if any — stamps the access-log
+/// event so `/campaigns/{id}/events` includes the campaign's requests.
+fn campaign_in_path(path: &str) -> Option<&str> {
+    let mut segments = path.split('/').filter(|segment| !segment.is_empty());
+    match (segments.next(), segments.next()) {
+        (Some("campaigns"), Some(id)) => Some(id),
+        _ => None,
+    }
 }
 
 // ---- routing ----------------------------------------------------------
@@ -247,7 +342,11 @@ fn route(request: &Request, registry: &Registry) -> Result<(u16, Json), ServeErr
             200,
             Json::Obj(vec![
                 ("status".into(), Json::from("ok")),
+                ("version".into(), Json::from(env!("CARGO_PKG_VERSION"))),
+                ("uptime_s".into(), Json::from(registry.uptime_s())),
                 ("campaigns".into(), Json::from(registry.list().len())),
+                ("observability".into(), Json::from(remp_obs::enabled())),
+                ("metric_series".into(), Json::from(remp_obs::global().series_count())),
             ]),
         )),
         ("GET", ["campaigns"]) => {
@@ -279,6 +378,28 @@ fn route(request: &Request, registry: &Registry) -> Result<(u16, Json), ServeErr
         }
         ("GET", ["campaigns", id, "workers"]) => {
             Ok((200, registry.call(id, CampaignRequest::Workers)?))
+        }
+        ("GET", ["campaigns", id, "events"]) => {
+            if !registry.list().iter().any(|(cid, _)| cid == id) {
+                return Err(ServeError::not_found(
+                    "unknown_campaign",
+                    format!("no campaign {id:?}"),
+                ));
+            }
+            let limit = request
+                .query_value("limit")
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(100)
+                .max(1);
+            let events = remp_obs::events_snapshot(Some(id), limit);
+            Ok((
+                200,
+                Json::Obj(vec![
+                    ("campaign".into(), Json::from(*id)),
+                    ("count".into(), Json::from(events.len())),
+                    ("events".into(), Json::Arr(events.iter().map(|e| e.to_json()).collect())),
+                ]),
+            ))
         }
         ("GET", ["campaigns", id, "next"]) => {
             let worker = request

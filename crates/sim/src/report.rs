@@ -185,6 +185,7 @@ impl SimReport {
                     ("left".into(), Json::from(self.workers_left)),
                 ]),
             ),
+            ("per_tick".into(), self.per_tick_json()),
             ("eval".into(), self.eval.to_json()),
             ("estimator".into(), self.estimator.to_json()),
             (
@@ -200,6 +201,25 @@ impl SimReport {
             ));
         }
         Json::Obj(fields)
+    }
+
+    /// Per-tick rates — throughput counters normalized by run length
+    /// (nulls for a zero-tick run).
+    fn per_tick_json(&self) -> Json {
+        let rate = |v: u64| {
+            if self.ticks == 0 {
+                Json::Null
+            } else {
+                Json::from(v as f64 / self.ticks as f64)
+            }
+        };
+        Json::Obj(vec![
+            ("answers_delivered".into(), rate(self.answers_delivered)),
+            ("answers_rejected".into(), rate(self.answers_rejected)),
+            ("leases_issued".into(), rate(self.leases.issued)),
+            ("leases_expired".into(), rate(self.leases.expired)),
+            ("questions_submitted".into(), rate(self.questions_asked as u64)),
+        ])
     }
 }
 

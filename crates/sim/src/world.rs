@@ -115,6 +115,12 @@ struct World<'a, 'kb> {
     /// Last tick anything happened (arrival, lease, delivery) — the
     /// stall detector's anchor.
     last_progress: u64,
+    /// Global tick/delivery counters (`remp_sim_*_total`), held as
+    /// handles so the hot loop never takes the registry lock. `None`
+    /// when observability is disabled; recording never feeds back into
+    /// any simulation decision.
+    obs_ticks: Option<remp_obs::Counter>,
+    obs_delivered: Option<remp_obs::Counter>,
 }
 
 impl<'a, 'kb> World<'a, 'kb> {
@@ -152,6 +158,23 @@ impl<'a, 'kb> World<'a, 'kb> {
                 });
             }
         }
+        let (obs_ticks, obs_delivered) = if remp_obs::enabled() {
+            let reg = remp_obs::global();
+            (
+                Some(reg.counter(
+                    remp_obs::names::SIM_TICKS_TOTAL,
+                    "Simulator ticks executed across all runs.",
+                    &[],
+                )),
+                Some(reg.counter(
+                    remp_obs::names::SIM_DELIVERED_TOTAL,
+                    "Simulated answers accepted by the engine across all runs.",
+                    &[],
+                )),
+            )
+        } else {
+            (None, None)
+        };
         World {
             scenario,
             d,
@@ -167,6 +190,8 @@ impl<'a, 'kb> World<'a, 'kb> {
             arrived: 0,
             left: 0,
             last_progress: 0,
+            obs_ticks,
+            obs_delivered,
         }
     }
 
@@ -182,6 +207,9 @@ impl<'a, 'kb> World<'a, 'kb> {
         loop {
             if tick >= self.scenario.max_ticks {
                 break;
+            }
+            if let Some(c) = &self.obs_ticks {
+                c.inc();
             }
             self.drift(tick);
             self.arrivals_and_departures(tick);
@@ -265,6 +293,9 @@ impl<'a, 'kb> World<'a, 'kb> {
         match self.engine.answer(&worker, p.question, p.says, tick) {
             Ok(ack) => {
                 self.delivered += 1;
+                if let Some(c) = &self.obs_delivered {
+                    c.inc();
+                }
                 self.last_progress = tick;
                 self.events.push(TraceEvent {
                     tick,

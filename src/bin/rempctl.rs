@@ -12,9 +12,10 @@
 //! crates.io access, consistent with the rest of the workspace).
 
 use std::collections::HashMap;
+use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use remp_core::profile::{parse_thread_list, run_pipeline_bench, PipelineBenchOptions};
 use remp_core::{evaluate_matches, run_on_dataset, Parallelism, RempConfig};
@@ -23,6 +24,7 @@ use remp_datasets::{generate, preset_by_name};
 use remp_ingest::{export_dataset, load_kb, write_snapshot, ExportFormat, FileDataset};
 use remp_json::Json;
 use remp_kb::EntityId;
+use remp_obs::{names, Exposition};
 use remp_serve::{
     drive, install_signal_handlers, outcome_matches, reference_outcome, signal_stop_flag,
     CrowdParams, CrowdPolicy, ServeClient, Server, ServerConfig, WireCrowd,
@@ -58,6 +60,8 @@ USAGE:
             --mu N              questions per loop (default: config)
             --threads N         worker threads for the pipeline stages
                                 (default: auto — REMP_THREADS or all cores)
+            --trace-out PATH    write a spans.jsonl stage trace of the
+                                campaign for offline timeline analysis
 
     rempctl serve [--addr HOST:PORT] [--state-dir DIR] [--threads POLICY]
         Run the campaign server (same daemon as the rempd binary):
@@ -94,14 +98,36 @@ USAGE:
         rate, crowd cost vs churn) and writes them to --out
         [ROBUSTNESS.json].
 
+    rempctl top --url HOST:PORT [--interval SECS] [--iterations N]
+        Live dashboard for a running server: scrape /metrics and
+        /healthz and render a refreshing per-campaign table — open
+        questions, lease counters, request-latency quantiles and the
+        hottest pipeline stages. Reads only; never advances a
+        campaign. --iterations 0 (the default) polls every --interval
+        seconds [2] until interrupted; --iterations 1 prints a single
+        snapshot.
+
+    rempctl metrics --url HOST:PORT [--require NAME,NAME,...]
+        Scrape /metrics, verify it parses as Prometheus text
+        exposition, and with --require exit non-zero unless every
+        listed metric family is present — the CI well-formedness gate.
+
     rempctl bench [--preset NAME] [--scale X] [--threads LIST]
-                  [--out PATH] [--min-speedup X]
+                  [--out PATH] [--min-speedup X] [--trace-out PATH]
+                  [--max-obs-overhead PCT]
         Profile the hot pipeline stages and a full oracle campaign at each
         thread count (default 1,2,4 on the D-A preset at scale 8) and
         write the report (default: BENCH_pipeline.json). With
         --min-speedup X, exit non-zero when the end-to-end speedup of the
         most-parallel run over the sequential run is below X (the CI
-        regression gate).
+        regression gate). --trace-out writes a spans.jsonl stage trace
+        of the whole bench; --max-obs-overhead PCT exits non-zero when
+        the instrumented campaign is more than PCT percent slower than
+        the same campaign with observability disabled.
+
+Observability: metrics, spans and the event log are on by default.
+REMP_OBS=0 disables all instrumentation; REMP_LOG=debug|info|warn|error
+sets the stderr event-log level (default: warn).
 ";
 
 enum CliError {
@@ -143,6 +169,8 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "serve" => cmd_serve(&opts),
         "drive" => cmd_drive(&opts),
         "simulate" => cmd_simulate(&opts),
+        "top" => cmd_top(&opts),
+        "metrics" => cmd_metrics(&opts),
         "bench" => cmd_bench(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -328,6 +356,7 @@ fn cmd_run(opts: &Opts) -> Result<(), CliError> {
         Box::new(SimulatedCrowd::new(workers, min_q, max_q, per_question, seed))
     };
 
+    let trace_out = trace_out_begin(opts);
     let started = Instant::now();
     let result = run_on_dataset(&dataset, &config, crowd.as_mut());
     println!("campaign finished in {:.1?}", started.elapsed());
@@ -340,6 +369,28 @@ fn cmd_run(opts: &Opts) -> Result<(), CliError> {
         100.0 * result.eval.f1
     );
     print_loop_stats(&result.loop_stats);
+    if let Some(path) = trace_out {
+        trace_out_finish(path)?;
+    }
+    Ok(())
+}
+
+/// Starts a span collection when `--trace-out` was given, forcing
+/// observability on so there is something to collect.
+fn trace_out_begin(opts: &Opts) -> Option<&str> {
+    let path = opts.get("trace-out")?;
+    if !remp_obs::enabled() {
+        remp_obs::set_enabled(true);
+    }
+    remp_obs::trace_begin();
+    Some(path)
+}
+
+/// Drains the active span collection into a `spans.jsonl` file.
+fn trace_out_finish(path: &str) -> Result<(), CliError> {
+    let spans = remp_obs::trace_take();
+    std::fs::write(path, remp_obs::spans_to_jsonl(&spans))?;
+    println!("  wrote {} spans to {path}", spans.len());
     Ok(())
 }
 
@@ -766,6 +817,138 @@ fn decode_matches(outcome_doc: &Json) -> Result<Vec<(EntityId, EntityId)>, CliEr
         .collect()
 }
 
+/// One `/metrics` scrape, parsed — shared by `top` and `metrics`.
+fn scrape_metrics(client: &ServeClient) -> Result<Exposition, CliError> {
+    let (status, text) =
+        client.get_text("/metrics").map_err(|e| CliError::Failed(e.to_string()))?;
+    if status != 200 {
+        return Err(CliError::Failed(format!("GET /metrics answered HTTP {status}")));
+    }
+    Exposition::parse(&text)
+        .map_err(|e| CliError::Failed(format!("/metrics is not valid text exposition: {e}")))
+}
+
+fn cmd_top(opts: &Opts) -> Result<(), CliError> {
+    let client = ServeClient::new(opts.required("url")?);
+    let interval: f64 = opts.parsed("interval", 2.0)?;
+    let iterations: u64 = opts.parsed("iterations", 0)?;
+    let clear_screen = std::io::stdout().is_terminal();
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        let expo = scrape_metrics(&client)?;
+        let health = client.get("/healthz").map_err(|e| CliError::Failed(e.to_string()))?;
+        if clear_screen {
+            // Home the cursor and wipe the previous frame.
+            print!("\x1b[H\x1b[2J");
+        } else if round > 1 {
+            println!();
+        }
+        print_top(client.addr(), &expo, &health);
+        if iterations != 0 && round >= iterations {
+            break;
+        }
+        std::thread::sleep(Duration::from_secs_f64(interval.max(0.1)));
+    }
+    Ok(())
+}
+
+/// One `top` frame: server header, per-campaign table, hottest stages.
+fn print_top(addr: &str, expo: &Exposition, health: &Json) {
+    let version = health.get("version").and_then(Json::as_str).unwrap_or("?");
+    let uptime = health.get("uptime_s").and_then(Json::as_f64).unwrap_or(0.0);
+    let series = health.get("metric_series").and_then(Json::as_u64).unwrap_or(0);
+    let quantile = |q: f64| match expo.histogram_quantile(names::HTTP_REQUEST_SECONDS, &[], q) {
+        Some(v) => format!("{:.1}ms", 1e3 * v),
+        None => "-".to_owned(),
+    };
+    println!(
+        "rempd {version} on {addr} · up {uptime:.0}s · {:.0} requests \
+         (p50 {} / p99 {}) · {series} metric series",
+        expo.total(names::HTTP_REQUESTS_TOTAL),
+        quantile(0.5),
+        quantile(0.99)
+    );
+
+    // Every campaign the registry exports gauges for, in id order.
+    let mut ids: Vec<&str> = expo
+        .samples
+        .iter()
+        .filter(|s| s.name == names::CAMPAIGN_OPEN_QUESTIONS)
+        .filter_map(|s| s.label("campaign"))
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    if ids.is_empty() {
+        println!("  no campaigns (or the server runs with REMP_OBS=0)");
+    } else {
+        println!(
+            "  {:<20} {:>6} {:>7} {:>8} {:>8} {:>8} {:>9}  STATE",
+            "CAMPAIGN", "OPEN", "ASKED", "WORKERS", "ISSUED", "EXPIRED", "REISSUED"
+        );
+        for id in ids {
+            let val = |name: &str| expo.value(name, &[("campaign", id)]).unwrap_or(0.0);
+            let state = if val(names::CAMPAIGN_COMPLETE) >= 1.0 { "complete" } else { "running" };
+            println!(
+                "  {:<20} {:>6.0} {:>7.0} {:>8.0} {:>8.0} {:>8.0} {:>9.0}  {state}",
+                id,
+                val(names::CAMPAIGN_OPEN_QUESTIONS),
+                val(names::CAMPAIGN_QUESTIONS_ASKED),
+                val(names::CAMPAIGN_WORKERS),
+                val(names::LEASES_ISSUED_TOTAL),
+                val(names::LEASES_EXPIRED_TOTAL),
+                val(names::LEASES_REISSUED_TOTAL),
+            );
+        }
+    }
+
+    // Where server-side compute time goes, hottest stages first.
+    let sum_name = format!("{}_sum", names::STAGE_SECONDS);
+    let count_name = format!("{}_count", names::STAGE_SECONDS);
+    let mut stages: Vec<(&str, f64, f64)> = expo
+        .samples
+        .iter()
+        .filter(|s| s.name == sum_name)
+        .filter_map(|s| {
+            let stage = s.label("stage")?;
+            let calls = expo.value(&count_name, &[("stage", stage)]).unwrap_or(0.0);
+            Some((stage, s.value, calls))
+        })
+        .collect();
+    stages.sort_by(|a, b| b.1.total_cmp(&a.1));
+    if !stages.is_empty() {
+        println!("  hottest stages:");
+        for (stage, total_s, calls) in stages.iter().take(5) {
+            println!("    {stage:<20} {total_s:>9.3}s over {calls:>6.0} calls");
+        }
+    }
+}
+
+fn cmd_metrics(opts: &Opts) -> Result<(), CliError> {
+    let client = ServeClient::new(opts.required("url")?);
+    let expo = scrape_metrics(&client)?;
+    println!(
+        "scraped http://{}/metrics: {} samples across {} typed families",
+        client.addr(),
+        expo.samples.len(),
+        expo.types.len()
+    );
+    if let Some(list) = opts.get("require") {
+        let required: Vec<&str> =
+            list.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let missing: Vec<&str> =
+            required.iter().copied().filter(|name| !expo.has_family(name)).collect();
+        if !missing.is_empty() {
+            return Err(CliError::Failed(format!(
+                "missing metric families: {}",
+                missing.join(", ")
+            )));
+        }
+        println!("  all {} required families present", required.len());
+    }
+    Ok(())
+}
+
 fn cmd_bench(opts: &Opts) -> Result<(), CliError> {
     let mut bench = PipelineBenchOptions::default();
     if let Some(preset) = opts.get("preset") {
@@ -777,18 +960,28 @@ fn cmd_bench(opts: &Opts) -> Result<(), CliError> {
     }
     let out = opts.get("out").unwrap_or("BENCH_pipeline.json");
 
+    let trace_out = trace_out_begin(opts);
     let report = run_pipeline_bench(&bench).map_err(CliError::Failed)?;
     std::fs::write(out, report.to_json().to_string())?;
     for line in report.summary_lines() {
         println!("{line}");
     }
     println!("  wrote {out}");
+    if let Some(path) = trace_out {
+        trace_out_finish(path)?;
+    }
 
     if let Some(floor) = opts.get("min-speedup") {
         let floor: f64 = floor
             .parse()
             .map_err(|_| CliError::Usage(format!("--min-speedup: cannot parse {floor:?}")))?;
         report.check_min_speedup(floor).map_err(CliError::Failed)?;
+    }
+    if let Some(cap) = opts.get("max-obs-overhead") {
+        let cap: f64 = cap
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--max-obs-overhead: cannot parse {cap:?}")))?;
+        report.check_max_obs_overhead(cap).map_err(CliError::Failed)?;
     }
     Ok(())
 }

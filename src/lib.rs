@@ -83,6 +83,7 @@
 //! | module | contents | paper section |
 //! |---|---|---|
 //! | [`par`] | dependency-free worker pool (`Parallelism`) | — |
+//! | [`obs`] | metrics registry, stage spans, structured event log | — |
 //! | [`kb`] | knowledge-base substrate | §III-A |
 //! | [`simil`] | similarity measures & vectors | §IV-B/D |
 //! | [`ergraph`] | ER-graph construction & pruning | §IV |
@@ -108,6 +109,7 @@ pub use remp_ergraph as ergraph;
 pub use remp_forest as forest;
 pub use remp_ingest as ingest;
 pub use remp_kb as kb;
+pub use remp_obs as obs;
 pub use remp_par as par;
 pub use remp_propagation as propagation;
 pub use remp_selection as selection;

@@ -465,3 +465,80 @@ fn pretty_responses_parse_identically() {
     assert_eq!(plain, pretty, "?pretty=1 changes whitespace, not content");
     server.shutdown();
 }
+
+#[test]
+fn metrics_events_and_healthz_expose_live_campaign_state() {
+    use remp::obs::{names, Exposition};
+
+    let d = generate(&tiny(1.0));
+    let server = TestServer::start(None);
+    let id = create_preset_campaign(&server.client, 2, "observed");
+
+    // The enriched health document.
+    let health = server.client.get("/healthz").expect("healthz");
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert!(health.get("version").and_then(Json::as_str).is_some_and(|v| !v.is_empty()));
+    assert!(health.get("uptime_s").and_then(Json::as_f64).is_some_and(|s| s >= 0.0));
+    assert!(health.get("campaigns").and_then(Json::as_u64).is_some_and(|n| n >= 1));
+    assert_eq!(health.get("observability").and_then(Json::as_bool), Some(true));
+
+    // Drive the campaign to completion so every family has data.
+    let params = CrowdParams { per_question: 2, ..CrowdParams::paper_default(9) };
+    let mut crowd = WireCrowd::new(&params);
+    let truth = |a: EntityId, b: EntityId| d.is_match(a, b);
+    let driven = drive(&server.client, &id, &mut crowd, &truth).expect("drive");
+    let status = server.client.get(&format!("/campaigns/{id}")).unwrap();
+
+    // /metrics parses as Prometheus text exposition, and the gauges and
+    // lease counters labelled with this campaign carry exactly the
+    // numbers the status endpoint reports (single source of truth).
+    // Global (unlabelled) totals are shared with concurrently running
+    // tests, so only per-campaign series are asserted by value.
+    let (code, text) = server.client.get_text("/metrics").expect("scrape");
+    assert_eq!(code, 200);
+    let expo = Exposition::parse(&text).expect("valid exposition");
+    let by_campaign = |name: &str| expo.value(name, &[("campaign", &id)]);
+    assert_eq!(
+        by_campaign(names::CAMPAIGN_QUESTIONS_ASKED),
+        status.get("questions_asked").and_then(Json::as_f64)
+    );
+    assert_eq!(by_campaign(names::CAMPAIGN_OPEN_QUESTIONS), Some(0.0));
+    assert_eq!(by_campaign(names::CAMPAIGN_COMPLETE), Some(1.0));
+    let leases = status.get("leases").expect("lease block");
+    for (metric, key) in [
+        (names::LEASES_ISSUED_TOTAL, "issued"),
+        (names::LEASES_EXPIRED_TOTAL, "expired"),
+        (names::LEASES_REISSUED_TOTAL, "reissued"),
+    ] {
+        assert_eq!(by_campaign(metric), leases.get(key).and_then(Json::as_f64), "{metric}");
+    }
+    for family in [
+        names::HTTP_REQUESTS_TOTAL,
+        names::HTTP_REQUEST_SECONDS,
+        names::STAGE_SECONDS,
+        names::QUESTIONS_ASKED_TOTAL,
+        names::ANSWERS_SUBMITTED_TOTAL,
+    ] {
+        assert!(expo.has_family(family), "family {family} missing from the scrape");
+    }
+
+    // The campaign's structured event ring: a start event plus one
+    // "question submitted" per driven question, scoped to this id.
+    let events = server.client.get(&format!("/campaigns/{id}/events?limit=1000")).unwrap();
+    assert_eq!(events.get("campaign").and_then(Json::as_str), Some(id.as_str()));
+    let entries = events.get("events").and_then(Json::as_array).expect("events array");
+    assert!(entries.iter().all(|e| e.get("campaign").and_then(Json::as_str) == Some(&id)));
+    let submitted = entries
+        .iter()
+        .filter(|e| e.get("msg").and_then(Json::as_str) == Some("question submitted"))
+        .count();
+    assert_eq!(submitted, driven.len(), "one submit event per completed question");
+    assert!(entries
+        .iter()
+        .any(|e| e.get("msg").and_then(Json::as_str) == Some("campaign started")));
+
+    // Events for an unknown campaign are a typed 404, like every route.
+    let err = server.client.get("/campaigns/nope/events").unwrap_err();
+    assert_eq!((err.status(), err.code()), (Some(404), Some("unknown_campaign")));
+    server.shutdown();
+}
