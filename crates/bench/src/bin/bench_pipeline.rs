@@ -8,7 +8,10 @@
 //! ```sh
 //! cargo run --release -p remp-bench --bin bench_pipeline -- \
 //!     [--preset D-A] [--scale 8] [--threads 1,2,4] \
-//!     [--out BENCH_pipeline.json] [--min-speedup 0.8]
+//!     [--out BENCH_pipeline.json] [--min-speedup 0.8] \
+//!     [--baseline BENCH_pipeline.json] \
+//!     [--min-stage-speedup prune=1.3,candidates=1.3] \
+//!     [--stage-delta-out BENCH_stage_delta.json]
 //! ```
 //!
 //! With `--min-speedup X` the process exits non-zero when the end-to-end
@@ -16,16 +19,28 @@
 //! `X` — the CI regression gate (use a value below 1.0 to tolerate runner
 //! noise and small hosts). The gate requires a 1-thread run in
 //! `--threads` as the baseline.
+//!
+//! `--baseline PATH` reads a previously committed report (before `--out`
+//! overwrites it), prints per-stage before/after rows of the sequential
+//! run and writes them to `--stage-delta-out`; `--min-stage-speedup`
+//! turns listed stages into hard floors — the per-stage CI gate.
 
 use std::process::ExitCode;
 
-use remp_core::profile::{parse_thread_list, run_pipeline_bench, PipelineBenchOptions};
+use remp_core::profile::{
+    parse_min_stage_speedup, parse_thread_list, run_pipeline_bench, PipelineBenchOptions,
+    StageBaseline,
+};
+use remp_json::Json;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut opts = PipelineBenchOptions::default();
     let mut out = String::from("BENCH_pipeline.json");
     let mut min_speedup: Option<f64> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut floors: Option<Vec<(String, f64)>> = None;
+    let mut delta_out = String::from("BENCH_stage_delta.json");
 
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -43,6 +58,10 @@ fn main() -> ExitCode {
             "--min-speedup" => value("--min-speedup").and_then(|v| {
                 v.parse().map(|s| min_speedup = Some(s)).map_err(|e| format!("--min-speedup: {e}"))
             }),
+            "--baseline" => value("--baseline").map(|v| baseline_path = Some(v)),
+            "--min-stage-speedup" => value("--min-stage-speedup")
+                .and_then(|v| parse_min_stage_speedup(&v).map(|f| floors = Some(f))),
+            "--stage-delta-out" => value("--stage-delta-out").map(|v| delta_out = v),
             other => Err(format!("unknown option {other:?}")),
         };
         if let Err(message) = result {
@@ -50,8 +69,12 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
+    if floors.is_some() && baseline_path.is_none() {
+        eprintln!("bench_pipeline: --min-stage-speedup needs --baseline");
+        return ExitCode::from(2);
+    }
 
-    match run_and_report(&opts, &out, min_speedup) {
+    match run_and_report(&opts, &out, min_speedup, baseline_path.as_deref(), &floors, &delta_out) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("bench_pipeline: {message}");
@@ -64,15 +87,46 @@ fn run_and_report(
     opts: &PipelineBenchOptions,
     out: &str,
     min_speedup: Option<f64>,
+    baseline_path: Option<&str>,
+    floors: &Option<Vec<(String, f64)>>,
+    delta_out: &str,
 ) -> Result<(), String> {
-    let report = run_pipeline_bench(opts)?;
+    // Read the baseline before the fresh report lands on --out — CI points
+    // both at the committed BENCH_pipeline.json.
+    let baseline = baseline_path
+        .map(|path| {
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let doc = Json::parse(&src).map_err(|e| format!("{path}: {e}"))?;
+            StageBaseline::from_report_json(&doc).map_err(|e| format!("{path}: {e}"))
+        })
+        .transpose()?;
+    let mut report = run_pipeline_bench(opts)?;
+    report.baseline = baseline.clone();
     std::fs::write(out, report.to_json().to_string()).map_err(|e| format!("writing {out}: {e}"))?;
     for line in report.summary_lines() {
         println!("{line}");
     }
     println!("  wrote {out}");
+    if let Some(baseline) = &baseline {
+        std::fs::write(delta_out, report.stage_delta_json(baseline).to_string())
+            .map_err(|e| format!("writing {delta_out}: {e}"))?;
+        println!("  sequential stages vs baseline ({}):", baseline.preset);
+        for (stage, baseline_s, current_s, speedup) in report.stage_delta(baseline) {
+            match (baseline_s, speedup) {
+                (Some(before), Some(speedup)) => {
+                    println!("    {stage}: {before:.4}s -> {current_s:.4}s ({speedup:.2}x)")
+                }
+                _ => println!("    {stage}: (new) -> {current_s:.4}s"),
+            }
+        }
+        println!("  wrote {delta_out}");
+    }
     if let Some(floor) = min_speedup {
         report.check_min_speedup(floor)?;
+    }
+    if let (Some(baseline), Some(floors)) = (&baseline, floors) {
+        report.check_min_stage_speedup(baseline, floors)?;
+        println!("  per-stage regression gate passed ({} floors)", floors.len());
     }
     Ok(())
 }

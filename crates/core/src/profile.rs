@@ -36,6 +36,96 @@ pub fn parse_thread_list(raw: &str) -> Result<Vec<usize>, String> {
         .collect()
 }
 
+/// Parses a `--min-stage-speedup` list like
+/// `"prune=1.3,candidates=1.3,sim_vectors=1.2"` into `(stage, floor)`
+/// pairs — shared by the `rempctl bench` and `bench_pipeline` front-ends.
+pub fn parse_min_stage_speedup(raw: &str) -> Result<Vec<(String, f64)>, String> {
+    raw.split(',')
+        .map(|part| {
+            let part = part.trim();
+            let (stage, floor) = part.split_once('=').ok_or_else(|| {
+                format!("--min-stage-speedup: expected STAGE=FLOOR, got {part:?}")
+            })?;
+            let floor: f64 = floor
+                .trim()
+                .parse()
+                .map_err(|_| format!("--min-stage-speedup: bad floor in {part:?}"))?;
+            Ok((stage.trim().to_owned(), floor))
+        })
+        .collect()
+}
+
+/// The frozen per-stage sequential wall-clock a later bench run is gated
+/// against — extracted from a committed `BENCH_pipeline.json`.
+#[derive(Clone, Debug)]
+pub struct StageBaseline {
+    /// Preset the baseline was measured on.
+    pub preset: String,
+    /// Scale it was generated at.
+    pub scale: f64,
+    /// `(stage name, seconds)` of the baseline's sequential run.
+    pub stages: Vec<(String, f64)>,
+}
+
+impl StageBaseline {
+    /// Reads the frozen baseline out of a prior report document.
+    ///
+    /// A report that already carries a `"baseline"` section (it was
+    /// itself gated against one) yields that section verbatim, so the
+    /// frozen row survives any number of regenerations. Otherwise the
+    /// report's own sequential (1-thread) run becomes the baseline —
+    /// errors when there is none: gating against a parallel run would
+    /// conflate layout wins with thread-pool overhead.
+    pub fn from_report_json(doc: &Json) -> Result<StageBaseline, String> {
+        let (context, stages_doc) = match doc.get("baseline") {
+            Some(section) => (section, section.get("stages_s")),
+            None => {
+                let runs = doc
+                    .get("runs")
+                    .and_then(Json::as_array)
+                    .ok_or("baseline report has no \"runs\" array")?;
+                let sequential = runs
+                    .iter()
+                    .find(|r| r.get("threads").and_then(Json::as_usize).is_some_and(|t| t <= 1))
+                    .ok_or("baseline report has no sequential (1-thread) run")?;
+                (doc, sequential.get("stages_s"))
+            }
+        };
+        let stages = stages_doc
+            .and_then(Json::as_object)
+            .ok_or("baseline has no \"stages_s\" object")?
+            .iter()
+            .map(|(name, secs)| {
+                secs.as_f64()
+                    .map(|s| (name.clone(), s))
+                    .ok_or_else(|| format!("baseline stage {name:?} is not a number"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(StageBaseline {
+            preset: context.get("preset").and_then(Json::as_str).unwrap_or("?").to_owned(),
+            scale: context.get("scale").and_then(Json::as_f64).unwrap_or(0.0),
+            stages,
+        })
+    }
+
+    /// The `"baseline"` section a gated report embeds so the frozen row
+    /// persists across regenerations.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("preset".into(), Json::from(self.preset.as_str())),
+            ("scale".into(), Json::from(self.scale)),
+            (
+                "stages_s".into(),
+                Json::Obj(self.stages.iter().map(|(n, s)| (n.clone(), Json::from(*s))).collect()),
+            ),
+        ])
+    }
+
+    fn stage(&self, name: &str) -> Option<f64> {
+        self.stages.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+    }
+}
+
 /// What to measure: which preset, at which scale, at which thread counts.
 #[derive(Clone, Debug)]
 pub struct PipelineBenchOptions {
@@ -216,6 +306,10 @@ pub struct PipelineBenchReport {
     /// The `observability` scenario: instrumented vs disabled overhead,
     /// run at the first requested thread count.
     pub observability: ObsOverheadBench,
+    /// The frozen baseline this run was gated against, when one was
+    /// supplied — serialized into the report so the row persists across
+    /// regenerations and the document carries its own before/after rows.
+    pub baseline: Option<StageBaseline>,
 }
 
 impl PipelineBenchReport {
@@ -261,6 +355,110 @@ impl PipelineBenchReport {
             ));
         }
         Ok(())
+    }
+
+    /// Per-stage before/after rows of this report's *sequential* run
+    /// against a frozen [`StageBaseline`]: `(stage, baseline_s,
+    /// current_s, speedup)`, in this report's stage order. Stages absent
+    /// from the baseline (new stages) carry no speedup.
+    pub fn stage_delta(
+        &self,
+        baseline: &StageBaseline,
+    ) -> Vec<(String, Option<f64>, f64, Option<f64>)> {
+        self.sequential()
+            .stages
+            .iter()
+            .map(|&(name, current_s)| {
+                let baseline_s = baseline.stage(name);
+                let speedup =
+                    baseline_s.filter(|_| current_s > 0.0).map(|before| before / current_s);
+                (name.to_owned(), baseline_s, current_s, speedup)
+            })
+            .collect()
+    }
+
+    /// The `BENCH_stage_delta.json` document the CI bench job uploads:
+    /// one row per stage of the sequential run, before/after/speedup.
+    pub fn stage_delta_json(&self, baseline: &StageBaseline) -> Json {
+        let rows = self
+            .stage_delta(baseline)
+            .into_iter()
+            .map(|(stage, baseline_s, current_s, speedup)| {
+                let opt = |v: Option<f64>| v.map(Json::from).unwrap_or(Json::Null);
+                Json::Obj(vec![
+                    ("stage".into(), Json::from(stage.as_str())),
+                    ("baseline_s".into(), opt(baseline_s)),
+                    ("current_s".into(), Json::from(current_s)),
+                    ("speedup".into(), opt(speedup)),
+                ])
+            })
+            .collect();
+        let baseline_total: f64 = baseline.stages.iter().map(|&(_, s)| s).sum();
+        let current_total = self.sequential().stage_total;
+        Json::Obj(vec![
+            ("preset".into(), Json::from(self.preset.as_str())),
+            ("scale".into(), Json::from(self.scale)),
+            ("baseline_preset".into(), Json::from(baseline.preset.as_str())),
+            ("baseline_scale".into(), Json::from(baseline.scale)),
+            ("rows".into(), Json::Arr(rows)),
+            ("baseline_stage_total_s".into(), Json::from(baseline_total)),
+            ("current_stage_total_s".into(), Json::from(current_total)),
+            (
+                "stage_total_speedup".into(),
+                Json::from(if current_total > 0.0 { baseline_total / current_total } else { 1.0 }),
+            ),
+        ])
+    }
+
+    /// The per-stage regression gate: for every `(stage, floor)` pair the
+    /// sequential run must be at least `floor`× faster than the baseline's
+    /// sequential time for that stage. A floor naming a stage missing from
+    /// either side is an error too — a renamed stage must not silently
+    /// disarm its gate. Requires an actual 1-thread run, like
+    /// [`check_min_speedup`](Self::check_min_speedup).
+    pub fn check_min_stage_speedup(
+        &self,
+        baseline: &StageBaseline,
+        floors: &[(String, f64)],
+    ) -> Result<(), String> {
+        if !self.runs.iter().any(|r| r.threads <= 1) {
+            return Err(
+                "the stage-speedup gate needs a sequential baseline: include 1 in --threads".into(),
+            );
+        }
+        if baseline.preset != self.preset || baseline.scale != self.scale {
+            return Err(format!(
+                "stage-speedup gate compares different workloads: baseline is {} (scale {}), \
+                 this run is {} (scale {})",
+                baseline.preset, baseline.scale, self.preset, self.scale
+            ));
+        }
+        let delta = self.stage_delta(baseline);
+        let mut failures = Vec::new();
+        for (stage, floor) in floors {
+            let Some((_, baseline_s, current_s, speedup)) =
+                delta.iter().find(|(name, ..)| name == stage)
+            else {
+                failures.push(format!("stage {stage:?} is not in this report"));
+                continue;
+            };
+            let Some(before) = baseline_s else {
+                failures.push(format!("stage {stage:?} is not in the baseline report"));
+                continue;
+            };
+            let speedup = speedup.unwrap_or(f64::INFINITY);
+            if speedup < *floor {
+                failures.push(format!(
+                    "stage {stage}: {before:.4}s -> {current_s:.4}s is {speedup:.2}x, \
+                     below the required {floor:.2}x"
+                ));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("per-stage regression gate failed: {}", failures.join("; ")))
+        }
     }
 
     /// The observability-overhead gate: errors when the instrumented
@@ -344,7 +542,7 @@ impl PipelineBenchReport {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
             ("preset".into(), Json::from(self.preset.as_str())),
             ("scale".into(), Json::from(self.scale)),
             ("host_threads".into(), Json::from(self.host_threads)),
@@ -355,7 +553,12 @@ impl PipelineBenchReport {
             ("speedup_parallel_vs_sequential".into(), Json::from(self.speedup())),
             ("loops".into(), self.loops.to_json()),
             ("observability".into(), self.observability.to_json()),
-        ])
+        ];
+        if let Some(baseline) = &self.baseline {
+            fields.push(("baseline".into(), baseline.to_json()));
+            fields.push(("stage_delta".into(), self.stage_delta_json(baseline)));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -579,6 +782,7 @@ pub fn run_pipeline_bench(opts: &PipelineBenchOptions) -> Result<PipelineBenchRe
         runs,
         loops,
         observability,
+        baseline: None,
     })
 }
 
@@ -653,6 +857,83 @@ mod tests {
         assert_eq!(parse_thread_list("1,2,4").unwrap(), vec![1, 2, 4]);
         assert_eq!(parse_thread_list(" 8 ").unwrap(), vec![8]);
         assert!(parse_thread_list("1,x").is_err());
+    }
+
+    #[test]
+    fn stage_speedup_lists_parse() {
+        assert_eq!(
+            parse_min_stage_speedup("prune=1.3, candidates=1.3,sim_vectors=1.2").unwrap(),
+            vec![
+                ("prune".to_owned(), 1.3),
+                ("candidates".to_owned(), 1.3),
+                ("sim_vectors".to_owned(), 1.2)
+            ]
+        );
+        assert!(parse_min_stage_speedup("prune").is_err());
+        assert!(parse_min_stage_speedup("prune=fast").is_err());
+    }
+
+    #[test]
+    fn stage_gate_compares_against_a_frozen_baseline() {
+        let opts =
+            PipelineBenchOptions { preset: "TINY".into(), scale: 1.0, thread_counts: vec![1] };
+        let report = run_pipeline_bench(&opts).expect("TINY bench runs");
+
+        // Round-trip the report through its own JSON as the "committed"
+        // baseline: every stage is then exactly 1.0x.
+        let doc = Json::parse(&report.to_json().to_string()).expect("report JSON parses");
+        let baseline = StageBaseline::from_report_json(&doc).expect("sequential run present");
+        assert_eq!(baseline.preset, "TINY");
+        assert_eq!(baseline.stages.len(), report.sequential().stages.len());
+
+        // A 1.0x-vs-itself comparison passes any floor <= 1 and fails any
+        // floor > 1 (modulo f64 round-trip jitter, hence 0.5/2.0).
+        report
+            .check_min_stage_speedup(&baseline, &[("prune".into(), 0.5)])
+            .expect("self-comparison clears a 0.5x floor");
+        let err = report
+            .check_min_stage_speedup(&baseline, &[("prune".into(), 2.0)])
+            .expect_err("self-comparison cannot double");
+        assert!(err.contains("stage prune"), "{err}");
+        // Unknown stages must fail loudly, not disarm the gate.
+        let err = report
+            .check_min_stage_speedup(&baseline, &[("warp_drive".into(), 1.0)])
+            .expect_err("unknown stage");
+        assert!(err.contains("warp_drive"), "{err}");
+
+        // The delta artifact carries one row per stage with both sides.
+        let delta = report.stage_delta_json(&baseline);
+        let rows = delta.get("rows").and_then(Json::as_array).expect("rows");
+        assert_eq!(rows.len(), report.sequential().stages.len());
+        assert!(rows.iter().all(|r| r.get("speedup").and_then(Json::as_f64).is_some()));
+
+        // A mismatched workload is refused outright.
+        let other = StageBaseline { preset: "D-A".into(), ..baseline.clone() };
+        let err = report
+            .check_min_stage_speedup(&other, &[("prune".into(), 0.5)])
+            .expect_err("different preset");
+        assert!(err.contains("different workloads"), "{err}");
+
+        // A gated report embeds the frozen row; re-reading such a report
+        // as the next baseline yields the *frozen* times, not the
+        // report's own fresh run — the baseline survives regeneration.
+        let mut gated = report.clone();
+        let frozen = StageBaseline { stages: vec![("prune".into(), 123.0)], ..baseline.clone() };
+        gated.baseline = Some(frozen);
+        let doc = Json::parse(&gated.to_json().to_string()).expect("gated report JSON parses");
+        assert!(doc.get("stage_delta").is_some(), "gated report carries before/after rows");
+        let reread = StageBaseline::from_report_json(&doc).expect("baseline section wins");
+        assert_eq!(reread.stages, vec![("prune".to_owned(), 123.0)]);
+    }
+
+    #[test]
+    fn stage_baseline_requires_a_sequential_run() {
+        let opts =
+            PipelineBenchOptions { preset: "TINY".into(), scale: 1.0, thread_counts: vec![2] };
+        let report = run_pipeline_bench(&opts).expect("TINY bench runs");
+        let doc = Json::parse(&report.to_json().to_string()).expect("report JSON parses");
+        let err = StageBaseline::from_report_json(&doc).expect_err("no 1-thread run");
+        assert!(err.contains("sequential"), "{err}");
     }
 
     #[test]

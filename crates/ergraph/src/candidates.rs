@@ -1,13 +1,63 @@
 //! Candidate entity-match generation (paper §IV-B) and initial matches
 //! (§IV-C).
+//!
+//! Storage is the dense-id layout described in `crates/ergraph/LAYOUT.md`:
+//! pairs live as packed `u64` keys, the per-entity adjacency is CSR built
+//! once per construction, and the only remaining map (packed pair → id)
+//! uses the deterministic [`remp_kb::IdHasher`].
 
-use std::collections::HashMap;
-
-use remp_kb::{EntityId, Kb};
+use remp_kb::{EntityId, IdHashMap, Kb, PackedPair};
 use remp_par::Parallelism;
-use remp_simil::{jaccard, normalize_tokens, TokenSet};
+use remp_simil::{jaccard_ids, normalize_tokens, TokenSet};
 
 use crate::PairId;
+
+/// Sorted CSR adjacency from dense entity ids to the pair ids containing
+/// them: `slice(e)` is `adj[offsets[e] .. offsets[e+1]]`.
+///
+/// Rows are filled in ascending pair-id order, which is exactly the old
+/// per-entity `Vec` insertion order — `with_left`/`with_right` return
+/// byte-identical slices to the pre-CSR `HashMap<EntityId, Vec<PairId>>`
+/// layout, just from one contiguous allocation.
+#[derive(Clone, Debug, Default)]
+struct CsrIndex {
+    offsets: Vec<u32>,
+    adj: Vec<PairId>,
+}
+
+impl CsrIndex {
+    /// Builds the index over `pairs`, keying each pair by `side(pair)`.
+    fn build(pairs: &[PackedPair], side: impl Fn(PackedPair) -> EntityId) -> Self {
+        let slots = pairs.iter().map(|&p| side(p).index() + 1).max().unwrap_or(0);
+        // offsets[e + 1] first accumulates the count for entity e…
+        let mut offsets = vec![0u32; slots + 1];
+        for &p in pairs {
+            offsets[side(p).index() + 1] += 1;
+        }
+        // …then the prefix sum turns counts into row starts.
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..slots].to_vec();
+        let mut adj = vec![PairId(0); pairs.len()];
+        for (i, &p) in pairs.iter().enumerate() {
+            let slot = side(p).index();
+            adj[cursor[slot] as usize] = PairId::from_index(i);
+            cursor[slot] += 1;
+        }
+        CsrIndex { offsets, adj }
+    }
+
+    /// The pair ids stored under entity `e` (empty for out-of-range ids).
+    #[inline]
+    fn slice(&self, e: EntityId) -> &[PairId] {
+        let i = e.index();
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.adj[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
 
 /// The candidate entity match set `M_c` with prior match probabilities.
 ///
@@ -16,11 +66,11 @@ use crate::PairId;
 /// as prior match probabilities").
 #[derive(Clone, Debug)]
 pub struct Candidates {
-    pairs: Vec<(EntityId, EntityId)>,
+    pairs: Vec<PackedPair>,
     priors: Vec<f64>,
-    index: HashMap<(EntityId, EntityId), PairId>,
-    by_left: HashMap<EntityId, Vec<PairId>>,
-    by_right: HashMap<EntityId, Vec<PairId>>,
+    index: IdHashMap<PackedPair, PairId>,
+    by_left: CsrIndex,
+    by_right: CsrIndex,
 }
 
 impl Candidates {
@@ -28,30 +78,32 @@ impl Candidates {
     ///
     /// Duplicated pairs keep their first prior.
     pub fn from_pairs(entries: impl IntoIterator<Item = ((EntityId, EntityId), f64)>) -> Self {
-        let mut c = Candidates {
-            pairs: Vec::new(),
-            priors: Vec::new(),
-            index: HashMap::new(),
-            by_left: HashMap::new(),
-            by_right: HashMap::new(),
-        };
+        let mut pairs: Vec<PackedPair> = Vec::new();
+        let mut priors: Vec<f64> = Vec::new();
+        let mut index: IdHashMap<PackedPair, PairId> = IdHashMap::default();
         for (pair, prior) in entries {
-            c.insert(pair, prior);
+            let key = PackedPair::from(pair);
+            index.entry(key).or_insert_with(|| {
+                let id = PairId::from_index(pairs.len());
+                pairs.push(key);
+                priors.push(prior.clamp(0.0, 1.0));
+                id
+            });
         }
-        c
+        Self::finish(pairs, priors, index)
     }
 
-    fn insert(&mut self, pair: (EntityId, EntityId), prior: f64) -> PairId {
-        if let Some(&id) = self.index.get(&pair) {
-            return id;
-        }
-        let id = PairId::from_index(self.pairs.len());
-        self.pairs.push(pair);
-        self.priors.push(prior.clamp(0.0, 1.0));
-        self.index.insert(pair, id);
-        self.by_left.entry(pair.0).or_default().push(id);
-        self.by_right.entry(pair.1).or_default().push(id);
-        id
+    /// Freezes the builder state: one CSR build per side, done exactly
+    /// once per construction (candidate sets are immutable afterwards
+    /// except for prior updates).
+    fn finish(
+        pairs: Vec<PackedPair>,
+        priors: Vec<f64>,
+        index: IdHashMap<PackedPair, PairId>,
+    ) -> Self {
+        let by_left = CsrIndex::build(&pairs, PackedPair::left);
+        let by_right = CsrIndex::build(&pairs, PackedPair::right);
+        Candidates { pairs, priors, index, by_left, by_right }
     }
 
     /// Number of candidate pairs `|M_c|`.
@@ -66,7 +118,7 @@ impl Candidates {
 
     /// The entity pair behind `id`.
     pub fn pair(&self, id: PairId) -> (EntityId, EntityId) {
-        self.pairs[id.index()]
+        self.pairs[id.index()].unpack()
     }
 
     /// Prior match probability `Pr[m_p]`.
@@ -89,22 +141,35 @@ impl Candidates {
 
     /// Looks up the id of an entity pair.
     pub fn id_of(&self, pair: (EntityId, EntityId)) -> Option<PairId> {
-        self.index.get(&pair).copied()
+        self.index.get(&PackedPair::from(pair)).copied()
     }
 
     /// All candidate ids containing `u1` on the left (KB1) side.
     pub fn with_left(&self, u1: EntityId) -> &[PairId] {
-        self.by_left.get(&u1).map(Vec::as_slice).unwrap_or(&[])
+        self.by_left.slice(u1)
     }
 
     /// All candidate ids containing `u2` on the right (KB2) side.
     pub fn with_right(&self, u2: EntityId) -> &[PairId] {
-        self.by_right.get(&u2).map(Vec::as_slice).unwrap_or(&[])
+        self.by_right.slice(u2)
+    }
+
+    /// Number of dense left-entity slots the CSR index covers (one past
+    /// the highest KB1 entity id appearing in any pair). Consumers that
+    /// bucket pairs by entity (pruning) size their own dense arrays with
+    /// this instead of re-scanning for the maximum.
+    pub fn left_slots(&self) -> usize {
+        self.by_left.offsets.len() - 1
+    }
+
+    /// Number of dense right-entity slots the CSR index covers.
+    pub fn right_slots(&self) -> usize {
+        self.by_right.offsets.len() - 1
     }
 
     /// Iterates over all `(id, pair)` entries.
     pub fn iter(&self) -> impl Iterator<Item = (PairId, (EntityId, EntityId))> + '_ {
-        self.pairs.iter().enumerate().map(|(i, &p)| (PairId::from_index(i), p))
+        self.pairs.iter().enumerate().map(|(i, &p)| (PairId::from_index(i), p.unpack()))
     }
 
     /// All pair ids.
@@ -114,20 +179,27 @@ impl Candidates {
 
     /// Restricts the candidate set to `keep`, preserving order and priors.
     /// Returns the new set together with the old→new id mapping.
-    pub fn restrict(&self, keep: &[PairId]) -> (Candidates, HashMap<PairId, PairId>) {
-        let mut mapping = HashMap::with_capacity(keep.len());
-        let mut out = Candidates {
-            pairs: Vec::with_capacity(keep.len()),
-            priors: Vec::with_capacity(keep.len()),
-            index: HashMap::with_capacity(keep.len()),
-            by_left: HashMap::new(),
-            by_right: HashMap::new(),
-        };
+    ///
+    /// Everything is preallocated at `keep.len()` — the result has
+    /// exactly that many pairs (fewer only if `keep` repeats ids).
+    pub fn restrict(&self, keep: &[PairId]) -> (Candidates, IdHashMap<PairId, PairId>) {
+        let mut mapping: IdHashMap<PairId, PairId> =
+            IdHashMap::with_capacity_and_hasher(keep.len(), Default::default());
+        let mut pairs: Vec<PackedPair> = Vec::with_capacity(keep.len());
+        let mut priors: Vec<f64> = Vec::with_capacity(keep.len());
+        let mut index: IdHashMap<PackedPair, PairId> =
+            IdHashMap::with_capacity_and_hasher(keep.len(), Default::default());
         for &old in keep {
-            let new = out.insert(self.pair(old), self.prior(old));
+            let key = self.pairs[old.index()];
+            let new = *index.entry(key).or_insert_with(|| {
+                let id = PairId::from_index(pairs.len());
+                pairs.push(key);
+                priors.push(self.priors[old.index()]);
+                id
+            });
             mapping.insert(old, new);
         }
-        (out, mapping)
+        (Self::finish(pairs, priors, index), mapping)
     }
 }
 
@@ -138,6 +210,12 @@ impl Candidates {
 /// at least one token; surviving pairs keep a Jaccard similarity ≥
 /// `threshold` (0.3 in the paper), which becomes the prior `Pr[m_p]`.
 ///
+/// Internally every token is interned against the lexicographically
+/// sorted token universe of both KBs, so the block scans and Jaccard
+/// computations run over sorted `u32` slices instead of string sets —
+/// same counts, same `f64` sims, no string hashing or comparison in the
+/// per-pair loop.
+///
 /// Tokenisation and the per-KB1-entity block scans are data-parallel under
 /// `par`; the output is identical for every [`Parallelism`] mode (entries
 /// stay in KB1-entity order).
@@ -147,11 +225,28 @@ pub fn generate_candidates(kb1: &Kb, kb2: &Kb, threshold: f64, par: &Parallelism
     let tokens1: Vec<TokenSet> = par.par_map(&ids1, |&u| normalize_tokens(kb1.label(u)));
     let tokens2: Vec<TokenSet> = par.par_map(&ids2, |&u| normalize_tokens(kb2.label(u)));
 
-    // Inverted index over KB2 tokens.
-    let mut inv: HashMap<&str, Vec<EntityId>> = HashMap::new();
-    for u2 in kb2.entities() {
-        for tok in &tokens2[u2.index()] {
-            inv.entry(tok.as_str()).or_default().push(u2);
+    // The shared token universe, sorted: interning is monotone, so each
+    // entity's id list (from a sorted TokenSet) is itself sorted and
+    // ascending-id iteration order equals lexicographic token order —
+    // the candidate emission order is unchanged from the string layout.
+    let mut universe: Vec<&str> =
+        tokens1.iter().chain(&tokens2).flatten().map(String::as_str).collect();
+    universe.sort_unstable();
+    universe.dedup();
+    let intern = |ts: &TokenSet| -> Vec<u32> {
+        ts.iter()
+            .map(|t| universe.binary_search(&t.as_str()).expect("in universe") as u32)
+            .collect()
+    };
+    let toks1: Vec<Vec<u32>> = par.par_map(&ids1, |&u| intern(&tokens1[u.index()]));
+    let toks2: Vec<Vec<u32>> = par.par_map(&ids2, |&u| intern(&tokens2[u.index()]));
+
+    // Inverted index over KB2 token ids — dense by token id, entities in
+    // ascending KB2 order per row.
+    let mut inv: Vec<Vec<EntityId>> = vec![Vec::new(); universe.len()];
+    for &u2 in &ids2 {
+        for &t in &toks2[u2.index()] {
+            inv[t as usize].push(u2);
         }
     }
 
@@ -162,16 +257,15 @@ pub fn generate_candidates(kb1: &Kb, kb2: &Kb, threshold: f64, par: &Parallelism
         &ids1,
         || vec![u32::MAX; kb2.num_entities()],
         |seen, &u1| {
-            let ts1 = &tokens1[u1.index()];
+            let ts1 = &toks1[u1.index()];
             let mut entries: Vec<((EntityId, EntityId), f64)> = Vec::new();
-            for tok in ts1 {
-                let Some(cands) = inv.get(tok.as_str()) else { continue };
-                for &u2 in cands {
+            for &t in ts1 {
+                for &u2 in &inv[t as usize] {
                     if seen[u2.index()] == u1.0 {
                         continue; // already scored for this u1
                     }
                     seen[u2.index()] = u1.0;
-                    let sim = jaccard(ts1, &tokens2[u2.index()]);
+                    let sim = jaccard_ids(ts1, &toks2[u2.index()]);
                     if sim >= threshold {
                         entries.push(((u1, u2), sim));
                     }
@@ -257,6 +351,29 @@ mod tests {
     }
 
     #[test]
+    fn csr_slices_match_insertion_order() {
+        // Pairs inserted out of entity order: per-entity CSR rows must
+        // still list pair ids in ascending insertion order, and ids past
+        // the densest slot must come back empty, not panic.
+        let e = EntityId;
+        let c = Candidates::from_pairs([
+            ((e(5), e(0)), 0.5),
+            ((e(1), e(3)), 0.4),
+            ((e(5), e(2)), 0.3),
+            ((e(1), e(0)), 0.2),
+        ]);
+        let ids: Vec<PairId> = c.ids().collect();
+        assert_eq!(c.with_left(e(5)), &[ids[0], ids[2]]);
+        assert_eq!(c.with_left(e(1)), &[ids[1], ids[3]]);
+        assert_eq!(c.with_right(e(0)), &[ids[0], ids[3]]);
+        assert_eq!(c.with_left(e(0)), &[] as &[PairId]);
+        assert_eq!(c.with_left(e(700)), &[] as &[PairId]);
+        assert_eq!(c.with_right(e(700)), &[] as &[PairId]);
+        assert_eq!(c.left_slots(), 6);
+        assert_eq!(c.right_slots(), 4);
+    }
+
+    #[test]
     fn restrict_preserves_priors() {
         let kb1 = kb("a", &["a b", "a c"]);
         let kb2 = kb("b", &["a b", "a c"]);
@@ -269,6 +386,19 @@ mod tests {
             assert_eq!(r.pair(new), c.pair(old));
             assert_eq!(r.prior(new), c.prior(old));
         }
+    }
+
+    #[test]
+    fn restrict_rebuilds_csr() {
+        let e = EntityId;
+        let c =
+            Candidates::from_pairs([((e(0), e(0)), 0.9), ((e(0), e(1)), 0.8), ((e(1), e(1)), 0.7)]);
+        let drop_middle: Vec<PairId> = c.ids().filter(|&p| c.pair(p) != (e(0), e(1))).collect();
+        let (r, _) = c.restrict(&drop_middle);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.with_left(e(0)).len(), 1);
+        assert_eq!(r.with_right(e(1)).len(), 1);
+        assert_eq!(r.id_of((e(0), e(1))), None);
     }
 
     #[test]

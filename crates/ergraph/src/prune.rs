@@ -8,9 +8,6 @@
 //! pruned. The two [`prune_one_way`] passes (by KB1 entity, then by KB2
 //! entity over the survivors) implement Algorithm 1's sequential structure.
 
-use std::collections::HashMap;
-
-use remp_kb::EntityId;
 use remp_par::Parallelism;
 use remp_simil::SimVec;
 
@@ -61,30 +58,95 @@ pub fn prune_one_way(
     k: usize,
     par: &Parallelism,
 ) -> Vec<PairId> {
-    let mut blocks: HashMap<EntityId, Vec<PairId>> = HashMap::new();
-    for &pid in survivors {
+    // Blocks as a counting-sort CSR keyed by the dense side-entity id:
+    // one count pass, a prefix sum, one fill pass in survivor order —
+    // every block lists its pairs in the same order the old
+    // `HashMap<EntityId, Vec<PairId>>` did, from two flat arrays.
+    let slots = match side {
+        Side::Left => candidates.left_slots(),
+        Side::Right => candidates.right_slots(),
+    };
+    let slot_of = |pid: PairId| {
         let (u1, u2) = candidates.pair(pid);
-        let key = match side {
-            Side::Left => u1,
-            Side::Right => u2,
-        };
-        blocks.entry(key).or_default().push(pid);
+        match side {
+            Side::Left => u1.index(),
+            Side::Right => u2.index(),
+        }
+    };
+    let mut offsets = vec![0u32; slots + 1];
+    for &pid in survivors {
+        offsets[slot_of(pid) + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor: Vec<u32> = offsets[..slots].to_vec();
+    let mut adj = vec![PairId(0); survivors.len()];
+    for &pid in survivors {
+        let slot = slot_of(pid);
+        adj[cursor[slot] as usize] = pid;
+        cursor[slot] += 1;
     }
 
-    // The O(|B|²) dominance counts are independent per pair; the filter
-    // below keeps the survivors' order, so the result is identical for
-    // every `par` mode.
-    let keep: Vec<bool> = par.par_map(survivors, |&pid| {
-        let (u1, u2) = candidates.pair(pid);
-        let key = match side {
-            Side::Left => u1,
-            Side::Right => u2,
-        };
-        let block = &blocks[&key];
-        // |B| ≤ k: no need to prune (Alg. 1 line 9).
-        block.len() <= k || rank_in_block(block, vectors, pid) < k
+    // A pair's dominator count depends only on the multiset of vectors in
+    // its block, and pairs with bit-identical vectors get identical
+    // counts. Real blocks are tie-heavy (a few thousand distinct vectors
+    // across >100k block members on the benchmark presets), so each
+    // over-sized block is grouped into *unique* vectors with
+    // multiplicities and dominance runs unique × unique with an early
+    // exit at `k` (the keep test `count < k` needs no exact count; a
+    // vector never strictly dominates its own group). This is exact —
+    // the same `f64` comparisons, just not repeated per duplicate.
+    let slot_ids: Vec<usize> = (0..slots).collect();
+    let per_slot: Vec<Vec<(PairId, bool)>> = par.par_map(&slot_ids, |&slot| {
+        let block = &adj[offsets[slot] as usize..offsets[slot + 1] as usize];
+        // |B| ≤ k: no need to prune (Alg. 1 line 9); the scatter below
+        // defaults to keep.
+        if block.len() <= k {
+            return Vec::new();
+        }
+        let bits = |p: PairId| vectors[p.index()].components().iter().map(|c| c.to_bits());
+        let mut members = block.to_vec();
+        members.sort_unstable_by(|&a, &b| bits(a).cmp(bits(b)));
+        // Adjacent identical vectors collapse into (representative,
+        // multiplicity) groups; `group_of` remembers each member's group.
+        let mut groups: Vec<(PairId, usize)> = Vec::new();
+        let mut group_of: Vec<u32> = Vec::with_capacity(members.len());
+        for &p in &members {
+            match groups.last_mut() {
+                Some((rep, mult)) if bits(*rep).eq(bits(p)) => *mult += 1,
+                _ => groups.push((p, 1)),
+            }
+            group_of.push(groups.len() as u32 - 1);
+        }
+        let kept: Vec<bool> = groups
+            .iter()
+            .map(|&(rep, _)| {
+                let target = &vectors[rep.index()];
+                let mut dominators = 0;
+                for &(other, mult) in &groups {
+                    if vectors[other.index()].strictly_dominates(target) {
+                        dominators += mult;
+                        if dominators >= k {
+                            break;
+                        }
+                    }
+                }
+                dominators < k
+            })
+            .collect();
+        members.iter().zip(&group_of).map(|(&p, &g)| (p, kept[g as usize])).collect()
     });
-    survivors.iter().zip(&keep).filter(|&(_, &kept)| kept).map(|(&pid, _)| pid).collect()
+
+    // Scatter the per-block decisions to pair ids, then filter in
+    // survivor order — the result is identical for every `par` mode.
+    let mut keep = vec![true; vectors.len()];
+    for row in &per_slot {
+        for &(pid, kept) in row {
+            keep[pid.index()] = kept;
+        }
+    }
+    survivors.iter().copied().filter(|pid| keep[pid.index()]).collect()
 }
 
 /// Algorithm 1: partial-order based pruning. Returns the retained entity
@@ -106,6 +168,7 @@ pub fn prune(
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use remp_kb::EntityId;
 
     /// Most unit tests run the sequential reference mode; the proptests
     /// below drive a real worker pool to cover the parallel path too.

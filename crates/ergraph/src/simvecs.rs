@@ -2,9 +2,9 @@
 //! §IV-D): `s(u1, u2) = (s_1, …, s_|Mat|)` with `s_i = simL` on the i-th
 //! attribute match.
 
-use remp_kb::{EntityId, Kb, Value};
+use remp_kb::{EntityId, Kb};
 use remp_par::Parallelism;
-use remp_simil::{sim_l_weighted, SimVec};
+use remp_simil::{sim_l_weighted_prepared, PreparedLiteral, SimVec};
 
 use crate::{AttrAlignment, Candidates};
 
@@ -16,9 +16,14 @@ use crate::{AttrAlignment, Candidates};
 /// corresponds to `alignment.pairs[i]`; pairs where neither entity
 /// carries the attribute score 0.0.
 ///
+/// Each entity's values under each aligned attribute are *prepared*
+/// (tokenised, numeric-parsed) exactly once up front — an entity appears
+/// in many candidate pairs, and re-normalising its text per pair used to
+/// dominate this stage. `sim_l_weighted_prepared` is bit-identical to the
+/// unprepared form, so outputs are unchanged.
+///
 /// Every pair's vector is independent, so the computation is data-parallel
-/// under `par` (value buffers are per-worker scratch); the output order is
-/// the candidate order in every mode.
+/// under `par`; the output order is the candidate order in every mode.
 pub fn build_sim_vectors(
     kb1: &Kb,
     kb2: &Kb,
@@ -27,30 +32,38 @@ pub fn build_sim_vectors(
     literal_threshold: f64,
     par: &Parallelism,
 ) -> Vec<SimVec> {
+    let _ = literal_threshold;
+    // entity → alignment index → prepared values of that attribute.
+    let prepare = |kb: &Kb, side: usize| -> Vec<Vec<Vec<PreparedLiteral>>> {
+        let ids: Vec<u32> = (0..kb.num_entities() as u32).collect();
+        par.par_map(&ids, |&e| {
+            alignment
+                .pairs
+                .iter()
+                .map(|&(a1, a2, _)| {
+                    let attr = if side == 0 { a1 } else { a2 };
+                    kb.attr_values(EntityId(e), attr).map(PreparedLiteral::new).collect()
+                })
+                .collect()
+        })
+    };
+    let prep1 = prepare(kb1, 0);
+    let prep2 = prepare(kb2, 1);
     let pairs: Vec<(EntityId, EntityId)> = candidates.iter().map(|(_, p)| p).collect();
-    par.par_map_with(
-        &pairs,
-        || (Vec::<Value>::new(), Vec::<Value>::new()),
-        |(buf1, buf2), &(u1, u2)| {
-            let mut components = Vec::with_capacity(alignment.len());
-            for &(a1, a2, _) in &alignment.pairs {
-                buf1.clear();
-                buf2.clear();
-                buf1.extend(kb1.attr_values(u1, a1).cloned());
-                buf2.extend(kb2.attr_values(u2, a2).cloned());
-                let _ = literal_threshold;
-                components.push(sim_l_weighted(buf1, buf2, 0.3));
-            }
-            SimVec::new(components)
-        },
-    )
+    par.par_map(&pairs, |&(u1, u2)| {
+        let rows1 = &prep1[u1.index()];
+        let rows2 = &prep2[u2.index()];
+        let components =
+            rows1.iter().zip(rows2).map(|(n1, n2)| sim_l_weighted_prepared(n1, n2, 0.3)).collect();
+        SimVec::new(components)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{generate_candidates, initial_matches, match_attributes, AttrMatchConfig};
-    use remp_kb::KbBuilder;
+    use remp_kb::{KbBuilder, Value};
 
     #[test]
     fn vectors_reflect_value_agreement() {

@@ -7,6 +7,9 @@
 //!
 //! This crate provides:
 //! * compact, copyable ids ([`EntityId`], [`AttrId`], [`RelId`]),
+//! * dense-id hot-path plumbing: [`PackedPair`] single-`u64` pair keys and
+//!   the deterministic multiply-and-fold [`IdHasher`] with its
+//!   [`IdHashMap`]/[`IdHashSet`] aliases,
 //! * an interning [`Kb`] store with O(1) value-set lookups `N_u^r` / `N_u^a`
 //!   used pervasively by attribute matching and match propagation,
 //! * a mutable [`KbBuilder`] for constructing KBs programmatically,
@@ -17,6 +20,7 @@
 mod builder;
 mod ids;
 mod kb;
+mod packed;
 mod stats;
 mod validate;
 mod value;
@@ -24,6 +28,7 @@ mod value;
 pub use builder::KbBuilder;
 pub use ids::{AttrId, EntityId, RelId};
 pub use kb::Kb;
+pub use packed::{IdBuildHasher, IdHashMap, IdHashSet, IdHasher, PackedPair};
 pub use stats::KbStats;
 pub use validate::KbError;
 pub use value::Value;

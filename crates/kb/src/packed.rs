@@ -1,0 +1,269 @@
+//! Packed pair keys and the dense-id hasher for hot-path maps.
+//!
+//! The hot loops of candidate generation, pruning and propagation look up
+//! `(EntityId, EntityId)` pairs millions of times per campaign. Hashing a
+//! 2-field tuple through SipHash is the single most expensive part of
+//! those lookups, so this module provides:
+//!
+//! * [`PackedPair`] — both entity ids packed into one `u64`, left id in
+//!   the high 32 bits so the integer order of the packed key equals the
+//!   `(left, right)` lexicographic order of the tuple;
+//! * [`IdHasher`] — a multiply-and-fold finisher for dense integer keys
+//!   (the `EntityHasher` idiom), deterministic across processes because
+//!   it has no random state;
+//! * [`IdHashMap`] / [`IdHashSet`] — `std` map/set aliases wired to
+//!   [`IdHasher`].
+//!
+//! # Determinism contract
+//!
+//! Swapping hashers can never change campaign outputs: every map keyed by
+//! ids is used for *lookups only* — whenever code produces an ordered
+//! artifact (candidate lists, adjacency, question order) it derives the
+//! order from `Vec` insertion order or an explicit sort, never from map
+//! iteration order. `IdHasher` additionally removes the per-process
+//! `RandomState` seed, so even accidental iteration-order dependence
+//! would be reproducible across runs and machines.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+use crate::EntityId;
+
+/// A `(left, right)` entity pair packed into a single `u64`.
+///
+/// The left (KB1) id occupies the high 32 bits, the right (KB2) id the
+/// low 32 bits, so `u64` ordering coincides with lexicographic tuple
+/// ordering and a packed key can be compared, sorted and hashed as one
+/// machine word.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PackedPair(u64);
+
+impl PackedPair {
+    /// Packs a `(left, right)` pair.
+    #[inline]
+    pub fn pack(left: EntityId, right: EntityId) -> Self {
+        PackedPair((u64::from(left.0) << 32) | u64::from(right.0))
+    }
+
+    /// The left (KB1) entity.
+    #[inline]
+    pub fn left(self) -> EntityId {
+        EntityId((self.0 >> 32) as u32)
+    }
+
+    /// The right (KB2) entity.
+    #[inline]
+    pub fn right(self) -> EntityId {
+        EntityId(self.0 as u32)
+    }
+
+    /// Unpacks back into the `(left, right)` tuple.
+    #[inline]
+    pub fn unpack(self) -> (EntityId, EntityId) {
+        (self.left(), self.right())
+    }
+
+    /// The raw packed key.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<(EntityId, EntityId)> for PackedPair {
+    #[inline]
+    fn from((left, right): (EntityId, EntityId)) -> Self {
+        PackedPair::pack(left, right)
+    }
+}
+
+impl From<PackedPair> for (EntityId, EntityId) {
+    #[inline]
+    fn from(p: PackedPair) -> Self {
+        p.unpack()
+    }
+}
+
+impl fmt::Debug for PackedPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?}, {:?})", self.left(), self.right())
+    }
+}
+
+impl Hash for PackedPair {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.0);
+    }
+}
+
+/// Odd (hence bijective modulo 2^64) golden-ratio multiplier with entropy
+/// in every byte, so the product scrambles all positions it can reach.
+const UPPER_PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A deterministic hasher for dense integer ids.
+///
+/// One `wrapping_mul` plus a high→low XOR fold replaces SipHash for keys
+/// that are already well-distributed small integers ([`EntityId`],
+/// [`PackedPair`], pair ids). The fold in [`finish`](Hasher::finish)
+/// matters: multiplication only propagates entropy *upward* (bit `k` of a
+/// product depends on bits `≤ k` of its inputs), while `HashMap` derives
+/// bucket indices from the *low* hash bits — without the fold, every
+/// [`PackedPair`] sharing a right entity id would land in the same
+/// buckets and long probe chains would dominate dense workloads.
+/// Multi-word keys fold via XOR before the multiply, so tuple keys
+/// such as `(EntityId, EntityId)` still work. Hashing byte strings is a
+/// bug, not a fallback — [`IdHasher::write`] panics.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IdHasher {
+    state: u64,
+}
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // `x ^ (x >> 32)` is a bijection mixing the multiply's high-bit
+        // entropy back into the bucket-index bits.
+        self.state ^ (self.state >> 32)
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        panic!("IdHasher is for dense integer ids, not byte strings");
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = (self.state ^ i).wrapping_mul(UPPER_PHI);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// The `BuildHasher` for [`IdHasher`] maps and sets.
+pub type IdBuildHasher = BuildHasherDefault<IdHasher>;
+
+/// A `HashMap` keyed by dense integer ids, hashed with [`IdHasher`].
+pub type IdHashMap<K, V> = HashMap<K, V, IdBuildHasher>;
+
+/// A `HashSet` of dense integer ids, hashed with [`IdHasher`].
+pub type IdHashSet<K> = HashSet<K, IdBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hash_one<T: Hash>(value: &T) -> u64 {
+        let mut h = IdHasher::default();
+        value.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn pack_unpack_smoke() {
+        let p = PackedPair::pack(EntityId(7), EntityId(12));
+        assert_eq!(p.left(), EntityId(7));
+        assert_eq!(p.right(), EntityId(12));
+        assert_eq!(p.unpack(), (EntityId(7), EntityId(12)));
+        assert_eq!(p.as_u64(), (7u64 << 32) | 12);
+    }
+
+    #[test]
+    fn debug_renders_like_the_tuple() {
+        let p = PackedPair::pack(EntityId(3), EntityId(9));
+        assert_eq!(format!("{p:?}"), "(e3, e9)");
+    }
+
+    #[test]
+    fn idhasher_is_known_constants() {
+        // The exact hash values are part of the determinism story: they
+        // depend only on the key, never on process or platform state.
+        let mut h = IdHasher::default();
+        h.write_u64(1);
+        assert_eq!(h.finish(), UPPER_PHI ^ (UPPER_PHI >> 32));
+        assert_eq!(
+            hash_one(&PackedPair::pack(EntityId(0), EntityId(1))),
+            UPPER_PHI ^ (UPPER_PHI >> 32)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dense integer ids")]
+    fn idhasher_rejects_byte_strings() {
+        let mut h = IdHasher::default();
+        h.write(b"not an id");
+    }
+
+    #[test]
+    fn maps_work_end_to_end() {
+        let mut map: IdHashMap<PackedPair, usize> = IdHashMap::default();
+        let mut set: IdHashSet<EntityId> = IdHashSet::default();
+        for i in 0..1000u32 {
+            map.insert(PackedPair::pack(EntityId(i), EntityId(i * 7)), i as usize);
+            set.insert(EntityId(i));
+        }
+        assert_eq!(map.len(), 1000);
+        assert_eq!(map[&PackedPair::pack(EntityId(41), EntityId(287))], 41);
+        assert!(set.contains(&EntityId(999)));
+        assert!(!set.contains(&EntityId(1000)));
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_round_trips(l in any::<u32>(), r in any::<u32>()) {
+            let pair = (EntityId(l), EntityId(r));
+            let packed = PackedPair::pack(pair.0, pair.1);
+            prop_assert_eq!(packed.unpack(), pair);
+            prop_assert_eq!(PackedPair::from(pair).as_u64(), packed.as_u64());
+        }
+
+        #[test]
+        fn packed_order_is_lexicographic(
+            l1 in any::<u32>(), r1 in any::<u32>(),
+            l2 in any::<u32>(), r2 in any::<u32>(),
+        ) {
+            let a = PackedPair::pack(EntityId(l1), EntityId(r1));
+            let b = PackedPair::pack(EntityId(l2), EntityId(r2));
+            prop_assert_eq!(a.cmp(&b), (l1, r1).cmp(&(l2, r2)));
+        }
+
+        #[test]
+        fn idhasher_is_deterministic_and_injective_on_u64(
+            a in any::<u64>(), b in any::<u64>()
+        ) {
+            let mut h1 = IdHasher::default();
+            h1.write_u64(a);
+            let mut h2 = IdHasher::default();
+            h2.write_u64(a);
+            // Same key, two fresh hashers: identical — there is no
+            // hidden per-instance or per-process state.
+            prop_assert_eq!(h1.finish(), h2.finish());
+            // The multiplier is odd, so x → (x·PHI) mod 2^64 is a
+            // bijection: distinct single-word keys never collide.
+            let mut h3 = IdHasher::default();
+            h3.write_u64(b);
+            prop_assert_eq!(a == b, h1.finish() == h3.finish());
+        }
+
+        #[test]
+        fn u32_and_usize_writes_agree_with_u64(i in any::<u32>()) {
+            let mut a = IdHasher::default();
+            a.write_u32(i);
+            let mut b = IdHasher::default();
+            b.write_u64(u64::from(i));
+            let mut c = IdHasher::default();
+            c.write_usize(i as usize);
+            prop_assert_eq!(a.finish(), b.finish());
+            prop_assert_eq!(a.finish(), c.finish());
+        }
+    }
+}

@@ -27,22 +27,23 @@
 //! degenerate corners, and still lets the E-step infer unobserved matches
 //! among the candidates.
 
-use std::collections::{HashMap, HashSet};
-
 use remp_ergraph::{Candidates, Direction, EdgeLabel, ErGraph, PairId, RelPairId};
-use remp_kb::{EntityId, Kb};
+use remp_kb::{EntityId, IdHashMap, IdHashSet, Kb};
 use remp_par::Parallelism;
 
 /// Seed matches indexed by the KB1 entity, for O(deg) overlap counts.
 ///
 /// Shared between the from-scratch estimator and the incremental
 /// [`LoopState`](crate::LoopState), which maintains one across loops
-/// instead of rebuilding it from the full seed set.
-pub(crate) type SeedIndex = HashMap<EntityId, HashSet<EntityId>>;
+/// instead of rebuilding it from the full seed set. Keyed with the
+/// deterministic [`remp_kb::IdHasher`] — the index is lookup-only, so
+/// the hasher cannot affect outputs, it only removes SipHash from the
+/// inner loop of every observation count.
+pub(crate) type SeedIndex = IdHashMap<EntityId, IdHashSet<EntityId>>;
 
 /// Builds the [`SeedIndex`] of a seed set.
 pub(crate) fn index_seeds(candidates: &Candidates, seeds: &[PairId]) -> SeedIndex {
-    let mut seed_right: SeedIndex = HashMap::new();
+    let mut seed_right: SeedIndex = SeedIndex::default();
     for &s in seeds {
         let (u1, u2) = candidates.pair(s);
         seed_right.entry(u1).or_default().insert(u2);
@@ -239,9 +240,14 @@ pub fn estimate_consistency(observations: &[SizeObservation]) -> Consistency {
 }
 
 /// Per-edge-label consistency parameters for an [`ErGraph`].
+///
+/// Label ids are dense (interned per graph), so the table is a flat
+/// vector indexed by [`RelPairId`] — `get` is a bounds check and a load,
+/// with no hashing on the propagation hot path.
 #[derive(Clone, Debug)]
 pub struct ConsistencyTable {
-    by_label: HashMap<RelPairId, Consistency>,
+    by_label: Vec<Option<Consistency>>,
+    populated: usize,
 }
 
 impl ConsistencyTable {
@@ -273,17 +279,21 @@ impl ConsistencyTable {
                 .collect();
             (label_id, estimate_consistency(&obs))
         });
-        ConsistencyTable { by_label: entries.into_iter().collect() }
+        Self::from_entries(entries)
     }
 
     /// Builds a table from explicit entries (tests, synthetic setups).
     pub fn from_entries(entries: impl IntoIterator<Item = (RelPairId, Consistency)>) -> Self {
-        ConsistencyTable { by_label: entries.into_iter().collect() }
+        let mut table = ConsistencyTable { by_label: Vec::new(), populated: 0 };
+        for (label, value) in entries {
+            table.set(label, value);
+        }
+        table
     }
 
     /// The consistency of a label, [`Consistency::UNINFORMED`] if unseen.
     pub fn get(&self, label: RelPairId) -> Consistency {
-        self.by_label.get(&label).copied().unwrap_or(Consistency::UNINFORMED)
+        self.by_label.get(label.index()).copied().flatten().unwrap_or(Consistency::UNINFORMED)
     }
 
     /// Installs (or replaces) one label's estimate, returning `true`
@@ -291,17 +301,24 @@ impl ConsistencyTable {
     /// cutoff: a re-estimated label whose parameters come out bit-equal
     /// dirties nothing downstream.
     pub(crate) fn set(&mut self, label: RelPairId, value: Consistency) -> bool {
-        self.by_label.insert(label, value) != Some(value)
+        if label.index() >= self.by_label.len() {
+            self.by_label.resize(label.index() + 1, None);
+        }
+        let slot = &mut self.by_label[label.index()];
+        if slot.is_none() {
+            self.populated += 1;
+        }
+        slot.replace(value) != Some(value)
     }
 
     /// Number of labels with estimates.
     pub fn len(&self) -> usize {
-        self.by_label.len()
+        self.populated
     }
 
     /// True when no labels have estimates.
     pub fn is_empty(&self) -> bool {
-        self.by_label.is_empty()
+        self.populated == 0
     }
 }
 

@@ -17,7 +17,7 @@
 //!   bench suite compares both (ablation).
 
 use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use remp_ergraph::PairId;
 use remp_par::Parallelism;
@@ -165,7 +165,31 @@ impl Ord for MinDist {
     }
 }
 
-/// Algorithm 2: threshold Floyd–Warshall with per-vertex ordered maps
+/// A target-sorted `(vertex, distance)` row with binary-search lookups —
+/// the dense-layout stand-in for the per-vertex `BTreeMap` the paper's
+/// pseudo-code implies. Iteration order (ascending vertex) is identical
+/// to the ordered map it replaced.
+#[derive(Clone, Debug, Default)]
+struct SortedRow(Vec<(PairId, f64)>);
+
+impl SortedRow {
+    fn get(&self, k: PairId) -> Option<f64> {
+        self.0.binary_search_by_key(&k, |&(w, _)| w).ok().map(|i| self.0[i].1)
+    }
+
+    fn insert(&mut self, k: PairId, v: f64) {
+        match self.0.binary_search_by_key(&k, |&(w, _)| w) {
+            Ok(i) => self.0[i].1 = v,
+            Err(i) => self.0.insert(i, (k, v)),
+        }
+    }
+
+    fn entries(&self) -> impl Iterator<Item = (PairId, f64)> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+/// Algorithm 2: threshold Floyd–Warshall with per-vertex ordered rows
 /// (`bt(q)` / `bt⁻¹(q)` in the paper).
 ///
 /// The intermediate-vertex loop relaxes `r → k → p` whenever both halves
@@ -175,15 +199,15 @@ pub fn inferred_sets_floyd_warshall(graph: &ProbErGraph, tau: f64) -> InferredSe
     let zeta = -tau.clamp(f64::MIN_POSITIVE, 1.0).ln();
     let n = graph.num_vertices();
     // bt[q]: distances q → p (≤ ζ); bt_inv[q]: distances r → q.
-    let mut bt: Vec<BTreeMap<PairId, f64>> = vec![BTreeMap::new(); n];
-    let mut bt_inv: Vec<BTreeMap<PairId, f64>> = vec![BTreeMap::new(); n];
+    let mut bt: Vec<SortedRow> = vec![SortedRow::default(); n];
+    let mut bt_inv: Vec<SortedRow> = vec![SortedRow::default(); n];
     for (q, row) in bt.iter_mut().enumerate() {
         for &(w, p) in graph.edges_from(PairId(q as u32)) {
             if w.index() == q {
                 continue; // self-loops are irrelevant: dist(q,q) = 0
             }
             let Some(len) = length_within(p, zeta) else { continue };
-            let cur = row.get(&w).copied().unwrap_or(f64::INFINITY);
+            let cur = row.get(w).unwrap_or(f64::INFINITY);
             if len < cur {
                 row.insert(w, len);
                 bt_inv[w.index()].insert(PairId(q as u32), len);
@@ -195,8 +219,8 @@ pub fn inferred_sets_floyd_warshall(graph: &ProbErGraph, tau: f64) -> InferredSe
         let k_id = PairId(k as u32);
         // Snapshot to decouple iteration from mutation; the FW invariant
         // only needs the state at the start of iteration k.
-        let into_k: Vec<(PairId, f64)> = bt_inv[k].iter().map(|(&r, &d)| (r, d)).collect();
-        let from_k: Vec<(PairId, f64)> = bt[k].iter().map(|(&p, &d)| (p, d)).collect();
+        let into_k: Vec<(PairId, f64)> = bt_inv[k].entries().collect();
+        let from_k: Vec<(PairId, f64)> = bt[k].entries().collect();
         for &(r, d1) in &into_k {
             if r == k_id {
                 continue;
@@ -209,7 +233,7 @@ pub fn inferred_sets_floyd_warshall(graph: &ProbErGraph, tau: f64) -> InferredSe
                 if d > zeta {
                     continue;
                 }
-                let cur = bt[r.index()].get(&p).copied().unwrap_or(f64::INFINITY);
+                let cur = bt[r.index()].get(p).unwrap_or(f64::INFINITY);
                 if d < cur {
                     bt[r.index()].insert(p, d);
                     bt_inv[p.index()].insert(r, d);
@@ -218,10 +242,11 @@ pub fn inferred_sets_floyd_warshall(graph: &ProbErGraph, tau: f64) -> InferredSe
         }
     }
 
-    let per_source = (0..n)
-        .map(|q| {
-            let mut out: Vec<(PairId, f64)> =
-                bt[q].iter().map(|(&p, &d)| (p, (-d).exp())).collect();
+    let per_source = bt
+        .iter()
+        .enumerate()
+        .map(|(q, row)| {
+            let mut out: Vec<(PairId, f64)> = row.entries().map(|(p, d)| (p, (-d).exp())).collect();
             out.push((PairId(q as u32), 1.0));
             out.sort_by_key(|&(w, _)| w);
             out

@@ -41,8 +41,6 @@
 //! components never reopen: resolutions are never revoked, so a
 //! component's eligible count is monotonically non-increasing.
 
-use std::collections::BTreeMap;
-
 use remp_ergraph::{Candidates, ComponentIndex, ErGraph, PairId, RelPairId};
 use remp_kb::Kb;
 use remp_obs::time_stage;
@@ -172,9 +170,11 @@ pub struct LoopState {
     seed_set: Vec<bool>,
     /// Seed matches indexed by KB1 entity (incrementally maintained).
     seed_index: SeedIndex,
-    /// Per-label cache of each seed's observation, keyed by seed id —
-    /// iteration order equals the from-scratch observation order.
-    obs: Vec<BTreeMap<u32, SizeObservation>>,
+    /// Per-label cache of each seed's observation, one row per label as
+    /// a vec sorted by seed id — ascending iteration equals the
+    /// from-scratch observation order, lookups are binary searches over
+    /// contiguous memory instead of `BTreeMap` node hops.
+    obs: Vec<Vec<(u32, SizeObservation)>>,
     cons: ConsistencyTable,
     pg: ProbErGraph,
     inferred: InferredSets,
@@ -238,8 +238,8 @@ impl LoopState {
             config,
             seeds: Vec::new(),
             seed_set: vec![false; n],
-            seed_index: SeedIndex::new(),
-            obs: vec![BTreeMap::new(); num_labels],
+            seed_index: SeedIndex::default(),
+            obs: vec![Vec::new(); num_labels],
             cons: ConsistencyTable::from_entries([]),
             pg: ProbErGraph::empty(n),
             inferred: InferredSets::empty(n, tau),
@@ -365,7 +365,7 @@ impl LoopState {
             time_stage("consistency", || {
                 let new_seeds = if rebuild {
                     self.pending_seeds.clear();
-                    self.obs = vec![BTreeMap::new(); ctx.graph.num_labels()];
+                    self.obs = vec![Vec::new(); ctx.graph.num_labels()];
                     self.cons = ConsistencyTable::from_entries([]);
                     self.pg = ProbErGraph::empty(ctx.candidates.len());
                     self.inferred = InferredSets::empty(ctx.candidates.len(), self.tau);
@@ -434,7 +434,9 @@ impl LoopState {
                         // `None` is static (empty value sets stay empty), so a
                         // cached entry can only be replaced, never removed.
                         if let Some(o) = fresh {
-                            if cache.get(&s.0) != Some(&o) {
+                            let cached =
+                                cache.binary_search_by_key(&s.0, |e| e.0).ok().map(|i| cache[i].1);
+                            if cached != Some(o) {
                                 changed.push((s.0, o));
                             }
                         }
@@ -452,7 +454,10 @@ impl LoopState {
                     dirty_labels += 1;
                     let cache = &mut self.obs[job.label.index()];
                     for (seed, o) in entries {
-                        cache.insert(seed, o);
+                        match cache.binary_search_by_key(&seed, |e| e.0) {
+                            Ok(i) => cache[i].1 = o,
+                            Err(i) => cache.insert(i, (seed, o)),
+                        }
                     }
                     if self.cons.set(job.label, value) {
                         changed_labels.push(job.label);
@@ -521,6 +526,10 @@ impl LoopState {
                         component_dirty[ctx.components.component_of(v)] = true;
                     }
                 }
+                // Fold the replaced rows back into the CSR arena before
+                // stage 2c walks the graph: Dijkstra then reads one
+                // contiguous allocation instead of per-vertex overlays.
+                self.pg.compact();
                 if rebuild {
                     // Even unchanged (empty-edge) components need their initial
                     // Dijkstra pass: every source's set contains itself.
@@ -730,15 +739,15 @@ impl LoopState {
 
 /// The cached observations of one label overlaid with fresh entries, in
 /// seed order — exactly the observation list the from-scratch estimator
-/// would build. Both inputs are keyed/sorted by seed id; `changed` wins
-/// on collisions.
+/// would build. Both inputs are sorted by seed id; `changed` wins on
+/// collisions.
 fn merged_observations(
-    cache: &BTreeMap<u32, SizeObservation>,
+    cache: &[(u32, SizeObservation)],
     changed: &[(u32, SizeObservation)],
 ) -> Vec<SizeObservation> {
     let mut out = Vec::with_capacity(cache.len() + changed.len());
     let mut fresh = changed.iter().peekable();
-    for (&seed, cached) in cache {
+    for &(seed, cached) in cache {
         while let Some(&&(k, o)) = fresh.peek() {
             if k >= seed {
                 break;
@@ -751,7 +760,7 @@ fn merged_observations(
                 out.push(o);
                 fresh.next();
             }
-            _ => out.push(*cached),
+            _ => out.push(cached),
         }
     }
     out.extend(fresh.map(|&(_, o)| o));
@@ -905,8 +914,7 @@ mod tests {
     #[test]
     fn merged_observations_overlays_in_seed_order() {
         let so = |n: usize| SizeObservation::new(n, n, 0, n);
-        let cache: BTreeMap<u32, SizeObservation> =
-            [(1, so(1)), (3, so(3)), (5, so(5))].into_iter().collect();
+        let cache = vec![(1, so(1)), (3, so(3)), (5, so(5))];
         let merged = merged_observations(&cache, &[(0, so(10)), (3, so(30)), (7, so(70))]);
         assert_eq!(merged, vec![so(10), so(1), so(30), so(5), so(70)]);
         assert_eq!(merged_observations(&cache, &[]).len(), 3);

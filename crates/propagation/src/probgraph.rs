@@ -1,8 +1,6 @@
 //! The probabilistic ER graph: ER-graph edges weighted with conditional
 //! match probabilities `Pr[m_w | m_v]` from neighbour propagation.
 
-use std::collections::HashMap;
-
 use remp_ergraph::{Candidates, Direction, ErGraph, PairId};
 use remp_kb::{EntityId, Kb};
 use remp_par::Parallelism;
@@ -11,11 +9,25 @@ use crate::{propagate_to_neighbors, ConsistencyTable, MatchingCandidate, Propaga
 
 /// A directed graph over candidate pairs where each edge `v → w` carries
 /// `Pr[m_w | m_v]` (paper §IV-A "probabilistic ER graph").
+///
+/// Storage is CSR: one contiguous `(target, probability)` arena plus a
+/// per-vertex offset array, so truncated Dijkstra walks adjacent memory
+/// instead of chasing one heap allocation per vertex. The incremental
+/// engine mutates rows through a sparse overlay (`replace_edges`)
+/// which `compact` folds back into the arena — one linear rebuild per
+/// refresh, after which every read is arena-contiguous again.
 #[derive(Clone, Debug)]
 pub struct ProbErGraph {
-    /// `edges[v]` = (target, probability), sorted by target, deduplicated
-    /// to the maximum probability (the largest lower bound of Eq. 10).
-    edges: Vec<Vec<(PairId, f64)>>,
+    /// Row starts into `arena`; `offsets[v]..offsets[v + 1]` is `v`'s
+    /// edge list, sorted by target, deduplicated to the maximum
+    /// probability (the largest lower bound of Eq. 10).
+    offsets: Vec<u32>,
+    arena: Vec<(PairId, f64)>,
+    /// Rows replaced since the last [`compact`](Self::compact); `None`
+    /// means the arena row is current.
+    overlay: Vec<Option<Vec<(PairId, f64)>>>,
+    /// Vertices with a `Some` overlay row.
+    dirty: Vec<PairId>,
 }
 
 impl ProbErGraph {
@@ -40,28 +52,80 @@ impl ProbErGraph {
         par: &Parallelism,
     ) -> ProbErGraph {
         let vertices: Vec<PairId> = candidates.ids().collect();
-        let edges: Vec<Vec<(PairId, f64)>> = par.par_map(&vertices, |&v| {
+        let rows: Vec<Vec<(PairId, f64)>> = par.par_map(&vertices, |&v| {
             vertex_edges(kb1, kb2, candidates, graph, consistencies, config, v)
         });
-        ProbErGraph { edges }
+        Self::from_rows(rows)
+    }
+
+    /// Freezes per-vertex rows into the CSR arena.
+    fn from_rows(rows: Vec<Vec<(PairId, f64)>>) -> ProbErGraph {
+        let n = rows.len();
+        let total: usize = rows.iter().map(Vec::len).sum();
+        assert!(total <= u32::MAX as usize, "edge count overflows CSR offsets");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut arena = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for row in &rows {
+            arena.extend_from_slice(row);
+            offsets.push(arena.len() as u32);
+        }
+        ProbErGraph { offsets, arena, overlay: vec![None; n], dirty: Vec::new() }
     }
 
     /// An all-empty graph over `num_vertices` vertices — the starting
     /// point for incremental construction via
     /// [`replace_edges`](Self::replace_edges).
     pub(crate) fn empty(num_vertices: usize) -> ProbErGraph {
-        ProbErGraph { edges: vec![Vec::new(); num_vertices] }
+        ProbErGraph {
+            offsets: vec![0; num_vertices + 1],
+            arena: Vec::new(),
+            overlay: vec![None; num_vertices],
+            dirty: Vec::new(),
+        }
     }
 
     /// Replaces the outgoing edges of `v`, returning `true` when the new
     /// list differs from the stored one — the incremental engine's
     /// cutoff for re-running shortest paths in `v`'s component.
+    ///
+    /// The row lands in the overlay; call [`compact`](Self::compact)
+    /// after a batch of replacements so subsequent traversals read the
+    /// contiguous arena.
     pub(crate) fn replace_edges(&mut self, v: PairId, edges: Vec<(PairId, f64)>) -> bool {
-        if self.edges[v.index()] == edges {
+        if self.edges_from(v) == edges.as_slice() {
             return false;
         }
-        self.edges[v.index()] = edges;
+        if self.overlay[v.index()].replace(edges).is_none() {
+            self.dirty.push(v);
+        }
         true
+    }
+
+    /// Folds overlay rows back into the CSR arena — O(V + E), a no-op
+    /// when nothing changed since the last compaction.
+    pub(crate) fn compact(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut arena = Vec::with_capacity(self.arena.len());
+        offsets.push(0u32);
+        for v in 0..n {
+            let row = match &self.overlay[v] {
+                Some(row) => row.as_slice(),
+                None => &self.arena[self.offsets[v] as usize..self.offsets[v + 1] as usize],
+            };
+            arena.extend_from_slice(row);
+            assert!(arena.len() <= u32::MAX as usize, "edge count overflows CSR offsets");
+            offsets.push(arena.len() as u32);
+        }
+        self.offsets = offsets;
+        self.arena = arena;
+        for v in self.dirty.drain(..) {
+            self.overlay[v.index()] = None;
+        }
     }
 
     /// Builds a graph directly from explicit edges (tests, ablations).
@@ -70,41 +134,52 @@ impl ProbErGraph {
         num_vertices: usize,
         edge_list: impl IntoIterator<Item = (PairId, PairId, f64)>,
     ) -> ProbErGraph {
-        let mut maps: Vec<HashMap<PairId, f64>> = vec![HashMap::new(); num_vertices];
+        let mut rows: Vec<Vec<(PairId, f64)>> = vec![Vec::new(); num_vertices];
         for (v, w, p) in edge_list {
-            let slot = maps[v.index()].entry(w).or_insert(0.0);
-            *slot = slot.max(p.clamp(0.0, 1.0));
+            rows[v.index()].push((w, p.clamp(0.0, 1.0)));
         }
-        let edges = maps
-            .into_iter()
-            .map(|m| {
-                let mut list: Vec<(PairId, f64)> = m.into_iter().collect();
-                list.sort_by_key(|&(w, _)| w);
-                list
-            })
-            .collect();
-        ProbErGraph { edges }
+        for row in &mut rows {
+            row.sort_unstable_by_key(|&(w, _)| w);
+            // Max-merge parallel edges; max is order-independent, so the
+            // unstable sort above cannot leak into the result.
+            row.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 = b.1.max(a.1);
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        Self::from_rows(rows)
     }
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        self.edges.len()
+        self.offsets.len() - 1
     }
 
     /// Total number of directed probabilistic edges.
     pub fn num_edges(&self) -> usize {
-        self.edges.iter().map(Vec::len).sum()
+        if self.dirty.is_empty() {
+            return self.arena.len();
+        }
+        (0..self.num_vertices()).map(|v| self.edges_from(PairId::from_index(v)).len()).sum()
     }
 
     /// Outgoing `(target, probability)` edges of `v`.
     pub fn edges_from(&self, v: PairId) -> &[(PairId, f64)] {
-        &self.edges[v.index()]
+        if let Some(row) = &self.overlay[v.index()] {
+            return row;
+        }
+        &self.arena[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
     /// `Pr[m_w | m_v]`, 0.0 when no edge exists.
     pub fn edge_prob(&self, v: PairId, w: PairId) -> f64 {
-        match self.edges[v.index()].binary_search_by_key(&w, |&(t, _)| t) {
-            Ok(i) => self.edges[v.index()][i].1,
+        let row = self.edges_from(v);
+        match row.binary_search_by_key(&w, |&(t, _)| t) {
+            Ok(i) => row[i].1,
             Err(_) => 0.0,
         }
     }
@@ -130,7 +205,7 @@ pub(crate) fn vertex_edges(
     v: PairId,
 ) -> Vec<(PairId, f64)> {
     let (u1, u2) = candidates.pair(v);
-    let mut out: HashMap<PairId, f64> = HashMap::new();
+    let mut out: Vec<(PairId, f64)> = Vec::new();
     for (label_id, targets) in graph.grouped_from(v) {
         let label = graph.label(label_id);
         let (values1, values2): (Vec<EntityId>, Vec<EntityId>) = match label.dir {
@@ -171,14 +246,23 @@ pub(crate) fn vertex_edges(
         );
         for (w, p) in posts {
             if p > 0.0 {
-                let slot = out.entry(w).or_insert(0.0);
-                *slot = slot.max(p);
+                out.push((w, p));
             }
         }
     }
-    let mut list: Vec<(PairId, f64)> = out.into_iter().collect();
-    list.sort_by_key(|&(w, _)| w);
-    list
+    // Sort-then-merge replaces the old per-target map: `max` over the
+    // duplicates of a target is order-independent, so the unstable sort
+    // yields the same row the map did, bit for bit.
+    out.sort_unstable_by_key(|&(w, _)| w);
+    out.dedup_by(|a, b| {
+        if a.0 == b.0 {
+            b.1 = b.1.max(a.1);
+            true
+        } else {
+            false
+        }
+    });
+    out
 }
 
 #[cfg(test)]

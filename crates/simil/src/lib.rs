@@ -24,11 +24,13 @@ mod normalize;
 mod simvec;
 mod string;
 
-pub use literal::{literal_similarity, numeric_similarity};
+pub use literal::{literal_similarity, numeric_similarity, prepared_similarity, PreparedLiteral};
 pub use matching::max_bipartite_matching;
 pub use normalize::{normalize_tokens, TokenSet};
 pub use simvec::{Dominance, SimVec};
-pub use string::{cosine, dice, jaccard, levenshtein, normalized_edit_similarity, overlap};
+pub use string::{
+    cosine, dice, jaccard, jaccard_ids, levenshtein, normalized_edit_similarity, overlap,
+};
 
 use remp_kb::Value;
 
@@ -69,16 +71,36 @@ pub fn sim_l(n1: &[Value], n2: &[Value], threshold: f64) -> f64 {
 /// components). Attribute matching (Eq. 1) keeps the thresholded
 /// [`sim_l`], as §IV-C specifies.
 pub fn sim_l_weighted(n1: &[Value], n2: &[Value], min_sim: f64) -> f64 {
+    sim_l_weighted_by(n1, n2, min_sim, literal_similarity)
+}
+
+/// [`sim_l_weighted`] over [`PreparedLiteral`]s — bit-identical results
+/// (the greedy matching is the same code, [`prepared_similarity`] is
+/// bit-identical to [`literal_similarity`]) without re-tokenising every
+/// text literal on every comparison. This is the form the
+/// similarity-vector stage uses: each entity's values are prepared once
+/// and compared against every candidate partner.
+pub fn sim_l_weighted_prepared(
+    n1: &[PreparedLiteral],
+    n2: &[PreparedLiteral],
+    min_sim: f64,
+) -> f64 {
+    sim_l_weighted_by(n1, n2, min_sim, prepared_similarity)
+}
+
+/// Shared greedy-matching core of the weighted `simL` variants.
+fn sim_l_weighted_by<T>(n1: &[T], n2: &[T], min_sim: f64, sim: impl Fn(&T, &T) -> f64) -> f64 {
     if n1.is_empty() || n2.is_empty() {
         return 0.0;
     }
+    let sim = &sim;
     let mut scored: Vec<(f64, usize, usize)> = n1
         .iter()
         .enumerate()
         .flat_map(|(i, v1)| {
             n2.iter().enumerate().filter_map(move |(j, v2)| {
-                let sim = literal_similarity(v1, v2);
-                (sim >= min_sim).then_some((sim, i, j))
+                let s = sim(v1, v2);
+                (s >= min_sim).then_some((s, i, j))
             })
         })
         .collect();

@@ -43,6 +43,58 @@ pub fn literal_similarity(a: &Value, b: &Value) -> f64 {
     }
 }
 
+/// A literal with its similarity-relevant derived forms computed once.
+///
+/// [`literal_similarity`] re-tokenises (and re-parses) its text operands on
+/// *every* call, which dominates similarity-vector construction: one
+/// entity's values are compared against every candidate partner's values.
+/// Preparing each value once and comparing prepared forms is
+/// [bit-identical](prepared_similarity) and turns the per-comparison cost
+/// into a set intersection.
+#[derive(Clone, Debug)]
+pub enum PreparedLiteral {
+    /// A text literal: its normalised token set and, when the text parses
+    /// as a number, that parse (for text × number comparisons).
+    Text {
+        /// `normalize_tokens` of the original text.
+        tokens: crate::TokenSet,
+        /// `text.trim().parse::<f64>()`, precomputed.
+        parsed: Option<f64>,
+    },
+    /// A numeric literal, unchanged.
+    Number(f64),
+}
+
+impl PreparedLiteral {
+    /// Prepares one literal for repeated comparisons.
+    pub fn new(value: &Value) -> Self {
+        match value {
+            Value::Text(x) => PreparedLiteral::Text {
+                tokens: normalize_tokens(x),
+                parsed: x.trim().parse::<f64>().ok(),
+            },
+            Value::Number(x) => PreparedLiteral::Number(*x),
+        }
+    }
+}
+
+/// [`literal_similarity`] over prepared literals.
+///
+/// Evaluates the *same* expressions as [`literal_similarity`] on the
+/// precomputed forms — the result is bit-identical for every input pair
+/// (`jaccard` sees the same token sets, `numeric_similarity` the same
+/// floats), it just skips the repeated normalisation work.
+pub fn prepared_similarity(a: &PreparedLiteral, b: &PreparedLiteral) -> f64 {
+    use PreparedLiteral::*;
+    match (a, b) {
+        (Text { tokens: x, .. }, Text { tokens: y, .. }) => jaccard(x, y),
+        (Number(x), Number(y)) => numeric_similarity(*x, *y),
+        (Text { parsed, .. }, Number(y)) | (Number(y), Text { parsed, .. }) => {
+            parsed.map_or(0.0, |x| numeric_similarity(x, *y))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +145,21 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn prepared_similarity_is_bit_identical(
+            text_a in any::<bool>(), xa in "[a-c0-9 .]{0,10}", na in -1e6f64..1e6,
+            text_b in any::<bool>(), xb in "[a-c0-9 .]{0,10}", nb in -1e6f64..1e6,
+        ) {
+            let a = if text_a { Value::text(xa) } else { Value::number(na) };
+            let b = if text_b { Value::text(xb) } else { Value::number(nb) };
+            let pa = PreparedLiteral::new(&a);
+            let pb = PreparedLiteral::new(&b);
+            prop_assert_eq!(
+                prepared_similarity(&pa, &pb).to_bits(),
+                literal_similarity(&a, &b).to_bits()
+            );
+        }
+
         #[test]
         fn numeric_symmetric_bounded(a in -1e6f64..1e6, b in -1e6f64..1e6) {
             let s1 = numeric_similarity(a, b);

@@ -12,6 +12,34 @@ pub fn jaccard(a: &TokenSet, b: &TokenSet) -> f64 {
     inter as f64 / (a.len() + b.len() - inter) as f64
 }
 
+/// Jaccard coefficient over interned token ids.
+///
+/// Both slices must be sorted ascending and duplicate-free (the natural
+/// shape when a sorted `TokenSet` is interned against a lexicographically
+/// sorted token universe). Bit-identical to [`jaccard`] on the
+/// corresponding string sets: the intersection count and set sizes are
+/// equal by construction and the final expression is the same, so the
+/// `f64` result is the same — only the string comparisons are gone.
+pub fn jaccard_ids(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let mut inter = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
 /// Dice coefficient `2|A ∩ B| / (|A| + |B|)`; 0.0 when both sets are empty.
 pub fn dice(a: &TokenSet, b: &TokenSet) -> f64 {
     if a.is_empty() && b.is_empty() {
@@ -119,6 +147,30 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn jaccard_ids_equals_jaccard_under_interning(
+            a in "[a-e ]{0,16}", b in "[a-e ]{0,16}"
+        ) {
+            let (sa, sb) = (ts(&a), ts(&b));
+            // Intern against the sorted union, exactly as
+            // generate_candidates does.
+            let mut universe: Vec<&str> =
+                sa.iter().chain(sb.iter()).map(|s| s.as_str()).collect();
+            universe.sort_unstable();
+            universe.dedup();
+            let intern = |s: &TokenSet| -> Vec<u32> {
+                s.iter()
+                    .map(|t| universe.binary_search(&t.as_str()).unwrap() as u32)
+                    .collect()
+            };
+            let (ia, ib) = (intern(&sa), intern(&sb));
+            // Bit-identical, not approximately equal.
+            prop_assert_eq!(
+                jaccard_ids(&ia, &ib).to_bits(),
+                jaccard(&sa, &sb).to_bits()
+            );
+        }
+
         #[test]
         fn jaccard_symmetric_and_bounded(a in "[a-d ]{0,12}", b in "[a-d ]{0,12}") {
             let (sa, sb) = (ts(&a), ts(&b));

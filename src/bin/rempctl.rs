@@ -17,7 +17,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use remp_core::profile::{parse_thread_list, run_pipeline_bench, PipelineBenchOptions};
+use remp_core::profile::{
+    parse_min_stage_speedup, parse_thread_list, run_pipeline_bench, PipelineBenchOptions,
+    StageBaseline,
+};
 use remp_core::{evaluate_matches, run_on_dataset, Parallelism, RempConfig};
 use remp_crowd::{LabelSource, OracleCrowd, SimulatedCrowd};
 use remp_datasets::{generate, preset_by_name};
@@ -114,7 +117,8 @@ USAGE:
 
     rempctl bench [--preset NAME] [--scale X] [--threads LIST]
                   [--out PATH] [--min-speedup X] [--trace-out PATH]
-                  [--max-obs-overhead PCT]
+                  [--max-obs-overhead PCT] [--baseline PATH]
+                  [--min-stage-speedup STAGE=X,...] [--stage-delta-out PATH]
         Profile the hot pipeline stages and a full oracle campaign at each
         thread count (default 1,2,4 on the D-A preset at scale 8) and
         write the report (default: BENCH_pipeline.json). With
@@ -124,6 +128,14 @@ USAGE:
         of the whole bench; --max-obs-overhead PCT exits non-zero when
         the instrumented campaign is more than PCT percent slower than
         the same campaign with observability disabled.
+
+        --baseline PATH reads a committed BENCH_pipeline.json (before
+        --out overwrites it), prints per-stage before/after rows of the
+        sequential run and writes them to --stage-delta-out [default:
+        BENCH_stage_delta.json]. With --min-stage-speedup, e.g.
+        prune=1.3,candidates=1.3,sim_vectors=1.2, exit non-zero when any
+        listed stage's sequential speedup over the baseline falls below
+        its floor (the per-stage CI regression gate).
 
 Observability: metrics, spans and the event log are on by default.
 REMP_OBS=0 disables all instrumentation; REMP_LOG=debug|info|warn|error
@@ -959,9 +971,29 @@ fn cmd_bench(opts: &Opts) -> Result<(), CliError> {
         bench.thread_counts = parse_thread_list(raw).map_err(CliError::Usage)?;
     }
     let out = opts.get("out").unwrap_or("BENCH_pipeline.json");
+    let floors = opts
+        .get("min-stage-speedup")
+        .map(parse_min_stage_speedup)
+        .transpose()
+        .map_err(CliError::Usage)?;
+    if floors.is_some() && opts.get("baseline").is_none() {
+        return Err(CliError::Usage("--min-stage-speedup needs --baseline".into()));
+    }
+    // Read the baseline before the fresh report lands on --out: CI points
+    // both at the committed BENCH_pipeline.json.
+    let baseline = opts
+        .get("baseline")
+        .map(|path| -> Result<StageBaseline, CliError> {
+            let src = std::fs::read_to_string(path)?;
+            let doc = Json::parse(&src).map_err(|e| CliError::Failed(format!("{path}: {e}")))?;
+            StageBaseline::from_report_json(&doc)
+                .map_err(|e| CliError::Failed(format!("{path}: {e}")))
+        })
+        .transpose()?;
 
     let trace_out = trace_out_begin(opts);
-    let report = run_pipeline_bench(&bench).map_err(CliError::Failed)?;
+    let mut report = run_pipeline_bench(&bench).map_err(CliError::Failed)?;
+    report.baseline = baseline.clone();
     std::fs::write(out, report.to_json().to_string())?;
     for line in report.summary_lines() {
         println!("{line}");
@@ -971,11 +1003,30 @@ fn cmd_bench(opts: &Opts) -> Result<(), CliError> {
         trace_out_finish(path)?;
     }
 
+    if let Some(baseline) = &baseline {
+        let delta_out = opts.get("stage-delta-out").unwrap_or("BENCH_stage_delta.json");
+        std::fs::write(delta_out, report.stage_delta_json(baseline).to_string())?;
+        println!("  sequential stages vs baseline ({}):", baseline.preset);
+        for (stage, baseline_s, current_s, speedup) in report.stage_delta(baseline) {
+            match (baseline_s, speedup) {
+                (Some(before), Some(speedup)) => {
+                    println!("    {stage}: {before:.4}s -> {current_s:.4}s ({speedup:.2}x)")
+                }
+                _ => println!("    {stage}: (new) -> {current_s:.4}s"),
+            }
+        }
+        println!("  wrote {delta_out}");
+    }
+
     if let Some(floor) = opts.get("min-speedup") {
         let floor: f64 = floor
             .parse()
             .map_err(|_| CliError::Usage(format!("--min-speedup: cannot parse {floor:?}")))?;
         report.check_min_speedup(floor).map_err(CliError::Failed)?;
+    }
+    if let (Some(baseline), Some(floors)) = (&baseline, &floors) {
+        report.check_min_stage_speedup(baseline, floors).map_err(CliError::Failed)?;
+        println!("  per-stage regression gate passed ({} floors)", floors.len());
     }
     if let Some(cap) = opts.get("max-obs-overhead") {
         let cap: f64 = cap

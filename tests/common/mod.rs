@@ -1,0 +1,81 @@
+//! Shared helpers for the equivalence suites: run a full campaign and
+//! reduce *everything observable about it* — question order, outcome,
+//! metrics, mid-campaign checkpoint JSON — to a single 64-bit digest.
+//!
+//! The digests pin campaign outputs across *code changes*, not just
+//! across thread counts: the constants in the suites were captured
+//! before the dense-id layout refactor (packed pair keys, CSR
+//! adjacency), so any layout change that perturbs question order,
+//! matches, metrics or checkpoint bytes fails the pin.
+
+use remp::core::{evaluate_matches, Remp, RempConfig, RempOutcome};
+use remp::crowd::{LabelSource, OracleCrowd};
+use remp::datasets::{generate, preset_by_name, GeneratedDataset};
+use remp::kb::EntityId;
+use remp::par::Parallelism;
+
+/// Every preset at a laptop-friendly scale — "every preset" is the
+/// point: each one stresses a different KB shape (homogeneous,
+/// heterogeneous, cross-type relationships).
+pub fn presets() -> Vec<GeneratedDataset> {
+    [("IIMB", 0.25), ("D-A", 0.2), ("I-Y", 0.15), ("D-Y", 0.15), ("TINY", 1.0)]
+        .into_iter()
+        .map(|(name, scale)| generate(&preset_by_name(name, scale).expect("known preset")))
+        .collect()
+}
+
+/// Everything observable about one campaign.
+pub struct Observed {
+    pub transcript: Vec<(usize, EntityId, EntityId)>,
+    pub mid_checkpoint: Option<String>,
+    pub outcome: RempOutcome,
+}
+
+/// Runs one oracle-answered campaign to completion, recording the full
+/// question transcript and a checkpoint right after the first batch.
+pub fn observe_campaign(
+    dataset: &GeneratedDataset,
+    parallelism: Parallelism,
+    incremental: Option<bool>,
+) -> Observed {
+    let config = RempConfig::default().with_parallelism(parallelism);
+    let remp = Remp::new(config);
+    let mut crowd = OracleCrowd::new();
+    let mut session = remp.begin(&dataset.kb1, &dataset.kb2).expect("valid config");
+    if let Some(incremental) = incremental {
+        session.set_incremental(incremental);
+    }
+    let mut transcript = Vec::new();
+    let mut mid_checkpoint = None;
+    while let Some(batch) = session.next_batch().expect("no protocol errors") {
+        for q in &batch.questions {
+            transcript.push((batch.loop_index, q.pair.0, q.pair.1));
+            let labels = crowd.label(dataset.is_match(q.pair.0, q.pair.1));
+            session.submit(q.id, labels).expect("fresh question");
+        }
+        if mid_checkpoint.is_none() {
+            mid_checkpoint = Some(session.checkpoint().to_json_string());
+        }
+    }
+    Observed { transcript, mid_checkpoint, outcome: session.finish() }
+}
+
+/// FNV-1a over the `Debug` rendering of the whole observable record.
+///
+/// `Debug` for `f64` prints the shortest round-trip decimal, so two
+/// different finite floats never collapse to one digest; the rendering
+/// has no `HashMap` iteration order anywhere (transcript and outcome
+/// are `Vec`s, the checkpoint is canonical JSON).
+pub fn campaign_digest(dataset: &GeneratedDataset, observed: &Observed) -> u64 {
+    let eval = evaluate_matches(observed.outcome.matches.iter().copied(), &dataset.gold);
+    let rendered = format!(
+        "{:?}|{:?}|{:?}|{:?}",
+        observed.transcript, observed.outcome, eval, observed.mid_checkpoint
+    );
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in rendered.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

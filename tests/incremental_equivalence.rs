@@ -7,6 +7,8 @@
 //! `set_check_incremental`) additionally asserts the internal stage-2
 //! artifacts against the from-scratch reference every single loop.
 
+mod common;
+
 use remp::core::{evaluate_matches, Remp, RempConfig, RempOutcome};
 use remp::crowd::{LabelSource, OracleCrowd, SimulatedCrowd};
 use remp::datasets::{generate, preset_by_name, GeneratedDataset};
@@ -164,4 +166,40 @@ fn checkpoints_cross_between_modes() {
     }
     let resumed_outcome = resumed.finish();
     assert_eq!(resumed_outcome, reference.outcome, "cross-mode resume diverged");
+}
+
+/// The engine choice is pinned against the pre-refactor outputs too:
+/// both the incremental and the from-scratch engine must reproduce the
+/// digests captured on the `HashMap`/`BTreeMap` layout immediately
+/// before the dense-id refactor — one constant per preset × parallelism,
+/// shared with `tests/parallel_equivalence.rs` because the engines are
+/// output-invisible.
+#[test]
+fn engine_outputs_pinned_to_pre_refactor_digests() {
+    const PINS: &[(&str, u64, u64)] = &[
+        ("IIMB", 0x5316831745f33ea7, 0x77a3aaaed24dddf4),
+        ("D-A", 0xffe5d6ace05434ee, 0x3bac9e7bba40034d),
+        ("I-Y", 0x1167d6036912695e, 0x4dba2ca2c2cf519b),
+        ("D-Y", 0x5454eb6d20c20388, 0x3cd123696442d315),
+        ("tiny", 0xa3e4e40e13ab6874, 0x18fa44f4b0c47371),
+    ];
+    for (dataset, &(name, seq_pin, par_pin)) in common::presets().iter().zip(PINS) {
+        assert_eq!(dataset.name, name, "preset order drifted under the pins");
+        for incremental in [true, false] {
+            let seq = common::observe_campaign(dataset, Parallelism::Sequential, Some(incremental));
+            assert_eq!(
+                common::campaign_digest(dataset, &seq),
+                seq_pin,
+                "{name}: sequential {} engine diverged from the pre-refactor outputs",
+                if incremental { "incremental" } else { "from-scratch" }
+            );
+            let par = common::observe_campaign(dataset, Parallelism::Fixed(4), Some(incremental));
+            assert_eq!(
+                common::campaign_digest(dataset, &par),
+                par_pin,
+                "{name}: Fixed(4) {} engine diverged from the pre-refactor outputs",
+                if incremental { "incremental" } else { "from-scratch" }
+            );
+        }
+    }
 }

@@ -4,6 +4,8 @@
 //! reference, and a seeded `SimulatedCrowd` produces the exact same
 //! question-answer transcript regardless of thread count.
 
+mod common;
+
 use remp::core::{evaluate_matches, Remp, RempConfig, RempOutcome};
 use remp::crowd::{LabelSource, OracleCrowd, SimulatedCrowd};
 use remp::datasets::{generate, preset_by_name, GeneratedDataset};
@@ -127,4 +129,37 @@ fn seeded_crowd_transcript_is_identical_across_thread_counts() {
     assert_eq!(sequential.2, parallel.2, "question count diverged");
     assert_eq!(sequential.3, parallel.3, "label count diverged");
     assert!(!sequential.0.is_empty(), "campaign must ask questions for the pin to mean anything");
+}
+
+/// Campaign outputs pinned across *code changes*, not just across thread
+/// counts: these digests were captured on the `HashMap`/`BTreeMap`
+/// layout immediately before the dense-id refactor (packed pair keys,
+/// CSR adjacency, `IdHasher`). Every preset must keep producing the
+/// exact same question order, outcome, metrics and checkpoint JSON —
+/// the sequential and pooled constants differ only because the
+/// checkpoint embeds the parallelism config.
+#[test]
+fn outputs_pinned_to_pre_refactor_digests() {
+    const PINS: &[(&str, u64, u64)] = &[
+        ("IIMB", 0x5316831745f33ea7, 0x77a3aaaed24dddf4),
+        ("D-A", 0xffe5d6ace05434ee, 0x3bac9e7bba40034d),
+        ("I-Y", 0x1167d6036912695e, 0x4dba2ca2c2cf519b),
+        ("D-Y", 0x5454eb6d20c20388, 0x3cd123696442d315),
+        ("tiny", 0xa3e4e40e13ab6874, 0x18fa44f4b0c47371),
+    ];
+    for (dataset, &(name, seq_pin, par_pin)) in common::presets().iter().zip(PINS) {
+        assert_eq!(dataset.name, name, "preset order drifted under the pins");
+        let seq = common::observe_campaign(dataset, Parallelism::Sequential, None);
+        assert_eq!(
+            common::campaign_digest(dataset, &seq),
+            seq_pin,
+            "{name}: sequential campaign diverged from the pre-refactor outputs"
+        );
+        let par = common::observe_campaign(dataset, Parallelism::Fixed(4), None);
+        assert_eq!(
+            common::campaign_digest(dataset, &par),
+            par_pin,
+            "{name}: Fixed(4) campaign diverged from the pre-refactor outputs"
+        );
+    }
 }
