@@ -310,6 +310,10 @@ pub struct PipelineBenchReport {
     /// supplied — serialized into the report so the row persists across
     /// regenerations and the document carries its own before/after rows.
     pub baseline: Option<StageBaseline>,
+    /// Peak resident set size of the measuring process (`VmHWM`), in
+    /// bytes, sampled after the runs — `None` off Linux. Memory context
+    /// for the timings, same source as the `remp_peak_rss_bytes` gauge.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl PipelineBenchReport {
@@ -554,6 +558,9 @@ impl PipelineBenchReport {
             ("loops".into(), self.loops.to_json()),
             ("observability".into(), self.observability.to_json()),
         ];
+        if let Some(rss) = self.peak_rss_bytes {
+            fields.push(("peak_rss_bytes".into(), Json::from(rss)));
+        }
         if let Some(baseline) = &self.baseline {
             fields.push(("baseline".into(), baseline.to_json()));
             fields.push(("stage_delta".into(), self.stage_delta_json(baseline)));
@@ -783,6 +790,7 @@ pub fn run_pipeline_bench(opts: &PipelineBenchOptions) -> Result<PipelineBenchRe
         loops,
         observability,
         baseline: None,
+        peak_rss_bytes: remp_obs::sample_peak_rss(),
     })
 }
 

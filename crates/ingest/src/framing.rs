@@ -1,0 +1,470 @@
+//! Shared section-envelope framing for Remp's binary container files.
+//!
+//! Both the `.rkb` snapshot and the `.rshard` shard file use the same
+//! envelope: a 24-byte header (`magic`, `version: u32`, `payload length:
+//! u64`, `FNV-1a 64 checksum: u64`, all integers little-endian) followed
+//! by a payload of tagged sections, each `tag: u32, length: u64, body`.
+//!
+//! The module provides the pieces the formats build on:
+//!
+//! * [`EnvelopeWriter`] — streams sections to any `Write + Seek` sink,
+//!   computing the checksum incrementally and patching the header on
+//!   [`EnvelopeWriter::finish`]. Peak memory is one section body, never
+//!   the whole payload — this is what lets the scale generator write a
+//!   million-entity snapshot without holding the KB in memory.
+//! * [`EnvelopeReader`] — the section-at-a-time streaming reader.
+//!   Sections are yielded in file order as `(tag, body)`; the checksum
+//!   is verified incrementally and enforced when the last section has
+//!   been drained, so a reader that consumes the whole file gets the
+//!   same integrity guarantee as a whole-file decode.
+//! * [`ByteCursor`] — the bounds-checked little-endian decoder section
+//!   bodies are parsed with; out-of-range reads surface as typed errors,
+//!   never panics, and pre-allocations are capped by the bytes actually
+//!   remaining so forged counts cannot trigger huge allocations.
+//! * `put_*` helpers mirroring the cursor's primitive encodings.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::IngestError;
+
+/// FNV-1a 64 — the dependency-free integrity hash both envelopes use.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_update(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Feeds more bytes into a running FNV-1a 64 state.
+pub fn fnv1a64_update(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The FNV-1a 64 initial state (offset basis).
+pub const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+// ---- encoding helpers -------------------------------------------------
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+pub fn put_f64(b: &mut Vec<u8>, v: f64) {
+    put_u64(b, v.to_bits());
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(b: &mut Vec<u8>, s: &str) {
+    put_u32(b, s.len() as u32);
+    b.extend_from_slice(s.as_bytes());
+}
+
+// ---- writer -----------------------------------------------------------
+
+/// Streams a section envelope to a `Write + Seek` sink.
+///
+/// Write sections with [`section`](Self::section), then call
+/// [`finish`](Self::finish) to patch the payload length and checksum
+/// into the header. Dropping the writer without `finish` leaves a file
+/// whose header promises zero payload bytes — readers reject it, so a
+/// crashed writer can never be mistaken for a complete file.
+pub struct EnvelopeWriter<W: Write + Seek> {
+    out: BufWriter<W>,
+    path: PathBuf,
+    payload_len: u64,
+    hash: u64,
+}
+
+impl EnvelopeWriter<File> {
+    /// Creates `path` and writes the (placeholder) header for `magic` /
+    /// `version`.
+    pub fn create(path: &Path, magic: [u8; 4], version: u32) -> Result<Self, IngestError> {
+        let file = File::create(path).map_err(|e| IngestError::io(path, e))?;
+        EnvelopeWriter::new(file, path, magic, version)
+    }
+}
+
+impl<W: Write + Seek> EnvelopeWriter<W> {
+    /// Wraps an arbitrary seekable sink (`path` is error context only).
+    pub fn new(sink: W, path: &Path, magic: [u8; 4], version: u32) -> Result<Self, IngestError> {
+        let mut out = BufWriter::new(sink);
+        let header = |out: &mut BufWriter<W>| -> std::io::Result<()> {
+            out.write_all(&magic)?;
+            out.write_all(&version.to_le_bytes())?;
+            out.write_all(&0u64.to_le_bytes())?; // payload length, patched by finish()
+            out.write_all(&0u64.to_le_bytes())?; // checksum, patched by finish()
+            Ok(())
+        };
+        header(&mut out).map_err(|e| IngestError::io(path, e))?;
+        Ok(EnvelopeWriter { out, path: path.to_path_buf(), payload_len: 0, hash: FNV_SEED })
+    }
+
+    /// Appends one `tag` section with `body`, updating the running
+    /// checksum. Bodies are framed exactly as the in-memory writer lays
+    /// them out, so streamed and buffered files are byte-identical.
+    pub fn section(&mut self, tag: u32, body: &[u8]) -> Result<(), IngestError> {
+        let mut frame = Vec::with_capacity(12);
+        put_u32(&mut frame, tag);
+        put_u64(&mut frame, body.len() as u64);
+        for chunk in [frame.as_slice(), body] {
+            self.hash = fnv1a64_update(self.hash, chunk);
+            self.out.write_all(chunk).map_err(|e| IngestError::io(&self.path, e))?;
+            self.payload_len += chunk.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Patches the header with the payload length and checksum, flushes,
+    /// and returns the underlying sink.
+    pub fn finish(mut self) -> Result<W, IngestError> {
+        let err = |e| IngestError::io(&self.path, e);
+        self.out.flush().map_err(err)?;
+        let mut sink = self
+            .out
+            .into_inner()
+            .map_err(|e| IngestError::io(&self.path, std::io::Error::other(e.to_string())))?;
+        sink.seek(SeekFrom::Start(8)).map_err(err)?;
+        sink.write_all(&self.payload_len.to_le_bytes()).map_err(err)?;
+        sink.write_all(&self.hash.to_le_bytes()).map_err(err)?;
+        sink.seek(SeekFrom::End(0)).map_err(err)?;
+        sink.flush().map_err(err)?;
+        Ok(sink)
+    }
+}
+
+// ---- reader -----------------------------------------------------------
+
+/// Section-at-a-time streaming reader over an envelope file.
+///
+/// Memory is bounded by the largest single section, not the file: each
+/// [`next_section`](Self::next_section) call reads exactly one section
+/// body. The checksum accumulates as sections stream by and is verified
+/// when the payload is exhausted — `next_section` returns the final
+/// `Ok(None)` only for a file whose checksum matches.
+pub struct EnvelopeReader<R: Read> {
+    input: R,
+    path: PathBuf,
+    remaining: u64,
+    hash: u64,
+    expected_hash: u64,
+}
+
+impl EnvelopeReader<BufReader<File>> {
+    /// Opens `path` and validates the header against `magic`/`version`.
+    pub fn open(path: &Path, magic: [u8; 4], version: u32) -> Result<Self, IngestError> {
+        let file = File::open(path).map_err(|e| IngestError::io(path, e))?;
+        let meta_len = file.metadata().map_err(|e| IngestError::io(path, e))?.len();
+        let reader = EnvelopeReader::new(BufReader::new(file), path, magic, version)?;
+        if meta_len != 24 + reader.remaining {
+            return Err(IngestError::snapshot(
+                path,
+                format!(
+                    "truncated: header promises {} payload bytes, file has {}",
+                    reader.remaining,
+                    meta_len.saturating_sub(24)
+                ),
+            ));
+        }
+        Ok(reader)
+    }
+}
+
+impl<R: Read> EnvelopeReader<R> {
+    /// Wraps an arbitrary byte source positioned at the header.
+    pub fn new(
+        mut input: R,
+        path: &Path,
+        magic: [u8; 4],
+        version: u32,
+    ) -> Result<Self, IngestError> {
+        let fail = |msg: String| IngestError::snapshot(path, msg);
+        let mut header = [0u8; 24];
+        let mut got = 0;
+        while got < header.len() {
+            match input.read(&mut header[got..]).map_err(|e| IngestError::io(path, e))? {
+                0 => return Err(fail(format!("file is {got} bytes, header needs 24"))),
+                n => got += n,
+            }
+        }
+        if header[..4] != magic {
+            let kind = if magic == crate::snapshot::MAGIC { ".rkb snapshot" } else { "envelope" };
+            return Err(fail(format!("bad magic (not an {kind})")));
+        }
+        let found = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if found != version {
+            return Err(fail(format!("unsupported version {found} (this build reads {version})")));
+        }
+        let remaining = u64::from_le_bytes(header[8..16].try_into().unwrap());
+        let expected_hash = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        Ok(EnvelopeReader {
+            input,
+            path: path.to_path_buf(),
+            remaining,
+            hash: FNV_SEED,
+            expected_hash,
+        })
+    }
+
+    /// Total payload bytes left to stream.
+    pub fn remaining_bytes(&self) -> u64 {
+        self.remaining
+    }
+
+    fn fill(&mut self, buf: &mut [u8]) -> Result<(), IngestError> {
+        if (buf.len() as u64) > self.remaining {
+            return Err(IngestError::snapshot(
+                &self.path,
+                "section truncated or malformed".to_owned(),
+            ));
+        }
+        let mut got = 0;
+        while got < buf.len() {
+            match self.input.read(&mut buf[got..]).map_err(|e| IngestError::io(&self.path, e))? {
+                0 => {
+                    return Err(IngestError::snapshot(
+                        &self.path,
+                        format!(
+                            "truncated: header promises {} more payload bytes, hit EOF",
+                            self.remaining - got as u64
+                        ),
+                    ))
+                }
+                n => got += n,
+            }
+        }
+        self.hash = fnv1a64_update(self.hash, buf);
+        self.remaining -= buf.len() as u64;
+        Ok(())
+    }
+
+    /// Reads the next `(tag, body)` section, or `Ok(None)` once the
+    /// payload is exhausted *and* the checksum matches.
+    pub fn next_section(&mut self) -> Result<Option<(u32, Vec<u8>)>, IngestError> {
+        if self.remaining == 0 {
+            if self.hash != self.expected_hash {
+                return Err(IngestError::snapshot(
+                    &self.path,
+                    format!(
+                        "checksum mismatch (stored {:#018x}, computed {:#018x})",
+                        self.expected_hash, self.hash
+                    ),
+                ));
+            }
+            return Ok(None);
+        }
+        let mut frame = [0u8; 12];
+        self.fill(&mut frame)?;
+        let tag = u32::from_le_bytes(frame[..4].try_into().unwrap());
+        let len = u64::from_le_bytes(frame[4..12].try_into().unwrap());
+        if len > self.remaining {
+            return Err(IngestError::snapshot(
+                &self.path,
+                "section truncated or malformed".to_owned(),
+            ));
+        }
+        let mut body = vec![0u8; len as usize];
+        self.fill(&mut body)?;
+        Ok(Some((tag, body)))
+    }
+}
+
+// ---- cursor -----------------------------------------------------------
+
+/// Bounds-checked little-endian reader over one byte slice; out-of-range
+/// reads become [`IngestError::Snapshot`] citing the file.
+pub struct ByteCursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    path: &'a Path,
+}
+
+impl<'a> ByteCursor<'a> {
+    /// Wraps `data` (`path` is error context only).
+    pub fn new(data: &'a [u8], path: &'a Path) -> Self {
+        ByteCursor { data, pos: 0, path }
+    }
+
+    /// True once every byte has been consumed.
+    pub fn done(&self) -> bool {
+        self.pos >= self.data.len()
+    }
+
+    fn truncated(&self) -> IngestError {
+        IngestError::snapshot(self.path, "section truncated or malformed".to_owned())
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], IngestError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.truncated())?;
+        if end > self.data.len() {
+            return Err(self.truncated());
+        }
+        let out = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, IngestError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, IngestError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, IngestError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` stored as its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, IngestError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, IngestError> {
+        let len = self.u32()? as usize;
+        let bytes = self.bytes(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| IngestError::snapshot(self.path, "string is not UTF-8".to_owned()))
+    }
+
+    /// Caps a pre-allocation count by how many items of `min_size`
+    /// bytes the rest of the section could possibly hold, so a forged
+    /// count cannot trigger a huge allocation — the parse then fails
+    /// with a truncation error instead.
+    pub fn capped(&self, n: usize, min_size: usize) -> usize {
+        n.min((self.data.len() - self.pos) / min_size + 1)
+    }
+
+    /// Reads a count-prefixed string table.
+    pub fn string_table(&mut self) -> Result<Vec<String>, IngestError> {
+        let n = self.u32()? as usize;
+        let mut out = Vec::with_capacity(self.capped(n, 4));
+        for _ in 0..n {
+            out.push(self.string()?);
+        }
+        self.expect_end()?;
+        Ok(out)
+    }
+
+    /// Fails unless the cursor consumed the slice exactly.
+    pub fn expect_end(&self) -> Result<(), IngestError> {
+        if self.done() {
+            Ok(())
+        } else {
+            Err(self.truncated()) // trailing garbage inside a section
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const MAGIC: [u8; 4] = *b"TST\0";
+
+    fn build(sections: &[(u32, &[u8])]) -> Vec<u8> {
+        let sink = Cursor::new(Vec::new());
+        let mut w = EnvelopeWriter::new(sink, Path::new("t.bin"), MAGIC, 7).unwrap();
+        for &(tag, body) in sections {
+            w.section(tag, body).unwrap();
+        }
+        w.finish().unwrap().into_inner()
+    }
+
+    #[test]
+    fn round_trips_sections_in_order() {
+        let data = build(&[(1, b"alpha"), (2, b""), (9, &[0xFF; 300])]);
+        let mut r =
+            EnvelopeReader::new(Cursor::new(&data[..]), Path::new("t.bin"), MAGIC, 7).unwrap();
+        assert_eq!(r.next_section().unwrap(), Some((1, b"alpha".to_vec())));
+        assert_eq!(r.next_section().unwrap(), Some((2, Vec::new())));
+        assert_eq!(r.next_section().unwrap(), Some((9, vec![0xFF; 300])));
+        assert_eq!(r.next_section().unwrap(), None);
+    }
+
+    #[test]
+    fn corruption_is_detected_on_drain() {
+        let mut data = build(&[(1, b"alpha")]);
+        let last = data.len() - 1;
+        data[last] ^= 0x01;
+        let mut r =
+            EnvelopeReader::new(Cursor::new(&data[..]), Path::new("t.bin"), MAGIC, 7).unwrap();
+        let _ = r.next_section().unwrap();
+        let err = r.next_section().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn header_mismatches_are_typed_errors() {
+        let data = build(&[]);
+        let fail = |data: &[u8], magic, version| {
+            EnvelopeReader::new(Cursor::new(data.to_vec()), Path::new("t.bin"), magic, version)
+                .err()
+                .expect("header mismatch must be rejected")
+        };
+        let err = fail(&data, *b"NOPE", 7);
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        let err = fail(&data, MAGIC, 8);
+        assert!(err.to_string().contains("unsupported version 7"), "{err}");
+        let err = fail(&data[..4], MAGIC, 7);
+        assert!(err.to_string().contains("header needs 24"), "{err}");
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected() {
+        let data = build(&[(1, b"alpha")]);
+        let cut = &data[..data.len() - 2];
+        let mut r = EnvelopeReader::new(Cursor::new(cut), Path::new("t.bin"), MAGIC, 7).unwrap();
+        let err = r.next_section().unwrap_err();
+        assert!(err.to_string().contains("truncated") || err.to_string().contains("EOF"), "{err}");
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_a_rejectable_file() {
+        // Simulate a crash: header written, finish() never called.
+        let sink = Cursor::new(Vec::new());
+        let mut w = EnvelopeWriter::new(sink, Path::new("t.bin"), MAGIC, 7).unwrap();
+        w.section(1, b"half").unwrap();
+        w.out.flush().unwrap();
+        let data = std::mem::replace(w.out.get_mut(), Cursor::new(Vec::new())).into_inner();
+        // Header says 0 payload bytes but bytes follow: EnvelopeReader::open
+        // checks file length; the slice-based reader sees a zero-length
+        // payload with a zero checksum that cannot match real sections.
+        let mut r =
+            EnvelopeReader::new(Cursor::new(&data[..]), Path::new("t.bin"), MAGIC, 7).unwrap();
+        // remaining == 0 and hash == FNV_SEED != 0 stored → checksum error.
+        let err = r.next_section().unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn cursor_primitives_round_trip() {
+        let mut b = Vec::new();
+        put_u32(&mut b, 42);
+        put_u64(&mut b, u64::MAX - 1);
+        put_f64(&mut b, -0.5);
+        put_str(&mut b, "héllo");
+        let mut c = ByteCursor::new(&b, Path::new("t.bin"));
+        assert_eq!(c.u32().unwrap(), 42);
+        assert_eq!(c.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(c.f64().unwrap(), -0.5);
+        assert_eq!(c.string().unwrap(), "héllo");
+        c.expect_end().unwrap();
+    }
+}

@@ -26,6 +26,7 @@
 pub mod csv;
 pub mod dataset;
 mod error;
+pub mod framing;
 pub mod gold;
 pub mod ntriples;
 pub mod snapshot;
@@ -38,7 +39,10 @@ pub use dataset::{export_dataset, load_kb, ExportFormat, ExportPaths, FileDatase
 pub use error::IngestError;
 pub use gold::load_gold;
 pub use ntriples::load_ntriples;
-pub use snapshot::{load_snapshot, write_snapshot, SNAPSHOT_VERSION};
+pub use snapshot::{
+    encode_snapshot, load_snapshot, snapshot_stats, write_snapshot, RkbSections, SnapshotWriter,
+    SNAPSHOT_VERSION,
+};
 
 /// A knowledge base loaded from disk, together with the external
 /// identifiers (IRIs, CSV ids) its entities had in the source files.

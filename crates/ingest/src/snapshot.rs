@@ -4,8 +4,8 @@
 //! converts text to a snapshot, and every later run loads the snapshot
 //! in milliseconds. The file stores the *frozen* [`Kb`] representation —
 //! adjacency tables already grouped and sorted — so loading is a single
-//! read plus [`Kb::from_parts`]'s linear validation sweep: no tokenizing,
-//! no re-sorting, no re-interning.
+//! streaming scan plus [`Kb::from_parts`]'s linear validation sweep: no
+//! tokenizing, no re-sorting, no re-interning.
 //!
 //! Layout (all integers little-endian; see FORMAT.md for the contract):
 //!
@@ -22,13 +22,30 @@
 //! bump the version). Corruption — bad magic, truncation, checksum
 //! mismatch, dangling ids — surfaces as a typed [`IngestError`], never a
 //! panic.
+//!
+//! Two access grains are provided:
+//!
+//! * [`load_snapshot`] / [`decode_snapshot`] — the whole-KB decode.
+//!   Loading streams the file section-at-a-time through [`RkbSections`],
+//!   so peak transient memory is one section body, not the file.
+//! * [`RkbSections`] — the raw section iterator for tools that never
+//!   need the full [`Kb`]: [`snapshot_stats`] computes Table II-style
+//!   statistics in one bounded pass, and `remp-scale` extracts sub-KBs
+//!   for shard files the same way.
+//!
+//! Writers come in the same two grains: [`write_snapshot`] freezes an
+//! in-memory [`Kb`], while [`SnapshotWriter`] streams sections produced
+//! incrementally (the scale generator writes million-entity snapshots
+//! this way without ever holding the KB in memory). Both produce
+//! byte-identical files for the same content.
 
-use std::fs::{self, File};
-use std::io::{BufWriter, Write};
+use std::fs::File;
+use std::io::{BufReader, Cursor as IoCursor, Seek, Write};
 use std::path::Path;
 
-use remp_kb::{AttrId, EntityId, Kb, RelId, Value};
+use remp_kb::{AttrId, EntityId, Kb, KbStats, RelId, Value};
 
+use crate::framing::{put_str, put_u32, ByteCursor, EnvelopeReader, EnvelopeWriter};
 use crate::{IngestError, LoadedKb};
 
 /// Magic bytes opening every snapshot.
@@ -40,29 +57,70 @@ pub const SNAPSHOT_VERSION: u32 = 1;
 /// The conventional file extension.
 pub const SNAPSHOT_EXTENSION: &str = "rkb";
 
-const TAG_NAME: u32 = 1;
-const TAG_LABELS: u32 = 2;
-const TAG_ATTR_NAMES: u32 = 3;
-const TAG_REL_NAMES: u32 = 4;
-const TAG_ATTR_TRIPLES: u32 = 5;
-const TAG_REL_OUT: u32 = 6;
-const TAG_REL_IN: u32 = 7;
-const TAG_EXTERNAL_IDS: u32 = 8;
+/// Section tag: KB name (one string).
+pub const TAG_NAME: u32 = 1;
+/// Section tag: entity label table.
+pub const TAG_LABELS: u32 = 2;
+/// Section tag: attribute name table.
+pub const TAG_ATTR_NAMES: u32 = 3;
+/// Section tag: relationship name table.
+pub const TAG_REL_NAMES: u32 = 4;
+/// Section tag: per-entity attribute triples.
+pub const TAG_ATTR_TRIPLES: u32 = 5;
+/// Section tag: per-entity outgoing relationship triples.
+pub const TAG_REL_OUT: u32 = 6;
+/// Section tag: per-entity incoming relationship triples.
+pub const TAG_REL_IN: u32 = 7;
+/// Section tag: external identifier table.
+pub const TAG_EXTERNAL_IDS: u32 = 8;
 
-const KIND_TEXT: u8 = 0;
-const KIND_NUMBER: u8 = 1;
-
-/// FNV-1a 64 — dependency-free integrity hash.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+/// Value kind byte: UTF-8 text literal.
+pub const KIND_TEXT: u8 = 0;
+/// Value kind byte: `f64` numeric literal (stored as IEEE-754 bits).
+pub const KIND_NUMBER: u8 = 1;
 
 // ---- writer -----------------------------------------------------------
+
+/// Streaming `.rkb` writer: sections are appended one at a time and the
+/// header (payload length, checksum) is patched on [`finish`].
+///
+/// This is [`write_snapshot`]'s engine, exposed so producers that never
+/// materialise a [`Kb`] — the `remp-scale` dataset generator — can emit
+/// snapshots with peak memory bounded by one section body. Sections must
+/// arrive in tag order ([`TAG_NAME`] … [`TAG_EXTERNAL_IDS`]); the reader
+/// tolerates any order, but fixed order keeps equal content producing
+/// byte-identical files.
+///
+/// [`finish`]: SnapshotWriter::finish
+pub struct SnapshotWriter<W: Write + Seek> {
+    inner: EnvelopeWriter<W>,
+}
+
+impl SnapshotWriter<File> {
+    /// Creates `path` and writes the snapshot header.
+    pub fn create(path: &Path) -> Result<Self, IngestError> {
+        Ok(SnapshotWriter { inner: EnvelopeWriter::create(path, MAGIC, SNAPSHOT_VERSION)? })
+    }
+}
+
+impl<W: Write + Seek> SnapshotWriter<W> {
+    /// Wraps an arbitrary seekable sink (`path` is error context only).
+    pub fn new(sink: W, path: &Path) -> Result<Self, IngestError> {
+        Ok(SnapshotWriter { inner: EnvelopeWriter::new(sink, path, MAGIC, SNAPSHOT_VERSION)? })
+    }
+
+    /// Appends one section. `body` is the raw section body, laid out per
+    /// FORMAT.md (the `put_*` helpers in [`crate::framing`] match the
+    /// encoding).
+    pub fn section(&mut self, tag: u32, body: &[u8]) -> Result<(), IngestError> {
+        self.inner.section(tag, body)
+    }
+
+    /// Patches the header and returns the sink.
+    pub fn finish(self) -> Result<W, IngestError> {
+        self.inner.finish()
+    }
+}
 
 /// Writes `kb` (with its external identifiers) as a snapshot at `path`.
 ///
@@ -70,162 +128,198 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// entity had in its source text files, preserved so gold alignments
 /// keep resolving against snapshots.
 pub fn write_snapshot(kb: &Kb, external_ids: &[String], path: &Path) -> Result<(), IngestError> {
+    let mut writer = SnapshotWriter::create(path)?;
+    write_kb_sections(&mut writer, kb, external_ids)?;
+    writer.finish()?;
+    Ok(())
+}
+
+/// Encodes `kb` as snapshot bytes (the exact bytes [`write_snapshot`]
+/// puts on disk) — used where a snapshot is embedded in a larger file,
+/// e.g. the sub-KBs inside `remp-scale` shard files.
+pub fn encode_snapshot(kb: &Kb, external_ids: &[String]) -> Vec<u8> {
+    let sink = IoCursor::new(Vec::new());
+    let path = Path::new("<memory>");
+    let mut writer = SnapshotWriter::new(sink, path).expect("in-memory writes cannot fail");
+    write_kb_sections(&mut writer, kb, external_ids).expect("in-memory writes cannot fail");
+    writer.finish().expect("in-memory writes cannot fail").into_inner()
+}
+
+fn write_kb_sections<W: Write + Seek>(
+    writer: &mut SnapshotWriter<W>,
+    kb: &Kb,
+    external_ids: &[String],
+) -> Result<(), IngestError> {
     assert_eq!(
         external_ids.len(),
         kb.num_entities(),
         "one external identifier per entity required"
     );
-    let mut payload = Vec::new();
-    section(&mut payload, TAG_NAME, |b| put_str(b, kb.name()));
-    section(&mut payload, TAG_LABELS, |b| {
-        put_u32(b, kb.num_entities() as u32);
-        for u in kb.entities() {
-            put_str(b, kb.label(u));
-        }
-    });
-    section(&mut payload, TAG_ATTR_NAMES, |b| {
-        put_u32(b, kb.num_attrs() as u32);
-        for a in kb.attrs() {
-            put_str(b, kb.attr_name(a));
-        }
-    });
-    section(&mut payload, TAG_REL_NAMES, |b| {
-        put_u32(b, kb.num_rels() as u32);
-        for r in kb.rels() {
-            put_str(b, kb.rel_name(r));
-        }
-    });
-    section(&mut payload, TAG_ATTR_TRIPLES, |b| {
-        put_u32(b, kb.num_entities() as u32);
-        for u in kb.entities() {
-            let pairs = kb.attrs_of(u);
-            put_u32(b, pairs.len() as u32);
-            for (a, v) in pairs {
-                put_u32(b, a.0);
-                match v {
-                    Value::Text(s) => {
-                        b.push(KIND_TEXT);
-                        put_str(b, s);
-                    }
-                    Value::Number(n) => {
-                        b.push(KIND_NUMBER);
-                        b.extend_from_slice(&n.to_bits().to_le_bytes());
-                    }
-                }
-            }
-        }
-    });
-    for (tag, side) in [(TAG_REL_OUT, false), (TAG_REL_IN, true)] {
-        section(&mut payload, tag, |b| {
-            put_u32(b, kb.num_entities() as u32);
-            for u in kb.entities() {
-                let pairs = if side { kb.rels_into(u) } else { kb.rels_of(u) };
-                put_u32(b, pairs.len() as u32);
-                for &(r, v) in pairs {
-                    put_u32(b, r.0);
-                    put_u32(b, v.0);
-                }
-            }
-        });
+    let mut body = Vec::new();
+    let emit =
+        |writer: &mut SnapshotWriter<W>, tag: u32, body: &mut Vec<u8>| -> Result<(), IngestError> {
+            writer.section(tag, body)?;
+            body.clear();
+            Ok(())
+        };
+
+    put_str(&mut body, kb.name());
+    emit(writer, TAG_NAME, &mut body)?;
+
+    put_u32(&mut body, kb.num_entities() as u32);
+    for u in kb.entities() {
+        put_str(&mut body, kb.label(u));
     }
-    section(&mut payload, TAG_EXTERNAL_IDS, |b| {
-        put_u32(b, external_ids.len() as u32);
-        for id in external_ids {
-            put_str(b, id);
+    emit(writer, TAG_LABELS, &mut body)?;
+
+    put_u32(&mut body, kb.num_attrs() as u32);
+    for a in kb.attrs() {
+        put_str(&mut body, kb.attr_name(a));
+    }
+    emit(writer, TAG_ATTR_NAMES, &mut body)?;
+
+    put_u32(&mut body, kb.num_rels() as u32);
+    for r in kb.rels() {
+        put_str(&mut body, kb.rel_name(r));
+    }
+    emit(writer, TAG_REL_NAMES, &mut body)?;
+
+    put_u32(&mut body, kb.num_entities() as u32);
+    for u in kb.entities() {
+        let pairs = kb.attrs_of(u);
+        put_u32(&mut body, pairs.len() as u32);
+        for (a, v) in pairs {
+            put_u32(&mut body, a.0);
+            match v {
+                Value::Text(s) => {
+                    body.push(KIND_TEXT);
+                    put_str(&mut body, s);
+                }
+                Value::Number(n) => {
+                    body.push(KIND_NUMBER);
+                    body.extend_from_slice(&n.to_bits().to_le_bytes());
+                }
+            }
         }
-    });
+    }
+    emit(writer, TAG_ATTR_TRIPLES, &mut body)?;
 
-    let file = File::create(path).map_err(|e| IngestError::io(path, e))?;
-    let mut out = BufWriter::new(file);
-    let emit = |out: &mut BufWriter<File>| -> std::io::Result<()> {
-        out.write_all(&MAGIC)?;
-        out.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
-        out.write_all(&(payload.len() as u64).to_le_bytes())?;
-        out.write_all(&fnv1a64(&payload).to_le_bytes())?;
-        out.write_all(&payload)?;
-        out.flush()
-    };
-    emit(&mut out).map_err(|e| IngestError::io(path, e))
+    for (tag, side) in [(TAG_REL_OUT, false), (TAG_REL_IN, true)] {
+        put_u32(&mut body, kb.num_entities() as u32);
+        for u in kb.entities() {
+            let pairs = if side { kb.rels_into(u) } else { kb.rels_of(u) };
+            put_u32(&mut body, pairs.len() as u32);
+            for &(r, v) in pairs {
+                put_u32(&mut body, r.0);
+                put_u32(&mut body, v.0);
+            }
+        }
+        emit(writer, tag, &mut body)?;
+    }
+
+    put_u32(&mut body, external_ids.len() as u32);
+    for id in external_ids {
+        put_str(&mut body, id);
+    }
+    emit(writer, TAG_EXTERNAL_IDS, &mut body)?;
+    Ok(())
 }
 
-fn section(payload: &mut Vec<u8>, tag: u32, fill: impl FnOnce(&mut Vec<u8>)) {
-    put_u32(payload, tag);
-    let len_at = payload.len();
-    payload.extend_from_slice(&0u64.to_le_bytes());
-    let start = payload.len();
-    fill(payload);
-    let len = (payload.len() - start) as u64;
-    payload[len_at..len_at + 8].copy_from_slice(&len.to_le_bytes());
+// ---- streaming section reader ----------------------------------------
+
+/// Section-at-a-time `.rkb` reader.
+///
+/// Validates the header eagerly on [`open`](RkbSections::open) and the
+/// checksum incrementally as sections stream by: the final `Ok(None)`
+/// from [`next_section`](RkbSections::next_section) certifies the whole
+/// payload. Peak memory is the largest single section — this is the
+/// reader behind [`load_snapshot`], [`snapshot_stats`] and the
+/// `remp-scale` sub-KB extractor.
+pub struct RkbSections {
+    inner: EnvelopeReader<BufReader<File>>,
 }
 
-fn put_u32(b: &mut Vec<u8>, v: u32) {
-    b.extend_from_slice(&v.to_le_bytes());
-}
+impl RkbSections {
+    /// Opens `path`, validating magic, version and payload length.
+    pub fn open(path: &Path) -> Result<RkbSections, IngestError> {
+        Ok(RkbSections { inner: EnvelopeReader::open(path, MAGIC, SNAPSHOT_VERSION)? })
+    }
 
-fn put_str(b: &mut Vec<u8>, s: &str) {
-    put_u32(b, s.len() as u32);
-    b.extend_from_slice(s.as_bytes());
+    /// Next `(tag, body)` pair in file order; `Ok(None)` after the last
+    /// section, once the checksum verified.
+    pub fn next_section(&mut self) -> Result<Option<(u32, Vec<u8>)>, IngestError> {
+        self.inner.next_section()
+    }
 }
 
 // ---- reader -----------------------------------------------------------
 
-/// Loads a snapshot written by [`write_snapshot`].
+/// Loads a snapshot written by [`write_snapshot`], streaming it
+/// section-at-a-time (peak transient memory: one section body).
 pub fn load_snapshot(path: &Path) -> Result<LoadedKb, IngestError> {
-    let data = fs::read(path).map_err(|e| IngestError::io(path, e))?;
-    decode_snapshot(&data, path)
+    let mut sections = RkbSections::open(path)?;
+    let mut assembler = Assembler::default();
+    while let Some((tag, body)) = sections.next_section()? {
+        assembler.section(tag, &body, path)?;
+    }
+    assembler.finish(path)
 }
 
 /// Decodes a snapshot from bytes (`path` is error context only).
 pub fn decode_snapshot(data: &[u8], path: &Path) -> Result<LoadedKb, IngestError> {
-    let fail = |msg: String| IngestError::snapshot(path, msg);
-    if data.len() < 24 {
-        return Err(fail(format!("file is {} bytes, header needs 24", data.len())));
+    let mut reader = EnvelopeReader::new(IoCursor::new(data), path, MAGIC, SNAPSHOT_VERSION)?;
+    let payload = data.len() as u64 - 24;
+    if reader.remaining_bytes() != payload {
+        return Err(IngestError::snapshot(
+            path,
+            format!(
+                "truncated: header promises {} payload bytes, file has {payload}",
+                reader.remaining_bytes()
+            ),
+        ));
     }
-    if data[..4] != MAGIC {
-        return Err(fail("bad magic (not an .rkb snapshot)".into()));
+    // The bytes are already resident, so verify integrity before parsing
+    // — corruption then always reports as a checksum mismatch instead of
+    // whatever decode error the flipped bytes happen to produce. (The
+    // streaming [`load_snapshot`] path cannot afford a second pass; there
+    // the checksum certifies the payload on the final `None`.)
+    let stored = u64::from_le_bytes(data[16..24].try_into().unwrap());
+    let actual = crate::framing::fnv1a64(&data[24..]);
+    if stored != actual {
+        return Err(IngestError::snapshot(
+            path,
+            format!("checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"),
+        ));
     }
-    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
-    if version != SNAPSHOT_VERSION {
-        return Err(fail(format!(
-            "unsupported version {version} (this build reads {SNAPSHOT_VERSION})"
-        )));
+    let mut assembler = Assembler::default();
+    while let Some((tag, body)) = reader.next_section()? {
+        assembler.section(tag, &body, path)?;
     }
-    let payload_len = u64::from_le_bytes(data[8..16].try_into().unwrap());
-    let checksum = u64::from_le_bytes(data[16..24].try_into().unwrap());
-    let payload = &data[24..];
-    if payload.len() as u64 != payload_len {
-        return Err(fail(format!(
-            "truncated: header promises {payload_len} payload bytes, file has {}",
-            payload.len()
-        )));
-    }
-    let actual = fnv1a64(payload);
-    if actual != checksum {
-        return Err(fail(format!(
-            "checksum mismatch (stored {checksum:#018x}, computed {actual:#018x})"
-        )));
-    }
+    assembler.finish(path)
+}
 
-    let mut name = None;
-    let mut labels = None;
-    let mut attr_names = None;
-    let mut rel_names = None;
-    let mut attr_values = None;
-    let mut rel_out = None;
-    let mut rel_in = None;
-    let mut external_ids = None;
+/// Accumulates decoded sections until all eight required ones arrived.
+#[derive(Default)]
+struct Assembler {
+    name: Option<String>,
+    labels: Option<Vec<String>>,
+    attr_names: Option<Vec<String>>,
+    rel_names: Option<Vec<String>>,
+    attr_values: Option<Vec<Vec<(AttrId, Value)>>>,
+    rel_out: Option<Vec<Vec<(RelId, EntityId)>>>,
+    rel_in: Option<Vec<Vec<(RelId, EntityId)>>>,
+    external_ids: Option<Vec<String>>,
+}
 
-    let mut cur = Cursor { data: payload, pos: 0, path };
-    while !cur.done() {
-        let tag = cur.u32()?;
-        let len = cur.u64()? as usize;
-        let body = cur.bytes(len)?;
-        let mut sec = Cursor { data: body, pos: 0, path };
+impl Assembler {
+    fn section(&mut self, tag: u32, body: &[u8], path: &Path) -> Result<(), IngestError> {
+        let fail = |msg: String| IngestError::snapshot(path, msg);
+        let mut sec = ByteCursor::new(body, path);
         match tag {
-            TAG_NAME => name = Some(sec.string()?),
-            TAG_LABELS => labels = Some(sec.string_table()?),
-            TAG_ATTR_NAMES => attr_names = Some(sec.string_table()?),
-            TAG_REL_NAMES => rel_names = Some(sec.string_table()?),
+            TAG_NAME => self.name = Some(sec.string()?),
+            TAG_LABELS => self.labels = Some(sec.string_table()?),
+            TAG_ATTR_NAMES => self.attr_names = Some(sec.string_table()?),
+            TAG_REL_NAMES => self.rel_names = Some(sec.string_table()?),
             TAG_ATTR_TRIPLES => {
                 let n = sec.u32()? as usize;
                 let mut table = Vec::with_capacity(sec.capped(n, 4));
@@ -245,7 +339,7 @@ pub fn decode_snapshot(data: &[u8], path: &Path) -> Result<LoadedKb, IngestError
                     table.push(row);
                 }
                 sec.expect_end()?;
-                attr_values = Some(table);
+                self.attr_values = Some(table);
             }
             TAG_REL_OUT | TAG_REL_IN => {
                 let n = sec.u32()? as usize;
@@ -260,118 +354,159 @@ pub fn decode_snapshot(data: &[u8], path: &Path) -> Result<LoadedKb, IngestError
                 }
                 sec.expect_end()?;
                 if tag == TAG_REL_OUT {
-                    rel_out = Some(table);
+                    self.rel_out = Some(table);
                 } else {
-                    rel_in = Some(table);
+                    self.rel_in = Some(table);
                 }
             }
-            TAG_EXTERNAL_IDS => external_ids = Some(sec.string_table()?),
+            TAG_EXTERNAL_IDS => self.external_ids = Some(sec.string_table()?),
             other => {
                 return Err(fail(format!(
                     "unknown section tag {other} (written by a newer build?)"
                 )));
             }
         }
+        Ok(())
     }
 
-    let missing = |what: &str| fail(format!("missing required section: {what}"));
-    let name = name.ok_or_else(|| missing("name"))?;
-    let labels = labels.ok_or_else(|| missing("labels"))?;
-    let attr_names = attr_names.ok_or_else(|| missing("attribute names"))?;
-    let rel_names = rel_names.ok_or_else(|| missing("relationship names"))?;
-    let attr_values = attr_values.ok_or_else(|| missing("attribute triples"))?;
-    let rel_out = rel_out.ok_or_else(|| missing("outgoing relationships"))?;
-    let rel_in = rel_in.ok_or_else(|| missing("incoming relationships"))?;
-    let external_ids = external_ids.ok_or_else(|| missing("external ids"))?;
-    if external_ids.len() != labels.len() {
-        return Err(fail(format!(
-            "{} external ids for {} entities",
-            external_ids.len(),
-            labels.len()
-        )));
-    }
-
-    let kb = Kb::from_parts(name, labels, attr_names, rel_names, attr_values, rel_out, rel_in)
-        .map_err(|error| IngestError::Kb { path: path.to_path_buf(), error })?;
-    Ok(LoadedKb { kb, external_ids })
-}
-
-/// Bounds-checked little-endian reader over one byte slice; out-of-range
-/// reads become [`IngestError::Snapshot`] citing the file.
-struct Cursor<'a> {
-    data: &'a [u8],
-    pos: usize,
-    path: &'a Path,
-}
-
-impl<'a> Cursor<'a> {
-    fn done(&self) -> bool {
-        self.pos >= self.data.len()
-    }
-
-    fn truncated(&self) -> IngestError {
-        IngestError::snapshot(self.path, "section truncated or malformed".to_owned())
-    }
-
-    fn bytes(&mut self, n: usize) -> Result<&'a [u8], IngestError> {
-        let end = self.pos.checked_add(n).ok_or_else(|| self.truncated())?;
-        if end > self.data.len() {
-            return Err(self.truncated());
+    fn finish(self, path: &Path) -> Result<LoadedKb, IngestError> {
+        let fail = |msg: String| IngestError::snapshot(path, msg);
+        let missing = |what: &str| fail(format!("missing required section: {what}"));
+        let name = self.name.ok_or_else(|| missing("name"))?;
+        let labels = self.labels.ok_or_else(|| missing("labels"))?;
+        let attr_names = self.attr_names.ok_or_else(|| missing("attribute names"))?;
+        let rel_names = self.rel_names.ok_or_else(|| missing("relationship names"))?;
+        let attr_values = self.attr_values.ok_or_else(|| missing("attribute triples"))?;
+        let rel_out = self.rel_out.ok_or_else(|| missing("outgoing relationships"))?;
+        let rel_in = self.rel_in.ok_or_else(|| missing("incoming relationships"))?;
+        let external_ids = self.external_ids.ok_or_else(|| missing("external ids"))?;
+        if external_ids.len() != labels.len() {
+            return Err(fail(format!(
+                "{} external ids for {} entities",
+                external_ids.len(),
+                labels.len()
+            )));
         }
-        let out = &self.data[self.pos..end];
-        self.pos = end;
-        Ok(out)
-    }
 
-    fn u8(&mut self) -> Result<u8, IngestError> {
-        Ok(self.bytes(1)?[0])
+        let kb = Kb::from_parts(name, labels, attr_names, rel_names, attr_values, rel_out, rel_in)
+            .map_err(|error| IngestError::Kb { path: path.to_path_buf(), error })?;
+        Ok(LoadedKb { kb, external_ids })
     }
+}
 
-    fn u32(&mut self) -> Result<u32, IngestError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
-    }
+// ---- streaming stats --------------------------------------------------
 
-    fn u64(&mut self) -> Result<u64, IngestError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
-    }
+/// Computes Table II-style [`KbStats`] for a snapshot in one streaming
+/// pass, without building the [`Kb`] — peak memory is one section body
+/// plus two bits per entity (the isolated-entity tracking).
+///
+/// `rempctl inspect` uses this for `.rkb` inputs, which is what makes
+/// inspecting a million-entity snapshot cheap.
+pub fn snapshot_stats(path: &Path) -> Result<KbStats, IngestError> {
+    let mut sections = RkbSections::open(path)?;
+    let mut name = String::new();
+    let mut entities = 0usize;
+    let mut attributes = 0usize;
+    let mut relationships = 0usize;
+    let mut attr_triples = 0usize;
+    let mut rel_triples = 0usize;
+    let mut has_out: Vec<bool> = Vec::new();
+    let mut has_in: Vec<bool> = Vec::new();
 
-    fn string(&mut self) -> Result<String, IngestError> {
-        let len = self.u32()? as usize;
-        let bytes = self.bytes(len)?;
-        String::from_utf8(bytes.to_vec())
-            .map_err(|_| IngestError::snapshot(self.path, "string is not UTF-8".to_owned()))
-    }
-
-    /// Caps a pre-allocation count by how many items of `min_size`
-    /// bytes the rest of the section could possibly hold, so a forged
-    /// count cannot trigger a huge allocation — the parse then fails
-    /// with a truncation error instead.
-    fn capped(&self, n: usize, min_size: usize) -> usize {
-        n.min((self.data.len() - self.pos) / min_size + 1)
-    }
-
-    fn string_table(&mut self) -> Result<Vec<String>, IngestError> {
-        let n = self.u32()? as usize;
-        let mut out = Vec::with_capacity(self.capped(n, 4));
+    // Counts strings without copying them out of the section body.
+    let skip_string_table = |sec: &mut ByteCursor| -> Result<usize, IngestError> {
+        let n = sec.u32()? as usize;
         for _ in 0..n {
-            out.push(self.string()?);
+            let len = sec.u32()? as usize;
+            sec.bytes(len)?;
         }
-        self.expect_end()?;
-        Ok(out)
+        sec.expect_end()?;
+        Ok(n)
+    };
+
+    while let Some((tag, body)) = sections.next_section()? {
+        let mut sec = ByteCursor::new(&body, path);
+        match tag {
+            TAG_NAME => name = sec.string()?,
+            TAG_LABELS => entities = skip_string_table(&mut sec)?,
+            TAG_ATTR_NAMES => attributes = skip_string_table(&mut sec)?,
+            TAG_REL_NAMES => relationships = skip_string_table(&mut sec)?,
+            TAG_ATTR_TRIPLES => {
+                let n = sec.u32()? as usize;
+                for _ in 0..n {
+                    let count = sec.u32()? as usize;
+                    attr_triples += count;
+                    for _ in 0..count {
+                        sec.u32()?; // attr id
+                        match sec.u8()? {
+                            KIND_TEXT => {
+                                let len = sec.u32()? as usize;
+                                sec.bytes(len)?;
+                            }
+                            KIND_NUMBER => {
+                                sec.u64()?;
+                            }
+                            k => {
+                                return Err(IngestError::snapshot(
+                                    path,
+                                    format!("unknown value kind {k}"),
+                                ))
+                            }
+                        }
+                    }
+                }
+                sec.expect_end()?;
+            }
+            TAG_REL_OUT | TAG_REL_IN => {
+                let n = sec.u32()? as usize;
+                let mut present = Vec::with_capacity(sec.capped(n, 4));
+                let mut triples = 0usize;
+                for _ in 0..n {
+                    let count = sec.u32()? as usize;
+                    triples += count;
+                    present.push(count > 0);
+                    sec.bytes(count.saturating_mul(8))?;
+                }
+                sec.expect_end()?;
+                if tag == TAG_REL_OUT {
+                    rel_triples = triples;
+                    has_out = present;
+                } else {
+                    has_in = present;
+                }
+            }
+            TAG_EXTERNAL_IDS => {
+                skip_string_table(&mut sec)?;
+            }
+            other => {
+                return Err(IngestError::snapshot(
+                    path,
+                    format!("unknown section tag {other} (written by a newer build?)"),
+                ));
+            }
+        }
     }
 
-    fn expect_end(&self) -> Result<(), IngestError> {
-        if self.done() {
-            Ok(())
-        } else {
-            Err(self.truncated()) // trailing garbage inside a section
-        }
-    }
+    let isolated_entities = (0..entities)
+        .filter(|&i| {
+            !has_out.get(i).copied().unwrap_or(false) && !has_in.get(i).copied().unwrap_or(false)
+        })
+        .count();
+    Ok(KbStats {
+        name,
+        entities,
+        attributes,
+        relationships,
+        attr_triples,
+        rel_triples,
+        isolated_entities,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framing::fnv1a64;
     use remp_kb::KbBuilder;
     use std::path::PathBuf;
 
@@ -418,6 +553,57 @@ mod tests {
         let loaded = load_snapshot(&path).unwrap();
         assert_eq!(loaded.kb.num_entities(), 0);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn encode_snapshot_matches_the_file_writer() {
+        let kb = sample_kb();
+        let ids = ext_ids(&kb);
+        let path = tmp("encode");
+        write_snapshot(&kb, &ids, &path).unwrap();
+        let on_disk = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(encode_snapshot(&kb, &ids), on_disk);
+        let decoded = decode_snapshot(&encode_snapshot(&kb, &ids), Path::new("mem.rkb")).unwrap();
+        assert_eq!(decoded.kb, kb);
+    }
+
+    #[test]
+    fn sections_stream_in_tag_order() {
+        let kb = sample_kb();
+        let ids = ext_ids(&kb);
+        let path = tmp("sections");
+        write_snapshot(&kb, &ids, &path).unwrap();
+        let mut sections = RkbSections::open(&path).unwrap();
+        let mut tags = Vec::new();
+        while let Some((tag, _body)) = sections.next_section().unwrap() {
+            tags.push(tag);
+        }
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(
+            tags,
+            vec![
+                TAG_NAME,
+                TAG_LABELS,
+                TAG_ATTR_NAMES,
+                TAG_REL_NAMES,
+                TAG_ATTR_TRIPLES,
+                TAG_REL_OUT,
+                TAG_REL_IN,
+                TAG_EXTERNAL_IDS
+            ]
+        );
+    }
+
+    #[test]
+    fn streaming_stats_match_the_loaded_kb() {
+        let kb = sample_kb();
+        let ids = ext_ids(&kb);
+        let path = tmp("stats");
+        write_snapshot(&kb, &ids, &path).unwrap();
+        let stats = snapshot_stats(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(stats, kb.stats());
     }
 
     fn snapshot_bytes() -> Vec<u8> {

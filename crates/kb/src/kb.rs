@@ -136,6 +136,73 @@ impl Kb {
         self.n_rel_triples
     }
 
+    /// Extracts the sub-KB induced by `keep` (sorted, deduplicated
+    /// entity ids): kept entities are re-indexed densely in `keep`
+    /// order, attribute/relationship *names* keep their ids, and
+    /// relationship triples whose other endpoint is not kept are
+    /// dropped. The shard builder in `remp-scale` uses this to make
+    /// component shards self-contained — callers wanting intact
+    /// adjacency for a set of entities must include their relationship
+    /// neighbours in `keep`.
+    ///
+    /// # Panics
+    ///
+    /// If `keep` is not strictly ascending or references an unknown
+    /// entity. Strict ascent keeps the id remap monotone, which is what
+    /// preserves the per-entity sort invariants without re-sorting.
+    pub fn restrict(&self, keep: &[EntityId]) -> Kb {
+        let mut remap: Vec<u32> = vec![u32::MAX; self.num_entities()];
+        let mut prev: Option<EntityId> = None;
+        for (new, &old) in keep.iter().enumerate() {
+            assert!(prev.is_none_or(|p| p < old), "Kb::restrict: keep must be strictly ascending");
+            assert!(old.index() < self.num_entities(), "Kb::restrict: unknown entity {old:?}");
+            remap[old.index()] = new as u32;
+            prev = Some(old);
+        }
+
+        let mut entity_labels = Vec::with_capacity(keep.len());
+        let mut attr_values = Vec::with_capacity(keep.len());
+        let mut rel_out = Vec::with_capacity(keep.len());
+        let mut rel_in = Vec::with_capacity(keep.len());
+        let mut n_attr_triples = 0;
+        let mut n_rel_triples = 0;
+        let mut label_index: HashMap<String, Vec<EntityId>> = HashMap::new();
+        for (new, &old) in keep.iter().enumerate() {
+            let label = self.entity_labels[old.index()].clone();
+            label_index.entry(label.clone()).or_default().push(EntityId(new as u32));
+            entity_labels.push(label);
+            let attrs = self.attr_values[old.index()].clone();
+            n_attr_triples += attrs.len();
+            attr_values.push(attrs);
+            // The remap is monotone over kept ids and rows are sorted by
+            // `(rel, entity)`, so filtering preserves the sort invariant.
+            let keep_edges = |edges: &[(RelId, EntityId)]| -> Vec<(RelId, EntityId)> {
+                edges
+                    .iter()
+                    .filter(|(_, v)| remap[v.index()] != u32::MAX)
+                    .map(|&(r, v)| (r, EntityId(remap[v.index()])))
+                    .collect()
+            };
+            let out = keep_edges(&self.rel_out[old.index()]);
+            n_rel_triples += out.len();
+            rel_out.push(out);
+            rel_in.push(keep_edges(&self.rel_in[old.index()]));
+        }
+
+        Kb {
+            name: self.name.clone(),
+            entity_labels,
+            attr_names: self.attr_names.clone(),
+            rel_names: self.rel_names.clone(),
+            attr_values,
+            rel_out,
+            rel_in,
+            n_attr_triples,
+            n_rel_triples,
+            label_index,
+        }
+    }
+
     /// Summary statistics in the shape of the paper's Table II.
     pub fn stats(&self) -> KbStats {
         KbStats {

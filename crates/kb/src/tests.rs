@@ -81,3 +81,61 @@ proptest! {
         }
     }
 }
+
+mod restrict {
+    use super::*;
+    use crate::EntityId;
+
+    /// Restricting to all entities is the identity.
+    #[test]
+    fn restrict_to_everything_is_identity() {
+        let mut b = KbBuilder::new("full");
+        let a = b.add_entity("a");
+        let c = b.add_entity("b");
+        let r = b.add_rel("knows");
+        let at = b.add_attr("age");
+        b.add_attr_triple(a, at, Value::number(3.0));
+        b.add_rel_triple(a, r, c);
+        let kb = b.finish();
+        let all: Vec<EntityId> = kb.entities().collect();
+        assert_eq!(kb.restrict(&all), kb);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn restrict_rejects_unsorted_keep() {
+        let mut b = KbBuilder::new("x");
+        let a = b.add_entity("a");
+        let c = b.add_entity("b");
+        let kb = b.finish();
+        let _ = kb.restrict(&[c, a]);
+    }
+
+    proptest! {
+        /// A restriction to every other entity keeps exactly the triples
+        /// among kept entities, passes validation, and preserves labels,
+        /// attributes and edge order.
+        #[test]
+        fn restrict_keeps_induced_subgraph(kb in arb_kb()) {
+            let keep: Vec<EntityId> = kb.entities().step_by(2).collect();
+            let sub = kb.restrict(&keep);
+            prop_assert!(sub.validate().is_ok());
+            prop_assert_eq!(sub.num_entities(), keep.len());
+            prop_assert_eq!(sub.num_attrs(), kb.num_attrs());
+            prop_assert_eq!(sub.num_rels(), kb.num_rels());
+            for (new, &old) in keep.iter().enumerate() {
+                let new_id = EntityId::from_index(new);
+                prop_assert_eq!(sub.label(new_id), kb.label(old));
+                prop_assert_eq!(sub.attrs_of(new_id), kb.attrs_of(old));
+                // Expected edges: old edges with kept targets, remapped.
+                let expect: Vec<_> = kb
+                    .rels_of(old)
+                    .iter()
+                    .filter(|(_, v)| keep.binary_search(v).is_ok())
+                    .map(|&(r, v)| (r, EntityId::from_index(keep.binary_search(&v).unwrap())))
+                    .collect();
+                prop_assert_eq!(sub.rels_of(new_id).to_vec(), expect);
+            }
+        }
+    }
+}

@@ -34,6 +34,7 @@
 mod events;
 mod expo;
 mod metrics;
+mod rss;
 mod trace;
 
 pub use events::{
@@ -44,6 +45,7 @@ pub use metrics::{
     escape_help, escape_label, format_value, quantile_from_buckets, Counter, Gauge, Histogram,
     MetricsRegistry, SECONDS_BUCKETS,
 };
+pub use rss::{current_rss_bytes, peak_rss_bytes, sample_peak_rss};
 pub use trace::{
     record_stage, spans_to_jsonl, time_stage, trace_active, trace_begin, trace_take, Span,
     SpanRecord,
@@ -98,6 +100,10 @@ pub mod names {
     pub const SIM_TICKS_TOTAL: &str = "remp_sim_ticks_total";
     /// Counter: simulated answers delivered into engines.
     pub const SIM_DELIVERED_TOTAL: &str = "remp_sim_delivered_total";
+    /// Gauge: peak resident set size of the process in bytes (`VmHWM`
+    /// from `/proc/self/status`), sampled by
+    /// [`sample_peak_rss`](crate::sample_peak_rss).
+    pub const PEAK_RSS_BYTES: &str = "remp_peak_rss_bytes";
 }
 
 fn enabled_cell() -> &'static AtomicBool {

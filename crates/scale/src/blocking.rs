@@ -1,0 +1,209 @@
+//! Blocked, streaming candidate generation.
+//!
+//! `remp_ergraph::generate_candidates` scans per-KB1-entity and is the
+//! right shape for in-memory pipelines; at 10⁶ entities the caller
+//! usually wants the *pairs* to flow somewhere (a shard planner, a
+//! spill file) rather than accumulate. [`stream_candidates`] walks the
+//! shared token universe one block (canopy) at a time and pushes each
+//! surviving pair to a sink exactly once — the cross-product of a block
+//! is iterated, never stored, so peak memory stays at the token index
+//! (O(total tokens)) regardless of how blocky the labels are.
+//!
+//! A pair sharing several tokens is emitted only at its *minimal
+//! shared unskipped token*, which makes the emission order (token-major,
+//! then KB1/KB2 index order) deterministic and duplicate-free without a
+//! seen-set over pairs. Overlarge blocks — stop-word-like tokens whose
+//! `|b1|·|b2|` exceeds `max_block` — are skipped entirely, the classic
+//! canopy cap; with `max_block = usize::MAX` the emitted set is exactly
+//! `generate_candidates`' (the equivalence test pins this).
+
+use remp_kb::{EntityId, Kb};
+use remp_simil::{jaccard_ids, normalize_tokens};
+
+/// Counters describing one [`stream_candidates`] walk.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BlockingStats {
+    /// Distinct tokens across both KBs.
+    pub tokens: usize,
+    /// Blocks walked (both sides non-empty, under the cap).
+    pub blocks_walked: usize,
+    /// Blocks skipped by the `max_block` canopy cap.
+    pub blocks_skipped: usize,
+    /// Pairs Jaccard-scored (each exactly once).
+    pub pairs_scored: usize,
+    /// Pairs emitted to the sink (score ≥ threshold).
+    pub pairs_emitted: usize,
+}
+
+/// Streams the candidate set of `(kb1, kb2)` to `sink` block-by-block.
+///
+/// `threshold` is the label-Jaccard floor (the prior, as in §IV-B);
+/// `max_block` caps `|b1|·|b2|` per token block. Pairs arrive in
+/// token-major order, each exactly once, with their Jaccard prior.
+pub fn stream_candidates(
+    kb1: &Kb,
+    kb2: &Kb,
+    threshold: f64,
+    max_block: usize,
+    sink: &mut dyn FnMut((EntityId, EntityId), f64),
+) -> BlockingStats {
+    // Interned, sorted token-id sets per entity — same universe
+    // construction as `generate_candidates`, so Jaccard values agree
+    // bit-for-bit.
+    let tokens1: Vec<_> =
+        (0..kb1.num_entities()).map(|i| normalize_tokens(kb1.label(EntityId(i as u32)))).collect();
+    let tokens2: Vec<_> =
+        (0..kb2.num_entities()).map(|i| normalize_tokens(kb2.label(EntityId(i as u32)))).collect();
+    let mut universe: Vec<&str> =
+        tokens1.iter().chain(&tokens2).flatten().map(String::as_str).collect();
+    universe.sort_unstable();
+    universe.dedup();
+    let intern = |ts: &std::collections::BTreeSet<String>| -> Vec<u32> {
+        ts.iter()
+            .map(|t| universe.binary_search(&t.as_str()).expect("in universe") as u32)
+            .collect()
+    };
+    let toks1: Vec<Vec<u32>> = tokens1.iter().map(&intern).collect();
+    let toks2: Vec<Vec<u32>> = tokens2.iter().map(&intern).collect();
+
+    // Per-token blocks for both sides, entities ascending.
+    let mut inv1: Vec<Vec<u32>> = vec![Vec::new(); universe.len()];
+    for (i, ts) in toks1.iter().enumerate() {
+        for &t in ts {
+            inv1[t as usize].push(i as u32);
+        }
+    }
+    let mut inv2: Vec<Vec<u32>> = vec![Vec::new(); universe.len()];
+    for (i, ts) in toks2.iter().enumerate() {
+        for &t in ts {
+            inv2[t as usize].push(i as u32);
+        }
+    }
+
+    let mut stats = BlockingStats { tokens: universe.len(), ..Default::default() };
+    let skip: Vec<bool> = (0..universe.len())
+        .map(|t| {
+            let cost = inv1[t].len().saturating_mul(inv2[t].len());
+            cost > max_block
+        })
+        .collect();
+    stats.blocks_skipped = skip.iter().filter(|&&s| s).count();
+
+    for t in 0..universe.len() {
+        if skip[t] || inv1[t].is_empty() || inv2[t].is_empty() {
+            continue;
+        }
+        stats.blocks_walked += 1;
+        for &u1 in &inv1[t] {
+            let ts1 = &toks1[u1 as usize];
+            for &u2 in &inv2[t] {
+                let ts2 = &toks2[u2 as usize];
+                if first_unskipped_shared(ts1, ts2, &skip) != Some(t as u32) {
+                    continue; // this pair belongs to an earlier block
+                }
+                stats.pairs_scored += 1;
+                let sim = jaccard_ids(ts1, ts2);
+                if sim >= threshold {
+                    stats.pairs_emitted += 1;
+                    sink((EntityId(u1), EntityId(u2)), sim);
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// The smallest token id shared by both sorted sets whose block is not
+/// skipped — the unique block allowed to emit the pair.
+fn first_unskipped_shared(a: &[u32], b: &[u32], skip: &[bool]) -> Option<u32> {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if !skip[a[i] as usize] {
+                    return Some(a[i]);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remp_ergraph::generate_candidates;
+    use remp_par::Parallelism;
+    use std::collections::BTreeMap;
+
+    fn streamed(kb1: &Kb, kb2: &Kb, threshold: f64, max_block: usize) -> BTreeMap<(u32, u32), u64> {
+        let mut out = BTreeMap::new();
+        stream_candidates(kb1, kb2, threshold, max_block, &mut |(u1, u2), sim| {
+            let prev = out.insert((u1.0, u2.0), sim.to_bits());
+            assert!(prev.is_none(), "pair ({u1:?}, {u2:?}) emitted twice");
+        });
+        out
+    }
+
+    fn reference(kb1: &Kb, kb2: &Kb, threshold: f64) -> BTreeMap<(u32, u32), u64> {
+        let c = generate_candidates(kb1, kb2, threshold, &Parallelism::Sequential);
+        c.iter().map(|(id, (u1, u2))| ((u1.0, u2.0), c.prior(id).to_bits())).collect()
+    }
+
+    #[test]
+    fn uncapped_stream_equals_generate_candidates() {
+        for mix in [0.2, 0.4] {
+            let d = remp_datasets::generate(&remp_datasets::iimb(mix));
+            assert_eq!(
+                streamed(&d.kb1, &d.kb2, 0.3, usize::MAX),
+                reference(&d.kb1, &d.kb2, 0.3),
+                "IIMB mix {mix}"
+            );
+        }
+        let d = remp_datasets::generate(&remp_datasets::tiny(1.0));
+        assert_eq!(streamed(&d.kb1, &d.kb2, 0.3, usize::MAX), reference(&d.kb1, &d.kb2, 0.3));
+    }
+
+    #[test]
+    fn capped_stream_is_a_subset_with_identical_priors() {
+        let d = remp_datasets::generate(&remp_datasets::iimb(0.3));
+        let full = reference(&d.kb1, &d.kb2, 0.3);
+        let capped = streamed(&d.kb1, &d.kb2, 0.3, 64);
+        assert!(!capped.is_empty());
+        for (pair, sim) in &capped {
+            assert_eq!(full.get(pair), Some(sim), "capped priors must agree on {pair:?}");
+        }
+    }
+
+    #[test]
+    fn the_cap_actually_skips_blocks() {
+        let d = remp_datasets::generate(&remp_datasets::iimb(0.3));
+        let mut n = 0usize;
+        let stats = stream_candidates(&d.kb1, &d.kb2, 0.3, 4, &mut |_, _| n += 1);
+        assert!(stats.blocks_skipped > 0, "{stats:?}");
+        assert_eq!(stats.pairs_emitted, n);
+    }
+
+    #[test]
+    fn generated_world_streams_and_finds_gold() {
+        let spec = crate::ScaleSpec::new("blocking-world", 400);
+        let dir = std::env::temp_dir().join("remp-scale-blocking-world");
+        crate::generate_dataset(&spec, &dir).unwrap();
+        let kb1 = remp_ingest::load_snapshot(&dir.join("kb1.rkb")).unwrap();
+        let kb2 = remp_ingest::load_snapshot(&dir.join("kb2.rkb")).unwrap();
+        let pairs = streamed(&kb1.kb, &kb2.kb, 0.3, 10_000);
+        let world = crate::World::new(&spec);
+        let mut found = 0usize;
+        for o in 0..world.shared() as u32 {
+            if pairs.contains_key(&(o, o)) {
+                found += 1;
+            }
+        }
+        let recall = found as f64 / world.shared() as f64;
+        assert!(recall > 0.95, "blocking recall on gold pairs: {recall}");
+    }
+}

@@ -1,0 +1,277 @@
+//! The campaign coordinator: lease-based shard assignment.
+//!
+//! Pure state machine — no clocks, no sockets. Callers (the `rempd`
+//! `/scale` routes, the in-process runner, the tests) pass `now_ms`
+//! explicitly, so every schedule is replayable. Workers pull work
+//! ([`Coordinator::next`]), extend their lease with heartbeats, and
+//! submit [`ShardResult`]s; a lease that misses its deadline silently
+//! returns the shard to the pending pool for someone else.
+//!
+//! Duplicate submissions (a worker that lost its lease but finished
+//! anyway) are resolved *accept-first*: because every worker runs the
+//! same [`crate::process_shard`] on the same bytes, any two submissions
+//! for a shard are identical — first one wins, later ones are
+//! acknowledged and dropped. Merging sorts by shard id, so the final
+//! outcome is independent of worker count and completion order.
+
+use std::path::{Path, PathBuf};
+
+use remp_ingest::IngestError;
+
+use crate::plan::CampaignManifest;
+use crate::runner::{merge_results, MergedOutcome};
+use crate::worker::ShardResult;
+
+/// Default lease duration granted to a worker per shard.
+pub const DEFAULT_LEASE_MS: u64 = 120_000;
+
+/// Where one shard is in its lifecycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShardState {
+    /// Waiting for a worker.
+    Pending,
+    /// Assigned; reclaimed if `deadline_ms` passes without a heartbeat
+    /// or result.
+    Leased {
+        /// The worker holding the lease.
+        worker: String,
+        /// Absolute expiry in the caller's clock.
+        deadline_ms: u64,
+    },
+    /// Result accepted.
+    Done,
+}
+
+/// A point-in-time summary of campaign progress.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoordinatorStatus {
+    /// Shards not yet assigned.
+    pub pending: usize,
+    /// Shards currently leased.
+    pub leased: usize,
+    /// Shards with accepted results.
+    pub done: usize,
+    /// Total shards.
+    pub total: usize,
+}
+
+/// Lease-based shard scheduler over one campaign directory.
+#[derive(Debug)]
+pub struct Coordinator {
+    campaign: String,
+    dir: PathBuf,
+    shards: Vec<String>,
+    states: Vec<ShardState>,
+    results: Vec<Option<ShardResult>>,
+    lease_ms: u64,
+    gold_total: usize,
+}
+
+impl Coordinator {
+    /// Opens the campaign in `dir` (reads [`CampaignManifest`]).
+    pub fn open(dir: &Path, lease_ms: u64) -> Result<Coordinator, IngestError> {
+        let manifest = CampaignManifest::load(dir)?;
+        Ok(Coordinator::from_manifest(dir, &manifest, lease_ms))
+    }
+
+    /// Builds a coordinator from an already-loaded manifest.
+    pub fn from_manifest(dir: &Path, manifest: &CampaignManifest, lease_ms: u64) -> Coordinator {
+        let n = manifest.shards.len();
+        Coordinator {
+            campaign: manifest.campaign.clone(),
+            dir: dir.to_path_buf(),
+            shards: manifest.shards.clone(),
+            states: vec![ShardState::Pending; n],
+            results: vec![None; n],
+            lease_ms: lease_ms.max(1),
+            gold_total: manifest.gold_total,
+        }
+    }
+
+    /// Campaign name.
+    pub fn campaign(&self) -> &str {
+        &self.campaign
+    }
+
+    /// Campaign directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Returns expired leases to the pending pool.
+    fn reclaim(&mut self, now_ms: u64) {
+        for state in &mut self.states {
+            if let ShardState::Leased { deadline_ms, .. } = state {
+                if *deadline_ms <= now_ms {
+                    *state = ShardState::Pending;
+                }
+            }
+        }
+    }
+
+    /// Leases the lowest pending shard to `worker`; `None` when nothing
+    /// is pending (work may still be leased elsewhere — check
+    /// [`Coordinator::done`] to distinguish "wait" from "finished").
+    pub fn next(&mut self, worker: &str, now_ms: u64) -> Option<(u32, PathBuf)> {
+        self.reclaim(now_ms);
+        let idx = self.states.iter().position(|s| *s == ShardState::Pending)?;
+        self.states[idx] =
+            ShardState::Leased { worker: worker.to_string(), deadline_ms: now_ms + self.lease_ms };
+        Some((idx as u32, self.dir.join(&self.shards[idx])))
+    }
+
+    /// Extends `worker`'s lease on `shard_id`. Returns `false` if the
+    /// worker no longer holds the lease (expired and reassigned).
+    pub fn heartbeat(&mut self, worker: &str, shard_id: u32, now_ms: u64) -> bool {
+        self.reclaim(now_ms);
+        match self.states.get_mut(shard_id as usize) {
+            Some(ShardState::Leased { worker: w, deadline_ms }) if w == worker => {
+                *deadline_ms = now_ms + self.lease_ms;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Accepts a result. Returns `Ok(true)` when it was recorded,
+    /// `Ok(false)` for a duplicate (accept-first), `Err` for an unknown
+    /// shard id or cross-campaign submission.
+    pub fn submit(&mut self, result: ShardResult) -> Result<bool, String> {
+        if result.campaign != self.campaign {
+            return Err(format!(
+                "result for campaign `{}` submitted to `{}`",
+                result.campaign, self.campaign
+            ));
+        }
+        let idx = result.shard_id as usize;
+        if idx >= self.shards.len() {
+            return Err(format!("unknown shard id {}", result.shard_id));
+        }
+        if self.results[idx].is_some() {
+            return Ok(false); // accept-first: identical by determinism
+        }
+        self.results[idx] = Some(result);
+        self.states[idx] = ShardState::Done;
+        Ok(true)
+    }
+
+    /// True once every shard has an accepted result.
+    pub fn done(&self) -> bool {
+        self.results.iter().all(Option::is_some)
+    }
+
+    /// Progress counters.
+    pub fn status(&self) -> CoordinatorStatus {
+        let mut s = CoordinatorStatus { pending: 0, leased: 0, done: 0, total: self.states.len() };
+        for state in &self.states {
+            match state {
+                ShardState::Pending => s.pending += 1,
+                ShardState::Leased { .. } => s.leased += 1,
+                ShardState::Done => s.done += 1,
+            }
+        }
+        s
+    }
+
+    /// The merged campaign outcome, once [`Coordinator::done`].
+    pub fn merged(&self) -> Option<MergedOutcome> {
+        if !self.done() {
+            return None;
+        }
+        let results: Vec<ShardResult> =
+            self.results.iter().map(|r| r.clone().expect("done() checked")).collect();
+        Some(merge_results(&self.campaign, &results, self.gold_total))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(shard_id: u32) -> ShardResult {
+        ShardResult {
+            shard_id,
+            campaign: "coord-test".into(),
+            matches: vec![(format!("a{shard_id}"), format!("b{shard_id}"))],
+            gold_matched: 1,
+            gold_pairs: 1,
+            pairs: 2,
+            edge_count: 1,
+            questions_asked: 2,
+            loops: 1,
+            transcript_digest: 100 + shard_id as u64,
+            outcome_digest: 200 + shard_id as u64,
+        }
+    }
+
+    fn coordinator(shards: usize) -> Coordinator {
+        Coordinator {
+            campaign: "coord-test".into(),
+            dir: PathBuf::from("/tmp/coord-test"),
+            shards: (0..shards).map(|i| crate::shard::shard_file_name(i as u32)).collect(),
+            states: vec![ShardState::Pending; shards],
+            results: vec![None; shards],
+            lease_ms: 1000,
+            gold_total: shards,
+        }
+    }
+
+    #[test]
+    fn leases_hand_out_each_shard_once() {
+        let mut c = coordinator(3);
+        let (a, _) = c.next("w1", 0).unwrap();
+        let (b, _) = c.next("w2", 0).unwrap();
+        let (d, _) = c.next("w1", 0).unwrap();
+        let mut ids = vec![a, b, d];
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert!(c.next("w3", 0).is_none(), "everything is leased");
+        assert!(!c.done());
+    }
+
+    #[test]
+    fn expired_leases_are_reassigned() {
+        let mut c = coordinator(1);
+        let (id, _) = c.next("w1", 0).unwrap();
+        assert_eq!(id, 0);
+        assert!(c.next("w2", 500).is_none(), "lease still live");
+        let (id2, _) = c.next("w2", 1500).expect("lease expired at t=1000");
+        assert_eq!(id2, 0);
+        assert!(!c.heartbeat("w1", 0, 1600), "w1 lost the lease");
+        assert!(c.heartbeat("w2", 0, 1600));
+    }
+
+    #[test]
+    fn heartbeats_extend_the_deadline() {
+        let mut c = coordinator(1);
+        c.next("w1", 0).unwrap();
+        assert!(c.heartbeat("w1", 0, 900));
+        assert!(c.next("w2", 1500).is_none(), "deadline moved to 1900");
+    }
+
+    #[test]
+    fn duplicate_results_are_accept_first() {
+        let mut c = coordinator(2);
+        assert_eq!(c.submit(result(0)), Ok(true));
+        assert_eq!(c.submit(result(0)), Ok(false));
+        assert!(c.submit(result(7)).is_err(), "unknown shard id");
+        let mut wrong = result(1);
+        wrong.campaign = "other".into();
+        assert!(c.submit(wrong).is_err(), "cross-campaign submit");
+        assert!(!c.done());
+        assert_eq!(c.submit(result(1)), Ok(true));
+        assert!(c.done());
+        let merged = c.merged().unwrap();
+        assert_eq!(merged.shards, 2);
+        assert_eq!(merged.matches_total, 2);
+    }
+
+    #[test]
+    fn status_tracks_lifecycle() {
+        let mut c = coordinator(3);
+        c.next("w1", 0).unwrap();
+        c.submit(result(0)).unwrap();
+        let s = c.status();
+        assert_eq!(s, CoordinatorStatus { pending: 2, leased: 0, done: 1, total: 3 });
+    }
+}

@@ -1,0 +1,365 @@
+//! The `.rshard` file: one self-contained unit of campaign work.
+//!
+//! A shard carries everything a worker process needs to resolve its
+//! slice of the candidate graph — the two *sub-KBs* (pair endpoints
+//! plus their 1-hop relational neighbourhoods, embedded as ordinary
+//! `.rkb` snapshot bytes), the candidate pairs with priors, the initial
+//! exact-label seeds, the optional attribute alignment / similarity
+//! vectors (full-pipeline mode), the gold subset for simulated truth,
+//! and the campaign configuration with a pre-mixed crowd seed. A worker
+//! opens the file and runs; it never touches the global KBs, the
+//! coordinator, or any other shard.
+//!
+//! The container reuses the `.rkb` envelope framing (`remp_ingest::framing`)
+//! with its own magic, so corruption/truncation detection and the
+//! incremental checksum come for free.
+
+use std::path::Path;
+
+use remp_core::RempConfig;
+use remp_ergraph::AttrAlignment;
+use remp_ingest::framing::{self, ByteCursor, EnvelopeReader, EnvelopeWriter};
+use remp_ingest::snapshot::{decode_snapshot, encode_snapshot};
+use remp_ingest::{IngestError, LoadedKb};
+use remp_kb::AttrId;
+use remp_simil::SimVec;
+
+use crate::plan::CrowdSpec;
+
+/// Magic bytes of a shard file.
+pub const SHARD_MAGIC: [u8; 4] = *b"RSH\0";
+/// Shard format version.
+pub const SHARD_VERSION: u32 = 1;
+/// Conventional file extension.
+pub const SHARD_EXTENSION: &str = "rshard";
+
+/// Section tags.
+const TAG_META: u32 = 1;
+const TAG_SUB_KB1: u32 = 2;
+const TAG_SUB_KB2: u32 = 3;
+const TAG_PAIRS: u32 = 4;
+const TAG_INITIAL: u32 = 5;
+const TAG_ALIGNMENT: u32 = 6;
+const TAG_SIMVECS: u32 = 7;
+const TAG_GOLD: u32 = 8;
+
+/// One unit of sharded campaign work, fully materialised.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// This shard's index in `0..num_shards`.
+    pub shard_id: u32,
+    /// Total shards in the campaign.
+    pub num_shards: u32,
+    /// Campaign name (for display and result attribution).
+    pub campaign: String,
+    /// Crowd seed, already mixed per shard (`mix_many([seed, shard_id])`).
+    pub crowd_seed: u64,
+    /// Pipeline configuration the worker must run with.
+    pub config: RempConfig,
+    /// Crowd shape the worker must simulate.
+    pub crowd: CrowdSpec,
+    /// Sub-KB for side 1 (external ids are the global ones).
+    pub kb1: LoadedKb,
+    /// Sub-KB for side 2.
+    pub kb2: LoadedKb,
+    /// Candidate pairs as sub-KB entity indexes, with priors.
+    pub pairs: Vec<((u32, u32), f64)>,
+    /// Indexes into `pairs` that are exact-label initial matches.
+    pub initial: Vec<u32>,
+    /// Attribute alignment (attr ids are valid in both the global KBs
+    /// and the sub-KBs — restriction preserves the attribute tables).
+    pub alignment: AttrAlignment,
+    /// Per-pair similarity vectors; empty in stream mode (the worker
+    /// then runs `without_classifier`).
+    pub sim_vectors: Vec<SimVec>,
+    /// Indexes into `pairs` that are gold matches (simulated truth).
+    pub gold: Vec<u32>,
+}
+
+/// Writes `shard` to `path` (conventionally `shard-{id:05}.rshard`).
+pub fn write_shard(shard: &Shard, path: &Path) -> Result<(), IngestError> {
+    let mut w = EnvelopeWriter::create(path, SHARD_MAGIC, SHARD_VERSION)?;
+    let mut body = Vec::new();
+
+    framing::put_u32(&mut body, shard.shard_id);
+    framing::put_u32(&mut body, shard.num_shards);
+    framing::put_str(&mut body, &shard.campaign);
+    framing::put_u64(&mut body, shard.crowd_seed);
+    framing::put_str(&mut body, &shard.config.to_json().to_string());
+    framing::put_str(&mut body, &shard.crowd.to_json().to_string());
+    w.section(TAG_META, &body)?;
+    body.clear();
+
+    w.section(TAG_SUB_KB1, &encode_snapshot(&shard.kb1.kb, &shard.kb1.external_ids))?;
+    w.section(TAG_SUB_KB2, &encode_snapshot(&shard.kb2.kb, &shard.kb2.external_ids))?;
+
+    framing::put_u32(&mut body, shard.pairs.len() as u32);
+    for &((u1, u2), prior) in &shard.pairs {
+        framing::put_u32(&mut body, u1);
+        framing::put_u32(&mut body, u2);
+        framing::put_f64(&mut body, prior);
+    }
+    w.section(TAG_PAIRS, &body)?;
+    body.clear();
+
+    for (tag, ids) in [(TAG_INITIAL, &shard.initial), (TAG_GOLD, &shard.gold)] {
+        framing::put_u32(&mut body, ids.len() as u32);
+        for &p in ids {
+            framing::put_u32(&mut body, p);
+        }
+        w.section(tag, &body)?;
+        body.clear();
+    }
+
+    framing::put_u32(&mut body, shard.alignment.pairs.len() as u32);
+    for &(a1, a2, sim) in &shard.alignment.pairs {
+        framing::put_u32(&mut body, a1.0);
+        framing::put_u32(&mut body, a2.0);
+        framing::put_f64(&mut body, sim);
+    }
+    w.section(TAG_ALIGNMENT, &body)?;
+    body.clear();
+
+    let dim = shard.sim_vectors.first().map_or(0, SimVec::len);
+    framing::put_u32(&mut body, shard.sim_vectors.len() as u32);
+    framing::put_u32(&mut body, dim as u32);
+    for v in &shard.sim_vectors {
+        debug_assert_eq!(v.len(), dim, "similarity vectors share the alignment dimension");
+        for &c in v.components() {
+            framing::put_f64(&mut body, c);
+        }
+    }
+    w.section(TAG_SIMVECS, &body)?;
+    w.finish()?;
+    Ok(())
+}
+
+/// Reads a shard written by [`write_shard`], verifying the envelope
+/// checksum over the whole payload.
+pub fn read_shard(path: &Path) -> Result<Shard, IngestError> {
+    let bad = |message: String| IngestError::Snapshot { path: path.to_path_buf(), message };
+    let mut r = EnvelopeReader::open(path, SHARD_MAGIC, SHARD_VERSION)?;
+
+    let mut meta = None;
+    let mut kb1 = None;
+    let mut kb2 = None;
+    let mut pairs: Vec<((u32, u32), f64)> = Vec::new();
+    let mut initial: Vec<u32> = Vec::new();
+    let mut gold: Vec<u32> = Vec::new();
+    let mut alignment = AttrAlignment::default();
+    let mut sim_vectors: Vec<SimVec> = Vec::new();
+
+    while let Some((tag, section)) = r.next_section()? {
+        let mut c = ByteCursor::new(&section, path);
+        match tag {
+            TAG_META => {
+                let shard_id = c.u32()?;
+                let num_shards = c.u32()?;
+                let campaign = c.string()?;
+                let crowd_seed = c.u64()?;
+                let config_src = c.string()?;
+                let crowd_src = c.string()?;
+                c.expect_end()?;
+                let config_doc = remp_json::Json::parse(&config_src)
+                    .map_err(|e| bad(format!("shard config is not JSON: {e}")))?;
+                let config = RempConfig::from_json(&config_doc)
+                    .map_err(|e| bad(format!("shard config invalid: {e}")))?;
+                let crowd_doc = remp_json::Json::parse(&crowd_src)
+                    .map_err(|e| bad(format!("shard crowd spec is not JSON: {e}")))?;
+                let crowd = CrowdSpec::from_json(&crowd_doc).map_err(&bad)?;
+                meta = Some((shard_id, num_shards, campaign, crowd_seed, config, crowd));
+            }
+            TAG_SUB_KB1 => kb1 = Some(decode_snapshot(&section, path)?),
+            TAG_SUB_KB2 => kb2 = Some(decode_snapshot(&section, path)?),
+            TAG_PAIRS => {
+                let n = c.u32()? as usize;
+                pairs.reserve(c.capped(n, 16));
+                for _ in 0..n {
+                    let u1 = c.u32()?;
+                    let u2 = c.u32()?;
+                    let prior = c.f64()?;
+                    pairs.push(((u1, u2), prior));
+                }
+                c.expect_end()?;
+            }
+            TAG_INITIAL | TAG_GOLD => {
+                let n = c.u32()? as usize;
+                let mut ids = Vec::with_capacity(c.capped(n, 4));
+                for _ in 0..n {
+                    ids.push(c.u32()?);
+                }
+                c.expect_end()?;
+                if tag == TAG_INITIAL {
+                    initial = ids;
+                } else {
+                    gold = ids;
+                }
+            }
+            TAG_ALIGNMENT => {
+                let n = c.u32()? as usize;
+                for _ in 0..n {
+                    let a1 = AttrId(c.u32()?);
+                    let a2 = AttrId(c.u32()?);
+                    let sim = c.f64()?;
+                    alignment.pairs.push((a1, a2, sim));
+                }
+                c.expect_end()?;
+            }
+            TAG_SIMVECS => {
+                let n = c.u32()? as usize;
+                let dim = c.u32()? as usize;
+                sim_vectors.reserve(c.capped(n, 8 * dim.max(1)));
+                for _ in 0..n {
+                    let mut v = Vec::with_capacity(dim);
+                    for _ in 0..dim {
+                        v.push(c.f64()?);
+                    }
+                    sim_vectors.push(SimVec::new(v));
+                }
+                c.expect_end()?;
+            }
+            _ => {} // forward compatibility: unknown sections are skipped
+        }
+    }
+
+    let (shard_id, num_shards, campaign, crowd_seed, config, crowd) =
+        meta.ok_or_else(|| bad("missing shard META section".into()))?;
+    let kb1 = kb1.ok_or_else(|| bad("missing sub-KB1 section".into()))?;
+    let kb2 = kb2.ok_or_else(|| bad("missing sub-KB2 section".into()))?;
+    for &((u1, u2), prior) in &pairs {
+        if u1 as usize >= kb1.kb.num_entities() || u2 as usize >= kb2.kb.num_entities() {
+            return Err(bad(format!("pair ({u1}, {u2}) outside the sub-KBs")));
+        }
+        if !(0.0..=1.0).contains(&prior) {
+            return Err(bad(format!("pair prior {prior} outside [0, 1]")));
+        }
+    }
+    for &p in initial.iter().chain(&gold) {
+        if p as usize >= pairs.len() {
+            return Err(bad(format!("pair index {p} out of range")));
+        }
+    }
+    if !sim_vectors.is_empty() && sim_vectors.len() != pairs.len() {
+        return Err(bad(format!(
+            "{} similarity vectors for {} pairs",
+            sim_vectors.len(),
+            pairs.len()
+        )));
+    }
+    Ok(Shard {
+        shard_id,
+        num_shards,
+        campaign,
+        crowd_seed,
+        config,
+        crowd,
+        kb1,
+        kb2,
+        pairs,
+        initial,
+        alignment,
+        sim_vectors,
+        gold,
+    })
+}
+
+/// The conventional shard file name for `shard_id`.
+pub fn shard_file_name(shard_id: u32) -> String {
+    format!("shard-{shard_id:05}.{SHARD_EXTENSION}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CrowdSpec;
+    use remp_kb::KbBuilder;
+
+    fn tiny_loaded(name: &str, labels: &[&str]) -> LoadedKb {
+        let mut b = KbBuilder::new(name);
+        for l in labels {
+            b.add_entity(*l);
+        }
+        LoadedKb {
+            kb: b.finish(),
+            external_ids: labels.iter().map(|l| format!("ext-{l}")).collect(),
+        }
+    }
+
+    fn sample_shard() -> Shard {
+        Shard {
+            shard_id: 3,
+            num_shards: 7,
+            campaign: "roundtrip".into(),
+            crowd_seed: 0xfeed_beef,
+            config: RempConfig::default().without_classifier(),
+            crowd: CrowdSpec::Simulated {
+                workers: 10,
+                min_quality: 0.8,
+                max_quality: 0.95,
+                per_question: 5,
+            },
+            kb1: tiny_loaded("s1", &["a", "b", "c"]),
+            kb2: tiny_loaded("s2", &["a", "b"]),
+            pairs: vec![((0, 0), 0.9), ((1, 1), 0.5), ((2, 0), 0.31)],
+            initial: vec![0],
+            alignment: AttrAlignment::default(),
+            sim_vectors: Vec::new(),
+            gold: vec![0, 1],
+        }
+    }
+
+    #[test]
+    fn shard_round_trips() {
+        let path = std::env::temp_dir().join("remp-scale-shard-roundtrip.rshard");
+        let shard = sample_shard();
+        write_shard(&shard, &path).unwrap();
+        let back = read_shard(&path).unwrap();
+        assert_eq!(back.shard_id, 3);
+        assert_eq!(back.num_shards, 7);
+        assert_eq!(back.campaign, "roundtrip");
+        assert_eq!(back.crowd_seed, 0xfeed_beef);
+        assert_eq!(back.crowd, shard.crowd);
+        assert_eq!(back.pairs, shard.pairs);
+        assert_eq!(back.initial, shard.initial);
+        assert_eq!(back.gold, shard.gold);
+        assert_eq!(back.kb1.external_ids, shard.kb1.external_ids);
+        assert_eq!(back.kb2.kb.num_entities(), 2);
+        assert!(!back.config.classify_isolated);
+    }
+
+    #[test]
+    fn sim_vectors_round_trip_with_dimension() {
+        let path = std::env::temp_dir().join("remp-scale-shard-simvecs.rshard");
+        let mut shard = sample_shard();
+        shard.sim_vectors = vec![
+            SimVec::new(vec![0.1, 0.2]),
+            SimVec::new(vec![0.3, 0.4]),
+            SimVec::new(vec![0.5, 0.6]),
+        ];
+        write_shard(&shard, &path).unwrap();
+        let back = read_shard(&path).unwrap();
+        assert_eq!(back.sim_vectors.len(), 3);
+        assert_eq!(back.sim_vectors[2].components(), &[0.5, 0.6]);
+    }
+
+    #[test]
+    fn corrupt_shards_are_rejected() {
+        let path = std::env::temp_dir().join("remp-scale-shard-corrupt.rshard");
+        write_shard(&sample_shard(), &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(read_shard(&path).is_err(), "flipped byte must not parse cleanly");
+    }
+
+    #[test]
+    fn out_of_range_pairs_are_rejected() {
+        let path = std::env::temp_dir().join("remp-scale-shard-range.rshard");
+        let mut shard = sample_shard();
+        shard.pairs.push(((99, 0), 0.5));
+        write_shard(&shard, &path).unwrap();
+        let err = read_shard(&path).expect_err("range check fires");
+        assert!(format!("{err}").contains("outside the sub-KBs"), "{err}");
+    }
+}

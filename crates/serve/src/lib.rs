@@ -28,6 +28,9 @@
 //! * [`registry`] — one actor thread per campaign (the session borrows
 //!   its KBs, so the actor owns both), plus durable
 //!   `{id}.campaign.json` state files.
+//! * [`scale`] — the `/scale` routes: `rempd` as the coordinator of a
+//!   sharded [`remp_scale`] campaign (lease-based shard assignment to
+//!   `rempctl shard-worker` processes, result merge).
 //! * [`server`] — the accept loop and router; handler pool sized by
 //!   [`remp_par::Parallelism`].
 //! * [`client`] / [`sim`] — the HTTP client, the named-worker
@@ -51,6 +54,7 @@ pub mod clock;
 pub mod engine;
 pub mod http;
 pub mod registry;
+pub mod scale;
 pub mod server;
 pub mod sim;
 pub mod wire;
@@ -59,6 +63,7 @@ pub use client::{ClientError, ServeClient};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use engine::{Assignment, CampaignEngine, CrowdPolicy, LeaseCounters, LeaseStats};
 pub use registry::{CampaignRequest, CampaignSource, CampaignSpec, Registry};
+pub use scale::ScaleJobs;
 pub use server::{install_signal_handlers, signal_stop_flag, Server, ServerConfig};
 pub use sim::{drive, drive_n, reference_outcome, CrowdParams, WireCrowd};
 pub use wire::{outcome_matches, ServeError, SubmittedRecord};

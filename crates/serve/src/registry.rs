@@ -276,6 +276,7 @@ pub struct Registry {
     clock: Arc<dyn Clock>,
     started: std::time::Instant,
     inner: Mutex<RegistryInner>,
+    scale: crate::scale::ScaleJobs,
 }
 
 struct RegistryInner {
@@ -318,6 +319,7 @@ impl Registry {
             clock,
             started: std::time::Instant::now(),
             inner: Mutex::new(RegistryInner { campaigns: BTreeMap::new() }),
+            scale: crate::scale::ScaleJobs::default(),
         };
         if let Some(dir) = registry.state_dir.clone() {
             fs::create_dir_all(&dir).map_err(|e| {
@@ -347,6 +349,11 @@ impl Registry {
     /// The current reading of this registry's lease clock.
     pub fn now_ms(&self) -> u64 {
         self.clock.now_ms()
+    }
+
+    /// The sharded-campaign coordinators behind the `/scale` routes.
+    pub fn scale_jobs(&self) -> &crate::scale::ScaleJobs {
+        &self.scale
     }
 
     /// Wall-clock seconds since this registry was opened — the

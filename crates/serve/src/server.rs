@@ -28,8 +28,8 @@ use crate::engine::CrowdPolicy;
 use crate::http::{read_request, write_response_typed, HttpError, Request};
 use crate::registry::{CampaignRequest, CampaignSource, CampaignSpec, Registry};
 use crate::wire::{
-    body_bool, body_opt_f64, body_opt_str, body_opt_u64, body_str, parse_body, parse_question_id,
-    ServeError,
+    body_bool, body_opt_f64, body_opt_str, body_opt_u64, body_str, body_u64, parse_body,
+    parse_question_id, ServeError,
 };
 
 /// Server construction options.
@@ -225,7 +225,9 @@ fn handle_connection(stream: TcpStream, registry: &Registry) {
             let campaign = campaign_in_path(&request.path).map(str::to_owned);
             if method == "GET" && request.path == "/metrics" {
                 // Text, not JSON — rendered outside `route` so the
-                // JSON writer never touches it.
+                // JSON writer never touches it. Scrape time is the
+                // natural checkpoint for process-level gauges.
+                remp_obs::sample_peak_rss();
                 let text = remp_obs::global().render();
                 (200, METRICS_CONTENT_TYPE, text, method, route_tpl, campaign)
             } else {
@@ -314,6 +316,12 @@ fn route_label(path: &str) -> &'static str {
         ["campaigns", _, "outcome"] => "/campaigns/{id}/outcome",
         ["campaigns", _, "pause"] => "/campaigns/{id}/pause",
         ["campaigns", _, "resume"] => "/campaigns/{id}/resume",
+        ["scale", "jobs"] => "/scale/jobs",
+        ["scale", "jobs", _] => "/scale/jobs/{id}",
+        ["scale", "jobs", _, "next"] => "/scale/jobs/{id}/next",
+        ["scale", "jobs", _, "heartbeat"] => "/scale/jobs/{id}/heartbeat",
+        ["scale", "jobs", _, "result"] => "/scale/jobs/{id}/result",
+        ["scale", "jobs", _, "outcome"] => "/scale/jobs/{id}/outcome",
         _ => "other",
     }
 }
@@ -435,6 +443,33 @@ fn route(request: &Request, registry: &Registry) -> Result<(u16, Json), ServeErr
         ("POST", ["campaigns", id, "resume"]) => {
             Ok((200, registry.call(id, CampaignRequest::Resume)?))
         }
+        // Sharded-campaign coordination (crates/scale/SHARDING.md): the
+        // registry's scale jobs run on the same injected lease clock as
+        // the campaigns.
+        ("POST", ["scale", "jobs"]) => {
+            let doc = parse_body(&request.body)?;
+            let dir = body_str(&doc, "dir")?;
+            let lease_ms = body_opt_u64(&doc, "lease_ms")?;
+            registry.scale_jobs().create(dir, lease_ms)
+        }
+        ("GET", ["scale", "jobs"]) => Ok(registry.scale_jobs().list()),
+        ("GET", ["scale", "jobs", job]) => registry.scale_jobs().status(job),
+        ("POST", ["scale", "jobs", job, "next"]) => {
+            let doc = parse_body(&request.body)?;
+            let worker = body_str(&doc, "worker")?;
+            registry.scale_jobs().next(job, worker, now_ms())
+        }
+        ("POST", ["scale", "jobs", job, "heartbeat"]) => {
+            let doc = parse_body(&request.body)?;
+            let worker = body_str(&doc, "worker")?;
+            let shard = body_u64(&doc, "shard")? as u32;
+            registry.scale_jobs().heartbeat(job, worker, shard, now_ms())
+        }
+        ("POST", ["scale", "jobs", job, "result"]) => {
+            let doc = parse_body(&request.body)?;
+            registry.scale_jobs().result(job, &doc)
+        }
+        ("GET", ["scale", "jobs", job, "outcome"]) => registry.scale_jobs().outcome(job),
         ("GET" | "POST", _) => {
             Err(ServeError::not_found("unknown_route", format!("no route for {}", request.path)))
         }

@@ -113,6 +113,13 @@ pub fn body_bool(doc: &Json, key: &str) -> Result<bool, ServeError> {
         .ok_or_else(|| ServeError::bad_request("missing_field", format!("field '{key}' (bool)")))
 }
 
+/// Required non-negative integer field.
+pub fn body_u64(doc: &Json, key: &str) -> Result<u64, ServeError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::bad_request("missing_field", format!("field '{key}' (integer)")))
+}
+
 /// Optional numeric field.
 pub fn body_opt_f64(doc: &Json, key: &str) -> Result<Option<f64>, ServeError> {
     match doc.get(key) {

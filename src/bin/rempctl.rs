@@ -15,6 +15,8 @@ use std::collections::HashMap;
 use std::io::IsTerminal;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use remp_core::profile::{
@@ -24,10 +26,17 @@ use remp_core::profile::{
 use remp_core::{evaluate_matches, run_on_dataset, Parallelism, RempConfig};
 use remp_crowd::{LabelSource, OracleCrowd, SimulatedCrowd};
 use remp_datasets::{generate, preset_by_name};
-use remp_ingest::{export_dataset, load_kb, write_snapshot, ExportFormat, FileDataset};
+use remp_ingest::{
+    export_dataset, load_gold, load_kb, load_snapshot, snapshot_stats, write_snapshot,
+    ExportFormat, FileDataset,
+};
 use remp_json::Json;
 use remp_kb::EntityId;
 use remp_obs::{names, Exposition};
+use remp_scale::{
+    generate_dataset, process_shard, run_scale_bench, run_sharded_local, write_campaign, CrowdSpec,
+    MergedOutcome, PlanMode, ScaleBenchOptions, ScaleSpec, DEFAULT_LEASE_MS,
+};
 use remp_serve::{
     drive, install_signal_handlers, outcome_matches, reference_outcome, signal_stop_flag,
     CrowdParams, CrowdPolicy, ServeClient, Server, ServerConfig, WireCrowd,
@@ -101,6 +110,42 @@ USAGE:
         rate, crowd cost vs churn) and writes them to --out
         [ROBUSTNESS.json].
 
+    rempctl scale-gen --entities N --out DIR [--seed N] [--match-rate X]
+                      [--mean-degree X] [--rels N] [--vocab N]
+                      [--label-noise X] [--name NAME]
+        Stream a seeded synthetic two-KB world of N entities per KB
+        (power-law relationship degrees, X overlap) straight to
+        kb1.rkb / kb2.rkb / gold.tsv without ever materialising a KB in
+        memory — the out-of-core path to 10^5..10^6-entity campaigns.
+
+    rempctl scale-plan --dir DIR [--shards N] [--full | --max-block N]
+                       [--budget N] [--seed N] [--name NAME] [--oracle]
+                       [--workers N] [--quality MIN,MAX] [--per-question N]
+                       [--kb1 PATH] [--kb2 PATH] [--gold PATH]
+        Split a campaign into self-contained shard files
+        (shard-*.rshard + campaign.json in DIR). The default streaming
+        planner walks token blocks canopy-at-a-time (--max-block caps
+        |b1|*|b2| per block [200000]) and groups relationally adjacent
+        pairs; --full instead runs the exact in-memory pipeline
+        (small campaigns only). KB/gold paths default to the
+        scale-gen layout under DIR.
+
+    rempctl scale-run --dir DIR [--workers N] [--url HOST:PORT]
+                      [--out PATH] [--lease-ms N]
+        Run every shard of the campaign in DIR and merge. --workers 0
+        (default) runs in process; --workers N > 0 starts an embedded
+        coordinator (or uses the rempd at --url) and spawns N separate
+        `rempctl shard-worker` OS processes that lease shards over
+        HTTP. Both paths produce bit-identical merged outcomes. --out
+        writes the merged outcome JSON.
+
+    rempctl shard-worker --url HOST:PORT --job ID [--worker NAME]
+                         [--poll-ms N]
+        One worker process: poll the coordinator for shard leases,
+        process each shard deterministically, post results back, exit
+        when the job reports done. Spawned by scale-run; also usable
+        against a long-running rempd across machines.
+
     rempctl top --url HOST:PORT [--interval SECS] [--iterations N]
         Live dashboard for a running server: scrape /metrics and
         /healthz and render a refreshing per-campaign table — open
@@ -136,6 +181,17 @@ USAGE:
         prune=1.3,candidates=1.3,sim_vectors=1.2, exit non-zero when any
         listed stage's sequential speedup over the baseline falls below
         its floor (the per-stage CI regression gate).
+
+    rempctl bench --scale [--points N,N,...] [--budget N] [--seed N]
+                  [--max-rss-mb MB] [--out PATH] [--work-dir DIR]
+                  [--keep-artifacts]
+        The scale bench: for each point, generate a world of N entities
+        per KB out of core, plan a streamed sharded campaign, run every
+        shard and record wall-clock per stage plus the process peak RSS
+        (remp_peak_rss_bytes). Writes BENCH_scale.json [--out]. With
+        --max-rss-mb, exit non-zero when any point's peak RSS exceeds
+        the bound — the CI bounded-memory gate. Default points:
+        10000,100000.
 
 Observability: metrics, spans and the event log are on by default.
 REMP_OBS=0 disables all instrumentation; REMP_LOG=debug|info|warn|error
@@ -184,6 +240,10 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
         "top" => cmd_top(&opts),
         "metrics" => cmd_metrics(&opts),
         "bench" => cmd_bench(&opts),
+        "scale-gen" => cmd_scale_gen(&opts),
+        "scale-plan" => cmd_scale_plan(&opts),
+        "scale-run" => cmd_scale_run(&opts),
+        "shard-worker" => cmd_shard_worker(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -195,7 +255,15 @@ fn dispatch(args: &[String]) -> Result<(), CliError> {
 // ---- argument parsing -------------------------------------------------
 
 /// Switches that take no value.
-const SWITCHES: [&str; 4] = ["--oracle", "--verify", "--require-complete", "--list"];
+const SWITCHES: [&str; 6] =
+    ["--oracle", "--verify", "--require-complete", "--list", "--full", "--keep-artifacts"];
+
+/// Options that may appear with or without a value. `--scale` takes a
+/// dataset scale for `export` and the pipeline bench, but is a bare
+/// mode switch for `rempctl bench --scale` (the scale bench); when the
+/// next token is another option (or the end of the line), the bare form
+/// parses to an empty value.
+const OPTIONAL_VALUE: [&str; 1] = ["--scale"];
 
 struct Opts {
     positional: Vec<String>,
@@ -206,10 +274,12 @@ impl Opts {
     fn parse(args: &[String]) -> Result<Opts, CliError> {
         let mut positional = Vec::new();
         let mut named = HashMap::new();
-        let mut iter = args.iter();
+        let mut iter = args.iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                if SWITCHES.contains(&arg.as_str()) {
+                let bare_optional = OPTIONAL_VALUE.contains(&arg.as_str())
+                    && iter.peek().is_none_or(|next| next.starts_with("--"));
+                if SWITCHES.contains(&arg.as_str()) || bare_optional {
                     named.insert(key.to_owned(), String::new());
                 } else {
                     let value = iter
@@ -302,9 +372,18 @@ fn cmd_inspect(opts: &Opts) -> Result<(), CliError> {
     for raw in &opts.positional {
         let path = Path::new(raw);
         let started = Instant::now();
-        let loaded = load_kb(path, &default_name(path))?;
-        println!("{} (loaded in {:.1?})", path.display(), started.elapsed());
-        println!("  {}", loaded.kb.stats());
+        // Snapshots stream through the section-at-a-time `RkbSections`
+        // reader: stats for a million-entity `.rkb` print at O(section)
+        // memory, without materialising the KB.
+        if path.extension().is_some_and(|e| e == "rkb") {
+            let stats = snapshot_stats(path)?;
+            println!("{} (streamed in {:.1?})", path.display(), started.elapsed());
+            println!("  {stats}");
+        } else {
+            let loaded = load_kb(path, &default_name(path))?;
+            println!("{} (loaded in {:.1?})", path.display(), started.elapsed());
+            println!("  {}", loaded.kb.stats());
+        }
     }
     Ok(())
 }
@@ -874,9 +953,13 @@ fn print_top(addr: &str, expo: &Exposition, health: &Json) {
         Some(v) => format!("{:.1}ms", 1e3 * v),
         None => "-".to_owned(),
     };
+    let peak_rss = match expo.value(names::PEAK_RSS_BYTES, &[]) {
+        Some(bytes) => format!(" · peak rss {:.0} MiB", bytes / (1024.0 * 1024.0)),
+        None => String::new(),
+    };
     println!(
         "rempd {version} on {addr} · up {uptime:.0}s · {:.0} requests \
-         (p50 {} / p99 {}) · {series} metric series",
+         (p50 {} / p99 {}) · {series} metric series{peak_rss}",
         expo.total(names::HTTP_REQUESTS_TOTAL),
         quantile(0.5),
         quantile(0.99)
@@ -962,6 +1045,11 @@ fn cmd_metrics(opts: &Opts) -> Result<(), CliError> {
 }
 
 fn cmd_bench(opts: &Opts) -> Result<(), CliError> {
+    // Bare `--scale` selects the out-of-core scale bench; `--scale X`
+    // keeps its meaning as the pipeline bench's dataset scale factor.
+    if opts.get("scale") == Some("") {
+        return cmd_bench_scale(opts);
+    }
     let mut bench = PipelineBenchOptions::default();
     if let Some(preset) = opts.get("preset") {
         bench.preset = preset.to_owned();
@@ -1033,6 +1121,372 @@ fn cmd_bench(opts: &Opts) -> Result<(), CliError> {
             .parse()
             .map_err(|_| CliError::Usage(format!("--max-obs-overhead: cannot parse {cap:?}")))?;
         report.check_max_obs_overhead(cap).map_err(CliError::Failed)?;
+    }
+    Ok(())
+}
+
+// ---- scale: out-of-core generation, sharding, multi-process runs ------
+
+fn cmd_scale_gen(opts: &Opts) -> Result<(), CliError> {
+    let entities: usize = opts
+        .required("entities")?
+        .parse()
+        .map_err(|_| CliError::Usage("--entities: expected a positive integer".into()))?;
+    let out = PathBuf::from(opts.required("out")?);
+    let mut spec = ScaleSpec::new(opts.get("name").unwrap_or("scale"), entities);
+    spec.seed = opts.parsed("seed", spec.seed)?;
+    spec.match_rate = opts.parsed("match-rate", spec.match_rate)?;
+    spec.mean_degree = opts.parsed("mean-degree", spec.mean_degree)?;
+    spec.rels = opts.parsed("rels", spec.rels)?;
+    spec.vocab = opts.parsed("vocab", spec.vocab)?;
+    spec.label_noise = opts.parsed("label-noise", spec.label_noise)?;
+    spec.validate().map_err(CliError::Usage)?;
+
+    let started = Instant::now();
+    let report = generate_dataset(&spec, &out)?;
+    println!(
+        "generated {} entities per KB in {:.1?} (seed {}, vocab {})",
+        report.entities,
+        started.elapsed(),
+        spec.seed,
+        spec.effective_vocab()
+    );
+    println!(
+        "  {} gold pairs; {} + {} relationship triples",
+        report.gold_pairs, report.rel_triples.0, report.rel_triples.1
+    );
+    for name in ["kb1.rkb", "kb2.rkb", "gold.tsv"] {
+        let path = out.join(name);
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        println!("  {} ({:.1} MiB)", path.display(), bytes as f64 / (1024.0 * 1024.0));
+    }
+    Ok(())
+}
+
+fn cmd_scale_plan(opts: &Opts) -> Result<(), CliError> {
+    let dir = PathBuf::from(opts.required("dir")?);
+    let kb1_path = opts.get("kb1").map(PathBuf::from).unwrap_or_else(|| dir.join("kb1.rkb"));
+    let kb2_path = opts.get("kb2").map(PathBuf::from).unwrap_or_else(|| dir.join("kb2.rkb"));
+    let gold_path = opts.get("gold").map(PathBuf::from).unwrap_or_else(|| dir.join("gold.tsv"));
+    let shards: usize = opts.parsed("shards", 4)?;
+    let seed: u64 = opts.parsed("seed", 42)?;
+    let name = opts.get("name").unwrap_or("scale").to_owned();
+
+    let started = Instant::now();
+    let kb1 = load_snapshot(&kb1_path)?;
+    let kb2 = load_snapshot(&kb2_path)?;
+    let (ids1, ids2) = (kb1.id_map(), kb2.id_map());
+    let gold = load_gold(&gold_path, &ids1, &ids2)?;
+    drop(ids1);
+    drop(ids2);
+    println!(
+        "loaded {} + {} entities, {} gold pairs in {:.1?}",
+        kb1.kb.num_entities(),
+        kb2.kb.num_entities(),
+        gold.len(),
+        started.elapsed()
+    );
+
+    let mut config = RempConfig::default();
+    if let Some(budget) = opts.get("budget") {
+        let budget: usize = budget
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--budget: cannot parse {budget:?}")))?;
+        config = config.with_budget(budget);
+    }
+    let mode = if opts.get("full").is_some() {
+        PlanMode::Full
+    } else {
+        PlanMode::Stream { max_block: opts.parsed("max-block", 200_000usize)? }
+    };
+    let crowd = if opts.get("oracle").is_some() {
+        CrowdSpec::Oracle
+    } else {
+        let params = parse_quality_bounds(opts)?;
+        CrowdSpec::Simulated {
+            workers: opts.parsed("workers", 100)?,
+            min_quality: params.min_quality,
+            max_quality: params.max_quality,
+            per_question: opts.parsed("per-question", 5)?,
+        }
+    };
+
+    let started = Instant::now();
+    let manifest =
+        write_campaign(&dir, &name, &kb1, &kb2, &gold, &config, &crowd, seed, &mode, shards)?;
+    println!(
+        "planned {} shard(s) in {:.1?} ({} mode)",
+        manifest.shards.len(),
+        started.elapsed(),
+        manifest.mode
+    );
+    println!(
+        "  {} candidate pairs scored, {} retained into shards, {} gold pairs",
+        manifest.candidate_count, manifest.pairs_total, manifest.gold_total
+    );
+    println!("  {}", dir.join("campaign.json").display());
+    Ok(())
+}
+
+fn cmd_scale_run(opts: &Opts) -> Result<(), CliError> {
+    let dir = PathBuf::from(opts.required("dir")?);
+    let workers: usize = opts.parsed("workers", 0)?;
+
+    let started = Instant::now();
+    let merged = if workers == 0 {
+        run_sharded_local(&dir).map_err(CliError::Failed)?
+    } else {
+        run_sharded_processes(&dir, workers, opts)?
+    };
+    println!(
+        "campaign {} merged in {:.1?} ({} shards)",
+        merged.campaign,
+        started.elapsed(),
+        merged.shards
+    );
+    print_merged(&merged);
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, merged.to_json().to_pretty_string())?;
+        println!("  wrote {path}");
+    }
+    Ok(())
+}
+
+fn print_merged(m: &MergedOutcome) {
+    println!(
+        "  {} candidate pairs, {} matches ({} of {} gold)",
+        m.pairs_total, m.matches_total, m.gold_matched, m.gold_total
+    );
+    println!("  {} questions over {} loops", m.questions_total, m.loops_total);
+    println!(
+        "  precision {:.1}%  recall {:.1}%  F1 {:.1}%",
+        100.0 * m.precision,
+        100.0 * m.recall,
+        100.0 * m.f1
+    );
+    println!(
+        "  digests: outcome {:016x}, transcript {:016x}, eval {:016x}",
+        m.outcome_digest, m.transcript_digest, m.eval_digest
+    );
+}
+
+/// The multi-process path: an embedded coordinator (or the rempd at
+/// `--url`), `workers` separate `rempctl shard-worker` OS processes,
+/// and the merged outcome fetched back over HTTP.
+fn run_sharded_processes(
+    dir: &Path,
+    workers: usize,
+    opts: &Opts,
+) -> Result<MergedOutcome, CliError> {
+    let lease_ms: u64 = opts.parsed("lease-ms", DEFAULT_LEASE_MS)?;
+    // Workers and a possibly pre-existing rempd must agree on the
+    // campaign path, whatever directory each process runs in.
+    let dir =
+        dir.canonicalize().map_err(|e| CliError::Failed(format!("{}: {e}", dir.display())))?;
+
+    let mut embedded: Option<(Arc<AtomicBool>, std::thread::JoinHandle<()>)> = None;
+    let addr = match opts.get("url") {
+        Some(url) => url.to_owned(),
+        None => {
+            let config = ServerConfig { addr: "127.0.0.1:0".into(), ..ServerConfig::default() };
+            let server = Server::bind(&config).map_err(|e| CliError::Failed(e.to_string()))?;
+            let addr = server.local_addr().to_string();
+            let stop = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&stop);
+            let join = std::thread::spawn(move || {
+                let _ = server.run(&flag);
+            });
+            embedded = Some((stop, join));
+            addr
+        }
+    };
+
+    let result = (|| {
+        let client = ServeClient::new(addr.clone());
+        let created = client
+            .post(
+                "/scale/jobs",
+                &Json::Obj(vec![
+                    ("dir".to_owned(), Json::from(dir.display().to_string())),
+                    ("lease_ms".to_owned(), Json::from(lease_ms)),
+                ]),
+            )
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        let job = created
+            .get("job")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CliError::Failed("coordinator did not return a job id".into()))?
+            .to_owned();
+        let total = created.get("total").and_then(Json::as_u64).unwrap_or(0);
+        println!(
+            "coordinating job {job} on http://{addr}: {total} shard(s), \
+             {workers} worker process(es)"
+        );
+
+        let exe = std::env::current_exe()?;
+        let mut children = Vec::new();
+        for i in 0..workers {
+            let child = std::process::Command::new(&exe)
+                .args(["shard-worker", "--url", &addr, "--job", &job])
+                .args(["--worker", &format!("proc{i}")])
+                .spawn()
+                .map_err(|e| CliError::Failed(format!("spawning shard-worker: {e}")))?;
+            children.push(child);
+        }
+        for mut child in children {
+            let status = child.wait()?;
+            if !status.success() {
+                return Err(CliError::Failed(format!("a shard-worker process failed ({status})")));
+            }
+        }
+
+        let outcome = client
+            .get(&format!("/scale/jobs/{job}/outcome"))
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        MergedOutcome::from_json(&outcome).map_err(CliError::Failed)
+    })();
+
+    if let Some((stop, join)) = embedded {
+        stop.store(true, Ordering::SeqCst);
+        let _ = join.join();
+    }
+    result
+}
+
+fn cmd_shard_worker(opts: &Opts) -> Result<(), CliError> {
+    let client = ServeClient::new(opts.required("url")?);
+    let job = opts.required("job")?.to_owned();
+    let default_worker = format!("worker-{}", std::process::id());
+    let worker = opts.get("worker").unwrap_or(&default_worker).to_owned();
+    let poll_ms: u64 = opts.parsed("poll-ms", 200)?;
+
+    let mut processed = 0usize;
+    loop {
+        let next = client
+            .post(
+                &format!("/scale/jobs/{job}/next"),
+                &Json::Obj(vec![("worker".to_owned(), Json::from(worker.as_str()))]),
+            )
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        let Some(shard) = next.get("shard").and_then(Json::as_u64) else {
+            if next.get("done").and_then(Json::as_bool).unwrap_or(false) {
+                break;
+            }
+            // Everything pending is leased elsewhere; wait for a
+            // reclaim or for the job to finish.
+            std::thread::sleep(Duration::from_millis(poll_ms.max(10)));
+            continue;
+        };
+        let path = next
+            .get("path")
+            .and_then(Json::as_str)
+            .ok_or_else(|| CliError::Failed("lease without a shard path".into()))?
+            .to_owned();
+
+        // Heartbeat in the background while the shard computes, so a
+        // long shard never loses its lease mid-flight.
+        let stop = Arc::new(AtomicBool::new(false));
+        let beat = {
+            let (stop, client, job, worker) =
+                (Arc::clone(&stop), client.clone(), job.clone(), worker.clone());
+            std::thread::spawn(move || {
+                let mut ticks = 0u32;
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(250));
+                    ticks += 1;
+                    if ticks.is_multiple_of(40) {
+                        let _ = client.post(
+                            &format!("/scale/jobs/{job}/heartbeat"),
+                            &Json::Obj(vec![
+                                ("worker".to_owned(), Json::from(worker.as_str())),
+                                ("shard".to_owned(), Json::from(shard)),
+                            ]),
+                        );
+                    }
+                }
+            })
+        };
+        let started = Instant::now();
+        let result = process_shard(Path::new(&path));
+        stop.store(true, Ordering::SeqCst);
+        let _ = beat.join();
+        let result = result.map_err(CliError::Failed)?;
+
+        let ack = client
+            .post(&format!("/scale/jobs/{job}/result"), &result.to_json())
+            .map_err(|e| CliError::Failed(e.to_string()))?;
+        processed += 1;
+        println!(
+            "[{worker}] shard {shard}: {} pairs, {} questions in {:.1?} (accepted: {})",
+            result.pairs,
+            result.questions_asked,
+            started.elapsed(),
+            ack.get("accepted").and_then(Json::as_bool).unwrap_or(false)
+        );
+    }
+    println!("[{worker}] done ({processed} shard(s) processed)");
+    Ok(())
+}
+
+fn cmd_bench_scale(opts: &Opts) -> Result<(), CliError> {
+    let mut options = ScaleBenchOptions::default();
+    if let Some(raw) = opts.get("points") {
+        options.points = raw
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("--points: cannot parse {p:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if options.points.is_empty() {
+            return Err(CliError::Usage("--points: needs at least one entity count".into()));
+        }
+    }
+    options.seed = opts.parsed("seed", options.seed)?;
+    options.budget = opts.parsed("budget", options.budget)?;
+    if let Some(mb) = opts.get("max-rss-mb") {
+        options.max_rss_mb = Some(
+            mb.parse()
+                .map_err(|_| CliError::Usage(format!("--max-rss-mb: cannot parse {mb:?}")))?,
+        );
+    }
+    if let Some(dir) = opts.get("work-dir") {
+        options.work_dir = Some(PathBuf::from(dir));
+    }
+    options.keep_artifacts = opts.get("keep-artifacts").is_some();
+    let out = opts.get("out").unwrap_or("BENCH_scale.json");
+
+    let started = Instant::now();
+    let report = run_scale_bench(&options).map_err(CliError::Failed)?;
+    println!("scale bench finished in {:.1?}", started.elapsed());
+    for p in &report.points {
+        let rss = match p.peak_rss_bytes {
+            Some(bytes) => format!("{:.0} MiB", bytes as f64 / (1024.0 * 1024.0)),
+            None => "unreadable".to_owned(),
+        };
+        println!(
+            "  {:>9} entities: {:>9} pairs / {:>3} shards; gen {:.1}s, plan {:.1}s, \
+             run {:.1}s; {} questions, F1 {:.3}; peak rss {rss}",
+            p.entities,
+            p.pairs,
+            p.shards,
+            p.gen_seconds,
+            p.plan_seconds,
+            p.run_seconds,
+            p.questions,
+            p.f1
+        );
+    }
+    std::fs::write(out, report.to_json().to_pretty_string())?;
+    println!("  wrote {out}");
+    if let Some(mb) = options.max_rss_mb {
+        if !report.rss_ok {
+            return Err(CliError::Failed(format!(
+                "peak RSS exceeded the {mb} MiB bound (see {out})"
+            )));
+        }
+        println!("  bounded-RSS gate passed (every point <= {mb} MiB)");
     }
     Ok(())
 }

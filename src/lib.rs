@@ -96,6 +96,7 @@
 //! | [`ingest`] | file loaders, `.rkb` snapshots | Table II |
 //! | [`serve`] | the `rempd` campaign server, client, wire crowd | §VII-A |
 //! | [`sim`] | discrete-tick campaign simulator, adversarial crowds | §VIII |
+//! | [`scale`] | million-entity generator, blocked candidates, shards | §VIII-E |
 //! | [`baselines`] | PARIS, SiGMa, HIKE, POWER, Corleone | §II, §VIII |
 //!
 //! The `rempctl` CLI (this package's binary) chains the layers:
@@ -112,6 +113,7 @@ pub use remp_kb as kb;
 pub use remp_obs as obs;
 pub use remp_par as par;
 pub use remp_propagation as propagation;
+pub use remp_scale as scale;
 pub use remp_selection as selection;
 pub use remp_serve as serve;
 pub use remp_sim as sim;
