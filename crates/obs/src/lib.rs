@@ -80,6 +80,17 @@ pub mod names {
     pub const HTTP_REQUESTS_TOTAL: &str = "remp_http_requests_total";
     /// Histogram: HTTP request latency in seconds, by `route`.
     pub const HTTP_REQUEST_SECONDS: &str = "remp_http_request_seconds";
+    /// Gauge: TCP connections currently open on the server.
+    pub const HTTP_CONNECTIONS_OPEN: &str = "remp_http_connections_open";
+    /// Counter: requests served on an already-established keep-alive
+    /// connection (every request after a connection's first).
+    pub const HTTP_KEEPALIVE_REUSE_TOTAL: &str = "remp_http_keepalive_reuse_total";
+    /// Counter: answer records appended to campaign write-ahead logs.
+    pub const WAL_RECORDS_TOTAL: &str = "remp_wal_records_total";
+    /// Counter: bytes appended to campaign write-ahead logs.
+    pub const WAL_BYTES_TOTAL: &str = "remp_wal_bytes_total";
+    /// Gauge: long-poll `/next` requests currently parked server-side.
+    pub const LONGPOLL_WAITERS: &str = "remp_longpoll_waiters";
     /// Counter: structured events emitted, by `level`.
     pub const EVENTS_TOTAL: &str = "remp_events_total";
     /// Counter: leases granted, per `campaign`.

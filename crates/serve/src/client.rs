@@ -1,16 +1,24 @@
 //! A minimal HTTP client for the campaign API — what `rempctl drive`,
 //! the tests and remote tooling use to talk to `rempd`.
 //!
-//! One TCP connection per request (the server answers
-//! `Connection: close`), JSON in and out, with API errors surfaced as
-//! typed [`ClientError::Api`] values carrying the server's status and
-//! error code.
+//! The client keeps its TCP connection open across calls (HTTP/1.1
+//! keep-alive) and reconnects transparently when the server has idle-
+//! closed it between requests. JSON in and out, with API errors
+//! surfaced as typed [`ClientError::Api`] values carrying the server's
+//! status and error code. Clones share the reuse counter but each get
+//! their own cached connection, so a clone per thread is the natural
+//! way to fan out.
 
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use remp_json::Json;
+
+/// Largest accepted response head (status line + headers), in bytes.
+const MAX_RESPONSE_HEAD: usize = 16 * 1024;
 
 /// Why a client call failed.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,10 +70,44 @@ impl ClientError {
     }
 }
 
+/// How an attempt on one connection failed — a retryable failure means
+/// the request can safely be replayed on a fresh connection because no
+/// response byte was received (the server closed an idle keep-alive
+/// connection before reading the request).
+enum ExchangeError {
+    Retryable(String),
+    Fatal(ClientError),
+}
+
 /// A campaign-API client bound to one server address.
-#[derive(Clone, Debug)]
 pub struct ServeClient {
     addr: String,
+    keepalive: bool,
+    conn: Mutex<Option<BufReader<TcpStream>>>,
+    reused: Arc<AtomicU64>,
+}
+
+impl Clone for ServeClient {
+    fn clone(&self) -> ServeClient {
+        // Each clone gets its own cached connection (a TCP stream can't
+        // be shared across concurrent requests) but shares the reuse
+        // counter, so per-process totals stay meaningful.
+        ServeClient {
+            addr: self.addr.clone(),
+            keepalive: self.keepalive,
+            conn: Mutex::new(None),
+            reused: Arc::clone(&self.reused),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeClient")
+            .field("addr", &self.addr)
+            .field("keepalive", &self.keepalive)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServeClient {
@@ -73,12 +115,33 @@ impl ServeClient {
     pub fn new(addr: impl Into<String>) -> ServeClient {
         let addr = addr.into();
         let addr = addr.strip_prefix("http://").unwrap_or(&addr).trim_end_matches('/').to_owned();
-        ServeClient { addr }
+        ServeClient {
+            addr,
+            keepalive: true,
+            conn: Mutex::new(None),
+            reused: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The `host:port` this client talks to.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// Turns connection reuse on or off. Off means every request sends
+    /// `Connection: close` and dials a fresh connection — the one-shot
+    /// baseline `rempctl storm` measures against.
+    pub fn set_keepalive(&mut self, on: bool) {
+        self.keepalive = on;
+        if !on {
+            *self.conn.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+    }
+
+    /// How many requests (across this client and its clones) were
+    /// served on an already-established connection.
+    pub fn reuse_count(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
     }
 
     /// `GET path`, expecting a 2xx JSON response.
@@ -127,27 +190,138 @@ impl ServeClient {
     }
 
     /// One full request/response cycle, returning the raw response
-    /// bytes.
+    /// bytes. Tries the cached connection first; if the server closed
+    /// it while idle (EOF or reset before any response byte), retries
+    /// once on a fresh connection.
     fn exchange(&self, method: &str, path: &str, body: &[u8]) -> Result<Vec<u8>, ClientError> {
-        let mut stream =
-            TcpStream::connect(&self.addr).map_err(|e| ClientError::Io(e.to_string()))?;
+        let mut cached = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(mut reader) = cached.take() {
+            match self.try_exchange(&mut reader, method, path, body) {
+                Ok((raw, reuse)) => {
+                    self.reused.fetch_add(1, Ordering::Relaxed);
+                    if reuse {
+                        *cached = Some(reader);
+                    }
+                    return Ok(raw);
+                }
+                Err(ExchangeError::Retryable(_)) => {} // fall through to a fresh dial
+                Err(ExchangeError::Fatal(e)) => return Err(e),
+            }
+        }
+        let stream = TcpStream::connect(&self.addr).map_err(|e| ClientError::Io(e.to_string()))?;
         let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
         // The request goes out in small writes; without nodelay, Nagle +
         // delayed ACKs add tens of milliseconds per round trip.
         let _ = stream.set_nodelay(true);
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
-            self.addr,
-            body.len()
-        );
-        stream.write_all(head.as_bytes()).map_err(|e| ClientError::Io(e.to_string()))?;
-        stream.write_all(body).map_err(|e| ClientError::Io(e.to_string()))?;
-        stream.flush().map_err(|e| ClientError::Io(e.to_string()))?;
-
         let mut reader = BufReader::new(stream);
-        let mut raw = Vec::new();
-        reader.read_to_end(&mut raw).map_err(|e| ClientError::Io(e.to_string()))?;
-        Ok(raw)
+        match self.try_exchange(&mut reader, method, path, body) {
+            Ok((raw, reuse)) => {
+                if reuse {
+                    *cached = Some(reader);
+                }
+                Ok(raw)
+            }
+            Err(ExchangeError::Retryable(msg))
+            | Err(ExchangeError::Fatal(ClientError::Io(msg))) => Err(ClientError::Io(msg)),
+            Err(ExchangeError::Fatal(e)) => Err(e),
+        }
+    }
+
+    /// Writes one request and reads one complete response off `reader`.
+    /// Returns the raw response bytes and whether the connection can be
+    /// reused for the next request.
+    fn try_exchange(
+        &self,
+        reader: &mut BufReader<TcpStream>,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> Result<(Vec<u8>, bool), ExchangeError> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+            self.addr,
+            body.len(),
+            if self.keepalive { "keep-alive" } else { "close" }
+        );
+        let stream = reader.get_mut();
+        let send = stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(body))
+            .and_then(|()| stream.flush());
+        if let Err(e) = send {
+            return Err(ExchangeError::Retryable(e.to_string()));
+        }
+
+        // Read the response head byte-by-byte off the buffered reader
+        // until the blank line; the body length then comes from
+        // `content-length`, so the connection stays positioned at the
+        // next response.
+        let mut raw = Vec::with_capacity(256);
+        let mut byte = [0u8; 1];
+        while !raw.ends_with(b"\r\n\r\n") {
+            match reader.read(&mut byte) {
+                Ok(0) => {
+                    return Err(if raw.is_empty() {
+                        ExchangeError::Retryable("connection closed before response".into())
+                    } else {
+                        ExchangeError::Fatal(ClientError::Io(
+                            "connection closed mid-response".into(),
+                        ))
+                    });
+                }
+                Ok(_) => {
+                    raw.push(byte[0]);
+                    if raw.len() > MAX_RESPONSE_HEAD {
+                        return Err(ExchangeError::Fatal(ClientError::Protocol(format!(
+                            "response head beyond {MAX_RESPONSE_HEAD} bytes"
+                        ))));
+                    }
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    return Err(if raw.is_empty() {
+                        ExchangeError::Retryable(e.to_string())
+                    } else {
+                        ExchangeError::Fatal(ClientError::Io(e.to_string()))
+                    });
+                }
+            }
+        }
+
+        let head_text = std::str::from_utf8(&raw[..raw.len() - 4]).map_err(|_| {
+            ExchangeError::Fatal(ClientError::Protocol("non-UTF-8 response head".into()))
+        })?;
+        let mut content_length: Option<usize> = None;
+        let mut server_close = false;
+        for line in head_text.lines().skip(1) {
+            let Some((name, value)) = line.split_once(':') else { continue };
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("connection")
+                && value.trim().eq_ignore_ascii_case("close")
+            {
+                server_close = true;
+            }
+        }
+        let reuse = match content_length {
+            Some(len) => {
+                let mut body = vec![0u8; len];
+                reader
+                    .read_exact(&mut body)
+                    .map_err(|e| ExchangeError::Fatal(ClientError::Io(e.to_string())))?;
+                raw.extend_from_slice(&body);
+                self.keepalive && !server_close
+            }
+            None => {
+                // No length means the body runs to EOF; the connection
+                // is spent either way.
+                reader
+                    .read_to_end(&mut raw)
+                    .map_err(|e| ExchangeError::Fatal(ClientError::Io(e.to_string())))?;
+                false
+            }
+        };
+        Ok((raw, reuse))
     }
 }
 
@@ -204,6 +378,8 @@ fn parse_response(raw: &[u8]) -> Result<(u16, Json), ClientError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
+    use std::thread;
 
     #[test]
     fn addr_normalisation() {
@@ -222,5 +398,93 @@ mod tests {
 
         assert!(parse_response(b"garbage").is_err());
         assert!(parse_response(b"HTTP/1.1 ??\r\n\r\n").is_err());
+    }
+
+    /// Serves `per_conn` canned keep-alive responses on each of `conns`
+    /// accepted connections, then closes. Returns the total number of
+    /// requests it saw.
+    fn canned_server(
+        listener: TcpListener,
+        conns: usize,
+        per_conn: usize,
+    ) -> thread::JoinHandle<usize> {
+        thread::spawn(move || {
+            let mut served = 0usize;
+            for _ in 0..conns {
+                let (mut stream, _) = listener.accept().unwrap();
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                for _ in 0..per_conn {
+                    let req = crate::http::read_request(&mut reader).unwrap();
+                    if req.is_none() {
+                        break;
+                    }
+                    served += 1;
+                    stream
+                        .write_all(
+                            b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 2\r\nconnection: keep-alive\r\n\r\n{}",
+                        )
+                        .unwrap();
+                }
+                // Dropping the stream closes the connection.
+            }
+            served
+        })
+    }
+
+    #[test]
+    fn keepalive_reuses_one_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = canned_server(listener, 1, 3);
+        let client = ServeClient::new(addr);
+        for _ in 0..3 {
+            client.get("/x").unwrap();
+        }
+        assert_eq!(client.reuse_count(), 2, "requests 2 and 3 should reuse the connection");
+        assert_eq!(server.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn reconnects_transparently_when_the_server_drops_an_idle_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // One response per connection: after each response the server
+        // hangs up, so the client's cached connection is dead on the
+        // next call and it must redial without surfacing an error.
+        let server = canned_server(listener, 2, 1);
+        let client = ServeClient::new(addr);
+        client.get("/a").unwrap();
+        client.get("/b").unwrap();
+        assert_eq!(client.reuse_count(), 0, "every request needed a fresh connection");
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn one_shot_mode_never_reuses() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = canned_server(listener, 2, 1);
+        let mut client = ServeClient::new(addr);
+        client.set_keepalive(false);
+        client.get("/a").unwrap();
+        client.get("/b").unwrap();
+        assert_eq!(client.reuse_count(), 0);
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_reuse_counter_but_not_the_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = canned_server(listener, 2, 2);
+        let client = ServeClient::new(addr);
+        let clone = client.clone();
+        client.get("/a").unwrap();
+        client.get("/a").unwrap();
+        clone.get("/b").unwrap();
+        clone.get("/b").unwrap();
+        assert_eq!(client.reuse_count(), 2);
+        assert_eq!(clone.reuse_count(), 2, "clones share the counter");
+        assert_eq!(server.join().unwrap(), 4);
     }
 }

@@ -447,6 +447,54 @@ impl<'a> CampaignEngine<'a> {
         })
     }
 
+    /// Re-applies one logged answer during WAL recovery.
+    ///
+    /// The original acceptance held a live lease, which the WAL does
+    /// not persist (leases are transient, like after checkpoint
+    /// resume), so this force-issues one before running the normal
+    /// [`answer`](Self::answer) path. Replaying records in logged
+    /// (seq) order reproduces every outcome-visible decision exactly:
+    /// label construction, quality re-scoring and submission order all
+    /// depend only on the accepted-answer sequence. The pause flag is
+    /// bypassed — the answer was accepted before the crash, so it must
+    /// land again even if the campaign checkpointed as paused.
+    pub fn replay_answer(
+        &mut self,
+        worker: &str,
+        id: QuestionId,
+        says_match: bool,
+        now_ms: u64,
+    ) -> Result<AnswerAck, ServeError> {
+        let was_paused = self.paused;
+        self.paused = false;
+        // A replayed answer may belong to the batch after the one the
+        // checkpoint left open.
+        let refilled = self.refill();
+        if let Err(e) = refilled {
+            self.paused = was_paused;
+            return Err(e);
+        }
+        self.estimator.register(worker);
+        if let Some(slot) = self.open.iter_mut().find(|s| s.question.id == id) {
+            if !slot.leases.iter().any(|(w, _)| w == worker) {
+                let deadline = now_ms.saturating_add(self.policy.lease_ms.max(1));
+                slot.leases.push((worker.to_owned(), deadline));
+            }
+        }
+        let result = self.answer(worker, id, says_match, now_ms);
+        self.paused = was_paused;
+        result
+    }
+
+    /// The soonest lease expiry across open questions, if any lease is
+    /// live. When [`next_for`](Self::next_for) has nothing for a
+    /// worker, this is the next moment an assignment could appear
+    /// without a new answer arriving — what the server's long-poll
+    /// dispatcher uses to schedule a re-check.
+    pub fn earliest_lease_deadline(&self) -> Option<u64> {
+        self.open.iter().flat_map(|s| s.leases.iter().map(|&(_, expiry)| expiry)).min()
+    }
+
     /// Current open questions (refilling from the session if needed),
     /// with collected-answer and live-lease counts.
     pub fn open_questions(
@@ -852,6 +900,61 @@ mod tests {
         drain(&mut resumed, &d, 2);
         assert_eq!(resumed.outcome(), reference.outcome());
         assert_eq!(resumed.log(), reference.log());
+    }
+
+    #[test]
+    fn replayed_answers_reproduce_the_campaign() {
+        let d = world();
+        let remp = Remp::new(RempConfig::default());
+
+        // Reference run, recording every accepted answer with its
+        // engine-clock timestamp — exactly what the WAL persists.
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut reference = CampaignEngine::new(session, policy(2, 1000));
+        let mut accepted: Vec<(String, u64, bool, u64)> = Vec::new();
+        let mut now = 0u64;
+        loop {
+            if reference.progress(now).unwrap().complete {
+                break;
+            }
+            let mut advanced = false;
+            for i in 0..2 {
+                let worker = format!("w{i}");
+                if let Some(a) = reference.next_for(&worker, now).unwrap() {
+                    let truth = d.is_match(a.question.pair.0, a.question.pair.1);
+                    reference.answer(&worker, a.question.id, truth, now).unwrap();
+                    accepted.push((worker, a.question.id.0, truth, now));
+                    advanced = true;
+                }
+            }
+            assert!(advanced);
+            now += 1;
+        }
+        assert!(!accepted.is_empty());
+
+        // Replaying the log on a fresh engine reproduces the campaign
+        // bit-identically — no leases, no worker polling.
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut replayed = CampaignEngine::new(session, policy(2, 1000));
+        for (worker, question, says, at) in &accepted {
+            replayed.replay_answer(worker, QuestionId(*question), *says, *at).unwrap();
+        }
+        assert_eq!(replayed.outcome(), reference.outcome());
+        assert_eq!(replayed.log(), reference.log());
+        assert!(replayed.progress(now).unwrap().complete);
+    }
+
+    #[test]
+    fn earliest_lease_deadline_tracks_live_leases() {
+        let d = world();
+        let remp = Remp::new(RempConfig::default());
+        let session = remp.begin(&d.kb1, &d.kb2).unwrap();
+        let mut engine = CampaignEngine::new(session, policy(2, 1000));
+        assert_eq!(engine.earliest_lease_deadline(), None);
+        let a = engine.next_for("w0", 10).unwrap().unwrap();
+        assert_eq!(engine.earliest_lease_deadline(), Some(a.deadline_ms));
+        let b = engine.next_for("w1", 25).unwrap().unwrap();
+        assert_eq!(engine.earliest_lease_deadline(), Some(a.deadline_ms.min(b.deadline_ms)));
     }
 
     /// Tries to lease + answer the first open question as `worker`.

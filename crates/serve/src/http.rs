@@ -1,11 +1,12 @@
 //! A minimal, strict HTTP/1.1 layer on `std::io` — just enough protocol
 //! for the campaign API, with hard limits instead of panics.
 //!
-//! One request per connection: the server always answers
-//! `Connection: close`, which keeps the handler loop trivial and makes
-//! client retry logic obvious (every request is independent). Requests
-//! are parsed defensively — an oversized line, a missing
-//! `Content-Length`, a stray control byte all become a typed
+//! Connections are persistent by default (HTTP/1.1 keep-alive): a
+//! request carries a [`Request::close`] flag decoded from its
+//! `Connection` header (and the HTTP/1.0 default), and the response
+//! writer echoes the matching `connection:` header so both sides agree
+//! on reuse. Requests are parsed defensively — an oversized line, a
+//! missing `Content-Length`, a stray control byte all become a typed
 //! [`HttpError`] that the server maps to a 4xx response; nothing in this
 //! module can panic on wire input.
 
@@ -54,6 +55,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the connection must close after this request
+    /// (`Connection: close`, or HTTP/1.0 without
+    /// `Connection: keep-alive`).
+    pub close: bool,
 }
 
 impl Request {
@@ -85,16 +90,26 @@ pub fn read_request<R: BufRead>(stream: &mut R) -> Result<Option<Request>, HttpE
     }
 
     let mut content_length: usize = 0;
+    // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+    let mut close = version == "HTTP/1.0";
     for _ in 0..MAX_HEADERS {
         let header = read_line(stream)?
             .ok_or_else(|| HttpError::Io("connection closed inside headers".into()))?;
         if header.is_empty() {
             let body = read_body(stream, content_length)?;
-            return parse_target(method, target, body).map(Some);
+            return parse_target(method, target, body, close).map(Some);
         }
         let Some((name, value)) = header.split_once(':') else {
             return Err(HttpError::Malformed(format!("header without colon: {header:?}")));
         };
+        if name.eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        }
         if name.eq_ignore_ascii_case("content-length") {
             let n: usize = value
                 .trim()
@@ -153,7 +168,12 @@ fn read_line<R: BufRead>(stream: &mut R) -> Result<Option<String>, HttpError> {
     }
 }
 
-fn parse_target(method: &str, target: &str, body: Vec<u8>) -> Result<Request, HttpError> {
+fn parse_target(
+    method: &str,
+    target: &str,
+    body: Vec<u8>,
+    close: bool,
+) -> Result<Request, HttpError> {
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
@@ -169,7 +189,7 @@ fn parse_target(method: &str, target: &str, body: Vec<u8>) -> Result<Request, Ht
             query.push((percent_decode(k)?, percent_decode(v)?));
         }
     }
-    Ok(Request { method: method.to_owned(), path, query, body })
+    Ok(Request { method: method.to_owned(), path, query, body, close })
 }
 
 /// Decodes `%XX` escapes and `+`-as-space; rejects truncated escapes and
@@ -223,10 +243,16 @@ pub fn reason_phrase(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete JSON response and flushes. The connection always
-/// closes afterwards (`Connection: close`).
-pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) -> io::Result<()> {
-    write_response_typed(stream, status, "application/json", body)
+/// Writes a complete JSON response and flushes. `keep_alive` decides
+/// the `connection:` header — echo the request's [`Request::close`]
+/// negation so both sides agree on reuse.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    write_response_typed(stream, status, "application/json", body, keep_alive)
 }
 
 /// [`write_response`] with an explicit `Content-Type` — `/metrics`
@@ -236,14 +262,16 @@ pub fn write_response_typed<W: Write>(
     status: u16,
     content_type: &str,
     body: &str,
+    keep_alive: bool,
 ) -> io::Result<()> {
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         status,
         reason_phrase(status),
         content_type,
-        body.len()
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" }
     )?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
@@ -319,10 +347,43 @@ mod tests {
     #[test]
     fn responses_have_the_right_shape() {
         let mut out = Vec::new();
-        write_response(&mut out, 409, "{\"error\":{}}").unwrap();
+        write_response(&mut out, 409, "{\"error\":{}}", false).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 409 Conflict\r\n"), "{text}");
         assert!(text.contains("content-length: 12\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"), "{text}");
         assert!(text.ends_with("\r\n\r\n{\"error\":{}}"), "{text}");
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn connection_reuse_follows_version_and_header() {
+        for (raw, close, what) in [
+            ("GET /x HTTP/1.1\r\n\r\n", false, "1.1 defaults to keep-alive"),
+            ("GET /x HTTP/1.0\r\n\r\n", true, "1.0 defaults to close"),
+            ("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n", true, "explicit close"),
+            ("GET /x HTTP/1.1\r\nCONNECTION: Close\r\n\r\n", true, "case-insensitive close"),
+            ("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", false, "1.0 opt-in"),
+        ] {
+            let req = parse(raw).unwrap().unwrap();
+            assert_eq!(req.close, close, "{what}: {raw:?}");
+        }
+    }
+
+    #[test]
+    fn requests_on_one_connection_parse_back_to_back() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut stream = BufReader::new(raw.as_bytes());
+        let a = read_request(&mut stream).unwrap().unwrap();
+        let b = read_request(&mut stream).unwrap().unwrap();
+        let c = read_request(&mut stream).unwrap().unwrap();
+        assert_eq!((a.path.as_str(), a.close), ("/a", false));
+        assert_eq!((b.path.as_str(), b.body.as_slice()), ("/b", &b"hi"[..]));
+        assert_eq!((c.path.as_str(), c.close), ("/c", true));
+        assert_eq!(read_request(&mut stream).unwrap(), None);
     }
 }

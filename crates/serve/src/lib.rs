@@ -27,12 +27,17 @@
 //!   ([`remp_crowd::WorkerQualityEstimator`]).
 //! * [`registry`] — one actor thread per campaign (the session borrows
 //!   its KBs, so the actor owns both), plus durable
-//!   `{id}.campaign.json` state files.
+//!   `{id}.campaign.json` state files and the per-campaign answer
+//!   [`wal`] (every accepted answer is fsynced before its 2xx; restart
+//!   replays the WAL over the last checkpoint).
+//! * [`router`] — the route table: method + path template → handler,
+//!   declared as data.
 //! * [`scale`] — the `/scale` routes: `rempd` as the coordinator of a
 //!   sharded [`remp_scale`] campaign (lease-based shard assignment to
 //!   `rempctl shard-worker` processes, result merge).
-//! * [`server`] — the accept loop and router; handler pool sized by
-//!   [`remp_par::Parallelism`].
+//! * [`server`] — the `poll`-based keep-alive readiness loop, the
+//!   long-poll dispatcher and the handler pool (sized by
+//!   [`remp_par::Parallelism`]).
 //! * [`client`] / [`sim`] — the HTTP client, the named-worker
 //!   [`sim::WireCrowd`], the in-process [`sim::reference_outcome`] and
 //!   the [`sim::drive`] loop that proves an HTTP campaign bit-identical
@@ -54,15 +59,17 @@ pub mod clock;
 pub mod engine;
 pub mod http;
 pub mod registry;
+pub mod router;
 pub mod scale;
 pub mod server;
 pub mod sim;
+pub mod wal;
 pub mod wire;
 
 pub use client::{ClientError, ServeClient};
 pub use clock::{Clock, ManualClock, SystemClock};
 pub use engine::{Assignment, CampaignEngine, CrowdPolicy, LeaseCounters, LeaseStats};
-pub use registry::{CampaignRequest, CampaignSource, CampaignSpec, Registry};
+pub use registry::{CampaignNotifier, CampaignRequest, CampaignSource, CampaignSpec, Registry};
 pub use scale::ScaleJobs;
 pub use server::{install_signal_handlers, signal_stop_flag, Server, ServerConfig};
 pub use sim::{drive, drive_n, reference_outcome, CrowdParams, WireCrowd};

@@ -9,18 +9,24 @@
 //! processes them strictly in arrival order, which is also what makes
 //! campaign behaviour deterministic for a deterministic client.
 //!
-//! Durability: [`Registry::checkpoint_all`] writes one pretty-printed
-//! JSON state file per campaign (`{id}.campaign.json`) into the state
-//! directory — the session checkpoint plus the crowd-side state the
-//! session does not know about (collected answers, worker records, the
-//! submission log). A new `rempd` process pointed at the same directory
-//! resumes every campaign, mid-batch and even mid-question.
+//! Durability is two-tier. The base is one pretty-printed JSON state
+//! file per campaign (`{id}.campaign.json`): the session checkpoint
+//! plus the crowd-side state the session does not know about (collected
+//! answers, worker records, the submission log), written at creation
+//! (genesis), at every WAL compaction, and on graceful shutdown. On top
+//! rides the per-campaign answer WAL (`{id}.wal`, [`crate::wal`]):
+//! every accepted answer is fsynced into it *before* the 2xx reply, so
+//! a `kill -9` loses nothing acknowledged. A new `rempd` process
+//! pointed at the same directory resumes every campaign by loading the
+//! checkpoint and replaying the WAL records past its `answer_seq` —
+//! mid-batch, mid-question, even mid-record (torn tails are truncated).
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use remp_core::{QuestionId, Remp, RempConfig, RempSession, SessionCheckpoint};
@@ -32,6 +38,7 @@ use remp_kb::Kb;
 
 use crate::clock::{Clock, SystemClock};
 use crate::engine::{CampaignEngine, CrowdPolicy};
+use crate::wal::{wal_path, Wal, WalRecord};
 use crate::wire::{question_json, verdict_code, ServeError, SubmittedRecord};
 
 /// The campaign's footprint on the global metrics registry: the
@@ -103,6 +110,79 @@ impl CampaignObs {
 
     fn deregister(self) {
         remp_obs::global().remove_label_value("campaign", &self.id);
+    }
+}
+
+/// Wakes the server's long-poll dispatcher whenever campaign state
+/// changed in a way that could let a parked `/next` succeed: an
+/// accepted answer (it may complete a question and open the next
+/// batch), a pause/resume, or shutdown. A bare epoch + condvar —
+/// waiters record the epoch they have seen and block until it moves
+/// past.
+#[derive(Debug, Default)]
+pub struct CampaignNotifier {
+    epoch: Mutex<u64>,
+    cond: Condvar,
+}
+
+impl CampaignNotifier {
+    /// The current epoch; pass to [`wait_past`](Self::wait_past).
+    pub fn epoch(&self) -> u64 {
+        *self.epoch.lock().expect("notifier poisoned")
+    }
+
+    /// Bumps the epoch and wakes every waiter.
+    pub fn notify(&self) {
+        let mut epoch = self.epoch.lock().expect("notifier poisoned");
+        *epoch += 1;
+        drop(epoch);
+        self.cond.notify_all();
+    }
+
+    /// Blocks until the epoch moves past `seen` or `timeout` elapses;
+    /// returns the epoch at wake-up.
+    pub fn wait_past(&self, seen: u64, timeout: std::time::Duration) -> u64 {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut epoch = self.epoch.lock().expect("notifier poisoned");
+        while *epoch <= seen {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (guard, _) = self.cond.wait_timeout(epoch, left).expect("notifier poisoned");
+            epoch = guard;
+        }
+        *epoch
+    }
+}
+
+/// Process-global WAL instruments every campaign actor reports into:
+/// counters for `/metrics` plus the live on-disk byte total `/healthz`
+/// shows as serving pressure.
+#[derive(Clone)]
+struct WalObs {
+    records: remp_obs::Counter,
+    bytes: remp_obs::Counter,
+    live_bytes: Arc<AtomicU64>,
+}
+
+impl WalObs {
+    fn new() -> WalObs {
+        use remp_obs::names;
+        let reg = remp_obs::global();
+        WalObs {
+            records: reg.counter(
+                names::WAL_RECORDS_TOTAL,
+                "Answer records appended to campaign write-ahead logs.",
+                &[],
+            ),
+            bytes: reg.counter(
+                names::WAL_BYTES_TOTAL,
+                "Bytes appended to campaign write-ahead logs.",
+                &[],
+            ),
+            live_bytes: Arc::new(AtomicU64::new(0)),
+        }
     }
 }
 
@@ -212,6 +292,10 @@ struct ResumeState {
     answers: Vec<(u64, String, bool)>,
     log: Vec<SubmittedRecord>,
     paused: bool,
+    /// Count of accepted answers folded into this checkpoint — WAL
+    /// records at or below it are already applied and skipped on
+    /// replay. Absent in pre-WAL state files, which means 0.
+    answer_seq: u64,
 }
 
 /// Operations the HTTP layer can ask of a campaign actor.
@@ -277,6 +361,8 @@ pub struct Registry {
     started: std::time::Instant,
     inner: Mutex<RegistryInner>,
     scale: crate::scale::ScaleJobs,
+    notifier: Arc<CampaignNotifier>,
+    wal_obs: WalObs,
 }
 
 struct RegistryInner {
@@ -320,6 +406,8 @@ impl Registry {
             started: std::time::Instant::now(),
             inner: Mutex::new(RegistryInner { campaigns: BTreeMap::new() }),
             scale: crate::scale::ScaleJobs::default(),
+            notifier: Arc::new(CampaignNotifier::default()),
+            wal_obs: WalObs::new(),
         };
         if let Some(dir) = registry.state_dir.clone() {
             fs::create_dir_all(&dir).map_err(|e| {
@@ -356,6 +444,19 @@ impl Registry {
         &self.scale
     }
 
+    /// The long-poll notifier — campaign actors bump it on every event
+    /// that could unblock a parked `/next` (accepted answer, pause
+    /// flip, shutdown), and the server's dispatcher waits on it.
+    pub fn notifier(&self) -> Arc<CampaignNotifier> {
+        Arc::clone(&self.notifier)
+    }
+
+    /// Total on-disk bytes across the live campaigns' answer WALs —
+    /// the `/healthz` serving-pressure number.
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal_obs.live_bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
     /// Wall-clock seconds since this registry was opened — the
     /// `/healthz` uptime.
     pub fn uptime_s(&self) -> f64 {
@@ -376,6 +477,13 @@ impl Registry {
         let id =
             format!("c{}", NEXT_CAMPAIGN_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed));
         self.spawn(id.clone(), spec, None)?;
+        if let Some(dir) = self.state_dir.clone() {
+            // Genesis checkpoint: a crash before the first compaction
+            // needs a base for WAL replay to land on.
+            if let Err(e) = self.checkpoint_one(&dir, &id) {
+                eprintln!("rempd: failed to write genesis checkpoint for {id}: {e}");
+            }
+        }
         Ok(id)
     }
 
@@ -412,9 +520,14 @@ impl Registry {
         let (ready_tx, ready_rx) = mpsc::channel::<Result<(), ServeError>>();
         let actor_spec = spec.clone();
         let actor_id = id.clone();
+        let shared = ActorShared {
+            state_dir: self.state_dir.clone(),
+            notifier: Arc::clone(&self.notifier),
+            wal: self.wal_obs.clone(),
+        };
         let join = std::thread::Builder::new()
             .name(format!("campaign-{id}"))
-            .spawn(move || campaign_actor(&actor_id, actor_spec, resume, ready_tx, rx))
+            .spawn(move || campaign_actor(&actor_id, actor_spec, resume, shared, ready_tx, rx))
             .map_err(|e| ServeError::internal("spawn", e.to_string()))?;
         match ready_rx.recv() {
             Ok(Ok(())) => {
@@ -484,19 +597,8 @@ impl Registry {
     }
 
     fn checkpoint_one(&self, dir: &Path, id: &str) -> Result<(), ServeError> {
-        let mut body = self.call(id, CampaignRequest::Checkpoint)?;
-        // The actor does not know its registry id; stamp it here so
-        // the file is self-describing.
-        if let Json::Obj(fields) = &mut body {
-            fields.insert(1, ("id".into(), Json::from(id)));
-        }
-        let path = dir.join(format!("{id}.campaign.json"));
-        let staging = dir.join(format!(".{id}.campaign.json.tmp"));
-        let io_err = |p: &Path, e: std::io::Error| {
-            ServeError::internal("state_file", format!("{}: {e}", p.display()))
-        };
-        fs::write(&staging, body.to_pretty_string()).map_err(|e| io_err(&staging, e))?;
-        fs::rename(&staging, &path).map_err(|e| io_err(&path, e))
+        let body = self.call(id, CampaignRequest::Checkpoint)?;
+        write_state_file(dir, id, body)
     }
 
     /// Checkpoints (when durable) and stops every campaign actor.
@@ -517,16 +619,106 @@ impl Registry {
                 let _ = join.join();
             }
         }
+        // Unblock any long-poll waiter still parked on a campaign.
+        self.notifier.notify();
         checkpointed
     }
 }
 
+/// Atomically writes `{id}.campaign.json` (temp file + rename),
+/// stamping the id into the body so the file is self-describing — the
+/// actor does not know its registry id.
+fn write_state_file(dir: &Path, id: &str, mut body: Json) -> Result<(), ServeError> {
+    if let Json::Obj(fields) = &mut body {
+        fields.insert(1, ("id".into(), Json::from(id)));
+    }
+    let path = dir.join(format!("{id}.campaign.json"));
+    let staging = dir.join(format!(".{id}.campaign.json.tmp"));
+    let io_err = |p: &Path, e: std::io::Error| {
+        ServeError::internal("state_file", format!("{}: {e}", p.display()))
+    };
+    fs::write(&staging, body.to_pretty_string()).map_err(|e| io_err(&staging, e))?;
+    fs::rename(&staging, &path).map_err(|e| io_err(&path, e))
+}
+
 // ---- the actor --------------------------------------------------------
+
+/// Accepted answers between compactions before the actor folds the WAL
+/// into a fresh checkpoint and truncates it. Keeps replay-on-restart
+/// O(128 answers) per campaign regardless of campaign length.
+const WAL_COMPACT_EVERY: u64 = 128;
+
+/// Registry-owned resources every actor shares.
+struct ActorShared {
+    state_dir: Option<PathBuf>,
+    notifier: Arc<CampaignNotifier>,
+    wal: WalObs,
+}
+
+/// Per-actor durability state threaded through request handling.
+struct ActorDurability {
+    wal: Option<Wal>,
+    /// Monotone count of accepted answers — the WAL record seq.
+    answer_seq: u64,
+    /// Appends since the last compaction.
+    since_compact: u64,
+    /// Bytes this actor last folded into the shared live-bytes total.
+    reported_bytes: u64,
+}
+
+/// Reconciles this actor's WAL size into the shared live-bytes gauge.
+fn sync_wal_bytes(shared: &WalObs, d: &mut ActorDurability) {
+    use std::sync::atomic::Ordering;
+    let now = d.wal.as_ref().map_or(0, Wal::bytes);
+    match now.cmp(&d.reported_bytes) {
+        std::cmp::Ordering::Greater => {
+            shared.live_bytes.fetch_add(now - d.reported_bytes, Ordering::Relaxed);
+        }
+        std::cmp::Ordering::Less => {
+            shared.live_bytes.fetch_sub(d.reported_bytes - now, Ordering::Relaxed);
+        }
+        std::cmp::Ordering::Equal => {}
+    }
+    d.reported_bytes = now;
+}
+
+/// Checkpoint-then-truncate compaction, every [`WAL_COMPACT_EVERY`]
+/// accepted answers. Best-effort: a failed checkpoint write leaves the
+/// WAL growing (still fully durable), never truncates unfolded records.
+fn maybe_compact(
+    id: &str,
+    spec: &CampaignSpec,
+    engine: &CampaignEngine<'_>,
+    shared: &ActorShared,
+    d: &mut ActorDurability,
+) {
+    if d.since_compact < WAL_COMPACT_EVERY {
+        return;
+    }
+    let Some(dir) = &shared.state_dir else { return };
+    if d.wal.is_none() {
+        return;
+    }
+    match write_state_file(dir, id, encode_state(spec, engine, d.answer_seq)) {
+        Ok(()) => {
+            let wal = d.wal.as_mut().expect("checked above");
+            if let Err(e) = wal.reset() {
+                eprintln!("rempd: campaign {id}: failed to truncate compacted WAL: {e}");
+            }
+            d.since_compact = 0;
+            sync_wal_bytes(&shared.wal, d);
+        }
+        Err(e) => {
+            eprintln!("rempd: campaign {id}: compaction checkpoint failed, keeping WAL: {e}");
+        }
+    }
+}
 
 fn campaign_actor(
     id: &str,
     spec: CampaignSpec,
     resume: Option<ResumeState>,
+    shared: ActorShared,
     ready: Sender<Result<(), ServeError>>,
     rx: Receiver<Call>,
 ) {
@@ -541,6 +733,7 @@ fn campaign_actor(
         }
     };
     let resumed = resume.is_some();
+    let resume_answer_seq = resume.as_ref().map_or(0, |s| s.answer_seq);
     let engine = match resume {
         None => Remp::new(spec.config.clone())
             .begin(&kb1, &kb2)
@@ -566,6 +759,81 @@ fn campaign_actor(
             return;
         }
     };
+
+    // Open and replay the WAL before signalling ready, so resume errors
+    // surface synchronously and no request can race the replay.
+    let mut durability = ActorDurability {
+        wal: None,
+        answer_seq: resume_answer_seq,
+        since_compact: 0,
+        reported_bytes: 0,
+    };
+    if let Some(dir) = &shared.state_dir {
+        let path = wal_path(dir, id);
+        match Wal::open(&path) {
+            Err(e) => {
+                let _ = ready
+                    .send(Err(ServeError::internal("wal", format!("{}: {e}", path.display()))));
+                return;
+            }
+            Ok((mut wal, replay)) => {
+                if let Some(dropped) = replay.truncated_tail {
+                    eprintln!(
+                        "rempd: campaign {id}: truncated {dropped} torn WAL byte(s) left by a crash"
+                    );
+                }
+                if resumed {
+                    let mut replayed = 0u64;
+                    for record in replay.records {
+                        if record.seq <= durability.answer_seq {
+                            continue; // already folded into the checkpoint
+                        }
+                        if let Err(e) = engine.replay_answer(
+                            &record.worker,
+                            QuestionId(record.question),
+                            record.says_match,
+                            record.now_ms,
+                        ) {
+                            let _ = ready.send(Err(ServeError::internal(
+                                "wal",
+                                format!(
+                                    "{}: replaying answer seq {}: {}",
+                                    path.display(),
+                                    record.seq,
+                                    e.message
+                                ),
+                            )));
+                            return;
+                        }
+                        durability.answer_seq = record.seq;
+                        durability.since_compact += 1;
+                        replayed += 1;
+                    }
+                    if replayed > 0 {
+                        remp_obs::event(remp_obs::Level::Info, "campaign", Some(id), || {
+                            (
+                                "WAL answers replayed over checkpoint".to_owned(),
+                                vec![("replayed", Json::from(replayed))],
+                            )
+                        });
+                    }
+                } else if !replay.records.is_empty() {
+                    // A fresh campaign must not inherit a stale log left
+                    // under the same id by an earlier process.
+                    if let Err(e) = wal.reset() {
+                        let _ = ready.send(Err(ServeError::internal(
+                            "wal",
+                            format!("{}: resetting stale WAL: {e}", path.display()),
+                        )));
+                        return;
+                    }
+                }
+                durability.wal = Some(wal);
+                sync_wal_bytes(&shared.wal, &mut durability);
+            }
+        }
+    }
+
     if ready.send(Ok(())).is_err() {
         return;
     }
@@ -592,13 +860,29 @@ fn campaign_actor(
             if let Some(obs) = obs {
                 obs.deregister();
             }
+            durability.wal = None;
+            sync_wal_bytes(&shared.wal, &mut durability);
             return;
         }
-        let _ = reply.send(handle_request(id, &spec, &mut engine, request));
+        // These can unblock a parked long-poll `/next` (or tell it to
+        // fail fast); wake the dispatcher after a successful one.
+        let wakes_waiters = matches!(
+            request,
+            CampaignRequest::Answer { .. } | CampaignRequest::Resume | CampaignRequest::Pause
+        );
+        let response = handle_request(id, &spec, &mut engine, request, &shared, &mut durability);
+        let succeeded = response.is_ok();
+        let _ = reply.send(response);
         if let Some(obs) = &obs {
             obs.refresh(&engine);
         }
+        if succeeded && wakes_waiters {
+            maybe_compact(id, &spec, &engine, &shared, &mut durability);
+            shared.notifier.notify();
+        }
     }
+    durability.wal = None;
+    sync_wal_bytes(&shared.wal, &mut durability);
     if let Some(obs) = obs {
         obs.deregister();
     }
@@ -609,11 +893,21 @@ fn handle_request(
     spec: &CampaignSpec,
     engine: &mut CampaignEngine<'_>,
     request: CampaignRequest,
+    shared: &ActorShared,
+    durability: &mut ActorDurability,
 ) -> Result<Json, ServeError> {
     match request {
         CampaignRequest::Next { worker, now_ms } => {
             let assignment = engine.next_for(&worker, now_ms)?;
             let complete = engine.progress(now_ms)?.complete;
+            // With nothing assignable right now, tell the caller (and
+            // the long-poll dispatcher) when a lease expiry could
+            // change that.
+            let retry_at_ms = if assignment.is_none() && !complete {
+                engine.earliest_lease_deadline()
+            } else {
+                None
+            };
             Ok(Json::Obj(vec![
                 (
                     "assignment".into(),
@@ -627,10 +921,40 @@ fn handle_request(
                     assignment.as_ref().map_or(Json::Null, |a| Json::from(a.deadline_ms)),
                 ),
                 ("complete".into(), Json::from(complete)),
+                ("retry_at_ms".into(), retry_at_ms.map_or(Json::Null, Json::from)),
             ]))
         }
         CampaignRequest::Answer { worker, question, says_match, now_ms } => {
             let ack = engine.answer(&worker, question, says_match, now_ms)?;
+            // The answer is accepted: make it durable before anything
+            // is acknowledged. A failed append is a 500 — the engine
+            // holds the answer, but the client must not treat it as
+            // safely recorded.
+            durability.answer_seq += 1;
+            if let Some(wal) = durability.wal.as_mut() {
+                let record = WalRecord {
+                    seq: durability.answer_seq,
+                    question: question.0,
+                    worker: worker.clone(),
+                    says_match,
+                    now_ms,
+                };
+                match wal.append(&record) {
+                    Ok(appended) => {
+                        shared.wal.records.inc();
+                        shared.wal.bytes.add(appended);
+                        durability.since_compact += 1;
+                    }
+                    Err(e) => {
+                        let path = wal.path().display().to_string();
+                        return Err(ServeError::internal(
+                            "wal",
+                            format!("{path}: appending answer record: {e}"),
+                        ));
+                    }
+                }
+                sync_wal_bytes(&shared.wal, durability);
+            }
             if let Some(s) = &ack.submitted {
                 remp_obs::event(remp_obs::Level::Info, "campaign", Some(id), || {
                     (
@@ -742,14 +1066,14 @@ fn handle_request(
             });
             Ok(Json::Obj(vec![("paused".into(), Json::from(false))]))
         }
-        CampaignRequest::Checkpoint => Ok(encode_state(spec, engine)),
+        CampaignRequest::Checkpoint => Ok(encode_state(spec, engine, durability.answer_seq)),
         CampaignRequest::Stop => unreachable!("handled by the actor loop"),
     }
 }
 
 // ---- state files ------------------------------------------------------
 
-fn encode_state(spec: &CampaignSpec, engine: &CampaignEngine<'_>) -> Json {
+fn encode_state(spec: &CampaignSpec, engine: &CampaignEngine<'_>, answer_seq: u64) -> Json {
     Json::Obj(vec![
         ("version".into(), Json::UInt(STATE_VERSION)),
         ("name".into(), Json::from(spec.name.as_str())),
@@ -764,6 +1088,7 @@ fn encode_state(spec: &CampaignSpec, engine: &CampaignEngine<'_>) -> Json {
             ]),
         ),
         ("paused".into(), Json::from(engine.paused())),
+        ("answer_seq".into(), Json::UInt(answer_seq)),
         (
             "workers".into(),
             Json::Arr(
@@ -836,6 +1161,9 @@ fn decode_state_file(text: &str) -> Result<(String, CampaignSpec, ResumeState), 
     };
     policy.validate()?;
     let paused = doc.get("paused").and_then(Json::as_bool).unwrap_or(false);
+    // Additive: pre-WAL state files have no answer_seq, meaning no WAL
+    // record is folded in yet.
+    let answer_seq = doc.get("answer_seq").and_then(Json::as_u64).unwrap_or(0);
     let workers = doc
         .get("workers")
         .and_then(Json::as_array)
@@ -893,7 +1221,7 @@ fn decode_state_file(text: &str) -> Result<(String, CampaignSpec, ResumeState), 
     )
     .map_err(|e| bad(e.to_string()))?;
     let spec = CampaignSpec { name, source, config: session.config.clone(), policy };
-    Ok((id, spec, ResumeState { session, workers, answers, log, paused }))
+    Ok((id, spec, ResumeState { session, workers, answers, log, paused, answer_seq }))
 }
 
 #[cfg(test)]
@@ -1028,6 +1356,75 @@ mod tests {
         let registry = Registry::open(Some(dir.clone())).unwrap();
         assert_eq!(registry.list().len(), 1);
         assert_eq!(registry.list()[0].0, id);
+        registry.shutdown().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_replay_recovers_answers_the_checkpoint_never_saw() {
+        let dir = std::env::temp_dir().join(format!("remp-serve-wal-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let d = generate(&tiny(1.0));
+        let registry = Registry::open(Some(dir.clone())).unwrap();
+        let id = registry.create(tiny_spec()).unwrap();
+        // create() wrote the genesis checkpoint; keep a copy so we can
+        // roll the checkpoint back to before the answer, like a crash
+        // that never reached a compaction would.
+        let state_path = dir.join(format!("{id}.campaign.json"));
+        let genesis = fs::read(&state_path).unwrap();
+        assert!(registry.wal_bytes() > 0, "WAL header exists on disk");
+
+        let next =
+            registry.call(&id, CampaignRequest::Next { worker: "w0".into(), now_ms: 0 }).unwrap();
+        let qid: QuestionId = next
+            .get("assignment")
+            .and_then(|a| a.get("id"))
+            .and_then(Json::as_str)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let u1 = next.get("assignment").and_then(|a| a.get("u1")).and_then(Json::as_usize).unwrap();
+        let u2 = next.get("assignment").and_then(|a| a.get("u2")).and_then(Json::as_usize).unwrap();
+        let truth =
+            d.is_match(remp_kb::EntityId::from_index(u1), remp_kb::EntityId::from_index(u2));
+        registry
+            .call(
+                &id,
+                CampaignRequest::Answer {
+                    worker: "w0".into(),
+                    question: qid,
+                    says_match: truth,
+                    now_ms: 0,
+                },
+            )
+            .unwrap();
+        let wal_after_answer = registry.wal_bytes();
+        registry.shutdown().unwrap();
+
+        // Roll the checkpoint back to genesis (answer_seq 0) and tack
+        // torn garbage onto the WAL — the crash-recovery worst case.
+        fs::write(&state_path, &genesis).unwrap();
+        let wal_file = dir.join(format!("{id}.wal"));
+        let mut wal_bytes = fs::read(&wal_file).unwrap();
+        wal_bytes.extend_from_slice(&[0xDE, 0xAD, 0xBE]);
+        fs::write(&wal_file, &wal_bytes).unwrap();
+
+        let registry = Registry::open(Some(dir.clone())).unwrap();
+        assert_eq!(registry.list().len(), 1, "campaign resumed");
+        assert_eq!(registry.wal_bytes(), wal_after_answer, "torn tail truncated, record kept");
+        let err = registry
+            .call(
+                &id,
+                CampaignRequest::Answer {
+                    worker: "w0".into(),
+                    question: qid,
+                    says_match: truth,
+                    now_ms: 0,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.code, "duplicate_answer", "w0's WAL-only answer was replayed");
         registry.shutdown().unwrap();
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,364 @@
+//! Append-only answer write-ahead log — the O(answer) durability rung
+//! under the JSON checkpoint.
+//!
+//! Every accepted answer is appended and `fdatasync`ed *before* the 2xx
+//! goes back to the worker, so a `kill -9` loses at most answers the
+//! server never acknowledged. On restart the registry replays the WAL
+//! over the last checkpoint: records with `seq` at or below the
+//! checkpoint's `answer_seq` are already folded in and skipped, the
+//! rest are re-applied in order, which reproduces the engine state
+//! bit-identically (answer application is deterministic in arrival
+//! order).
+//!
+//! The on-disk format reuses the `.rkb` framing idiom
+//! ([`remp_ingest::framing`]): an 8-byte header (magic `RWAL`,
+//! `version: u32`), then one frame per record —
+//! `payload length: u32`, `FNV-1a 64 checksum: u64`, payload. The
+//! payload is `seq: u64, question: u64, worker: str, says_match: u8,
+//! now_ms: u64`, all little-endian. A crash mid-append leaves a torn
+//! final frame (short, or checksum mismatch); [`Wal::open`] truncates
+//! it and reports how many bytes were dropped. Compaction is a
+//! checkpoint followed by [`Wal::reset`] — safe in that order because a
+//! crash in between merely leaves already-checkpointed records for the
+//! replay to skip.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use remp_ingest::framing::{fnv1a64, put_str, put_u32, put_u64};
+
+/// File magic for answer WALs.
+pub const MAGIC: [u8; 4] = *b"RWAL";
+/// Format version (bumped on incompatible payload changes).
+pub const VERSION: u32 = 1;
+/// Header bytes before the first record frame.
+const HEADER_LEN: u64 = 8;
+/// Largest plausible record payload; a length beyond this is garbage
+/// (a worker id would have to be tens of KiB), so the scan treats it as
+/// a torn tail instead of allocating it.
+const MAX_RECORD: u32 = 64 * 1024;
+
+/// One accepted answer, exactly as the engine needs it re-applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// 1-based count of accepted answers in this campaign — monotone,
+    /// so replay can skip records a checkpoint already folded in.
+    pub seq: u64,
+    /// Question id the answer is for.
+    pub question: u64,
+    /// Worker who answered.
+    pub worker: String,
+    /// The verdict.
+    pub says_match: bool,
+    /// Engine clock at acceptance (drives lease bookkeeping on replay).
+    pub now_ms: u64,
+}
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(29 + self.worker.len());
+        put_u64(&mut b, self.seq);
+        put_u64(&mut b, self.question);
+        put_str(&mut b, &self.worker);
+        b.push(self.says_match as u8);
+        put_u64(&mut b, self.now_ms);
+        b
+    }
+
+    fn decode(payload: &[u8]) -> Option<WalRecord> {
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Option<&[u8]> {
+            let end = pos.checked_add(n)?;
+            let out = payload.get(pos..end)?;
+            pos = end;
+            Some(out)
+        };
+        let seq = u64::from_le_bytes(take(8)?.try_into().ok()?);
+        let question = u64::from_le_bytes(take(8)?.try_into().ok()?);
+        let worker_len = u32::from_le_bytes(take(4)?.try_into().ok()?) as usize;
+        let worker = String::from_utf8(take(worker_len)?.to_vec()).ok()?;
+        let says_match = match take(1)?[0] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let now_ms = u64::from_le_bytes(take(8)?.try_into().ok()?);
+        if pos != payload.len() {
+            return None; // trailing garbage inside a checksummed frame
+        }
+        Some(WalRecord { seq, question, worker, says_match, now_ms })
+    }
+}
+
+/// What [`Wal::open`] found in an existing log.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Every intact record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of torn tail that were truncated away, if any.
+    pub truncated_tail: Option<u64>,
+}
+
+/// An open answer WAL, positioned for appending.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    bytes: u64,
+}
+
+/// The WAL file path for campaign `id` under `state_dir`.
+pub fn wal_path(state_dir: &Path, id: &str) -> PathBuf {
+    state_dir.join(format!("{id}.wal"))
+}
+
+impl Wal {
+    /// Opens (creating if absent) the WAL at `path`, validates every
+    /// record frame, truncates any torn tail, and returns the writer
+    /// positioned at the end plus everything intact for replay.
+    pub fn open(path: &Path) -> io::Result<(Wal, WalReplay)> {
+        let mut file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(false).open(path)?;
+        let disk_len = file.metadata()?.len();
+        if disk_len < HEADER_LEN {
+            // Fresh file, or a crash tore the header itself: start over.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&MAGIC)?;
+            file.write_all(&VERSION.to_le_bytes())?;
+            file.sync_data()?;
+            let truncated_tail = (disk_len > 0).then_some(disk_len);
+            let wal = Wal { file, path: path.to_path_buf(), bytes: HEADER_LEN };
+            return Ok((wal, WalReplay { records: Vec::new(), truncated_tail }));
+        }
+
+        file.seek(SeekFrom::Start(0))?;
+        let mut header = [0u8; HEADER_LEN as usize];
+        file.read_exact(&mut header)?;
+        if header[..4] != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: bad magic (not an answer WAL)", path.display()),
+            ));
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "{}: unsupported WAL version {version} (this build reads {VERSION})",
+                    path.display()
+                ),
+            ));
+        }
+
+        let mut body = Vec::with_capacity((disk_len - HEADER_LEN) as usize);
+        file.read_to_end(&mut body)?;
+        let mut records = Vec::new();
+        let mut pos = 0usize;
+        // Scan frames until the first short or corrupt one — everything
+        // from there on is a torn tail from a crash mid-append.
+        loop {
+            let rest = body.len() - pos;
+            if rest == 0 {
+                break;
+            }
+            if rest < 12 {
+                break; // torn frame header
+            }
+            let len = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap());
+            if len > MAX_RECORD || (len as usize) > rest - 12 {
+                break; // torn or garbage length
+            }
+            let sum = u64::from_le_bytes(body[pos + 4..pos + 12].try_into().unwrap());
+            let payload = &body[pos + 12..pos + 12 + len as usize];
+            if fnv1a64(payload) != sum {
+                break; // torn payload
+            }
+            let Some(record) = WalRecord::decode(payload) else {
+                break; // checksummed but undecodable — treat as torn
+            };
+            records.push(record);
+            pos += 12 + len as usize;
+        }
+
+        let valid_end = HEADER_LEN + pos as u64;
+        let truncated_tail = if valid_end < disk_len {
+            file.set_len(valid_end)?;
+            file.sync_data()?;
+            Some(disk_len - valid_end)
+        } else {
+            None
+        };
+        file.seek(SeekFrom::Start(valid_end))?;
+        let wal = Wal { file, path: path.to_path_buf(), bytes: valid_end };
+        Ok((wal, WalReplay { records, truncated_tail }))
+    }
+
+    /// Appends one record and syncs it to disk. Returns the frame size
+    /// in bytes. Only after this returns may the answer be acknowledged.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<u64> {
+        let payload = record.encode();
+        let mut frame = Vec::with_capacity(12 + payload.len());
+        put_u32(&mut frame, payload.len() as u32);
+        put_u64(&mut frame, fnv1a64(&payload));
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.bytes += frame.len() as u64;
+        Ok(frame.len() as u64)
+    }
+
+    /// Current file size in bytes (header included).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Where this WAL lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Drops every record, keeping the header — called right after a
+    /// checkpoint has folded them in (compaction). Safe ordering:
+    /// checkpoint first, then reset; a crash in between leaves records
+    /// the next replay skips by `seq`.
+    pub fn reset(&mut self) -> io::Result<()> {
+        self.file.set_len(HEADER_LEN)?;
+        self.file.seek(SeekFrom::Start(HEADER_LEN))?;
+        self.file.sync_data()?;
+        self.bytes = HEADER_LEN;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("remp-wal-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("c0.wal")
+    }
+
+    fn record(seq: u64) -> WalRecord {
+        WalRecord {
+            seq,
+            question: 40 + seq,
+            worker: format!("w{seq}"),
+            says_match: seq.is_multiple_of(2),
+            now_ms: 1_000 * seq,
+        }
+    }
+
+    #[test]
+    fn appends_replay_in_order() {
+        let path = tmp("roundtrip");
+        let (mut wal, replay) = Wal::open(&path).unwrap();
+        assert!(replay.records.is_empty());
+        assert_eq!(replay.truncated_tail, None);
+        for seq in 1..=5 {
+            wal.append(&record(seq)).unwrap();
+        }
+        let bytes = wal.bytes();
+        drop(wal);
+
+        let (wal, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, (1..=5).map(record).collect::<Vec<_>>());
+        assert_eq!(replay.truncated_tail, None);
+        assert_eq!(wal.bytes(), bytes, "reopen finds the same end");
+    }
+
+    #[test]
+    fn torn_tails_are_truncated_at_every_cut_point() {
+        let reference = {
+            let path = tmp("torn-ref");
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            for seq in 1..=3 {
+                wal.append(&record(seq)).unwrap();
+            }
+            std::fs::read(&path).unwrap()
+        };
+        // Cut the file after every byte count past the first two full
+        // records: replay must always recover exactly records 1 and 2.
+        let second_end = {
+            let payload = |r: &WalRecord| r.encode().len() + 12;
+            HEADER_LEN as usize + payload(&record(1)) + payload(&record(2))
+        };
+        for cut in second_end..reference.len() - 1 {
+            let path = tmp("torn-cut");
+            std::fs::write(&path, &reference[..cut]).unwrap();
+            let (wal, replay) = Wal::open(&path).unwrap();
+            assert_eq!(replay.records.len(), 2, "cut at {cut}");
+            if cut > second_end {
+                assert_eq!(replay.truncated_tail, Some((cut - second_end) as u64), "cut at {cut}");
+            }
+            assert_eq!(wal.bytes(), second_end as u64, "cut at {cut}");
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), second_end as u64);
+        }
+    }
+
+    #[test]
+    fn corrupt_checksum_drops_the_record_and_its_tail() {
+        let path = tmp("corrupt");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let mut first_end = HEADER_LEN;
+        for seq in 1..=3 {
+            let n = wal.append(&record(seq)).unwrap();
+            if seq == 1 {
+                first_end += n;
+            }
+        }
+        drop(wal);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip = first_end as usize + 20; // inside record 2's payload
+        bytes[flip] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![record(1)], "record 2 is corrupt, 3 unreachable");
+        assert!(replay.truncated_tail.is_some());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), first_end);
+    }
+
+    #[test]
+    fn reset_keeps_the_header_and_accepts_new_records() {
+        let path = tmp("reset");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        for seq in 1..=4 {
+            wal.append(&record(seq)).unwrap();
+        }
+        wal.reset().unwrap();
+        assert_eq!(wal.bytes(), HEADER_LEN);
+        wal.append(&record(5)).unwrap();
+        drop(wal);
+
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![record(5)]);
+    }
+
+    #[test]
+    fn foreign_files_are_rejected_not_clobbered() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a WAL, but long enough").unwrap();
+        let err = Wal::open(&path).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        // The file is untouched.
+        assert!(std::fs::read(&path).unwrap().starts_with(b"definitely"));
+    }
+
+    #[test]
+    fn torn_header_restarts_the_file() {
+        let path = tmp("torn-header");
+        std::fs::write(&path, &MAGIC[..3]).unwrap();
+        let (mut wal, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.truncated_tail, Some(3));
+        wal.append(&record(1)).unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(&path).unwrap();
+        assert_eq!(replay.records, vec![record(1)]);
+    }
+}

@@ -542,3 +542,176 @@ fn metrics_events_and_healthz_expose_live_campaign_state() {
     assert_eq!((err.status(), err.code()), (Some(404), Some("unknown_campaign")));
     server.shutdown();
 }
+
+#[test]
+fn keep_alive_connections_are_reused_and_reported() {
+    use remp::obs::{names, Exposition};
+
+    let server = TestServer::start(None);
+    create_preset_campaign(&server.client, 2, "reused");
+    let before = server.client.reuse_count();
+    for _ in 0..5 {
+        server.client.get("/healthz").expect("healthz over keep-alive");
+    }
+    assert_eq!(
+        server.client.reuse_count(),
+        before + 5,
+        "five more requests on one client must reuse one connection five times"
+    );
+
+    // The server counted the reuse too, and exposes serving pressure.
+    let (_, text) = server.client.get_text("/metrics").expect("scrape");
+    let expo = Exposition::parse(&text).expect("valid exposition");
+    assert!(
+        expo.value(names::HTTP_KEEPALIVE_REUSE_TOTAL, &[]).is_some_and(|v| v >= 5.0),
+        "remp_http_keepalive_reuse_total must count the reused requests"
+    );
+    assert!(
+        expo.value(names::HTTP_CONNECTIONS_OPEN, &[]).is_some_and(|v| v >= 1.0),
+        "remp_http_connections_open must count this client's socket"
+    );
+    assert!(expo.value(names::LONGPOLL_WAITERS, &[]).is_some(), "waiter gauge registered");
+
+    let health = server.client.get("/healthz").unwrap();
+    assert!(health.get("connections_open").and_then(Json::as_u64).is_some_and(|n| n >= 1));
+    assert_eq!(health.get("longpoll_waiters").and_then(Json::as_u64), Some(0));
+    assert_eq!(health.get("wal_bytes").and_then(Json::as_u64), Some(0), "no state dir, no WAL");
+    server.shutdown();
+}
+
+/// Leases every open question to `w0` so nothing is assignable to
+/// anyone else, and returns the held question ids.
+fn lease_everything(server: &TestServer, id: &str) -> Vec<String> {
+    let mut held = Vec::new();
+    loop {
+        let next = server.client.get(&format!("/campaigns/{id}/next?worker=w0")).unwrap();
+        match next.get("assignment") {
+            Some(Json::Null) | None => break,
+            Some(a) => held.push(a.get("id").and_then(Json::as_str).unwrap().to_owned()),
+        }
+    }
+    held
+}
+
+#[test]
+fn long_poll_parks_until_an_answer_frees_a_question() {
+    use std::time::Duration;
+
+    let server = TestServer::start(None);
+    // per_question = 1: one worker can hold every open question.
+    let id = create_preset_campaign(&server.client, 1, "longpoll");
+    let held = lease_everything(&server, &id);
+    assert!(!held.is_empty());
+
+    // w1 has nothing to take; with wait_ms it parks server-side
+    // instead of getting an instant null.
+    let poll_client = server.client.clone();
+    let poll_id = id.clone();
+    let waiter = std::thread::spawn(move || {
+        poll_client.get(&format!("/campaigns/{poll_id}/next?worker=w1&wait_ms=20000")).unwrap()
+    });
+    let mut parked = false;
+    for _ in 0..200 {
+        let health = server.client.get("/healthz").unwrap();
+        if health.get("longpoll_waiters").and_then(Json::as_u64) == Some(1) {
+            parked = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(parked, "the long-poll must park, not busy-wait a handler");
+
+    // w0's answers complete questions and open new ones; the notifier
+    // wakes the dispatcher, which hands one to the parked w1.
+    let mut woken = false;
+    'answers: for question in &held {
+        server
+            .client
+            .post(
+                &format!("/campaigns/{id}/answers"),
+                &Json::Obj(vec![
+                    ("worker".into(), Json::from("w0")),
+                    ("question".into(), Json::from(question.as_str())),
+                    ("says_match".into(), Json::from(true)),
+                ]),
+            )
+            .expect("answer while a long-poll is parked");
+        for _ in 0..100 {
+            if waiter.is_finished() {
+                woken = true;
+                break 'answers;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    assert!(woken, "an accepted answer must wake the parked long-poll");
+    let doc = waiter.join().expect("long-poll thread");
+    if doc.get("complete").and_then(Json::as_bool) == Some(false) {
+        assert!(
+            doc.get("assignment").is_some_and(|a| !matches!(a, Json::Null)),
+            "woken with work: {doc}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn long_poll_returns_the_empty_answer_after_the_wait_expires() {
+    use std::time::{Duration, Instant};
+
+    let server = TestServer::start(None);
+    let id = create_preset_campaign(&server.client, 1, "expiring");
+    let held = lease_everything(&server, &id);
+    assert!(!held.is_empty());
+
+    let t0 = Instant::now();
+    let doc = server.client.get(&format!("/campaigns/{id}/next?worker=w1&wait_ms=300")).unwrap();
+    assert!(
+        t0.elapsed() >= Duration::from_millis(250),
+        "an unanswerable long-poll must hold for the requested wait"
+    );
+    assert!(matches!(doc.get("assignment"), Some(Json::Null)), "{doc}");
+    assert_eq!(doc.get("complete").and_then(Json::as_bool), Some(false));
+    assert!(
+        doc.get("retry_at_ms").and_then(Json::as_u64).is_some(),
+        "with live leases the response must carry the earliest retry hint: {doc}"
+    );
+    server.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn idle_connections_time_out_without_consuming_a_handler() {
+    use std::io::Read;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    use remp::par::Parallelism;
+
+    // Two handlers, eight silent sockets: if an idle connection cost a
+    // handler thread, /healthz below would stall for the read timeout.
+    let server = TestServer::start_config(ServerConfig {
+        parallelism: Parallelism::Fixed(2),
+        keepalive_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    let idlers: Vec<TcpStream> = (0..8)
+        .map(|_| TcpStream::connect(server.client.addr()).expect("connect an idle socket"))
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..5 {
+        let health = server.client.get("/healthz").expect("healthz with idlers connected");
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    }
+    assert!(t0.elapsed() < Duration::from_secs(5), "idle sockets must not starve the handler pool");
+
+    // Past the keep-alive timeout the server reaps them: EOF, not hang.
+    for mut socket in idlers {
+        socket.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let mut buf = [0u8; 1];
+        let n = socket.read(&mut buf);
+        assert!(matches!(n, Ok(0)), "idle socket must be closed by the server, got {n:?}");
+    }
+    server.shutdown();
+}
